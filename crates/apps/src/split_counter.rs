@@ -1,0 +1,267 @@
+//! Hotspot relief by key splitting — §5 Example 6.
+//!
+//! "Counting Best Buy events is associative and commutative. Hence,
+//! instead of using just a single updater U, we can use a set of updaters,
+//! each of which counts just a subset of Best Buy events. ... we can modify
+//! the map function to replace the single key 'Best Buy' with two keys
+//! 'Best Buy1' and 'Best Buy2' ... Next, we modify the update function so
+//! that it regularly emits the counts ... as new events under the key
+//! 'Best Buy'. Finally, we write a new update function that receives the
+//! events of key 'Best Buy' to determine the total counts."
+//!
+//! Workflow: `S1 (checkins) → M1 splitting-mapper → S2 → U1 partial-counter
+//! → S3 → U2 total-counter`, parameterized by the split factor k.
+
+use std::sync::Mutex;
+
+use muppet_core::event::{Event, Key};
+use muppet_core::hash::FxHashMap;
+use muppet_core::json::Json;
+use muppet_core::operator::{Emitter, Mapper, Updater};
+use muppet_core::slate::Slate;
+use muppet_core::workflow::Workflow;
+
+use crate::retailer::match_retailer;
+
+/// External checkin stream.
+pub const CHECKIN_STREAM: &str = "S1";
+/// Split-key stream.
+pub const SPLIT_STREAM: &str = "S2";
+/// Partial-count stream.
+pub const PARTIAL_STREAM: &str = "S3";
+/// Splitting mapper name.
+pub const SPLIT_MAPPER: &str = "splitting-mapper";
+/// Partial counter name.
+pub const PARTIAL_COUNTER: &str = "partial-counter";
+/// Total counter name.
+pub const TOTAL_COUNTER: &str = "total-counter";
+
+/// The split-counting workflow.
+pub fn workflow() -> Workflow {
+    let mut b = Workflow::builder("split-counter");
+    b.external_stream(CHECKIN_STREAM);
+    b.mapper_publishing(SPLIT_MAPPER, &[CHECKIN_STREAM], &[SPLIT_STREAM]);
+    b.updater_publishing(PARTIAL_COUNTER, &[SPLIT_STREAM], &[PARTIAL_STREAM]);
+    b.updater(TOTAL_COUNTER, &[PARTIAL_STREAM]);
+    b.build().expect("static workflow is valid")
+}
+
+/// Compose the split key `"<retailer>#<i>"` of Example 6 ("Best Buy1",
+/// "Best Buy2" in the paper's phrasing).
+pub fn split_key(retailer: &str, shard: u64) -> Key {
+    Key::from(format!("{retailer}#{shard}"))
+}
+
+/// Recover the base retailer from a split key.
+pub fn base_of(split: &Key) -> Option<String> {
+    let s = split.as_str()?;
+    let (base, _) = s.rsplit_once('#')?;
+    Some(base.to_string())
+}
+
+/// M1: like the Figure 3 retailer mapper, but spreads each retailer over
+/// `k` sub-keys round-robin, "partitioning the set of events with key
+/// 'Best Buy' into [k] subsets".
+pub struct SplittingMapper {
+    name: String,
+    k: u64,
+    /// Per-retailer round-robin cursors: Example 6 partitions *each*
+    /// retailer's events into k subsets, so the cursor must be per base
+    /// key, not global.
+    rr: Mutex<FxHashMap<&'static str, u64>>,
+}
+
+impl SplittingMapper {
+    /// A mapper splitting each retailer key `k` ways (`k = 1` reproduces
+    /// the unsplit baseline).
+    pub fn new(k: u64) -> Self {
+        SplittingMapper { name: SPLIT_MAPPER.to_string(), k: k.max(1), rr: Mutex::new(FxHashMap::default()) }
+    }
+}
+
+impl Mapper for SplittingMapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn map(&self, ctx: &mut dyn Emitter, event: &Event) {
+        let Some(venue) = crate::retailer::RetailerMapper::venue_of(event) else { return };
+        if let Some(retailer) = match_retailer(&venue) {
+            let shard = {
+                let mut cursors = self.rr.lock().expect("cursor lock");
+                let cursor = cursors.entry(retailer).or_insert(0);
+                let shard = *cursor % self.k;
+                *cursor += 1;
+                shard
+            };
+            ctx.publish(SPLIT_STREAM, split_key(retailer, shard), event.value.to_vec());
+        }
+    }
+}
+
+/// U1: count per split key; "regularly emits the counts ... as new events
+/// under the [base] key" — every `emit_every` events it publishes the
+/// accumulated delta and resets it. Slate JSON:
+/// `{"count": total_for_shard, "unreported": pending_delta}`.
+pub struct PartialCounter {
+    name: String,
+    emit_every: u64,
+}
+
+impl PartialCounter {
+    /// Emit a partial-count delta every `emit_every` events (1 = per
+    /// event, exact totals downstream at the cost of 1:1 event traffic).
+    pub fn new(emit_every: u64) -> Self {
+        PartialCounter { name: PARTIAL_COUNTER.to_string(), emit_every: emit_every.max(1) }
+    }
+}
+
+impl Updater for PartialCounter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn update(&self, ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
+        let state = slate.as_json();
+        let mut count =
+            state.as_ref().and_then(|v| v.get("count").and_then(Json::as_u64)).unwrap_or(0);
+        let mut unreported =
+            state.as_ref().and_then(|v| v.get("unreported").and_then(Json::as_u64)).unwrap_or(0);
+        count += 1;
+        unreported += 1;
+        if unreported >= self.emit_every {
+            if let Some(base) = base_of(&event.key) {
+                let payload = Json::obj([("delta", Json::num(unreported as f64))]).to_compact();
+                ctx.publish(PARTIAL_STREAM, Key::from(base), payload.into_bytes());
+            }
+            unreported = 0;
+        }
+        slate.replace_json(&Json::obj([
+            ("count", Json::num(count as f64)),
+            ("unreported", Json::num(unreported as f64)),
+        ]));
+    }
+}
+
+/// U2: sum the partial deltas per base retailer key.
+pub struct TotalCounter {
+    name: String,
+}
+
+impl TotalCounter {
+    /// Default-named updater.
+    pub fn new() -> Self {
+        TotalCounter { name: TOTAL_COUNTER.to_string() }
+    }
+}
+
+impl Default for TotalCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Updater for TotalCounter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn update(&self, _ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
+        let delta = Json::parse_bytes(&event.value)
+            .ok()
+            .and_then(|v| v.get("delta").and_then(Json::as_u64))
+            .unwrap_or(0);
+        slate.incr_counter(delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_core::reference::ReferenceExecutor;
+    use muppet_workloads::checkins::CheckinGenerator;
+
+    fn run(k: u64, emit_every: u64, n_events: usize) -> (Vec<(String, u64)>, Vec<(String, u64)>) {
+        let wf = workflow();
+        let mut exec = ReferenceExecutor::new(&wf);
+        exec.register_mapper(SplittingMapper::new(k));
+        exec.register_updater(PartialCounter::new(emit_every));
+        exec.register_updater(TotalCounter::new());
+        let mut gen = CheckinGenerator::new(77, 100, 1000.0).with_venue_skew(2.0);
+        let events = gen.take(CHECKIN_STREAM, n_events);
+        let expected: Vec<(String, u64)> = CheckinGenerator::expected_retailer_counts(&events)
+            .into_iter()
+            .collect();
+        for ev in events {
+            exec.push_external(CHECKIN_STREAM, ev);
+        }
+        exec.run_to_completion().unwrap();
+        let totals: Vec<(String, u64)> = exec
+            .slates_of(TOTAL_COUNTER)
+            .into_iter()
+            .map(|(key, slate)| (key.as_str().unwrap().to_string(), slate.counter()))
+            .collect();
+        (expected, totals)
+    }
+
+    #[test]
+    fn split_totals_equal_unsplit_ground_truth_when_emitting_every_event() {
+        for k in [1u64, 2, 4, 8] {
+            let (expected, totals) = run(k, 1, 2000);
+            assert_eq!(totals, expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn batched_emission_undercounts_by_at_most_k_times_batch() {
+        let k = 4u64;
+        let batch = 10u64;
+        let (expected, totals) = run(k, batch, 2000);
+        for (retailer, expect) in &expected {
+            let got = totals.iter().find(|(r, _)| r == retailer).map(|(_, c)| *c).unwrap_or(0);
+            assert!(got <= *expect, "never overcounts");
+            assert!(
+                expect - got < k * batch,
+                "{retailer}: unreported residue bounded by k×batch: {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn splitting_spreads_shard_keys() {
+        let wf = workflow();
+        let mut exec = ReferenceExecutor::new(&wf);
+        exec.register_mapper(SplittingMapper::new(4));
+        exec.register_updater(PartialCounter::new(1));
+        exec.register_updater(TotalCounter::new());
+        let mut gen = CheckinGenerator::new(3, 50, 1000.0).with_venue_skew(3.0);
+        for ev in gen.take(CHECKIN_STREAM, 2000) {
+            exec.push_external(CHECKIN_STREAM, ev);
+        }
+        exec.run_to_completion().unwrap();
+        // The hottest retailer's events must be spread over 4 shard slates.
+        let shard_counts: Vec<(String, u64)> = exec
+            .slates_of(PARTIAL_COUNTER)
+            .into_iter()
+            .map(|(key, slate)| {
+                let v = slate.as_json().unwrap();
+                (key.as_str().unwrap().to_string(), v.get("count").unwrap().as_u64().unwrap())
+            })
+            .collect();
+        let hottest_base = base_of(&Key::from(shard_counts[0].0.as_str())).unwrap();
+        let shards: Vec<&(String, u64)> =
+            shard_counts.iter().filter(|(k, _)| k.starts_with(&hottest_base)).collect();
+        assert!(shards.len() > 1, "hot key split across shards: {shard_counts:?}");
+        let max = shards.iter().map(|(_, c)| *c).max().unwrap();
+        let min = shards.iter().map(|(_, c)| *c).min().unwrap();
+        assert!(max - min <= 1, "round-robin splits evenly: {shards:?}");
+    }
+
+    #[test]
+    fn split_key_roundtrip() {
+        let k = split_key("Best Buy", 3);
+        assert_eq!(k.as_str(), Some("Best Buy#3"));
+        assert_eq!(base_of(&k), Some("Best Buy".to_string()));
+        assert_eq!(base_of(&Key::from("nohash")), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end engine benchmarks: events through the full map→update path
+//! on both engine generations, per key-skew regime.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use muppet_core::event::Event;
+use muppet_core::operator::{Emitter, FnMapper, FnUpdater};
+use muppet_core::slate::Slate;
+use muppet_core::workflow::Workflow;
+use muppet_runtime::engine::{Engine, EngineConfig, EngineKind, OperatorSet};
+
+fn workflow() -> Workflow {
+    let mut b = Workflow::builder("bench");
+    b.external_stream("S1");
+    b.mapper_publishing("M", &["S1"], &["S2"]);
+    b.updater("U", &["S2"]);
+    b.build().unwrap()
+}
+
+fn ops() -> OperatorSet {
+    OperatorSet::new()
+        .mapper(FnMapper::new("M", |ctx: &mut dyn Emitter, ev: &Event| {
+            ctx.publish("S2", ev.key.clone(), ev.value.to_vec());
+        }))
+        .updater(FnUpdater::new("U", |_: &mut dyn Emitter, _: &Event, slate: &mut Slate| {
+            slate.incr_counter(1);
+        }))
+}
+
+fn events(n: usize, keys: usize, skew: f64) -> Vec<Event> {
+    use muppet_workloads::zipf::Zipf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let z = Zipf::new(keys, skew);
+    let mut rng = StdRng::seed_from_u64(3);
+    (0..n)
+        .map(|i| {
+            Event::new(
+                "S1",
+                i as u64,
+                muppet_core::event::Key::from(format!("k{:05}", z.sample(&mut rng))),
+                Vec::new(),
+            )
+        })
+        .collect()
+}
+
+fn bench_engines(c: &mut Criterion) {
+    const N: usize = 5_000;
+    let mut g = c.benchmark_group("engine_e2e");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(N as u64));
+    for kind in [EngineKind::Muppet1, EngineKind::Muppet2] {
+        for &(label, skew) in &[("uniform", 0.0f64), ("zipf1.1", 1.1)] {
+            g.bench_function(format!("{kind:?}_{label}_{N}_events"), |b| {
+                b.iter_batched(
+                    || events(N, 500, skew),
+                    |events| {
+                        let cfg = EngineConfig {
+                            kind,
+                            machines: 1,
+                            workers_per_machine: 2,
+                            workers_per_op: 2,
+                            queue_capacity: 1 << 17,
+                            ..EngineConfig::default()
+                        };
+                        let engine = Engine::start(workflow(), ops(), cfg, None).unwrap();
+                        for ev in events {
+                            engine.submit(ev).unwrap();
+                        }
+                        assert!(engine.drain(Duration::from_secs(60)));
+                        engine.shutdown()
+                    },
+                    BatchSize::PerIteration,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Micro-benchmarks of the framework primitives: the structures on every
+//! event's path (hashing, dispatch, queues, JSON, codecs).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use muppet_core::codec;
+use muppet_core::event::Key;
+use muppet_core::hash::fx64;
+use muppet_core::json::Json;
+use muppet_runtime::dispatch::{choose_queue, queue_pair};
+use muppet_runtime::lru::LruMap;
+use muppet_runtime::queue::EventQueue;
+use muppet_slatestore::bloom::BloomFilter;
+use muppet_slatestore::compress::{compress, decompress};
+use muppet_slatestore::ring::ConsistentRing;
+use muppet_workloads::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hashing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash");
+    let key = Key::from("user-123456789");
+    g.bench_function("fx64_short_key", |b| b.iter(|| fx64(black_box(b"user-123456789"))));
+    g.bench_function("route_hash", |b| b.iter(|| black_box(&key).route_hash("retailer-counter")));
+    g.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch");
+    let route = Key::from("hot").route_hash("U1");
+    let in_flight = vec![None; 8];
+    let lens = vec![3usize; 8];
+    g.bench_function("queue_pair", |b| b.iter(|| queue_pair(black_box(route), 8)));
+    g.bench_function("choose_queue_8_threads", |b| {
+        b.iter(|| choose_queue(black_box(route), &in_flight, &lens, 8))
+    });
+    g.finish();
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ring");
+    let ring = ConsistentRing::new(16, 64);
+    g.bench_function("owner_16_nodes_64_vnodes", |b| b.iter(|| ring.owner(black_box(0xdead_beef))));
+    g.bench_function("owners_rf3", |b| b.iter(|| ring.owners(black_box(0xdead_beef), 3)));
+    g.finish();
+}
+
+fn bench_queue(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    g.throughput(Throughput::Elements(1));
+    let q: EventQueue<u64> = EventQueue::new(1 << 20);
+    g.bench_function("push_pop", |b| {
+        b.iter(|| {
+            q.push(black_box(42)).unwrap();
+            q.try_pop().unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_lru(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lru");
+    let mut lru = LruMap::new();
+    for i in 0..10_000u64 {
+        lru.insert(i, i);
+    }
+    let mut i = 0u64;
+    g.bench_function("hit_10k_entries", |b| {
+        b.iter(|| {
+            i = (i + 7) % 10_000;
+            *lru.get(&i).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_json(c: &mut Criterion) {
+    let mut g = c.benchmark_group("json");
+    let tweet = r#"{"id":123456,"user":"user-42","text":"synthetic tweet about tech #tech","topics":["tech"],"retweet_of":"user-7","urls":["http://example.com/page1"]}"#;
+    g.throughput(Throughput::Bytes(tweet.len() as u64));
+    g.bench_function("parse_tweet", |b| b.iter(|| Json::parse(black_box(tweet)).unwrap()));
+    let value = Json::parse(tweet).unwrap();
+    g.bench_function("serialize_tweet", |b| b.iter(|| black_box(&value).to_compact()));
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let mut buf = Vec::with_capacity(16);
+    g.bench_function("varint_roundtrip", |b| {
+        b.iter(|| {
+            buf.clear();
+            codec::put_varint(&mut buf, black_box(123_456_789));
+            codec::get_varint(&buf).unwrap()
+        })
+    });
+    let payload = vec![0xa5u8; 4096];
+    g.throughput(Throughput::Bytes(4096));
+    g.bench_function("crc32c_4k", |b| b.iter(|| codec::crc32c(black_box(&payload))));
+    g.finish();
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compress");
+    let slate = br#"{"count": 42, "interests": ["deals","deals","deals","coupons","coupons"], "visits": {"mon":3,"tue":4,"wed":3,"thu":4,"fri":5}}"#.repeat(8);
+    g.throughput(Throughput::Bytes(slate.len() as u64));
+    g.bench_function("lzss_compress_json_slate", |b| b.iter(|| compress(black_box(&slate))));
+    let packed = compress(&slate);
+    g.bench_function("lzss_decompress_json_slate", |b| b.iter(|| decompress(black_box(&packed)).unwrap()));
+    g.finish();
+}
+
+fn bench_bloom(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bloom");
+    let mut bf = BloomFilter::with_capacity(100_000, 0.01);
+    for i in 0..100_000 {
+        bf.insert(format!("row-{i}").as_bytes());
+    }
+    g.bench_function("may_contain_hit", |b| b.iter(|| bf.may_contain(black_box(b"row-55555"))));
+    g.bench_function("may_contain_miss", |b| b.iter(|| bf.may_contain(black_box(b"absent-key"))));
+    g.finish();
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let mut g = c.benchmark_group("zipf");
+    let z = Zipf::new(1_000_000, 1.1);
+    let mut rng = StdRng::seed_from_u64(1);
+    g.bench_function("sample_1m_universe", |b| b.iter(|| z.sample(&mut rng)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hashing,
+    bench_dispatch,
+    bench_ring,
+    bench_queue,
+    bench_lru,
+    bench_json,
+    bench_codec,
+    bench_compress,
+    bench_bloom,
+    bench_zipf
+);
+criterion_main!(benches);

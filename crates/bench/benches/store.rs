@@ -1,0 +1,109 @@
+//! Slate-store benchmarks: the §4.2 data path — memtable writes, SSTable
+//! point reads, WAL appends, quorum operations.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use muppet_slatestore::cluster::{Consistency, StoreCluster, StoreConfig};
+use muppet_slatestore::device::StorageDevice;
+use muppet_slatestore::memtable::Memtable;
+use muppet_slatestore::sstable::SSTableWriter;
+use muppet_slatestore::types::{Cell, CellKey};
+use muppet_slatestore::util::TempDir;
+use muppet_slatestore::wal::WalWriter;
+
+fn bench_memtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memtable");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("put_overwrite_hot_key", |b| {
+        let mut mt = Memtable::new();
+        let key = CellKey::new("hot-retailer", "U1");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            mt.put(key.clone(), Cell::live(i.to_string(), i, None));
+        })
+    });
+    g.bench_function("put_100_distinct_keys", |b| {
+        b.iter_batched(
+            Memtable::new,
+            |mut mt| {
+                for i in 0..100u64 {
+                    mt.put(CellKey::new(format!("k{i}"), "U"), Cell::live("v", i, None));
+                }
+                mt
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut mt = Memtable::new();
+    for i in 0..10_000u64 {
+        mt.put(CellKey::new(format!("k{i:05}"), "U"), Cell::live("v", i, None));
+    }
+    g.bench_function("get_10k_entries", |b| {
+        b.iter(|| mt.get(black_box(&CellKey::new("k05000", "U"))))
+    });
+    g.finish();
+}
+
+fn bench_sstable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sstable");
+    let dir = TempDir::new("bench-sst").unwrap();
+    let device = Arc::new(StorageDevice::default());
+    let mut w = SSTableWriter::create(dir.file("bench.sst"), Arc::clone(&device), 50_000).unwrap();
+    for i in 0..50_000u64 {
+        w.add(&CellKey::new(format!("row-{i:08}"), "U1"), &Cell::live(format!("value-{i}"), i, None))
+            .unwrap();
+    }
+    let table = w.finish().unwrap();
+    g.bench_function("point_read_hit_50k_rows", |b| {
+        b.iter(|| table.get(black_box(&CellKey::new("row-00025000", "U1"))).unwrap())
+    });
+    g.bench_function("point_read_bloom_miss", |b| {
+        b.iter(|| table.get(black_box(&CellKey::new("absent-row", "U1"))).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal");
+    let dir = TempDir::new("bench-wal").unwrap();
+    let mut w = WalWriter::create(dir.file("bench.log"), false).unwrap();
+    let key = CellKey::new("user-12345", "profile");
+    let cell = Cell::live(vec![0u8; 256], 1, Some(3600));
+    g.throughput(Throughput::Bytes(256));
+    g.bench_function("append_256b_buffered", |b| b.iter(|| w.append(&key, &cell).unwrap()));
+    g.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    let dir = TempDir::new("bench-cluster").unwrap();
+    let store = StoreCluster::open(
+        dir.path(),
+        StoreConfig { nodes: 3, replication: 3, ..Default::default() },
+    )
+    .unwrap();
+    let slate = br#"{"count": 42, "last_seen": 170000}"#;
+    let mut i = 0u64;
+    for level in [Consistency::One, Consistency::Quorum, Consistency::All] {
+        g.bench_function(format!("put_{level:?}"), |b| {
+            b.iter(|| {
+                i += 1;
+                store
+                    .put_with(&CellKey::new(format!("k{}", i % 128), "U"), slate, None, i, level)
+                    .unwrap()
+            })
+        });
+        g.bench_function(format!("get_{level:?}"), |b| {
+            b.iter(|| {
+                i += 1;
+                store.get_with(&CellKey::new(format!("k{}", i % 128), "U"), i, level).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_memtable, bench_sstable, bench_wal, bench_cluster);
+criterion_main!(benches);

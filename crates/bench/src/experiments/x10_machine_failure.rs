@@ -1,0 +1,119 @@
+//! X10 — §4.3: machine-crash handling.
+//!
+//! The protocol under test: detection happens on the first failed *send*
+//! (no ping period), the master broadcasts once, the hash ring drops the
+//! machine, the undeliverable event is lost-and-logged (never retried),
+//! and total loss is bounded by (events queued at the dead machine) +
+//! (events sent before detection) + (unflushed slate deltas).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use muppet_apps::retailer;
+use muppet_runtime::cache::FlushPolicy;
+use muppet_runtime::engine::{Engine, EngineConfig, EngineKind};
+use muppet_slatestore::cluster::{StoreCluster, StoreConfig};
+use muppet_slatestore::types::CellKey;
+use muppet_slatestore::util::TempDir;
+use muppet_workloads::checkins::CheckinGenerator;
+
+use crate::harness::{retailer_ops, retailer_workflow};
+use crate::table::Table;
+use crate::Scale;
+
+/// Run the experiment.
+pub fn run(scale: Scale) {
+    super::banner("X10", "machine crash: detection, rerouting, bounded loss", "§4.3 (handling failures)");
+    let before = scale.events(20_000);
+    let after = scale.events(20_000);
+
+    // Write-through store: every applied increment is durable, so the
+    // accounting below closes exactly — the only losses are the events
+    // §4.3 declares lost (failed sends + the dead machine's queues).
+    let dir = TempDir::new("x10").unwrap();
+    let store = Arc::new(
+        StoreCluster::open(dir.path(), StoreConfig { nodes: 1, replication: 1, ..Default::default() })
+            .unwrap(),
+    );
+    let cfg = EngineConfig {
+        kind: EngineKind::Muppet2,
+        machines: 4,
+        workers_per_machine: 2,
+        queue_capacity: 1 << 16,
+        flush: FlushPolicy::WriteThrough,
+        ..EngineConfig::default()
+    };
+    let engine =
+        Engine::start(retailer_workflow(), retailer_ops(), cfg, Some(Arc::clone(&store))).unwrap();
+    let mut gen = CheckinGenerator::new(31, 3_000, 5_000.0);
+
+    // Phase 1: healthy.
+    let phase1 = gen.take(retailer::CHECKIN_STREAM, before);
+    let truth1 = CheckinGenerator::expected_retailer_counts(&phase1);
+    for ev in phase1 {
+        engine.submit(ev).unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(120)));
+    let healthy = engine.stats();
+
+    // Phase 2: kill machine 2 and keep streaming.
+    engine.kill_machine(2);
+    let kill_at = Instant::now();
+    let mut detect_after_events = 0usize;
+    let mut detection_latency = None;
+    let phase2 = gen.take(retailer::CHECKIN_STREAM, after);
+    let truth2 = CheckinGenerator::expected_retailer_counts(&phase2);
+    for (i, ev) in phase2.into_iter().enumerate() {
+        engine.submit(ev).unwrap();
+        if detection_latency.is_none() && engine.failure_detected(2) {
+            detection_latency = Some(kill_at.elapsed());
+            detect_after_events = i + 1;
+        }
+    }
+    assert!(engine.drain(Duration::from_secs(120)));
+    let stats = engine.stats();
+
+    // Durable counts (write-through): includes the dead machine's applied
+    // increments, which its cache lost but the store kept.
+    let now = engine.now_us();
+    let mut counted_total = 0u64;
+    let mut true_total = 0u64;
+    for (retailer_name, t1) in &truth1 {
+        let t2 = truth2.get(retailer_name).copied().unwrap_or(0);
+        true_total += t1 + t2;
+        if let Ok(Some(bytes)) =
+            store.get(&CellKey::new(retailer_name.as_bytes(), retailer::COUNTER), now + 1)
+        {
+            counted_total += String::from_utf8(bytes.to_vec())
+                .ok()
+                .and_then(|s| s.parse::<u64>().ok())
+                .unwrap_or(0);
+        }
+    }
+    let lost = stats.lost_machine_failure + stats.lost_in_queues;
+    engine.shutdown();
+
+    let mut table = Table::new(["metric", "value"]);
+    table.row(["healthy-phase losses".to_string(), format!("{}", healthy.lost_machine_failure + healthy.lost_in_queues)]);
+    table.row([
+        "failure detection latency".to_string(),
+        format!("{:?} ({} events after the kill)", detection_latency.unwrap_or_default(), detect_after_events),
+    ]);
+    table.row(["events lost at dead machine (in queues)".to_string(), stats.lost_in_queues.to_string()]);
+    table.row(["events lost to failed sends (logged)".to_string(), stats.lost_machine_failure.to_string()]);
+    table.row(["true retail events (both phases)".to_string(), true_total.to_string()]);
+    table.row(["retail events counted by survivors".to_string(), counted_total.to_string()]);
+    table.row([
+        "accounting: counted + lost ≥ true".to_string(),
+        format!("{} + {} = {} vs {}", counted_total, lost, counted_total + lost, true_total),
+    ]);
+    table.print();
+    println!(
+        "\nshape check: detection is traffic-driven (first failed send), loss is a small\n\
+         bounded fraction, and everything not explicitly lost is counted — '§4.3: we focus\n\
+         on quickly detecting the failed worker and redirecting events ... minimizing our\n\
+         latency and losses'."
+    );
+    assert!(counted_total + lost >= true_total, "no silent loss");
+    assert!(lost < (before + after) as u64 / 4, "loss must be a bounded fraction");
+}

@@ -1,0 +1,103 @@
+//! X12 — §5 Example 6: relieve a hotspot updater by splitting an
+//! associative/commutative count over k sub-keys.
+//!
+//! All events carry one hot retailer key ("a lot of people are checking
+//! into Best Buy"). With k = 1 a single slate serializes all updates
+//! (bounded to ≤2 workers by two-choice, but the slate lock is one);
+//! splitting k ways spreads the work over k slates/workers, and a final
+//! updater sums the partial counts.
+
+use std::time::{Duration, Instant};
+
+use muppet_apps::split_counter::{self, PartialCounter, SplittingMapper, TotalCounter};
+use muppet_core::event::{Event, Key};
+use muppet_core::json::Json;
+use muppet_runtime::engine::{Engine, EngineConfig, EngineKind, OperatorSet};
+use muppet_runtime::overflow::OverflowPolicy;
+
+use crate::harness::read_counter;
+use crate::table::{rate, Table};
+use crate::Scale;
+
+fn hot_checkin(i: u64) -> Event {
+    let v = Json::obj([
+        ("user", Json::str(format!("u{i}"))),
+        ("venue", Json::obj([("name", Json::str("Best Buy"))])),
+    ]);
+    Event::new(split_counter::CHECKIN_STREAM, i, Key::from(format!("u{i}")), v.to_compact().into_bytes())
+}
+
+/// A partial counter with an artificial per-event cost, standing in for a
+/// heavyweight update function on the hot key.
+fn ops(k: u64) -> OperatorSet {
+    use muppet_core::operator::{Emitter, FnUpdater, Updater};
+    use muppet_core::slate::Slate;
+    struct SlowPartial(PartialCounter);
+    impl Updater for SlowPartial {
+        fn name(&self) -> &str {
+            self.0.name()
+        }
+        fn update(&self, ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
+            let deadline = Instant::now() + Duration::from_micros(150);
+            while Instant::now() < deadline {
+                std::hint::spin_loop();
+            }
+            self.0.update(ctx, event, slate);
+        }
+    }
+    let _ = FnUpdater::new("unused", |_: &mut dyn Emitter, _: &Event, _: &mut Slate| {});
+    OperatorSet::new()
+        .mapper(SplittingMapper::new(k))
+        .updater(SlowPartial(PartialCounter::new(16)))
+        .updater(TotalCounter::new())
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) {
+    super::banner("X12", "hotspot splitting: one hot key over k sub-keys", "§5 Example 6");
+    let n = scale.events(8_000);
+
+    let mut table = Table::new(["split k", "wall time", "events/s", "total counted", "exact?"]);
+    let mut rates = Vec::new();
+    for &k in &[1u64, 2, 4, 8] {
+        // Workers match the host's cores: the split's parallelism gain is
+        // bounded by real cores, and oversubscription would only blur it.
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).clamp(2, 8);
+        let cfg = EngineConfig {
+            kind: EngineKind::Muppet2,
+            machines: 1,
+            workers_per_machine: workers,
+            queue_capacity: 1 << 16,
+            overflow: OverflowPolicy::SourceThrottle,
+            ..EngineConfig::default()
+        };
+        let engine = Engine::start(split_counter::workflow(), ops(k), cfg, None).unwrap();
+        let t0 = Instant::now();
+        for i in 0..n {
+            engine.submit(hot_checkin(i as u64)).unwrap();
+        }
+        assert!(engine.drain(Duration::from_secs(300)));
+        let elapsed = t0.elapsed();
+        // Residual unreported deltas (batch 16) stay in shard slates; the
+        // total is within k×16 of n (the Example 6 "regularly emits" gap).
+        let total = read_counter(&engine, split_counter::TOTAL_COUNTER, "Best Buy");
+        engine.shutdown();
+        rates.push(n as f64 / elapsed.as_secs_f64());
+        table.row([
+            k.to_string(),
+            format!("{elapsed:.2?}"),
+            rate(n, elapsed),
+            total.to_string(),
+            if (n as u64).saturating_sub(total) <= k * 16 { "✓ (±k·batch)".to_string() } else { "✗".to_string() },
+        ]);
+    }
+    table.print();
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    println!(
+        "\nshape check: with k=1 the hot slate serializes all updates on one worker; any\n\
+         k>1 unlocks parallelism up to the host's {cores} cores (best split vs k=1 here:\n\
+         {:.2}×), with totals exact up to the k×batch unreported residue — the\n\
+         associativity/commutativity trade Example 6 describes.",
+        rates[1..].iter().cloned().fold(0.0f64, f64::max) / rates[0]
+    );
+}

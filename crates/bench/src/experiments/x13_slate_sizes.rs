@@ -1,0 +1,97 @@
+//! X13 — §5 "Limiting Slate Sizes": "slates can grow quite large and
+//! updaters that maintain large slates can run more slowly due to the
+//! overhead. Consequently, we encourage developers to keep individual
+//! slates small, e.g., many kilobytes rather than many megabytes."
+//!
+//! An updater maintains a slate of a fixed size S (rewriting it per event,
+//! as `replaceSlate` semantics imply); we sweep S and watch throughput
+//! fall and flush bytes grow.
+
+use muppet_core::event::Event;
+use muppet_core::operator::{Emitter, FnUpdater};
+use muppet_core::slate::Slate;
+use muppet_core::workflow::Workflow;
+use muppet_runtime::cache::FlushPolicy;
+use muppet_runtime::engine::{EngineConfig, EngineKind, OperatorSet};
+use muppet_slatestore::cluster::{StoreCluster, StoreConfig};
+use muppet_slatestore::util::TempDir;
+
+use crate::harness::{keyed_events, run_engine};
+use crate::table::{rate, Table};
+use crate::Scale;
+
+fn workflow() -> Workflow {
+    let mut b = Workflow::builder("slate-size");
+    b.external_stream("S1");
+    b.updater("U1", &["S1"]);
+    b.build().unwrap()
+}
+
+fn ops(slate_bytes: usize) -> OperatorSet {
+    OperatorSet::new().updater(FnUpdater::new(
+        "U1",
+        move |_: &mut dyn Emitter, _: &Event, slate: &mut Slate| {
+            // Rewrite the whole slate (replaceSlate semantics): a counter
+            // header plus S bytes of payload.
+            let count = slate.counter() + 1;
+            let mut data = count.to_string().into_bytes();
+            data.resize(slate_bytes.max(data.len()), b'x');
+            slate.replace(data);
+        },
+    ))
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) {
+    super::banner("X13", "slate size vs updater throughput", "§5 (limiting slate sizes)");
+    let n = scale.events(10_000);
+    let keys = 64usize;
+
+    let mut table = Table::new(["slate size", "events/s", "store bytes written", "relative speed"]);
+    let mut baseline = None;
+    for &size in &[256usize, 4 * 1024, 64 * 1024, 1024 * 1024] {
+        let dir = TempDir::new("x13").unwrap();
+        let store = std::sync::Arc::new(
+            StoreCluster::open(
+                dir.path(),
+                StoreConfig { nodes: 1, replication: 1, ..Default::default() },
+            )
+            .unwrap(),
+        );
+        let cfg = EngineConfig {
+            kind: EngineKind::Muppet2,
+            machines: 1,
+            workers_per_machine: 2,
+            flush: FlushPolicy::IntervalMs(10),
+            queue_capacity: 1 << 16,
+            ..EngineConfig::default()
+        };
+        let events = keyed_events("S1", n, keys, 0.5, 13);
+        let outcome = run_engine(workflow(), ops(size), cfg, Some(std::sync::Arc::clone(&store)), events);
+        let throughput = outcome.throughput(n);
+        let base = *baseline.get_or_insert(throughput);
+        let stored = store.stats().stored_bytes;
+        table.row([
+            human_size(size),
+            rate(n, outcome.elapsed),
+            human_size(stored as usize),
+            format!("{:.2}×", throughput / base),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nshape check: throughput decays as slates grow from KBs to MBs (copy + flush\n\
+         costs scale with slate size) — the §5 advice to keep slates 'many kilobytes\n\
+         rather than many megabytes'."
+    );
+}
+
+fn human_size(bytes: usize) -> String {
+    if bytes >= 1024 * 1024 {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    } else if bytes >= 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}

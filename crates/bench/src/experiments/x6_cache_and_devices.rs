@@ -1,0 +1,103 @@
+//! X6 — §4.2: slate caching and the SSD argument.
+//!
+//! "When Muppet starts up, its slate cache is empty, so early update events
+//! may require many row fetches from the key-value store. Fast random
+//! access helps the store respond ... warming the slate cache." We
+//! pre-populate the store with a slate universe, then stream events with a
+//! cold cache whose capacity is a fraction of the working set, on an SSD
+//! vs. an HDD device profile, and measure hit rates and wall time.
+
+use std::sync::Arc;
+
+use muppet_core::event::Event;
+use muppet_core::operator::{Emitter, FnUpdater};
+use muppet_core::slate::Slate;
+use muppet_core::workflow::Workflow;
+use muppet_runtime::cache::FlushPolicy;
+use muppet_runtime::engine::{EngineConfig, EngineKind, OperatorSet};
+use muppet_slatestore::cluster::{StoreCluster, StoreConfig};
+use muppet_slatestore::device::DeviceProfile;
+use muppet_slatestore::types::CellKey;
+use muppet_slatestore::util::TempDir;
+
+use crate::harness::{keyed_events, run_engine};
+use crate::table::{rate, Table};
+use crate::Scale;
+
+fn workflow() -> Workflow {
+    let mut b = Workflow::builder("cache-probe");
+    b.external_stream("S1");
+    b.updater("U1", &["S1"]);
+    b.build().unwrap()
+}
+
+fn ops() -> OperatorSet {
+    OperatorSet::new().updater(FnUpdater::new(
+        "U1",
+        |_: &mut dyn Emitter, _: &Event, slate: &mut Slate| {
+            slate.incr_counter(1);
+        },
+    ))
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) {
+    super::banner("X6", "slate-cache sizing and SSD vs HDD store devices", "§4.2 (SSDs and caching slates)");
+    let keys = 2_000usize;
+    let n = scale.events(20_000);
+
+    let mut table = Table::new([
+        "device", "cache/working set", "hit rate", "store loads", "events/s", "store read time",
+    ]);
+    for &device in &[DeviceProfile::SSD, DeviceProfile::HDD] {
+        for &fraction in &[0.1f64, 0.5, 1.0] {
+            let dir = TempDir::new("x6").unwrap();
+            let store = Arc::new(
+                StoreCluster::open(
+                    dir.path(),
+                    StoreConfig { nodes: 1, replication: 1, device, ..Default::default() },
+                )
+                .unwrap(),
+            );
+            // Pre-populate the store: every key has a persisted slate, and
+            // it is flushed to SSTables (so reads pay device cost).
+            for k in 0..keys {
+                store
+                    .put(&CellKey::new(format!("key-{k:06}"), "U1"), b"100", None, k as u64)
+                    .unwrap();
+            }
+            store.flush_all(keys as u64 + 1).unwrap();
+            let io_before = store.io_stats();
+
+            let capacity = ((keys as f64) * fraction) as usize;
+            let cfg = EngineConfig {
+                kind: EngineKind::Muppet2,
+                machines: 1,
+                workers_per_machine: 2,
+                slate_cache_capacity: capacity.max(1),
+                flush: FlushPolicy::OnEvict,
+                queue_capacity: 1 << 16,
+                ..EngineConfig::default()
+            };
+            let events = keyed_events("S1", n, keys, 0.9, 4242);
+            let outcome = run_engine(workflow(), ops(), cfg, Some(Arc::clone(&store)), events);
+            let io = store.io_stats();
+            let c = outcome.stats.cache;
+            let hit_rate = c.hits as f64 / (c.hits + c.misses).max(1) as f64;
+            table.row([
+                device.name.to_string(),
+                format!("{:.0}%", fraction * 100.0),
+                format!("{:.1}%", hit_rate * 100.0),
+                c.store_loads.to_string(),
+                rate(n, outcome.elapsed),
+                format!("{:.1}ms", (io.service_us - io_before.service_us) as f64 / 1e3),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nshape check: hit rate rises with cache size; with a small cache the HDD run is\n\
+         dramatically slower than the SSD run (random-read-bound warmup, §4.2), while at\n\
+         cache ≥ working set the device barely matters."
+    );
+}

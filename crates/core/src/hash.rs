@@ -1,0 +1,178 @@
+//! Fast, deterministic hashing.
+//!
+//! Muppet routes every event by hashing ⟨event key, destination function⟩ to
+//! a worker (§4.1), and hashes again inside each machine to pick the
+//! primary/secondary queue (§4.5). Those hashes must be *stable across
+//! machines and runs* — all workers share one hash function so any worker
+//! can compute any event's destination without asking a master. The std
+//! `SipHash` with `RandomState` is per-process-seeded and therefore unusable
+//! here; we implement the Fx polynomial hash (as used by rustc) which is
+//! deterministic, very fast on short keys, and of adequate quality for
+//! load-spreading.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// Deterministic 64-bit Fx hash of a byte slice.
+#[inline]
+pub fn fx64(bytes: &[u8]) -> u64 {
+    let mut h = FxHasher64::default();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Deterministic 64-bit hash of two byte slices (e.g. key + operator name)
+/// with a length separator so `("ab","c")` and `("a","bc")` differ.
+#[inline]
+pub fn fx64_pair(a: &[u8], b: &[u8]) -> u64 {
+    let mut h = FxHasher64::default();
+    h.write(a);
+    h.write_u64(a.len() as u64);
+    h.write(b);
+    h.finish()
+}
+
+/// Fx hasher state. Implements [`Hasher`] so it can plug into std maps via
+/// [`FxBuildHasher`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher64 {
+    hash: u64,
+}
+
+impl FxHasher64 {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher64 {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fx's final multiply mixes *upward*: the low bits of the state are
+        // poorly distributed, and both the worker hash ring and the queue
+        // dispatcher bucket hashes with `% n`. Finalize with SplitMix64 so
+        // every bit is usable.
+        mix64(self.hash)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            // Mix in the remainder length so trailing zero bytes change the hash.
+            word[7] = rest.len() as u8;
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `BuildHasher` for std collections: `HashMap<K, V, FxBuildHasher>`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher64>;
+
+/// A `HashMap` keyed with the deterministic Fx hash.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with the deterministic Fx hash.
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Mix a 64-bit value (SplitMix64 finalizer). Used to derive independent
+/// hash points for ring virtual nodes and bloom filter probes.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(fx64(b"walmart"), fx64(b"walmart"));
+        assert_eq!(fx64_pair(b"k", b"U1"), fx64_pair(b"k", b"U1"));
+    }
+
+    #[test]
+    fn distinguishes_concat_ambiguity() {
+        assert_ne!(fx64_pair(b"ab", b"c"), fx64_pair(b"a", b"bc"));
+    }
+
+    #[test]
+    fn trailing_zeroes_change_hash() {
+        assert_ne!(fx64(b"a"), fx64(b"a\0"));
+        assert_ne!(fx64(b""), fx64(b"\0"));
+    }
+
+    #[test]
+    fn empty_input_hashes_to_default() {
+        assert_eq!(fx64(b""), 0);
+        // ... but writing zero-length via Hasher keeps the running state.
+        let mut h = FxHasher64::default();
+        h.write_u64(7);
+        let before = h.finish();
+        h.write(b"");
+        assert_eq!(h.finish(), before);
+    }
+
+    #[test]
+    fn spreads_sequential_keys() {
+        // Sanity: 10k sequential keys into 16 buckets stay within ±30% of
+        // the mean. Fx is not cryptographic; this guards against gross
+        // regressions only.
+        let mut buckets = [0u32; 16];
+        for i in 0..10_000u64 {
+            let k = format!("user-{i}");
+            buckets[(fx64(k.as_bytes()) % 16) as usize] += 1;
+        }
+        let mean = 10_000 / 16;
+        for &b in &buckets {
+            assert!((b as i64 - mean as i64).unsigned_abs() < mean as u64 * 3 / 10, "bucket {b} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn mix64_changes_all_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000u64 {
+            assert!(seen.insert(mix64(i)));
+        }
+    }
+
+    #[test]
+    fn fx_hash_map_usable() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        assert_eq!(m.get("a"), Some(&1));
+    }
+}

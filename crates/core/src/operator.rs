@@ -1,0 +1,261 @@
+//! Map and Update functions — the user-written code of a MapUpdate
+//! application, transliterated from the paper's Java interfaces
+//! (Appendix A, Figures 3 and 4).
+//!
+//! Both operator kinds subscribe to one or more streams and are fed events
+//! in increasing timestamp order. Both may publish new events. Only
+//! updaters receive a [`Slate`]. Implementations must be `Send + Sync`
+//! because Muppet 2.0 constructs each function once and shares it across
+//! every worker thread on the machine (§4.5).
+
+use bytes::Bytes;
+
+use crate::event::{EmitRecord, Event, Key, StreamId};
+use crate::slate::Slate;
+
+/// The event-publication context handed to operators — the analogue of the
+/// paper's `PerformerUtilities` submitter.
+///
+/// Output timestamps are assigned by the runtime as *input ts + 1*, which
+/// enforces §3's rule that "each output event has a timestamp greater than
+/// the timestamp of the input event" and keeps cyclic workflows
+/// well-defined. Operators only choose the destination stream, key, and
+/// payload.
+pub trait Emitter {
+    /// Publish an event to `stream` (cf. `submitter.publish("S_2", ...)` in
+    /// Figure 3). The runtime may reject unknown or external streams; such
+    /// errors surface when the executor processes the emission, not here.
+    fn publish(&mut self, stream: &str, key: Key, value: Vec<u8>);
+
+    /// Publish with a shared payload, avoiding a copy on fan-out.
+    fn publish_shared(&mut self, stream: &str, key: Key, value: Bytes);
+}
+
+/// A buffering [`Emitter`] that records emissions for the executor to admit
+/// afterwards. This is what both the reference executor and the runtime
+/// engines pass into operators.
+#[derive(Debug, Default)]
+pub struct VecEmitter {
+    records: Vec<EmitRecord>,
+}
+
+impl VecEmitter {
+    /// An empty emitter buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drain the buffered emissions.
+    pub fn take(&mut self) -> Vec<EmitRecord> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Number of buffered emissions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been published.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Reuse the allocation across events (hot path in the engines).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Borrow the buffered emissions without draining.
+    pub fn records(&self) -> &[EmitRecord] {
+        &self.records
+    }
+}
+
+impl Emitter for VecEmitter {
+    fn publish(&mut self, stream: &str, key: Key, value: Vec<u8>) {
+        self.records.push(EmitRecord { stream: StreamId::from(stream), key, value: Bytes::from(value) });
+    }
+
+    fn publish_shared(&mut self, stream: &str, key: Key, value: Bytes) {
+        self.records.push(EmitRecord { stream: StreamId::from(stream), key, value });
+    }
+}
+
+/// A map function: stateless, event in → zero or more events out (§3).
+///
+/// The Rust port of the paper's `Mapper` interface (Figure 3). `map` takes
+/// `&self` — Muppet 2.0 shares a single instance across threads, so any
+/// internal state must be synchronized (and the paper discourages operator
+/// state outside slates entirely).
+pub trait Mapper: Send + Sync + 'static {
+    /// Unique name of this map function within the application. Names
+    /// identify functions because the same implementation can be reused as
+    /// different functions (Appendix A).
+    fn name(&self) -> &str;
+
+    /// Process one event; publish outputs via `ctx`.
+    fn map(&self, ctx: &mut dyn Emitter, event: &Event);
+}
+
+/// An update function: stateful via its per-key [`Slate`] (§3).
+///
+/// The Rust port of the paper's `Updater` interface (Figure 4). When the
+/// slate for ⟨self, event.key⟩ does not exist yet (first event, or TTL
+/// expiry), `update` receives an empty slate and must initialize it.
+pub trait Updater: Send + Sync + 'static {
+    /// Unique name of this update function within the application.
+    fn name(&self) -> &str;
+
+    /// Process one event, mutating the slate for `event.key` and optionally
+    /// publishing new events.
+    fn update(&self, ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate);
+
+    /// Slate time-to-live in seconds; `None` means "forever" (the default,
+    /// §3). The runtime and the key-value store garbage-collect slates not
+    /// written for longer than this, resetting them to empty.
+    fn slate_ttl_secs(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Blanket adapters so closures can serve as quick mappers in tests and
+/// examples: `FnMapper::new("M1", |ctx, ev| ...)`.
+pub struct FnMapper<F> {
+    name: String,
+    f: F,
+}
+
+impl<F> FnMapper<F>
+where
+    F: Fn(&mut dyn Emitter, &Event) + Send + Sync + 'static,
+{
+    /// Wrap a closure as a named [`Mapper`].
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnMapper { name: name.into(), f }
+    }
+}
+
+impl<F> Mapper for FnMapper<F>
+where
+    F: Fn(&mut dyn Emitter, &Event) + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn map(&self, ctx: &mut dyn Emitter, event: &Event) {
+        (self.f)(ctx, event)
+    }
+}
+
+/// Closure adapter for updaters: `FnUpdater::new("U1", |ctx, ev, slate| ...)`.
+pub struct FnUpdater<F> {
+    name: String,
+    ttl_secs: Option<u64>,
+    f: F,
+}
+
+impl<F> FnUpdater<F>
+where
+    F: Fn(&mut dyn Emitter, &Event, &mut Slate) + Send + Sync + 'static,
+{
+    /// Wrap a closure as a named [`Updater`].
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        FnUpdater { name: name.into(), ttl_secs: None, f }
+    }
+
+    /// Set the slate TTL (seconds).
+    pub fn with_ttl_secs(mut self, secs: u64) -> Self {
+        self.ttl_secs = Some(secs);
+        self
+    }
+}
+
+impl<F> Updater for FnUpdater<F>
+where
+    F: Fn(&mut dyn Emitter, &Event, &mut Slate) + Send + Sync + 'static,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn update(&self, ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
+        (self.f)(ctx, event, slate)
+    }
+
+    fn slate_ttl_secs(&self) -> Option<u64> {
+        self.ttl_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_emitter_buffers_in_order() {
+        let mut em = VecEmitter::new();
+        assert!(em.is_empty());
+        em.publish("S2", Key::from("a"), b"1".to_vec());
+        em.publish_shared("S3", Key::from("b"), Bytes::from_static(b"2"));
+        assert_eq!(em.len(), 2);
+        let recs = em.take();
+        assert_eq!(recs[0].stream.as_str(), "S2");
+        assert_eq!(recs[0].key, Key::from("a"));
+        assert_eq!(recs[1].stream.as_str(), "S3");
+        assert_eq!(recs[1].value.as_ref(), b"2");
+        assert!(em.is_empty());
+    }
+
+    #[test]
+    fn fn_mapper_runs_closure() {
+        let m = FnMapper::new("M1", |ctx: &mut dyn Emitter, ev: &Event| {
+            ctx.publish("S2", ev.key.clone(), ev.value.to_vec());
+        });
+        assert_eq!(m.name(), "M1");
+        let mut em = VecEmitter::new();
+        let ev = Event::new("S1", 5, Key::from("k"), "v");
+        m.map(&mut em, &ev);
+        assert_eq!(em.records().len(), 1);
+        assert_eq!(em.records()[0].stream.as_str(), "S2");
+    }
+
+    #[test]
+    fn fn_updater_mutates_slate_and_reports_ttl() {
+        let u = FnUpdater::new("U1", |_ctx: &mut dyn Emitter, _ev: &Event, slate: &mut Slate| {
+            slate.incr_counter(1);
+        })
+        .with_ttl_secs(3600);
+        assert_eq!(u.name(), "U1");
+        assert_eq!(u.slate_ttl_secs(), Some(3600));
+        let mut em = VecEmitter::new();
+        let mut slate = Slate::empty();
+        let ev = Event::new("S2", 5, Key::from("walmart"), "checkin");
+        u.update(&mut em, &ev, &mut slate);
+        u.update(&mut em, &ev, &mut slate);
+        assert_eq!(slate.counter(), 2);
+        assert!(em.is_empty());
+    }
+
+    #[test]
+    fn operators_are_object_safe() {
+        // The engines hold `Arc<dyn Mapper>` / `Arc<dyn Updater>`.
+        let m: std::sync::Arc<dyn Mapper> =
+            std::sync::Arc::new(FnMapper::new("M", |_: &mut dyn Emitter, _: &Event| {}));
+        let u: std::sync::Arc<dyn Updater> =
+            std::sync::Arc::new(FnUpdater::new("U", |_: &mut dyn Emitter, _: &Event, _: &mut Slate| {}));
+        assert_eq!(m.name(), "M");
+        assert_eq!(u.name(), "U");
+        assert_eq!(u.slate_ttl_secs(), None);
+    }
+
+    #[test]
+    fn emitter_clear_reuses_buffer() {
+        let mut em = VecEmitter::new();
+        em.publish("S2", Key::from("a"), vec![1]);
+        em.clear();
+        assert!(em.is_empty());
+        em.publish("S2", Key::from("b"), vec![2]);
+        assert_eq!(em.len(), 1);
+    }
+}

@@ -1,0 +1,193 @@
+//! Slates — the "memories" of update functions.
+//!
+//! A slate is the in-memory data structure that "summarizes all events with
+//! key k that an update function U has seen so far" (§3). Each pair
+//! ⟨updater, key⟩ uniquely determines a slate. Slates are:
+//!
+//! * updated in place by the updater on every event with the key;
+//! * cached in the memory of the machine running the updater;
+//! * persisted (compressed) to the key-value store at row `k`, column `U`;
+//! * readable live over HTTP (§4.4);
+//! * subject to a per-updater time-to-live after which they reset to empty.
+//!
+//! Following the paper's Java API (Figure 4), the canonical representation
+//! is an opaque byte blob that the updater replaces wholesale
+//! (`replaceSlate`). Convenience accessors cover the common encodings the
+//! paper mentions: UTF-8 text counters and JSON objects.
+
+use bytes::Bytes;
+
+use crate::json::Json;
+
+/// A slate: the per-⟨updater, key⟩ summary blob, plus bookkeeping the
+/// runtime uses for cache/flush management.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Slate {
+    data: Vec<u8>,
+    /// Bumped on every mutation; lets caches detect dirtiness cheaply.
+    version: u64,
+}
+
+impl Slate {
+    /// A fresh, empty slate — what an updater receives "when [it] accesses a
+    /// slate associated with a key k for the first time" (§3). The updater
+    /// is responsible for initializing its variables.
+    pub fn empty() -> Self {
+        Slate::default()
+    }
+
+    /// Build a slate from raw bytes (e.g. loaded from the key-value store).
+    pub fn from_bytes(data: Vec<u8>) -> Self {
+        Slate { data, version: 0 }
+    }
+
+    /// True if no updater has written anything yet (or the slate expired).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The raw slate payload.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Byte length of the payload.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Payload as UTF-8 text, if valid. (Figure 4 stores a decimal counter
+    /// as text.)
+    pub fn as_str(&self) -> Option<&str> {
+        std::str::from_utf8(&self.data).ok()
+    }
+
+    /// Decode the payload as JSON — "our applications often use JSON to
+    /// encode slates for language independence and flexibility" (§4.2).
+    pub fn as_json(&self) -> Option<Json> {
+        if self.data.is_empty() {
+            return None;
+        }
+        Json::parse(std::str::from_utf8(&self.data).ok()?).ok()
+    }
+
+    /// Replace the entire payload — the `replaceSlate` call of Figure 4.
+    pub fn replace(&mut self, data: Vec<u8>) {
+        self.data = data;
+        self.version += 1;
+    }
+
+    /// Replace the payload with serialized JSON.
+    pub fn replace_json(&mut self, value: &Json) {
+        self.replace(value.to_string().into_bytes());
+    }
+
+    /// Reset to empty (TTL expiry / explicit deletion).
+    pub fn clear(&mut self) {
+        if !self.data.is_empty() {
+            self.data.clear();
+            self.version += 1;
+        }
+    }
+
+    /// Monotone mutation counter; equal versions ⟹ byte-identical payloads
+    /// for slates that share a lineage.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Clone the payload into a cheaply-shareable [`Bytes`] (used when
+    /// handing the slate to the store writer thread).
+    pub fn to_shared(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.data)
+    }
+
+    // --- typed counter helpers (the dominant slate shape in the paper's
+    // examples: checkin counts, topic counts per minute) ---
+
+    /// Read the payload as a decimal `u64` counter; 0 when empty/invalid
+    /// (mirrors Figure 4's `NumberFormatException` fallback).
+    pub fn counter(&self) -> u64 {
+        self.as_str().and_then(|s| s.trim().parse().ok()).unwrap_or(0)
+    }
+
+    /// Increment the decimal counter payload by `delta` and return the new
+    /// value.
+    pub fn incr_counter(&mut self, delta: u64) -> u64 {
+        let next = self.counter().saturating_add(delta);
+        self.replace(next.to_string().into_bytes());
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_slate_is_empty() {
+        let s = Slate::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.version(), 0);
+        assert_eq!(s.counter(), 0);
+        assert_eq!(s.as_json(), None);
+    }
+
+    #[test]
+    fn replace_bumps_version() {
+        let mut s = Slate::empty();
+        s.replace(b"17".to_vec());
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.as_str(), Some("17"));
+        s.replace(b"18".to_vec());
+        assert_eq!(s.version(), 2);
+    }
+
+    #[test]
+    fn counter_semantics_match_figure_4() {
+        // Figure 4: parse failure ⟹ count = 0, then ++count.
+        let mut s = Slate::from_bytes(b"not-a-number".to_vec());
+        assert_eq!(s.counter(), 0);
+        assert_eq!(s.incr_counter(1), 1);
+        assert_eq!(s.incr_counter(1), 2);
+        assert_eq!(s.as_str(), Some("2"));
+    }
+
+    #[test]
+    fn counter_saturates_instead_of_overflowing() {
+        let mut s = Slate::from_bytes(u64::MAX.to_string().into_bytes());
+        assert_eq!(s.incr_counter(5), u64::MAX);
+    }
+
+    #[test]
+    fn json_roundtrip_through_slate() {
+        let mut s = Slate::empty();
+        let v = Json::parse(r#"{"count": 3, "days": 2}"#).unwrap();
+        s.replace_json(&v);
+        let back = s.as_json().unwrap();
+        assert_eq!(back.get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(back.get("days").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn clear_only_bumps_version_when_nonempty() {
+        let mut s = Slate::empty();
+        s.clear();
+        assert_eq!(s.version(), 0);
+        s.replace(b"x".to_vec());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.version(), 2);
+    }
+
+    #[test]
+    fn from_bytes_preserves_payload() {
+        let s = Slate::from_bytes(vec![1, 2, 3]);
+        assert_eq!(s.bytes(), &[1, 2, 3]);
+        // Invalid UTF-8 payloads read as None:
+        let t = Slate::from_bytes(vec![0xff, 0xfe]);
+        assert_eq!(t.as_str(), None);
+        assert_eq!(s.to_shared().as_ref(), &[1, 2, 3]);
+    }
+}

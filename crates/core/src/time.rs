@@ -1,0 +1,128 @@
+//! Timestamps and clocks.
+//!
+//! The paper assumes timestamps are *global across all streams* so merged
+//! streams have a well-defined order (§3). We represent them as logical
+//! microseconds since an arbitrary epoch. Wall-clock anchoring is up to the
+//! feed; the synthetic generators use a [`VirtualClock`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Logical microseconds since an arbitrary epoch, global across streams.
+pub type Timestamp = u64;
+
+/// Microseconds per second, for rate arithmetic.
+pub const MICROS_PER_SEC: u64 = 1_000_000;
+
+/// Microseconds per minute.
+pub const MICROS_PER_MIN: u64 = 60 * MICROS_PER_SEC;
+
+/// Microseconds per day.
+pub const MICROS_PER_DAY: u64 = 24 * 60 * MICROS_PER_MIN;
+
+/// Minute-of-day in `0..1440` for a timestamp, as used by the hot-topics
+/// workflow of Example 5 ("if the timestamp is 23:59 then m = 1439").
+#[inline]
+pub fn minute_of_day(ts: Timestamp) -> u32 {
+    ((ts % MICROS_PER_DAY) / MICROS_PER_MIN) as u32
+}
+
+/// Day index since the epoch, used by Example 5's `days` slate variable.
+#[inline]
+pub fn day_index(ts: Timestamp) -> u64 {
+    ts / MICROS_PER_DAY
+}
+
+/// A monotonically increasing shared logical clock.
+///
+/// Generators advance it as they emit events; multiple generator threads may
+/// share one clock so the merged feed still has (mostly) increasing
+/// timestamps. `tick` returns strictly increasing values.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    micros: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock starting at `start` microseconds.
+    pub fn starting_at(start: Timestamp) -> Self {
+        Self { micros: AtomicU64::new(start) }
+    }
+
+    /// Current reading without advancing.
+    pub fn now(&self) -> Timestamp {
+        self.micros.load(Ordering::Relaxed)
+    }
+
+    /// Advance by `delta` microseconds and return the *new* time.
+    pub fn advance(&self, delta: u64) -> Timestamp {
+        self.micros.fetch_add(delta, Ordering::Relaxed) + delta
+    }
+
+    /// Return a strictly increasing timestamp (advances by 1 µs).
+    pub fn tick(&self) -> Timestamp {
+        self.advance(1)
+    }
+
+    /// Move the clock forward to at least `ts` (no-op if already past).
+    pub fn advance_to(&self, ts: Timestamp) {
+        self.micros.fetch_max(ts, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minute_of_day_matches_paper_examples() {
+        // "if the timestamp is 00:14 then m = 14"
+        assert_eq!(minute_of_day(14 * MICROS_PER_MIN), 14);
+        // "if the timestamp is 23:59 then m = 1439"
+        assert_eq!(minute_of_day(23 * 60 * MICROS_PER_MIN + 59 * MICROS_PER_MIN), 1439);
+        // Wraps to next day.
+        assert_eq!(minute_of_day(MICROS_PER_DAY + 14 * MICROS_PER_MIN), 14);
+    }
+
+    #[test]
+    fn day_index_increments_per_day() {
+        assert_eq!(day_index(0), 0);
+        assert_eq!(day_index(MICROS_PER_DAY - 1), 0);
+        assert_eq!(day_index(MICROS_PER_DAY), 1);
+        assert_eq!(day_index(10 * MICROS_PER_DAY + 5), 10);
+    }
+
+    #[test]
+    fn virtual_clock_ticks_strictly_increase() {
+        let clock = VirtualClock::starting_at(100);
+        let a = clock.tick();
+        let b = clock.tick();
+        assert!(b > a);
+        assert!(a > 100 - 1);
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let clock = VirtualClock::starting_at(500);
+        clock.advance_to(300);
+        assert_eq!(clock.now(), 500);
+        clock.advance_to(900);
+        assert_eq!(clock.now(), 900);
+    }
+
+    #[test]
+    fn concurrent_ticks_are_unique() {
+        use std::sync::Arc;
+        let clock = Arc::new(VirtualClock::default());
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = Arc::clone(&clock);
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 4000, "ticks must be unique across threads");
+    }
+}

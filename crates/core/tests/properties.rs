@@ -1,0 +1,214 @@
+//! Property-based tests for the muppet-core primitives.
+
+use muppet_core::codec;
+use muppet_core::event::{Event, Key};
+use muppet_core::json::Json;
+use muppet_core::operator::{Emitter, FnMapper, FnUpdater};
+use muppet_core::reference::ReferenceExecutor;
+use muppet_core::slate::Slate;
+use muppet_core::workflow::Workflow;
+use proptest::prelude::*;
+
+// ---------- codec ----------
+
+proptest! {
+    #[test]
+    fn varint_roundtrips(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        codec::put_varint(&mut buf, v);
+        let (got, n) = codec::get_varint(&buf).unwrap();
+        prop_assert_eq!(got, v);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn varint_encoding_is_minimal_and_ordered_by_length(a in any::<u64>(), b in any::<u64>()) {
+        let mut ba = Vec::new();
+        let mut bb = Vec::new();
+        codec::put_varint(&mut ba, a);
+        codec::put_varint(&mut bb, b);
+        if a <= b {
+            prop_assert!(ba.len() <= bb.len());
+        }
+    }
+
+    #[test]
+    fn len_prefixed_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut buf = Vec::new();
+        codec::put_len_prefixed(&mut buf, &data);
+        let (got, n) = codec::get_len_prefixed(&buf).unwrap();
+        prop_assert_eq!(got, &data[..]);
+        prop_assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn concatenated_records_parse_back(chunks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..64), 0..20)) {
+        let mut buf = Vec::new();
+        for c in &chunks {
+            codec::put_len_prefixed(&mut buf, c);
+        }
+        let mut rest: &[u8] = &buf;
+        let mut out = Vec::new();
+        while !rest.is_empty() {
+            let (bytes, n) = codec::get_len_prefixed(rest).unwrap();
+            out.push(bytes.to_vec());
+            rest = &rest[n..];
+        }
+        prop_assert_eq!(out, chunks);
+    }
+
+    #[test]
+    fn crc_differs_on_any_single_bitflip(data in proptest::collection::vec(any::<u8>(), 1..256),
+                                         bit in any::<usize>()) {
+        let base = codec::crc32c(&data);
+        let mut flipped = data.clone();
+        let idx = bit % (data.len() * 8);
+        flipped[idx / 8] ^= 1 << (idx % 8);
+        prop_assert_ne!(codec::crc32c(&flipped), base);
+    }
+}
+
+// ---------- JSON ----------
+
+fn arb_json(depth: u32) -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool),
+        // Finite, non-extreme doubles: the serializer maps non-finite to null.
+        (-1.0e12f64..1.0e12).prop_map(Json::Num),
+        any::<i32>().prop_map(|n| Json::Num(n as f64)),
+        "[a-zA-Z0-9 _\\-\"\\\\/\n\t\u{e9}\u{1F600}]{0,24}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(depth, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Json::Arr),
+            proptest::collection::vec(("[a-z]{1,8}", inner), 0..6)
+                .prop_map(|pairs| Json::Obj(pairs.into_iter().collect())),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_compact_roundtrips(v in arb_json(4)) {
+        let text = v.to_compact();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(&back, &v, "text: {}", text);
+    }
+
+    #[test]
+    fn json_pretty_roundtrips(v in arb_json(3)) {
+        let text = v.to_pretty();
+        let back = Json::parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_serialization_is_deterministic(v in arb_json(3)) {
+        prop_assert_eq!(v.to_compact(), v.to_compact());
+    }
+
+    #[test]
+    fn json_parser_never_panics_on_garbage(text in "\\PC{0,64}") {
+        let _ = Json::parse(&text);
+    }
+
+    #[test]
+    fn json_parser_never_panics_on_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Json::parse_bytes(&bytes);
+    }
+}
+
+// ---------- events & slates ----------
+
+proptest! {
+    #[test]
+    fn event_order_is_total_and_consistent(
+        ts1 in 0u64..1000, seq1 in 0u64..1000,
+        ts2 in 0u64..1000, seq2 in 0u64..1000,
+    ) {
+        let mut a = Event::new("S", ts1, Key::from("k"), "");
+        a.seq = seq1;
+        let mut b = Event::new("S", ts2, Key::from("k"), "");
+        b.seq = seq2;
+        let cmp = a.order().cmp(&b.order());
+        prop_assert_eq!(b.order().cmp(&a.order()), cmp.reverse());
+        if ts1 < ts2 {
+            prop_assert_eq!(cmp, std::cmp::Ordering::Less, "ts dominates");
+        }
+    }
+
+    #[test]
+    fn slate_counter_accumulates(increments in proptest::collection::vec(1u64..100, 0..50)) {
+        let mut s = Slate::empty();
+        let mut expect = 0u64;
+        for inc in &increments {
+            expect += inc;
+            prop_assert_eq!(s.incr_counter(*inc), expect);
+        }
+        prop_assert_eq!(s.counter(), expect);
+        prop_assert_eq!(s.version(), increments.len() as u64);
+    }
+
+    #[test]
+    fn key_route_hash_is_stable_and_operator_sensitive(key in "[a-z0-9]{1,16}") {
+        let k = Key::from(key.as_str());
+        prop_assert_eq!(k.route_hash("U1"), k.route_hash("U1"));
+        prop_assert_ne!(k.route_hash("U1"), k.route_hash("U2"));
+    }
+}
+
+// ---------- reference executor determinism ----------
+
+fn count_workflow() -> Workflow {
+    let mut b = Workflow::builder("prop-count");
+    b.external_stream("S1");
+    b.mapper_publishing("M1", &["S1"], &["S2"]);
+    b.updater("U1", &["S2"]);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For arbitrary key/timestamp sequences, the reference executor's
+    /// per-key counts equal a straightforward HashMap count, and repeated
+    /// runs are identical (determinism).
+    #[test]
+    fn reference_counts_match_model(
+        events in proptest::collection::vec(("[a-e]", 0u64..50), 1..200)
+    ) {
+        let run = |events: &[(String, u64)]| {
+            let wf = count_workflow();
+            let mut exec = ReferenceExecutor::new(&wf);
+            exec.register_mapper(FnMapper::new("M1", |ctx: &mut dyn Emitter, ev: &Event| {
+                ctx.publish("S2", ev.key.clone(), ev.value.to_vec());
+            }));
+            exec.register_updater(FnUpdater::new(
+                "U1",
+                |_: &mut dyn Emitter, _: &Event, slate: &mut Slate| {
+                    slate.incr_counter(1);
+                },
+            ));
+            for (key, ts) in events {
+                exec.push_external("S1", Event::new("S1", *ts, Key::from(key.as_str()), ""));
+            }
+            exec.run_to_completion().unwrap();
+            exec.slates_of("U1")
+                .into_iter()
+                .map(|(k, s)| (k.as_str().unwrap().to_string(), s.counter()))
+                .collect::<Vec<_>>()
+        };
+        let got = run(&events);
+        let again = run(&events);
+        prop_assert_eq!(&got, &again, "two runs must be identical");
+
+        let mut model: std::collections::BTreeMap<String, u64> = Default::default();
+        for (key, _) in &events {
+            *model.entry(key.clone()).or_default() += 1;
+        }
+        let model: Vec<(String, u64)> = model.into_iter().collect();
+        prop_assert_eq!(got, model);
+    }
+}

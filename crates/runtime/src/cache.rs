@@ -1,0 +1,528 @@
+//! Slate caches (§4.2).
+//!
+//! "These slates are cached in the memory of the machine running U" and
+//! persisted to the key-value store with a configurable flush policy
+//! "ranging from 'immediate write-through' to 'only when evicted from
+//! cache'". Muppet 2.0 keeps "all slates ... in a single 'central' slate
+//! cache" per machine; Muppet 1.0 fragments the same budget across
+//! per-worker caches (§4.5) — both are instances of this type, differing
+//! only in how many instances a machine owns and their capacity.
+//!
+//! Concurrency model: the cache hands out `Arc<SlateSlot>`s; workers lock a
+//! slot's state while running the update function. Two-choice dispatch
+//! bounds contention on any slot to two workers (§4.5).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use muppet_core::event::Key;
+use muppet_core::slate::Slate;
+use muppet_core::workflow::OpId;
+use muppet_slatestore::cluster::StoreCluster;
+use muppet_slatestore::types::CellKey;
+use parking_lot::Mutex;
+
+use crate::lru::LruMap;
+
+/// When dirty slates reach the key-value store (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushPolicy {
+    /// Every slate mutation writes to the store before the worker moves on.
+    WriteThrough,
+    /// A background flusher sweeps dirty slates every `ms` milliseconds
+    /// ("a thread to provide background I/O to the durable key-value
+    /// store", §4.5).
+    IntervalMs(u64),
+    /// Slates reach the store only when evicted (maximum write coalescing,
+    /// maximum crash loss).
+    OnEvict,
+}
+
+impl Default for FlushPolicy {
+    fn default() -> Self {
+        FlushPolicy::IntervalMs(100)
+    }
+}
+
+/// Where cache misses load from and flushes write to. Implemented by the
+/// slate-store cluster; tests may substitute an in-memory backend.
+pub trait SlateBackend: Send + Sync + 'static {
+    /// Load the persisted slate bytes for ⟨updater, key⟩, if any.
+    fn load(&self, updater: &str, key: &Key, now_us: u64) -> Option<Vec<u8>>;
+    /// Persist the slate bytes for ⟨updater, key⟩.
+    fn store(&self, updater: &str, key: &Key, bytes: &[u8], ttl_secs: Option<u64>, now_us: u64);
+}
+
+/// Backend that drops writes and never finds anything — engines without an
+/// attached store use this.
+#[derive(Debug, Default)]
+pub struct NullBackend;
+
+impl SlateBackend for NullBackend {
+    fn load(&self, _updater: &str, _key: &Key, _now_us: u64) -> Option<Vec<u8>> {
+        None
+    }
+    fn store(&self, _updater: &str, _key: &Key, _bytes: &[u8], _ttl: Option<u64>, _now_us: u64) {}
+}
+
+impl SlateBackend for StoreCluster {
+    fn load(&self, updater: &str, key: &Key, now_us: u64) -> Option<Vec<u8>> {
+        let cell_key = CellKey::new(key.as_bytes(), updater.as_bytes());
+        // Quorum failures surface as cache misses: the paper's posture is
+        // availability-first on the read path.
+        self.get(&cell_key, now_us).ok().flatten().map(|b| b.to_vec())
+    }
+
+    fn store(&self, updater: &str, key: &Key, bytes: &[u8], ttl_secs: Option<u64>, now_us: u64) {
+        let cell_key = CellKey::new(key.as_bytes(), updater.as_bytes());
+        // Write failures are likewise absorbed; the dirty slate stays dirty
+        // and a later flush retries.
+        let _ = self.put(&cell_key, bytes, ttl_secs, now_us);
+    }
+}
+
+/// Mutable slate state guarded by the slot lock.
+#[derive(Debug)]
+pub struct SlateState {
+    /// The live slate.
+    pub slate: Slate,
+    /// Version already persisted; `slate.version() > flushed_version` ⟹
+    /// dirty.
+    pub flushed_version: u64,
+    /// Engine-relative µs of the last updater write (drives TTL reset).
+    pub last_write_us: u64,
+}
+
+impl SlateState {
+    /// Whether the slate has unpersisted changes.
+    pub fn dirty(&self) -> bool {
+        self.slate.version() > self.flushed_version
+    }
+}
+
+/// One cached slate: identity + lockable state.
+#[derive(Debug)]
+pub struct SlateSlot {
+    /// The update function's name (store column).
+    pub updater: Arc<str>,
+    /// The event key (store row).
+    pub key: Key,
+    /// TTL configured for this updater's slates.
+    pub ttl_secs: Option<u64>,
+    /// Lockable state; workers hold this lock while updating.
+    pub state: Mutex<SlateState>,
+}
+
+/// Cache statistics (atomic; cheap to snapshot).
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    store_loads: AtomicU64,
+    evictions: AtomicU64,
+    flush_writes: AtomicU64,
+    ttl_resets: AtomicU64,
+}
+
+/// Snapshot of [`CacheCounters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from memory.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Misses that found a persisted slate in the store.
+    pub store_loads: u64,
+    /// Slates evicted for capacity.
+    pub evictions: u64,
+    /// Writes issued to the backend.
+    pub flush_writes: u64,
+    /// Slates reset because their TTL lapsed.
+    pub ttl_resets: u64,
+    /// Live entries.
+    pub entries: u64,
+    /// Dirty entries (unpersisted).
+    pub dirty: u64,
+}
+
+/// An LRU slate cache bound to a backend.
+pub struct SlateCache {
+    map: Mutex<LruMap<(OpId, Key), Arc<SlateSlot>>>,
+    capacity: usize,
+    policy: FlushPolicy,
+    backend: Arc<dyn SlateBackend>,
+    counters: CacheCounters,
+}
+
+impl std::fmt::Debug for SlateCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlateCache")
+            .field("capacity", &self.capacity)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl SlateCache {
+    /// A cache holding up to `capacity` slates.
+    pub fn new(capacity: usize, policy: FlushPolicy, backend: Arc<dyn SlateBackend>) -> Self {
+        SlateCache {
+            map: Mutex::new(LruMap::new()),
+            capacity: capacity.max(1),
+            policy,
+            backend,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// The flush policy.
+    pub fn policy(&self) -> FlushPolicy {
+        self.policy
+    }
+
+    /// Fetch (or create) the slot for ⟨updater `op`, `key`⟩. On a miss the
+    /// backend is consulted ("Muppet retrieves the slate from the Cassandra
+    /// cluster", §4.2); if nothing is stored the slot starts empty and the
+    /// update function initializes it. Cached slates whose TTL lapsed reset
+    /// to empty ("resetting to an empty slate at that time").
+    pub fn get_or_load(
+        &self,
+        op: OpId,
+        updater: &Arc<str>,
+        key: &Key,
+        ttl_secs: Option<u64>,
+        now_us: u64,
+    ) -> Arc<SlateSlot> {
+        let mut evicted: Vec<Arc<SlateSlot>> = Vec::new();
+        let slot = {
+            let mut map = self.map.lock();
+            if let Some(slot) = map.get(&(op, key.clone())) {
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                let slot = Arc::clone(slot);
+                drop(map);
+                self.maybe_ttl_reset(&slot, now_us);
+                return slot;
+            }
+            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            let loaded = self.backend.load(updater, key, now_us);
+            if loaded.is_some() {
+                self.counters.store_loads.fetch_add(1, Ordering::Relaxed);
+            }
+            let slate = loaded.map(Slate::from_bytes).unwrap_or_default();
+            let flushed_version = slate.version();
+            let slot = Arc::new(SlateSlot {
+                updater: Arc::clone(updater),
+                key: key.clone(),
+                ttl_secs,
+                state: Mutex::new(SlateState { slate, flushed_version, last_write_us: now_us }),
+            });
+            map.insert((op, key.clone()), Arc::clone(&slot));
+            // Evict beyond capacity. `pop_lru` moves the map's reference
+            // out, so an unborrowed victim has strong_count == 1; anything
+            // higher means a worker (or the local `slot` binding, for the
+            // entry we just inserted) still holds it — skip those and
+            // reinsert, bounded so a fully-borrowed cache cannot spin.
+            let mut skipped: Vec<((OpId, Key), Arc<SlateSlot>)> = Vec::new();
+            let max_skips = map.len();
+            while map.len() > self.capacity && skipped.len() < max_skips {
+                let Some((k, victim)) = map.pop_lru() else { break };
+                if Arc::strong_count(&victim) > 1 {
+                    skipped.push((k, victim));
+                    continue;
+                }
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted.push(victim);
+            }
+            for (k, v) in skipped {
+                map.insert(k, v); // reinsert as MRU; retry next time
+            }
+            slot
+        };
+        // Flush dirty evictees outside the map lock.
+        for victim in evicted {
+            self.flush_slot(&victim, now_us);
+        }
+        slot
+    }
+
+    fn maybe_ttl_reset(&self, slot: &Arc<SlateSlot>, now_us: u64) {
+        let Some(ttl) = slot.ttl_secs else { return };
+        let mut state = slot.state.lock();
+        if !state.slate.is_empty() && now_us.saturating_sub(state.last_write_us) > ttl.saturating_mul(1_000_000)
+        {
+            state.slate.clear();
+            state.flushed_version = state.slate.version();
+            self.counters.ttl_resets.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a completed updater write on `slot`; under write-through this
+    /// persists immediately.
+    pub fn note_write(&self, slot: &SlateSlot, state: &mut SlateState, now_us: u64) {
+        state.last_write_us = now_us;
+        if self.policy == FlushPolicy::WriteThrough && state.dirty() {
+            self.backend.store(&slot.updater, &slot.key, state.slate.bytes(), slot.ttl_secs, now_us);
+            state.flushed_version = state.slate.version();
+            self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn flush_slot(&self, slot: &SlateSlot, now_us: u64) {
+        let mut state = slot.state.lock();
+        if state.dirty() {
+            self.backend.store(&slot.updater, &slot.key, state.slate.bytes(), slot.ttl_secs, now_us);
+            state.flushed_version = state.slate.version();
+            self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Flush every dirty slate (background flusher tick / graceful
+    /// shutdown). Returns the number of slates written.
+    pub fn flush_dirty(&self, now_us: u64) -> u64 {
+        let slots: Vec<Arc<SlateSlot>> =
+            self.map.lock().iter().map(|(_, slot)| Arc::clone(slot)).collect();
+        let before = self.counters.flush_writes.load(Ordering::Relaxed);
+        for slot in slots {
+            self.flush_slot(&slot, now_us);
+        }
+        self.counters.flush_writes.load(Ordering::Relaxed) - before
+    }
+
+    /// Read a slate's current bytes without creating it (HTTP reads, §4.4:
+    /// "the fetch retrieves the slate from Muppet's slate cache ... to
+    /// ensure an up-to-date reply").
+    pub fn read(&self, op: OpId, key: &Key) -> Option<Vec<u8>> {
+        let slot = {
+            let map = self.map.lock();
+            map.peek(&(op, key.clone())).map(Arc::clone)
+        }?;
+        let state = slot.state.lock();
+        if state.slate.is_empty() {
+            None
+        } else {
+            Some(state.slate.bytes().to_vec())
+        }
+    }
+
+    /// Keys currently cached for updater `op` (bulk reads / debugging).
+    pub fn keys_of(&self, op: OpId) -> Vec<Key> {
+        self.map
+            .lock()
+            .iter()
+            .filter(|((o, _), _)| *o == op)
+            .map(|((_, k), _)| k.clone())
+            .collect()
+    }
+
+    /// Number of dirty slates that would be lost if this machine crashed
+    /// right now (§4.3: "whatever changes ... not yet been flushed to the
+    /// key-value store are lost").
+    pub fn dirty_count(&self) -> u64 {
+        let slots: Vec<Arc<SlateSlot>> =
+            self.map.lock().iter().map(|(_, slot)| Arc::clone(slot)).collect();
+        slots.iter().filter(|s| s.state.lock().dirty()).count() as u64
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> CacheStats {
+        // Take the map lock exactly once: a `self.map.lock()` temporary
+        // inside the struct literal would live to the end of the statement
+        // and deadlock against `dirty_count()`'s own lock.
+        let entries = self.map.lock().len() as u64;
+        let dirty = self.dirty_count();
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            store_loads: self.counters.store_loads.load(Ordering::Relaxed),
+            evictions: self.counters.evictions.load(Ordering::Relaxed),
+            flush_writes: self.counters.flush_writes.load(Ordering::Relaxed),
+            ttl_resets: self.counters.ttl_resets.load(Ordering::Relaxed),
+            entries,
+            dirty,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::RwLock;
+    use std::collections::HashMap;
+
+    /// In-memory backend recording stores.
+    #[derive(Debug, Default)]
+    struct MemBackend {
+        data: RwLock<HashMap<(String, Key), Vec<u8>>>,
+        stores: AtomicU64,
+    }
+
+    impl SlateBackend for MemBackend {
+        fn load(&self, updater: &str, key: &Key, _now: u64) -> Option<Vec<u8>> {
+            self.data.read().get(&(updater.to_string(), key.clone())).cloned()
+        }
+        fn store(&self, updater: &str, key: &Key, bytes: &[u8], _ttl: Option<u64>, _now: u64) {
+            self.stores.fetch_add(1, Ordering::Relaxed);
+            self.data.write().insert((updater.to_string(), key.clone()), bytes.to_vec());
+        }
+    }
+
+    fn updater_name() -> Arc<str> {
+        Arc::from("U1")
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let backend = Arc::new(MemBackend::default());
+        let cache = SlateCache::new(10, FlushPolicy::OnEvict, backend);
+        let name = updater_name();
+        let k = Key::from("walmart");
+        let slot = cache.get_or_load(0, &name, &k, None, 0);
+        assert!(slot.state.lock().slate.is_empty(), "fresh slate starts empty");
+        let again = cache.get_or_load(0, &name, &k, None, 1);
+        assert!(Arc::ptr_eq(&slot, &again));
+        let s = cache.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.entries, 1);
+    }
+
+    #[test]
+    fn write_through_persists_immediately() {
+        let backend = Arc::new(MemBackend::default());
+        let cache = SlateCache::new(10, FlushPolicy::WriteThrough, Arc::clone(&backend) as _);
+        let name = updater_name();
+        let k = Key::from("k");
+        let slot = cache.get_or_load(0, &name, &k, None, 0);
+        {
+            let mut state = slot.state.lock();
+            state.slate.replace(b"5".to_vec());
+            cache.note_write(&slot, &mut state, 10);
+            assert!(!state.dirty());
+        }
+        assert_eq!(backend.load("U1", &k, 0), Some(b"5".to_vec()));
+        assert_eq!(cache.stats().flush_writes, 1);
+    }
+
+    #[test]
+    fn interval_policy_leaves_dirty_until_flush() {
+        let backend = Arc::new(MemBackend::default());
+        let cache = SlateCache::new(10, FlushPolicy::IntervalMs(100), Arc::clone(&backend) as _);
+        let name = updater_name();
+        let k = Key::from("k");
+        let slot = cache.get_or_load(0, &name, &k, None, 0);
+        {
+            let mut state = slot.state.lock();
+            state.slate.replace(b"7".to_vec());
+            cache.note_write(&slot, &mut state, 10);
+            assert!(state.dirty(), "interval policy defers the write");
+        }
+        assert_eq!(cache.dirty_count(), 1);
+        assert_eq!(backend.load("U1", &k, 0), None);
+        assert_eq!(cache.flush_dirty(20), 1);
+        assert_eq!(backend.load("U1", &k, 0), Some(b"7".to_vec()));
+        assert_eq!(cache.dirty_count(), 0);
+        // Re-flush with no new writes is a no-op.
+        assert_eq!(cache.flush_dirty(30), 0);
+    }
+
+    #[test]
+    fn eviction_flushes_dirty_victims() {
+        let backend = Arc::new(MemBackend::default());
+        let cache = SlateCache::new(2, FlushPolicy::OnEvict, Arc::clone(&backend) as _);
+        let name = updater_name();
+        for i in 0..5 {
+            let k = Key::from(format!("k{i}"));
+            let slot = cache.get_or_load(0, &name, &k, None, i);
+            let mut state = slot.state.lock();
+            state.slate.replace(format!("v{i}").into_bytes());
+            cache.note_write(&slot, &mut state, i);
+        }
+        let s = cache.stats();
+        assert!(s.evictions >= 3, "capacity 2 with 5 inserts evicts ≥3: {s:?}");
+        assert!(s.flush_writes >= 3, "dirty victims must be persisted");
+        // The evicted slates are in the store, reloadable.
+        let k0 = Key::from("k0");
+        let slot = cache.get_or_load(0, &name, &k0, None, 100);
+        assert_eq!(slot.state.lock().slate.bytes(), b"v0");
+        assert_eq!(cache.stats().store_loads, 1);
+    }
+
+    #[test]
+    fn store_loads_resume_counters() {
+        // §4.2: restart warms the cache from the store.
+        let backend = Arc::new(MemBackend::default());
+        backend.store("U1", &Key::from("persisted"), b"42", None, 0);
+        let cache = SlateCache::new(10, FlushPolicy::OnEvict, Arc::clone(&backend) as _);
+        let slot = cache.get_or_load(0, &updater_name(), &Key::from("persisted"), None, 0);
+        assert_eq!(slot.state.lock().slate.counter(), 42);
+        assert_eq!(cache.stats().store_loads, 1);
+    }
+
+    #[test]
+    fn ttl_resets_idle_cached_slates() {
+        let cache = SlateCache::new(10, FlushPolicy::OnEvict, Arc::new(NullBackend));
+        let name = updater_name();
+        let k = Key::from("idle");
+        let slot = cache.get_or_load(0, &name, &k, Some(1), 0);
+        {
+            let mut state = slot.state.lock();
+            state.slate.replace(b"data".to_vec());
+            cache.note_write(&slot, &mut state, 0);
+        }
+        // 0.5s later: still live.
+        cache.get_or_load(0, &name, &k, Some(1), 500_000);
+        assert!(!slot.state.lock().slate.is_empty());
+        // 2s later: reset to empty.
+        cache.get_or_load(0, &name, &k, Some(1), 2_000_001);
+        assert!(slot.state.lock().slate.is_empty(), "TTL lapse resets the slate (§4.2)");
+        assert_eq!(cache.stats().ttl_resets, 1);
+    }
+
+    #[test]
+    fn read_returns_bytes_without_creating() {
+        let cache = SlateCache::new(10, FlushPolicy::OnEvict, Arc::new(NullBackend));
+        let name = updater_name();
+        assert_eq!(cache.read(0, &Key::from("nope")), None);
+        assert_eq!(cache.stats().entries, 0, "read must not allocate slots");
+        let slot = cache.get_or_load(0, &name, &Key::from("k"), None, 0);
+        assert_eq!(cache.read(0, &Key::from("k")), None, "empty slate reads as None");
+        slot.state.lock().slate.replace(b"live".to_vec());
+        assert_eq!(cache.read(0, &Key::from("k")), Some(b"live".to_vec()));
+    }
+
+    #[test]
+    fn distinct_updaters_have_distinct_slots() {
+        let cache = SlateCache::new(10, FlushPolicy::OnEvict, Arc::new(NullBackend));
+        let k = Key::from("shared-key");
+        let a = cache.get_or_load(0, &Arc::from("U1"), &k, None, 0);
+        let b = cache.get_or_load(1, &Arc::from("U2"), &k, None, 0);
+        assert!(!Arc::ptr_eq(&a, &b), "⟨updater, key⟩ identifies a slate (§3)");
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn keys_of_filters_by_updater() {
+        let cache = SlateCache::new(10, FlushPolicy::OnEvict, Arc::new(NullBackend));
+        cache.get_or_load(0, &Arc::from("U1"), &Key::from("a"), None, 0);
+        cache.get_or_load(0, &Arc::from("U1"), &Key::from("b"), None, 0);
+        cache.get_or_load(1, &Arc::from("U2"), &Key::from("c"), None, 0);
+        let mut keys = cache.keys_of(0);
+        keys.sort();
+        assert_eq!(keys, vec![Key::from("a"), Key::from("b")]);
+    }
+
+    #[test]
+    fn borrowed_slots_survive_eviction_pressure() {
+        let cache = SlateCache::new(1, FlushPolicy::OnEvict, Arc::new(NullBackend));
+        let name = updater_name();
+        let hot = cache.get_or_load(0, &name, &Key::from("hot"), None, 0);
+        hot.state.lock().slate.replace(b"precious".to_vec());
+        // Insert more entries while `hot` is still borrowed (we hold an Arc).
+        for i in 0..5 {
+            cache.get_or_load(0, &name, &Key::from(format!("cold{i}")), None, i);
+        }
+        // The borrowed slot is still reachable and intact.
+        let again = cache.get_or_load(0, &name, &Key::from("hot"), None, 100);
+        assert_eq!(again.state.lock().slate.bytes(), b"precious");
+    }
+}

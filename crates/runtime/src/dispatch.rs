@@ -1,0 +1,214 @@
+//! Two-choice queue dispatch — the core Muppet 2.0 scheduling idea (§4.5).
+//!
+//! > "When an event arrives at the machine, it is hashed by event key and
+//! > destination updater function into a primary event queue and a
+//! > secondary event queue. If the thread for either queue is already
+//! > processing this event key for this update function, then the event is
+//! > placed in the corresponding queue. Otherwise, the event is placed in
+//! > the primary queue unless the secondary queue is significantly shorter,
+//! > in which case the event is placed in the secondary queue instead."
+//!
+//! Consequences the paper calls out, which tests below assert:
+//! * an event considers at most **two** queues (bounded lock contention);
+//! * events of one ⟨key, updater⟩ never scatter beyond two threads, so
+//!   slate contention is **limited to at most two workers per slate**;
+//! * a hot primary queue sheds load to the secondary.
+//!
+//! The decision function is pure: engines feed it hashes, racy length
+//! hints, and the per-thread in-flight route markers.
+
+/// Identifies a route: the hash of ⟨event key, destination function⟩.
+/// Threads advertise the route they are currently processing.
+pub type RouteHash = u64;
+
+/// The primary and secondary queue indices for a route on a machine with
+/// `threads` workers. Distinct whenever `threads > 1`.
+#[inline]
+pub fn queue_pair(route: RouteHash, threads: usize) -> (usize, usize) {
+    debug_assert!(threads > 0);
+    let primary = (route % threads as u64) as usize;
+    if threads == 1 {
+        return (0, 0);
+    }
+    // Derive the secondary from independent bits; shift to the next slot if
+    // it collides with the primary.
+    let mut secondary = ((route >> 32) % threads as u64) as usize;
+    if secondary == primary {
+        secondary = (secondary + 1) % threads;
+    }
+    (primary, secondary)
+}
+
+/// How much shorter the secondary must be to count as "significantly
+/// shorter" (paper leaves the constant unspecified): strictly less than
+/// half the primary's length, with a small absolute slack so tiny queues
+/// stay on the primary.
+const SIGNIFICANT_FACTOR: usize = 2;
+const SIGNIFICANT_SLACK: usize = 4;
+
+/// Decide the destination queue for an event.
+///
+/// * `route` — hash of ⟨key, destination function⟩;
+/// * `in_flight` — per-thread marker of the route currently being processed
+///   (engines keep these up to date);
+/// * `queue_lens` — racy length hints, indexed by thread.
+#[inline]
+pub fn choose_queue(route: RouteHash, in_flight: &[Option<RouteHash>], queue_lens: &[usize], threads: usize) -> usize {
+    let (primary, secondary) = queue_pair(route, threads);
+    choose_between(
+        route,
+        primary,
+        secondary,
+        in_flight[primary],
+        in_flight[secondary],
+        queue_lens[primary],
+        queue_lens[secondary],
+    )
+}
+
+/// The core decision, taking only the two candidate queues' state. The
+/// engine's hot path calls this directly (no slices, no allocation): only
+/// the primary and secondary ever matter.
+#[inline]
+pub fn choose_between(
+    route: RouteHash,
+    primary: usize,
+    secondary: usize,
+    in_flight_primary: Option<RouteHash>,
+    in_flight_secondary: Option<RouteHash>,
+    len_primary: usize,
+    len_secondary: usize,
+) -> usize {
+    // Rule 1: stick with a thread already processing this route — keeps
+    // per-route ordering tighter and avoids a third slate contender.
+    if in_flight_primary == Some(route) {
+        return primary;
+    }
+    if secondary != primary && in_flight_secondary == Some(route) {
+        return secondary;
+    }
+    // Rule 2: primary unless the secondary is significantly shorter.
+    if secondary != primary && len_primary > SIGNIFICANT_FACTOR * len_secondary + SIGNIFICANT_SLACK {
+        secondary
+    } else {
+        primary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_core::event::Key;
+
+    fn route(key: &str, updater: &str) -> RouteHash {
+        Key::from(key).route_hash(updater)
+    }
+
+    #[test]
+    fn pair_is_deterministic_and_distinct() {
+        for threads in [2usize, 3, 8, 16] {
+            for i in 0..200u64 {
+                let r = route(&format!("k{i}"), "U1");
+                let (p, s) = queue_pair(r, threads);
+                assert_eq!((p, s), queue_pair(r, threads));
+                assert!(p < threads && s < threads);
+                assert_ne!(p, s, "threads={threads} route={r}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_machine_degenerates() {
+        let r = route("k", "U");
+        assert_eq!(queue_pair(r, 1), (0, 0));
+        assert_eq!(choose_queue(r, &[None], &[99], 1), 0);
+    }
+
+    #[test]
+    fn idle_balanced_queues_choose_primary() {
+        let r = route("walmart", "U1");
+        let (p, _) = queue_pair(r, 4);
+        let lens = [3usize, 3, 3, 3];
+        assert_eq!(choose_queue(r, &[None; 4], &lens, 4), p);
+    }
+
+    #[test]
+    fn hot_primary_sheds_to_secondary() {
+        let r = route("bestbuy", "U1");
+        let (p, s) = queue_pair(r, 4);
+        let mut lens = [0usize; 4];
+        lens[p] = 100; // hot
+        lens[s] = 2;
+        assert_eq!(choose_queue(r, &[None; 4], &lens, 4), s, "hotspot relief (§4.5)");
+    }
+
+    #[test]
+    fn mildly_longer_primary_is_not_significant() {
+        let r = route("k", "U1");
+        let (p, s) = queue_pair(r, 4);
+        let mut lens = [0usize; 4];
+        lens[p] = 6;
+        lens[s] = 2; // 6 <= 2*2+4 → not "significantly shorter"
+        assert_eq!(choose_queue(r, &[None; 4], &lens, 4), p);
+    }
+
+    #[test]
+    fn in_flight_route_pins_the_queue() {
+        let r = route("hot-key", "U1");
+        let (p, s) = queue_pair(r, 4);
+        // Secondary is processing this exact route: go there even though
+        // the primary is empty.
+        let mut in_flight = [None; 4];
+        in_flight[s] = Some(r);
+        let lens = [0usize; 4];
+        assert_eq!(choose_queue(r, &in_flight, &lens, 4), s);
+        // Primary processing it wins over secondary.
+        in_flight[p] = Some(r);
+        assert_eq!(choose_queue(r, &in_flight, &lens, 4), p);
+    }
+
+    #[test]
+    fn other_routes_in_flight_are_ignored() {
+        let r = route("k1", "U1");
+        let other = route("k2", "U1");
+        let (p, _) = queue_pair(r, 4);
+        let mut in_flight = [None; 4];
+        for slot in in_flight.iter_mut() {
+            *slot = Some(other);
+        }
+        let lens = [1usize; 4];
+        assert_eq!(choose_queue(r, &in_flight, &lens, 4), p);
+    }
+
+    #[test]
+    fn at_most_two_queues_ever_receive_a_route() {
+        // Simulate many dispatch decisions under adversarial queue lengths
+        // and in-flight states; the chosen queue must always be p or s.
+        let r = route("contended", "U9");
+        let threads = 8;
+        let (p, s) = queue_pair(r, threads);
+        let mut seen = std::collections::HashSet::new();
+        for trial in 0..1000u64 {
+            let lens: Vec<usize> = (0..threads).map(|i| ((trial * 31 + i as u64 * 7) % 50) as usize).collect();
+            let mut in_flight = vec![None; threads];
+            if trial % 3 == 0 {
+                in_flight[(trial as usize) % threads] = Some(route("decoy", "U9"));
+            }
+            if trial % 5 == 0 {
+                in_flight[s] = Some(r);
+            }
+            seen.insert(choose_queue(r, &in_flight, &lens, threads));
+        }
+        assert!(seen.is_subset(&[p, s].into_iter().collect()), "saw {seen:?}, expected ⊆ {{{p},{s}}}");
+        // The paper's guarantee: ≤ 2 workers contend for one slate.
+        assert!(seen.len() <= 2);
+    }
+
+    #[test]
+    fn different_updaters_route_independently() {
+        // §3: slates are per ⟨updater, key⟩; routing must separate them.
+        let r1 = route("k", "U1");
+        let r2 = route("k", "U2");
+        assert_ne!(r1, r2);
+    }
+}

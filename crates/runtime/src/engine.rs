@@ -1,0 +1,995 @@
+//! The Muppet engines: distributed execution of MapUpdate applications
+//! (§4.1, §4.3, §4.5) over a simulated in-process cluster.
+//!
+//! ## What is faithful to the paper
+//!
+//! * **Routing**: every worker shares one hash function mapping
+//!   ⟨event key, destination function⟩ to a destination; events pass
+//!   *directly* between workers — no master on the data path (§4.1).
+//! * **Muppet 1.0**: one worker = one function; a consistent ring per
+//!   function spreads its keys over its workers; each updater-worker owns a
+//!   private slate cache (the machine's budget split evenly — the §4.5
+//!   fragmentation problem).
+//! * **Muppet 2.0**: per machine, a pool of threads each able to run any
+//!   function; two-choice dispatch into primary/secondary queues; a single
+//!   central slate cache per machine; a background store-flusher thread.
+//! * **Failure handling** (§4.3): senders detect dead machines on send,
+//!   report to the master, the master broadcast removes the machine from
+//!   the rings, the undeliverable event is lost and logged; queued events
+//!   on the dead machine are lost; unflushed slate changes are lost.
+//! * **Queue overflow** (§4.3/§5): drop-and-log, overflow stream, or
+//!   source throttling (external intake blocks; internal events force
+//!   through to avoid the §5 self-feeding deadlock).
+//!
+//! ## What is simulated
+//!
+//! Machines are structs; "the network" is a queue hand-off. See DESIGN.md.
+
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use muppet_core::config::{AppConfig, ConsistencySpec, FlushSpec};
+use muppet_core::error::{Error, Result};
+use muppet_core::event::{Event, Key, StreamId};
+use muppet_core::operator::{Mapper, Updater, VecEmitter};
+use muppet_core::workflow::{OpId, OpKind, Workflow};
+use muppet_slatestore::cluster::StoreCluster;
+use muppet_slatestore::ring::ConsistentRing;
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::cache::{FlushPolicy, NullBackend, SlateBackend, SlateCache};
+use crate::dispatch::{choose_between, RouteHash};
+use crate::master::Master;
+use crate::metrics::{Histogram, LatencySummary};
+use crate::overflow::{DropLog, OverflowAction, OverflowPolicy};
+use crate::queue::EventQueue;
+
+/// Which generation of Muppet to run (§4.5).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Worker-per-function, per-worker slate caches.
+    Muppet1,
+    /// Thread pool per machine, two-choice dispatch, central cache.
+    #[default]
+    Muppet2,
+}
+
+/// Engine deployment configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Muppet 1.0 or 2.0.
+    pub kind: EngineKind,
+    /// Simulated machines in the cluster.
+    pub machines: usize,
+    /// Muppet 2.0: worker threads per machine ("as large ... as the
+    /// parallelization of the application code allows", §4.5).
+    pub workers_per_machine: usize,
+    /// Muppet 1.0: workers per map/update function, spread round-robin
+    /// across machines (Figure 2 runs 3 mappers + 2 updaters).
+    pub workers_per_op: usize,
+    /// Per-worker input queue capacity (events).
+    pub queue_capacity: usize,
+    /// Slate-cache budget per machine (slates). Muppet 1.0 splits this
+    /// evenly across the machine's updater workers; 2.0 gives it to the
+    /// central cache.
+    pub slate_cache_capacity: usize,
+    /// Flush policy for dirty slates.
+    pub flush: FlushPolicy,
+    /// Queue-overflow policy.
+    pub overflow: OverflowPolicy,
+    /// Whether to measure end-to-end latency per updater delivery.
+    pub record_latency: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            kind: EngineKind::Muppet2,
+            machines: 2,
+            workers_per_machine: 4,
+            workers_per_op: 2,
+            queue_capacity: 4096,
+            slate_cache_capacity: 100_000,
+            flush: FlushPolicy::default(),
+            overflow: OverflowPolicy::default(),
+            record_latency: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Derive an engine configuration from an application config file.
+    pub fn from_app_config(app: &AppConfig, kind: EngineKind) -> EngineConfig {
+        EngineConfig {
+            kind,
+            machines: app.machines,
+            workers_per_machine: app.workers_per_machine,
+            workers_per_op: app.workers_per_machine, // 1.0 interpretation
+            queue_capacity: app.queue_capacity,
+            slate_cache_capacity: app.slate_cache_capacity,
+            flush: match app.flush {
+                FlushSpec::WriteThrough => FlushPolicy::WriteThrough,
+                FlushSpec::IntervalMs(ms) => FlushPolicy::IntervalMs(ms),
+                FlushSpec::OnEvict => FlushPolicy::OnEvict,
+            },
+            overflow: OverflowPolicy::default(),
+            record_latency: true,
+        }
+    }
+}
+
+/// Map the config consistency onto the store's enum (convenience for
+/// experiment harnesses).
+pub fn consistency_of(spec: ConsistencySpec) -> muppet_slatestore::cluster::Consistency {
+    match spec {
+        ConsistencySpec::One => muppet_slatestore::cluster::Consistency::One,
+        ConsistencySpec::Quorum => muppet_slatestore::cluster::Consistency::Quorum,
+        ConsistencySpec::All => muppet_slatestore::cluster::Consistency::All,
+    }
+}
+
+/// Registered operator implementations for a workflow.
+#[derive(Default)]
+pub struct OperatorSet {
+    mappers: Vec<Arc<dyn Mapper>>,
+    updaters: Vec<Arc<dyn Updater>>,
+}
+
+impl OperatorSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a map function implementation.
+    pub fn mapper(mut self, m: impl Mapper) -> Self {
+        self.mappers.push(Arc::new(m));
+        self
+    }
+
+    /// Add an update function implementation.
+    pub fn updater(mut self, u: impl Updater) -> Self {
+        self.updaters.push(Arc::new(u));
+        self
+    }
+
+    /// Add a pre-boxed mapper.
+    pub fn mapper_arc(mut self, m: Arc<dyn Mapper>) -> Self {
+        self.mappers.push(m);
+        self
+    }
+
+    /// Add a pre-boxed updater.
+    pub fn updater_arc(mut self, u: Arc<dyn Updater>) -> Self {
+        self.updaters.push(u);
+        self
+    }
+}
+
+/// Resolved operator instance.
+enum OpInstance {
+    Map(Arc<dyn Mapper>),
+    Update {
+        updater: Arc<dyn Updater>,
+        name: Arc<str>,
+        ttl_secs: Option<u64>,
+    },
+}
+
+/// A queued unit of work: deliver `event` to operator `op`.
+struct Packet {
+    op: OpId,
+    event: Event,
+    /// Engine-relative µs at external injection (latency measurement).
+    injected_us: u64,
+    /// True once redirected to an overflow stream (no double redirects).
+    redirected: bool,
+}
+
+/// Per-machine state.
+struct Machine {
+    alive: AtomicBool,
+    queues: Vec<Arc<EventQueue<Packet>>>,
+    /// Route each thread is currently processing (two-choice rule 1).
+    /// Encoding: 0 = idle, otherwise `route.wrapping_add(1)` — lock-free
+    /// because the dispatcher reads these on every send.
+    in_flight: Vec<AtomicU64>,
+    /// 2.0: one central cache. 1.0: per-thread caches (None for mapper
+    /// threads).
+    central_cache: Option<Arc<SlateCache>>,
+    worker_caches: Vec<Option<Arc<SlateCache>>>,
+    /// 1.0: the single op each thread runs (None in 2.0).
+    thread_ops: Vec<Option<OpId>>,
+}
+
+/// 1.0 worker slot: global id → (machine, thread).
+#[derive(Clone, Copy, Debug)]
+struct WorkerSlot {
+    machine: usize,
+    thread: usize,
+}
+
+/// Cumulative engine counters.
+#[derive(Debug, Default)]
+struct Counters {
+    submitted: AtomicU64,
+    processed: AtomicU64,
+    emitted: AtomicU64,
+    lost_machine_failure: AtomicU64,
+    lost_in_queues: AtomicU64,
+    dropped_overflow: AtomicU64,
+    redirected_overflow: AtomicU64,
+    throttle_waits: AtomicU64,
+    publish_errors: AtomicU64,
+}
+
+/// Public snapshot of engine statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// External events accepted via `submit`.
+    pub submitted: u64,
+    /// Operator invocations completed.
+    pub processed: u64,
+    /// Events emitted by operators.
+    pub emitted: u64,
+    /// Events lost to machine failures (undeliverable sends).
+    pub lost_machine_failure: u64,
+    /// Events lost inside a crashed machine's queues.
+    pub lost_in_queues: u64,
+    /// Events dropped by the overflow policy.
+    pub dropped_overflow: u64,
+    /// Events redirected to the overflow stream.
+    pub redirected_overflow: u64,
+    /// Times an external producer blocked on source throttling.
+    pub throttle_waits: u64,
+    /// Emissions to unknown/external streams (discarded, counted).
+    pub publish_errors: u64,
+    /// End-to-end latency (injection → updater completion).
+    pub latency: LatencySummary,
+    /// Aggregated slate-cache stats.
+    pub cache: crate::cache::CacheStats,
+    /// Dirty slates that never reached the store (loss bound, §4.3).
+    pub dirty_slates: u64,
+}
+
+struct Shared {
+    wf: Workflow,
+    ops: Vec<OpInstance>,
+    cfg: EngineConfig,
+    machines: Vec<Machine>,
+    /// 2.0: ring over machines.
+    machine_ring: RwLock<ConsistentRing>,
+    /// 1.0: ring per op over global worker-slot ids.
+    op_rings: RwLock<Vec<ConsistentRing>>,
+    worker_slots: Vec<WorkerSlot>,
+    master: Master,
+    /// Events enqueued but not yet fully processed.
+    pending: AtomicI64,
+    stopping: AtomicBool,
+    counters: Counters,
+    latency: Histogram,
+    drop_log: DropLog,
+    start: Instant,
+    /// Source-throttling gate: producers wait here when queues are full.
+    throttle_mutex: Mutex<()>,
+    throttle_cv: Condvar,
+}
+
+impl Shared {
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Total events the cluster's queues are sized to hold; the source-
+    /// throttling high-water mark.
+    fn total_queue_budget(&self) -> usize {
+        self.machines.iter().map(|m| m.queues.len() * self.cfg.queue_capacity).sum()
+    }
+}
+
+/// A running Muppet engine.
+pub struct Engine {
+    shared: Arc<Shared>,
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    flushers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Start an engine for `workflow` with the given operator
+    /// implementations. `store` attaches the durable slate store; without
+    /// it, slates exist only in the caches.
+    pub fn start(
+        workflow: Workflow,
+        ops: OperatorSet,
+        cfg: EngineConfig,
+        store: Option<Arc<StoreCluster>>,
+    ) -> Result<Engine> {
+        let backend: Arc<dyn SlateBackend> = match &store {
+            Some(cluster) => Arc::clone(cluster) as Arc<dyn SlateBackend>,
+            None => Arc::new(NullBackend),
+        };
+
+        // Resolve operator implementations against the workflow.
+        let mut instances: Vec<Option<OpInstance>> = (0..workflow.ops().len()).map(|_| None).collect();
+        for m in ops.mappers {
+            let id = workflow
+                .op_id(m.name())
+                .ok_or_else(|| Error::UnknownOperator(m.name().to_string()))?;
+            if workflow.op(id).kind != OpKind::Map {
+                return Err(Error::OperatorMismatch {
+                    expected: "a map function".into(),
+                    got: m.name().to_string(),
+                });
+            }
+            instances[id] = Some(OpInstance::Map(m));
+        }
+        for u in ops.updaters {
+            let id = workflow
+                .op_id(u.name())
+                .ok_or_else(|| Error::UnknownOperator(u.name().to_string()))?;
+            if workflow.op(id).kind != OpKind::Update {
+                return Err(Error::OperatorMismatch {
+                    expected: "an update function".into(),
+                    got: u.name().to_string(),
+                });
+            }
+            let ttl = workflow.op(id).ttl_secs.or(u.slate_ttl_secs());
+            let name: Arc<str> = Arc::from(u.name());
+            instances[id] = Some(OpInstance::Update { updater: u, name, ttl_secs: ttl });
+        }
+        let ops: Vec<OpInstance> = instances
+            .into_iter()
+            .enumerate()
+            .map(|(id, inst)| {
+                inst.ok_or_else(|| Error::UnknownOperator(workflow.op(id).name.clone()))
+            })
+            .collect::<Result<_>>()?;
+
+        // Build machines + worker layout.
+        let mut machines = Vec::with_capacity(cfg.machines);
+        let mut worker_slots = Vec::new();
+        let mut op_rings = Vec::new();
+        match cfg.kind {
+            EngineKind::Muppet2 => {
+                for _m in 0..cfg.machines {
+                    let threads = cfg.workers_per_machine.max(1);
+                    machines.push(Machine {
+                        alive: AtomicBool::new(true),
+                        queues: (0..threads).map(|_| Arc::new(EventQueue::new(cfg.queue_capacity))).collect(),
+                        in_flight: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+                        central_cache: Some(Arc::new(SlateCache::new(
+                            cfg.slate_cache_capacity,
+                            cfg.flush,
+                            Arc::clone(&backend),
+                        ))),
+                        worker_caches: (0..threads).map(|_| None).collect(),
+                        thread_ops: (0..threads).map(|_| None).collect(),
+                    });
+                }
+            }
+            EngineKind::Muppet1 => {
+                // Assign workers_per_op workers per function, round-robin
+                // over machines. Machine thread lists grow as slots land.
+                let mut per_machine_threads: Vec<Vec<OpId>> = vec![Vec::new(); cfg.machines];
+                let mut slot_positions: Vec<Vec<(usize, usize)>> = Vec::new(); // per op: (machine, thread)
+                let mut rr = 0usize;
+                for op_id in 0..workflow.ops().len() {
+                    let mut positions = Vec::new();
+                    for _ in 0..cfg.workers_per_op.max(1) {
+                        let m = rr % cfg.machines;
+                        rr += 1;
+                        let thread = per_machine_threads[m].len();
+                        per_machine_threads[m].push(op_id);
+                        positions.push((m, thread));
+                    }
+                    slot_positions.push(positions);
+                }
+                // Updater-worker cache budget: split the machine budget
+                // evenly across that machine's updater threads (§4.5).
+                let updater_threads_per_machine: Vec<usize> = per_machine_threads
+                    .iter()
+                    .map(|threads| {
+                        threads.iter().filter(|&&op| workflow.op(op).kind == OpKind::Update).count()
+                    })
+                    .collect();
+                for (m, thread_ops) in per_machine_threads.iter().enumerate() {
+                    let n_upd = updater_threads_per_machine[m].max(1);
+                    let per_worker_cap = (cfg.slate_cache_capacity / n_upd).max(1);
+                    // A machine can end up with zero assigned workers (more
+                    // machines than worker slots); keep one idle thread so
+                    // every per-thread vector stays consistent.
+                    let n_threads = thread_ops.len().max(1);
+                    let mut worker_caches: Vec<Option<Arc<SlateCache>>> = thread_ops
+                        .iter()
+                        .map(|&op| {
+                            if workflow.op(op).kind == OpKind::Update {
+                                Some(Arc::new(SlateCache::new(
+                                    per_worker_cap,
+                                    cfg.flush,
+                                    Arc::clone(&backend),
+                                )))
+                            } else {
+                                None
+                            }
+                        })
+                        .collect();
+                    worker_caches.resize_with(n_threads, || None);
+                    let mut bound_ops: Vec<Option<OpId>> = thread_ops.iter().map(|&op| Some(op)).collect();
+                    bound_ops.resize(n_threads, None);
+                    machines.push(Machine {
+                        alive: AtomicBool::new(true),
+                        queues: (0..n_threads)
+                            .map(|_| Arc::new(EventQueue::new(cfg.queue_capacity)))
+                            .collect(),
+                        in_flight: (0..n_threads).map(|_| AtomicU64::new(0)).collect(),
+                        central_cache: None,
+                        worker_caches,
+                        thread_ops: bound_ops,
+                    });
+                }
+                // Global worker slots + per-op rings over slot ids.
+                for positions in &slot_positions {
+                    let mut ring = ConsistentRing::new(0, 32);
+                    for &(machine, thread) in positions {
+                        let slot_id = worker_slots.len();
+                        worker_slots.push(WorkerSlot { machine, thread });
+                        ring.add(slot_id);
+                    }
+                    op_rings.push(ring);
+                }
+            }
+        }
+
+        let shared = Arc::new(Shared {
+            machine_ring: RwLock::new(ConsistentRing::new(cfg.machines, 64)),
+            op_rings: RwLock::new(op_rings),
+            worker_slots,
+            wf: workflow,
+            ops,
+            machines,
+            master: Master::new(),
+            pending: AtomicI64::new(0),
+            stopping: AtomicBool::new(false),
+            counters: Counters::default(),
+            latency: Histogram::new(),
+            drop_log: DropLog::new(1024),
+            start: Instant::now(),
+            throttle_mutex: Mutex::new(()),
+            throttle_cv: Condvar::new(),
+            cfg,
+        });
+
+        // Spawn worker threads.
+        let mut threads = Vec::new();
+        for m in 0..shared.machines.len() {
+            for t in 0..shared.machines[m].queues.len() {
+                let sh = Arc::clone(&shared);
+                threads.push(
+                    std::thread::Builder::new()
+                        .name(format!("muppet-m{m}-w{t}"))
+                        .spawn(move || worker_loop(sh, m, t))
+                        .expect("spawn worker"),
+                );
+            }
+        }
+        // Spawn background flusher threads (one per machine) when the
+        // policy is interval-based and a store is attached.
+        let mut flushers = Vec::new();
+        if let FlushPolicy::IntervalMs(ms) = shared.cfg.flush {
+            if store.is_some() {
+                for m in 0..shared.machines.len() {
+                    let sh = Arc::clone(&shared);
+                    let interval = Duration::from_millis(ms.max(1));
+                    flushers.push(
+                        std::thread::Builder::new()
+                            .name(format!("muppet-flusher-{m}"))
+                            .spawn(move || flusher_loop(sh, m, interval))
+                            .expect("spawn flusher"),
+                    );
+                }
+            }
+        }
+        Ok(Engine { shared, threads: Mutex::new(threads), flushers: Mutex::new(flushers) })
+    }
+
+    /// Inject one external event (the paper's special source mapper M0
+    /// reading the input stream, §4.1). Routes to every subscriber of
+    /// `event.stream`, which must be a declared external stream.
+    ///
+    /// Under [`OverflowPolicy::SourceThrottle`], this call *blocks* while
+    /// the cluster is backlogged beyond its aggregate queue budget — the
+    /// §5 source throttling: "Muppet ... can slow down the pace at which
+    /// it consumes events from its input streams ... until the hotspot
+    /// updater has a chance to catch up." Internal events never block
+    /// (§5's deadlock argument), so a *downstream* hotspot surfaces here,
+    /// at the source, via the global in-flight count.
+    pub fn submit(&self, event: Event) -> Result<()> {
+        let stream = event.stream.clone();
+        if !self.shared.wf.is_external(stream.as_str()) {
+            return Err(Error::ExternalStreamViolation(stream.as_str().to_string()));
+        }
+        if self.shared.cfg.overflow == OverflowPolicy::SourceThrottle {
+            let budget = self.shared.total_queue_budget() as i64;
+            while self.shared.pending.load(Ordering::Acquire) > budget {
+                if self.shared.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+                self.shared.counters.throttle_waits.fetch_add(1, Ordering::Relaxed);
+                let mut guard = self.shared.throttle_mutex.lock();
+                self.shared.throttle_cv.wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+        let injected_us = self.shared.now_us();
+        self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let subscribers = self.shared.wf.subscribers_of(stream.as_str()).to_vec();
+        for op in subscribers {
+            let packet = Packet { op, event: event.clone(), injected_us, redirected: false };
+            try_send(&self.shared, packet, true);
+        }
+        Ok(())
+    }
+
+    /// Convenience: submit with the engine assigning the timestamp (µs
+    /// since engine start).
+    pub fn submit_kv(&self, stream: &str, key: Key, value: impl Into<Bytes>) -> Result<()> {
+        let ts = self.shared.now_us();
+        self.submit(Event::new(stream, ts, key, value))
+    }
+
+    /// Wait until all in-flight events finish (or `timeout` elapses).
+    /// Returns true on a full drain.
+    pub fn drain(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while self.shared.pending.load(Ordering::Acquire) > 0 {
+            if Instant::now() > deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        true
+    }
+
+    /// Read a slate's current value from the owning machine's cache —
+    /// the §4.4 live read ("from Muppet's slate cache ... rather than from
+    /// the durable key-value store to ensure an up-to-date reply").
+    pub fn read_slate(&self, updater: &str, key: &Key) -> Option<Vec<u8>> {
+        let op = self.shared.wf.op_id(updater)?;
+        if self.shared.wf.op(op).kind != OpKind::Update {
+            return None;
+        }
+        let route = key.route_hash(updater);
+        match self.shared.cfg.kind {
+            EngineKind::Muppet2 => {
+                let machine = self.shared.machine_ring.read().owner(route)?;
+                self.shared.machines[machine].central_cache.as_ref()?.read(op, key)
+            }
+            EngineKind::Muppet1 => {
+                let slot_id = self.shared.op_rings.read().get(op)?.owner(route)?;
+                let slot = self.shared.worker_slots[slot_id];
+                self.shared.machines[slot.machine].worker_caches[slot.thread].as_ref()?.read(op, key)
+            }
+        }
+    }
+
+    /// All cached keys of one updater across machines (bulk reads, §5).
+    pub fn cached_keys(&self, updater: &str) -> Vec<Key> {
+        let Some(op) = self.shared.wf.op_id(updater) else { return Vec::new() };
+        let mut keys = Vec::new();
+        for m in &self.shared.machines {
+            if !m.alive.load(Ordering::Acquire) {
+                continue;
+            }
+            if let Some(cache) = &m.central_cache {
+                keys.extend(cache.keys_of(op));
+            }
+            for cache in m.worker_caches.iter().flatten() {
+                keys.extend(cache.keys_of(op));
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Bulk-dump every *cached* slate of one updater — §5's "Bulk Reading
+    /// of Slates" concern: "repeated HTTP slate fetches can be expensive
+    /// ... or difficult (because the query agent must know all the slate
+    /// keys in advance)". Returns ⟨key, bytes⟩ in key order; empty slates
+    /// are skipped. Slates already evicted from the caches live only in
+    /// the store (see `StoreCluster::scan_column` for that path).
+    pub fn dump_slates(&self, updater: &str) -> Vec<(Key, Vec<u8>)> {
+        let Some(op) = self.shared.wf.op_id(updater) else { return Vec::new() };
+        let read_from = |cache: &crate::cache::SlateCache, out: &mut Vec<(Key, Vec<u8>)>| {
+            for key in cache.keys_of(op) {
+                if let Some(bytes) = cache.read(op, &key) {
+                    out.push((key, bytes));
+                }
+            }
+        };
+        let mut out = Vec::new();
+        for m in &self.shared.machines {
+            if !m.alive.load(Ordering::Acquire) {
+                continue;
+            }
+            if let Some(cache) = &m.central_cache {
+                read_from(cache, &mut out);
+            }
+            for cache in m.worker_caches.iter().flatten() {
+                read_from(cache, &mut out);
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out.dedup_by(|a, b| a.0 == b.0);
+        out
+    }
+
+    /// Kill a machine abruptly: its queued events are lost, its threads
+    /// stop, its unflushed slates are lost (§4.3). Routing updates lazily —
+    /// the next send to the dead machine triggers the failure report.
+    pub fn kill_machine(&self, machine: usize) {
+        let m = &self.shared.machines[machine];
+        if !m.alive.swap(false, Ordering::AcqRel) {
+            return;
+        }
+        let mut lost = 0u64;
+        for q in &m.queues {
+            let dropped = q.drain_all();
+            lost += dropped.len() as u64;
+            q.notify();
+        }
+        self.shared.counters.lost_in_queues.fetch_add(lost, Ordering::Relaxed);
+        self.shared.pending.fetch_sub(lost as i64, Ordering::AcqRel);
+    }
+
+    /// Number of machines configured.
+    pub fn machine_count(&self) -> usize {
+        self.shared.machines.len()
+    }
+
+    /// Whether the master has been told about a machine failure yet
+    /// (detection is send-driven, §4.3).
+    pub fn failure_detected(&self, machine: usize) -> bool {
+        self.shared.master.is_failed(machine)
+    }
+
+    /// Microseconds since the engine started (the engine's store clock).
+    pub fn now_us(&self) -> u64 {
+        self.shared.now_us()
+    }
+
+    /// Peak queue occupancy across all workers (the §4.5 status
+    /// information: "the event count of the largest event queues").
+    pub fn max_queue_high_water(&self) -> usize {
+        self.shared
+            .machines
+            .iter()
+            .flat_map(|m| m.queues.iter())
+            .map(|q| q.high_water())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot engine statistics.
+    pub fn stats(&self) -> EngineStats {
+        let c = &self.shared.counters;
+        let mut cache = crate::cache::CacheStats::default();
+        let mut dirty = 0u64;
+        for m in &self.shared.machines {
+            let mut add = |s: crate::cache::CacheStats| {
+                cache.hits += s.hits;
+                cache.misses += s.misses;
+                cache.store_loads += s.store_loads;
+                cache.evictions += s.evictions;
+                cache.flush_writes += s.flush_writes;
+                cache.ttl_resets += s.ttl_resets;
+                cache.entries += s.entries;
+                cache.dirty += s.dirty;
+            };
+            if let Some(central) = &m.central_cache {
+                add(central.stats());
+            }
+            for wc in m.worker_caches.iter().flatten() {
+                add(wc.stats());
+            }
+            dirty = cache.dirty;
+        }
+        EngineStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            processed: c.processed.load(Ordering::Relaxed),
+            emitted: c.emitted.load(Ordering::Relaxed),
+            lost_machine_failure: c.lost_machine_failure.load(Ordering::Relaxed),
+            lost_in_queues: c.lost_in_queues.load(Ordering::Relaxed),
+            dropped_overflow: c.dropped_overflow.load(Ordering::Relaxed),
+            redirected_overflow: c.redirected_overflow.load(Ordering::Relaxed),
+            throttle_waits: c.throttle_waits.load(Ordering::Relaxed),
+            publish_errors: c.publish_errors.load(Ordering::Relaxed),
+            latency: self.shared.latency.summary(),
+            cache,
+            dirty_slates: dirty,
+        }
+    }
+
+    /// Recent drop-log entries (§4.3: dropped events "can be logged for
+    /// later processing and debugging").
+    pub fn recent_drops(&self) -> Vec<String> {
+        self.shared.drop_log.recent()
+    }
+
+    /// Stop the engine: waits for queues to drain (bounded), flushes all
+    /// dirty slates (graceful shutdown), joins threads, and returns final
+    /// stats.
+    pub fn shutdown(self) -> EngineStats {
+        self.drain(Duration::from_secs(30));
+        self.shared.stopping.store(true, Ordering::Release);
+        for m in &self.shared.machines {
+            for q in &m.queues {
+                q.notify();
+            }
+        }
+        for t in self.threads.lock().drain(..) {
+            let _ = t.join();
+        }
+        for t in self.flushers.lock().drain(..) {
+            let _ = t.join();
+        }
+        // Graceful final flush (live machines only — dead machines lost
+        // their dirty slates, §4.3).
+        let now = self.shared.now_us();
+        for m in &self.shared.machines {
+            if !m.alive.load(Ordering::Acquire) {
+                continue;
+            }
+            if let Some(cache) = &m.central_cache {
+                cache.flush_dirty(now);
+            }
+            for cache in m.worker_caches.iter().flatten() {
+                cache.flush_dirty(now);
+            }
+        }
+        self.stats()
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>, machine_id: usize, thread: usize) {
+    let poll = Duration::from_millis(1);
+    loop {
+        let machine = &shared.machines[machine_id];
+        if !machine.alive.load(Ordering::Acquire) {
+            return; // crashed machine: thread dies with it
+        }
+        if shared.stopping.load(Ordering::Acquire) {
+            // Drain remaining work, then exit.
+            match machine.queues[thread].try_pop() {
+                Some(p) => process_packet(&shared, machine_id, thread, p),
+                None => return,
+            }
+            continue;
+        }
+        if let Some(packet) = machine.queues[thread].pop_timeout(poll) {
+            process_packet(&shared, machine_id, thread, packet);
+        }
+    }
+}
+
+fn process_packet(shared: &Arc<Shared>, machine_id: usize, thread: usize, packet: Packet) {
+    let machine = &shared.machines[machine_id];
+    // Muppet 1.0 invariant: a worker is bound to exactly one function.
+    debug_assert!(
+        machine.thread_ops[thread].is_none() || machine.thread_ops[thread] == Some(packet.op),
+        "1.0 worker received an event for a function it does not run"
+    );
+    let op_decl = shared.wf.op(packet.op);
+    let route = packet.event.key.route_hash(&op_decl.name);
+    machine.in_flight[thread].store(route.wrapping_add(1), Ordering::Release);
+
+    let mut emitter = VecEmitter::new();
+    match &shared.ops[packet.op] {
+        OpInstance::Map(mapper) => {
+            mapper.map(&mut emitter, &packet.event);
+        }
+        OpInstance::Update { updater, name, ttl_secs } => {
+            let cache = match shared.cfg.kind {
+                EngineKind::Muppet2 => machine.central_cache.as_ref().expect("2.0 central cache"),
+                EngineKind::Muppet1 => machine.worker_caches[thread]
+                    .as_ref()
+                    .expect("1.0 updater thread owns a cache"),
+            };
+            let now = shared.now_us();
+            let slot = cache.get_or_load(packet.op, name, &packet.event.key, *ttl_secs, now);
+            {
+                let mut state = slot.state.lock();
+                updater.update(&mut emitter, &packet.event, &mut state.slate);
+                cache.note_write(&slot, &mut state, now);
+            }
+            if shared.cfg.record_latency {
+                shared.latency.record(shared.now_us().saturating_sub(packet.injected_us));
+            }
+        }
+    }
+    shared.counters.processed.fetch_add(1, Ordering::Relaxed);
+    machine.in_flight[thread].store(0, Ordering::Release);
+
+    // Admit emissions: ts = input ts + 1 (§3), fan out to subscribers.
+    let records = emitter.take();
+    for rec in records {
+        shared.counters.emitted.fetch_add(1, Ordering::Relaxed);
+        if shared.wf.is_external(rec.stream.as_str()) || !shared.wf.has_stream(rec.stream.as_str()) {
+            shared.counters.publish_errors.fetch_add(1, Ordering::Relaxed);
+            shared
+                .drop_log
+                .log(format!("illegal publish to {} from {}", rec.stream, op_decl.name));
+            continue;
+        }
+        let out = Event {
+            stream: rec.stream.clone(),
+            ts: packet.event.ts + 1,
+            key: rec.key,
+            value: rec.value,
+            seq: 0,
+        };
+        fan_out(shared, &rec.stream, out, packet.injected_us, packet.redirected);
+    }
+
+    // This packet is done.
+    shared.pending.fetch_sub(1, Ordering::AcqRel);
+    shared.throttle_cv.notify_all();
+}
+
+fn fan_out(shared: &Arc<Shared>, stream: &StreamId, event: Event, injected_us: u64, redirected: bool) {
+    let subscribers = shared.wf.subscribers_of(stream.as_str()).to_vec();
+    for op in subscribers {
+        let packet = Packet { op, event: event.clone(), injected_us, redirected };
+        try_send(shared, packet, false);
+    }
+}
+
+/// The real send path (see note above `worker_loop`): resolves the
+/// destination, detects failures, applies the overflow policy.
+fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
+    loop {
+        let updater_name = shared.wf.op(packet.op).name.as_str();
+        let route: RouteHash = packet.event.key.route_hash(updater_name);
+        let dest = match shared.cfg.kind {
+            EngineKind::Muppet2 => shared.machine_ring.read().owner(route).map(|m| (m, None)),
+            EngineKind::Muppet1 => {
+                let rings = shared.op_rings.read();
+                rings[packet.op].owner(route).map(|slot_id| {
+                    let slot = shared.worker_slots[slot_id];
+                    (slot.machine, Some(slot.thread))
+                })
+            }
+        };
+        let Some((machine_id, fixed_thread)) = dest else {
+            shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let machine = &shared.machines[machine_id];
+        if !machine.alive.load(Ordering::Acquire) {
+            if shared.master.report_failure(machine_id) {
+                shared.machine_ring.write().remove(machine_id);
+                let mut rings = shared.op_rings.write();
+                for (slot_id, slot) in shared.worker_slots.iter().enumerate() {
+                    if slot.machine == machine_id {
+                        for ring in rings.iter_mut() {
+                            ring.remove(slot_id);
+                        }
+                    }
+                }
+            }
+            shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+            shared
+                .drop_log
+                .log(format!("lost to failed machine {machine_id}: key={:?}", packet.event.key));
+            return;
+        }
+        let thread = match fixed_thread {
+            Some(t) => t,
+            None => {
+                let threads = machine.queues.len();
+                let (p, s) = crate::dispatch::queue_pair(route, threads);
+                let decode = |raw: u64| -> Option<RouteHash> {
+                    if raw == 0 {
+                        None
+                    } else {
+                        Some(raw.wrapping_sub(1))
+                    }
+                };
+                choose_between(
+                    route,
+                    p,
+                    s,
+                    decode(machine.in_flight[p].load(Ordering::Acquire)),
+                    decode(machine.in_flight[s].load(Ordering::Acquire)),
+                    machine.queues[p].len_hint(),
+                    machine.queues[s].len_hint(),
+                )
+            }
+        };
+        let queue = &machine.queues[thread];
+        if queue.len_hint() < queue.capacity() {
+            // Likely-room fast path; capacity may still be exceeded by a
+            // racing sender, in which case force_push slightly overshoots
+            // (bounded by sender count) — acceptable for a size *limit*.
+            queue.force_push(packet);
+            shared.pending.fetch_add(1, Ordering::AcqRel);
+            return;
+        }
+        // Queue full: invoke the overflow mechanism (§4.3).
+        match shared.cfg.overflow.decide(external, packet.redirected) {
+            OverflowAction::Drop => {
+                shared.counters.dropped_overflow.fetch_add(1, Ordering::Relaxed);
+                shared.drop_log.log(format!(
+                    "overflow drop at m{machine_id}w{thread}: key={:?} op={}",
+                    packet.event.key, updater_name
+                ));
+                return;
+            }
+            OverflowAction::Redirect(overflow_stream) => {
+                shared.counters.redirected_overflow.fetch_add(1, Ordering::Relaxed);
+                if !shared.wf.has_stream(&overflow_stream) || shared.wf.is_external(&overflow_stream) {
+                    shared.counters.publish_errors.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                let mut event = packet.event;
+                event.stream = StreamId::from(overflow_stream.as_str());
+                // Fan out to the overflow stream's subscribers, marked so a
+                // second overflow drops instead of looping.
+                let subscribers = shared.wf.subscribers_of(&overflow_stream).to_vec();
+                for op in subscribers {
+                    let p = Packet {
+                        op,
+                        event: event.clone(),
+                        injected_us: packet.injected_us,
+                        redirected: true,
+                    };
+                    try_send(shared, p, external);
+                }
+                return;
+            }
+            OverflowAction::ForceThrough => {
+                queue.force_push(packet);
+                shared.pending.fetch_add(1, Ordering::AcqRel);
+                return;
+            }
+            OverflowAction::BlockProducer => {
+                shared.counters.throttle_waits.fetch_add(1, Ordering::Relaxed);
+                let mut guard = shared.throttle_mutex.lock();
+                shared.throttle_cv.wait_for(&mut guard, Duration::from_millis(1));
+                drop(guard);
+                if shared.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                // retry the whole resolution (the machine may have failed
+                // or drained meanwhile)
+                continue;
+            }
+        }
+    }
+}
+
+fn flusher_loop(shared: Arc<Shared>, machine_id: usize, interval: Duration) {
+    while !shared.stopping.load(Ordering::Acquire) {
+        // Sleep in short slices so shutdown does not block for a full
+        // (possibly multi-minute) flush interval.
+        let deadline = Instant::now() + interval;
+        while Instant::now() < deadline {
+            if shared.stopping.load(Ordering::Acquire) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(5).min(interval));
+        }
+        let machine = &shared.machines[machine_id];
+        if !machine.alive.load(Ordering::Acquire) {
+            return;
+        }
+        let now = shared.now_us();
+        if let Some(cache) = &machine.central_cache {
+            cache.flush_dirty(now);
+        }
+        for cache in machine.worker_caches.iter().flatten() {
+            cache.flush_dirty(now);
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! The HTTP slate-read service (§4.4).
+//!
+//! "Muppet provides a small HTTP server on each node for slate fetches.
+//! The URI of a slate fetch includes the name of the updater and the key of
+//! the slate ... The fetch retrieves the slate from Muppet's slate cache
+//! ... rather than from the durable key-value store to ensure an up-to-date
+//! reply." It also serves "basic status information (such as the event
+//! count of the largest event queues)" (§4.5).
+//!
+//! Endpoints:
+//! * `GET /slate/<updater>/<percent-encoded key>` → slate bytes or 404;
+//! * `GET /status` → JSON engine statistics.
+//!
+//! Minimal HTTP/1.1: request-line parsing, `Connection: close`, explicit
+//! `Content-Length`. No external dependencies.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use muppet_core::event::Key;
+
+/// What the server needs from its host engine. `Engine` implements this;
+/// tests can substitute a stub.
+pub trait SlateReader: Send + Sync + 'static {
+    /// Current bytes of ⟨updater, key⟩'s slate, from the cache.
+    fn fetch_slate(&self, updater: &str, key: &Key) -> Option<Vec<u8>>;
+    /// A JSON status document.
+    fn status_json(&self) -> String;
+    /// The currently-cached keys of one updater (the `/keys/<updater>`
+    /// endpoint) — §5's bulk-read pain point was that "the query agent
+    /// must know all the slate keys in advance to enumerate the slate
+    /// requests"; this endpoint removes that requirement.
+    fn list_keys(&self, _updater: &str) -> Vec<Key> {
+        Vec::new()
+    }
+}
+
+impl SlateReader for crate::engine::Engine {
+    fn fetch_slate(&self, updater: &str, key: &Key) -> Option<Vec<u8>> {
+        self.read_slate(updater, key)
+    }
+
+    fn list_keys(&self, updater: &str) -> Vec<Key> {
+        self.cached_keys(updater)
+    }
+
+    fn status_json(&self) -> String {
+        let s = self.stats();
+        muppet_core::json::Json::obj([
+            ("submitted", muppet_core::json::Json::num(s.submitted as f64)),
+            ("processed", muppet_core::json::Json::num(s.processed as f64)),
+            ("emitted", muppet_core::json::Json::num(s.emitted as f64)),
+            ("dropped_overflow", muppet_core::json::Json::num(s.dropped_overflow as f64)),
+            ("lost_machine_failure", muppet_core::json::Json::num(s.lost_machine_failure as f64)),
+            ("max_queue_high_water", muppet_core::json::Json::num(self.max_queue_high_water() as f64)),
+            ("cache_entries", muppet_core::json::Json::num(s.cache.entries as f64)),
+            ("p99_latency_us", muppet_core::json::Json::num(s.latency.p99_us as f64)),
+        ])
+        .to_compact()
+    }
+}
+
+/// A running slate-read HTTP server.
+pub struct HttpSlateServer {
+    port: u16,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl HttpSlateServer {
+    /// Bind to an ephemeral port on localhost and serve `reader`.
+    pub fn serve(reader: Arc<dyn SlateReader>) -> std::io::Result<HttpSlateServer> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let port = listener.local_addr()?.port();
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("muppet-http".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let reader = Arc::clone(&reader);
+                            // One thread per connection: slate reads are
+                            // short-lived; no pool needed at test scale.
+                            std::thread::spawn(move || {
+                                let _ = handle_connection(stream, &*reader);
+                            });
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(HttpSlateServer { port, stop, accept_thread: Some(accept_thread) })
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Base URL for clients.
+    pub fn base_url(&self) -> String {
+        format!("http://127.0.0.1:{}", self.port)
+    }
+}
+
+impl Drop for HttpSlateServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, reader: &dyn SlateReader) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut buf = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    buf.read_line(&mut request_line)?;
+    // Drain headers (ignored).
+    loop {
+        let mut line = String::new();
+        if buf.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let mut out = stream;
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = match (parts.next(), parts.next()) {
+        (Some(m), Some(p)) => (m, p),
+        _ => return respond(&mut out, 400, "text/plain", b"bad request"),
+    };
+    if method != "GET" {
+        return respond(&mut out, 405, "text/plain", b"method not allowed");
+    }
+    if path == "/status" {
+        let body = reader.status_json();
+        return respond(&mut out, 200, "application/json", body.as_bytes());
+    }
+    if let Some(updater) = path.strip_prefix("/keys/") {
+        // Newline-separated percent-encoded keys of one updater.
+        let mut body = String::new();
+        for key in reader.list_keys(updater) {
+            body.push_str(&percent_encode(key.as_bytes()));
+            body.push('\n');
+        }
+        return respond(&mut out, 200, "text/plain", body.as_bytes());
+    }
+    if let Some(rest) = path.strip_prefix("/slate/") {
+        // /slate/<updater>/<key>; the key may itself contain encoded '/'.
+        if let Some((updater, key_enc)) = rest.split_once('/') {
+            let Some(key_bytes) = percent_decode(key_enc) else {
+                return respond(&mut out, 400, "text/plain", b"bad key encoding");
+            };
+            let key = Key::from(key_bytes);
+            return match reader.fetch_slate(updater, &key) {
+                Some(bytes) => respond(&mut out, 200, "application/octet-stream", &bytes),
+                None => respond(&mut out, 404, "text/plain", b"no such slate"),
+            };
+        }
+        return respond(&mut out, 400, "text/plain", b"expected /slate/<updater>/<key>");
+    }
+    respond(&mut out, 404, "text/plain", b"not found")
+}
+
+fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &[u8]) -> std::io::Result<()> {
+    let reason = match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Error",
+    };
+    write!(
+        stream,
+        "HTTP/1.1 {code} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Decode `%xx` escapes and `+` (as space). Returns `None` on malformed
+/// escapes.
+pub fn percent_decode(input: &str) -> Option<Vec<u8>> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hi = (*bytes.get(i + 1)? as char).to_digit(16)?;
+                let lo = (*bytes.get(i + 2)? as char).to_digit(16)?;
+                out.push((hi * 16 + lo) as u8);
+                i += 3;
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    Some(out)
+}
+
+/// Encode bytes for use in a slate-fetch URL path segment.
+pub fn percent_encode(input: &[u8]) -> String {
+    let mut out = String::with_capacity(input.len());
+    for &b in input {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// A tiny blocking HTTP GET for tests and experiment harnesses.
+/// Returns (status code, body).
+pub fn http_get(url: &str) -> std::io::Result<(u16, Vec<u8>)> {
+    let rest = url
+        .strip_prefix("http://")
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "http:// only"))?;
+    let (host, path) = rest.split_once('/').map(|(h, p)| (h, format!("/{p}"))).unwrap_or((rest, "/".into()));
+    let mut stream = TcpStream::connect(host)?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n")?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(&mut reader, &mut body)?;
+    Ok((code, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct StubReader;
+
+    impl SlateReader for StubReader {
+        fn fetch_slate(&self, updater: &str, key: &Key) -> Option<Vec<u8>> {
+            if updater == "U1" && key.as_str() == Some("walmart") {
+                Some(b"42".to_vec())
+            } else if updater == "U1" && key.as_str() == Some("with space/slash") {
+                Some(b"tricky".to_vec())
+            } else {
+                None
+            }
+        }
+        fn status_json(&self) -> String {
+            r#"{"ok":true}"#.to_string()
+        }
+    }
+
+    fn server() -> HttpSlateServer {
+        HttpSlateServer::serve(Arc::new(StubReader)).unwrap()
+    }
+
+    #[test]
+    fn fetches_existing_slate() {
+        let srv = server();
+        let (code, body) = http_get(&format!("{}/slate/U1/walmart", srv.base_url())).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, b"42");
+    }
+
+    #[test]
+    fn missing_slate_is_404() {
+        let srv = server();
+        let (code, _) = http_get(&format!("{}/slate/U1/nothere", srv.base_url())).unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = http_get(&format!("{}/slate/U9/walmart", srv.base_url())).unwrap();
+        assert_eq!(code, 404);
+    }
+
+    #[test]
+    fn status_endpoint_returns_json() {
+        let srv = server();
+        let (code, body) = http_get(&format!("{}/status", srv.base_url())).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, br#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn percent_encoding_roundtrip() {
+        let original = b"with space/slash";
+        let encoded = percent_encode(original);
+        assert!(!encoded.contains(' ') && !encoded.contains('/'), "{encoded}");
+        assert_eq!(percent_decode(&encoded).unwrap(), original);
+        // Keys with encoded separators fetch correctly.
+        let srv = server();
+        let (code, body) = http_get(&format!("{}/slate/U1/{encoded}", srv.base_url())).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, b"tricky");
+    }
+
+    #[test]
+    fn percent_decode_rejects_malformed() {
+        assert_eq!(percent_decode("%zz"), None);
+        assert_eq!(percent_decode("%4"), None);
+        assert_eq!(percent_decode("ok%20fine"), Some(b"ok fine".to_vec()));
+        assert_eq!(percent_decode("a+b"), Some(b"a b".to_vec()));
+    }
+
+    #[test]
+    fn unknown_paths_and_methods_rejected() {
+        let srv = server();
+        let (code, _) = http_get(&format!("{}/bogus", srv.base_url())).unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = http_get(&format!("{}/slate/onlyupdater", srv.base_url())).unwrap();
+        assert_eq!(code, 400);
+        // Raw POST.
+        let mut stream = TcpStream::connect(("127.0.0.1", srv.port())).unwrap();
+        write!(stream, "POST /slate/U1/k HTTP/1.1\r\n\r\n").unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("405"), "{line}");
+    }
+
+    #[test]
+    fn concurrent_fetches() {
+        let srv = server();
+        let url = format!("{}/slate/U1/walmart", srv.base_url());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let url = url.clone();
+                std::thread::spawn(move || http_get(&url).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let (code, body) = h.join().unwrap();
+            assert_eq!(code, 200);
+            assert_eq!(body, b"42");
+        }
+    }
+}

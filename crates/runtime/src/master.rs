@@ -1,0 +1,127 @@
+//! The failure master (§4.3).
+//!
+//! Muppet deliberately keeps the master *off the data path*: "Muppet lets
+//! the workers pass events directly to one another without going through
+//! any master. (The master in Muppet is used for handling failures.)"
+//!
+//! Failure protocol: when worker A cannot reach worker B, A reports B's
+//! machine to the master; the master broadcasts the failure so every
+//! worker's hash ring drops the machine; the undeliverable event is lost
+//! (and logged), not retried. Detection is driven by traffic, which the
+//! paper argues beats periodic pings at streaming rates.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use muppet_core::hash::FxHashSet;
+use parking_lot::RwLock;
+
+/// One failure report, for the experiment log.
+#[derive(Clone, Debug)]
+pub struct FailureReport {
+    /// Machine that was found unreachable.
+    pub machine: usize,
+    /// When the report arrived at the master.
+    pub at: Instant,
+}
+
+/// The master: failure registry + broadcast.
+#[derive(Debug, Default)]
+pub struct Master {
+    failed: RwLock<FxHashSet<usize>>,
+    reports: RwLock<Vec<FailureReport>>,
+    broadcasts: AtomicU64,
+}
+
+impl Master {
+    /// A master with no known failures.
+    pub fn new() -> Self {
+        Master::default()
+    }
+
+    /// Report `machine` unreachable. Returns `true` if this was the first
+    /// report (i.e. a broadcast happened); duplicate reports are absorbed.
+    pub fn report_failure(&self, machine: usize) -> bool {
+        {
+            let failed = self.failed.read();
+            if failed.contains(&machine) {
+                return false;
+            }
+        }
+        let mut failed = self.failed.write();
+        if !failed.insert(machine) {
+            return false;
+        }
+        self.reports.write().push(FailureReport { machine, at: Instant::now() });
+        self.broadcasts.fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Whether a machine is known-failed ("each worker keeps track of all
+    /// failed machines" — centralized here; the shared read lock is the
+    /// broadcast).
+    pub fn is_failed(&self, machine: usize) -> bool {
+        self.failed.read().contains(&machine)
+    }
+
+    /// Snapshot of failed machine ids.
+    pub fn failed_machines(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.failed.read().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// All failure reports so far.
+    pub fn reports(&self) -> Vec<FailureReport> {
+        self.reports.read().clone()
+    }
+
+    /// Number of broadcasts issued (== distinct failed machines).
+    pub fn broadcast_count(&self) -> u64 {
+        self.broadcasts.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_report_broadcasts_duplicates_absorbed() {
+        let m = Master::new();
+        assert!(!m.is_failed(3));
+        assert!(m.report_failure(3));
+        assert!(!m.report_failure(3), "duplicate report must not re-broadcast");
+        assert!(m.is_failed(3));
+        assert_eq!(m.broadcast_count(), 1);
+        assert_eq!(m.reports().len(), 1);
+        assert_eq!(m.failed_machines(), vec![3]);
+    }
+
+    #[test]
+    fn multiple_failures_accumulate() {
+        let m = Master::new();
+        m.report_failure(1);
+        m.report_failure(0);
+        m.report_failure(2);
+        assert_eq!(m.failed_machines(), vec![0, 1, 2]);
+        assert_eq!(m.broadcast_count(), 3);
+    }
+
+    #[test]
+    fn concurrent_reports_broadcast_exactly_once() {
+        use std::sync::Arc;
+        let m = Arc::new(Master::new());
+        let winners: Vec<bool> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || m.report_failure(7))
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(winners.iter().filter(|&&w| w).count(), 1, "exactly one reporter wins");
+        assert_eq!(m.broadcast_count(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests for the runtime's data structures.
+
+use muppet_runtime::dispatch::{choose_queue, queue_pair};
+use muppet_runtime::lru::LruMap;
+use muppet_runtime::metrics::Histogram;
+use muppet_runtime::overflow::{OverflowAction, OverflowPolicy};
+use proptest::prelude::*;
+
+proptest! {
+    // ---------- two-choice dispatch ----------
+
+    #[test]
+    fn queue_pair_always_valid_and_distinct(route in any::<u64>(), threads in 1usize..64) {
+        let (p, s) = queue_pair(route, threads);
+        prop_assert!(p < threads);
+        prop_assert!(s < threads);
+        if threads > 1 {
+            prop_assert_ne!(p, s, "distinct whenever possible");
+        }
+    }
+
+    #[test]
+    fn chosen_queue_is_always_primary_or_secondary(
+        route in any::<u64>(),
+        threads in 1usize..16,
+        lens in proptest::collection::vec(0usize..1000, 16),
+        marks in proptest::collection::vec(proptest::option::of(any::<u64>()), 16),
+    ) {
+        let (p, s) = queue_pair(route, threads);
+        let choice = choose_queue(route, &marks[..threads], &lens[..threads], threads);
+        prop_assert!(choice == p || choice == s,
+            "the §4.5 guarantee: at most two queues per route");
+    }
+
+    #[test]
+    fn in_flight_route_always_wins(route in any::<u64>(), threads in 2usize..16,
+                                   lens in proptest::collection::vec(0usize..1000, 16)) {
+        let (p, s) = queue_pair(route, threads);
+        // Pin via primary.
+        let mut marks = vec![None; threads];
+        marks[p] = Some(route);
+        prop_assert_eq!(choose_queue(route, &marks, &lens[..threads], threads), p);
+        // Pin via secondary (primary idle).
+        let mut marks = vec![None; threads];
+        marks[s] = Some(route);
+        prop_assert_eq!(choose_queue(route, &marks, &lens[..threads], threads), s);
+    }
+
+    // ---------- LRU vs model ----------
+
+    #[test]
+    fn lru_matches_model_under_random_ops(ops in proptest::collection::vec(
+        (0u8..4, 0u16..64, any::<u32>()), 0..300)) {
+        let mut lru: LruMap<u16, u32> = LruMap::new();
+        let mut model: std::collections::HashMap<u16, u32> = Default::default();
+        // Recency model: vector of keys, most recent last.
+        let mut recency: Vec<u16> = Vec::new();
+        let touch = |recency: &mut Vec<u16>, k: u16| {
+            recency.retain(|&x| x != k);
+            recency.push(k);
+        };
+        for (op, key, value) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(lru.insert(key, value), model.insert(key, value));
+                    touch(&mut recency, key);
+                }
+                1 => {
+                    prop_assert_eq!(lru.get(&key).copied(), model.get(&key).copied());
+                    if model.contains_key(&key) {
+                        touch(&mut recency, key);
+                    }
+                }
+                2 => {
+                    prop_assert_eq!(lru.remove(&key), model.remove(&key));
+                    recency.retain(|&x| x != key);
+                }
+                _ => {
+                    let expected = recency.first().copied();
+                    let got = lru.pop_lru();
+                    prop_assert_eq!(got.as_ref().map(|(k, _)| *k), expected);
+                    if let Some(k) = expected {
+                        model.remove(&k);
+                        recency.remove(0);
+                    }
+                }
+            }
+            prop_assert_eq!(lru.len(), model.len());
+        }
+        // Final drain order equals the recency model (LRU first).
+        let mut drained = Vec::new();
+        while let Some((k, _)) = lru.pop_lru() {
+            drained.push(k);
+        }
+        prop_assert_eq!(drained, recency);
+    }
+
+    // ---------- histogram ----------
+
+    #[test]
+    fn histogram_percentiles_are_monotone_and_bound_samples(
+        samples in proptest::collection::vec(0u64..10_000_000, 1..300)) {
+        let h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        prop_assert_eq!(h.count(), samples.len() as u64);
+        let p50 = h.percentile_us(0.5);
+        let p95 = h.percentile_us(0.95);
+        let p99 = h.percentile_us(0.99);
+        prop_assert!(p50 <= p95 && p95 <= p99, "percentiles monotone: {p50} {p95} {p99}");
+        let max = *samples.iter().max().unwrap();
+        // Bucketed upper bound: within 2× of the true max.
+        prop_assert!(h.percentile_us(1.0) <= max.max(1) * 2);
+        let mean = h.mean_us();
+        let true_mean = samples.iter().sum::<u64>() / samples.len() as u64;
+        prop_assert_eq!(mean, true_mean);
+    }
+
+    // ---------- overflow decisions ----------
+
+    #[test]
+    fn overflow_decisions_are_total_and_loop_free(external in any::<bool>(),
+                                                  redirected in any::<bool>(),
+                                                  stream in "[a-z]{1,8}") {
+        for policy in [
+            OverflowPolicy::DropAndLog,
+            OverflowPolicy::OverflowStream(stream.clone()),
+            OverflowPolicy::SourceThrottle,
+        ] {
+            let action = policy.decide(external, redirected);
+            // A redirected event must never be redirected again (loop bound).
+            if redirected {
+                prop_assert!(!matches!(action, OverflowAction::Redirect(_)));
+            }
+            // Only external events may block the producer.
+            if !external {
+                prop_assert!(!matches!(action, OverflowAction::BlockProducer));
+            }
+        }
+    }
+}

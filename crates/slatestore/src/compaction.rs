@@ -1,0 +1,244 @@
+//! Size-tiered compaction, Cassandra-style.
+//!
+//! §4.2 calls out compaction twice: it competes with reads for I/O
+//! ("Cassandra also requires I/O capacity for periodic compactions, thus
+//! slowing down Muppet"), and read amplification grows with the number of
+//! un-compacted flushes of a row. Size-tiered compaction groups SSTables of
+//! similar size and merges each group into one table; newest `write_ts`
+//! wins per key, expired-TTL cells are dropped, and tombstones are dropped
+//! only on *full* compactions (when every table participates, so no older
+//! version can resurface).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::sstable::SSTable;
+use crate::types::{Cell, CellKey, StoreResult};
+
+/// Compaction tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionPolicy {
+    /// Minimum number of similar-size tables before a tier compacts.
+    pub min_threshold: usize,
+    /// Tables within `bucket_ratio`× of each other share a tier.
+    pub bucket_ratio: f64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy { min_threshold: 4, bucket_ratio: 2.0 }
+    }
+}
+
+/// Pick the indices of tables to merge next, or `None` if no tier is ripe.
+/// `sizes` are file lengths in table order.
+pub fn pick_tier(sizes: &[u64], policy: &CompactionPolicy) -> Option<Vec<usize>> {
+    if sizes.len() < policy.min_threshold {
+        return None;
+    }
+    // Sort indices by size, walk buckets of similar size.
+    let mut by_size: Vec<usize> = (0..sizes.len()).collect();
+    by_size.sort_by_key(|&i| sizes[i]);
+    let mut bucket: Vec<usize> = Vec::new();
+    for &i in &by_size {
+        match bucket.last() {
+            Some(&prev) if (sizes[i] as f64) <= (sizes[prev].max(1) as f64) * policy.bucket_ratio => {
+                bucket.push(i);
+            }
+            _ => {
+                if bucket.len() >= policy.min_threshold {
+                    break;
+                }
+                bucket.clear();
+                bucket.push(i);
+            }
+        }
+    }
+    if bucket.len() >= policy.min_threshold {
+        bucket.sort_unstable();
+        Some(bucket)
+    } else {
+        None
+    }
+}
+
+/// Merge `tables` (newest first) into a single sorted run.
+///
+/// * Per key, the cell with the greatest `write_ts` wins; ties break toward
+///   the newest table (lowest index).
+/// * Cells whose TTL lapsed before `now` are dropped.
+/// * Tombstones are dropped iff `drop_tombstones` (full compaction).
+pub fn merge_tables(
+    tables: &[&SSTable],
+    now: u64,
+    drop_tombstones: bool,
+) -> StoreResult<Vec<(CellKey, Cell)>> {
+    // K-way merge over fully-scanned runs. SSTables are block-structured,
+    // so streaming iterators buy little here; scan() keeps it simple and
+    // still charges the device for every block (the §4.2 compaction cost).
+    let mut runs: Vec<Vec<(CellKey, Cell)>> = Vec::with_capacity(tables.len());
+    for t in tables {
+        runs.push(t.scan()?);
+    }
+    let mut cursors = vec![0usize; runs.len()];
+    // Heap entries: Reverse((key, run_index)) → smallest key first, then
+    // newest run (lowest index) first for equal keys.
+    let mut heap: BinaryHeap<Reverse<(CellKey, usize)>> = BinaryHeap::new();
+    for (run_idx, run) in runs.iter().enumerate() {
+        if let Some((k, _)) = run.first() {
+            heap.push(Reverse((k.clone(), run_idx)));
+        }
+    }
+    let mut out: Vec<(CellKey, Cell)> = Vec::new();
+    let mut current: Option<(CellKey, Cell, usize)> = None; // (key, best cell, run idx)
+
+    while let Some(Reverse((key, run_idx))) = heap.pop() {
+        let cell = runs[run_idx][cursors[run_idx]].1.clone();
+        cursors[run_idx] += 1;
+        if let Some((k, _)) = runs[run_idx].get(cursors[run_idx]) {
+            heap.push(Reverse((k.clone(), run_idx)));
+        }
+        match &mut current {
+            Some((cur_key, cur_cell, cur_run)) if *cur_key == key => {
+                // Same key from an older (or same-age) source: keep the
+                // version with the larger write_ts; tie → newer table.
+                if cell.write_ts > cur_cell.write_ts
+                    || (cell.write_ts == cur_cell.write_ts && run_idx < *cur_run)
+                {
+                    *cur_cell = cell;
+                    *cur_run = run_idx;
+                }
+            }
+            _ => {
+                if let Some((k, c, _)) = current.take() {
+                    push_merged(&mut out, k, c, now, drop_tombstones);
+                }
+                current = Some((key, cell, run_idx));
+            }
+        }
+    }
+    if let Some((k, c, _)) = current.take() {
+        push_merged(&mut out, k, c, now, drop_tombstones);
+    }
+    Ok(out)
+}
+
+fn push_merged(out: &mut Vec<(CellKey, Cell)>, key: CellKey, cell: Cell, now: u64, drop_tombstones: bool) {
+    if cell.expired(now) {
+        return; // TTL GC (§4.2)
+    }
+    if cell.tombstone && drop_tombstones {
+        return;
+    }
+    out.push((key, cell));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceProfile, StorageDevice};
+    use crate::sstable::SSTableWriter;
+    use crate::util::TempDir;
+    use std::sync::Arc;
+
+    fn device() -> Arc<StorageDevice> {
+        Arc::new(StorageDevice::new(DeviceProfile::NULL))
+    }
+
+    fn table(dir: &TempDir, name: &str, cells: &[(&str, Cell)]) -> SSTable {
+        let mut sorted: Vec<_> = cells.to_vec();
+        sorted.sort_by(|a, b| a.0.cmp(b.0));
+        let mut w = SSTableWriter::create(dir.file(name), device(), sorted.len()).unwrap();
+        for (row, cell) in &sorted {
+            w.add(&CellKey::new(row.as_bytes().to_vec(), "U"), cell).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn pick_tier_requires_min_threshold() {
+        let p = CompactionPolicy::default();
+        assert_eq!(pick_tier(&[100, 100, 100], &p), None);
+        assert_eq!(pick_tier(&[100, 110, 95, 105], &p), Some(vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn pick_tier_groups_similar_sizes_only() {
+        let p = CompactionPolicy::default();
+        // Three small + one huge: no tier of 4 similar tables.
+        assert_eq!(pick_tier(&[10, 12, 11, 100_000], &p), None);
+        // Four small among huge ones: the small tier compacts.
+        let got = pick_tier(&[10, 100_000, 12, 11, 13, 90_000], &p).unwrap();
+        assert_eq!(got, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn newest_write_wins_across_tables() {
+        let dir = TempDir::new("compact").unwrap();
+        let newer = table(&dir, "new.sst", &[("k", Cell::live("v2", 20, None))]);
+        let older = table(&dir, "old.sst", &[("k", Cell::live("v1", 10, None)), ("only-old", Cell::live("x", 5, None))]);
+        let merged = merge_tables(&[&newer, &older], 1_000_000, true).unwrap();
+        assert_eq!(merged.len(), 2);
+        let k = merged.iter().find(|(key, _)| key.row.as_ref() == b"k").unwrap();
+        assert_eq!(k.1.value.as_ref(), b"v2");
+        assert_eq!(k.1.write_ts, 20);
+    }
+
+    #[test]
+    fn write_ts_tie_breaks_toward_newest_table() {
+        let dir = TempDir::new("compact").unwrap();
+        let newer = table(&dir, "new.sst", &[("k", Cell::live("new", 10, None))]);
+        let older = table(&dir, "old.sst", &[("k", Cell::live("old", 10, None))]);
+        let merged = merge_tables(&[&newer, &older], 0, false).unwrap();
+        assert_eq!(merged[0].1.value.as_ref(), b"new");
+    }
+
+    #[test]
+    fn tombstone_masks_value_and_drops_on_full_compaction() {
+        let dir = TempDir::new("compact").unwrap();
+        let newer = table(&dir, "new.sst", &[("k", Cell::tombstone(20))]);
+        let older = table(&dir, "old.sst", &[("k", Cell::live("v1", 10, None))]);
+        // Partial compaction keeps the tombstone (it must continue masking
+        // older tables not in this merge).
+        let partial = merge_tables(&[&newer, &older], 0, false).unwrap();
+        assert_eq!(partial.len(), 1);
+        assert!(partial[0].1.tombstone);
+        // Full compaction drops it.
+        let full = merge_tables(&[&newer, &older], 0, true).unwrap();
+        assert!(full.is_empty());
+    }
+
+    #[test]
+    fn expired_ttl_cells_are_garbage_collected() {
+        let dir = TempDir::new("compact").unwrap();
+        let t = table(
+            &dir,
+            "t.sst",
+            &[
+                ("fresh", Cell::live("v", 1_000_000, Some(100))),
+                ("stale", Cell::live("v", 1_000_000, Some(1))),
+            ],
+        );
+        // now = 10s: "stale" (1s TTL) lapsed, "fresh" (100s) lives.
+        let merged = merge_tables(&[&t], 10_000_000, false).unwrap();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].0.row.as_ref(), b"fresh");
+    }
+
+    #[test]
+    fn merged_output_is_sorted_and_unique() {
+        let dir = TempDir::new("compact").unwrap();
+        let a = table(&dir, "a.sst", &[("a", Cell::live("1", 1, None)), ("c", Cell::live("3", 1, None))]);
+        let b = table(&dir, "b.sst", &[("b", Cell::live("2", 2, None)), ("c", Cell::live("newer", 9, None))]);
+        let merged = merge_tables(&[&a, &b], 0, true).unwrap();
+        let rows: Vec<&[u8]> = merged.iter().map(|(k, _)| k.row.as_ref()).collect();
+        assert_eq!(rows, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref()]);
+        assert_eq!(merged[2].1.value.as_ref(), b"newer");
+    }
+
+    #[test]
+    fn merge_of_empty_input_is_empty() {
+        let merged = merge_tables(&[], 0, true).unwrap();
+        assert!(merged.is_empty());
+    }
+}

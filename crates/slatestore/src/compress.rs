@@ -1,0 +1,308 @@
+//! Slate compression.
+//!
+//! "Our applications often use JSON to encode slates ... so Muppet
+//! compresses each slate before storing it in the key-value store" (§4.2).
+//! JSON slates are repetitive (field names recur), so a small LZSS codec —
+//! greedy hash-chain matching over a 32 KiB window — recovers most of that
+//! redundancy without external dependencies.
+//!
+//! ## Format
+//!
+//! ```text
+//! [0x4D 0x5A]  magic "MZ"
+//! [mode: u8]   0 = stored raw, 1 = LZSS
+//! [varint]     uncompressed length
+//! payload      raw bytes (mode 0) or token stream (mode 1)
+//! ```
+//!
+//! Token stream: groups of 8 items prefixed by a flag byte (bit i set ⟹
+//! item i is a match). Literal = 1 byte. Match = 2-byte little-endian
+//! `offset-1` (1..=32768) + 1 byte `length-MIN_MATCH` (match lengths
+//! 4..=259). Incompressible inputs fall back to mode 0, costing only the
+//! header.
+
+use muppet_core::codec::{get_varint, put_varint};
+
+use crate::types::{StoreError, StoreResult};
+
+const MAGIC: [u8; 2] = [0x4d, 0x5a];
+const MODE_RAW: u8 = 0;
+const MODE_LZSS: u8 = 1;
+const WINDOW: usize = 32 * 1024;
+const MIN_MATCH: usize = 4;
+const MAX_MATCH: usize = MIN_MATCH + 255;
+const HASH_BITS: u32 = 15;
+/// Bounded match-chain probes per position: caps worst-case compress time.
+const MAX_CHAIN: usize = 32;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    ((v.wrapping_mul(0x9e37_79b1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input`. Never fails; falls back to stored mode when LZSS does
+/// not help.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    out.extend_from_slice(&MAGIC);
+    out.push(MODE_LZSS);
+    put_varint(&mut out, input.len() as u64);
+    let header_len = out.len();
+
+    if input.len() >= MIN_MATCH {
+        let mut head = vec![u32::MAX; 1 << HASH_BITS];
+        let mut prev = vec![u32::MAX; input.len()];
+        let mut pos = 0usize;
+        let mut flag_at = usize::MAX;
+        let mut flag_bit = 8u8;
+
+        macro_rules! begin_item {
+            () => {
+                if flag_bit == 8 {
+                    flag_at = out.len();
+                    out.push(0);
+                    flag_bit = 0;
+                }
+            };
+        }
+
+        while pos < input.len() {
+            let mut best_len = 0usize;
+            let mut best_off = 0usize;
+            if pos + MIN_MATCH <= input.len() {
+                let h = hash4(&input[pos..]);
+                let mut candidate = head[h];
+                let mut probes = 0;
+                while candidate != u32::MAX && probes < MAX_CHAIN {
+                    let c = candidate as usize;
+                    if pos - c > WINDOW {
+                        break;
+                    }
+                    let limit = (input.len() - pos).min(MAX_MATCH);
+                    let mut len = 0usize;
+                    while len < limit && input[c + len] == input[pos + len] {
+                        len += 1;
+                    }
+                    if len > best_len {
+                        best_len = len;
+                        best_off = pos - c;
+                        if len == limit {
+                            break;
+                        }
+                    }
+                    candidate = prev[c];
+                    probes += 1;
+                }
+                head[h] = pos as u32;
+                prev[pos] = if candidate == u32::MAX && probes == 0 { u32::MAX } else { prev[pos] };
+            }
+
+            if best_len >= MIN_MATCH {
+                begin_item!();
+                out[flag_at] |= 1 << flag_bit;
+                flag_bit += 1;
+                let off = (best_off - 1) as u16;
+                out.extend_from_slice(&off.to_le_bytes());
+                out.push((best_len - MIN_MATCH) as u8);
+                // Insert hash entries for covered positions so later
+                // matches can reference inside this match.
+                let end = pos + best_len;
+                let mut p = pos + 1;
+                while p < end && p + MIN_MATCH <= input.len() {
+                    let h = hash4(&input[p..]);
+                    prev[p] = head[h] as u32;
+                    head[h] = p as u32;
+                    p += 1;
+                }
+                pos = end;
+            } else {
+                begin_item!();
+                flag_bit += 1;
+                out.push(input[pos]);
+                if pos + MIN_MATCH <= input.len() {
+                    let h = hash4(&input[pos..]);
+                    prev[pos] = head[h];
+                    head[h] = pos as u32;
+                }
+                pos += 1;
+            }
+        }
+    } else {
+        // Inputs shorter than MIN_MATCH cannot contain matches: emit
+        // literals under all-zero flag bytes.
+        let mut flag_bit = 8u8;
+        for &b in input {
+            if flag_bit == 8 {
+                out.push(0);
+                flag_bit = 0;
+            }
+            flag_bit += 1;
+            out.push(b);
+        }
+    }
+
+    if out.len() >= input.len() + header_len {
+        // Incompressible: store raw.
+        out.truncate(2);
+        out.push(MODE_RAW);
+        put_varint(&mut out, input.len() as u64);
+        out.extend_from_slice(input);
+    }
+    out
+}
+
+/// Decompress a buffer produced by [`compress`]. Fully bounds-checked.
+pub fn decompress(data: &[u8]) -> StoreResult<Vec<u8>> {
+    if data.len() < 3 || data[0..2] != MAGIC {
+        return Err(StoreError::Compression("bad magic".into()));
+    }
+    let mode = data[2];
+    let (expect_len, n) =
+        get_varint(&data[3..]).ok_or_else(|| StoreError::Compression("bad length".into()))?;
+    let expect_len =
+        usize::try_from(expect_len).map_err(|_| StoreError::Compression("length overflow".into()))?;
+    let mut rest = &data[3 + n..];
+
+    match mode {
+        MODE_RAW => {
+            if rest.len() != expect_len {
+                return Err(StoreError::Compression("raw length mismatch".into()));
+            }
+            Ok(rest.to_vec())
+        }
+        MODE_LZSS => {
+            let mut out = Vec::with_capacity(expect_len);
+            while out.len() < expect_len {
+                let Some((&flags, after)) = rest.split_first() else {
+                    return Err(StoreError::Compression("truncated flags".into()));
+                };
+                rest = after;
+                for bit in 0..8 {
+                    if out.len() >= expect_len {
+                        break;
+                    }
+                    if flags & (1 << bit) != 0 {
+                        if rest.len() < 3 {
+                            return Err(StoreError::Compression("truncated match".into()));
+                        }
+                        let off = u16::from_le_bytes([rest[0], rest[1]]) as usize + 1;
+                        let len = rest[2] as usize + MIN_MATCH;
+                        rest = &rest[3..];
+                        if off > out.len() {
+                            return Err(StoreError::Compression("match offset out of range".into()));
+                        }
+                        let start = out.len() - off;
+                        for i in 0..len {
+                            let b = out[start + i];
+                            out.push(b);
+                        }
+                    } else {
+                        let Some((&b, after)) = rest.split_first() else {
+                            return Err(StoreError::Compression("truncated literal".into()));
+                        };
+                        rest = after;
+                        out.push(b);
+                    }
+                }
+            }
+            if out.len() != expect_len {
+                return Err(StoreError::Compression("length mismatch after decode".into()));
+            }
+            Ok(out)
+        }
+        _ => Err(StoreError::Compression(format!("unknown mode {mode}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(input: &[u8]) -> Vec<u8> {
+        let packed = compress(input);
+        decompress(&packed).unwrap()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(roundtrip(b""), b"");
+        assert_eq!(roundtrip(b"a"), b"a");
+        assert_eq!(roundtrip(b"abc"), b"abc");
+        assert_eq!(roundtrip(b"abcd"), b"abcd");
+    }
+
+    #[test]
+    fn repetitive_json_shrinks() {
+        let slate = br#"{"count": 42, "last_seen": 123456, "interests": ["deals", "deals", "deals", "deals"], "count_by_day": {"mon": 1, "tue": 1, "wed": 1, "thu": 1}}"#;
+        let packed = compress(slate);
+        assert_eq!(decompress(&packed).unwrap(), slate);
+        assert!(packed.len() < slate.len(), "{} !< {}", packed.len(), slate.len());
+    }
+
+    #[test]
+    fn long_runs_compress_hard() {
+        let input = vec![b'x'; 100_000];
+        let packed = compress(&input);
+        assert!(packed.len() < input.len() / 50, "run-length-ish input: {}", packed.len());
+        assert_eq!(decompress(&packed).unwrap(), input);
+    }
+
+    #[test]
+    fn incompressible_data_stores_raw_with_small_overhead() {
+        // Pseudo-random bytes via a simple LCG (deterministic).
+        let mut state = 0x12345678u64;
+        let input: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect();
+        let packed = compress(&input);
+        assert!(packed.len() <= input.len() + 16, "raw fallback bounds expansion");
+        assert_eq!(decompress(&packed).unwrap(), input);
+    }
+
+    #[test]
+    fn overlapping_matches_decode_correctly() {
+        // "aaaa..." forces matches that overlap their own output.
+        let input = b"abababababababababababababab".to_vec();
+        assert_eq!(roundtrip(&input), input);
+    }
+
+    #[test]
+    fn decompress_rejects_garbage() {
+        assert!(decompress(b"").is_err());
+        assert!(decompress(b"XY\x01\x05hello").is_err());
+        assert!(decompress(&[0x4d, 0x5a, 9, 0]).is_err());
+        // Valid header, truncated body.
+        let mut packed = compress(b"hello world hello world hello world");
+        packed.truncate(packed.len() - 3);
+        assert!(decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_bad_match_offset() {
+        // Hand-craft: MAGIC, LZSS, len=4, flags=0b1 (match), offset 999, len 0.
+        let mut buf = vec![0x4d, 0x5a, MODE_LZSS];
+        put_varint(&mut buf, 4);
+        buf.push(0b1);
+        buf.extend_from_slice(&998u16.to_le_bytes());
+        buf.push(0);
+        assert!(decompress(&buf).is_err());
+    }
+
+    #[test]
+    fn large_window_reference() {
+        // Two copies of a 20 KiB block: second copy should reference the first.
+        let mut block = Vec::new();
+        for i in 0..2500u32 {
+            block.extend_from_slice(format!("retailer-{i:04},").as_bytes());
+        }
+        let mut input = block.clone();
+        input.extend_from_slice(&block);
+        let packed = compress(&input);
+        assert!(packed.len() < input.len() * 2 / 3);
+        assert_eq!(decompress(&packed).unwrap(), input);
+    }
+}

@@ -1,0 +1,202 @@
+//! Storage device model.
+//!
+//! §4.2 argues at length for running the slate store on SSDs: cold-cache
+//! startup floods the store with random reads, compaction competes for I/O,
+//! and write buffering only pays off if the device can absorb the flush
+//! bursts. We don't have the authors' hardware, so the device is a
+//! *service-time model*: every logical read/write debits a configurable
+//! latency (busy-waited so benchmark wall-clock shows the effect) and bumps
+//! I/O counters. A zero-latency profile makes the model free for unit tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Per-operation service times, in microseconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DeviceProfile {
+    /// Human-readable name ("ssd", "hdd", "null").
+    pub name: &'static str,
+    /// Latency of one random read (seek + transfer start).
+    pub read_latency_us: u64,
+    /// Latency of one write (into the device write buffer).
+    pub write_latency_us: u64,
+    /// Additional cost per 4 KiB transferred.
+    pub per_4k_us: u64,
+}
+
+impl DeviceProfile {
+    /// Free device for unit tests: counts I/O, costs nothing.
+    pub const NULL: DeviceProfile =
+        DeviceProfile { name: "null", read_latency_us: 0, write_latency_us: 0, per_4k_us: 0 };
+
+    /// Flash storage: ~100 µs random read, cheap writes (buffered).
+    pub const SSD: DeviceProfile =
+        DeviceProfile { name: "ssd", read_latency_us: 100, write_latency_us: 20, per_4k_us: 10 };
+
+    /// Spinning disk: ~8 ms seek per random read.
+    pub const HDD: DeviceProfile =
+        DeviceProfile { name: "hdd", read_latency_us: 8_000, write_latency_us: 500, per_4k_us: 50 };
+}
+
+/// Cumulative I/O counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Logical read operations.
+    pub reads: u64,
+    /// Logical write operations.
+    pub writes: u64,
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Total simulated service time charged, microseconds.
+    pub service_us: u64,
+}
+
+/// A shared storage device: charge service time, count I/O.
+#[derive(Debug)]
+pub struct StorageDevice {
+    profile: DeviceProfile,
+    reads: AtomicU64,
+    writes: AtomicU64,
+    read_bytes: AtomicU64,
+    write_bytes: AtomicU64,
+    service_us: AtomicU64,
+}
+
+impl StorageDevice {
+    /// Build a device with the given profile.
+    pub fn new(profile: DeviceProfile) -> Self {
+        StorageDevice {
+            profile,
+            reads: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            read_bytes: AtomicU64::new(0),
+            write_bytes: AtomicU64::new(0),
+            service_us: AtomicU64::new(0),
+        }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> DeviceProfile {
+        self.profile
+    }
+
+    /// Charge one random read of `bytes`.
+    pub fn charge_read(&self, bytes: usize) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+        self.read_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let us = self.profile.read_latency_us + self.transfer_cost(bytes);
+        self.spend(us);
+    }
+
+    /// Charge one write of `bytes`.
+    pub fn charge_write(&self, bytes: usize) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.write_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        let us = self.profile.write_latency_us + self.transfer_cost(bytes);
+        self.spend(us);
+    }
+
+    fn transfer_cost(&self, bytes: usize) -> u64 {
+        (bytes as u64).div_ceil(4096) * self.profile.per_4k_us
+    }
+
+    fn spend(&self, us: u64) {
+        self.service_us.fetch_add(us, Ordering::Relaxed);
+        if us == 0 {
+            return;
+        }
+        if us >= 1000 {
+            std::thread::sleep(Duration::from_micros(us));
+        } else {
+            // Sub-millisecond sleeps are unreliable; busy-wait for fidelity.
+            let deadline = Instant::now() + Duration::from_micros(us);
+            while Instant::now() < deadline {
+                std::hint::spin_loop();
+            }
+        }
+    }
+
+    /// Snapshot the counters.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            service_us: self.service_us.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero the counters (between experiment phases).
+    pub fn reset_stats(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.read_bytes.store(0, Ordering::Relaxed);
+        self.write_bytes.store(0, Ordering::Relaxed);
+        self.service_us.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Default for StorageDevice {
+    fn default() -> Self {
+        StorageDevice::new(DeviceProfile::NULL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_device_counts_without_cost() {
+        let d = StorageDevice::new(DeviceProfile::NULL);
+        let t0 = Instant::now();
+        d.charge_read(8192);
+        d.charge_write(100);
+        assert!(t0.elapsed() < Duration::from_millis(5));
+        let s = d.stats();
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.read_bytes, 8192);
+        assert_eq!(s.write_bytes, 100);
+        assert_eq!(s.service_us, 0);
+    }
+
+    #[test]
+    fn hdd_reads_cost_more_than_ssd() {
+        let ssd = StorageDevice::new(DeviceProfile::SSD);
+        let hdd = StorageDevice::new(DeviceProfile::HDD);
+        ssd.charge_read(4096);
+        hdd.charge_read(4096);
+        assert!(hdd.stats().service_us > ssd.stats().service_us * 10);
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_size() {
+        let d = StorageDevice::new(DeviceProfile::SSD);
+        d.charge_read(4096);
+        let small = d.stats().service_us;
+        d.reset_stats();
+        d.charge_read(64 * 1024);
+        let large = d.stats().service_us;
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn reset_clears_counters() {
+        let d = StorageDevice::default();
+        d.charge_write(1);
+        d.reset_stats();
+        assert_eq!(d.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn hdd_read_actually_waits() {
+        let d = StorageDevice::new(DeviceProfile::HDD);
+        let t0 = Instant::now();
+        d.charge_read(4096);
+        assert!(t0.elapsed() >= Duration::from_millis(7), "HDD seek should take ~8ms");
+    }
+}

@@ -1,0 +1,43 @@
+//! # muppet-slatestore — the durable slate store
+//!
+//! Muppet persists slates in Cassandra: "Muppet stores slate S(U,k) ... as a
+//! value at row k and column U" (§4.2), compressed, with per-write TTLs,
+//! quorum-configurable reads/writes, and write-buffered storage on SSDs.
+//! This crate is a from-scratch reproduction of the slice of Cassandra that
+//! Muppet actually uses:
+//!
+//! * an **LSM storage node** ([`node::StoreNode`]): commit log ([`wal`]),
+//!   in-memory memtable ([`memtable`]), immutable **SSTables** on disk
+//!   ([`sstable`]) with block indexes and bloom filters ([`bloom`]),
+//!   size-tiered compaction ([`compaction`]), tombstones, and TTL expiry;
+//! * **distribution** ([`cluster::StoreCluster`]): consistent-hash
+//!   placement ([`ring`]) with N-way replication and per-operation
+//!   consistency levels ONE / QUORUM / ALL, read repair, and node
+//!   up/down handling;
+//! * **value compression** ([`compress`]): an LZSS codec standing in for
+//!   the paper's slate compression;
+//! * a **storage device model** ([`device`]): per-I/O service times for
+//!   SSD vs. spinning disk, so the §4.2 SSD experiments have a knob.
+//!
+//! Everything is synchronous and lock-protected; Muppet's background
+//! flusher thread (in `muppet-runtime`) provides the asynchrony the paper
+//! describes ("a thread to provide background I/O to the durable key-value
+//! store", §4.5).
+
+pub mod bloom;
+pub mod cluster;
+pub mod compaction;
+pub mod compress;
+pub mod device;
+pub mod memtable;
+pub mod node;
+mod record;
+pub mod ring;
+pub mod sstable;
+pub mod types;
+pub mod util;
+pub mod wal;
+
+pub use cluster::{Consistency, StoreCluster, StoreConfig};
+pub use node::{NodeConfig, StoreNode};
+pub use types::{Cell, CellKey, StoreError, StoreResult};

@@ -1,0 +1,154 @@
+//! The memtable: the in-memory write buffer of a storage node.
+//!
+//! §4.2's design leans on exactly this structure: "we minimize disk I/O for
+//! writing at the key-value store if we devote the store's main memory to
+//! buffering writes. Overwrites of the same row ... are relatively
+//! inexpensive if the row is still in memory at the time of the write."
+//! Repeated slate flushes for a hot key coalesce here and reach disk once
+//! per memtable flush, not once per write.
+
+use std::collections::BTreeMap;
+
+use crate::types::{Cell, CellKey};
+
+/// Sorted in-memory buffer of the newest cell per key.
+#[derive(Debug, Default)]
+pub struct Memtable {
+    cells: BTreeMap<CellKey, Cell>,
+    approx_bytes: usize,
+    /// Writes absorbed by overwriting an in-memory cell (the §4.2 win).
+    overwrites: u64,
+}
+
+impl Memtable {
+    /// An empty memtable.
+    pub fn new() -> Self {
+        Memtable::default()
+    }
+
+    /// Insert or overwrite a cell. Last-write-wins by call order; callers
+    /// supply monotone `write_ts` values.
+    pub fn put(&mut self, key: CellKey, cell: Cell) {
+        let key_size = key.approx_size();
+        let cell_size = cell.approx_size();
+        match self.cells.insert(key, cell) {
+            Some(old) => {
+                // Same key stays resident: swap only the cell's footprint.
+                self.overwrites += 1;
+                self.approx_bytes = self.approx_bytes.saturating_sub(old.approx_size()) + cell_size;
+            }
+            None => self.approx_bytes += key_size + cell_size,
+        }
+    }
+
+    /// Lookup the newest cell for `key` (tombstones included — the caller
+    /// interprets them).
+    pub fn get(&self, key: &CellKey) -> Option<&Cell> {
+        self.cells.get(key)
+    }
+
+    /// Number of distinct keys.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when no cells are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes; drives flush triggering.
+    pub fn approx_bytes(&self) -> usize {
+        self.approx_bytes
+    }
+
+    /// Overwrite hits since creation (write coalescing effectiveness).
+    pub fn overwrites(&self) -> u64 {
+        self.overwrites
+    }
+
+    /// Iterate cells in key order (for SSTable flush).
+    pub fn iter(&self) -> impl Iterator<Item = (&CellKey, &Cell)> {
+        self.cells.iter()
+    }
+
+    /// Drain into a sorted vec, leaving the memtable empty.
+    pub fn drain_sorted(&mut self) -> Vec<(CellKey, Cell)> {
+        self.approx_bytes = 0;
+        std::mem::take(&mut self.cells).into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(row: &str) -> CellKey {
+        CellKey::new(row.as_bytes().to_vec(), "U1")
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut mt = Memtable::new();
+        assert!(mt.is_empty());
+        mt.put(k("a"), Cell::live("v1", 1, None));
+        assert_eq!(mt.get(&k("a")).unwrap().value.as_ref(), b"v1");
+        assert_eq!(mt.get(&k("b")), None);
+        assert_eq!(mt.len(), 1);
+        assert!(!mt.is_empty());
+    }
+
+    #[test]
+    fn overwrites_keep_latest_and_count() {
+        let mut mt = Memtable::new();
+        mt.put(k("hot"), Cell::live("v1", 1, None));
+        mt.put(k("hot"), Cell::live("v2", 2, None));
+        mt.put(k("hot"), Cell::live("v3", 3, None));
+        assert_eq!(mt.len(), 1);
+        assert_eq!(mt.get(&k("hot")).unwrap().value.as_ref(), b"v3");
+        assert_eq!(mt.overwrites(), 2, "hot-key writes coalesce in memory (§4.2)");
+    }
+
+    #[test]
+    fn byte_accounting_tracks_growth_and_shrink() {
+        let mut mt = Memtable::new();
+        mt.put(k("a"), Cell::live(vec![0u8; 1000], 1, None));
+        let big = mt.approx_bytes();
+        assert!(big >= 1000);
+        mt.put(k("a"), Cell::live(vec![0u8; 10], 2, None));
+        assert!(mt.approx_bytes() < big, "shrinking overwrite reduces accounting");
+        let drained = mt.drain_sorted();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(mt.approx_bytes(), 0);
+        assert!(mt.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut mt = Memtable::new();
+        for row in ["zeta", "alpha", "mid"] {
+            mt.put(k(row), Cell::live("v", 1, None));
+        }
+        let rows: Vec<&[u8]> = mt.iter().map(|(key, _)| key.row.as_ref()).collect();
+        assert_eq!(rows, vec![b"alpha".as_ref(), b"mid".as_ref(), b"zeta".as_ref()]);
+    }
+
+    #[test]
+    fn tombstones_are_stored() {
+        let mut mt = Memtable::new();
+        mt.put(k("a"), Cell::live("v", 1, None));
+        mt.put(k("a"), Cell::tombstone(2));
+        assert!(mt.get(&k("a")).unwrap().tombstone);
+    }
+
+    #[test]
+    fn distinct_columns_are_distinct_cells() {
+        // Slates for ⟨U1, k⟩ and ⟨U2, k⟩ must not collide (§3).
+        let mut mt = Memtable::new();
+        mt.put(CellKey::new("k", "U1"), Cell::live("one", 1, None));
+        mt.put(CellKey::new("k", "U2"), Cell::live("two", 1, None));
+        assert_eq!(mt.len(), 2);
+        assert_eq!(mt.get(&CellKey::new("k", "U1")).unwrap().value.as_ref(), b"one");
+        assert_eq!(mt.get(&CellKey::new("k", "U2")).unwrap().value.as_ref(), b"two");
+    }
+}

@@ -1,0 +1,557 @@
+//! A single storage node: WAL + memtable + SSTables + compaction.
+//!
+//! This is the per-machine Cassandra stand-in. Writes land in the commit
+//! log and the memtable (cheap, buffered — the §4.2 write-buffering
+//! argument); the memtable flushes to an SSTable when it outgrows its
+//! budget; size-tiered compaction keeps read amplification bounded; TTLs
+//! garbage-collect idle slates at read time and during compaction.
+//!
+//! All time is caller-supplied logical microseconds, so TTL tests and the
+//! X9 experiment control the clock.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use crate::compaction::{merge_tables, pick_tier, CompactionPolicy};
+use crate::device::StorageDevice;
+use crate::memtable::Memtable;
+use crate::sstable::{SSTable, SSTableWriter};
+use crate::types::{Cell, CellKey, StoreResult};
+use crate::wal::{replay, WalWriter};
+
+/// Node tuning knobs.
+#[derive(Clone, Debug)]
+pub struct NodeConfig {
+    /// Data directory (SSTables + WAL segments).
+    pub dir: PathBuf,
+    /// Memtable flush threshold in approximate bytes.
+    pub memtable_flush_bytes: usize,
+    /// fsync the WAL on every append (durable) or rely on OS buffering.
+    pub wal_sync_each: bool,
+    /// Compaction policy.
+    pub compaction: CompactionPolicy,
+    /// Run compaction automatically after each flush.
+    pub auto_compact: bool,
+}
+
+impl NodeConfig {
+    /// Defaults tuned for tests: small memtables flush often.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        NodeConfig {
+            dir: dir.into(),
+            memtable_flush_bytes: 4 * 1024 * 1024,
+            wal_sync_each: false,
+            compaction: CompactionPolicy::default(),
+            auto_compact: true,
+        }
+    }
+
+    /// Set the memtable flush threshold.
+    pub fn with_flush_bytes(mut self, bytes: usize) -> Self {
+        self.memtable_flush_bytes = bytes;
+        self
+    }
+
+    /// Enable per-append WAL fsync.
+    pub fn with_wal_sync(mut self, sync: bool) -> Self {
+        self.wal_sync_each = sync;
+        self
+    }
+
+    /// Disable automatic compaction (experiments trigger it manually).
+    pub fn with_auto_compact(mut self, auto: bool) -> Self {
+        self.auto_compact = auto;
+        self
+    }
+}
+
+/// Cumulative node statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeStats {
+    /// Cells written (including tombstones).
+    pub puts: u64,
+    /// Point reads served.
+    pub gets: u64,
+    /// Reads answered from the memtable.
+    pub memtable_hits: u64,
+    /// Reads answered from an SSTable.
+    pub sstable_hits: u64,
+    /// Reads finding nothing (or only expired/tombstoned cells).
+    pub misses: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Cells reclaimed by TTL expiry or tombstone GC during compaction.
+    pub gc_cells: u64,
+}
+
+/// One LSM storage node.
+pub struct StoreNode {
+    cfg: NodeConfig,
+    device: Arc<StorageDevice>,
+    wal: WalWriter,
+    wal_gen: u64,
+    memtable: Memtable,
+    /// Open tables, any order; reads consult all (bloom-filtered) and take
+    /// the max write_ts, so ordering is not load-bearing.
+    tables: Vec<SSTable>,
+    next_table_id: u64,
+    stats: NodeStats,
+}
+
+impl std::fmt::Debug for StoreNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreNode")
+            .field("dir", &self.cfg.dir)
+            .field("memtable_cells", &self.memtable.len())
+            .field("tables", &self.tables.len())
+            .finish()
+    }
+}
+
+impl StoreNode {
+    /// Open (or create) a node at `cfg.dir`, recovering any existing
+    /// SSTables and replaying WAL segments into the memtable.
+    pub fn open(cfg: NodeConfig, device: Arc<StorageDevice>) -> StoreResult<StoreNode> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        // Load SSTables (sst-<id>.sst) and find the next ids.
+        let mut table_ids: Vec<u64> = Vec::new();
+        let mut wal_gens: Vec<u64> = Vec::new();
+        for entry in std::fs::read_dir(&cfg.dir)? {
+            let name = entry?.file_name();
+            let name = name.to_string_lossy();
+            if let Some(id) = name.strip_prefix("sst-").and_then(|s| s.strip_suffix(".sst")) {
+                if let Ok(id) = id.parse() {
+                    table_ids.push(id);
+                }
+            } else if let Some(gen) = name.strip_prefix("wal-").and_then(|s| s.strip_suffix(".log")) {
+                if let Ok(gen) = gen.parse() {
+                    wal_gens.push(gen);
+                }
+            }
+        }
+        table_ids.sort_unstable();
+        wal_gens.sort_unstable();
+        let mut tables = Vec::with_capacity(table_ids.len());
+        for id in &table_ids {
+            tables.push(SSTable::open(cfg.dir.join(format!("sst-{id}.sst")), Arc::clone(&device))?);
+        }
+        // Replay WAL segments oldest-first so later writes win in the
+        // memtable.
+        let mut memtable = Memtable::new();
+        for gen in &wal_gens {
+            let replayed = replay(cfg.dir.join(format!("wal-{gen}.log")))?;
+            for (key, cell) in replayed.records {
+                memtable.put(key, cell);
+            }
+        }
+        let wal_gen = wal_gens.last().map_or(0, |g| g + 1);
+        let wal = WalWriter::create(cfg.dir.join(format!("wal-{wal_gen}.log")), cfg.wal_sync_each)?;
+        // Old segments stay on disk until the recovered memtable flushes.
+        let next_table_id = table_ids.last().map_or(0, |id| id + 1);
+        Ok(StoreNode { cfg, device, wal, wal_gen, memtable, tables, next_table_id, stats: NodeStats::default() })
+    }
+
+    /// Write a value. `now` supplies the write timestamp.
+    pub fn put(&mut self, key: CellKey, value: impl Into<Bytes>, ttl_secs: Option<u64>, now: u64) -> StoreResult<()> {
+        let cell = Cell::live(value, now, ttl_secs);
+        self.wal.append(&key, &cell)?;
+        self.memtable.put(key, cell);
+        self.stats.puts += 1;
+        self.maybe_flush(now)
+    }
+
+    /// Delete a value (writes a tombstone).
+    pub fn delete(&mut self, key: CellKey, now: u64) -> StoreResult<()> {
+        let cell = Cell::tombstone(now);
+        self.wal.append(&key, &cell)?;
+        self.memtable.put(key, cell);
+        self.stats.puts += 1;
+        self.maybe_flush(now)
+    }
+
+    /// Point read: newest visible cell across memtable and all tables.
+    /// Returns the raw stored bytes (the store does not understand slate
+    /// compression; that is the cache layer's concern).
+    pub fn get(&mut self, key: &CellKey, now: u64) -> StoreResult<Option<Bytes>> {
+        Ok(self.get_with_ts(key, now)?.map(|(v, _)| v))
+    }
+
+    /// Point read returning `(value, write_ts)` — the cluster layer needs
+    /// the timestamp to resolve divergent replicas and run read repair.
+    pub fn get_with_ts(&mut self, key: &CellKey, now: u64) -> StoreResult<Option<(Bytes, u64)>> {
+        self.stats.gets += 1;
+        let mut best: Option<(Cell, bool)> = // (cell, from_memtable)
+            self.memtable.get(key).map(|c| (c.clone(), true));
+        for table in &self.tables {
+            if let Some(cell) = table.get(key)? {
+                let newer = match &best {
+                    Some((b, _)) => cell.write_ts > b.write_ts,
+                    None => true,
+                };
+                if newer {
+                    best = Some((cell, false));
+                }
+            }
+        }
+        match best {
+            Some((cell, from_mem)) if cell.visible(now) => {
+                if from_mem {
+                    self.stats.memtable_hits += 1;
+                } else {
+                    self.stats.sstable_hits += 1;
+                }
+                Ok(Some((cell.value, cell.write_ts)))
+            }
+            _ => {
+                self.stats.misses += 1;
+                Ok(None)
+            }
+        }
+    }
+
+    fn maybe_flush(&mut self, now: u64) -> StoreResult<()> {
+        if self.memtable.approx_bytes() >= self.cfg.memtable_flush_bytes {
+            self.flush(now)?;
+        }
+        Ok(())
+    }
+
+    /// Flush the memtable to a new SSTable and rotate the WAL.
+    pub fn flush(&mut self, now: u64) -> StoreResult<()> {
+        if self.memtable.is_empty() {
+            return Ok(());
+        }
+        let cells = self.memtable.drain_sorted();
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        let path = self.cfg.dir.join(format!("sst-{id}.sst"));
+        let mut w = SSTableWriter::create(&path, Arc::clone(&self.device), cells.len())?;
+        for (key, cell) in &cells {
+            w.add(key, cell)?;
+        }
+        self.tables.push(w.finish()?);
+        self.stats.flushes += 1;
+        // Rotate WAL: new segment, then delete all older segments (their
+        // contents are now durable in the SSTable).
+        let old_gen = self.wal_gen;
+        self.wal_gen += 1;
+        self.wal =
+            WalWriter::create(self.cfg.dir.join(format!("wal-{}.log", self.wal_gen)), self.cfg.wal_sync_each)?;
+        for gen in 0..=old_gen {
+            let _ = std::fs::remove_file(self.cfg.dir.join(format!("wal-{gen}.log")));
+        }
+        if self.cfg.auto_compact {
+            self.maybe_compact(now)?;
+        }
+        Ok(())
+    }
+
+    /// Run one round of size-tiered compaction if a tier is ripe.
+    /// Returns true if a compaction ran.
+    pub fn maybe_compact(&mut self, now: u64) -> StoreResult<bool> {
+        let sizes: Vec<u64> = self.tables.iter().map(|t| t.file_len()).collect();
+        let Some(mut picked) = pick_tier(&sizes, &self.cfg.compaction) else {
+            return Ok(false);
+        };
+        // Newest-first for the merger's tie-break: higher index = newer
+        // flush in our `tables` vec.
+        picked.sort_unstable_by(|a, b| b.cmp(a));
+        let full = picked.len() == self.tables.len();
+        let inputs: Vec<&SSTable> = picked.iter().map(|&i| &self.tables[i]).collect();
+        let input_cells: u64 = inputs.iter().map(|t| t.entry_count()).sum();
+        let merged = merge_tables(&inputs, now, full)?;
+        self.stats.gc_cells += input_cells.saturating_sub(merged.len() as u64);
+
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        let path = self.cfg.dir.join(format!("sst-{id}.sst"));
+        let mut w = SSTableWriter::create(&path, Arc::clone(&self.device), merged.len())?;
+        for (key, cell) in &merged {
+            w.add(key, cell)?;
+        }
+        let new_table = w.finish()?;
+        // Remove inputs (descending indices keep positions valid).
+        for &i in &picked {
+            let old = self.tables.remove(i);
+            let _ = std::fs::remove_file(old.path());
+        }
+        self.tables.push(new_table);
+        self.stats.compactions += 1;
+        Ok(true)
+    }
+
+    /// All visible cells at `now` (newest version per key), sorted by key.
+    /// The §5 "large-volume row reads from the durable key-value store" —
+    /// bulk dumps for later Hadoop-style processing. Expensive: scans
+    /// every table.
+    pub fn scan_all(&self, now: u64) -> StoreResult<Vec<(CellKey, Bytes)>> {
+        use std::collections::BTreeMap;
+        let mut newest: BTreeMap<CellKey, Cell> = BTreeMap::new();
+        for (k, c) in self.memtable.iter() {
+            newest.insert(k.clone(), c.clone());
+        }
+        for table in &self.tables {
+            for (k, c) in table.scan()? {
+                match newest.get(&k) {
+                    Some(existing) if existing.write_ts >= c.write_ts => {}
+                    _ => {
+                        newest.insert(k, c);
+                    }
+                }
+            }
+        }
+        Ok(newest
+            .into_iter()
+            .filter(|(_, c)| c.visible(now))
+            .map(|(k, c)| (k, c.value))
+            .collect())
+    }
+
+    /// Count cells visible at `now` (newest version per key), for the TTL
+    /// growth experiment. Expensive: scans everything.
+    pub fn live_cells(&self, now: u64) -> StoreResult<usize> {
+        Ok(self.scan_all(now)?.len())
+    }
+
+    /// Total bytes across SSTable files.
+    pub fn disk_bytes(&self) -> u64 {
+        self.tables.iter().map(|t| t.file_len()).sum()
+    }
+
+    /// Number of open SSTables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Cells currently buffered in the memtable.
+    pub fn memtable_len(&self) -> usize {
+        self.memtable.len()
+    }
+
+    /// Node statistics.
+    pub fn stats(&self) -> NodeStats {
+        self.stats
+    }
+
+    /// The device this node charges I/O to.
+    pub fn device(&self) -> &Arc<StorageDevice> {
+        &self.device
+    }
+
+    /// Flush WAL buffers to the OS (called by the background flusher).
+    pub fn sync_wal(&mut self) -> StoreResult<()> {
+        self.wal.flush()
+    }
+
+    /// Simulate a process crash: all in-memory state vanishes; only what
+    /// reached the WAL and SSTables survives. Returns the recovered node.
+    pub fn crash_and_recover(mut self) -> StoreResult<StoreNode> {
+        // Ensure buffered WAL frames reach the file (the OS survives a
+        // *process* crash; whole-machine power loss would need
+        // wal_sync_each=true).
+        self.wal.flush()?;
+        let cfg = self.cfg.clone();
+        let device = Arc::clone(&self.device);
+        drop(self);
+        StoreNode::open(cfg, device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProfile;
+    use crate::util::TempDir;
+
+    fn node(dir: &TempDir) -> StoreNode {
+        StoreNode::open(
+            NodeConfig::new(dir.path()).with_flush_bytes(16 * 1024),
+            Arc::new(StorageDevice::new(DeviceProfile::NULL)),
+        )
+        .unwrap()
+    }
+
+    fn key(row: &str) -> CellKey {
+        CellKey::new(row.as_bytes().to_vec(), "U1")
+    }
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        n.put(key("a"), "v1", None, 1).unwrap();
+        assert_eq!(n.get(&key("a"), 2).unwrap().unwrap().as_ref(), b"v1");
+        n.put(key("a"), "v2", None, 3).unwrap();
+        assert_eq!(n.get(&key("a"), 4).unwrap().unwrap().as_ref(), b"v2");
+        n.delete(key("a"), 5).unwrap();
+        assert_eq!(n.get(&key("a"), 6).unwrap(), None);
+        assert_eq!(n.get(&key("never"), 6).unwrap(), None);
+        let s = n.stats();
+        assert_eq!(s.puts, 3);
+        assert_eq!(s.gets, 4);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn reads_span_memtable_and_sstables() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        for i in 0..500 {
+            n.put(key(&format!("k{i:04}")), format!("v{i}"), None, i).unwrap();
+        }
+        n.flush(1000).unwrap();
+        assert!(n.table_count() >= 1);
+        assert_eq!(n.memtable_len(), 0);
+        // From SSTable:
+        assert_eq!(n.get(&key("k0123"), 1000).unwrap().unwrap().as_ref(), b"v123");
+        // New write goes to memtable and shadows the flushed value:
+        n.put(key("k0123"), "newer", None, 2000).unwrap();
+        assert_eq!(n.get(&key("k0123"), 2001).unwrap().unwrap().as_ref(), b"newer");
+        let s = n.stats();
+        assert!(s.sstable_hits >= 1);
+        assert!(s.memtable_hits >= 1);
+    }
+
+    #[test]
+    fn newest_version_wins_across_many_flushes() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        for round in 0u64..5 {
+            n.put(key("hot"), format!("v{round}"), None, round * 10).unwrap();
+            n.flush(round * 10 + 1).unwrap();
+        }
+        assert_eq!(n.get(&key("hot"), 100).unwrap().unwrap().as_ref(), b"v4");
+    }
+
+    #[test]
+    fn ttl_expiry_at_read_time() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        n.put(key("ephemeral"), "v", Some(10), 1_000_000).unwrap();
+        assert!(n.get(&key("ephemeral"), 5_000_000).unwrap().is_some());
+        assert!(n.get(&key("ephemeral"), 12_000_001).unwrap().is_none(), "10s TTL lapsed");
+    }
+
+    #[test]
+    fn crash_recovery_replays_wal() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        for i in 0..50 {
+            n.put(key(&format!("k{i}")), format!("v{i}"), None, i).unwrap();
+        }
+        // No flush: everything is in memtable + WAL.
+        assert_eq!(n.table_count(), 0);
+        let mut recovered = n.crash_and_recover().unwrap();
+        for i in 0..50 {
+            assert_eq!(
+                recovered.get(&key(&format!("k{i}")), 100).unwrap().unwrap().as_ref(),
+                format!("v{i}").as_bytes(),
+                "k{i} must survive the crash via WAL replay"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_recovery_after_flush_uses_sstables_and_new_wal() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        n.put(key("flushed"), "old", None, 1).unwrap();
+        n.flush(2).unwrap();
+        n.put(key("walonly"), "fresh", None, 3).unwrap();
+        let mut recovered = n.crash_and_recover().unwrap();
+        assert_eq!(recovered.get(&key("flushed"), 10).unwrap().unwrap().as_ref(), b"old");
+        assert_eq!(recovered.get(&key("walonly"), 10).unwrap().unwrap().as_ref(), b"fresh");
+    }
+
+    #[test]
+    fn deletions_survive_recovery() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        n.put(key("gone"), "v", None, 1).unwrap();
+        n.flush(2).unwrap();
+        n.delete(key("gone"), 3).unwrap();
+        let mut recovered = n.crash_and_recover().unwrap();
+        assert_eq!(recovered.get(&key("gone"), 10).unwrap(), None, "tombstone in WAL masks SSTable");
+    }
+
+    #[test]
+    fn memtable_overflow_triggers_flush() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = StoreNode::open(
+            NodeConfig::new(dir.path()).with_flush_bytes(2048),
+            Arc::new(StorageDevice::default()),
+        )
+        .unwrap();
+        for i in 0..200 {
+            n.put(key(&format!("k{i:05}")), vec![b'x'; 64], None, i).unwrap();
+        }
+        assert!(n.stats().flushes > 0, "small threshold must force flushes");
+        assert!(n.table_count() > 0);
+        // All data still readable.
+        assert_eq!(n.get(&key("k00000"), 1000).unwrap().unwrap().as_ref(), vec![b'x'; 64].as_slice());
+    }
+
+    #[test]
+    fn compaction_reduces_table_count_and_gcs() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = StoreNode::open(
+            NodeConfig::new(dir.path()).with_flush_bytes(usize::MAX).with_auto_compact(false),
+            Arc::new(StorageDevice::default()),
+        )
+        .unwrap();
+        // 5 flushes of overlapping keys.
+        for round in 0u64..5 {
+            for i in 0..50 {
+                n.put(key(&format!("k{i:03}")), format!("r{round}-v{i}"), None, round * 100 + i).unwrap();
+            }
+            n.flush(round * 100 + 99).unwrap();
+        }
+        assert_eq!(n.table_count(), 5);
+        let compacted = n.maybe_compact(1_000).unwrap();
+        assert!(compacted);
+        assert!(n.table_count() < 5);
+        assert!(n.stats().gc_cells > 0, "older versions reclaimed");
+        // Data intact, newest version visible.
+        assert_eq!(n.get(&key("k001"), 10_000).unwrap().unwrap().as_ref(), b"r4-v1");
+    }
+
+    #[test]
+    fn live_cells_tracks_ttl_gc() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        for i in 0..10 {
+            n.put(key(&format!("ttl{i}")), "v", Some(5), 1_000_000).unwrap();
+        }
+        for i in 0..7 {
+            n.put(key(&format!("keep{i}")), "v", None, 1_000_000).unwrap();
+        }
+        assert_eq!(n.live_cells(2_000_000).unwrap(), 17);
+        assert_eq!(n.live_cells(7_000_001).unwrap(), 7, "TTL'd cells die");
+    }
+
+    #[test]
+    fn wal_segments_are_garbage_collected_after_flush() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        n.put(key("a"), "v", None, 1).unwrap();
+        n.flush(2).unwrap();
+        let wal_files = std::fs::read_dir(dir.path())
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().starts_with("wal-"))
+            .count();
+        assert_eq!(wal_files, 1, "only the active segment remains");
+    }
+
+    #[test]
+    fn empty_flush_is_a_noop() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        n.flush(1).unwrap();
+        assert_eq!(n.table_count(), 0);
+        assert_eq!(n.stats().flushes, 0);
+    }
+}

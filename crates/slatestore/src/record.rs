@@ -1,0 +1,117 @@
+//! Shared on-disk cell record encoding, used by both the WAL and SSTable
+//! blocks so there is exactly one (well-tested) serialization of a cell.
+//!
+//! ```text
+//! record := [len-prefixed row][len-prefixed column][u8 flags]
+//!           [varint write_ts][varint ttl_secs+1 (0 = none)]
+//!           [len-prefixed value]
+//! ```
+
+use bytes::Bytes;
+use muppet_core::codec::{get_len_prefixed, get_varint, put_len_prefixed, put_varint};
+
+use crate::types::{Cell, CellKey, StoreError, StoreResult};
+
+const FLAG_TOMBSTONE: u8 = 0b0000_0001;
+
+/// Append the record encoding of `(key, cell)` to `out`.
+pub(crate) fn encode_cell(out: &mut Vec<u8>, key: &CellKey, cell: &Cell) {
+    put_len_prefixed(out, &key.row);
+    put_len_prefixed(out, &key.column);
+    out.push(if cell.tombstone { FLAG_TOMBSTONE } else { 0 });
+    put_varint(out, cell.write_ts);
+    put_varint(out, cell.ttl_secs.map_or(0, |t| t + 1));
+    put_len_prefixed(out, &cell.value);
+}
+
+/// Decode one record from the front of `buf`; returns the record and the
+/// number of bytes consumed.
+pub(crate) fn decode_cell(buf: &[u8]) -> StoreResult<((CellKey, Cell), usize)> {
+    let corrupt = |what: &str| StoreError::Corrupt(format!("cell record: {what}"));
+    let (row, n1) = get_len_prefixed(buf).ok_or_else(|| corrupt("row"))?;
+    let rest = &buf[n1..];
+    let (column, n2) = get_len_prefixed(rest).ok_or_else(|| corrupt("column"))?;
+    let rest = &rest[n2..];
+    let (&flags, rest2) = rest.split_first().ok_or_else(|| corrupt("flags"))?;
+    let (write_ts, n3) = get_varint(rest2).ok_or_else(|| corrupt("write_ts"))?;
+    let rest3 = &rest2[n3..];
+    let (ttl_raw, n4) = get_varint(rest3).ok_or_else(|| corrupt("ttl"))?;
+    let rest4 = &rest3[n4..];
+    let (value, n5) = get_len_prefixed(rest4).ok_or_else(|| corrupt("value"))?;
+    let consumed = n1 + n2 + 1 + n3 + n4 + n5;
+    let cell = Cell {
+        value: Bytes::copy_from_slice(value),
+        write_ts,
+        ttl_secs: if ttl_raw == 0 { None } else { Some(ttl_raw - 1) },
+        tombstone: flags & FLAG_TOMBSTONE != 0,
+    };
+    Ok(((CellKey::new(row.to_vec(), column.to_vec()), cell), consumed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_with_all_fields() {
+        let key = CellKey::new("row", "col");
+        let cell = Cell { value: Bytes::from_static(b"data"), write_ts: 99, ttl_secs: Some(5), tombstone: false };
+        let mut buf = Vec::new();
+        encode_cell(&mut buf, &key, &cell);
+        let ((k2, c2), n) = decode_cell(&buf).unwrap();
+        assert_eq!(k2, key);
+        assert_eq!(c2, cell);
+        assert_eq!(n, buf.len());
+    }
+
+    #[test]
+    fn concatenated_records_decode_sequentially() {
+        let mut buf = Vec::new();
+        let recs: Vec<_> = (0..5u64)
+            .map(|i| (CellKey::new(format!("r{i}"), "U"), Cell::live(format!("v{i}"), i, None)))
+            .collect();
+        for (k, c) in &recs {
+            encode_cell(&mut buf, k, c);
+        }
+        let mut rest: &[u8] = &buf;
+        let mut out = Vec::new();
+        while !rest.is_empty() {
+            let (rec, n) = decode_cell(rest).unwrap();
+            out.push(rec);
+            rest = &rest[n..];
+        }
+        assert_eq!(out, recs);
+    }
+
+    #[test]
+    fn ttl_zero_is_preserved_distinct_from_none() {
+        let key = CellKey::new("r", "c");
+        let mut buf = Vec::new();
+        encode_cell(&mut buf, &key, &Cell::live("v", 1, Some(0)));
+        encode_cell(&mut buf, &key, &Cell::live("v", 1, None));
+        let ((_, a), n) = decode_cell(&buf).unwrap();
+        let ((_, b), _) = decode_cell(&buf[n..]).unwrap();
+        assert_eq!(a.ttl_secs, Some(0));
+        assert_eq!(b.ttl_secs, None);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let key = CellKey::new("row", "col");
+        let mut buf = Vec::new();
+        encode_cell(&mut buf, &key, &Cell::live("some value", 1, None));
+        for cut in 0..buf.len() {
+            assert!(decode_cell(&buf[..cut]).is_err(), "cut at {cut} must error");
+        }
+    }
+
+    #[test]
+    fn tombstone_flag_roundtrips() {
+        let key = CellKey::new("r", "c");
+        let mut buf = Vec::new();
+        encode_cell(&mut buf, &key, &Cell::tombstone(42));
+        let ((_, c), _) = decode_cell(&buf).unwrap();
+        assert!(c.tombstone);
+        assert_eq!(c.write_ts, 42);
+    }
+}

@@ -1,0 +1,195 @@
+//! Store data model: ⟨row, column⟩ → cell, mirroring the Cassandra column-
+//! family slice Muppet uses (slate S(U,k) lives at row `k`, column `U`).
+
+use std::fmt;
+
+use bytes::Bytes;
+
+/// Addresses one cell: `row` is the slate key, `column` the updater name.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CellKey {
+    /// Row key (the event key `k`).
+    pub row: Bytes,
+    /// Column name (the update function `U`).
+    pub column: Bytes,
+}
+
+impl CellKey {
+    /// Build a cell key from raw parts (copies the bytes).
+    pub fn new(row: impl AsRef<[u8]>, column: impl AsRef<[u8]>) -> Self {
+        CellKey {
+            row: Bytes::copy_from_slice(row.as_ref()),
+            column: Bytes::copy_from_slice(column.as_ref()),
+        }
+    }
+
+    /// Approximate in-memory size, for memtable accounting.
+    pub fn approx_size(&self) -> usize {
+        self.row.len() + self.column.len() + 2 * std::mem::size_of::<Bytes>()
+    }
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}",
+            String::from_utf8_lossy(&self.row),
+            String::from_utf8_lossy(&self.column)
+        )
+    }
+}
+
+/// A stored value with its metadata. Deletions are tombstone cells — the
+/// LSM needs them to mask older versions until compaction drops both.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// The (compressed) slate payload; empty for tombstones.
+    pub value: Bytes,
+    /// Microsecond write timestamp; newest wins on merge.
+    pub write_ts: u64,
+    /// Per-write TTL in seconds (§4.2); `None` = live forever.
+    pub ttl_secs: Option<u64>,
+    /// True for deletion markers.
+    pub tombstone: bool,
+}
+
+impl Cell {
+    /// A live cell.
+    pub fn live(value: impl Into<Bytes>, write_ts: u64, ttl_secs: Option<u64>) -> Self {
+        Cell { value: value.into(), write_ts, ttl_secs, tombstone: false }
+    }
+
+    /// A deletion marker.
+    pub fn tombstone(write_ts: u64) -> Self {
+        Cell { value: Bytes::new(), write_ts, ttl_secs: None, tombstone: true }
+    }
+
+    /// Whether this cell's TTL has lapsed at `now` (microseconds).
+    /// "Slates that have not been updated (written) for longer than the TTL
+    /// value may be garbage-collected" (§4.2).
+    pub fn expired(&self, now: u64) -> bool {
+        match self.ttl_secs {
+            Some(ttl) => now.saturating_sub(self.write_ts) > ttl.saturating_mul(1_000_000),
+            None => false,
+        }
+    }
+
+    /// Whether a read at `now` should surface this cell's value.
+    pub fn visible(&self, now: u64) -> bool {
+        !self.tombstone && !self.expired(now)
+    }
+
+    /// Approximate in-memory size, for memtable accounting.
+    pub fn approx_size(&self) -> usize {
+        self.value.len() + std::mem::size_of::<Cell>()
+    }
+}
+
+/// Store-level errors. I/O failures carry context; corruption is reported
+/// distinctly so recovery code can stop at the first bad record.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A frame failed its checksum or structural validation.
+    Corrupt(String),
+    /// Not enough replicas acknowledged a quorum operation.
+    QuorumFailed { required: usize, acked: usize },
+    /// The addressed node is marked down.
+    NodeDown(usize),
+    /// Decompression failed.
+    Compression(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            StoreError::QuorumFailed { required, acked } => {
+                write!(f, "quorum failed: required {required}, acked {acked}")
+            }
+            StoreError::NodeDown(id) => write!(f, "node {id} is down"),
+            StoreError::Compression(msg) => write!(f, "compression error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_key_ordering_is_row_then_column() {
+        let a = CellKey::new("alpha", "U2");
+        let b = CellKey::new("alpha", "U1");
+        let c = CellKey::new("beta", "U1");
+        assert!(b < a, "same row orders by column");
+        assert!(a < c, "row dominates");
+        assert_eq!(a.to_string(), "alpha:U2");
+    }
+
+    #[test]
+    fn ttl_expiry_boundary() {
+        let cell = Cell::live("v", 1_000_000, Some(2)); // written at t=1s, ttl=2s
+        assert!(!cell.expired(1_000_000));
+        assert!(!cell.expired(3_000_000), "exactly at ttl is still live");
+        assert!(cell.expired(3_000_001));
+        assert!(cell.visible(2_000_000));
+        assert!(!cell.visible(4_000_000));
+    }
+
+    #[test]
+    fn no_ttl_never_expires() {
+        let cell = Cell::live("v", 0, None);
+        assert!(!cell.expired(u64::MAX));
+    }
+
+    #[test]
+    fn tombstones_are_never_visible() {
+        let t = Cell::tombstone(5);
+        assert!(t.tombstone);
+        assert!(!t.visible(10));
+        assert!(t.value.is_empty());
+    }
+
+    #[test]
+    fn ttl_expiry_does_not_overflow() {
+        let cell = Cell::live("v", 0, Some(u64::MAX));
+        assert!(!cell.expired(u64::MAX), "saturating ttl arithmetic");
+    }
+
+    #[test]
+    fn sizes_track_payload() {
+        let k = CellKey::new("rowkey", "col");
+        assert!(k.approx_size() >= 9);
+        let c = Cell::live(vec![0u8; 100], 0, None);
+        assert!(c.approx_size() >= 100);
+    }
+
+    #[test]
+    fn store_error_display() {
+        let e = StoreError::QuorumFailed { required: 2, acked: 1 };
+        assert_eq!(e.to_string(), "quorum failed: required 2, acked 1");
+        assert!(StoreError::NodeDown(3).to_string().contains("3"));
+    }
+}

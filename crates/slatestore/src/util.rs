@@ -1,0 +1,68 @@
+//! Filesystem test/bench utilities (no external tempdir crate).
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A uniquely-named directory under the system temp dir, removed on drop.
+///
+/// Used by tests and benches across the workspace; deliberately public.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+impl TempDir {
+    /// Create `muppet-<prefix>-<pid>-<n>` under the system temp directory.
+    pub fn new(prefix: &str) -> std::io::Result<TempDir> {
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "muppet-{prefix}-{}-{n}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir { path })
+    }
+
+    /// The directory path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A file path inside the directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_and_cleans_up() {
+        let kept_path;
+        {
+            let dir = TempDir::new("util-test").unwrap();
+            kept_path = dir.path().to_path_buf();
+            assert!(kept_path.is_dir());
+            std::fs::write(dir.file("x.txt"), b"hello").unwrap();
+            assert!(dir.file("x.txt").is_file());
+        }
+        assert!(!kept_path.exists(), "dropped TempDir removes the tree");
+    }
+
+    #[test]
+    fn unique_names() {
+        let a = TempDir::new("uniq").unwrap();
+        let b = TempDir::new("uniq").unwrap();
+        assert_ne!(a.path(), b.path());
+    }
+}

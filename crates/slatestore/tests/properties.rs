@@ -1,0 +1,152 @@
+//! Property-based tests for the slate store substrate.
+
+use std::sync::Arc;
+
+use muppet_slatestore::bloom::BloomFilter;
+use muppet_slatestore::compress::{compress, decompress};
+use muppet_slatestore::device::StorageDevice;
+use muppet_slatestore::memtable::Memtable;
+use muppet_slatestore::ring::ConsistentRing;
+use muppet_slatestore::sstable::{SSTable, SSTableWriter};
+use muppet_slatestore::types::{Cell, CellKey};
+use muppet_slatestore::util::TempDir;
+use proptest::prelude::*;
+
+proptest! {
+    // ---------- compression ----------
+
+    #[test]
+    fn compress_roundtrips_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn compress_roundtrips_repetitive_data(unit in proptest::collection::vec(any::<u8>(), 1..32),
+                                           reps in 1usize..200) {
+        let data: Vec<u8> = unit.iter().copied().cycle().take(unit.len() * reps).collect();
+        let packed = compress(&data);
+        prop_assert_eq!(decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn compressed_size_is_bounded(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let packed = compress(&data);
+        // Raw fallback bounds expansion: header is ≤ 13 bytes.
+        prop_assert!(packed.len() <= data.len() + 13);
+    }
+
+    #[test]
+    fn decompress_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decompress(&data);
+    }
+
+    // ---------- bloom ----------
+
+    #[test]
+    fn bloom_has_no_false_negatives(items in proptest::collection::hash_set("[a-z0-9]{1,16}", 1..200)) {
+        let mut bf = BloomFilter::with_capacity(items.len(), 0.01);
+        for item in &items {
+            bf.insert(item.as_bytes());
+        }
+        for item in &items {
+            prop_assert!(bf.may_contain(item.as_bytes()));
+        }
+        let back = BloomFilter::from_bytes(&bf.to_bytes()).unwrap();
+        for item in &items {
+            prop_assert!(back.may_contain(item.as_bytes()));
+        }
+    }
+
+    // ---------- memtable vs model ----------
+
+    #[test]
+    fn memtable_equals_hashmap_model(ops in proptest::collection::vec(
+        ("[a-d]", "[a-b]", any::<bool>(), 0u64..100), 0..100)) {
+        let mut mt = Memtable::new();
+        let mut model: std::collections::HashMap<(String, String), Cell> = Default::default();
+        for (i, (row, col, tombstone, _)) in ops.iter().enumerate() {
+            let cell = if *tombstone {
+                Cell::tombstone(i as u64)
+            } else {
+                Cell::live(format!("v{i}"), i as u64, None)
+            };
+            mt.put(CellKey::new(row.as_str(), col.as_str()), cell.clone());
+            model.insert((row.clone(), col.clone()), cell);
+        }
+        prop_assert_eq!(mt.len(), model.len());
+        for ((row, col), cell) in &model {
+            prop_assert_eq!(mt.get(&CellKey::new(row.as_str(), col.as_str())), Some(cell));
+        }
+        // Drain is sorted.
+        let drained = mt.drain_sorted();
+        for w in drained.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    // ---------- ring ----------
+
+    #[test]
+    fn ring_owner_survives_unrelated_removal(nodes in 3usize..10, dead in 0usize..10,
+                                             hashes in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let dead = dead % nodes;
+        let mut ring = ConsistentRing::new(nodes, 16);
+        let before: Vec<usize> = hashes.iter().map(|&h| ring.owner(h).unwrap()).collect();
+        ring.remove(dead);
+        for (h, owner) in hashes.iter().zip(before) {
+            let now = ring.owner(*h).unwrap();
+            if owner != dead {
+                prop_assert_eq!(now, owner, "only the dead node's keys may move");
+            } else {
+                prop_assert_ne!(now, dead);
+            }
+        }
+    }
+
+    #[test]
+    fn ring_replica_sets_are_distinct(nodes in 1usize..8, rf in 1usize..8, h in any::<u64>()) {
+        let ring = ConsistentRing::new(nodes, 16);
+        let owners = ring.owners(h, rf);
+        prop_assert_eq!(owners.len(), rf.min(nodes));
+        let mut dedup = owners.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), owners.len());
+    }
+}
+
+// SSTable write→read equivalence gets fewer cases (touches the filesystem).
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sstable_read_equals_written(entries in proptest::collection::btree_map(
+        ("[a-z]{1,12}", "[A-Z]{1,4}"),
+        (proptest::collection::vec(any::<u8>(), 0..256), 0u64..1000, proptest::option::of(0u64..100)),
+        1..100,
+    )) {
+        let dir = TempDir::new("prop-sst").unwrap();
+        let device = Arc::new(StorageDevice::default());
+        let mut w = SSTableWriter::create(dir.file("t.sst"), Arc::clone(&device), entries.len()).unwrap();
+        let mut expected = Vec::new();
+        for ((row, col), (value, ts, ttl)) in &entries {
+            let key = CellKey::new(row.as_str(), col.as_str());
+            let cell = Cell::live(value.clone(), *ts, *ttl);
+            w.add(&key, &cell).unwrap();
+            expected.push((key, cell));
+        }
+        let table = w.finish().unwrap();
+        // Point reads find every entry.
+        for (key, cell) in &expected {
+            let got = table.get(key).unwrap().unwrap();
+            prop_assert_eq!(&got, cell);
+        }
+        // Scan returns exactly the written set in order.
+        let scanned = table.scan().unwrap();
+        prop_assert_eq!(scanned, expected);
+        // Reopen from disk and spot-check.
+        let reopened = SSTable::open(dir.file("t.sst"), device).unwrap();
+        prop_assert_eq!(reopened.entry_count() as usize, entries.len());
+    }
+}

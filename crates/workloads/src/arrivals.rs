@@ -1,0 +1,155 @@
+//! Arrival processes: when events happen.
+//!
+//! §2 motivates the need to "handle drastic spikes in the tweet volumes"
+//! (the earthquake example); §5 quotes steady production rates (100M+
+//! tweets/day ≈ 1.2k/s). The generators support:
+//!
+//! * constant rate;
+//! * Poisson arrivals (exponential gaps);
+//! * bursts: a baseline rate with windows of `burst_factor`× load.
+//!
+//! All timing is virtual (microsecond timestamps); harnesses decide whether
+//! to replay in real time or as fast as possible.
+
+use rand::Rng;
+
+/// An inter-arrival time model producing event timestamps.
+#[derive(Clone, Debug)]
+pub enum ArrivalProcess {
+    /// Exactly `events_per_sec` evenly-spaced events.
+    Constant {
+        /// Event rate per (virtual) second.
+        events_per_sec: f64,
+    },
+    /// Poisson process at `events_per_sec`.
+    Poisson {
+        /// Mean event rate per second.
+        events_per_sec: f64,
+    },
+    /// Baseline Poisson rate with periodic bursts: every `period_us`, a
+    /// window of `burst_us` runs at `burst_factor`× the base rate.
+    Bursty {
+        /// Baseline rate per second.
+        events_per_sec: f64,
+        /// Burst window length (µs).
+        burst_us: u64,
+        /// Distance between burst starts (µs).
+        period_us: u64,
+        /// Rate multiplier inside bursts.
+        burst_factor: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Next inter-arrival gap (µs) after an event at `now_us`.
+    pub fn next_gap_us(&self, now_us: u64, rng: &mut impl Rng) -> u64 {
+        match self {
+            ArrivalProcess::Constant { events_per_sec } => {
+                gap_for_rate(*events_per_sec)
+            }
+            ArrivalProcess::Poisson { events_per_sec } => {
+                exponential_gap(*events_per_sec, rng)
+            }
+            ArrivalProcess::Bursty { events_per_sec, burst_us, period_us, burst_factor } => {
+                let in_burst = now_us % period_us < *burst_us;
+                let rate = if in_burst { events_per_sec * burst_factor } else { *events_per_sec };
+                exponential_gap(rate, rng)
+            }
+        }
+    }
+
+    /// Generate `n` event timestamps starting at `start_us`.
+    pub fn timestamps(&self, start_us: u64, n: usize, rng: &mut impl Rng) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        let mut now = start_us;
+        for _ in 0..n {
+            out.push(now);
+            now += self.next_gap_us(now, rng).max(1);
+        }
+        out
+    }
+}
+
+fn gap_for_rate(events_per_sec: f64) -> u64 {
+    assert!(events_per_sec > 0.0, "rate must be positive");
+    (1_000_000.0 / events_per_sec).max(1.0) as u64
+}
+
+fn exponential_gap(events_per_sec: f64, rng: &mut impl Rng) -> u64 {
+    assert!(events_per_sec > 0.0, "rate must be positive");
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let gap_secs = -u.ln() / events_per_sec;
+    (gap_secs * 1_000_000.0).clamp(1.0, 60.0 * 1_000_000.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_rate_is_evenly_spaced() {
+        let p = ArrivalProcess::Constant { events_per_sec: 1000.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let ts = p.timestamps(0, 100, &mut rng);
+        for w in ts.windows(2) {
+            assert_eq!(w[1] - w[0], 1000, "1k/s → 1000µs gaps");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_rate_approximates_target() {
+        let p = ArrivalProcess::Poisson { events_per_sec: 500.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let ts = p.timestamps(0, n, &mut rng);
+        let span_secs = (*ts.last().unwrap() - ts[0]) as f64 / 1e6;
+        let observed = (n - 1) as f64 / span_secs;
+        assert!((observed - 500.0).abs() / 500.0 < 0.05, "observed {observed}/s");
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        for p in [
+            ArrivalProcess::Constant { events_per_sec: 1e6 },
+            ArrivalProcess::Poisson { events_per_sec: 1e6 },
+            ArrivalProcess::Bursty {
+                events_per_sec: 1e5,
+                burst_us: 1000,
+                period_us: 10_000,
+                burst_factor: 10.0,
+            },
+        ] {
+            let mut rng = StdRng::seed_from_u64(3);
+            let ts = p.timestamps(100, 1000, &mut rng);
+            for w in ts.windows(2) {
+                assert!(w[1] > w[0], "{p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_pack_more_events_into_burst_windows() {
+        let p = ArrivalProcess::Bursty {
+            events_per_sec: 1000.0,
+            burst_us: 100_000,   // 0.1s burst
+            period_us: 1_000_000, // every second
+            burst_factor: 20.0,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let ts = p.timestamps(0, 50_000, &mut rng);
+        let in_burst = ts.iter().filter(|&&t| t % 1_000_000 < 100_000).count();
+        let frac = in_burst as f64 / ts.len() as f64;
+        // Burst windows are 10% of time but ~67% of events at 20×.
+        assert!(frac > 0.5, "burst fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = ArrivalProcess::Poisson { events_per_sec: 100.0 };
+        let a = p.timestamps(0, 50, &mut StdRng::seed_from_u64(9));
+        let b = p.timestamps(0, 50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,28 @@
+//! # muppet-workloads — synthetic fast-data feeds
+//!
+//! The paper's evaluation streams are proprietary (the Twitter Firehose,
+//! the Foursquare checkin stream). Per the reproduction plan (DESIGN.md
+//! §1) this crate generates synthetic equivalents that preserve what the
+//! system actually reacts to:
+//!
+//! * **rate** — events/second, including the bursts motivating §2's
+//!   earthquake example ([`arrivals`]);
+//! * **key skew** — "the distribution of event keys can be strongly skewed
+//!   (e.g., follow a Zipfian distribution)" (§5) ([`zipf`]);
+//! * **payload shape** — JSON blobs with user/venue/topic structure, like
+//!   the tweets and checkins the example applications parse ([`tweets`],
+//!   [`checkins`], [`webrequests`]).
+//!
+//! Generators are deterministic given a seed, so experiments are
+//! reproducible.
+
+pub mod arrivals;
+pub mod checkins;
+pub mod tweets;
+pub mod webrequests;
+pub mod zipf;
+
+pub use arrivals::ArrivalProcess;
+pub use checkins::CheckinGenerator;
+pub use tweets::TweetGenerator;
+pub use zipf::Zipf;

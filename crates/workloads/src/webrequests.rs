@@ -1,0 +1,104 @@
+//! A synthetic web-server request log.
+//!
+//! §2 lists "maintaining live counters of the number of HTTP requests made
+//! to various parts of a Web site" among the motivating applications; this
+//! generator feeds that app. Key = site section; value = request JSON.
+
+use muppet_core::event::{Event, Key};
+use muppet_core::json::Json;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arrivals::ArrivalProcess;
+use crate::zipf::Zipf;
+
+/// Site sections with example paths.
+pub const SECTIONS: &[(&str, &[&str])] = &[
+    ("home", &["/", "/index.html"]),
+    ("products", &["/products/123", "/products/456", "/products/search?q=tv"]),
+    ("cart", &["/cart", "/cart/add"]),
+    ("checkout", &["/checkout", "/checkout/pay"]),
+    ("account", &["/account", "/account/orders"]),
+    ("help", &["/help", "/help/contact"]),
+];
+
+/// Synthetic HTTP request stream generator.
+#[derive(Debug)]
+pub struct WebRequestGenerator {
+    rng: StdRng,
+    section_dist: Zipf,
+    arrivals: ArrivalProcess,
+    now_us: u64,
+}
+
+impl WebRequestGenerator {
+    /// A generator at `rate` requests/sec.
+    pub fn new(seed: u64, rate_per_sec: f64) -> Self {
+        WebRequestGenerator {
+            rng: StdRng::seed_from_u64(seed),
+            section_dist: Zipf::new(SECTIONS.len(), 1.0),
+            arrivals: ArrivalProcess::Poisson { events_per_sec: rate_per_sec },
+            now_us: 0,
+        }
+    }
+
+    /// Generate the next request event. Key = section name.
+    pub fn next_event(&mut self, stream: &str) -> Event {
+        let (section, paths) = SECTIONS[self.section_dist.sample(&mut self.rng)];
+        let path = paths[self.rng.gen_range(0..paths.len())];
+        let status = *[200u32, 200, 200, 200, 304, 404, 500].get(self.rng.gen_range(0..7)).unwrap();
+        let value = Json::obj([
+            ("path", Json::str(path)),
+            ("section", Json::str(section)),
+            ("status", Json::num(status as f64)),
+            ("bytes", Json::num(self.rng.gen_range(200..20_000) as f64)),
+        ])
+        .to_compact()
+        .into_bytes();
+        let ts = self.now_us;
+        self.now_us += self.arrivals.next_gap_us(self.now_us, &mut self.rng).max(1);
+        Event::new(stream, ts, Key::from(section), value)
+    }
+
+    /// Generate `n` events.
+    pub fn take(&mut self, stream: &str, n: usize) -> Vec<Event> {
+        (0..n).map(|_| self.next_event(stream)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_have_section_keys_and_json_bodies() {
+        let mut gen = WebRequestGenerator::new(1, 100.0);
+        for ev in gen.take("S1", 100) {
+            let section = ev.key.as_str().unwrap();
+            assert!(SECTIONS.iter().any(|(s, _)| *s == section));
+            let v = Json::parse_bytes(&ev.value).unwrap();
+            assert_eq!(v.get("section").unwrap().as_str(), Some(section));
+            assert!(v.get("status").unwrap().as_u64().is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = WebRequestGenerator::new(2, 500.0).take("S1", 25);
+        let b = WebRequestGenerator::new(2, 500.0).take("S1", 25);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn home_is_the_hottest_section() {
+        let mut gen = WebRequestGenerator::new(3, 100.0);
+        let mut counts = std::collections::HashMap::new();
+        for ev in gen.take("S1", 10_000) {
+            *counts.entry(ev.key.as_str().unwrap().to_string()).or_insert(0u32) += 1;
+        }
+        let home = counts["home"];
+        for (section, count) in &counts {
+            assert!(home >= *count, "home should lead: {section}={count} home={home}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Per-user reputation scoring (Example 3): the output is a live
+//! ⟨user, score⟩ table maintained in updater slates while tweets stream
+//! through a Muppet 2.0 cluster.
+//!
+//! ```sh
+//! cargo run --example reputation_scores
+//! ```
+
+use std::time::Duration;
+
+use muppet::apps::reputation::{self, ReputationMapper, ReputationScorer};
+use muppet::prelude::*;
+use muppet::workloads::tweets::TweetGenerator;
+
+const EVENTS: usize = 30_000;
+const USERS: usize = 500;
+
+fn main() {
+    let cfg = EngineConfig {
+        kind: EngineKind::Muppet2,
+        machines: 2,
+        workers_per_machine: 4,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start(
+        reputation::workflow(),
+        OperatorSet::new().mapper(ReputationMapper::new()).updater(ReputationScorer::new()),
+        cfg,
+        None,
+    )
+    .expect("engine starts");
+
+    println!("streaming {EVENTS} synthetic tweets from {USERS} users...");
+    let mut gen = TweetGenerator::new(99, USERS, 2_000.0);
+    for ev in gen.take(reputation::TWEET_STREAM, EVENTS) {
+        engine.submit(ev).expect("submit");
+    }
+    assert!(engine.drain(Duration::from_secs(30)), "cluster drains");
+
+    // Read the live table: sample the user space and rank by score.
+    let mut table: Vec<(String, i64)> = (0..USERS)
+        .filter_map(|i| {
+            let user = format!("user-{i}");
+            let bytes = engine.read_slate(reputation::SCORER, &Key::from(user.as_str()))?;
+            let v = Json::parse_bytes(&bytes).ok()?;
+            Some((user, v.get("score")?.as_i64()?))
+        })
+        .collect();
+    table.sort_by(|a, b| b.1.cmp(&a.1));
+
+    println!("\ntop 10 users by reputation (live slate table):");
+    println!("{:<12} {:>8}", "user", "score");
+    for (user, score) in table.iter().take(10) {
+        println!("{user:<12} {score:>8}");
+    }
+    let total: i64 = table.iter().map(|(_, s)| s).sum();
+    let stats = engine.shutdown();
+    println!(
+        "\n{} users scored, total points {total}; {} tweets → {} score deltas; p99 latency {}µs",
+        table.len(),
+        stats.submitted,
+        stats.emitted,
+        stats.latency.p99_us
+    );
+    // Zipf-skewed authorship: the most active user far outscores the median.
+    assert!(table[0].1 > table[table.len() / 2].1, "skew shows in the table");
+    println!("✓ live reputation table maintained under streaming load");
+}

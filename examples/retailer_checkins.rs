@@ -1,0 +1,113 @@
+//! The paper's flagship example (Example 1 / Figure 1(b) / Figures 3–4):
+//! count Foursquare checkins per retailer, live, on a Muppet cluster with
+//! a durable slate store, and read the results over HTTP exactly as §4.4
+//! describes.
+//!
+//! ```sh
+//! cargo run --example retailer_checkins
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use muppet::apps::retailer::{self, Counter, RetailerMapper};
+use muppet::prelude::*;
+use muppet::runtime::http::http_get;
+use muppet::slatestore::util::TempDir;
+use muppet::workloads::checkins::CheckinGenerator;
+
+const EVENTS: usize = 20_000;
+
+fn main() {
+    // A 3-node replicated slate store (the "Cassandra cluster" of §4.2).
+    let store_dir = TempDir::new("retailer-example").expect("temp dir");
+    let store = Arc::new(
+        StoreCluster::open(
+            store_dir.path(),
+            StoreConfig { nodes: 3, replication: 3, consistency: Consistency::Quorum, ..Default::default() },
+        )
+        .expect("store opens"),
+    );
+
+    // A 3-machine Muppet 2.0 cluster running Figure 1(b)'s workflow.
+    let cfg = EngineConfig {
+        kind: EngineKind::Muppet2,
+        machines: 3,
+        workers_per_machine: 4,
+        flush: FlushPolicy::IntervalMs(50),
+        ..EngineConfig::default()
+    };
+    let engine = Arc::new(
+        Engine::start(
+            retailer::workflow(),
+            OperatorSet::new().mapper(RetailerMapper::new()).updater(Counter::new()),
+            cfg,
+            Some(Arc::clone(&store)),
+        )
+        .expect("engine starts"),
+    );
+
+    // The §4.4 slate-read HTTP service.
+    let http = HttpSlateServer::serve(Arc::clone(&engine) as _).expect("http server");
+    println!("slate reads live at {}/slate/{}/<retailer>", http.base_url(), retailer::COUNTER);
+
+    // Feed the synthetic checkin stream (stand-in for Foursquare).
+    let mut gen = CheckinGenerator::new(2024, 5_000, 1_500.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, EVENTS);
+    let expected = CheckinGenerator::expected_retailer_counts(&events);
+    let t0 = std::time::Instant::now();
+    for ev in events {
+        engine.submit(ev).expect("submit");
+    }
+    assert!(engine.drain(Duration::from_secs(30)), "cluster drains");
+    let elapsed = t0.elapsed();
+
+    println!(
+        "\nprocessed {EVENTS} checkins in {:.2?} ({:.0} events/s)",
+        elapsed,
+        EVENTS as f64 / elapsed.as_secs_f64()
+    );
+    println!("\n{:<12} {:>10} {:>10} {:>6}", "retailer", "expected", "live", "ok");
+    let mut all_ok = true;
+    for (retailer_name, expect) in &expected {
+        // Read over HTTP, like a downstream dashboard would.
+        let url = format!(
+            "{}/slate/{}/{}",
+            http.base_url(),
+            retailer::COUNTER,
+            muppet::runtime::http::percent_encode(retailer_name.as_bytes())
+        );
+        let (code, body) = http_get(&url).expect("http fetch");
+        let live: u64 =
+            if code == 200 { String::from_utf8(body).unwrap().parse().unwrap_or(0) } else { 0 };
+        let ok = live == *expect;
+        all_ok &= ok;
+        println!("{retailer_name:<12} {expect:>10} {live:>10} {:>6}", if ok { "✓" } else { "✗" });
+    }
+
+    let stats = engine_stats(&engine);
+    println!(
+        "\nlatency: p50={}µs p99={}µs max={}µs (paper: \"latency of under 2 seconds\")",
+        stats.latency.p50_us, stats.latency.p99_us, stats.latency.max_us
+    );
+    println!(
+        "slate cache: {} hits / {} misses; {} store writes",
+        stats.cache.hits, stats.cache.misses, stats.cache.flush_writes
+    );
+    drop(http);
+    // `engine` is inside an Arc because the HTTP server holds it; unwrap
+    // for a graceful shutdown now that the server is gone.
+    let engine = Arc::into_inner(engine).expect("http server released the engine");
+    engine.shutdown();
+    let store_stats = store.stats();
+    println!(
+        "store: {} quorum writes, {} raw bytes → {} stored bytes (compression)",
+        store_stats.writes_ok, store_stats.raw_bytes, store_stats.stored_bytes
+    );
+    assert!(all_ok, "live counts must match ground truth");
+    println!("\n✓ all live counts match the ground truth");
+}
+
+fn engine_stats(engine: &Arc<Engine>) -> EngineStats {
+    engine.stats()
+}

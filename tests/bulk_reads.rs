@@ -1,0 +1,117 @@
+//! §5 "Bulk Reading of Slates": dumping many slates without knowing the
+//! keys in advance — from the live caches (`Engine::dump_slates`, HTTP
+//! `/keys/`) and from the durable store (`StoreCluster::scan_column`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use muppet::apps::retailer::{self, Counter, RetailerMapper};
+use muppet::prelude::*;
+use muppet::runtime::http::{http_get, percent_decode};
+use muppet::slatestore::util::TempDir;
+use muppet::workloads::checkins::CheckinGenerator;
+
+fn run_engine_with_store(
+    flush: FlushPolicy,
+    events: Vec<Event>,
+) -> (TempDir, Arc<StoreCluster>, Engine) {
+    let dir = TempDir::new("bulk").unwrap();
+    let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
+    let cfg = EngineConfig {
+        kind: EngineKind::Muppet2,
+        machines: 2,
+        workers_per_machine: 2,
+        flush,
+        overflow: OverflowPolicy::SourceThrottle,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start(
+        retailer::workflow(),
+        OperatorSet::new().mapper(RetailerMapper::new()).updater(Counter::new()),
+        cfg,
+        Some(Arc::clone(&store)),
+    )
+    .unwrap();
+    for ev in events {
+        engine.submit(ev).unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(60)));
+    (dir, store, engine)
+}
+
+#[test]
+fn engine_dump_covers_every_retailer_with_exact_counts() {
+    let mut gen = CheckinGenerator::new(21, 500, 1000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, 4000);
+    let truth = CheckinGenerator::expected_retailer_counts(&events);
+    let (_dir, _store, engine) = run_engine_with_store(FlushPolicy::OnEvict, events);
+
+    let dump = engine.dump_slates(retailer::COUNTER);
+    assert_eq!(dump.len(), truth.len(), "one slate per retailer seen");
+    for (key, bytes) in &dump {
+        let retailer_name = key.as_str().unwrap();
+        let count: u64 = String::from_utf8(bytes.clone()).unwrap().parse().unwrap();
+        assert_eq!(count, truth[retailer_name], "{retailer_name}");
+    }
+    // Dump is key-sorted and duplicate-free.
+    for w in dump.windows(2) {
+        assert!(w[0].0 < w[1].0);
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn store_scan_column_recovers_dump_after_shutdown() {
+    let mut gen = CheckinGenerator::new(22, 500, 1000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, 3000);
+    let truth = CheckinGenerator::expected_retailer_counts(&events);
+    let (_dir, store, engine) = run_engine_with_store(FlushPolicy::WriteThrough, events);
+    let now = engine.now_us();
+    engine.shutdown();
+
+    // The engine is gone; the store alone can enumerate every slate of the
+    // column (update function), §5's second bulk-read option.
+    let rows = store.scan_column(retailer::COUNTER, now + 1).unwrap();
+    assert_eq!(rows.len(), truth.len());
+    for (row, value) in rows {
+        let retailer_name = String::from_utf8(row.to_vec()).unwrap();
+        let count: u64 = String::from_utf8(value.to_vec()).unwrap().parse().unwrap();
+        assert_eq!(count, truth[&retailer_name], "{retailer_name}");
+    }
+    // Scanning an unknown column yields nothing.
+    assert!(store.scan_column("no-such-updater", now + 1).unwrap().is_empty());
+}
+
+#[test]
+fn http_keys_endpoint_enumerates_slates_for_fetching() {
+    let mut gen = CheckinGenerator::new(23, 200, 1000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, 2000);
+    let truth = CheckinGenerator::expected_retailer_counts(&events);
+    let (_dir, _store, engine) = run_engine_with_store(FlushPolicy::OnEvict, events);
+    let engine = Arc::new(engine);
+    let server = HttpSlateServer::serve(Arc::clone(&engine) as _).unwrap();
+
+    // 1. Enumerate keys without prior knowledge.
+    let (code, body) = http_get(&format!("{}/keys/{}", server.base_url(), retailer::COUNTER)).unwrap();
+    assert_eq!(code, 200);
+    let keys: Vec<Vec<u8>> = String::from_utf8(body)
+        .unwrap()
+        .lines()
+        .map(|line| percent_decode(line).unwrap())
+        .collect();
+    assert_eq!(keys.len(), truth.len());
+    // 2. Fetch each enumerated key.
+    for key in keys {
+        let enc = muppet::runtime::http::percent_encode(&key);
+        let (code, body) =
+            http_get(&format!("{}/slate/{}/{enc}", server.base_url(), retailer::COUNTER)).unwrap();
+        assert_eq!(code, 200);
+        let name = String::from_utf8(key).unwrap();
+        let count: u64 = String::from_utf8(body).unwrap().parse().unwrap();
+        assert_eq!(count, truth[&name], "{name}");
+    }
+    // Unknown updater lists nothing.
+    let (code, body) = http_get(&format!("{}/keys/ghost", server.base_url())).unwrap();
+    assert_eq!(code, 200);
+    assert!(body.is_empty());
+}

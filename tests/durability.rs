@@ -1,0 +1,202 @@
+//! Durability integration: slates persist to the replicated store, survive
+//! engine restarts and store-node crashes, expire by TTL, and honor the
+//! quorum and flush knobs of §4.2 end to end.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use muppet::apps::retailer::{self, Counter, RetailerMapper};
+use muppet::prelude::*;
+use muppet::slatestore::device::DeviceProfile;
+use muppet::slatestore::types::CellKey;
+use muppet::slatestore::util::TempDir;
+use muppet::workloads::checkins::CheckinGenerator;
+
+fn engine_with_store(store: &Arc<StoreCluster>, flush: FlushPolicy) -> Engine {
+    let cfg = EngineConfig {
+        kind: EngineKind::Muppet2,
+        machines: 2,
+        workers_per_machine: 2,
+        flush,
+        overflow: OverflowPolicy::SourceThrottle,
+        ..EngineConfig::default()
+    };
+    Engine::start(
+        retailer::workflow(),
+        OperatorSet::new().mapper(RetailerMapper::new()).updater(Counter::new()),
+        cfg,
+        Some(Arc::clone(store)),
+    )
+    .unwrap()
+}
+
+#[test]
+fn counts_survive_an_engine_restart() {
+    let dir = TempDir::new("restart").unwrap();
+    let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
+    let mut gen = CheckinGenerator::new(7, 300, 1000.0);
+    let first = gen.take(retailer::CHECKIN_STREAM, 3000);
+    let second = gen.take(retailer::CHECKIN_STREAM, 3000);
+    let mut all = first.clone();
+    all.extend(second.iter().cloned());
+    let expected = CheckinGenerator::expected_retailer_counts(&all);
+
+    // First engine lifetime.
+    let engine = engine_with_store(&store, FlushPolicy::IntervalMs(10));
+    for ev in first {
+        engine.submit(ev).unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(30)));
+    engine.shutdown(); // graceful: flushes all dirty slates
+
+    // Second engine lifetime resumes from the store (§4.2: "persistent
+    // slates help resuming, restarting, or recovering").
+    let engine = engine_with_store(&store, FlushPolicy::IntervalMs(10));
+    for ev in second {
+        engine.submit(ev).unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(30)));
+    for (retailer_name, expect) in &expected {
+        let got = engine
+            .read_slate(retailer::COUNTER, &Key::from(retailer_name.as_str()))
+            .map(|b| String::from_utf8(b).unwrap().parse::<u64>().unwrap())
+            .unwrap_or(0);
+        assert_eq!(got, *expect, "{retailer_name} across restart");
+    }
+    engine.shutdown();
+}
+
+#[test]
+fn write_through_slates_survive_store_node_failure() {
+    let dir = TempDir::new("node-fail").unwrap();
+    let store = Arc::new(
+        StoreCluster::open(
+            dir.path(),
+            StoreConfig { nodes: 3, replication: 3, consistency: Consistency::Quorum, ..Default::default() },
+        )
+        .unwrap(),
+    );
+    let engine = engine_with_store(&store, FlushPolicy::WriteThrough);
+    for i in 0..100 {
+        let v = Json::obj([
+            ("user", Json::str("u")),
+            ("venue", Json::obj([("name", Json::str("Walmart Supercenter"))])),
+        ]);
+        engine
+            .submit(Event::new(
+                retailer::CHECKIN_STREAM,
+                i,
+                Key::from("u"),
+                v.to_compact().into_bytes(),
+            ))
+            .unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(30)));
+    let now = engine.now_us();
+    engine.shutdown();
+
+    // One store replica dies; quorum reads still serve the value.
+    store.node_down(0);
+    let stored = store
+        .get_with(&CellKey::new("Walmart", retailer::COUNTER), now + 1, Consistency::Quorum)
+        .unwrap()
+        .expect("value survives one replica failure");
+    assert_eq!(stored.as_ref(), b"100");
+}
+
+#[test]
+fn ttl_expires_idle_slates_in_the_store() {
+    let dir = TempDir::new("ttl").unwrap();
+    let store =
+        Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
+    let key = CellKey::new("idle-user", "U-profile");
+    store.put(&key, b"profile-data", Some(10), 1_000_000).unwrap();
+    assert!(store.get(&key, 5_000_000).unwrap().is_some(), "within TTL");
+    assert!(store.get(&key, 12_000_001).unwrap().is_none(), "TTL lapsed (§4.2)");
+    // A key written without TTL lives arbitrarily long.
+    let forever = CellKey::new("active-user", "U-profile");
+    store.put(&forever, b"keep", None, 1_000_000).unwrap();
+    assert!(store.get(&forever, u64::MAX / 2).unwrap().is_some());
+}
+
+#[test]
+fn store_cluster_recovers_all_writes_after_process_crash() {
+    // Cluster-level crash recovery: the node WAL/SSTables restore state.
+    let dir = TempDir::new("crash").unwrap();
+    {
+        let store = StoreCluster::open(
+            dir.path(),
+            StoreConfig { nodes: 2, replication: 2, ..Default::default() },
+        )
+        .unwrap();
+        for i in 0..200u64 {
+            store
+                .put(&CellKey::new(format!("k{i}"), "U"), format!("v{i}").as_bytes(), None, i)
+                .unwrap();
+        }
+        store.flush_all(1000).unwrap();
+        // Drop without any explicit shutdown: process "crash".
+    }
+    let store = StoreCluster::open(
+        dir.path(),
+        StoreConfig { nodes: 2, replication: 2, ..Default::default() },
+    )
+    .unwrap();
+    for i in 0..200u64 {
+        let got = store.get(&CellKey::new(format!("k{i}"), "U"), 10_000).unwrap().unwrap();
+        assert_eq!(got.as_ref(), format!("v{i}").as_bytes());
+    }
+}
+
+#[test]
+fn killed_machine_loses_only_unflushed_increments() {
+    // §4.3: "whatever changes that it has made to the slates and that have
+    // not yet been flushed to the key-value store are lost."
+    let dir = TempDir::new("machine-loss").unwrap();
+    let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
+    // Huge flush interval: nothing flushes during the run.
+    let engine = engine_with_store(&store, FlushPolicy::IntervalMs(120_000));
+    let mut gen = CheckinGenerator::new(9, 100, 1000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, 2000);
+    let expected = CheckinGenerator::expected_retailer_counts(&events);
+    for ev in events {
+        engine.submit(ev).unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(30)));
+    // Kill machine 0: its cached dirty slates are gone.
+    engine.kill_machine(0);
+    let now = engine.now_us();
+    let stats = engine.shutdown(); // flushes only the surviving machine
+    let _ = stats;
+    // Whatever reached the store is a (possibly partial) subset per
+    // retailer; never more than the true count.
+    let mut survived = 0u64;
+    let mut total_true = 0u64;
+    for (retailer_name, expect) in &expected {
+        total_true += expect;
+        if let Ok(Some(bytes)) = store.get(&CellKey::new(retailer_name.as_bytes(), retailer::COUNTER), now + 1)
+        {
+            let got: u64 = String::from_utf8(bytes.to_vec()).unwrap().parse().unwrap();
+            assert!(got <= *expect, "{retailer_name}: stored {got} > true {expect}");
+            survived += got;
+        }
+    }
+    assert!(survived < total_true, "the killed machine must have lost some increments");
+}
+
+#[test]
+fn ssd_and_hdd_device_profiles_are_selectable_end_to_end() {
+    // The §4.2 SSD argument is exercised by experiments; here we just prove
+    // the knob reaches the I/O layer.
+    let dir = TempDir::new("device").unwrap();
+    let store = StoreCluster::open(
+        dir.path(),
+        StoreConfig { nodes: 1, replication: 1, device: DeviceProfile::SSD, ..Default::default() },
+    )
+    .unwrap();
+    store.put(&CellKey::new("k", "U"), b"v", None, 1).unwrap();
+    store.flush_all(2).unwrap();
+    let io = store.io_stats();
+    assert!(io.writes > 0);
+    assert!(io.service_us > 0, "SSD profile charges service time");
+}

@@ -1,0 +1,126 @@
+//! The central correctness claim: the distributed engines approximate the
+//! reference executor's well-defined semantics (§3), and for loss-free
+//! configurations of commutative applications they match it *exactly*.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use muppet::apps::retailer::{self, Counter, RetailerMapper};
+use muppet::prelude::*;
+use muppet::workloads::checkins::CheckinGenerator;
+
+fn reference_counts(events: &[Event]) -> BTreeMap<String, u64> {
+    let wf = retailer::workflow();
+    let mut exec = ReferenceExecutor::new(&wf);
+    exec.register_mapper(RetailerMapper::new());
+    exec.register_updater(Counter::new());
+    for ev in events {
+        exec.push_external(retailer::CHECKIN_STREAM, ev.clone());
+    }
+    exec.run_to_completion().unwrap();
+    exec.slates_of(retailer::COUNTER)
+        .into_iter()
+        .map(|(k, s)| (k.as_str().unwrap().to_string(), s.counter()))
+        .collect()
+}
+
+fn engine_counts(events: &[Event], kind: EngineKind, machines: usize) -> BTreeMap<String, u64> {
+    let cfg = EngineConfig {
+        kind,
+        machines,
+        workers_per_machine: 3,
+        workers_per_op: 3,
+        // Zero-loss configuration: queues never drop, sources block.
+        overflow: OverflowPolicy::SourceThrottle,
+        queue_capacity: 512,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start(
+        retailer::workflow(),
+        OperatorSet::new().mapper(RetailerMapper::new()).updater(Counter::new()),
+        cfg,
+        None,
+    )
+    .unwrap();
+    for ev in events {
+        engine.submit(ev.clone()).unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(60)), "engine must drain");
+    let mut out = BTreeMap::new();
+    for (retailer_name, _) in muppet::workloads::checkins::RETAILER_VENUES {
+        if let Some(bytes) = engine.read_slate(retailer::COUNTER, &Key::from(*retailer_name)) {
+            out.insert(
+                retailer_name.to_string(),
+                String::from_utf8(bytes).unwrap().parse().unwrap(),
+            );
+        }
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.dropped_overflow, 0, "zero-loss config must not drop");
+    assert_eq!(stats.lost_machine_failure + stats.lost_in_queues, 0);
+    out
+}
+
+#[test]
+fn muppet2_matches_reference_exactly() {
+    let mut gen = CheckinGenerator::new(101, 1000, 2000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, 8000);
+    let expected = reference_counts(&events);
+    let got = engine_counts(&events, EngineKind::Muppet2, 3);
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn muppet1_matches_reference_exactly() {
+    let mut gen = CheckinGenerator::new(202, 1000, 2000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, 8000);
+    let expected = reference_counts(&events);
+    let got = engine_counts(&events, EngineKind::Muppet1, 3);
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn both_engines_agree_with_each_other_and_ground_truth() {
+    let mut gen = CheckinGenerator::new(303, 500, 2000.0).with_venue_skew(1.8);
+    let events = gen.take(retailer::CHECKIN_STREAM, 6000);
+    let truth: BTreeMap<String, u64> =
+        CheckinGenerator::expected_retailer_counts(&events).into_iter().collect();
+    let v1 = engine_counts(&events, EngineKind::Muppet1, 2);
+    let v2 = engine_counts(&events, EngineKind::Muppet2, 2);
+    assert_eq!(v1, truth, "Muppet 1.0 vs ground truth");
+    assert_eq!(v2, truth, "Muppet 2.0 vs ground truth");
+}
+
+#[test]
+fn single_machine_single_worker_degenerate_cluster() {
+    // The smallest possible cluster must still be correct.
+    let mut gen = CheckinGenerator::new(404, 100, 1000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, 1000);
+    let expected = reference_counts(&events);
+    let cfg = EngineConfig {
+        kind: EngineKind::Muppet2,
+        machines: 1,
+        workers_per_machine: 1,
+        overflow: OverflowPolicy::SourceThrottle,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start(
+        retailer::workflow(),
+        OperatorSet::new().mapper(RetailerMapper::new()).updater(Counter::new()),
+        cfg,
+        None,
+    )
+    .unwrap();
+    for ev in &events {
+        engine.submit(ev.clone()).unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(30)));
+    for (retailer_name, expect) in &expected {
+        let got = engine
+            .read_slate(retailer::COUNTER, &Key::from(retailer_name.as_str()))
+            .map(|b| String::from_utf8(b).unwrap().parse::<u64>().unwrap())
+            .unwrap_or(0);
+        assert_eq!(got, *expect, "{retailer_name}");
+    }
+    engine.shutdown();
+}
