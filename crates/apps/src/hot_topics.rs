@@ -138,10 +138,7 @@ impl Updater for MinuteCounter {
             ("day", Json::num(day as f64)),
         ]));
         // Publish the running count (see module docs for why not a timer).
-        let out = Json::obj([
-            ("count", Json::num(count as f64)),
-            ("ts", Json::num(ts as f64)),
-        ]);
+        let out = Json::obj([("count", Json::num(count as f64)), ("ts", Json::num(ts as f64))]);
         ctx.publish(COUNT_STREAM, event.key.clone(), out.to_compact().into_bytes());
     }
 }
@@ -207,10 +204,7 @@ impl Updater for HotDetector {
             if avg > 0.0 && (count as f64 / avg) > self.threshold && emitted_day != Some(day) {
                 // "U2 publishes an event with key v m to a new stream S4,
                 // indicating that topic v is hot in the minute m."
-                let out = Json::obj([
-                    ("count", Json::num(count as f64)),
-                    ("avg", Json::num(avg)),
-                ]);
+                let out = Json::obj([("count", Json::num(count as f64)), ("avg", Json::num(avg))]);
                 ctx.publish(HOT_STREAM, event.key.clone(), out.to_compact().into_bytes());
                 emitted_day = Some(day);
             }
@@ -221,10 +215,7 @@ impl Updater for HotDetector {
             ("days", Json::num(days as f64)),
             ("last_day", Json::num(last_day as f64)),
             ("today_count", Json::num(today_count as f64)),
-            (
-                "emitted_day",
-                emitted_day.map(|d| Json::num(d as f64)).unwrap_or(Json::Null),
-            ),
+            ("emitted_day", emitted_day.map(|d| Json::num(d as f64)).unwrap_or(Json::Null)),
         ]));
     }
 }
@@ -268,7 +259,7 @@ mod tests {
     fn minute_counter_counts_per_topic_minute() {
         let wf = workflow();
         let mut exec = executor(&wf, 1e18); // threshold never trips here
-        // 3 sports tweets in minute 5, 2 in minute 6, 1 music in minute 5.
+                                            // 3 sports tweets in minute 5, 2 in minute 6, 1 music in minute 5.
         for i in 0..3 {
             exec.push_external(TWEET_STREAM, tweet(5 * MICROS_PER_MIN + i, "sports"));
         }

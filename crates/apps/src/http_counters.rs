@@ -148,7 +148,12 @@ mod tests {
             ]);
             exec.push_external(
                 REQUEST_STREAM,
-                Event::new(REQUEST_STREAM, i as u64, Key::from("home"), v.to_compact().into_bytes()),
+                Event::new(
+                    REQUEST_STREAM,
+                    i as u64,
+                    Key::from("home"),
+                    v.to_compact().into_bytes(),
+                ),
             );
         }
         exec.run_to_completion().unwrap();

@@ -80,7 +80,11 @@ impl Mapper for ReputationMapper {
         ctx.publish(DELTA_STREAM, Key::from(author), delta_payload(TWEET_POINTS, "tweet"));
         // Engagement credit to the referenced user.
         if let Some(target) = v.get("retweet_of").and_then(Json::as_str) {
-            ctx.publish(DELTA_STREAM, Key::from(target), delta_payload(RETWEET_POINTS, "retweeted"));
+            ctx.publish(
+                DELTA_STREAM,
+                Key::from(target),
+                delta_payload(RETWEET_POINTS, "retweeted"),
+            );
         }
         if let Some(target) = v.get("reply_to").and_then(Json::as_str) {
             ctx.publish(DELTA_STREAM, Key::from(target), delta_payload(REPLY_POINTS, "replied"));
@@ -102,10 +106,7 @@ impl ReputationScorer {
 
     /// Read a score out of a slate (for tests and harnesses).
     pub fn score_of(slate: &Slate) -> i64 {
-        slate
-            .as_json()
-            .and_then(|v| v.get("score").and_then(Json::as_i64))
-            .unwrap_or(0)
+        slate.as_json().and_then(|v| v.get("score").and_then(Json::as_i64)).unwrap_or(0)
     }
 }
 
@@ -145,10 +146,8 @@ mod tests {
     use muppet_core::reference::ReferenceExecutor;
 
     fn tweet(ts: u64, author: &str, retweet_of: Option<&str>, reply_to: Option<&str>) -> Event {
-        let mut fields = vec![
-            ("user".to_string(), Json::str(author)),
-            ("text".to_string(), Json::str("hi")),
-        ];
+        let mut fields =
+            vec![("user".to_string(), Json::str(author)), ("text".to_string(), Json::str("hi"))];
         if let Some(t) = retweet_of {
             fields.push(("retweet_of".to_string(), Json::str(t)));
         }

@@ -75,7 +75,11 @@ impl SplittingMapper {
     /// A mapper splitting each retailer key `k` ways (`k = 1` reproduces
     /// the unsplit baseline).
     pub fn new(k: u64) -> Self {
-        SplittingMapper { name: SPLIT_MAPPER.to_string(), k: k.max(1), rr: Mutex::new(FxHashMap::default()) }
+        SplittingMapper {
+            name: SPLIT_MAPPER.to_string(),
+            k: k.max(1),
+            rr: Mutex::new(FxHashMap::default()),
+        }
     }
 }
 
@@ -181,7 +185,9 @@ mod tests {
     use muppet_core::reference::ReferenceExecutor;
     use muppet_workloads::checkins::CheckinGenerator;
 
-    fn run(k: u64, emit_every: u64, n_events: usize) -> (Vec<(String, u64)>, Vec<(String, u64)>) {
+    type Counts = Vec<(String, u64)>;
+
+    fn run(k: u64, emit_every: u64, n_events: usize) -> (Counts, Counts) {
         let wf = workflow();
         let mut exec = ReferenceExecutor::new(&wf);
         exec.register_mapper(SplittingMapper::new(k));
@@ -189,9 +195,8 @@ mod tests {
         exec.register_updater(TotalCounter::new());
         let mut gen = CheckinGenerator::new(77, 100, 1000.0).with_venue_skew(2.0);
         let events = gen.take(CHECKIN_STREAM, n_events);
-        let expected: Vec<(String, u64)> = CheckinGenerator::expected_retailer_counts(&events)
-            .into_iter()
-            .collect();
+        let expected: Vec<(String, u64)> =
+            CheckinGenerator::expected_retailer_counts(&events).into_iter().collect();
         for ev in events {
             exec.push_external(CHECKIN_STREAM, ev);
         }

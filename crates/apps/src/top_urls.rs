@@ -125,10 +125,7 @@ impl TopKUpdater {
                     items
                         .iter()
                         .filter_map(|e| {
-                            Some((
-                                e.get("url")?.as_str()?.to_string(),
-                                e.get("count")?.as_u64()?,
-                            ))
+                            Some((e.get("url")?.as_str()?.to_string(), e.get("count")?.as_u64()?))
                         })
                         .collect()
                 })
@@ -194,12 +191,8 @@ mod tests {
 
     #[test]
     fn leaderboard_ranks_by_count() {
-        let events = vec![
-            vec!["a.com", "b.com"],
-            vec!["a.com"],
-            vec!["a.com", "c.com"],
-            vec!["b.com"],
-        ];
+        let events =
+            vec![vec!["a.com", "b.com"], vec!["a.com"], vec!["a.com", "c.com"], vec!["b.com"]];
         let board = run(&events, 10);
         assert_eq!(board[0], ("a.com".to_string(), 3));
         assert_eq!(board[1], ("b.com".to_string(), 2));
@@ -208,13 +201,8 @@ mod tests {
 
     #[test]
     fn truncates_to_k() {
-        let events: Vec<Vec<&str>> = vec![
-            vec!["u1.com"],
-            vec!["u2.com"],
-            vec!["u3.com"],
-            vec!["u4.com"],
-            vec!["u1.com"],
-        ];
+        let events: Vec<Vec<&str>> =
+            vec![vec!["u1.com"], vec!["u2.com"], vec!["u3.com"], vec!["u4.com"], vec!["u1.com"]];
         let board = run(&events, 2);
         assert_eq!(board.len(), 2);
         assert_eq!(board[0].0, "u1.com");
@@ -228,7 +216,7 @@ mod tests {
 
     #[test]
     fn counts_match_per_url_slates() {
-        let events = vec![vec!["x.com"], vec!["x.com"], vec!["y.com"]];
+        let events = [vec!["x.com"], vec!["x.com"], vec!["y.com"]];
         let wf = workflow();
         let mut exec = ReferenceExecutor::new(&wf);
         exec.register_mapper(UrlMapper::new());

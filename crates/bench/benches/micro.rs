@@ -105,7 +105,9 @@ fn bench_compress(c: &mut Criterion) {
     g.throughput(Throughput::Bytes(slate.len() as u64));
     g.bench_function("lzss_compress_json_slate", |b| b.iter(|| compress(black_box(&slate))));
     let packed = compress(&slate);
-    g.bench_function("lzss_decompress_json_slate", |b| b.iter(|| decompress(black_box(&packed)).unwrap()));
+    g.bench_function("lzss_decompress_json_slate", |b| {
+        b.iter(|| decompress(black_box(&packed)).unwrap())
+    });
     g.finish();
 }
 

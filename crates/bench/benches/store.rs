@@ -52,8 +52,11 @@ fn bench_sstable(c: &mut Criterion) {
     let device = Arc::new(StorageDevice::default());
     let mut w = SSTableWriter::create(dir.file("bench.sst"), Arc::clone(&device), 50_000).unwrap();
     for i in 0..50_000u64 {
-        w.add(&CellKey::new(format!("row-{i:08}"), "U1"), &Cell::live(format!("value-{i}"), i, None))
-            .unwrap();
+        w.add(
+            &CellKey::new(format!("row-{i:08}"), "U1"),
+            &Cell::live(format!("value-{i}"), i, None),
+        )
+        .unwrap();
     }
     let table = w.finish().unwrap();
     g.bench_function("point_read_hit_50k_rows", |b| {

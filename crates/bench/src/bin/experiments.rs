@@ -13,11 +13,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let scale = if quick { Scale::QUICK } else { Scale::FULL };
-    let requested: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let requested: Vec<&str> =
+        args.iter().filter(|a| !a.starts_with("--")).map(String::as_str).collect();
 
     let to_run: Vec<&str> = if requested.is_empty() || requested == ["all"] {
         ALL_EXPERIMENTS.to_vec()

@@ -67,9 +67,12 @@ fn reference_slates(events: &[Event]) -> Vec<(String, u64, u64)> {
     exec.register_mapper(FnMapper::new("M2", |ctx: &mut dyn Emitter, ev: &Event| {
         ctx.publish("S4", ev.key.clone(), ev.value.to_vec());
     }));
-    exec.register_updater(FnUpdater::new("U1", |_: &mut dyn Emitter, _: &Event, slate: &mut Slate| {
-        slate.incr_counter(1);
-    }));
+    exec.register_updater(FnUpdater::new(
+        "U1",
+        |_: &mut dyn Emitter, _: &Event, slate: &mut Slate| {
+            slate.incr_counter(1);
+        },
+    ));
     exec.register_updater(FnUpdater::new(
         "U2",
         |ctx: &mut dyn Emitter, ev: &Event, slate: &mut Slate| {
@@ -126,7 +129,8 @@ pub fn run(scale: Scale) {
         engine.submit(ev.clone()).expect("submit");
     }
     assert!(engine.drain(Duration::from_secs(120)));
-    let mut table = Table::new(["key", "U1 (ref)", "U2 (ref)", "U1 (engine)", "U2 (engine)", "match"]);
+    let mut table =
+        Table::new(["key", "U1 (ref)", "U2 (ref)", "U1 (engine)", "U2 (engine)", "match"]);
     let mut all_match = true;
     for (key, u1, u2) in &ref1 {
         let e1 = crate::harness::read_counter(&engine, "U1", key);

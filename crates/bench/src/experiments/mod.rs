@@ -2,12 +2,13 @@
 //! experiment index and EXPERIMENTS.md for recorded outcomes.
 
 pub mod f1a_workflow_graphs;
-pub mod x1_distributed_execution;
 pub mod x10_machine_failure;
 pub mod x11_overflow;
 pub mod x12_hotspot_splitting;
 pub mod x13_slate_sizes;
 pub mod x14_http_reads;
+pub mod x15_network_transport;
+pub mod x1_distributed_execution;
 pub mod x2_retailer_counts;
 pub mod x3_hot_topics;
 pub mod x4_scale_latency;

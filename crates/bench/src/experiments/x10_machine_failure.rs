@@ -23,7 +23,11 @@ use crate::Scale;
 
 /// Run the experiment.
 pub fn run(scale: Scale) {
-    super::banner("X10", "machine crash: detection, rerouting, bounded loss", "§4.3 (handling failures)");
+    super::banner(
+        "X10",
+        "machine crash: detection, rerouting, bounded loss",
+        "§4.3 (handling failures)",
+    );
     let before = scale.events(20_000);
     let after = scale.events(20_000);
 
@@ -32,8 +36,11 @@ pub fn run(scale: Scale) {
     // §4.3 declares lost (failed sends + the dead machine's queues).
     let dir = TempDir::new("x10").unwrap();
     let store = Arc::new(
-        StoreCluster::open(dir.path(), StoreConfig { nodes: 1, replication: 1, ..Default::default() })
-            .unwrap(),
+        StoreCluster::open(
+            dir.path(),
+            StoreConfig { nodes: 1, replication: 1, ..Default::default() },
+        )
+        .unwrap(),
     );
     let cfg = EngineConfig {
         kind: EngineKind::Muppet2,
@@ -94,13 +101,26 @@ pub fn run(scale: Scale) {
     engine.shutdown();
 
     let mut table = Table::new(["metric", "value"]);
-    table.row(["healthy-phase losses".to_string(), format!("{}", healthy.lost_machine_failure + healthy.lost_in_queues)]);
+    table.row([
+        "healthy-phase losses".to_string(),
+        format!("{}", healthy.lost_machine_failure + healthy.lost_in_queues),
+    ]);
     table.row([
         "failure detection latency".to_string(),
-        format!("{:?} ({} events after the kill)", detection_latency.unwrap_or_default(), detect_after_events),
+        format!(
+            "{:?} ({} events after the kill)",
+            detection_latency.unwrap_or_default(),
+            detect_after_events
+        ),
     ]);
-    table.row(["events lost at dead machine (in queues)".to_string(), stats.lost_in_queues.to_string()]);
-    table.row(["events lost to failed sends (logged)".to_string(), stats.lost_machine_failure.to_string()]);
+    table.row([
+        "events lost at dead machine (in queues)".to_string(),
+        stats.lost_in_queues.to_string(),
+    ]);
+    table.row([
+        "events lost to failed sends (logged)".to_string(),
+        stats.lost_machine_failure.to_string(),
+    ]);
     table.row(["true retail events (both phases)".to_string(), true_total.to_string()]);
     table.row(["retail events counted by survivors".to_string(), counted_total.to_string()]);
     table.row([

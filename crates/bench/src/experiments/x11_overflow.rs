@@ -53,11 +53,21 @@ fn ops() -> OperatorSet {
 
 /// Run the experiment.
 pub fn run(scale: Scale) {
-    super::banner("X11", "queue overflow: drop vs overflow stream vs throttling", "§4.3 (queue overflow), §5 (source throttling)");
+    super::banner(
+        "X11",
+        "queue overflow: drop vs overflow stream vs throttling",
+        "§4.3 (queue overflow), §5 (source throttling)",
+    );
     let n = scale.events(8_000);
 
     let mut table = Table::new([
-        "policy", "full-service", "degraded", "dropped", "throttle waits", "intake time", "accounted",
+        "policy",
+        "full-service",
+        "degraded",
+        "dropped",
+        "throttle waits",
+        "intake time",
+        "accounted",
     ]);
     for (name, policy) in [
         ("drop-and-log", OverflowPolicy::DropAndLog),
@@ -80,7 +90,12 @@ pub fn run(scale: Scale) {
         for chunk in (0..n).collect::<Vec<_>>().chunks(20) {
             for &j in chunk {
                 engine
-                    .submit(Event::new("S1", j as u64, muppet_core::event::Key::from("hot"), Vec::new()))
+                    .submit(Event::new(
+                        "S1",
+                        j as u64,
+                        muppet_core::event::Key::from("hot"),
+                        Vec::new(),
+                    ))
                     .unwrap();
             }
             std::thread::sleep(Duration::from_millis(1));

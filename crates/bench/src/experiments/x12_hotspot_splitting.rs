@@ -24,7 +24,12 @@ fn hot_checkin(i: u64) -> Event {
         ("user", Json::str(format!("u{i}"))),
         ("venue", Json::obj([("name", Json::str("Best Buy"))])),
     ]);
-    Event::new(split_counter::CHECKIN_STREAM, i, Key::from(format!("u{i}")), v.to_compact().into_bytes())
+    Event::new(
+        split_counter::CHECKIN_STREAM,
+        i,
+        Key::from(format!("u{i}")),
+        v.to_compact().into_bytes(),
+    )
 }
 
 /// A partial counter with an artificial per-event cost, standing in for a
@@ -62,7 +67,8 @@ pub fn run(scale: Scale) {
     for &k in &[1u64, 2, 4, 8] {
         // Workers match the host's cores: the split's parallelism gain is
         // bounded by real cores, and oversubscription would only blur it.
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).clamp(2, 8);
+        let workers =
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).clamp(2, 8);
         let cfg = EngineConfig {
             kind: EngineKind::Muppet2,
             machines: 1,
@@ -88,7 +94,11 @@ pub fn run(scale: Scale) {
             format!("{elapsed:.2?}"),
             rate(n, elapsed),
             total.to_string(),
-            if (n as u64).saturating_sub(total) <= k * 16 { "✓ (±k·batch)".to_string() } else { "✗".to_string() },
+            if (n as u64).saturating_sub(total) <= k * 16 {
+                "✓ (±k·batch)".to_string()
+            } else {
+                "✗".to_string()
+            },
         ]);
     }
     table.print();

@@ -67,7 +67,8 @@ pub fn run(scale: Scale) {
             ..EngineConfig::default()
         };
         let events = keyed_events("S1", n, keys, 0.5, 13);
-        let outcome = run_engine(workflow(), ops(size), cfg, Some(std::sync::Arc::clone(&store)), events);
+        let outcome =
+            run_engine(workflow(), ops(size), cfg, Some(std::sync::Arc::clone(&store)), events);
         let throughput = outcome.throughput(n);
         let base = *baseline.get_or_insert(throughput);
         let stored = store.stats().stored_bytes;

@@ -31,8 +31,11 @@ pub fn run(scale: Scale) {
 
     let dir = TempDir::new("x14").unwrap();
     let store = Arc::new(
-        StoreCluster::open(dir.path(), StoreConfig { nodes: 1, replication: 1, ..Default::default() })
-            .unwrap(),
+        StoreCluster::open(
+            dir.path(),
+            StoreConfig { nodes: 1, replication: 1, ..Default::default() },
+        )
+        .unwrap(),
     );
     let cfg = EngineConfig {
         kind: EngineKind::Muppet2,
@@ -51,12 +54,8 @@ pub fn run(scale: Scale) {
     // Concurrent readers polling the hot retailer during the stream.
     let stop = Arc::new(AtomicBool::new(false));
     let latencies = Arc::new(Histogram::new());
-    let url = format!(
-        "{}/slate/{}/{}",
-        server.base_url(),
-        retailer::COUNTER,
-        percent_encode(b"Walmart")
-    );
+    let url =
+        format!("{}/slate/{}/{}", server.base_url(), retailer::COUNTER, percent_encode(b"Walmart"));
     let mut readers = Vec::new();
     for _ in 0..3 {
         let stop = Arc::clone(&stop);
@@ -104,9 +103,15 @@ pub fn run(scale: Scale) {
 
     let mut table = Table::new(["metric", "value"]);
     table.row(["concurrent HTTP fetches during run".to_string(), total_fetches.to_string()]);
-    table.row(["fetch latency p50 / p99".to_string(), format!("{} / {}", us(l.p50_us), us(l.p99_us))]);
+    table.row([
+        "fetch latency p50 / p99".to_string(),
+        format!("{} / {}", us(l.p50_us), us(l.p99_us)),
+    ]);
     table.row(["live (cache) Walmart count".to_string(), live.to_string()]);
-    table.row(["ground-truth Walmart count".to_string(), truth.get("Walmart").copied().unwrap_or(0).to_string()]);
+    table.row([
+        "ground-truth Walmart count".to_string(),
+        truth.get("Walmart").copied().unwrap_or(0).to_string(),
+    ]);
     table.row(["stale store copy at same instant".to_string(), store_copy.to_string()]);
     table.print();
     println!(

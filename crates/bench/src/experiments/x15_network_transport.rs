@@ -1,0 +1,156 @@
+//! X15 — the cost of the wire: in-process vs TCP-loopback transport for
+//! the hot_topics pipeline.
+//!
+//! The paper runs Muppet over a real network; the seed simulated it with
+//! queue hand-offs. This experiment quantifies what the new `muppet-net`
+//! TCP transport costs relative to the in-process wire on identical
+//! hardware and workload: same 3-machine cluster, same tweet stream, same
+//! two-choice dispatch — only the wire differs (direct call vs framed
+//! sockets with per-peer connection pools on loopback).
+
+use std::time::{Duration, Instant};
+
+use muppet_apps::hot_topics::{self, HotDetector, MinuteCounter, TopicMapper};
+use muppet_net::topology::Topology;
+use muppet_runtime::engine::{Engine, EngineConfig, OperatorSet, TransportKind};
+use muppet_workloads::tweets::TweetGenerator;
+
+use crate::table::{rate, us, Table};
+use crate::Scale;
+
+const MACHINES: usize = 3;
+
+fn ops() -> OperatorSet {
+    OperatorSet::new()
+        .mapper(TopicMapper::new())
+        .updater(MinuteCounter::new())
+        .updater(HotDetector::new(3.0))
+}
+
+fn base_config() -> EngineConfig {
+    EngineConfig {
+        machines: MACHINES,
+        workers_per_machine: 2,
+        queue_capacity: 1 << 16,
+        ..EngineConfig::default()
+    }
+}
+
+struct Outcome {
+    elapsed: Duration,
+    processed: u64,
+    p50_us: u64,
+    p99_us: u64,
+    drained: bool,
+}
+
+/// Submit `events` into `intake`, then wait for the whole cluster to
+/// quiesce (summed processed-count stable) and aggregate stats.
+fn drive(intake: &Engine, cluster: &[&Engine], events: &[muppet_core::event::Event]) -> Outcome {
+    let t0 = Instant::now();
+    for ev in events {
+        intake.submit(ev.clone()).expect("submit");
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let total = |cluster: &[&Engine]| -> u64 { cluster.iter().map(|e| e.stats().processed).sum() };
+    let mut last = total(cluster);
+    let mut stable_since = Instant::now();
+    let drained = loop {
+        std::thread::sleep(Duration::from_millis(20));
+        let now = total(cluster);
+        if now != last {
+            last = now;
+            stable_since = Instant::now();
+        } else if stable_since.elapsed() > Duration::from_millis(300) && now > 0 {
+            break true;
+        }
+        if Instant::now() > deadline {
+            break false;
+        }
+    };
+    let elapsed = t0.elapsed();
+    let mut processed = 0;
+    let mut latency = muppet_runtime::metrics::LatencySummary::default();
+    for engine in cluster {
+        let stats = engine.stats();
+        processed += stats.processed;
+        // Keep the worst-node percentiles: the cluster is as slow as its
+        // slowest member.
+        if stats.latency.p99_us > latency.p99_us {
+            latency = stats.latency;
+        }
+    }
+    Outcome { elapsed, processed, p50_us: latency.p50_us, p99_us: latency.p99_us, drained }
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) {
+    super::banner(
+        "X15",
+        "in-process vs TCP-loopback transport (hot_topics)",
+        "§4.1 wire; muppet-net (DESIGN.md §5)",
+    );
+    let n = scale.events(30_000);
+    let events: Vec<_> = TweetGenerator::new(42, 2_000, 40.0).take(hot_topics::TWEET_STREAM, n);
+
+    let mut table = Table::new([
+        "transport",
+        "events",
+        "wall time",
+        "events/s (submit→quiesce)",
+        "p50 e2e",
+        "p99 e2e",
+    ]);
+
+    // --- in-process wire ---
+    let engine = Engine::start(hot_topics::workflow(), ops(), base_config(), None).unwrap();
+    let outcome = drive(&engine, &[&engine], &events);
+    assert!(outcome.drained, "in-process run did not quiesce");
+    table.row([
+        "in-process".to_string(),
+        outcome.processed.to_string(),
+        format!("{:.2?}", outcome.elapsed),
+        rate(n, outcome.elapsed),
+        us(outcome.p50_us),
+        us(outcome.p99_us),
+    ]);
+    let inproc_elapsed = outcome.elapsed;
+    engine.shutdown();
+
+    // --- TCP loopback: one engine per machine, real sockets between ---
+    let topology = Topology::loopback_ephemeral(MACHINES, false).expect("reserve ports");
+    let nodes: Vec<Engine> = (0..MACHINES)
+        .map(|local| {
+            let cfg = EngineConfig {
+                transport: TransportKind::Tcp { topology: topology.clone(), local },
+                ..base_config()
+            };
+            Engine::start(hot_topics::workflow(), ops(), cfg, None).unwrap()
+        })
+        .collect();
+    let refs: Vec<&Engine> = nodes.iter().collect();
+    let outcome = drive(&nodes[0], &refs, &events);
+    assert!(outcome.drained, "TCP run did not quiesce");
+    table.row([
+        "tcp-loopback".to_string(),
+        outcome.processed.to_string(),
+        format!("{:.2?}", outcome.elapsed),
+        rate(n, outcome.elapsed),
+        us(outcome.p50_us),
+        us(outcome.p99_us),
+    ]);
+    let tcp_elapsed = outcome.elapsed;
+    let tcp_processed = outcome.processed;
+    for node in nodes {
+        node.shutdown();
+    }
+
+    table.print();
+    println!(
+        "\nshape check: both transports process every delivered event; TCP pays \
+         {:.1}× the in-process wall time on this workload (framing + syscalls + \n\
+         cross-process hops; latency percentiles include remote queueing)",
+        tcp_elapsed.as_secs_f64() / inproc_elapsed.as_secs_f64().max(1e-9),
+    );
+    assert!(tcp_processed > 0, "TCP cluster must process events");
+}

@@ -49,7 +49,11 @@ pub fn run(scale: Scale) {
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
     println!("host parallelism: {cores} cores — scaling saturates there\n");
     let mut table = Table::new([
-        "machines × workers", "total workers", "events/s", "ideal events/s", "p99 latency",
+        "machines × workers",
+        "total workers",
+        "events/s",
+        "ideal events/s",
+        "p99 latency",
     ]);
     let mut first_rate = None;
     for &(machines, workers) in &[(1usize, 1usize), (1, 2), (2, 1), (2, 2)] {
@@ -61,7 +65,9 @@ pub fn run(scale: Scale) {
             queue_capacity: 1 << 16,
             ..EngineConfig::default()
         };
-        let engine = std::sync::Arc::new(Engine::start(workflow(), ops(COST_US), cfg, None).expect("engine"));
+        let engine = std::sync::Arc::new(
+            Engine::start(workflow(), ops(COST_US), cfg, None).expect("engine"),
+        );
         let t0 = Instant::now();
         // Four source partitions (M0 can be sharded across input streams);
         // otherwise a single submit thread caps the measurement.

@@ -14,7 +14,11 @@ use crate::Scale;
 
 /// Run the experiment.
 pub fn run(scale: Scale) {
-    super::banner("X2", "retailer checkin counting is exact end-to-end", "Figure 1(b), Figures 3–4, Examples 1/4");
+    super::banner(
+        "X2",
+        "retailer checkin counting is exact end-to-end",
+        "Figure 1(b), Figures 3–4, Examples 1/4",
+    );
     let n = scale.events(30_000);
     let mut gen = CheckinGenerator::new(42, 3_000, 5_000.0);
     let events = gen.take(retailer::CHECKIN_STREAM, n);
@@ -58,7 +62,8 @@ pub fn run(scale: Scale) {
         engine_counts.push(counts);
     }
 
-    let mut table = Table::new(["retailer", "ground truth", "reference", "muppet 1.0", "muppet 2.0", "match"]);
+    let mut table =
+        Table::new(["retailer", "ground truth", "reference", "muppet 1.0", "muppet 2.0", "match"]);
     let mut all_ok = true;
     for (i, (retailer_name, expect)) in truth.iter().enumerate() {
         let refc = exec

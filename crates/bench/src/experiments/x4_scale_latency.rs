@@ -20,7 +20,11 @@ use crate::Scale;
 
 /// Run the experiment.
 pub fn run(scale: Scale) {
-    super::banner("X4", "production-scale throughput and sub-2s latency", "§5 (100M tweets/day, <2s latency)");
+    super::banner(
+        "X4",
+        "production-scale throughput and sub-2s latency",
+        "§5 (100M tweets/day, <2s latency)",
+    );
     let n = scale.events(200_000);
 
     // Mixed feed: ~98.5% tweets, 1.5% checkins (the paper's 100M:1.5M
@@ -54,7 +58,11 @@ pub fn run(scale: Scale) {
     let l = outcome.stats.latency;
 
     let mut table = Table::new(["metric", "measured", "paper claim"]);
-    table.row(["events streamed".to_string(), n.to_string(), "100M tweets + 1.5M checkins / day".into()]);
+    table.row([
+        "events streamed".to_string(),
+        n.to_string(),
+        "100M tweets + 1.5M checkins / day".into(),
+    ]);
     table.row([
         "sustained throughput".to_string(),
         format!("{} events/s", rate(n, outcome.elapsed)),

@@ -64,12 +64,20 @@ const STALL_THRESHOLD_US: u64 = 20_000;
 
 /// Run the experiment.
 pub fn run(scale: Scale) {
-    super::banner("X5", "Muppet 1.0 vs 2.0: cold keys behind a hot-key backlog", "§4.5 (two-choice dispatch vs single-owner workers)");
+    super::banner(
+        "X5",
+        "Muppet 1.0 vs 2.0: cold keys behind a hot-key backlog",
+        "§4.5 (two-choice dispatch vs single-owner workers)",
+    );
     let burst = scale.events(10_000);
     let probes = 1_000usize.min(burst / 4).max(50);
 
     let mut table = Table::new([
-        "engine", "hot backlog drain", "cold mean", "cold p50", "stalled probes (>20ms)",
+        "engine",
+        "hot backlog drain",
+        "cold mean",
+        "cold p50",
+        "stalled probes (>20ms)",
     ]);
     let mut drains = Vec::new();
     let mut p50s = Vec::new();
@@ -89,8 +97,8 @@ pub fn run(scale: Scale) {
             queue_capacity: 1 << 16,
             ..EngineConfig::default()
         };
-        let engine =
-            Engine::start(workflow(), ops(epoch, Arc::clone(&cold_hist)), cfg, None).expect("engine");
+        let engine = Engine::start(workflow(), ops(epoch, Arc::clone(&cold_hist)), cfg, None)
+            .expect("engine");
         // 1. The hot burst: a huge number of hot-key events hit the queue
         //    at once ("overloaded by a huge number of events with key k1").
         let t0 = Instant::now();

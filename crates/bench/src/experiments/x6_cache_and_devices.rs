@@ -42,12 +42,21 @@ fn ops() -> OperatorSet {
 
 /// Run the experiment.
 pub fn run(scale: Scale) {
-    super::banner("X6", "slate-cache sizing and SSD vs HDD store devices", "§4.2 (SSDs and caching slates)");
+    super::banner(
+        "X6",
+        "slate-cache sizing and SSD vs HDD store devices",
+        "§4.2 (SSDs and caching slates)",
+    );
     let keys = 2_000usize;
     let n = scale.events(20_000);
 
     let mut table = Table::new([
-        "device", "cache/working set", "hit rate", "store loads", "events/s", "store read time",
+        "device",
+        "cache/working set",
+        "hit rate",
+        "store loads",
+        "events/s",
+        "store read time",
     ]);
     for &device in &[DeviceProfile::SSD, DeviceProfile::HDD] {
         for &fraction in &[0.1f64, 0.5, 1.0] {

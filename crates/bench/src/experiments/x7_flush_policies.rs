@@ -33,12 +33,20 @@ fn workflow() -> Workflow {
 
 /// Run the experiment.
 pub fn run(scale: Scale) {
-    super::banner("X7", "flush policy: store writes vs crash loss", "§4.2 (flushing parameters), §4.3");
+    super::banner(
+        "X7",
+        "flush policy: store writes vs crash loss",
+        "§4.2 (flushing parameters), §4.3",
+    );
     let n = scale.events(20_000);
     let keys = 200usize;
 
     let mut table = Table::new([
-        "flush policy", "store writes", "write amplification", "increments lost on crash", "loss %",
+        "flush policy",
+        "store writes",
+        "write amplification",
+        "increments lost on crash",
+        "loss %",
     ]);
     for (name, policy) in [
         ("write-through", FlushPolicy::WriteThrough),
@@ -92,7 +100,8 @@ pub fn run(scale: Scale) {
         // Count what survived in the store.
         let mut survived = 0u64;
         for k in 0..keys {
-            if let Ok(Some(bytes)) = store.get(&CellKey::new(format!("key-{k:06}"), "U1"), now + 1) {
+            if let Ok(Some(bytes)) = store.get(&CellKey::new(format!("key-{k:06}"), "U1"), now + 1)
+            {
                 survived += String::from_utf8(bytes.to_vec())
                     .ok()
                     .and_then(|s| s.parse::<u64>().ok())

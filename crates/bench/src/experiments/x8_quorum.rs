@@ -23,12 +23,7 @@ pub fn run(scale: Scale) {
     let dir = TempDir::new("x8").unwrap();
     let store = StoreCluster::open(
         dir.path(),
-        StoreConfig {
-            nodes: 3,
-            replication: 3,
-            device: DeviceProfile::SSD,
-            ..Default::default()
-        },
+        StoreConfig { nodes: 3, replication: 3, device: DeviceProfile::SSD, ..Default::default() },
     )
     .unwrap();
 
@@ -43,7 +38,10 @@ pub fn run(scale: Scale) {
     store.flush_all(universe as u64 + 1).unwrap();
 
     let mut table = Table::new([
-        "consistency", "replicas on read path", "write latency (mean)", "read latency (mean)",
+        "consistency",
+        "replicas on read path",
+        "write latency (mean)",
+        "read latency (mean)",
         "ok with 1 node down",
     ]);
     for (name, level, replicas_read) in [

@@ -21,7 +21,11 @@ const MICROS_PER_DAY: u64 = 24 * 60 * 60 * 1_000_000;
 
 /// Run the experiment.
 pub fn run(scale: Scale) {
-    super::banner("X9", "TTL contains slate-store growth under churn", "§4.2 (time-to-live parameters)");
+    super::banner(
+        "X9",
+        "TTL contains slate-store growth under churn",
+        "§4.2 (time-to-live parameters)",
+    );
     let users_per_day = scale.events(2_000);
     let days = 10u64;
     let ttl_days = 3u64;
@@ -56,11 +60,7 @@ pub fn run(scale: Scale) {
 
     let mut table = Table::new(["virtual day", "live slates (no TTL)", "live slates (3-day TTL)"]);
     for day in 0..days as usize {
-        table.row([
-            day.to_string(),
-            no_ttl[day].to_string(),
-            with_ttl[day].to_string(),
-        ]);
+        table.row([day.to_string(), no_ttl[day].to_string(), with_ttl[day].to_string()]);
     }
     table.print();
     let growth_no_ttl = no_ttl[days as usize - 1] as f64 / no_ttl[2] as f64;

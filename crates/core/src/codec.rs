@@ -1,7 +1,11 @@
 //! Binary encoding primitives shared by the WAL, SSTable, and network
 //! framing code: LEB128 varints, length-prefixed byte strings, and a
-//! checksum. All decoding is bounds-checked and returns `None`/errors
-//! instead of panicking — these functions parse data from disk.
+//! checksum — plus the wire encoding of [`Event`]s used by `muppet-net`'s
+//! framing. All decoding is bounds-checked and returns `None`/errors
+//! instead of panicking — these functions parse data from disk and from
+//! the network.
+
+use crate::event::{Event, Key, StreamId};
 
 /// Maximum encoded size of a varint u64.
 pub const MAX_VARINT_LEN: usize = 10;
@@ -111,6 +115,38 @@ pub fn crc32c(bytes: &[u8]) -> u32 {
     !crc
 }
 
+/// Append the wire encoding of an event: stream, ts, seq, key, value —
+/// strings and blobs length-prefixed, integers as varints.
+pub fn put_event(out: &mut Vec<u8>, event: &Event) {
+    put_len_prefixed(out, event.stream.as_str().as_bytes());
+    put_varint(out, event.ts);
+    put_varint(out, event.seq);
+    put_len_prefixed(out, event.key.as_bytes());
+    put_len_prefixed(out, &event.value);
+}
+
+/// Decode an event from the front of `buf`. Returns `(event,
+/// bytes_read)`; `None` on truncated or malformed input (including a
+/// non-UTF-8 stream name).
+pub fn get_event(buf: &[u8]) -> Option<(Event, usize)> {
+    let mut at = 0;
+    let (stream, n) = get_len_prefixed(&buf[at..])?;
+    let stream = std::str::from_utf8(stream).ok()?;
+    at += n;
+    let (ts, n) = get_varint(&buf[at..])?;
+    at += n;
+    let (seq, n) = get_varint(&buf[at..])?;
+    at += n;
+    let (key, n) = get_len_prefixed(&buf[at..])?;
+    at += n;
+    let key = Key::from(key);
+    let (value, n) = get_len_prefixed(&buf[at..])?;
+    at += n;
+    let mut event = Event::new(StreamId::from(stream), ts, key, value.to_vec());
+    event.seq = seq;
+    Some((event, at))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +244,35 @@ mod tests {
         let mut corrupted = b"muppet slate payload".to_vec();
         corrupted[3] ^= 0x01;
         assert_ne!(crc32c(&corrupted), base);
+    }
+
+    #[test]
+    fn event_wire_roundtrip() {
+        let mut e = Event::new("S1", 123_456, Key::from("walmart"), vec![0xff, 0x00, 0x7f]);
+        e.seq = 42;
+        let mut buf = Vec::new();
+        put_event(&mut buf, &e);
+        // A second event concatenates cleanly.
+        let empty = Event::new("", 0, Key::empty(), Vec::new());
+        put_event(&mut buf, &empty);
+        let (got, n) = get_event(&buf).unwrap();
+        assert_eq!(got, e);
+        let (got2, m) = get_event(&buf[n..]).unwrap();
+        assert_eq!(got2, empty);
+        assert_eq!(n + m, buf.len());
+    }
+
+    #[test]
+    fn event_wire_rejects_truncation_and_bad_utf8() {
+        let e = Event::new("stream", 7, Key::from("k"), b"value".to_vec());
+        let mut buf = Vec::new();
+        put_event(&mut buf, &e);
+        for cut in 0..buf.len() {
+            assert!(get_event(&buf[..cut]).is_none(), "cut at {cut} must fail");
+        }
+        // Corrupt the stream name with invalid UTF-8.
+        let mut bad = buf.clone();
+        bad[1] = 0xff;
+        assert!(get_event(&bad).is_none());
     }
 }

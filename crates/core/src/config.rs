@@ -122,7 +122,8 @@ impl AppConfig {
     /// Parse a configuration from a JSON value.
     pub fn from_json(root: &Json) -> Result<AppConfig> {
         let mut cfg = AppConfig::default();
-        let obj = root.as_obj().ok_or_else(|| Error::Config("top level must be an object".into()))?;
+        let obj =
+            root.as_obj().ok_or_else(|| Error::Config("top level must be an object".into()))?;
         for (key, value) in obj {
             match key.as_str() {
                 "name" => {
@@ -167,7 +168,10 @@ impl AppConfig {
         let op_to_json = |op: &OpSpec| {
             let mut fields = vec![
                 ("name".to_string(), Json::str(op.name.clone())),
-                ("subscribe".to_string(), Json::arr(op.subscribe.iter().map(|s| Json::str(s.clone())))),
+                (
+                    "subscribe".to_string(),
+                    Json::arr(op.subscribe.iter().map(|s| Json::str(s.clone()))),
+                ),
             ];
             if !op.publish.is_empty() {
                 fields.push((
@@ -194,9 +198,14 @@ impl AppConfig {
                 Json::obj([
                     (
                         "external_streams",
-                        Json::arr(self.workflow.external_streams.iter().map(|s| Json::str(s.clone()))),
+                        Json::arr(
+                            self.workflow.external_streams.iter().map(|s| Json::str(s.clone())),
+                        ),
                     ),
-                    ("streams", Json::arr(self.workflow.streams.iter().map(|s| Json::str(s.clone())))),
+                    (
+                        "streams",
+                        Json::arr(self.workflow.streams.iter().map(|s| Json::str(s.clone()))),
+                    ),
                     ("mappers", Json::arr(self.workflow.mappers.iter().map(op_to_json))),
                     ("updaters", Json::arr(self.workflow.updaters.iter().map(op_to_json))),
                 ]),
@@ -313,8 +322,9 @@ fn op_list(value: &Json, name: &str) -> Result<Vec<OpSpec>> {
         .iter()
         .map(|v| {
             let mut op = OpSpec::default();
-            let obj =
-                v.as_obj().ok_or_else(|| Error::Config(format!("{name} entries must be objects")))?;
+            let obj = v
+                .as_obj()
+                .ok_or_else(|| Error::Config(format!("{name} entries must be objects")))?;
             for (key, field) in obj {
                 match key.as_str() {
                     "name" => {

@@ -50,7 +50,10 @@ impl fmt::Display for Error {
                 write!(f, "cyclic workflow exceeded the step budget of {steps}")
             }
             Error::OperatorMismatch { expected, got } => {
-                write!(f, "operator name mismatch: workflow declares {expected:?}, impl says {got:?}")
+                write!(
+                    f,
+                    "operator name mismatch: workflow declares {expected:?}, impl says {got:?}"
+                )
             }
         }
     }
@@ -67,16 +70,10 @@ mod tests {
         let cases: Vec<(Error, &str)> = vec![
             (Error::Workflow("x".into()), "workflow error: x"),
             (Error::Config("y".into()), "config error: y"),
-            (
-                Error::Json { offset: 3, message: "bad".into() },
-                "json error at byte 3: bad",
-            ),
+            (Error::Json { offset: 3, message: "bad".into() }, "json error at byte 3: bad"),
             (Error::UnknownStream("S9".into()), "unknown stream: S9"),
             (Error::UnknownOperator("U9".into()), "unknown operator: U9"),
-            (
-                Error::ExternalStreamViolation("S1".into()),
-                "illegal publish/push on stream: S1",
-            ),
+            (Error::ExternalStreamViolation("S1".into()), "illegal publish/push on stream: S1"),
             (
                 Error::LoopBudgetExceeded { steps: 7 },
                 "cyclic workflow exceeded the step budget of 7",

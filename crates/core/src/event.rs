@@ -166,7 +166,12 @@ pub struct Event {
 
 impl Event {
     /// Build an event with `seq = 0` (executors overwrite `seq`).
-    pub fn new(stream: impl Into<StreamId>, ts: Timestamp, key: Key, value: impl Into<Bytes>) -> Self {
+    pub fn new(
+        stream: impl Into<StreamId>,
+        ts: Timestamp,
+        key: Key,
+        value: impl Into<Bytes>,
+    ) -> Self {
         Event { stream: stream.into(), ts, key, value: value.into(), seq: 0 }
     }
 
@@ -182,7 +187,10 @@ impl Event {
 
     /// Approximate in-memory footprint, used for queue byte accounting.
     pub fn approx_size(&self) -> usize {
-        std::mem::size_of::<Event>() + self.stream.as_str().len() + self.key.len() + self.value.len()
+        std::mem::size_of::<Event>()
+            + self.stream.as_str().len()
+            + self.key.len()
+            + self.value.len()
     }
 }
 
@@ -191,7 +199,11 @@ impl fmt::Debug for Event {
         write!(
             f,
             "Event {{ stream: {}, ts: {}, seq: {}, key: {:?}, value: {} bytes }}",
-            self.stream, self.ts, self.seq, self.key, self.value.len()
+            self.stream,
+            self.ts,
+            self.seq,
+            self.key,
+            self.value.len()
         )
     }
 }

@@ -157,7 +157,10 @@ mod tests {
         }
         let mean = 10_000 / 16;
         for &b in &buckets {
-            assert!((b as i64 - mean as i64).unsigned_abs() < mean as u64 * 3 / 10, "bucket {b} vs mean {mean}");
+            assert!(
+                (b as i64 - mean as i64).unsigned_abs() < mean as u64 * 3 / 10,
+                "bucket {b} vs mean {mean}"
+            );
         }
     }
 

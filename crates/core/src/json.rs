@@ -175,8 +175,10 @@ impl Json {
 
     /// Parse from raw bytes (must be UTF-8).
     pub fn parse_bytes(bytes: &[u8]) -> Result<Json> {
-        let text = std::str::from_utf8(bytes)
-            .map_err(|e| Error::Json { offset: e.valid_up_to(), message: "invalid UTF-8".into() })?;
+        let text = std::str::from_utf8(bytes).map_err(|e| Error::Json {
+            offset: e.valid_up_to(),
+            message: "invalid UTF-8".into(),
+        })?;
         Json::parse(text)
     }
 
@@ -369,7 +371,9 @@ impl<'a> Parser<'a> {
             match self.bump() {
                 Some(b',') => continue,
                 Some(b']') => return Ok(Json::Arr(items)),
-                Some(b) => return Err(self.err(format!("expected ',' or ']', found {:?}", b as char))),
+                Some(b) => {
+                    return Err(self.err(format!("expected ',' or ']', found {:?}", b as char)))
+                }
                 None => return Err(self.err("unterminated array")),
             }
         }
@@ -395,7 +399,9 @@ impl<'a> Parser<'a> {
             match self.bump() {
                 Some(b',') => continue,
                 Some(b'}') => return Ok(Json::Obj(pairs)),
-                Some(b) => return Err(self.err(format!("expected ',' or '}}', found {:?}", b as char))),
+                Some(b) => {
+                    return Err(self.err(format!("expected ',' or '}}', found {:?}", b as char)))
+                }
                 None => return Err(self.err("unterminated object")),
             }
         }
@@ -417,7 +423,10 @@ impl<'a> Parser<'a> {
                 // Input is &str, so slices on char boundaries are valid UTF-8;
                 // the loop above only stops at ASCII markers, which are
                 // boundaries.
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| self.err("invalid UTF-8"))?);
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8"))?,
+                );
             }
             match self.bump() {
                 Some(b'"') => return Ok(out),
@@ -560,9 +569,27 @@ mod tests {
     #[test]
     fn rejects_malformed_documents() {
         for bad in [
-            "", "{", "[", "\"", "{\"a\":}", "[1,]", "{,}", "01", "1.", "1e", "+1", "nul",
-            "\"\\x\"", "\"\\u12\"", "\"\\ud800\"", "\"\\ud800\\u0041\"", "\"\\udc00\"",
-            "{\"a\":1}extra", "[1 2]", "'single'", "{\"a\" 1}",
+            "",
+            "{",
+            "[",
+            "\"",
+            "{\"a\":}",
+            "[1,]",
+            "{,}",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "nul",
+            "\"\\x\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "\"\\ud800\\u0041\"",
+            "\"\\udc00\"",
+            "{\"a\":1}extra",
+            "[1 2]",
+            "'single'",
+            "{\"a\" 1}",
         ] {
             assert!(Json::parse(bad).is_err(), "should reject: {bad:?}");
         }

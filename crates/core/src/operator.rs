@@ -73,7 +73,11 @@ impl VecEmitter {
 
 impl Emitter for VecEmitter {
     fn publish(&mut self, stream: &str, key: Key, value: Vec<u8>) {
-        self.records.push(EmitRecord { stream: StreamId::from(stream), key, value: Bytes::from(value) });
+        self.records.push(EmitRecord {
+            stream: StreamId::from(stream),
+            key,
+            value: Bytes::from(value),
+        });
     }
 
     fn publish_shared(&mut self, stream: &str, key: Key, value: Bytes) {
@@ -242,8 +246,10 @@ mod tests {
         // The engines hold `Arc<dyn Mapper>` / `Arc<dyn Updater>`.
         let m: std::sync::Arc<dyn Mapper> =
             std::sync::Arc::new(FnMapper::new("M", |_: &mut dyn Emitter, _: &Event| {}));
-        let u: std::sync::Arc<dyn Updater> =
-            std::sync::Arc::new(FnUpdater::new("U", |_: &mut dyn Emitter, _: &Event, _: &mut Slate| {}));
+        let u: std::sync::Arc<dyn Updater> = std::sync::Arc::new(FnUpdater::new(
+            "U",
+            |_: &mut dyn Emitter, _: &Event, _: &mut Slate| {},
+        ));
         assert_eq!(m.name(), "M");
         assert_eq!(u.name(), "U");
         assert_eq!(u.slate_ttl_secs(), None);

@@ -187,7 +187,7 @@ impl<'wf> ReferenceExecutor<'wf> {
         let Some(Reverse(Pending(event))) = self.heap.pop() else {
             return Ok(false);
         };
-        if self.record_streams.iter().any(|s| *s == event.stream) {
+        if self.record_streams.contains(&event.stream) {
             self.recorded.entry(event.stream.clone()).or_default().push(event.clone());
         }
         let subscribers = self.wf.subscribers_of(event.stream.as_str()).to_vec();
@@ -468,7 +468,10 @@ mod tests {
         let mut exec = ReferenceExecutor::new(&wf);
         // Mapper registered under an updater's name → mismatch.
         let err = exec
-            .register_mapper_boxed(Box::new(FnMapper::new("U1", |_: &mut dyn Emitter, _: &Event| {})))
+            .register_mapper_boxed(Box::new(FnMapper::new(
+                "U1",
+                |_: &mut dyn Emitter, _: &Event| {},
+            )))
             .unwrap_err();
         assert!(matches!(err, Error::OperatorMismatch { .. }));
         let err = exec
@@ -479,7 +482,10 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, Error::OperatorMismatch { .. }));
         let err = exec
-            .register_mapper_boxed(Box::new(FnMapper::new("Zed", |_: &mut dyn Emitter, _: &Event| {})))
+            .register_mapper_boxed(Box::new(FnMapper::new(
+                "Zed",
+                |_: &mut dyn Emitter, _: &Event| {},
+            )))
             .unwrap_err();
         assert!(matches!(err, Error::UnknownOperator(_)));
     }
@@ -531,12 +537,18 @@ mod tests {
         b.updater("U2", &["S1"]);
         let wf = b.build().unwrap();
         let mut exec = ReferenceExecutor::new(&wf);
-        exec.register_updater(FnUpdater::new("U1", |_: &mut dyn Emitter, _: &Event, s: &mut Slate| {
-            s.incr_counter(1);
-        }));
-        exec.register_updater(FnUpdater::new("U2", |_: &mut dyn Emitter, _: &Event, s: &mut Slate| {
-            s.incr_counter(2);
-        }));
+        exec.register_updater(FnUpdater::new(
+            "U1",
+            |_: &mut dyn Emitter, _: &Event, s: &mut Slate| {
+                s.incr_counter(1);
+            },
+        ));
+        exec.register_updater(FnUpdater::new(
+            "U2",
+            |_: &mut dyn Emitter, _: &Event, s: &mut Slate| {
+                s.incr_counter(2);
+            },
+        ));
         exec.push_external("S1", Event::new("S1", 1, Key::from("k"), "x"));
         exec.run_to_completion().unwrap();
         // §3: each ⟨updater, key⟩ pair has its own slate.

@@ -116,9 +116,8 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..4 {
             let c = Arc::clone(&clock);
-            handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
-            }));
+            handles
+                .push(std::thread::spawn(move || (0..1000).map(|_| c.tick()).collect::<Vec<_>>()));
         }
         let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.sort_unstable();

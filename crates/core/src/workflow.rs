@@ -157,7 +157,8 @@ impl Workflow {
         let mut out = String::new();
         out.push_str(&format!("digraph \"{}\" {{\n  rankdir=LR;\n", self.name));
         for s in &self.streams {
-            let shape = if self.is_external(s.as_str()) { "ellipse, style=bold" } else { "ellipse" };
+            let shape =
+                if self.is_external(s.as_str()) { "ellipse, style=bold" } else { "ellipse" };
             out.push_str(&format!("  \"{s}\" [shape={shape}];\n"));
         }
         for op in &self.ops {
@@ -209,7 +210,12 @@ impl WorkflowBuilder {
 
     /// Declare a map function with declared output streams (auto-declares
     /// unknown output streams as internal).
-    pub fn mapper_publishing(&mut self, name: &str, subscribes: &[&str], publishes: &[&str]) -> &mut Self {
+    pub fn mapper_publishing(
+        &mut self,
+        name: &str,
+        subscribes: &[&str],
+        publishes: &[&str],
+    ) -> &mut Self {
         self.op(name, OpKind::Map, subscribes, publishes, None)
     }
 
@@ -219,13 +225,23 @@ impl WorkflowBuilder {
     }
 
     /// Declare an update function with declared output streams.
-    pub fn updater_publishing(&mut self, name: &str, subscribes: &[&str], publishes: &[&str]) -> &mut Self {
+    pub fn updater_publishing(
+        &mut self,
+        name: &str,
+        subscribes: &[&str],
+        publishes: &[&str],
+    ) -> &mut Self {
         self.op(name, OpKind::Update, subscribes, publishes, None)
     }
 
     /// Declare an update function with a slate TTL (§4.2's per-update-
     /// function TTL configuration).
-    pub fn updater_with_ttl(&mut self, name: &str, subscribes: &[&str], ttl_secs: u64) -> &mut Self {
+    pub fn updater_with_ttl(
+        &mut self,
+        name: &str,
+        subscribes: &[&str],
+        ttl_secs: u64,
+    ) -> &mut Self {
         self.op(name, OpKind::Update, subscribes, &[], Some(ttl_secs))
     }
 
@@ -281,7 +297,10 @@ impl WorkflowBuilder {
                 return Err(Error::Workflow(format!("duplicate operator name: {}", op.name)));
             }
             if op.subscribes.is_empty() {
-                return Err(Error::Workflow(format!("operator {} subscribes to no streams", op.name)));
+                return Err(Error::Workflow(format!(
+                    "operator {} subscribes to no streams",
+                    op.name
+                )));
             }
             if op.kind == OpKind::Map && op.ttl_secs.is_some() {
                 return Err(Error::Workflow(format!("mapper {} cannot have a slate TTL", op.name)));
@@ -307,7 +326,8 @@ impl WorkflowBuilder {
             return Err(Error::Workflow("workflow has no operators".into()));
         }
 
-        let streams: Vec<StreamId> = self.streams.iter().map(|s| StreamId::from(s.as_str())).collect();
+        let streams: Vec<StreamId> =
+            self.streams.iter().map(|s| StreamId::from(s.as_str())).collect();
         let external: FxHashSet<StreamId> =
             self.external.iter().map(|s| StreamId::from(s.as_str())).collect();
         let mut subscribers: FxHashMap<StreamId, Vec<OpId>> = FxHashMap::default();

@@ -1,0 +1,454 @@
+//! Wire frames.
+//!
+//! Every message on a muppet connection is one length-prefixed frame:
+//!
+//! ```text
+//! [u32 LE payload length][u32 LE crc32c(payload)][payload]
+//! payload = [u8 kind][kind-specific fields]
+//! ```
+//!
+//! Fields reuse `muppet-core::codec` primitives (varints, length-prefixed
+//! byte strings, the event wire encoding). The CRC catches corruption and
+//! desynchronization; decoding is bounds-checked throughout and never
+//! panics on malformed input.
+
+use std::io::{self, Read, Write};
+
+use muppet_core::codec::{
+    self, get_event, get_len_prefixed, get_varint, put_event, put_len_prefixed, put_varint,
+};
+use muppet_core::event::Event;
+use muppet_core::workflow::OpId;
+
+use crate::transport::MachineId;
+
+/// Refuse frames larger than this (corrupt length prefixes otherwise
+/// trigger absurd allocations).
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+/// An event in flight between machines, with the routing metadata the
+/// receiving engine needs to finish delivery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WireEvent {
+    /// Destination operator.
+    pub op: OpId,
+    /// The event itself.
+    pub event: Event,
+    /// Sender-engine-relative µs at external injection (approximate across
+    /// processes; see DESIGN.md §5).
+    pub injected_us: u64,
+    /// Already redirected to an overflow stream once (no double redirects).
+    pub redirected: bool,
+    /// Originated from an external `submit` (overflow policy distinguishes
+    /// external from internal events, §5).
+    pub external: bool,
+    /// Muppet 1.0: the destination worker thread resolved by the sender's
+    /// op rings (the worker layout is deterministic, so the hint is valid
+    /// cluster-wide). `None` for Muppet 2.0 two-choice dispatch at the
+    /// receiver.
+    pub thread_hint: Option<usize>,
+}
+
+/// One protocol message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Connection preamble: protocol version + sender machine.
+    Hello { sender: MachineId },
+    /// Deliver an event (one-way; losses surface as connection errors).
+    Event(WireEvent),
+    /// Worker → master: `failed` was unreachable on send (§4.3).
+    FailureReport { failed: MachineId },
+    /// Master → everyone: drop `failed` from all hash rings (§4.3).
+    FailureBroadcast { failed: MachineId },
+    /// Request the live cached slate of ⟨updater, key⟩ (§4.4 remote read).
+    SlateGet { updater: String, key: Vec<u8> },
+    /// Response to [`Frame::SlateGet`].
+    SlateValue { value: Option<Vec<u8>> },
+    /// Persist slate bytes on the store-hosting node.
+    StorePut { updater: String, key: Vec<u8>, value: Vec<u8>, ttl_secs: Option<u64>, now_us: u64 },
+    /// Load persisted slate bytes from the store-hosting node.
+    StoreGet { updater: String, key: Vec<u8>, now_us: u64 },
+    /// Response to [`Frame::StoreGet`].
+    StoreValue { value: Option<Vec<u8>> },
+    /// Response to [`Frame::StorePut`].
+    StoreAck,
+}
+
+/// Protocol version carried in [`Frame::Hello`].
+pub const PROTOCOL_VERSION: u64 = 1;
+
+const KIND_HELLO: u8 = 1;
+const KIND_EVENT: u8 = 2;
+const KIND_FAILURE_REPORT: u8 = 3;
+const KIND_FAILURE_BROADCAST: u8 = 4;
+const KIND_SLATE_GET: u8 = 5;
+const KIND_SLATE_VALUE: u8 = 6;
+const KIND_STORE_PUT: u8 = 7;
+const KIND_STORE_GET: u8 = 8;
+const KIND_STORE_VALUE: u8 = 9;
+const KIND_STORE_ACK: u8 = 10;
+
+fn put_opt_bytes(out: &mut Vec<u8>, value: &Option<Vec<u8>>) {
+    match value {
+        Some(bytes) => {
+            out.push(1);
+            put_len_prefixed(out, bytes);
+        }
+        None => out.push(0),
+    }
+}
+
+fn get_opt_bytes(buf: &[u8]) -> Option<(Option<Vec<u8>>, usize)> {
+    match *buf.first()? {
+        0 => Some((None, 1)),
+        1 => {
+            let (bytes, n) = get_len_prefixed(&buf[1..])?;
+            Some((Some(bytes.to_vec()), 1 + n))
+        }
+        _ => None,
+    }
+}
+
+fn put_opt_varint(out: &mut Vec<u8>, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            out.push(1);
+            put_varint(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn get_opt_varint(buf: &[u8]) -> Option<(Option<u64>, usize)> {
+    match *buf.first()? {
+        0 => Some((None, 1)),
+        1 => {
+            let (v, n) = get_varint(&buf[1..])?;
+            Some((Some(v), 1 + n))
+        }
+        _ => None,
+    }
+}
+
+impl Frame {
+    /// Encode the payload (kind byte + fields), without the outer
+    /// length/CRC header.
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Frame::Hello { sender } => {
+                out.push(KIND_HELLO);
+                put_varint(&mut out, PROTOCOL_VERSION);
+                put_varint(&mut out, *sender as u64);
+            }
+            Frame::Event(ev) => {
+                out.push(KIND_EVENT);
+                put_varint(&mut out, ev.op as u64);
+                put_varint(&mut out, ev.injected_us);
+                let mut flags = 0u8;
+                if ev.redirected {
+                    flags |= 1;
+                }
+                if ev.external {
+                    flags |= 2;
+                }
+                out.push(flags);
+                put_opt_varint(&mut out, ev.thread_hint.map(|t| t as u64));
+                put_event(&mut out, &ev.event);
+            }
+            Frame::FailureReport { failed } => {
+                out.push(KIND_FAILURE_REPORT);
+                put_varint(&mut out, *failed as u64);
+            }
+            Frame::FailureBroadcast { failed } => {
+                out.push(KIND_FAILURE_BROADCAST);
+                put_varint(&mut out, *failed as u64);
+            }
+            Frame::SlateGet { updater, key } => {
+                out.push(KIND_SLATE_GET);
+                put_len_prefixed(&mut out, updater.as_bytes());
+                put_len_prefixed(&mut out, key);
+            }
+            Frame::SlateValue { value } => {
+                out.push(KIND_SLATE_VALUE);
+                put_opt_bytes(&mut out, value);
+            }
+            Frame::StorePut { updater, key, value, ttl_secs, now_us } => {
+                out.push(KIND_STORE_PUT);
+                put_len_prefixed(&mut out, updater.as_bytes());
+                put_len_prefixed(&mut out, key);
+                put_len_prefixed(&mut out, value);
+                put_opt_varint(&mut out, *ttl_secs);
+                put_varint(&mut out, *now_us);
+            }
+            Frame::StoreGet { updater, key, now_us } => {
+                out.push(KIND_STORE_GET);
+                put_len_prefixed(&mut out, updater.as_bytes());
+                put_len_prefixed(&mut out, key);
+                put_varint(&mut out, *now_us);
+            }
+            Frame::StoreValue { value } => {
+                out.push(KIND_STORE_VALUE);
+                put_opt_bytes(&mut out, value);
+            }
+            Frame::StoreAck => out.push(KIND_STORE_ACK),
+        }
+        out
+    }
+
+    /// Decode a payload produced by [`Frame::encode_payload`]. `None` on
+    /// malformed input.
+    pub fn decode_payload(buf: &[u8]) -> Option<Frame> {
+        let kind = *buf.first()?;
+        let rest = &buf[1..];
+        let frame = match kind {
+            KIND_HELLO => {
+                let (version, n) = get_varint(rest)?;
+                if version != PROTOCOL_VERSION {
+                    return None;
+                }
+                let (sender, m) = get_varint(&rest[n..])?;
+                expect_consumed(rest, n + m)?;
+                Frame::Hello { sender: sender as MachineId }
+            }
+            KIND_EVENT => {
+                let mut at = 0;
+                let (op, n) = get_varint(rest)?;
+                at += n;
+                let (injected_us, n) = get_varint(&rest[at..])?;
+                at += n;
+                let flags = *rest.get(at)?;
+                at += 1;
+                let (hint, n) = get_opt_varint(&rest[at..])?;
+                at += n;
+                let (event, n) = get_event(&rest[at..])?;
+                at += n;
+                expect_consumed(rest, at)?;
+                Frame::Event(WireEvent {
+                    op: op as OpId,
+                    event,
+                    injected_us,
+                    redirected: flags & 1 != 0,
+                    external: flags & 2 != 0,
+                    thread_hint: hint.map(|t| t as usize),
+                })
+            }
+            KIND_FAILURE_REPORT => {
+                let (failed, n) = get_varint(rest)?;
+                expect_consumed(rest, n)?;
+                Frame::FailureReport { failed: failed as MachineId }
+            }
+            KIND_FAILURE_BROADCAST => {
+                let (failed, n) = get_varint(rest)?;
+                expect_consumed(rest, n)?;
+                Frame::FailureBroadcast { failed: failed as MachineId }
+            }
+            KIND_SLATE_GET => {
+                let (updater, n) = get_len_prefixed(rest)?;
+                let (key, m) = get_len_prefixed(&rest[n..])?;
+                expect_consumed(rest, n + m)?;
+                Frame::SlateGet {
+                    updater: std::str::from_utf8(updater).ok()?.to_string(),
+                    key: key.to_vec(),
+                }
+            }
+            KIND_SLATE_VALUE => {
+                let (value, n) = get_opt_bytes(rest)?;
+                expect_consumed(rest, n)?;
+                Frame::SlateValue { value }
+            }
+            KIND_STORE_PUT => {
+                let mut at = 0;
+                let (updater, n) = get_len_prefixed(rest)?;
+                let updater = std::str::from_utf8(updater).ok()?.to_string();
+                at += n;
+                let (key, n) = get_len_prefixed(&rest[at..])?;
+                let key = key.to_vec();
+                at += n;
+                let (value, n) = get_len_prefixed(&rest[at..])?;
+                let value = value.to_vec();
+                at += n;
+                let (ttl_secs, n) = get_opt_varint(&rest[at..])?;
+                at += n;
+                let (now_us, n) = get_varint(&rest[at..])?;
+                at += n;
+                expect_consumed(rest, at)?;
+                Frame::StorePut { updater, key, value, ttl_secs, now_us }
+            }
+            KIND_STORE_GET => {
+                let mut at = 0;
+                let (updater, n) = get_len_prefixed(rest)?;
+                let updater = std::str::from_utf8(updater).ok()?.to_string();
+                at += n;
+                let (key, n) = get_len_prefixed(&rest[at..])?;
+                let key = key.to_vec();
+                at += n;
+                let (now_us, n) = get_varint(&rest[at..])?;
+                at += n;
+                expect_consumed(rest, at)?;
+                Frame::StoreGet { updater, key, now_us }
+            }
+            KIND_STORE_VALUE => {
+                let (value, n) = get_opt_bytes(rest)?;
+                expect_consumed(rest, n)?;
+                Frame::StoreValue { value }
+            }
+            KIND_STORE_ACK => {
+                expect_consumed(rest, 0)?;
+                Frame::StoreAck
+            }
+            _ => return None,
+        };
+        Some(frame)
+    }
+
+    /// Write one complete frame (header + payload) to `w`. Errors with
+    /// `InvalidData` on payloads over [`MAX_FRAME_BYTES`] — receivers
+    /// would reject (and kill the connection over) anything larger, so
+    /// surfacing it at the sender keeps the failure deterministic instead
+    /// of looking like a dead peer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        write_payload(w, &self.encode_payload())
+    }
+
+    /// Read one complete frame from `r`. Errors with `InvalidData` on
+    /// oversized lengths, CRC mismatches, or undecodable payloads.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Frame> {
+        let mut head = [0u8; 8];
+        r.read_exact(&mut head)?;
+        let len = codec::get_u32(&head, 0).expect("fixed header") as usize;
+        let crc = codec::get_u32(&head, 4).expect("fixed header");
+        if len > MAX_FRAME_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame of {len} bytes exceeds limit"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        r.read_exact(&mut payload)?;
+        if codec::crc32c(&payload) != crc {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "frame CRC mismatch"));
+        }
+        Frame::decode_payload(&payload)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "undecodable frame payload"))
+    }
+}
+
+/// Write an already-encoded payload with the frame header. Shared by
+/// [`Frame::write_to`] and callers that pre-encode (e.g. to size-check
+/// before touching the socket).
+pub fn write_payload(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds the {MAX_FRAME_BYTES}-byte limit", payload.len()),
+        ));
+    }
+    let mut head = Vec::with_capacity(8 + payload.len());
+    codec::put_u32(&mut head, payload.len() as u32);
+    codec::put_u32(&mut head, codec::crc32c(payload));
+    head.extend_from_slice(payload);
+    w.write_all(&head)
+}
+
+fn expect_consumed(buf: &[u8], consumed: usize) -> Option<()> {
+    if consumed == buf.len() {
+        Some(())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_core::event::Key;
+
+    fn sample_frames() -> Vec<Frame> {
+        let mut event = Event::new("S1", 99, Key::from("walmart"), b"checkin".to_vec());
+        event.seq = 3;
+        vec![
+            Frame::Hello { sender: 2 },
+            Frame::Event(WireEvent {
+                op: 4,
+                event,
+                injected_us: 123,
+                redirected: true,
+                external: false,
+                thread_hint: Some(7),
+            }),
+            Frame::FailureReport { failed: 1 },
+            Frame::FailureBroadcast { failed: 0 },
+            Frame::SlateGet { updater: "counter".into(), key: b"best-buy".to_vec() },
+            Frame::SlateValue { value: Some(b"42".to_vec()) },
+            Frame::SlateValue { value: None },
+            Frame::StorePut {
+                updater: "counter".into(),
+                key: b"k".to_vec(),
+                value: vec![0, 1, 2],
+                ttl_secs: Some(60),
+                now_us: 1_000,
+            },
+            Frame::StoreGet { updater: "counter".into(), key: b"k".to_vec(), now_us: 5 },
+            Frame::StoreValue { value: Some(vec![9]) },
+            Frame::StoreAck,
+        ]
+    }
+
+    #[test]
+    fn payload_roundtrip_every_kind() {
+        for frame in sample_frames() {
+            let payload = frame.encode_payload();
+            assert_eq!(Frame::decode_payload(&payload), Some(frame.clone()), "{frame:?}");
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_through_io() {
+        let mut buf = Vec::new();
+        for frame in sample_frames() {
+            frame.write_to(&mut buf).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for frame in sample_frames() {
+            assert_eq!(Frame::read_from(&mut cursor).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut buf = Vec::new();
+        Frame::FailureReport { failed: 3 }.write_to(&mut buf).unwrap();
+        // Flip a payload bit: CRC must catch it.
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let err = Frame::read_from(&mut std::io::Cursor::new(buf)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_and_truncated_frames_error() {
+        let mut buf = Vec::new();
+        codec::put_u32(&mut buf, (MAX_FRAME_BYTES + 1) as u32);
+        codec::put_u32(&mut buf, 0);
+        assert!(Frame::read_from(&mut std::io::Cursor::new(buf)).is_err());
+
+        let mut ok = Vec::new();
+        Frame::StoreAck.write_to(&mut ok).unwrap();
+        ok.truncate(ok.len() - 1);
+        assert!(Frame::read_from(&mut std::io::Cursor::new(ok)).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_rejected() {
+        let mut payload = Frame::StoreAck.encode_payload();
+        payload.push(0xde);
+        assert_eq!(Frame::decode_payload(&payload), None);
+    }
+
+    #[test]
+    fn unknown_kind_rejected() {
+        assert_eq!(Frame::decode_payload(&[200]), None);
+        assert_eq!(Frame::decode_payload(&[]), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! # muppet-net — the Muppet wire
+//!
+//! The seed reproduced §4's distribution *logic* over an in-process
+//! simulated cluster; this crate supplies the missing wire. It defines:
+//!
+//! * [`transport::Transport`] — the cluster communication abstraction:
+//!   direct worker→worker event passing (§4.1), the master failure channel
+//!   (§4.3), and remote slate/store reads (§4.4);
+//! * [`transport::InProcessTransport`] — the original synchronous queue
+//!   hand-off, refactored behind the trait with identical semantics;
+//! * [`tcp::TcpTransport`] — real TCP sockets with length-prefixed binary
+//!   framing ([`frame`], reusing `muppet-core::codec`), per-peer connection
+//!   pooling, and send-failure surfacing so the §4.3 failure protocol
+//!   triggers on actual connection errors;
+//! * [`topology::Topology`] — static cluster layout (TOML subset or peer
+//!   list) for `muppetd` processes.
+//!
+//! The engine side plugs in via [`transport::ClusterHandler`]; see
+//! `muppet-runtime::engine` and DESIGN.md §5.
+
+pub mod frame;
+pub mod tcp;
+pub mod topology;
+pub mod transport;
+
+pub use frame::{Frame, WireEvent};
+pub use tcp::{TcpListenerHandle, TcpStats, TcpTransport};
+pub use topology::{NodeSpec, Topology};
+pub use transport::{ClusterHandler, InProcessTransport, MachineId, NetError, Transport};

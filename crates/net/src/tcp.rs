@@ -1,0 +1,623 @@
+//! The TCP transport: real sockets between `muppetd` processes.
+//!
+//! Wire model (§4.1): workers pass events *directly* to the owning
+//! machine's process — one length-prefixed [`Frame`] per message over a
+//! pooled connection; the master is only ever involved in the §4.3
+//! failure frames. Each engine process owns exactly one machine of the
+//! topology; a background listener accepts frames from peers and hands
+//! them to the engine's [`ClusterHandler`].
+//!
+//! Failure surfacing: a send that cannot reach its peer — connection
+//! refused, reset, or timed out, after one reconnect attempt — returns
+//! [`NetError::Unreachable`], which the engine treats exactly like the
+//! simulated dead-machine check: report to master, master broadcasts,
+//! rings drop the machine, the event is lost and logged (§4.3). Events
+//! already buffered by the kernel when a peer dies are silently lost —
+//! the paper's semantics, not a bug: detection is traffic-driven and the
+//! undelivered window is bounded by the socket buffer.
+//!
+//! Connection pooling: per peer, a small stack of idle connections; an
+//! exchange takes one exclusively (so request/response frames like
+//! `SlateGet` never interleave), then returns it. Concurrent senders get
+//! concurrent connections up to `MAX_IDLE_PER_PEER` kept alive.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::frame::{Frame, WireEvent};
+use crate::topology::Topology;
+use crate::transport::{ClusterHandler, HandlerSlot, MachineId, NetError, Transport};
+
+/// Idle connections retained per peer.
+const MAX_IDLE_PER_PEER: usize = 8;
+/// Connect timeout (loopback and LAN latencies).
+const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+/// Read timeout for request/response exchanges.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(5);
+/// Poll interval for the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Read timeout on inbound connections (bounds shutdown latency).
+const SERVE_POLL: Duration = Duration::from_millis(200);
+
+/// Cumulative transport counters (all relaxed; cheap to snapshot).
+#[derive(Debug, Default)]
+pub struct TcpStats {
+    /// Frames written to peers.
+    pub frames_sent: AtomicU64,
+    /// Frames received by the listener.
+    pub frames_received: AtomicU64,
+    /// Sends that failed after the reconnect attempt (§4.3 triggers).
+    pub send_failures: AtomicU64,
+    /// Fresh connections dialed.
+    pub connects: AtomicU64,
+}
+
+struct PeerPool {
+    addr: SocketAddr,
+    idle: Mutex<Vec<TcpStream>>,
+}
+
+/// A [`Transport`] over real TCP sockets. One instance per `muppetd`
+/// process; `local` is the machine this process runs.
+pub struct TcpTransport {
+    topology: Topology,
+    local: MachineId,
+    handler: HandlerSlot,
+    /// Indexed by machine id; `None` at `local`.
+    pools: Vec<Option<PeerPool>>,
+    stats: TcpStats,
+}
+
+impl TcpTransport {
+    /// Build the transport for `local` within `topology` (addresses are
+    /// resolved eagerly so misconfiguration fails fast).
+    pub fn new(topology: Topology, local: MachineId) -> Result<Arc<TcpTransport>, String> {
+        topology.validate()?;
+        if local >= topology.len() {
+            return Err(format!("local machine {local} is not in the topology"));
+        }
+        let mut pools = Vec::with_capacity(topology.len());
+        for node in &topology.nodes {
+            if node.id == local {
+                pools.push(None);
+            } else {
+                pools.push(Some(PeerPool { addr: node.addr()?, idle: Mutex::new(Vec::new()) }));
+            }
+        }
+        Ok(Arc::new(TcpTransport {
+            topology,
+            local,
+            handler: HandlerSlot::default(),
+            pools,
+            stats: TcpStats::default(),
+        }))
+    }
+
+    /// The static topology this transport runs in.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> &TcpStats {
+        &self.stats
+    }
+
+    fn handler(&self) -> Option<Arc<dyn ClusterHandler>> {
+        self.handler.get()
+    }
+
+    fn pool(&self, dest: MachineId) -> Result<&PeerPool, NetError> {
+        self.pools.get(dest).and_then(|p| p.as_ref()).ok_or(NetError::NoRoute(dest))
+    }
+
+    fn connect(&self, addr: SocketAddr) -> io::Result<TcpStream> {
+        let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
+        self.stats.connects.fetch_add(1, Ordering::Relaxed);
+        let mut stream2 = &stream;
+        Frame::Hello { sender: self.local }.write_to(&mut stream2)?;
+        Ok(stream)
+    }
+
+    /// Run one frame exchange with `dest`: write `frame`, optionally read
+    /// a reply, reusing a pooled connection with one reconnect retry.
+    fn exchange(
+        &self,
+        dest: MachineId,
+        frame: &Frame,
+        want_reply: bool,
+    ) -> Result<Option<Frame>, NetError> {
+        let pool = self.pool(dest)?;
+        // Size-check before touching the socket: an oversized frame is a
+        // local protocol error, not a dead peer — it must not trip §4.3.
+        let payload = frame.encode_payload();
+        if payload.len() > crate::frame::MAX_FRAME_BYTES {
+            return Err(NetError::Protocol(format!(
+                "frame of {} bytes exceeds the {}-byte limit",
+                payload.len(),
+                crate::frame::MAX_FRAME_BYTES
+            )));
+        }
+        let pooled = pool.idle.lock().pop();
+        let had_pooled = pooled.is_some();
+
+        let attempt = |conn: Option<TcpStream>| -> io::Result<(TcpStream, Option<Frame>)> {
+            let mut stream = match conn {
+                Some(c) => c,
+                None => self.connect(pool.addr)?,
+            };
+            crate::frame::write_payload(&mut stream, &payload)?;
+            let reply = if want_reply { Some(Frame::read_from(&mut stream)?) } else { None };
+            Ok((stream, reply))
+        };
+
+        let outcome = match attempt(pooled) {
+            Ok(done) => Ok(done),
+            // A stale pooled connection (peer restarted, idle RST) gets one
+            // fresh dial; a dead peer fails that too and surfaces §4.3.
+            Err(_) if had_pooled => attempt(None),
+            Err(e) => Err(e),
+        };
+        match outcome {
+            Ok((stream, reply)) => {
+                self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                let mut idle = pool.idle.lock();
+                if idle.len() < MAX_IDLE_PER_PEER {
+                    idle.push(stream);
+                }
+                Ok(reply)
+            }
+            Err(_) => {
+                self.stats.send_failures.fetch_add(1, Ordering::Relaxed);
+                Err(NetError::Unreachable(dest))
+            }
+        }
+    }
+
+    /// Bind this node's listener and start serving peer frames. Call after
+    /// [`Transport::register`]. The returned handle stops the listener
+    /// (and its connection threads) on drop.
+    pub fn start_listener(self: &Arc<Self>) -> io::Result<TcpListenerHandle> {
+        let node = &self.topology.nodes[self.local];
+        let listener = TcpListener::bind((node.host.as_str(), node.port))?;
+        let port = listener.local_addr()?.port();
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let transport = Arc::clone(self);
+        let accept_thread = std::thread::Builder::new()
+            .name(format!("muppet-net-{}", self.local))
+            .spawn(move || {
+                while !stop2.load(Ordering::Acquire) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let transport = Arc::clone(&transport);
+                            let stop = Arc::clone(&stop2);
+                            std::thread::spawn(move || serve_connection(transport, stream, stop));
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(ACCEPT_POLL);
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })?;
+        Ok(TcpListenerHandle { stop, accept_thread: Some(accept_thread), port })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn register(&self, handler: Weak<dyn ClusterHandler>) {
+        self.handler.register(handler);
+    }
+
+    fn is_local(&self, machine: MachineId) -> bool {
+        machine == self.local
+    }
+
+    fn local_machine(&self) -> Option<MachineId> {
+        Some(self.local)
+    }
+
+    fn send_event(&self, dest: MachineId, ev: WireEvent) -> Result<(), NetError> {
+        if dest == self.local {
+            return match self.handler() {
+                Some(h) => h.deliver_event(dest, ev),
+                None => Err(NetError::NoRoute(dest)),
+            };
+        }
+        self.exchange(dest, &Frame::Event(ev), false).map(|_| ())
+    }
+
+    fn report_failure(&self, failed: MachineId) {
+        if self.topology.master == self.local {
+            if let Some(h) = self.handler() {
+                h.handle_failure_report(failed);
+            }
+            return;
+        }
+        // Best effort: if the master itself is unreachable, apply the drop
+        // locally so this node stops routing to the dead machine.
+        if self.exchange(self.topology.master, &Frame::FailureReport { failed }, false).is_err() {
+            if let Some(h) = self.handler() {
+                h.handle_failure_broadcast(failed);
+            }
+        }
+    }
+
+    fn broadcast_failure(&self, failed: MachineId) {
+        for node in &self.topology.nodes {
+            if node.id == failed {
+                continue; // no point telling the dead machine
+            }
+            if node.id == self.local {
+                if let Some(h) = self.handler() {
+                    h.handle_failure_broadcast(failed);
+                }
+            } else {
+                // Best effort; unreachable peers will detect via their own
+                // traffic.
+                let _ = self.exchange(node.id, &Frame::FailureBroadcast { failed }, false);
+            }
+        }
+    }
+
+    fn read_slate(
+        &self,
+        dest: MachineId,
+        updater: &str,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, NetError> {
+        if dest == self.local {
+            return match self.handler() {
+                Some(h) => Ok(h.read_local_slate(dest, updater, key)),
+                None => Err(NetError::NoRoute(dest)),
+            };
+        }
+        let request = Frame::SlateGet { updater: updater.to_string(), key: key.to_vec() };
+        match self.exchange(dest, &request, true)? {
+            Some(Frame::SlateValue { value }) => Ok(value),
+            other => Err(NetError::Protocol(format!("expected SlateValue, got {other:?}"))),
+        }
+    }
+
+    fn store_put(
+        &self,
+        dest: MachineId,
+        updater: &str,
+        key: &[u8],
+        value: &[u8],
+        ttl_secs: Option<u64>,
+        now_us: u64,
+    ) -> Result<(), NetError> {
+        if dest == self.local {
+            return match self.handler() {
+                Some(h) => {
+                    h.backend_store(updater, key, value, ttl_secs, now_us);
+                    Ok(())
+                }
+                None => Err(NetError::NoRoute(dest)),
+            };
+        }
+        let request = Frame::StorePut {
+            updater: updater.to_string(),
+            key: key.to_vec(),
+            value: value.to_vec(),
+            ttl_secs,
+            now_us,
+        };
+        match self.exchange(dest, &request, true)? {
+            Some(Frame::StoreAck) => Ok(()),
+            other => Err(NetError::Protocol(format!("expected StoreAck, got {other:?}"))),
+        }
+    }
+
+    fn store_get(
+        &self,
+        dest: MachineId,
+        updater: &str,
+        key: &[u8],
+        now_us: u64,
+    ) -> Result<Option<Vec<u8>>, NetError> {
+        if dest == self.local {
+            return match self.handler() {
+                Some(h) => Ok(h.backend_load(updater, key, now_us)),
+                None => Err(NetError::NoRoute(dest)),
+            };
+        }
+        let request = Frame::StoreGet { updater: updater.to_string(), key: key.to_vec(), now_us };
+        match self.exchange(dest, &request, true)? {
+            Some(Frame::StoreValue { value }) => Ok(value),
+            other => Err(NetError::Protocol(format!("expected StoreValue, got {other:?}"))),
+        }
+    }
+}
+
+/// A running frame listener; dropping it stops the node's inbound wire
+/// (used by tests to "kill" a peer).
+pub struct TcpListenerHandle {
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    port: u16,
+}
+
+impl TcpListenerHandle {
+    /// The bound event port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Stop accepting and serving (idempotent; also runs on drop).
+    pub fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpListenerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Read exactly `buf.len()` bytes, retrying across read-timeout polls
+/// (a frame may straddle a poll boundary; `read_exact` would discard the
+/// partial prefix). Returns `Ok(false)` when `stop` was raised before any
+/// byte of `buf` arrived.
+fn read_full_polled(r: &mut impl io::Read, buf: &mut [u8], stop: &AtomicBool) -> io::Result<bool> {
+    let mut at = 0;
+    while at < buf.len() {
+        match r.read(&mut buf[at..]) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
+            Ok(n) => at += n,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(false);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(SERVE_POLL));
+    let _ = stream.set_nodelay(true);
+    let mut reader = match stream.try_clone() {
+        Ok(clone) => clone,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        if stop.load(Ordering::Acquire) {
+            return; // closes both halves → peers see RST on next send
+        }
+        let mut head = [0u8; 8];
+        match read_full_polled(&mut reader, &mut head, &stop) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        let len = muppet_core::codec::get_u32(&head, 0).expect("fixed header") as usize;
+        let crc = muppet_core::codec::get_u32(&head, 4).expect("fixed header");
+        if len > crate::frame::MAX_FRAME_BYTES {
+            return;
+        }
+        let mut payload = vec![0u8; len];
+        match read_full_polled(&mut reader, &mut payload, &stop) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+        if muppet_core::codec::crc32c(&payload) != crc {
+            return; // corrupt connection
+        }
+        let Some(frame) = Frame::decode_payload(&payload) else { return };
+        transport.stats.frames_received.fetch_add(1, Ordering::Relaxed);
+        let Some(handler) = transport.handler() else { return };
+        let local = transport.local;
+        let reply = match frame {
+            Frame::Hello { .. } => None,
+            Frame::Event(ev) => {
+                // Delivery failures here are local queue-policy outcomes;
+                // the sender's §4.3 signal is the connection, not a NACK.
+                let _ = handler.deliver_event(local, ev);
+                None
+            }
+            Frame::FailureReport { failed } => {
+                handler.handle_failure_report(failed);
+                None
+            }
+            Frame::FailureBroadcast { failed } => {
+                handler.handle_failure_broadcast(failed);
+                None
+            }
+            Frame::SlateGet { updater, key } => {
+                Some(Frame::SlateValue { value: handler.read_local_slate(local, &updater, &key) })
+            }
+            Frame::StorePut { updater, key, value, ttl_secs, now_us } => {
+                handler.backend_store(&updater, &key, &value, ttl_secs, now_us);
+                Some(Frame::StoreAck)
+            }
+            Frame::StoreGet { updater, key, now_us } => {
+                Some(Frame::StoreValue { value: handler.backend_load(&updater, &key, now_us) })
+            }
+            // Reply kinds arriving as requests: protocol violation.
+            Frame::SlateValue { .. } | Frame::StoreValue { .. } | Frame::StoreAck => return,
+        };
+        if let Some(reply) = reply {
+            if reply.write_to(&mut writer).is_err() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    struct EchoHandler {
+        delivered: AtomicUsize,
+        reports: Mutex<Vec<MachineId>>,
+        broadcasts: Mutex<Vec<MachineId>>,
+        store: Mutex<std::collections::HashMap<Vec<u8>, Vec<u8>>>,
+    }
+
+    impl EchoHandler {
+        fn new() -> Arc<EchoHandler> {
+            Arc::new(EchoHandler {
+                delivered: AtomicUsize::new(0),
+                reports: Mutex::new(Vec::new()),
+                broadcasts: Mutex::new(Vec::new()),
+                store: Mutex::new(Default::default()),
+            })
+        }
+    }
+
+    impl ClusterHandler for EchoHandler {
+        fn deliver_event(&self, _dest: MachineId, _ev: WireEvent) -> Result<(), NetError> {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn handle_failure_report(&self, failed: MachineId) {
+            self.reports.lock().push(failed);
+        }
+        fn handle_failure_broadcast(&self, failed: MachineId) {
+            self.broadcasts.lock().push(failed);
+        }
+        fn read_local_slate(&self, _dest: MachineId, updater: &str, key: &[u8]) -> Option<Vec<u8>> {
+            (updater == "U1" && key == b"walmart").then(|| b"7".to_vec())
+        }
+        fn backend_store(&self, _u: &str, key: &[u8], value: &[u8], _ttl: Option<u64>, _now: u64) {
+            self.store.lock().insert(key.to_vec(), value.to_vec());
+        }
+        fn backend_load(&self, _u: &str, key: &[u8], _now: u64) -> Option<Vec<u8>> {
+            self.store.lock().get(key).cloned()
+        }
+    }
+
+    fn pair() -> (
+        Arc<TcpTransport>,
+        Arc<TcpTransport>,
+        Arc<EchoHandler>,
+        Arc<EchoHandler>,
+        TcpListenerHandle,
+        TcpListenerHandle,
+    ) {
+        let topo = Topology::loopback_ephemeral(2, false).unwrap();
+        let t0 = TcpTransport::new(topo.clone(), 0).unwrap();
+        let t1 = TcpTransport::new(topo, 1).unwrap();
+        let h0 = EchoHandler::new();
+        let h1 = EchoHandler::new();
+        t0.register(Arc::downgrade(&h0) as Weak<dyn ClusterHandler>);
+        t1.register(Arc::downgrade(&h1) as Weak<dyn ClusterHandler>);
+        let l0 = t0.start_listener().unwrap();
+        let l1 = t1.start_listener().unwrap();
+        (t0, t1, h0, h1, l0, l1)
+    }
+
+    fn wire_event() -> WireEvent {
+        WireEvent {
+            op: 0,
+            event: muppet_core::event::Event::new("S", 1, muppet_core::event::Key::from("k"), "v"),
+            injected_us: 0,
+            redirected: false,
+            external: true,
+            thread_hint: None,
+        }
+    }
+
+    #[test]
+    fn events_cross_the_wire() {
+        let (t0, _t1, _h0, h1, _l0, _l1) = pair();
+        for _ in 0..10 {
+            t0.send_event(1, wire_event()).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h1.delivered.load(Ordering::Relaxed) < 10 {
+            assert!(std::time::Instant::now() < deadline, "events not delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(t0.stats().frames_sent.load(Ordering::Relaxed) >= 10);
+    }
+
+    #[test]
+    fn slate_and_store_requests_get_replies() {
+        let (t0, t1, h0, _h1, _l0, _l1) = pair();
+        assert_eq!(t0.read_slate(1, "U1", b"walmart").unwrap(), Some(b"7".to_vec()));
+        assert_eq!(t0.read_slate(1, "U1", b"absent").unwrap(), None);
+        // Store ops served by node 0's handler, called from node 1.
+        t1.store_put(0, "U1", b"k1", b"v1", None, 0).unwrap();
+        assert_eq!(t1.store_get(0, "U1", b"k1", 0).unwrap(), Some(b"v1".to_vec()));
+        assert_eq!(t1.store_get(0, "U1", b"nope", 0).unwrap(), None);
+        assert_eq!(h0.store.lock().len(), 1);
+    }
+
+    #[test]
+    fn failure_report_routes_to_master_and_broadcast_fans_out() {
+        let (t0, t1, h0, h1, _l0, _l1) = pair();
+        // Node 1 reports to the master (node 0) over the wire.
+        t1.report_failure(7);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h0.reports.lock().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "report not received");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*h0.reports.lock(), vec![7]);
+        // Master broadcast reaches both nodes (local + remote).
+        t0.broadcast_failure(7);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h1.broadcasts.lock().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "broadcast not received");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*h0.broadcasts.lock(), vec![7]);
+        assert_eq!(*h1.broadcasts.lock(), vec![7]);
+    }
+
+    #[test]
+    fn dead_peer_surfaces_unreachable() {
+        let (t0, _t1, _h0, h1, _l0, l1) = pair();
+        t0.send_event(1, wire_event()).unwrap();
+        drop(l1); // "kill" node 1's inbound wire
+                  // Buffered writes may still succeed; within a few sends the reset
+                  // connection and refused reconnect must surface.
+        let mut saw_unreachable = false;
+        for _ in 0..50 {
+            if matches!(t0.send_event(1, wire_event()), Err(NetError::Unreachable(1))) {
+                saw_unreachable = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(saw_unreachable, "dead peer never surfaced as Unreachable");
+        assert!(t0.stats().send_failures.load(Ordering::Relaxed) >= 1);
+        let _ = h1;
+    }
+
+    #[test]
+    fn local_destination_bypasses_sockets() {
+        let topo = Topology::loopback_ephemeral(1, false).unwrap();
+        let t = TcpTransport::new(topo, 0).unwrap();
+        let h = EchoHandler::new();
+        t.register(Arc::downgrade(&h) as Weak<dyn ClusterHandler>);
+        // No listener started at all: local sends still work.
+        t.send_event(0, wire_event()).unwrap();
+        assert_eq!(h.delivered.load(Ordering::Relaxed), 1);
+        assert_eq!(t.read_slate(0, "U1", b"walmart").unwrap(), Some(b"7".to_vec()));
+        assert!(t.is_local(0));
+        assert_eq!(t.local_machine(), Some(0));
+    }
+}

@@ -1,0 +1,277 @@
+//! Static cluster topology: which machines exist and where they listen.
+//!
+//! A `muppetd` cluster is configured up front — the paper's deployment has
+//! no membership protocol beyond the §4.3 failure broadcast, so the
+//! topology is a fixed list of nodes, and the master role (failure
+//! handling only, never the data path) is pinned to one of them.
+//!
+//! Two input formats:
+//!
+//! * a TOML subset (`[[node]]` tables with `id`, `host`, `port`,
+//!   `http_port`, plus an optional top-level `master = <id>`);
+//! * a compact peer list for flags:
+//!   `host:port:http_port,host:port:http_port,...` (ids assigned in order).
+
+use std::net::{SocketAddr, ToSocketAddrs};
+
+use crate::transport::MachineId;
+
+/// One machine of the cluster.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSpec {
+    /// Ring member id (machine index).
+    pub id: MachineId,
+    /// Hostname or IP of the event listener.
+    pub host: String,
+    /// Event (transport frame) port.
+    pub port: u16,
+    /// HTTP slate-read / ingest port (0 = no HTTP server).
+    pub http_port: u16,
+}
+
+impl NodeSpec {
+    /// The transport listen/connect address.
+    pub fn addr(&self) -> Result<SocketAddr, String> {
+        (self.host.as_str(), self.port)
+            .to_socket_addrs()
+            .map_err(|e| format!("cannot resolve {}:{}: {e}", self.host, self.port))?
+            .next()
+            .ok_or_else(|| format!("no address for {}:{}", self.host, self.port))
+    }
+}
+
+/// The full static cluster layout.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Topology {
+    /// All nodes; `nodes[i].id == i`.
+    pub nodes: Vec<NodeSpec>,
+    /// Which node runs the failure master (§4.3; off the data path).
+    pub master: MachineId,
+}
+
+impl Topology {
+    /// Number of machines.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// A loopback cluster of `n` nodes on consecutive ports starting at
+    /// `base_port` (HTTP on `base_port + 1000 + i`, or 0 to disable).
+    pub fn loopback(n: usize, base_port: u16, with_http: bool) -> Topology {
+        let nodes = (0..n)
+            .map(|i| NodeSpec {
+                id: i,
+                host: "127.0.0.1".to_string(),
+                port: base_port + i as u16,
+                http_port: if with_http { base_port + 1000 + i as u16 } else { 0 },
+            })
+            .collect();
+        Topology { nodes, master: 0 }
+    }
+
+    /// A loopback cluster of `n` nodes on OS-assigned free ports,
+    /// reserved by briefly binding ephemeral listeners and releasing
+    /// them. Inherently racy (the port is free again before the node
+    /// binds it) — meant for tests, examples, and experiments, where it
+    /// replaces hand-rolled port pickers; not for production topologies.
+    pub fn loopback_ephemeral(n: usize, with_http: bool) -> std::io::Result<Topology> {
+        use std::net::TcpListener;
+        let count = if with_http { 2 * n } else { n };
+        let holds: Vec<TcpListener> =
+            (0..count).map(|_| TcpListener::bind("127.0.0.1:0")).collect::<std::io::Result<_>>()?;
+        let mut ports = Vec::with_capacity(count);
+        for hold in &holds {
+            ports.push(hold.local_addr()?.port());
+        }
+        let nodes = (0..n)
+            .map(|i| NodeSpec {
+                id: i,
+                host: "127.0.0.1".to_string(),
+                port: ports[i],
+                http_port: if with_http { ports[n + i] } else { 0 },
+            })
+            .collect();
+        Ok(Topology { nodes, master: 0 })
+    }
+
+    /// Parse the compact peer-list form:
+    /// `host:port[:http_port],host:port[:http_port],...`
+    pub fn from_peer_list(list: &str) -> Result<Topology, String> {
+        let mut nodes = Vec::new();
+        for (id, part) in list.split(',').filter(|p| !p.trim().is_empty()).enumerate() {
+            let fields: Vec<&str> = part.trim().split(':').collect();
+            if fields.len() < 2 || fields.len() > 3 {
+                return Err(format!("peer '{part}' must be host:port[:http_port]"));
+            }
+            let port: u16 = fields[1].parse().map_err(|_| format!("bad port in peer '{part}'"))?;
+            let http_port: u16 = match fields.get(2) {
+                Some(p) => p.parse().map_err(|_| format!("bad http_port in peer '{part}'"))?,
+                None => 0,
+            };
+            nodes.push(NodeSpec { id, host: fields[0].to_string(), port, http_port });
+        }
+        let topology = Topology { nodes, master: 0 };
+        topology.validate()?;
+        Ok(topology)
+    }
+
+    /// Parse the TOML-subset config format. Supported grammar: comments
+    /// (`#`), a top-level `master = <id>`, and repeated `[[node]]` tables
+    /// with `id`, `host` (quoted string), `port`, `http_port` keys.
+    pub fn from_toml_str(text: &str) -> Result<Topology, String> {
+        let mut nodes: Vec<NodeSpec> = Vec::new();
+        let mut master: Option<MachineId> = None;
+        let mut current: Option<NodeSpec> = None;
+
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[node]]" {
+                if let Some(node) = current.take() {
+                    nodes.push(node);
+                }
+                current = Some(NodeSpec {
+                    id: usize::MAX,
+                    host: "127.0.0.1".to_string(),
+                    port: 0,
+                    http_port: 0,
+                });
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected key = value", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let parse_num = |v: &str| -> Result<u64, String> {
+                v.parse().map_err(|_| format!("line {}: bad number '{v}'", lineno + 1))
+            };
+            match (&mut current, key) {
+                (None, "master") => master = Some(parse_num(value)? as MachineId),
+                (None, other) => {
+                    return Err(format!("line {}: unknown top-level key '{other}'", lineno + 1))
+                }
+                (Some(node), "id") => node.id = parse_num(value)? as MachineId,
+                (Some(node), "host") => {
+                    node.host = value.trim_matches('"').to_string();
+                }
+                (Some(node), "port") => node.port = parse_num(value)? as u16,
+                (Some(node), "http_port") => node.http_port = parse_num(value)? as u16,
+                (Some(_), other) => {
+                    return Err(format!("line {}: unknown node key '{other}'", lineno + 1))
+                }
+            }
+        }
+        if let Some(node) = current.take() {
+            nodes.push(node);
+        }
+        // Nodes may appear in any order; place by id.
+        nodes.sort_by_key(|n| n.id);
+        let topology = Topology { nodes, master: master.unwrap_or(0) };
+        topology.validate()?;
+        Ok(topology)
+    }
+
+    /// Check invariant: ids are exactly `0..n` and the master exists.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.nodes.is_empty() {
+            return Err("topology has no nodes".to_string());
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            if node.id != i {
+                return Err(format!(
+                    "node ids must be 0..{} (got {} at position {i})",
+                    self.nodes.len(),
+                    node.id
+                ));
+            }
+            if node.port == 0 {
+                return Err(format!("node {} has no port", node.id));
+            }
+        }
+        if self.master >= self.nodes.len() {
+            return Err(format!("master {} is not a node", self.master));
+        }
+        Ok(())
+    }
+
+    /// Render as the TOML subset accepted by [`Topology::from_toml_str`].
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("master = {}\n", self.master));
+        for node in &self.nodes {
+            out.push_str(&format!(
+                "\n[[node]]\nid = {}\nhost = \"{}\"\nport = {}\nhttp_port = {}\n",
+                node.id, node.host, node.port, node.http_port
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toml_roundtrip() {
+        let topo = Topology::loopback(3, 9200, true);
+        let text = topo.to_toml();
+        let back = Topology::from_toml_str(&text).unwrap();
+        assert_eq!(back, topo);
+    }
+
+    #[test]
+    fn toml_with_comments_and_order() {
+        let text = r#"
+# a three node cluster
+master = 1
+
+[[node]]
+id = 1
+host = "127.0.0.1"   # localhost
+port = 9301
+http_port = 8301
+
+[[node]]
+id = 0
+host = "127.0.0.1"
+port = 9300
+http_port = 8300
+"#;
+        let topo = Topology::from_toml_str(text).unwrap();
+        assert_eq!(topo.master, 1);
+        assert_eq!(topo.nodes.len(), 2);
+        assert_eq!(topo.nodes[0].port, 9300);
+        assert_eq!(topo.nodes[1].port, 9301);
+    }
+
+    #[test]
+    fn peer_list_parses() {
+        let topo =
+            Topology::from_peer_list("127.0.0.1:9400:8400, 127.0.0.1:9401,127.0.0.1:9402:8402")
+                .unwrap();
+        assert_eq!(topo.nodes.len(), 3);
+        assert_eq!(topo.nodes[1].http_port, 0);
+        assert_eq!(topo.nodes[2].id, 2);
+        assert_eq!(topo.master, 0);
+        assert_eq!(topo.nodes[0].addr().unwrap().port(), 9400);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(Topology::from_peer_list("").is_err());
+        assert!(Topology::from_peer_list("localhost").is_err());
+        assert!(Topology::from_peer_list("localhost:not-a-port").is_err());
+        assert!(Topology::from_toml_str("[[node]]\nid = 5\nport = 1\n").is_err(), "gapped ids");
+        assert!(Topology::from_toml_str("master = 3\n[[node]]\nid = 0\nhost = \"h\"\nport = 1\n")
+            .is_err());
+        assert!(Topology::from_toml_str("bogus = 1\n").is_err());
+    }
+}

@@ -1,0 +1,337 @@
+//! The transport abstraction.
+//!
+//! §4.1: "Muppet lets the workers pass events directly to one another
+//! without going through any master." A [`Transport`] is that direct
+//! worker→worker path plus the thin master channel of §4.3 (failure
+//! reports and broadcasts) and the §4.4 remote slate-read path.
+//!
+//! Two implementations exist:
+//!
+//! * [`InProcessTransport`] — the seed's simulated cluster: every machine
+//!   lives in one process and "the wire" is a synchronous callback into the
+//!   engine. Zero behaviour change from the pre-transport engine.
+//! * [`crate::tcp::TcpTransport`] — real sockets with length-prefixed
+//!   binary framing and per-peer connection pooling; each engine process
+//!   owns one machine of the cluster.
+//!
+//! The engine side of the wire is the [`ClusterHandler`]: the transport
+//! calls it to finish local delivery, apply failure protocol steps, and
+//! answer slate/store requests. Registration is late (`register`) because
+//! the engine needs the transport at construction time and vice versa.
+
+use std::fmt;
+use std::sync::{Arc, OnceLock, Weak};
+
+use crate::frame::WireEvent;
+
+/// Cluster-wide machine index (ring member id).
+pub type MachineId = usize;
+
+/// Why a transport operation failed.
+#[derive(Debug)]
+pub enum NetError {
+    /// The destination machine cannot be reached (dead process, refused
+    /// connection, reset pipe, or — in process — a crashed simulated
+    /// machine). This is the §4.3 trigger.
+    Unreachable(MachineId),
+    /// The peer spoke, but not the protocol.
+    Protocol(String),
+    /// No handler registered / no such machine in the topology.
+    NoRoute(MachineId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Unreachable(m) => write!(f, "machine {m} unreachable"),
+            NetError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            NetError::NoRoute(m) => write!(f, "no route to machine {m}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// The engine-side callbacks a transport delivers into.
+pub trait ClusterHandler: Send + Sync + 'static {
+    /// Finish delivery of an event addressed to local machine `dest`
+    /// (enqueue with two-choice dispatch, apply the overflow policy).
+    /// `Err(Unreachable)` if `dest` is not a live machine here.
+    fn deliver_event(&self, dest: MachineId, ev: WireEvent) -> Result<(), NetError>;
+
+    /// A failure report reached the master role on this node (§4.3).
+    fn handle_failure_report(&self, failed: MachineId);
+
+    /// A master broadcast arrived: drop `failed` from every hash ring
+    /// (§4.3).
+    fn handle_failure_broadcast(&self, failed: MachineId);
+
+    /// Read the live cached slate of ⟨updater, key⟩ on local machine
+    /// `dest` (§4.4).
+    fn read_local_slate(&self, dest: MachineId, updater: &str, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Persist slate bytes into the locally hosted store, if this node
+    /// hosts one.
+    fn backend_store(
+        &self,
+        _updater: &str,
+        _key: &[u8],
+        _value: &[u8],
+        _ttl_secs: Option<u64>,
+        _now_us: u64,
+    ) {
+    }
+
+    /// Load slate bytes from the locally hosted store, if any.
+    fn backend_load(&self, _updater: &str, _key: &[u8], _now_us: u64) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+/// A cluster wire: direct event passing, the master failure channel, and
+/// remote slate/store reads.
+pub trait Transport: Send + Sync + 'static {
+    /// Attach the engine. Must be called exactly once, before traffic.
+    fn register(&self, handler: Weak<dyn ClusterHandler>);
+
+    /// Machine ids this transport delivers locally (for the in-process
+    /// transport: all of them).
+    fn is_local(&self, machine: MachineId) -> bool;
+
+    /// The machine this process runs, when exactly one is local.
+    fn local_machine(&self) -> Option<MachineId>;
+
+    /// Pass an event directly to `dest`'s worker queues.
+    /// `Err(Unreachable)` is the §4.3 detection signal.
+    fn send_event(&self, dest: MachineId, ev: WireEvent) -> Result<(), NetError>;
+
+    /// Report `failed` to the master role (local call or wire frame).
+    fn report_failure(&self, failed: MachineId);
+
+    /// Master-side: tell every machine to drop `failed` from its rings.
+    fn broadcast_failure(&self, failed: MachineId);
+
+    /// Read the live cached slate owned by `dest` (§4.4).
+    fn read_slate(
+        &self,
+        dest: MachineId,
+        updater: &str,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, NetError>;
+
+    /// Persist slate bytes on the store-hosting machine `dest`.
+    fn store_put(
+        &self,
+        dest: MachineId,
+        updater: &str,
+        key: &[u8],
+        value: &[u8],
+        ttl_secs: Option<u64>,
+        now_us: u64,
+    ) -> Result<(), NetError>;
+
+    /// Load slate bytes from the store-hosting machine `dest`.
+    fn store_get(
+        &self,
+        dest: MachineId,
+        updater: &str,
+        key: &[u8],
+        now_us: u64,
+    ) -> Result<Option<Vec<u8>>, NetError>;
+}
+
+/// Shared late-registration slot for the engine handler.
+#[derive(Default)]
+pub(crate) struct HandlerSlot(OnceLock<Weak<dyn ClusterHandler>>);
+
+impl HandlerSlot {
+    pub(crate) fn register(&self, handler: Weak<dyn ClusterHandler>) {
+        if self.0.set(handler).is_err() {
+            panic!("transport handler registered twice");
+        }
+    }
+
+    pub(crate) fn get(&self) -> Option<Arc<dyn ClusterHandler>> {
+        self.0.get().and_then(Weak::upgrade)
+    }
+}
+
+/// The seed's in-process "wire": synchronous hand-off into the engine that
+/// owns every machine. Refactored behind [`Transport`] with identical
+/// semantics — `send_event` is a direct call into the engine's delivery
+/// path, and the failure protocol short-circuits through the in-process
+/// master.
+#[derive(Default)]
+pub struct InProcessTransport {
+    handler: HandlerSlot,
+}
+
+impl InProcessTransport {
+    /// A fresh in-process wire.
+    pub fn new() -> InProcessTransport {
+        InProcessTransport::default()
+    }
+
+    fn handler(&self) -> Option<Arc<dyn ClusterHandler>> {
+        self.handler.get()
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn register(&self, handler: Weak<dyn ClusterHandler>) {
+        self.handler.register(handler);
+    }
+
+    fn is_local(&self, _machine: MachineId) -> bool {
+        true
+    }
+
+    fn local_machine(&self) -> Option<MachineId> {
+        None
+    }
+
+    fn send_event(&self, dest: MachineId, ev: WireEvent) -> Result<(), NetError> {
+        match self.handler() {
+            Some(h) => h.deliver_event(dest, ev),
+            None => Err(NetError::NoRoute(dest)),
+        }
+    }
+
+    fn report_failure(&self, failed: MachineId) {
+        if let Some(h) = self.handler() {
+            h.handle_failure_report(failed);
+        }
+    }
+
+    fn broadcast_failure(&self, failed: MachineId) {
+        if let Some(h) = self.handler() {
+            h.handle_failure_broadcast(failed);
+        }
+    }
+
+    fn read_slate(
+        &self,
+        dest: MachineId,
+        updater: &str,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, NetError> {
+        match self.handler() {
+            Some(h) => Ok(h.read_local_slate(dest, updater, key)),
+            None => Err(NetError::NoRoute(dest)),
+        }
+    }
+
+    fn store_put(
+        &self,
+        dest: MachineId,
+        updater: &str,
+        key: &[u8],
+        value: &[u8],
+        ttl_secs: Option<u64>,
+        now_us: u64,
+    ) -> Result<(), NetError> {
+        match self.handler() {
+            Some(h) => {
+                h.backend_store(updater, key, value, ttl_secs, now_us);
+                Ok(())
+            }
+            None => Err(NetError::NoRoute(dest)),
+        }
+    }
+
+    fn store_get(
+        &self,
+        dest: MachineId,
+        updater: &str,
+        key: &[u8],
+        now_us: u64,
+    ) -> Result<Option<Vec<u8>>, NetError> {
+        match self.handler() {
+            Some(h) => Ok(h.backend_load(updater, key, now_us)),
+            None => Err(NetError::NoRoute(dest)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[derive(Default)]
+    struct RecordingHandler {
+        delivered: AtomicUsize,
+        reports: Mutex<Vec<MachineId>>,
+        broadcasts: Mutex<Vec<MachineId>>,
+    }
+
+    impl ClusterHandler for RecordingHandler {
+        fn deliver_event(&self, dest: MachineId, _ev: WireEvent) -> Result<(), NetError> {
+            if dest == 9 {
+                return Err(NetError::Unreachable(dest));
+            }
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn handle_failure_report(&self, failed: MachineId) {
+            self.reports.lock().unwrap().push(failed);
+        }
+        fn handle_failure_broadcast(&self, failed: MachineId) {
+            self.broadcasts.lock().unwrap().push(failed);
+        }
+        fn read_local_slate(
+            &self,
+            _dest: MachineId,
+            updater: &str,
+            _key: &[u8],
+        ) -> Option<Vec<u8>> {
+            (updater == "present").then(|| b"value".to_vec())
+        }
+    }
+
+    fn wire_event() -> WireEvent {
+        WireEvent {
+            op: 0,
+            event: muppet_core::event::Event::new("S", 1, muppet_core::event::Key::from("k"), ""),
+            injected_us: 0,
+            redirected: false,
+            external: true,
+            thread_hint: None,
+        }
+    }
+
+    #[test]
+    fn in_process_routes_to_handler() {
+        let transport = InProcessTransport::new();
+        let handler = Arc::new(RecordingHandler::default());
+        transport.register(Arc::downgrade(&handler) as Weak<dyn ClusterHandler>);
+
+        assert!(transport.send_event(0, wire_event()).is_ok());
+        assert!(matches!(transport.send_event(9, wire_event()), Err(NetError::Unreachable(9))));
+        transport.report_failure(9);
+        transport.broadcast_failure(9);
+        assert_eq!(handler.delivered.load(Ordering::Relaxed), 1);
+        assert_eq!(*handler.reports.lock().unwrap(), vec![9]);
+        assert_eq!(*handler.broadcasts.lock().unwrap(), vec![9]);
+        assert_eq!(transport.read_slate(0, "present", b"k").unwrap(), Some(b"value".to_vec()));
+        assert_eq!(transport.read_slate(0, "absent", b"k").unwrap(), None);
+        assert!(transport.is_local(7));
+        assert_eq!(transport.local_machine(), None);
+    }
+
+    #[test]
+    fn unregistered_transport_has_no_route() {
+        let transport = InProcessTransport::new();
+        assert!(matches!(transport.send_event(0, wire_event()), Err(NetError::NoRoute(0))));
+    }
+
+    #[test]
+    fn dropped_handler_means_no_route() {
+        let transport = InProcessTransport::new();
+        let handler = Arc::new(RecordingHandler::default());
+        transport.register(Arc::downgrade(&handler) as Weak<dyn ClusterHandler>);
+        drop(handler);
+        assert!(matches!(transport.send_event(0, wire_event()), Err(NetError::NoRoute(0))));
+    }
+}

@@ -248,7 +248,8 @@ impl SlateCache {
     fn maybe_ttl_reset(&self, slot: &Arc<SlateSlot>, now_us: u64) {
         let Some(ttl) = slot.ttl_secs else { return };
         let mut state = slot.state.lock();
-        if !state.slate.is_empty() && now_us.saturating_sub(state.last_write_us) > ttl.saturating_mul(1_000_000)
+        if !state.slate.is_empty()
+            && now_us.saturating_sub(state.last_write_us) > ttl.saturating_mul(1_000_000)
         {
             state.slate.clear();
             state.flushed_version = state.slate.version();
@@ -261,7 +262,13 @@ impl SlateCache {
     pub fn note_write(&self, slot: &SlateSlot, state: &mut SlateState, now_us: u64) {
         state.last_write_us = now_us;
         if self.policy == FlushPolicy::WriteThrough && state.dirty() {
-            self.backend.store(&slot.updater, &slot.key, state.slate.bytes(), slot.ttl_secs, now_us);
+            self.backend.store(
+                &slot.updater,
+                &slot.key,
+                state.slate.bytes(),
+                slot.ttl_secs,
+                now_us,
+            );
             state.flushed_version = state.slate.version();
             self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
         }
@@ -270,7 +277,13 @@ impl SlateCache {
     fn flush_slot(&self, slot: &SlateSlot, now_us: u64) {
         let mut state = slot.state.lock();
         if state.dirty() {
-            self.backend.store(&slot.updater, &slot.key, state.slate.bytes(), slot.ttl_secs, now_us);
+            self.backend.store(
+                &slot.updater,
+                &slot.key,
+                state.slate.bytes(),
+                slot.ttl_secs,
+                now_us,
+            );
             state.flushed_version = state.slate.version();
             self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
         }
@@ -306,12 +319,7 @@ impl SlateCache {
 
     /// Keys currently cached for updater `op` (bulk reads / debugging).
     pub fn keys_of(&self, op: OpId) -> Vec<Key> {
-        self.map
-            .lock()
-            .iter()
-            .filter(|((o, _), _)| *o == op)
-            .map(|((_, k), _)| k.clone())
-            .collect()
+        self.map.lock().iter().filter(|((o, _), _)| *o == op).map(|((_, k), _)| k.clone()).collect()
     }
 
     /// Number of dirty slates that would be lost if this machine crashed

@@ -53,7 +53,12 @@ const SIGNIFICANT_SLACK: usize = 4;
 ///   (engines keep these up to date);
 /// * `queue_lens` — racy length hints, indexed by thread.
 #[inline]
-pub fn choose_queue(route: RouteHash, in_flight: &[Option<RouteHash>], queue_lens: &[usize], threads: usize) -> usize {
+pub fn choose_queue(
+    route: RouteHash,
+    in_flight: &[Option<RouteHash>],
+    queue_lens: &[usize],
+    threads: usize,
+) -> usize {
     let (primary, secondary) = queue_pair(route, threads);
     choose_between(
         route,
@@ -88,7 +93,8 @@ pub fn choose_between(
         return secondary;
     }
     // Rule 2: primary unless the secondary is significantly shorter.
-    if secondary != primary && len_primary > SIGNIFICANT_FACTOR * len_secondary + SIGNIFICANT_SLACK {
+    if secondary != primary && len_primary > SIGNIFICANT_FACTOR * len_secondary + SIGNIFICANT_SLACK
+    {
         secondary
     } else {
         primary
@@ -189,7 +195,8 @@ mod tests {
         let (p, s) = queue_pair(r, threads);
         let mut seen = std::collections::HashSet::new();
         for trial in 0..1000u64 {
-            let lens: Vec<usize> = (0..threads).map(|i| ((trial * 31 + i as u64 * 7) % 50) as usize).collect();
+            let lens: Vec<usize> =
+                (0..threads).map(|i| ((trial * 31 + i as u64 * 7) % 50) as usize).collect();
             let mut in_flight = vec![None; threads];
             if trial % 3 == 0 {
                 in_flight[(trial as usize) % threads] = Some(route("decoy", "U9"));
@@ -199,7 +206,10 @@ mod tests {
             }
             seen.insert(choose_queue(r, &in_flight, &lens, threads));
         }
-        assert!(seen.is_subset(&[p, s].into_iter().collect()), "saw {seen:?}, expected ⊆ {{{p},{s}}}");
+        assert!(
+            seen.is_subset(&[p, s].into_iter().collect()),
+            "saw {seen:?}, expected ⊆ {{{p},{s}}}"
+        );
         // The paper's guarantee: ≤ 2 workers contend for one slate.
         assert!(seen.len() <= 2);
     }

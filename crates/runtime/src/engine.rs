@@ -35,6 +35,10 @@ use muppet_core::error::{Error, Result};
 use muppet_core::event::{Event, Key, StreamId};
 use muppet_core::operator::{Mapper, Updater, VecEmitter};
 use muppet_core::workflow::{OpId, OpKind, Workflow};
+use muppet_net::frame::WireEvent;
+use muppet_net::tcp::{TcpListenerHandle, TcpTransport};
+use muppet_net::topology::Topology;
+use muppet_net::transport::{ClusterHandler, InProcessTransport, MachineId, NetError, Transport};
 use muppet_slatestore::cluster::StoreCluster;
 use muppet_slatestore::ring::ConsistentRing;
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -43,6 +47,7 @@ use crate::cache::{FlushPolicy, NullBackend, SlateBackend, SlateCache};
 use crate::dispatch::{choose_between, RouteHash};
 use crate::master::Master;
 use crate::metrics::{Histogram, LatencySummary};
+use crate::netstore::RemoteBackend;
 use crate::overflow::{DropLog, OverflowAction, OverflowPolicy};
 use crate::queue::EventQueue;
 
@@ -56,13 +61,42 @@ pub enum EngineKind {
     Muppet2,
 }
 
+/// Which wire connects the cluster's machines.
+#[derive(Clone, Debug, Default)]
+pub enum TransportKind {
+    /// Every machine lives in this process; "the network" is a synchronous
+    /// queue hand-off (the seed behaviour, now routed through the
+    /// [`Transport`] trait).
+    #[default]
+    InProcess,
+    /// Real TCP: this engine process owns exactly one machine (`local`) of
+    /// a static cluster; events to other machines cross actual sockets,
+    /// and connection errors drive the §4.3 failure protocol.
+    Tcp {
+        /// The static cluster layout (`topology.len()` must equal
+        /// [`EngineConfig::machines`]).
+        topology: Topology,
+        /// The machine this process runs.
+        local: MachineId,
+    },
+}
+
 /// Engine deployment configuration.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Muppet 1.0 or 2.0.
     pub kind: EngineKind,
-    /// Simulated machines in the cluster.
+    /// Machines in the cluster (simulated in-process, or cluster-wide
+    /// count in TCP mode).
     pub machines: usize,
+    /// The wire between machines.
+    pub transport: TransportKind,
+    /// TCP mode: which machine hosts the durable slate store service.
+    /// Nodes other than the host flush/load their slates through the
+    /// transport's store frames; `None` means every node uses whatever
+    /// store was passed to [`Engine::start`] directly (the in-process
+    /// arrangement).
+    pub store_host: Option<MachineId>,
     /// Muppet 2.0: worker threads per machine ("as large ... as the
     /// parallelization of the application code allows", §4.5).
     pub workers_per_machine: usize,
@@ -88,6 +122,8 @@ impl Default for EngineConfig {
         EngineConfig {
             kind: EngineKind::Muppet2,
             machines: 2,
+            transport: TransportKind::InProcess,
+            store_host: None,
             workers_per_machine: 4,
             workers_per_op: 2,
             queue_capacity: 4096,
@@ -105,6 +141,8 @@ impl EngineConfig {
         EngineConfig {
             kind,
             machines: app.machines,
+            transport: TransportKind::InProcess,
+            store_host: None,
             workers_per_machine: app.workers_per_machine,
             workers_per_op: app.workers_per_machine, // 1.0 interpretation
             queue_capacity: app.queue_capacity,
@@ -171,11 +209,7 @@ impl OperatorSet {
 /// Resolved operator instance.
 enum OpInstance {
     Map(Arc<dyn Mapper>),
-    Update {
-        updater: Arc<dyn Updater>,
-        name: Arc<str>,
-        ttl_secs: Option<u64>,
-    },
+    Update { updater: Arc<dyn Updater>, name: Arc<str>, ttl_secs: Option<u64> },
 }
 
 /// A queued unit of work: deliver `event` to operator `op`.
@@ -190,6 +224,10 @@ struct Packet {
 
 /// Per-machine state.
 struct Machine {
+    /// Whether this machine's queues/caches/threads live in this process.
+    /// Always true in-process; exactly one machine is local in TCP mode
+    /// (the others are bookkeeping stubs for ring/liveness state).
+    local: bool,
     alive: AtomicBool,
     queues: Vec<Arc<EventQueue<Packet>>>,
     /// Route each thread is currently processing (two-choice rule 1).
@@ -254,11 +292,31 @@ pub struct EngineStats {
     pub dirty_slates: u64,
 }
 
+impl Machine {
+    /// A stub for a machine that lives in another process.
+    fn remote_stub() -> Machine {
+        Machine {
+            local: false,
+            alive: AtomicBool::new(true),
+            queues: Vec::new(),
+            in_flight: Vec::new(),
+            central_cache: None,
+            worker_caches: Vec::new(),
+            thread_ops: Vec::new(),
+        }
+    }
+}
+
 struct Shared {
     wf: Workflow,
     ops: Vec<OpInstance>,
     cfg: EngineConfig,
     machines: Vec<Machine>,
+    /// The wire (in-process hand-off or TCP).
+    transport: Arc<dyn Transport>,
+    /// TCP mode: the locally hosted store service, served to peers via
+    /// the transport's store frames.
+    host_store: Option<Arc<StoreCluster>>,
     /// 2.0: ring over machines.
     machine_ring: RwLock<ConsistentRing>,
     /// 1.0: ring per op over global worker-slot ids.
@@ -292,6 +350,10 @@ impl Shared {
 /// A running Muppet engine.
 pub struct Engine {
     shared: Arc<Shared>,
+    /// Keeps the transport's weak handler registration alive.
+    _handler: Arc<EngineHandler>,
+    /// TCP mode: the node's frame listener (stopped on shutdown/drop).
+    listener: Mutex<Option<TcpListenerHandle>>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     flushers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -299,20 +361,49 @@ pub struct Engine {
 impl Engine {
     /// Start an engine for `workflow` with the given operator
     /// implementations. `store` attaches the durable slate store; without
-    /// it, slates exist only in the caches.
+    /// it, slates exist only in the caches (unless
+    /// [`EngineConfig::store_host`] points at a remote store service).
     pub fn start(
         workflow: Workflow,
         ops: OperatorSet,
         cfg: EngineConfig,
         store: Option<Arc<StoreCluster>>,
     ) -> Result<Engine> {
-        let backend: Arc<dyn SlateBackend> = match &store {
-            Some(cluster) => Arc::clone(cluster) as Arc<dyn SlateBackend>,
-            None => Arc::new(NullBackend),
+        // Build the wire first: machine materialization below depends on
+        // which machines are local.
+        let (transport, tcp): (Arc<dyn Transport>, Option<Arc<TcpTransport>>) = match &cfg.transport
+        {
+            TransportKind::InProcess => (Arc::new(InProcessTransport::new()), None),
+            TransportKind::Tcp { topology, local } => {
+                if topology.len() != cfg.machines {
+                    return Err(Error::Config(format!(
+                        "topology has {} nodes but EngineConfig.machines = {}",
+                        topology.len(),
+                        cfg.machines
+                    )));
+                }
+                let tcp = TcpTransport::new(topology.clone(), *local).map_err(Error::Config)?;
+                (Arc::clone(&tcp) as Arc<dyn Transport>, Some(tcp))
+            }
         };
+        let is_local = |m: usize| transport.is_local(m);
+
+        // Pick the slate backend: a directly attached store, a remote
+        // store service reached through the transport, or nothing.
+        let backend: Arc<dyn SlateBackend> =
+            match (&store, cfg.store_host, transport.local_machine()) {
+                (Some(cluster), _, _) => Arc::clone(cluster) as Arc<dyn SlateBackend>,
+                (None, Some(host), Some(local)) if host != local => {
+                    Arc::new(RemoteBackend::new(Arc::clone(&transport), host))
+                }
+                _ => Arc::new(NullBackend),
+            };
+        let has_backend = store.is_some()
+            || matches!((cfg.store_host, transport.local_machine()), (Some(h), Some(l)) if h != l);
 
         // Resolve operator implementations against the workflow.
-        let mut instances: Vec<Option<OpInstance>> = (0..workflow.ops().len()).map(|_| None).collect();
+        let mut instances: Vec<Option<OpInstance>> =
+            (0..workflow.ops().len()).map(|_| None).collect();
         for m in ops.mappers {
             let id = workflow
                 .op_id(m.name())
@@ -353,11 +444,18 @@ impl Engine {
         let mut op_rings = Vec::new();
         match cfg.kind {
             EngineKind::Muppet2 => {
-                for _m in 0..cfg.machines {
+                for m in 0..cfg.machines {
+                    if !is_local(m) {
+                        machines.push(Machine::remote_stub());
+                        continue;
+                    }
                     let threads = cfg.workers_per_machine.max(1);
                     machines.push(Machine {
+                        local: true,
                         alive: AtomicBool::new(true),
-                        queues: (0..threads).map(|_| Arc::new(EventQueue::new(cfg.queue_capacity))).collect(),
+                        queues: (0..threads)
+                            .map(|_| Arc::new(EventQueue::new(cfg.queue_capacity)))
+                            .collect(),
                         in_flight: (0..threads).map(|_| AtomicU64::new(0)).collect(),
                         central_cache: Some(Arc::new(SlateCache::new(
                             cfg.slate_cache_capacity,
@@ -395,6 +493,10 @@ impl Engine {
                     })
                     .collect();
                 for (m, thread_ops) in per_machine_threads.iter().enumerate() {
+                    if !is_local(m) {
+                        machines.push(Machine::remote_stub());
+                        continue;
+                    }
                     let n_upd = updater_threads_per_machine[m].max(1);
                     let per_worker_cap = (cfg.slate_cache_capacity / n_upd).max(1);
                     // A machine can end up with zero assigned workers (more
@@ -416,9 +518,11 @@ impl Engine {
                         })
                         .collect();
                     worker_caches.resize_with(n_threads, || None);
-                    let mut bound_ops: Vec<Option<OpId>> = thread_ops.iter().map(|&op| Some(op)).collect();
+                    let mut bound_ops: Vec<Option<OpId>> =
+                        thread_ops.iter().map(|&op| Some(op)).collect();
                     bound_ops.resize(n_threads, None);
                     machines.push(Machine {
+                        local: true,
                         alive: AtomicBool::new(true),
                         queues: (0..n_threads)
                             .map(|_| Arc::new(EventQueue::new(cfg.queue_capacity)))
@@ -449,6 +553,8 @@ impl Engine {
             wf: workflow,
             ops,
             machines,
+            transport: Arc::clone(&transport),
+            host_store: store.clone(),
             master: Master::new(),
             pending: AtomicI64::new(0),
             stopping: AtomicBool::new(false),
@@ -461,7 +567,12 @@ impl Engine {
             cfg,
         });
 
-        // Spawn worker threads.
+        // Wire the transport back into this engine.
+        let handler = Arc::new(EngineHandler(Arc::clone(&shared)));
+        transport.register(Arc::downgrade(&handler) as std::sync::Weak<dyn ClusterHandler>);
+
+        // Spawn worker threads (local machines only; remote stubs have no
+        // queues).
         let mut threads = Vec::new();
         for m in 0..shared.machines.len() {
             for t in 0..shared.machines[m].queues.len() {
@@ -474,12 +585,16 @@ impl Engine {
                 );
             }
         }
-        // Spawn background flusher threads (one per machine) when the
-        // policy is interval-based and a store is attached.
+        // Spawn background flusher threads (one per local machine) when the
+        // policy is interval-based and a backend (direct or remote) is
+        // attached.
         let mut flushers = Vec::new();
         if let FlushPolicy::IntervalMs(ms) = shared.cfg.flush {
-            if store.is_some() {
+            if has_backend {
                 for m in 0..shared.machines.len() {
+                    if !shared.machines[m].local {
+                        continue;
+                    }
                     let sh = Arc::clone(&shared);
                     let interval = Duration::from_millis(ms.max(1));
                     flushers.push(
@@ -491,7 +606,22 @@ impl Engine {
                 }
             }
         }
-        Ok(Engine { shared, threads: Mutex::new(threads), flushers: Mutex::new(flushers) })
+        // TCP mode: open this node's inbound wire last, so peers never see
+        // a half-initialized engine.
+        let listener = match &tcp {
+            Some(tcp) => Some(
+                tcp.start_listener()
+                    .map_err(|e| Error::Config(format!("cannot bind event listener: {e}")))?,
+            ),
+            None => None,
+        };
+        Ok(Engine {
+            shared,
+            _handler: handler,
+            listener: Mutex::new(listener),
+            threads: Mutex::new(threads),
+            flushers: Mutex::new(flushers),
+        })
     }
 
     /// Inject one external event (the paper's special source mapper M0
@@ -553,23 +683,34 @@ impl Engine {
 
     /// Read a slate's current value from the owning machine's cache —
     /// the §4.4 live read ("from Muppet's slate cache ... rather than from
-    /// the durable key-value store to ensure an up-to-date reply").
+    /// the durable key-value store to ensure an up-to-date reply"). When
+    /// the owning machine lives in another process (TCP mode), the read
+    /// crosses the wire as a `SlateGet` frame.
     pub fn read_slate(&self, updater: &str, key: &Key) -> Option<Vec<u8>> {
         let op = self.shared.wf.op_id(updater)?;
         if self.shared.wf.op(op).kind != OpKind::Update {
             return None;
         }
         let route = key.route_hash(updater);
-        match self.shared.cfg.kind {
-            EngineKind::Muppet2 => {
-                let machine = self.shared.machine_ring.read().owner(route)?;
-                self.shared.machines[machine].central_cache.as_ref()?.read(op, key)
-            }
+        let owner = match self.shared.cfg.kind {
+            EngineKind::Muppet2 => self.shared.machine_ring.read().owner(route)?,
             EngineKind::Muppet1 => {
                 let slot_id = self.shared.op_rings.read().get(op)?.owner(route)?;
-                let slot = self.shared.worker_slots[slot_id];
-                self.shared.machines[slot.machine].worker_caches[slot.thread].as_ref()?.read(op, key)
+                self.shared.worker_slots[slot_id].machine
             }
+        };
+        if self.shared.transport.is_local(owner) {
+            let machine = &self.shared.machines[owner];
+            match self.shared.cfg.kind {
+                EngineKind::Muppet2 => machine.central_cache.as_ref()?.read(op, key),
+                EngineKind::Muppet1 => {
+                    let slot_id = self.shared.op_rings.read().get(op)?.owner(route)?;
+                    let slot = self.shared.worker_slots[slot_id];
+                    machine.worker_caches[slot.thread].as_ref()?.read(op, key)
+                }
+            }
+        } else {
+            self.shared.transport.read_slate(owner, updater, key.as_bytes()).ok().flatten()
         }
     }
 
@@ -628,8 +769,13 @@ impl Engine {
     /// Kill a machine abruptly: its queued events are lost, its threads
     /// stop, its unflushed slates are lost (§4.3). Routing updates lazily —
     /// the next send to the dead machine triggers the failure report.
+    /// In TCP mode this only makes sense for the local machine (killing a
+    /// peer means killing its process).
     pub fn kill_machine(&self, machine: usize) {
         let m = &self.shared.machines[machine];
+        if !m.local {
+            return;
+        }
         if !m.alive.swap(false, Ordering::AcqRel) {
             return;
         }
@@ -649,9 +795,27 @@ impl Engine {
     }
 
     /// Whether the master has been told about a machine failure yet
-    /// (detection is send-driven, §4.3).
+    /// (detection is send-driven, §4.3). On non-master TCP nodes this
+    /// reflects receipt of the master's broadcast.
     pub fn failure_detected(&self, machine: usize) -> bool {
         self.shared.master.is_failed(machine)
+    }
+
+    /// Whether `machine` is still a member of the routing ring (false once
+    /// the §4.3 broadcast dropped it).
+    pub fn ring_contains(&self, machine: usize) -> bool {
+        self.shared.machine_ring.read().contains(machine)
+    }
+
+    /// The machine this engine runs locally (`None` in-process, where all
+    /// machines are local).
+    pub fn local_machine(&self) -> Option<usize> {
+        self.shared.transport.local_machine()
+    }
+
+    /// Machine ids known dead, in id order.
+    pub fn failed_machines(&self) -> Vec<usize> {
+        self.shared.master.failed_machines()
     }
 
     /// Microseconds since the engine started (the engine's store clock).
@@ -722,6 +886,12 @@ impl Engine {
     /// stats.
     pub fn shutdown(self) -> EngineStats {
         self.drain(Duration::from_secs(30));
+        // TCP mode: close the inbound wire first so no new remote events
+        // arrive during teardown (peers will see this node as failed —
+        // which is accurate).
+        if let Some(mut listener) = self.listener.lock().take() {
+            listener.stop();
+        }
         self.shared.stopping.store(true, Ordering::Release);
         for m in &self.shared.machines {
             for q in &m.queues {
@@ -792,9 +962,9 @@ fn process_packet(shared: &Arc<Shared>, machine_id: usize, thread: usize, packet
         OpInstance::Update { updater, name, ttl_secs } => {
             let cache = match shared.cfg.kind {
                 EngineKind::Muppet2 => machine.central_cache.as_ref().expect("2.0 central cache"),
-                EngineKind::Muppet1 => machine.worker_caches[thread]
-                    .as_ref()
-                    .expect("1.0 updater thread owns a cache"),
+                EngineKind::Muppet1 => {
+                    machine.worker_caches[thread].as_ref().expect("1.0 updater thread owns a cache")
+                }
             };
             let now = shared.now_us();
             let slot = cache.get_or_load(packet.op, name, &packet.event.key, *ttl_secs, now);
@@ -815,11 +985,10 @@ fn process_packet(shared: &Arc<Shared>, machine_id: usize, thread: usize, packet
     let records = emitter.take();
     for rec in records {
         shared.counters.emitted.fetch_add(1, Ordering::Relaxed);
-        if shared.wf.is_external(rec.stream.as_str()) || !shared.wf.has_stream(rec.stream.as_str()) {
+        if shared.wf.is_external(rec.stream.as_str()) || !shared.wf.has_stream(rec.stream.as_str())
+        {
             shared.counters.publish_errors.fetch_add(1, Ordering::Relaxed);
-            shared
-                .drop_log
-                .log(format!("illegal publish to {} from {}", rec.stream, op_decl.name));
+            shared.drop_log.log(format!("illegal publish to {} from {}", rec.stream, op_decl.name));
             continue;
         }
         let out = Event {
@@ -837,7 +1006,13 @@ fn process_packet(shared: &Arc<Shared>, machine_id: usize, thread: usize, packet
     shared.throttle_cv.notify_all();
 }
 
-fn fan_out(shared: &Arc<Shared>, stream: &StreamId, event: Event, injected_us: u64, redirected: bool) {
+fn fan_out(
+    shared: &Arc<Shared>,
+    stream: &StreamId,
+    event: Event,
+    injected_us: u64,
+    redirected: bool,
+) {
     let subscribers = shared.wf.subscribers_of(stream.as_str()).to_vec();
     for op in subscribers {
         let packet = Packet { op, event: event.clone(), injected_us, redirected };
@@ -845,48 +1020,114 @@ fn fan_out(shared: &Arc<Shared>, stream: &StreamId, event: Event, injected_us: u
     }
 }
 
-/// The real send path (see note above `worker_loop`): resolves the
-/// destination, detects failures, applies the overflow policy.
+/// The send path (see note above `worker_loop`): resolves the destination
+/// machine via the rings, then puts the event on the wire. A transport
+/// failure — dead simulated machine in-process, connection error over TCP
+/// — triggers the §4.3 protocol: report to the master, which broadcasts,
+/// and every ring drops the machine; the event is lost and logged, never
+/// retried.
 fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
-    loop {
-        let updater_name = shared.wf.op(packet.op).name.as_str();
-        let route: RouteHash = packet.event.key.route_hash(updater_name);
-        let dest = match shared.cfg.kind {
-            EngineKind::Muppet2 => shared.machine_ring.read().owner(route).map(|m| (m, None)),
-            EngineKind::Muppet1 => {
-                let rings = shared.op_rings.read();
-                rings[packet.op].owner(route).map(|slot_id| {
-                    let slot = shared.worker_slots[slot_id];
-                    (slot.machine, Some(slot.thread))
-                })
-            }
-        };
-        let Some((machine_id, fixed_thread)) = dest else {
+    let updater_name = shared.wf.op(packet.op).name.as_str();
+    let route: RouteHash = packet.event.key.route_hash(updater_name);
+    let dest = match shared.cfg.kind {
+        EngineKind::Muppet2 => shared.machine_ring.read().owner(route).map(|m| (m, None)),
+        EngineKind::Muppet1 => {
+            let rings = shared.op_rings.read();
+            rings[packet.op].owner(route).map(|slot_id| {
+                let slot = shared.worker_slots[slot_id];
+                (slot.machine, Some(slot.thread))
+            })
+        }
+    };
+    let Some((machine_id, thread_hint)) = dest else {
+        shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+        return;
+    };
+    let key = packet.event.key.clone();
+    let ev = WireEvent {
+        op: packet.op,
+        event: packet.event,
+        injected_us: packet.injected_us,
+        redirected: packet.redirected,
+        external,
+        thread_hint,
+    };
+    match shared.transport.send_event(machine_id, ev) {
+        Ok(()) => {}
+        Err(NetError::Unreachable(_)) => {
+            // §4.3: the sender detected the dead machine on send. Report to
+            // the master (the master's broadcast removes it from every
+            // ring); the undeliverable event is lost and logged.
+            shared.transport.report_failure(machine_id);
             shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
-            return;
-        };
-        let machine = &shared.machines[machine_id];
-        if !machine.alive.load(Ordering::Acquire) {
-            if shared.master.report_failure(machine_id) {
-                shared.machine_ring.write().remove(machine_id);
-                let mut rings = shared.op_rings.write();
-                for (slot_id, slot) in shared.worker_slots.iter().enumerate() {
-                    if slot.machine == machine_id {
-                        for ring in rings.iter_mut() {
-                            ring.remove(slot_id);
-                        }
-                    }
-                }
-            }
+            shared.drop_log.log(format!("lost to failed machine {machine_id}: key={key:?}"));
+        }
+        Err(e) => {
+            // A local protocol/config error (oversized frame, no handler)
+            // is not a dead peer — the event is lost and logged, but the
+            // machine must not be declared failed.
             shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
             shared
                 .drop_log
-                .log(format!("lost to failed machine {machine_id}: key={:?}", packet.event.key));
-            return;
+                .log(format!("undeliverable to machine {machine_id} ({e}): key={key:?}"));
         }
-        let thread = match fixed_thread {
-            Some(t) => t,
-            None => {
+    }
+}
+
+/// Local delivery: the receiving half of the wire. Chooses the worker
+/// queue (two-choice for 2.0, the sender's slot hint for 1.0) and applies
+/// the §4.3 overflow mechanism. Runs on the sender's thread in-process and
+/// on the listener's connection thread over TCP.
+fn deliver_local(
+    shared: &Arc<Shared>,
+    machine_id: usize,
+    ev: WireEvent,
+) -> std::result::Result<(), NetError> {
+    loop {
+        let Some(machine) = shared.machines.get(machine_id) else {
+            return Err(NetError::NoRoute(machine_id));
+        };
+        if !machine.local {
+            return Err(NetError::NoRoute(machine_id));
+        }
+        if !machine.alive.load(Ordering::Acquire) {
+            return Err(NetError::Unreachable(machine_id));
+        }
+        let updater_name = shared.wf.op(ev.op).name.as_str();
+        let route: RouteHash = ev.event.key.route_hash(updater_name);
+        let thread = match shared.cfg.kind {
+            EngineKind::Muppet1 => {
+                // 1.0 workers are bound to one function; an event on the
+                // wrong thread would fault the worker (no cache for the
+                // op). Trust the sender's hint only when it names a local
+                // thread actually running this op; otherwise re-resolve
+                // from the local rings (layouts are deterministic
+                // cluster-wide, so a mismatch means a heterogeneously
+                // configured peer).
+                let valid =
+                    |t: usize| t < machine.queues.len() && machine.thread_ops[t] == Some(ev.op);
+                let resolved = ev.thread_hint.filter(|&t| valid(t)).or_else(|| {
+                    let rings = shared.op_rings.read();
+                    rings
+                        .get(ev.op)
+                        .and_then(|ring| ring.owner(route))
+                        .map(|slot_id| shared.worker_slots[slot_id])
+                        .filter(|slot| slot.machine == machine_id && valid(slot.thread))
+                        .map(|slot| slot.thread)
+                });
+                match resolved {
+                    Some(t) => t,
+                    None => {
+                        shared.drop_log.log(format!(
+                            "misrouted 1.0 event discarded at m{machine_id}: op={updater_name} \
+                             key={:?} (peer layout mismatch?)",
+                            ev.event.key
+                        ));
+                        return Ok(());
+                    }
+                }
+            }
+            EngineKind::Muppet2 => {
                 let threads = machine.queues.len();
                 let (p, s) = crate::dispatch::queue_pair(route, threads);
                 let decode = |raw: u64| -> Option<RouteHash> {
@@ -908,31 +1149,40 @@ fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
             }
         };
         let queue = &machine.queues[thread];
+        let into_packet = |ev: WireEvent| Packet {
+            op: ev.op,
+            event: ev.event,
+            injected_us: ev.injected_us,
+            redirected: ev.redirected,
+        };
         if queue.len_hint() < queue.capacity() {
             // Likely-room fast path; capacity may still be exceeded by a
             // racing sender, in which case force_push slightly overshoots
             // (bounded by sender count) — acceptable for a size *limit*.
-            queue.force_push(packet);
+            queue.force_push(into_packet(ev));
             shared.pending.fetch_add(1, Ordering::AcqRel);
-            return;
+            return Ok(());
         }
         // Queue full: invoke the overflow mechanism (§4.3).
-        match shared.cfg.overflow.decide(external, packet.redirected) {
+        match shared.cfg.overflow.decide(ev.external, ev.redirected) {
             OverflowAction::Drop => {
                 shared.counters.dropped_overflow.fetch_add(1, Ordering::Relaxed);
                 shared.drop_log.log(format!(
                     "overflow drop at m{machine_id}w{thread}: key={:?} op={}",
-                    packet.event.key, updater_name
+                    ev.event.key, updater_name
                 ));
-                return;
+                return Ok(());
             }
             OverflowAction::Redirect(overflow_stream) => {
                 shared.counters.redirected_overflow.fetch_add(1, Ordering::Relaxed);
-                if !shared.wf.has_stream(&overflow_stream) || shared.wf.is_external(&overflow_stream) {
+                if !shared.wf.has_stream(&overflow_stream)
+                    || shared.wf.is_external(&overflow_stream)
+                {
                     shared.counters.publish_errors.fetch_add(1, Ordering::Relaxed);
-                    return;
+                    return Ok(());
                 }
-                let mut event = packet.event;
+                let external = ev.external;
+                let mut event = ev.event;
                 event.stream = StreamId::from(overflow_stream.as_str());
                 // Fan out to the overflow stream's subscribers, marked so a
                 // second overflow drops instead of looping.
@@ -941,17 +1191,17 @@ fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
                     let p = Packet {
                         op,
                         event: event.clone(),
-                        injected_us: packet.injected_us,
+                        injected_us: ev.injected_us,
                         redirected: true,
                     };
                     try_send(shared, p, external);
                 }
-                return;
+                return Ok(());
             }
             OverflowAction::ForceThrough => {
-                queue.force_push(packet);
+                queue.force_push(into_packet(ev));
                 shared.pending.fetch_add(1, Ordering::AcqRel);
-                return;
+                return Ok(());
             }
             OverflowAction::BlockProducer => {
                 shared.counters.throttle_waits.fetch_add(1, Ordering::Relaxed);
@@ -959,13 +1209,101 @@ fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
                 shared.throttle_cv.wait_for(&mut guard, Duration::from_millis(1));
                 drop(guard);
                 if shared.stopping.load(Ordering::Acquire) {
-                    return;
+                    return Ok(());
                 }
-                // retry the whole resolution (the machine may have failed
-                // or drained meanwhile)
-                continue;
+                // Retry: re-check liveness and queue room (the machine may
+                // have failed or drained meanwhile).
             }
         }
+    }
+}
+
+/// Drop `failed` from every routing structure — the effect of the master's
+/// §4.3 broadcast, applied on each node.
+fn apply_ring_drop(shared: &Arc<Shared>, failed: usize) {
+    shared.machine_ring.write().remove(failed);
+    {
+        let mut rings = shared.op_rings.write();
+        for (slot_id, slot) in shared.worker_slots.iter().enumerate() {
+            if slot.machine == failed {
+                for ring in rings.iter_mut() {
+                    ring.remove(slot_id);
+                }
+            }
+        }
+    }
+    if let Some(machine) = shared.machines.get(failed) {
+        machine.alive.store(false, Ordering::Release);
+    }
+    // Every node tracks the failed set ("each worker keeps track of all
+    // failed machines"), without re-reporting.
+    shared.master.mark_failed(failed);
+}
+
+/// The engine side of the wire: what the transport calls to finish
+/// delivery and apply the failure protocol locally.
+struct EngineHandler(Arc<Shared>);
+
+impl ClusterHandler for EngineHandler {
+    fn deliver_event(&self, dest: MachineId, ev: WireEvent) -> std::result::Result<(), NetError> {
+        deliver_local(&self.0, dest, ev)
+    }
+
+    fn handle_failure_report(&self, failed: MachineId) {
+        // First report wins; the master broadcast fans the drop out to
+        // every machine (including this one). Duplicates are absorbed.
+        if self.0.master.report_failure(failed) {
+            self.0.transport.broadcast_failure(failed);
+        }
+    }
+
+    fn handle_failure_broadcast(&self, failed: MachineId) {
+        apply_ring_drop(&self.0, failed);
+    }
+
+    fn read_local_slate(&self, dest: MachineId, updater: &str, key: &[u8]) -> Option<Vec<u8>> {
+        let shared = &self.0;
+        let op = shared.wf.op_id(updater)?;
+        if shared.wf.op(op).kind != OpKind::Update {
+            return None;
+        }
+        let machine = shared.machines.get(dest)?;
+        if !machine.local || !machine.alive.load(Ordering::Acquire) {
+            return None;
+        }
+        let key = Key::from(key);
+        match shared.cfg.kind {
+            EngineKind::Muppet2 => machine.central_cache.as_ref()?.read(op, &key),
+            EngineKind::Muppet1 => {
+                let route = key.route_hash(updater);
+                let slot_id = shared.op_rings.read().get(op)?.owner(route)?;
+                let slot = shared.worker_slots[slot_id];
+                if slot.machine != dest {
+                    return None;
+                }
+                machine.worker_caches[slot.thread].as_ref()?.read(op, &key)
+            }
+        }
+    }
+
+    fn backend_store(
+        &self,
+        updater: &str,
+        key: &[u8],
+        value: &[u8],
+        ttl_secs: Option<u64>,
+        now_us: u64,
+    ) {
+        if let Some(store) = &self.0.host_store {
+            let key = Key::from(key);
+            SlateBackend::store(&**store, updater, &key, value, ttl_secs, now_us);
+        }
+    }
+
+    fn backend_load(&self, updater: &str, key: &[u8], now_us: u64) -> Option<Vec<u8>> {
+        let store = self.0.host_store.as_ref()?;
+        let key = Key::from(key);
+        SlateBackend::load(&**store, updater, &key, now_us)
     }
 }
 

@@ -35,6 +35,14 @@ pub trait SlateReader: Send + Sync + 'static {
     fn list_keys(&self, _updater: &str) -> Vec<Key> {
         Vec::new()
     }
+
+    /// Ingest one external event (`POST /submit/<stream>/<key>`, body =
+    /// value). How `muppetd` nodes receive traffic; the engine routes the
+    /// event to its owning machine over the cluster wire. Default:
+    /// unsupported.
+    fn submit_event(&self, _stream: &str, _key: Key, _value: Vec<u8>) -> Result<(), String> {
+        Err("ingest not supported".to_string())
+    }
 }
 
 impl SlateReader for crate::engine::Engine {
@@ -47,18 +55,29 @@ impl SlateReader for crate::engine::Engine {
     }
 
     fn status_json(&self) -> String {
+        use muppet_core::json::Json;
         let s = self.stats();
-        muppet_core::json::Json::obj([
-            ("submitted", muppet_core::json::Json::num(s.submitted as f64)),
-            ("processed", muppet_core::json::Json::num(s.processed as f64)),
-            ("emitted", muppet_core::json::Json::num(s.emitted as f64)),
-            ("dropped_overflow", muppet_core::json::Json::num(s.dropped_overflow as f64)),
-            ("lost_machine_failure", muppet_core::json::Json::num(s.lost_machine_failure as f64)),
-            ("max_queue_high_water", muppet_core::json::Json::num(self.max_queue_high_water() as f64)),
-            ("cache_entries", muppet_core::json::Json::num(s.cache.entries as f64)),
-            ("p99_latency_us", muppet_core::json::Json::num(s.latency.p99_us as f64)),
+        Json::obj([
+            ("submitted", Json::num(s.submitted as f64)),
+            ("processed", Json::num(s.processed as f64)),
+            ("emitted", Json::num(s.emitted as f64)),
+            ("dropped_overflow", Json::num(s.dropped_overflow as f64)),
+            ("lost_machine_failure", Json::num(s.lost_machine_failure as f64)),
+            ("max_queue_high_water", Json::num(self.max_queue_high_water() as f64)),
+            ("cache_entries", Json::num(s.cache.entries as f64)),
+            ("p99_latency_us", Json::num(s.latency.p99_us as f64)),
+            (
+                "failed_machines",
+                Json::Arr(
+                    self.failed_machines().into_iter().map(|m| Json::num(m as f64)).collect(),
+                ),
+            ),
         ])
         .to_compact()
+    }
+
+    fn submit_event(&self, stream: &str, key: Key, value: Vec<u8>) -> Result<(), String> {
+        self.submit_kv(stream, key, value).map_err(|e| e.to_string())
     }
 }
 
@@ -72,14 +91,19 @@ pub struct HttpSlateServer {
 impl HttpSlateServer {
     /// Bind to an ephemeral port on localhost and serve `reader`.
     pub fn serve(reader: Arc<dyn SlateReader>) -> std::io::Result<HttpSlateServer> {
-        let listener = TcpListener::bind("127.0.0.1:0")?;
+        HttpSlateServer::serve_on(reader, "127.0.0.1:0")
+    }
+
+    /// Bind to an explicit address (`muppetd` nodes publish a fixed port
+    /// from the cluster topology).
+    pub fn serve_on(reader: Arc<dyn SlateReader>, addr: &str) -> std::io::Result<HttpSlateServer> {
+        let listener = TcpListener::bind(addr)?;
         let port = listener.local_addr()?.port();
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let stop2 = Arc::clone(&stop);
-        let accept_thread = std::thread::Builder::new()
-            .name("muppet-http".into())
-            .spawn(move || {
+        let accept_thread =
+            std::thread::Builder::new().name("muppet-http".into()).spawn(move || {
                 while !stop2.load(Ordering::Acquire) {
                     match listener.accept() {
                         Ok((stream, _)) => {
@@ -125,11 +149,15 @@ fn handle_connection(stream: TcpStream, reader: &dyn SlateReader) -> std::io::Re
     let mut buf = BufReader::new(stream.try_clone()?);
     let mut request_line = String::new();
     buf.read_line(&mut request_line)?;
-    // Drain headers (ignored).
+    // Drain headers, keeping Content-Length (POST ingest bodies).
+    let mut content_length = 0usize;
     loop {
         let mut line = String::new();
         if buf.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
             break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
         }
     }
     let mut out = stream;
@@ -138,6 +166,25 @@ fn handle_connection(stream: TcpStream, reader: &dyn SlateReader) -> std::io::Re
         (Some(m), Some(p)) => (m, p),
         _ => return respond(&mut out, 400, "text/plain", b"bad request"),
     };
+    if method == "POST" && path.starts_with("/submit/") {
+        // POST /submit/<stream>/<percent-encoded key>, body = event value.
+        let rest = path.strip_prefix("/submit/").expect("prefix checked");
+        let Some((stream_name, key_enc)) = rest.split_once('/') else {
+            return respond(&mut out, 400, "text/plain", b"expected /submit/<stream>/<key>");
+        };
+        let Some(key_bytes) = percent_decode(key_enc) else {
+            return respond(&mut out, 400, "text/plain", b"bad key encoding");
+        };
+        if content_length > 16 << 20 {
+            return respond(&mut out, 400, "text/plain", b"body too large");
+        }
+        let mut body = vec![0u8; content_length];
+        std::io::Read::read_exact(&mut buf, &mut body)?;
+        return match reader.submit_event(stream_name, Key::from(key_bytes), body) {
+            Ok(()) => respond(&mut out, 200, "text/plain", b"ok"),
+            Err(msg) => respond(&mut out, 400, "text/plain", msg.as_bytes()),
+        };
+    }
     if method != "GET" {
         return respond(&mut out, 405, "text/plain", b"method not allowed");
     }
@@ -171,7 +218,12 @@ fn handle_connection(stream: TcpStream, reader: &dyn SlateReader) -> std::io::Re
     respond(&mut out, 404, "text/plain", b"not found")
 }
 
-fn respond(stream: &mut TcpStream, code: u16, content_type: &str, body: &[u8]) -> std::io::Result<()> {
+fn respond(
+    stream: &mut TcpStream,
+    code: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
     let reason = match code {
         200 => "OK",
         400 => "Bad Request",
@@ -232,21 +284,35 @@ pub fn percent_encode(input: &[u8]) -> String {
 /// A tiny blocking HTTP GET for tests and experiment harnesses.
 /// Returns (status code, body).
 pub fn http_get(url: &str) -> std::io::Result<(u16, Vec<u8>)> {
+    http_request("GET", url, &[])
+}
+
+/// A tiny blocking HTTP POST (event ingest). Returns (status code, body).
+pub fn http_post(url: &str, body: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    http_request("POST", url, body)
+}
+
+fn http_request(method: &str, url: &str, body: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
     let rest = url
         .strip_prefix("http://")
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "http:// only"))?;
-    let (host, path) = rest.split_once('/').map(|(h, p)| (h, format!("/{p}"))).unwrap_or((rest, "/".into()));
+    let (host, path) =
+        rest.split_once('/').map(|(h, p)| (h, format!("/{p}"))).unwrap_or((rest, "/".into()));
     let mut stream = TcpStream::connect(host)?;
-    write!(stream, "GET {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n\r\n")?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {host}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
     stream.flush()?;
     let mut reader = BufReader::new(stream);
     let mut status_line = String::new();
     reader.read_line(&mut status_line)?;
-    let code: u16 = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|c| c.parse().ok())
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line"))?;
+    let code: u16 =
+        status_line.split_whitespace().nth(1).and_then(|c| c.parse().ok()).ok_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status line")
+        })?;
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();

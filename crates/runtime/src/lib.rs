@@ -26,11 +26,16 @@
 //! * [`http`] — the per-node HTTP server for live slate reads (§4.4);
 //! * [`metrics`] — latency histograms and counters.
 //!
-//! The cluster is *simulated in-process*: machines are actor-like structs
-//! whose worker threads are real OS threads, and inter-machine "networking"
-//! is direct queue hand-off. The distribution logic — hash rings, direct
-//! worker→worker event passing, failure detection on send — is the paper's;
-//! only the wire is missing. See DESIGN.md §1 for the substitution notes.
+//! The cluster runs over a pluggable wire ([`muppet_net::Transport`],
+//! selected via [`engine::TransportKind`]): by default *in-process* —
+//! machines are actor-like structs whose worker threads are real OS
+//! threads, and inter-machine "networking" is direct queue hand-off — or
+//! over real TCP, where each engine process owns one machine of a static
+//! cluster (`muppetd`) and failure detection rides on actual connection
+//! errors. The distribution logic — hash rings, direct worker→worker event
+//! passing, failure detection on send — is the paper's either way. See
+//! DESIGN.md §1 for the simulation substitution notes and §5 for the
+//! transport.
 
 pub mod cache;
 pub mod dispatch;
@@ -39,9 +44,10 @@ pub mod http;
 pub mod lru;
 pub mod master;
 pub mod metrics;
+pub mod netstore;
 pub mod overflow;
 pub mod queue;
 
 pub use cache::{FlushPolicy, SlateCache};
-pub use engine::{Engine, EngineConfig, EngineKind, EngineStats};
+pub use engine::{Engine, EngineConfig, EngineKind, EngineStats, TransportKind};
 pub use overflow::OverflowPolicy;

@@ -38,7 +38,13 @@ impl<K: Eq + Hash + Clone, V> Default for LruMap<K, V> {
 impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// An empty map.
     pub fn new() -> Self {
-        LruMap { map: HashMap::default(), nodes: Vec::new(), free: Vec::new(), head: NIL, tail: NIL }
+        LruMap {
+            map: HashMap::default(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
     }
 
     /// Number of entries.

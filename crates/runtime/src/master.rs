@@ -57,6 +57,14 @@ impl Master {
         true
     }
 
+    /// Record a failure learned from a master *broadcast* (as opposed to a
+    /// locally observed one): updates the failed set without logging a
+    /// report or counting a broadcast, so receiving nodes never re-fan the
+    /// news out. Returns `true` if the machine was newly marked.
+    pub fn mark_failed(&self, machine: usize) -> bool {
+        self.failed.write().insert(machine)
+    }
+
     /// Whether a machine is known-failed ("each worker keeps track of all
     /// failed machines" — centralized here; the shared read lock is the
     /// broadcast).

@@ -54,12 +54,7 @@ impl Histogram {
 
     /// Mean in microseconds (0 when empty).
     pub fn mean_us(&self) -> u64 {
-        let n = self.count();
-        if n == 0 {
-            0
-        } else {
-            self.sum_us.load(Ordering::Relaxed) / n
-        }
+        self.sum_us.load(Ordering::Relaxed).checked_div(self.count()).unwrap_or(0)
     }
 
     /// Maximum recorded value.

@@ -1,0 +1,89 @@
+//! A [`SlateBackend`] that reaches a store service on another node through
+//! the muppet wire (§4.2 over TCP).
+//!
+//! The paper's deployment points every machine at one shared "Cassandra
+//! cluster". In a `muppetd` cluster, one node hosts the store
+//! ([`crate::engine::EngineConfig::store_host`]); every other node's slate
+//! cache flushes and misses go through `StorePut`/`StoreGet` frames on the
+//! same [`Transport`] the events use. Write failures are absorbed (the
+//! dirty slate stays dirty; a later flush retries) and read failures
+//! surface as cache misses — the availability-first posture of the
+//! in-process store adapter.
+
+use std::sync::Arc;
+
+use muppet_core::event::Key;
+use muppet_net::transport::{MachineId, Transport};
+
+use crate::cache::SlateBackend;
+
+/// Store reads/writes forwarded to `host` over the transport.
+pub struct RemoteBackend {
+    transport: Arc<dyn Transport>,
+    host: MachineId,
+}
+
+impl RemoteBackend {
+    /// A backend that forwards to the store service on `host`.
+    pub fn new(transport: Arc<dyn Transport>, host: MachineId) -> RemoteBackend {
+        RemoteBackend { transport, host }
+    }
+}
+
+impl SlateBackend for RemoteBackend {
+    fn load(&self, updater: &str, key: &Key, now_us: u64) -> Option<Vec<u8>> {
+        self.transport.store_get(self.host, updater, key.as_bytes(), now_us).ok().flatten()
+    }
+
+    fn store(&self, updater: &str, key: &Key, bytes: &[u8], ttl_secs: Option<u64>, now_us: u64) {
+        let _ =
+            self.transport.store_put(self.host, updater, key.as_bytes(), bytes, ttl_secs, now_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_net::transport::{ClusterHandler, InProcessTransport, NetError};
+    use muppet_net::WireEvent;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+    use std::sync::Weak;
+
+    type Cell = (String, Vec<u8>);
+
+    #[derive(Default)]
+    struct MapStore(Mutex<HashMap<Cell, Vec<u8>>>);
+
+    impl ClusterHandler for MapStore {
+        fn deliver_event(&self, dest: usize, _ev: WireEvent) -> Result<(), NetError> {
+            Err(NetError::NoRoute(dest))
+        }
+        fn handle_failure_report(&self, _f: usize) {}
+        fn handle_failure_broadcast(&self, _f: usize) {}
+        fn read_local_slate(&self, _d: usize, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
+            None
+        }
+        fn backend_store(&self, u: &str, k: &[u8], v: &[u8], _ttl: Option<u64>, _now: u64) {
+            self.0.lock().insert((u.to_string(), k.to_vec()), v.to_vec());
+        }
+        fn backend_load(&self, u: &str, k: &[u8], _now: u64) -> Option<Vec<u8>> {
+            self.0.lock().get(&(u.to_string(), k.to_vec())).cloned()
+        }
+    }
+
+    #[test]
+    fn remote_backend_roundtrips_through_transport() {
+        let transport = Arc::new(InProcessTransport::new());
+        let store = Arc::new(MapStore::default());
+        transport.register(Arc::downgrade(&store) as Weak<dyn ClusterHandler>);
+        let backend = RemoteBackend::new(transport as Arc<dyn Transport>, 0);
+
+        let key = Key::from("walmart");
+        assert_eq!(backend.load("U1", &key, 0), None);
+        backend.store("U1", &key, b"41", None, 10);
+        backend.store("U1", &key, b"42", None, 20);
+        assert_eq!(backend.load("U1", &key, 30), Some(b"42".to_vec()));
+        assert_eq!(backend.load("U2", &key, 30), None);
+    }
+}

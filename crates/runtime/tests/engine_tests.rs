@@ -47,6 +47,7 @@ fn small_config(kind: EngineKind) -> EngineConfig {
         flush: FlushPolicy::OnEvict,
         overflow: OverflowPolicy::DropAndLog,
         record_latency: true,
+        ..EngineConfig::default()
     }
 }
 
@@ -58,7 +59,9 @@ fn submit_keys(engine: &Engine, keys: &[&str]) {
 
 #[test]
 fn muppet2_counts_correctly() {
-    let engine = Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet2), None).unwrap();
+    let engine =
+        Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet2), None)
+            .unwrap();
     let keys: Vec<String> = (0..500).map(|i| format!("k{}", i % 7)).collect();
     let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
     submit_keys(&engine, &refs);
@@ -80,7 +83,9 @@ fn muppet2_counts_correctly() {
 
 #[test]
 fn muppet1_counts_correctly() {
-    let engine = Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet1), None).unwrap();
+    let engine =
+        Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet1), None)
+            .unwrap();
     let keys: Vec<String> = (0..300).map(|i| format!("k{}", i % 5)).collect();
     let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
     submit_keys(&engine, &refs);
@@ -95,7 +100,12 @@ fn muppet1_counts_correctly() {
 
 #[test]
 fn unknown_operator_registration_fails() {
-    match Engine::start(count_workflow(), OperatorSet::new(), small_config(EngineKind::Muppet2), None) {
+    match Engine::start(
+        count_workflow(),
+        OperatorSet::new(),
+        small_config(EngineKind::Muppet2),
+        None,
+    ) {
         Err(err) => assert!(matches!(err, muppet_core::Error::UnknownOperator(_))),
         Ok(_) => panic!("starting without registered operators must fail"),
     }
@@ -103,7 +113,9 @@ fn unknown_operator_registration_fails() {
 
 #[test]
 fn submit_to_internal_stream_is_rejected() {
-    let engine = Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet2), None).unwrap();
+    let engine =
+        Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet2), None)
+            .unwrap();
     let err = engine.submit(Event::new("S2", 1, Key::from("k"), "x")).unwrap_err();
     assert!(matches!(err, muppet_core::Error::ExternalStreamViolation(_)));
     engine.shutdown();
@@ -115,7 +127,8 @@ fn slates_persist_to_store_and_reload() {
     let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
     let mut cfg = small_config(EngineKind::Muppet2);
     cfg.flush = FlushPolicy::WriteThrough;
-    let engine = Engine::start(count_workflow(), count_ops(), cfg, Some(Arc::clone(&store))).unwrap();
+    let engine =
+        Engine::start(count_workflow(), count_ops(), cfg, Some(Arc::clone(&store))).unwrap();
     submit_keys(&engine, &["walmart", "walmart", "bestbuy"]);
     assert!(engine.drain(Duration::from_secs(10)));
     let final_now = engine.now_us();
@@ -130,7 +143,8 @@ fn slates_persist_to_store_and_reload() {
     // slates help resuming/restarting).
     let mut cfg = small_config(EngineKind::Muppet2);
     cfg.flush = FlushPolicy::WriteThrough;
-    let engine2 = Engine::start(count_workflow(), count_ops(), cfg, Some(Arc::clone(&store))).unwrap();
+    let engine2 =
+        Engine::start(count_workflow(), count_ops(), cfg, Some(Arc::clone(&store))).unwrap();
     submit_keys(&engine2, &["walmart"]);
     assert!(engine2.drain(Duration::from_secs(10)));
     let bytes = engine2.read_slate("U1", &Key::from("walmart")).unwrap();
@@ -144,7 +158,8 @@ fn graceful_shutdown_flushes_interval_policy_dirty_slates() {
     let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
     let mut cfg = small_config(EngineKind::Muppet2);
     cfg.flush = FlushPolicy::IntervalMs(60_000); // flusher won't fire during the test
-    let engine = Engine::start(count_workflow(), count_ops(), cfg, Some(Arc::clone(&store))).unwrap();
+    let engine =
+        Engine::start(count_workflow(), count_ops(), cfg, Some(Arc::clone(&store))).unwrap();
     submit_keys(&engine, &["k", "k", "k"]);
     assert!(engine.drain(Duration::from_secs(10)));
     let now = engine.now_us();
@@ -263,11 +278,7 @@ fn overflow_stream_provides_degraded_service() {
     // path, the degraded path, or was dropped when the overflow stream
     // itself overflowed (the policy's one-redirect bound) — never lost
     // silently.
-    assert_eq!(
-        expensive + cheap + stats.dropped_overflow,
-        1500,
-        "full accounting: {stats:?}"
-    );
+    assert_eq!(expensive + cheap + stats.dropped_overflow, 1500, "full accounting: {stats:?}");
 }
 
 #[test]
@@ -322,8 +333,10 @@ fn cyclic_workflow_countdown_terminates() {
     let engine = Engine::start(wf, ops, small_config(EngineKind::Muppet2), None).unwrap();
     engine.submit(Event::new("S1", 1, Key::from("k"), "9")).unwrap();
     assert!(engine.drain(Duration::from_secs(10)));
-    let count: u64 =
-        String::from_utf8(engine.read_slate("U", &Key::from("k")).unwrap()).unwrap().parse().unwrap();
+    let count: u64 = String::from_utf8(engine.read_slate("U", &Key::from("k")).unwrap())
+        .unwrap()
+        .parse()
+        .unwrap();
     assert_eq!(count, 10, "9,8,...,0 → ten updates");
     engine.shutdown();
 }
@@ -436,7 +449,8 @@ fn muppet1_single_owner_per_key() {
 #[test]
 fn http_server_serves_live_slates_and_status() {
     let engine = Arc::new(
-        Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet2), None).unwrap(),
+        Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet2), None)
+            .unwrap(),
     );
     submit_keys(&engine, &["walmart", "walmart", "sam's club"]);
     assert!(engine.drain(Duration::from_secs(10)));
@@ -461,7 +475,9 @@ fn http_server_serves_live_slates_and_status() {
 
 #[test]
 fn latency_is_recorded_per_updater_delivery() {
-    let engine = Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet2), None).unwrap();
+    let engine =
+        Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet2), None)
+            .unwrap();
     submit_keys(&engine, &["a", "b", "c"]);
     assert!(engine.drain(Duration::from_secs(10)));
     let stats = engine.shutdown();
@@ -472,7 +488,8 @@ fn latency_is_recorded_per_updater_delivery() {
 #[test]
 fn concurrent_submitters_are_safe() {
     let engine = Arc::new(
-        Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet2), None).unwrap(),
+        Engine::start(count_workflow(), count_ops(), small_config(EngineKind::Muppet2), None)
+            .unwrap(),
     );
     let total = Arc::new(AtomicU64::new(0));
     let handles: Vec<_> = (0..4)
@@ -481,7 +498,14 @@ fn concurrent_submitters_are_safe() {
             let total = Arc::clone(&total);
             std::thread::spawn(move || {
                 for i in 0..250u64 {
-                    engine.submit(Event::new("S1", i, Key::from(format!("k{}", (t * 250 + i) % 10)), "x")).unwrap();
+                    engine
+                        .submit(Event::new(
+                            "S1",
+                            i,
+                            Key::from(format!("k{}", (t * 250 + i) % 10)),
+                            "x",
+                        ))
+                        .unwrap();
                     total.fetch_add(1, Ordering::Relaxed);
                 }
             })

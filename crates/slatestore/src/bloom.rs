@@ -68,17 +68,17 @@ impl BloomFilter {
     /// Parse a serialized filter.
     pub fn from_bytes(data: &[u8]) -> StoreResult<Self> {
         let k = get_u64(data, 0).ok_or_else(|| StoreError::Corrupt("bloom: truncated k".into()))?;
-        let n = get_u64(data, 8).ok_or_else(|| StoreError::Corrupt("bloom: truncated len".into()))?;
-        let n = usize::try_from(n).map_err(|_| StoreError::Corrupt("bloom: len overflow".into()))?;
+        let n =
+            get_u64(data, 8).ok_or_else(|| StoreError::Corrupt("bloom: truncated len".into()))?;
+        let n =
+            usize::try_from(n).map_err(|_| StoreError::Corrupt("bloom: len overflow".into()))?;
         if data.len() != 16 + n * 8 {
             return Err(StoreError::Corrupt("bloom: length mismatch".into()));
         }
         if !(1..=64).contains(&k) {
             return Err(StoreError::Corrupt("bloom: bad k".into()));
         }
-        let bits = (0..n)
-            .map(|i| get_u64(data, 16 + i * 8).expect("bounds checked"))
-            .collect();
+        let bits = (0..n).map(|i| get_u64(data, 16 + i * 8).expect("bounds checked")).collect();
         Ok(BloomFilter { bits, k: k as u32 })
     }
 
@@ -110,9 +110,7 @@ mod tests {
         for i in 0..1000 {
             bf.insert(format!("present-{i}").as_bytes());
         }
-        let fps = (0..10_000)
-            .filter(|i| bf.may_contain(format!("absent-{i}").as_bytes()))
-            .count();
+        let fps = (0..10_000).filter(|i| bf.may_contain(format!("absent-{i}").as_bytes())).count();
         // Target 1%; accept up to 3% to avoid flakiness.
         assert!(fps < 300, "false positive count {fps} too high");
     }

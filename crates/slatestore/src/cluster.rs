@@ -43,7 +43,7 @@ impl Consistency {
     /// Acks required out of `replicas`.
     pub fn required(self, replicas: usize) -> usize {
         match self {
-            Consistency::One => 1.min(replicas.max(1)),
+            Consistency::One => 1, // any single replica (replicas is validated >= 1)
             Consistency::Quorum => replicas / 2 + 1,
             Consistency::All => replicas,
         }
@@ -114,7 +114,10 @@ pub struct StoreCluster {
 
 impl StoreCluster {
     /// Create a cluster with one data directory per node under `base_dir`.
-    pub fn open(base_dir: impl AsRef<std::path::Path>, cfg: StoreConfig) -> StoreResult<StoreCluster> {
+    pub fn open(
+        base_dir: impl AsRef<std::path::Path>,
+        cfg: StoreConfig,
+    ) -> StoreResult<StoreCluster> {
         assert!(cfg.nodes >= 1, "cluster needs at least one node");
         assert!(cfg.replication >= 1 && cfg.replication <= cfg.nodes, "1 <= replication <= nodes");
         let base = base_dir.as_ref();
@@ -142,7 +145,13 @@ impl StoreCluster {
     }
 
     /// Write `value` at the default consistency.
-    pub fn put(&self, key: &CellKey, value: &[u8], ttl_secs: Option<u64>, now: u64) -> StoreResult<()> {
+    pub fn put(
+        &self,
+        key: &CellKey,
+        value: &[u8],
+        ttl_secs: Option<u64>,
+        now: u64,
+    ) -> StoreResult<()> {
         self.put_with(key, value, ttl_secs, now, self.cfg.consistency)
     }
 
@@ -155,8 +164,11 @@ impl StoreCluster {
         now: u64,
         consistency: Consistency,
     ) -> StoreResult<()> {
-        let stored: Bytes =
-            if self.cfg.compress_values { compress(value).into() } else { Bytes::copy_from_slice(value) };
+        let stored: Bytes = if self.cfg.compress_values {
+            compress(value).into()
+        } else {
+            Bytes::copy_from_slice(value)
+        };
         let replicas = self.replica_set(key);
         let required = consistency.required(replicas.len());
         let mut acked = 0usize;
@@ -207,7 +219,12 @@ impl StoreCluster {
     /// Read with an explicit consistency level. Queries replicas until the
     /// required count respond, resolves by newest value, and repairs any
     /// stale replica it contacted.
-    pub fn get_with(&self, key: &CellKey, now: u64, consistency: Consistency) -> StoreResult<Option<Bytes>> {
+    pub fn get_with(
+        &self,
+        key: &CellKey,
+        now: u64,
+        consistency: Consistency,
+    ) -> StoreResult<Option<Bytes>> {
         let replicas = self.replica_set(key);
         let required = consistency.required(replicas.len());
         // Collect (node, value, write_ts) from live replicas.
@@ -225,7 +242,7 @@ impl StoreCluster {
             // the node's get already resolves newest-internal; cross-replica
             // resolution needs the ts, so we read it via get_with_ts below.
             let got = store.get_with_ts(key, now)?;
-            responses.push((id, got.map(|(v, ts)| (v, ts))));
+            responses.push((id, got));
             if responses.len() >= required {
                 break;
             }
@@ -234,11 +251,8 @@ impl StoreCluster {
             return Err(StoreError::QuorumFailed { required, acked: responses.len() });
         }
         // Newest wins.
-        let newest = responses
-            .iter()
-            .filter_map(|(_, v)| v.as_ref())
-            .max_by_key(|(_, ts)| *ts)
-            .cloned();
+        let newest =
+            responses.iter().filter_map(|(_, v)| v.as_ref()).max_by_key(|(_, ts)| *ts).cloned();
         let mut stats = self.stats.lock();
         stats.reads_ok += 1;
         drop(stats);
@@ -342,11 +356,8 @@ impl StoreCluster {
         }
         let mut out = Vec::with_capacity(newest.len());
         for (row, (_, stored)) in newest {
-            let value = if self.cfg.compress_values {
-                Bytes::from(decompress(&stored)?)
-            } else {
-                stored
-            };
+            let value =
+                if self.cfg.compress_values { Bytes::from(decompress(&stored)?) } else { stored };
             out.push((row, value));
         }
         Ok(out)
@@ -397,7 +408,7 @@ mod tests {
     }
 
     fn key(row: &str) -> CellKey {
-        CellKey::new(row.as_bytes().to_vec(), "U1")
+        CellKey::new(row.as_bytes(), "U1")
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub fn pick_tier(sizes: &[u64], policy: &CompactionPolicy) -> Option<Vec<usize>>
     let mut bucket: Vec<usize> = Vec::new();
     for &i in &by_size {
         match bucket.last() {
-            Some(&prev) if (sizes[i] as f64) <= (sizes[prev].max(1) as f64) * policy.bucket_ratio => {
+            Some(&prev)
+                if (sizes[i] as f64) <= (sizes[prev].max(1) as f64) * policy.bucket_ratio =>
+            {
                 bucket.push(i);
             }
             _ => {
@@ -123,7 +125,13 @@ pub fn merge_tables(
     Ok(out)
 }
 
-fn push_merged(out: &mut Vec<(CellKey, Cell)>, key: CellKey, cell: Cell, now: u64, drop_tombstones: bool) {
+fn push_merged(
+    out: &mut Vec<(CellKey, Cell)>,
+    key: CellKey,
+    cell: Cell,
+    now: u64,
+    drop_tombstones: bool,
+) {
     if cell.expired(now) {
         return; // TTL GC (§4.2)
     }
@@ -150,7 +158,7 @@ mod tests {
         sorted.sort_by(|a, b| a.0.cmp(b.0));
         let mut w = SSTableWriter::create(dir.file(name), device(), sorted.len()).unwrap();
         for (row, cell) in &sorted {
-            w.add(&CellKey::new(row.as_bytes().to_vec(), "U"), cell).unwrap();
+            w.add(&CellKey::new(row.as_bytes(), "U"), cell).unwrap();
         }
         w.finish().unwrap()
     }
@@ -176,7 +184,11 @@ mod tests {
     fn newest_write_wins_across_tables() {
         let dir = TempDir::new("compact").unwrap();
         let newer = table(&dir, "new.sst", &[("k", Cell::live("v2", 20, None))]);
-        let older = table(&dir, "old.sst", &[("k", Cell::live("v1", 10, None)), ("only-old", Cell::live("x", 5, None))]);
+        let older = table(
+            &dir,
+            "old.sst",
+            &[("k", Cell::live("v1", 10, None)), ("only-old", Cell::live("x", 5, None))],
+        );
         let merged = merge_tables(&[&newer, &older], 1_000_000, true).unwrap();
         assert_eq!(merged.len(), 2);
         let k = merged.iter().find(|(key, _)| key.row.as_ref() == b"k").unwrap();
@@ -228,8 +240,16 @@ mod tests {
     #[test]
     fn merged_output_is_sorted_and_unique() {
         let dir = TempDir::new("compact").unwrap();
-        let a = table(&dir, "a.sst", &[("a", Cell::live("1", 1, None)), ("c", Cell::live("3", 1, None))]);
-        let b = table(&dir, "b.sst", &[("b", Cell::live("2", 2, None)), ("c", Cell::live("newer", 9, None))]);
+        let a = table(
+            &dir,
+            "a.sst",
+            &[("a", Cell::live("1", 1, None)), ("c", Cell::live("3", 1, None))],
+        );
+        let b = table(
+            &dir,
+            "b.sst",
+            &[("b", Cell::live("2", 2, None)), ("c", Cell::live("newer", 9, None))],
+        );
         let merged = merge_tables(&[&a, &b], 0, true).unwrap();
         let rows: Vec<&[u8]> = merged.iter().map(|(k, _)| k.row.as_ref()).collect();
         assert_eq!(rows, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref()]);

@@ -160,8 +160,8 @@ pub fn decompress(data: &[u8]) -> StoreResult<Vec<u8>> {
     let mode = data[2];
     let (expect_len, n) =
         get_varint(&data[3..]).ok_or_else(|| StoreError::Compression("bad length".into()))?;
-    let expect_len =
-        usize::try_from(expect_len).map_err(|_| StoreError::Compression("length overflow".into()))?;
+    let expect_len = usize::try_from(expect_len)
+        .map_err(|_| StoreError::Compression("length overflow".into()))?;
     let mut rest = &data[3 + n..];
 
     match mode {
@@ -190,7 +190,9 @@ pub fn decompress(data: &[u8]) -> StoreResult<Vec<u8>> {
                         let len = rest[2] as usize + MIN_MATCH;
                         rest = &rest[3..];
                         if off > out.len() {
-                            return Err(StoreError::Compression("match offset out of range".into()));
+                            return Err(StoreError::Compression(
+                                "match offset out of range".into(),
+                            ));
                         }
                         let start = out.len() - off;
                         for i in 0..len {

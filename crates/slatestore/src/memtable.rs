@@ -84,7 +84,7 @@ mod tests {
     use super::*;
 
     fn k(row: &str) -> CellKey {
-        CellKey::new(row.as_bytes().to_vec(), "U1")
+        CellKey::new(row.as_bytes(), "U1")
     }
 
     #[test]

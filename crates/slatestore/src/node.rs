@@ -127,7 +127,8 @@ impl StoreNode {
                 if let Ok(id) = id.parse() {
                     table_ids.push(id);
                 }
-            } else if let Some(gen) = name.strip_prefix("wal-").and_then(|s| s.strip_suffix(".log")) {
+            } else if let Some(gen) = name.strip_prefix("wal-").and_then(|s| s.strip_suffix(".log"))
+            {
                 if let Ok(gen) = gen.parse() {
                     wal_gens.push(gen);
                 }
@@ -152,11 +153,26 @@ impl StoreNode {
         let wal = WalWriter::create(cfg.dir.join(format!("wal-{wal_gen}.log")), cfg.wal_sync_each)?;
         // Old segments stay on disk until the recovered memtable flushes.
         let next_table_id = table_ids.last().map_or(0, |id| id + 1);
-        Ok(StoreNode { cfg, device, wal, wal_gen, memtable, tables, next_table_id, stats: NodeStats::default() })
+        Ok(StoreNode {
+            cfg,
+            device,
+            wal,
+            wal_gen,
+            memtable,
+            tables,
+            next_table_id,
+            stats: NodeStats::default(),
+        })
     }
 
     /// Write a value. `now` supplies the write timestamp.
-    pub fn put(&mut self, key: CellKey, value: impl Into<Bytes>, ttl_secs: Option<u64>, now: u64) -> StoreResult<()> {
+    pub fn put(
+        &mut self,
+        key: CellKey,
+        value: impl Into<Bytes>,
+        ttl_secs: Option<u64>,
+        now: u64,
+    ) -> StoreResult<()> {
         let cell = Cell::live(value, now, ttl_secs);
         self.wal.append(&key, &cell)?;
         self.memtable.put(key, cell);
@@ -239,8 +255,10 @@ impl StoreNode {
         // contents are now durable in the SSTable).
         let old_gen = self.wal_gen;
         self.wal_gen += 1;
-        self.wal =
-            WalWriter::create(self.cfg.dir.join(format!("wal-{}.log", self.wal_gen)), self.cfg.wal_sync_each)?;
+        self.wal = WalWriter::create(
+            self.cfg.dir.join(format!("wal-{}.log", self.wal_gen)),
+            self.cfg.wal_sync_each,
+        )?;
         for gen in 0..=old_gen {
             let _ = std::fs::remove_file(self.cfg.dir.join(format!("wal-{gen}.log")));
         }
@@ -304,11 +322,7 @@ impl StoreNode {
                 }
             }
         }
-        Ok(newest
-            .into_iter()
-            .filter(|(_, c)| c.visible(now))
-            .map(|(k, c)| (k, c.value))
-            .collect())
+        Ok(newest.into_iter().filter(|(_, c)| c.visible(now)).map(|(k, c)| (k, c.value)).collect())
     }
 
     /// Count cells visible at `now` (newest version per key), for the TTL
@@ -376,7 +390,7 @@ mod tests {
     }
 
     fn key(row: &str) -> CellKey {
-        CellKey::new(row.as_bytes().to_vec(), "U1")
+        CellKey::new(row.as_bytes(), "U1")
     }
 
     #[test]
@@ -475,7 +489,11 @@ mod tests {
         n.flush(2).unwrap();
         n.delete(key("gone"), 3).unwrap();
         let mut recovered = n.crash_and_recover().unwrap();
-        assert_eq!(recovered.get(&key("gone"), 10).unwrap(), None, "tombstone in WAL masks SSTable");
+        assert_eq!(
+            recovered.get(&key("gone"), 10).unwrap(),
+            None,
+            "tombstone in WAL masks SSTable"
+        );
     }
 
     #[test]
@@ -492,7 +510,10 @@ mod tests {
         assert!(n.stats().flushes > 0, "small threshold must force flushes");
         assert!(n.table_count() > 0);
         // All data still readable.
-        assert_eq!(n.get(&key("k00000"), 1000).unwrap().unwrap().as_ref(), vec![b'x'; 64].as_slice());
+        assert_eq!(
+            n.get(&key("k00000"), 1000).unwrap().unwrap().as_ref(),
+            vec![b'x'; 64].as_slice()
+        );
     }
 
     #[test]
@@ -506,7 +527,8 @@ mod tests {
         // 5 flushes of overlapping keys.
         for round in 0u64..5 {
             for i in 0..50 {
-                n.put(key(&format!("k{i:03}")), format!("r{round}-v{i}"), None, round * 100 + i).unwrap();
+                n.put(key(&format!("k{i:03}")), format!("r{round}-v{i}"), None, round * 100 + i)
+                    .unwrap();
             }
             n.flush(round * 100 + 99).unwrap();
         }

@@ -45,7 +45,7 @@ pub(crate) fn decode_cell(buf: &[u8]) -> StoreResult<((CellKey, Cell), usize)> {
         ttl_secs: if ttl_raw == 0 { None } else { Some(ttl_raw - 1) },
         tombstone: flags & FLAG_TOMBSTONE != 0,
     };
-    Ok(((CellKey::new(row.to_vec(), column.to_vec()), cell), consumed))
+    Ok(((CellKey::new(row, column), cell), consumed))
 }
 
 #[cfg(test)]
@@ -55,7 +55,12 @@ mod tests {
     #[test]
     fn roundtrip_with_all_fields() {
         let key = CellKey::new("row", "col");
-        let cell = Cell { value: Bytes::from_static(b"data"), write_ts: 99, ttl_secs: Some(5), tombstone: false };
+        let cell = Cell {
+            value: Bytes::from_static(b"data"),
+            write_ts: 99,
+            ttl_secs: Some(5),
+            tombstone: false,
+        };
         let mut buf = Vec::new();
         encode_cell(&mut buf, &key, &cell);
         let ((k2, c2), n) = decode_cell(&buf).unwrap();

@@ -21,7 +21,8 @@ pub struct ConsistentRing {
 impl ConsistentRing {
     /// Build a ring over members `0..n` with `vnodes` virtual nodes each.
     pub fn new(n: usize, vnodes: usize) -> Self {
-        let mut ring = ConsistentRing { points: Vec::new(), vnodes: vnodes.max(1), members: Vec::new() };
+        let mut ring =
+            ConsistentRing { points: Vec::new(), vnodes: vnodes.max(1), members: Vec::new() };
         for id in 0..n {
             ring.add(id);
         }

@@ -226,8 +226,7 @@ impl SSTable {
         if index_off > bloom_off || bloom_off > file_len - FOOTER_LEN as u64 {
             return Err(StoreError::Corrupt("sstable: bad section offsets".into()));
         }
-        let index_payload =
-            read_framed_at(&file, index_off, (bloom_off - index_off) as usize)?;
+        let index_payload = read_framed_at(&file, index_off, (bloom_off - index_off) as usize)?;
         let bloom_payload =
             read_framed_at(&file, bloom_off, (file_len - FOOTER_LEN as u64 - bloom_off) as usize)?;
         device.charge_read(index_payload.len() + bloom_payload.len());
@@ -241,11 +240,13 @@ impl SSTable {
             let (col, n2) =
                 get_len_prefixed(rest).ok_or_else(|| StoreError::Corrupt("index: col".into()))?;
             rest = &rest[n2..];
-            let (off, n3) = get_varint(rest).ok_or_else(|| StoreError::Corrupt("index: off".into()))?;
+            let (off, n3) =
+                get_varint(rest).ok_or_else(|| StoreError::Corrupt("index: off".into()))?;
             rest = &rest[n3..];
-            let (len, n4) = get_varint(rest).ok_or_else(|| StoreError::Corrupt("index: len".into()))?;
+            let (len, n4) =
+                get_varint(rest).ok_or_else(|| StoreError::Corrupt("index: len".into()))?;
             rest = &rest[n4..];
-            index.push((CellKey::new(row.to_vec(), col.to_vec()), off, len as u32));
+            index.push((CellKey::new(row, col), off, len as u32));
         }
         let bloom = BloomFilter::from_bytes(&bloom_payload)?;
         Ok(SSTable { path, file, device, index, bloom, entries, file_len })

@@ -17,10 +17,7 @@ impl TempDir {
     /// Create `muppet-<prefix>-<pid>-<n>` under the system temp directory.
     pub fn new(prefix: &str) -> std::io::Result<TempDir> {
         let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = std::env::temp_dir().join(format!(
-            "muppet-{prefix}-{}-{n}",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("muppet-{prefix}-{}-{n}", std::process::id()));
         std::fs::create_dir_all(&path)?;
         Ok(TempDir { path })
     }

@@ -164,7 +164,7 @@ mod tests {
     fn sample(i: u64) -> (CellKey, Cell) {
         (
             CellKey::new(format!("row-{i}"), "U1"),
-            Cell::live(format!("value-{i}"), i, if i % 2 == 0 { Some(60) } else { None }),
+            Cell::live(format!("value-{i}"), i, if i.is_multiple_of(2) { Some(60) } else { None }),
         )
     }
 

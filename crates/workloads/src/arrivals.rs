@@ -44,12 +44,8 @@ impl ArrivalProcess {
     /// Next inter-arrival gap (µs) after an event at `now_us`.
     pub fn next_gap_us(&self, now_us: u64, rng: &mut impl Rng) -> u64 {
         match self {
-            ArrivalProcess::Constant { events_per_sec } => {
-                gap_for_rate(*events_per_sec)
-            }
-            ArrivalProcess::Poisson { events_per_sec } => {
-                exponential_gap(*events_per_sec, rng)
-            }
+            ArrivalProcess::Constant { events_per_sec } => gap_for_rate(*events_per_sec),
+            ArrivalProcess::Poisson { events_per_sec } => exponential_gap(*events_per_sec, rng),
             ArrivalProcess::Bursty { events_per_sec, burst_us, period_us, burst_factor } => {
                 let in_burst = now_us % period_us < *burst_us;
                 let rate = if in_burst { events_per_sec * burst_factor } else { *events_per_sec };
@@ -133,7 +129,7 @@ mod tests {
     fn bursts_pack_more_events_into_burst_windows() {
         let p = ArrivalProcess::Bursty {
             events_per_sec: 1000.0,
-            burst_us: 100_000,   // 0.1s burst
+            burst_us: 100_000,    // 0.1s burst
             period_us: 1_000_000, // every second
             burst_factor: 20.0,
         };

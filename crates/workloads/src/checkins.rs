@@ -17,7 +17,10 @@ use crate::zipf::Zipf;
 
 /// Canonical retailers with their noisy venue-name variants.
 pub const RETAILER_VENUES: &[(&str, &[&str])] = &[
-    ("Walmart", &["Walmart Supercenter", "Wal-Mart #1234", "walmart neighborhood market", "WALMART"]),
+    (
+        "Walmart",
+        &["Walmart Supercenter", "Wal-Mart #1234", "walmart neighborhood market", "WALMART"],
+    ),
     ("Sam's Club", &["Sam's Club", "sams club gas", "SAM'S CLUB #55"]),
     ("Best Buy", &["Best Buy", "BestBuy Mobile", "best buy store 42"]),
     ("Target", &["Target", "SuperTarget", "target store"]),
@@ -38,7 +41,7 @@ pub const OTHER_VENUES: &[&str] = &[
 /// the oracle experiments compare the application's regex matching against.
 pub fn canonical_retailer(venue: &str) -> Option<&'static str> {
     for (retailer, variants) in RETAILER_VENUES {
-        if variants.iter().any(|v| *v == venue) {
+        if variants.contains(&venue) {
             return Some(retailer);
         }
     }

@@ -46,7 +46,8 @@ impl WebRequestGenerator {
     pub fn next_event(&mut self, stream: &str) -> Event {
         let (section, paths) = SECTIONS[self.section_dist.sample(&mut self.rng)];
         let path = paths[self.rng.gen_range(0..paths.len())];
-        let status = *[200u32, 200, 200, 200, 304, 404, 500].get(self.rng.gen_range(0..7)).unwrap();
+        let status =
+            *[200u32, 200, 200, 200, 304, 404, 500].get(self.rng.gen_range(0..7usize)).unwrap();
         let value = Json::obj([
             ("path", Json::str(path)),
             ("section", Json::str(section)),

@@ -93,8 +93,13 @@ mod tests {
     fn skewed_when_s_is_large() {
         let z = Zipf::new(100, 1.2);
         let counts = histogram(&z, 100_000, 7);
-        assert!(counts[0] > counts[10] && counts[10] > counts[99].saturating_sub(5),
-            "monotone-ish decay: head={} mid={} tail={}", counts[0], counts[10], counts[99]);
+        assert!(
+            counts[0] > counts[10] && counts[10] > counts[99].saturating_sub(5),
+            "monotone-ish decay: head={} mid={} tail={}",
+            counts[0],
+            counts[10],
+            counts[99]
+        );
         assert!(counts[0] as f64 / 100_000.0 > 0.15, "rank 0 dominates at s=1.2");
     }
 

@@ -39,11 +39,8 @@ fn counter() -> FnUpdater<impl Fn(&mut dyn Emitter, &Event, &mut Slate) + Send +
     })
 }
 
-const LINES: &[&str] = &[
-    "to be or not to be",
-    "that is the question",
-    "to stream or not to stream",
-];
+const LINES: &[&str] =
+    &["to be or not to be", "that is the question", "to stream or not to stream"];
 
 fn main() {
     // --- 1. The deterministic reference executor (exact semantics) ---
@@ -95,8 +92,10 @@ fn main() {
         }
     }
     let stats = engine.shutdown();
-    println!("\nengine stats: {} submitted, {} operator calls, p99 latency {}µs",
-        stats.submitted, stats.processed, stats.latency.p99_us);
+    println!(
+        "\nengine stats: {} submitted, {} operator calls, p99 latency {}µs",
+        stats.submitted, stats.processed, stats.latency.p99_us
+    );
     assert_eq!(mismatches, 0, "distributed counts must match the reference");
     println!("✓ distributed execution matches the reference semantics");
 }

@@ -46,7 +46,7 @@ fn main() {
             Some((user, v.get("score")?.as_i64()?))
         })
         .collect();
-    table.sort_by(|a, b| b.1.cmp(&a.1));
+    table.sort_by_key(|row| std::cmp::Reverse(row.1));
 
     println!("\ntop 10 users by reputation (live slate table):");
     println!("{:<12} {:>8}", "user", "score");

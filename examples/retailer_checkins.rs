@@ -24,7 +24,12 @@ fn main() {
     let store = Arc::new(
         StoreCluster::open(
             store_dir.path(),
-            StoreConfig { nodes: 3, replication: 3, consistency: Consistency::Quorum, ..Default::default() },
+            StoreConfig {
+                nodes: 3,
+                replication: 3,
+                consistency: Consistency::Quorum,
+                ..Default::default()
+            },
         )
         .expect("store opens"),
     );

@@ -1,0 +1,222 @@
+//! `muppetd` — one Muppet machine as a standalone OS process.
+//!
+//! Joins a static cluster (TOML config or `--peers` flag), runs the
+//! engine for one of the bundled applications over the TCP transport, and
+//! serves the §4.4 HTTP endpoints on its topology `http_port`:
+//!
+//! * `GET  /slate/<updater>/<key>`  — live slate read (cluster-wide: reads
+//!   for keys owned by other machines cross the wire);
+//! * `GET  /keys/<updater>`         — cached keys;
+//! * `GET  /status`                 — engine counters + failed machines;
+//! * `POST /submit/<stream>/<key>`  — ingest one event (body = value).
+//!
+//! Example 3-node loopback cluster:
+//!
+//! ```sh
+//! cargo run --release --bin muppetd -- --peers \
+//!     127.0.0.1:9100:8100,127.0.0.1:9101:8101,127.0.0.1:9102:8102 --node 0 &
+//! # ... same with --node 1 and --node 2 ...
+//! curl -X POST --data-binary '{"topics":["sports"]}' http://127.0.0.1:8100/submit/S1/k1
+//! curl http://127.0.0.1:8102/status
+//! ```
+//!
+//! The failure master (§4.3) runs on the topology's `master` node (default
+//! node 0). Kill any other node and keep submitting: the senders report
+//! the dead machine, the master broadcasts, and `/status` on every
+//! surviving node shows it under `failed_machines`.
+
+use std::sync::Arc;
+
+use muppet::apps::{hot_topics, retailer};
+use muppet::core::workflow::Workflow;
+use muppet::prelude::*;
+use muppet::runtime::engine::{OperatorSet, TransportKind};
+use muppet::slatestore::cluster::{StoreCluster, StoreConfig};
+use muppet_net::topology::Topology;
+
+struct Options {
+    topology: Topology,
+    node: usize,
+    app: String,
+    kind: EngineKind,
+    workers: usize,
+    store_host: Option<usize>,
+    data_dir: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: muppetd (--config <cluster.toml> | --peers <host:port:http,...>) --node <id>
+           [--app hot_topics|retailer] [--engine muppet1|muppet2]
+           [--workers <n>] [--store-host <id>] [--data-dir <path>] [--master <id>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Options {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut topology: Option<Topology> = None;
+    let mut node: Option<usize> = None;
+    let mut app = "hot_topics".to_string();
+    let mut kind = EngineKind::Muppet2;
+    let mut workers = 4;
+    let mut store_host = None;
+    let mut data_dir = None;
+    let mut master: Option<usize> = None;
+
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().map(String::as_str).unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--config" => {
+                let path = value();
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("muppetd: cannot read {path}: {e}");
+                    std::process::exit(2)
+                });
+                topology = Some(Topology::from_toml_str(&text).unwrap_or_else(|e| {
+                    eprintln!("muppetd: bad config {path}: {e}");
+                    std::process::exit(2)
+                }));
+            }
+            "--peers" => {
+                topology = Some(Topology::from_peer_list(value()).unwrap_or_else(|e| {
+                    eprintln!("muppetd: bad --peers: {e}");
+                    std::process::exit(2)
+                }));
+            }
+            "--node" => node = value().parse().ok(),
+            "--app" => app = value().to_string(),
+            "--engine" => {
+                kind = match value() {
+                    "muppet1" | "1" => EngineKind::Muppet1,
+                    "muppet2" | "2" => EngineKind::Muppet2,
+                    other => {
+                        eprintln!("muppetd: unknown engine {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--workers" => workers = value().parse().unwrap_or(4),
+            "--store-host" => store_host = value().parse().ok(),
+            "--data-dir" => data_dir = Some(value().to_string()),
+            "--master" => master = value().parse().ok(),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("muppetd: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    let mut topology = topology.unwrap_or_else(|| usage());
+    if let Some(m) = master {
+        topology.master = m;
+    }
+    let node = node.unwrap_or_else(|| usage());
+    if node >= topology.len() {
+        eprintln!("muppetd: --node {node} not in topology of {} nodes", topology.len());
+        std::process::exit(2);
+    }
+    Options { topology, node, app, kind, workers, store_host, data_dir }
+}
+
+fn app_workflow_and_ops(app: &str) -> (Workflow, OperatorSet) {
+    match app {
+        "hot_topics" => (
+            hot_topics::workflow(),
+            OperatorSet::new()
+                .mapper(hot_topics::TopicMapper::new())
+                .updater(hot_topics::MinuteCounter::new())
+                .updater(hot_topics::HotDetector::new(3.0)),
+        ),
+        "retailer" => (
+            retailer::workflow(),
+            OperatorSet::new()
+                .mapper(retailer::RetailerMapper::new())
+                .updater(retailer::Counter::new()),
+        ),
+        other => {
+            eprintln!("muppetd: unknown app {other:?} (have: hot_topics, retailer)");
+            std::process::exit(2)
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let (workflow, ops) = app_workflow_and_ops(&opts.app);
+
+    // The store service: the hosting node opens a real cluster on disk;
+    // other nodes reach it through the transport's store frames.
+    let store: Option<Arc<StoreCluster>> = match opts.store_host {
+        Some(host) if host == opts.node => {
+            let dir = opts.data_dir.clone().unwrap_or_else(|| {
+                format!("{}/muppetd-node{}", std::env::temp_dir().display(), opts.node)
+            });
+            match StoreCluster::open(&dir, StoreConfig::default()) {
+                Ok(cluster) => Some(Arc::new(cluster)),
+                Err(e) => {
+                    eprintln!("muppetd: cannot open store at {dir}: {e:?}");
+                    std::process::exit(1)
+                }
+            }
+        }
+        _ => None,
+    };
+
+    let http_port = opts.topology.nodes[opts.node].http_port;
+    let cfg = EngineConfig {
+        kind: opts.kind,
+        machines: opts.topology.len(),
+        workers_per_machine: opts.workers,
+        workers_per_op: opts.workers,
+        transport: TransportKind::Tcp { topology: opts.topology.clone(), local: opts.node },
+        store_host: opts.store_host,
+        ..EngineConfig::default()
+    };
+    let engine = match Engine::start(workflow, ops, cfg, store) {
+        Ok(engine) => Arc::new(engine),
+        Err(e) => {
+            eprintln!("muppetd: engine failed to start: {e}");
+            std::process::exit(1)
+        }
+    };
+
+    let http = if http_port != 0 {
+        let addr = format!("{}:{}", opts.topology.nodes[opts.node].host, http_port);
+        match HttpSlateServer::serve_on(
+            Arc::clone(&engine) as Arc<dyn muppet::runtime::http::SlateReader>,
+            &addr,
+        ) {
+            Ok(server) => Some(server),
+            Err(e) => {
+                eprintln!("muppetd: cannot bind http on {addr}: {e}");
+                std::process::exit(1)
+            }
+        }
+    } else {
+        None
+    };
+
+    let node_spec = &opts.topology.nodes[opts.node];
+    println!(
+        "muppetd: node {}/{} ({}) listening on {}:{}{} app={} engine={:?} master={}",
+        opts.node,
+        opts.topology.len(),
+        if opts.topology.master == opts.node { "master" } else { "worker" },
+        node_spec.host,
+        node_spec.port,
+        http.as_ref().map(|h| format!(" http={}", h.port())).unwrap_or_default(),
+        opts.app,
+        opts.kind,
+        opts.topology.master,
+    );
+    // Flush the ready line so supervisors (and the e2e test) can wait on it.
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    // Serve until killed.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

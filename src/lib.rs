@@ -16,6 +16,10 @@
 //!
 //! * [`core`](muppet_core) — the programming model, workflow graphs, and a
 //!   deterministic reference executor.
+//! * [`net`](muppet_net) — the cluster wire: `Transport` trait with
+//!   in-process and TCP implementations, binary framing, topology config,
+//!   and the §4.3 failure frames (run a real cluster with the `muppetd`
+//!   binary).
 //! * [`slatestore`](muppet_slatestore) — the Cassandra-like LSM store that
 //!   persists slates (memtable/WAL/SSTables/compaction/TTL/quorum).
 //! * [`runtime`](muppet_runtime) — the Muppet 1.0 and 2.0 engines: hashed
@@ -56,6 +60,7 @@
 
 pub use muppet_apps as apps;
 pub use muppet_core as core;
+pub use muppet_net as net;
 pub use muppet_runtime as runtime;
 pub use muppet_slatestore as slatestore;
 pub use muppet_workloads as workloads;
@@ -71,9 +76,10 @@ pub mod prelude {
         slate::Slate,
         workflow::{Workflow, WorkflowBuilder},
     };
+    pub use muppet_net::topology::{NodeSpec, Topology};
     pub use muppet_runtime::{
         cache::FlushPolicy,
-        engine::{Engine, EngineConfig, EngineKind, EngineStats, OperatorSet},
+        engine::{Engine, EngineConfig, EngineKind, EngineStats, OperatorSet, TransportKind},
         http::HttpSlateServer,
         overflow::OverflowPolicy,
     };

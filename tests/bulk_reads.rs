@@ -92,7 +92,8 @@ fn http_keys_endpoint_enumerates_slates_for_fetching() {
     let server = HttpSlateServer::serve(Arc::clone(&engine) as _).unwrap();
 
     // 1. Enumerate keys without prior knowledge.
-    let (code, body) = http_get(&format!("{}/keys/{}", server.base_url(), retailer::COUNTER)).unwrap();
+    let (code, body) =
+        http_get(&format!("{}/keys/{}", server.base_url(), retailer::COUNTER)).unwrap();
     assert_eq!(code, 200);
     let keys: Vec<Vec<u8>> = String::from_utf8(body)
         .unwrap()

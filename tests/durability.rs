@@ -72,7 +72,12 @@ fn write_through_slates_survive_store_node_failure() {
     let store = Arc::new(
         StoreCluster::open(
             dir.path(),
-            StoreConfig { nodes: 3, replication: 3, consistency: Consistency::Quorum, ..Default::default() },
+            StoreConfig {
+                nodes: 3,
+                replication: 3,
+                consistency: Consistency::Quorum,
+                ..Default::default()
+            },
         )
         .unwrap(),
     );
@@ -107,8 +112,7 @@ fn write_through_slates_survive_store_node_failure() {
 #[test]
 fn ttl_expires_idle_slates_in_the_store() {
     let dir = TempDir::new("ttl").unwrap();
-    let store =
-        Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
+    let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
     let key = CellKey::new("idle-user", "U-profile");
     store.put(&key, b"profile-data", Some(10), 1_000_000).unwrap();
     assert!(store.get(&key, 5_000_000).unwrap().is_some(), "within TTL");
@@ -174,7 +178,8 @@ fn killed_machine_loses_only_unflushed_increments() {
     let mut total_true = 0u64;
     for (retailer_name, expect) in &expected {
         total_true += expect;
-        if let Ok(Some(bytes)) = store.get(&CellKey::new(retailer_name.as_bytes(), retailer::COUNTER), now + 1)
+        if let Ok(Some(bytes)) =
+            store.get(&CellKey::new(retailer_name.as_bytes(), retailer::COUNTER), now + 1)
         {
             let got: u64 = String::from_utf8(bytes.to_vec()).unwrap().parse().unwrap();
             assert!(got <= *expect, "{retailer_name}: stored {got} > true {expect}");

@@ -99,8 +99,13 @@ fn http_slate_reads_from_a_config_driven_cluster() {
     let app = AppConfig::from_json_str(CONFIG).unwrap();
     let wf = app.build_workflow().unwrap();
     let engine = Arc::new(
-        Engine::start(wf, operators(), EngineConfig::from_app_config(&app, EngineKind::Muppet2), None)
-            .unwrap(),
+        Engine::start(
+            wf,
+            operators(),
+            EngineConfig::from_app_config(&app, EngineKind::Muppet2),
+            None,
+        )
+        .unwrap(),
     );
     engine.submit(Event::new("events", 1, Key::from("s"), "Hot Topic")).unwrap();
     assert!(engine.drain(Duration::from_secs(10)));

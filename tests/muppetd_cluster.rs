@@ -1,0 +1,152 @@
+//! End-to-end: a 3-node loopback cluster of real `muppetd` OS processes
+//! running the hot_topics app. Events ingested over HTTP on node A produce
+//! slates readable over HTTP from node C; killing node B (SIGKILL)
+//! triggers the §4.3 path — surviving nodes report, the master broadcasts,
+//! and `/status` shows the failed machine everywhere.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+struct Cluster {
+    children: Vec<Option<Child>>,
+    http_ports: Vec<u16>,
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for child in self.children.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn http(method: &str, port: u16, path: &str, body: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(&mut reader, &mut body)?;
+    Ok((code, body))
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    true
+}
+
+fn start_cluster() -> Cluster {
+    let topology = muppet::net::Topology::loopback_ephemeral(3, true).unwrap();
+    let http_ports: Vec<u16> = topology.nodes.iter().map(|n| n.http_port).collect();
+    let peers = topology
+        .nodes
+        .iter()
+        .map(|n| format!("{}:{}:{}", n.host, n.port, n.http_port))
+        .collect::<Vec<_>>()
+        .join(",");
+    let children = (0..3)
+        .map(|node| {
+            Some(
+                Command::new(env!("CARGO_BIN_EXE_muppetd"))
+                    .args(["--peers", &peers, "--node", &node.to_string(), "--app", "hot_topics"])
+                    .stdout(Stdio::null())
+                    .stderr(Stdio::null())
+                    .spawn()
+                    .expect("spawn muppetd"),
+            )
+        })
+        .collect();
+    let cluster = Cluster { children, http_ports };
+    for &port in &cluster.http_ports {
+        assert!(
+            wait_until(Duration::from_secs(20), || matches!(
+                http("GET", port, "/status", b""),
+                Ok((200, _))
+            )),
+            "node on http port {port} never became ready"
+        );
+    }
+    cluster
+}
+
+#[test]
+fn three_muppetd_processes_run_hot_topics_and_survive_a_kill() {
+    let mut cluster = start_cluster();
+    let [a, _b, c] = [cluster.http_ports[0], cluster.http_ports[1], cluster.http_ports[2]];
+
+    // Ingest tweets on node A.
+    let tweet = br#"{"topics":["sports"]}"#;
+    for i in 0..60 {
+        let (code, body) = http("POST", a, &format!("/submit/S1/tweet-{i}"), tweet).unwrap();
+        assert_eq!(code, 200, "{}", String::from_utf8_lossy(&body));
+    }
+
+    // The per-⟨topic, minute⟩ slate becomes readable over HTTP from node C
+    // (whichever machine owns it serves the read across the wire).
+    assert!(
+        wait_until(Duration::from_secs(20), || matches!(
+            http("GET", c, "/slate/minute-counter/sports%200", b""),
+            Ok((200, body)) if String::from_utf8_lossy(&body).contains("\"count\":60")
+        )),
+        "node C never served the cluster-wide slate read"
+    );
+
+    // Kill node B abruptly.
+    let mut b_child = cluster.children[1].take().unwrap();
+    b_child.kill().unwrap();
+    b_child.wait().unwrap();
+
+    // Keep ingesting on A until the §4.3 protocol has run: some sender
+    // trips on B's corpse, reports to the master (node 0), and the
+    // broadcast lands `1` in every survivor's failed set.
+    let mut i = 60;
+    let detected = wait_until(Duration::from_secs(30), || {
+        for _ in 0..10 {
+            let _ = http("POST", a, &format!("/submit/S1/tweet-{i}"), tweet);
+            i += 1;
+        }
+        let failed_on = |port| match http("GET", port, "/status", b"") {
+            Ok((200, body)) => String::from_utf8_lossy(&body).contains("\"failed_machines\":[1]"),
+            _ => false,
+        };
+        failed_on(a) && failed_on(c)
+    });
+    assert!(detected, "failed_machines:[1] never appeared on both survivors");
+
+    // The survivors still serve reads and accept events.
+    let (code, _) = http("GET", c, "/keys/minute-counter", b"").unwrap();
+    assert_eq!(code, 200);
+    let (code, _) = http("POST", c, "/submit/S1/late-tweet", tweet).unwrap();
+    assert_eq!(code, 200);
+}

@@ -1,0 +1,207 @@
+//! §4.3 over a real wire: three engines in this process, each owning one
+//! machine of a TCP loopback cluster. Killing one node's process
+//! (listener + queues) must drive the full failure protocol from *actual
+//! connection errors*: the sender reports to the master, the broadcast
+//! removes the machine from every survivor's ring, and the in-flight
+//! events are lost-and-logged — never retried.
+
+use std::time::{Duration, Instant};
+
+use muppet::prelude::*;
+
+/// A plain per-key counter updater (no JSON): full control over inputs.
+struct CountUpdater;
+
+impl Updater for CountUpdater {
+    fn name(&self) -> &str {
+        "counter"
+    }
+    fn update(&self, _ctx: &mut dyn Emitter, _event: &Event, slate: &mut Slate) {
+        let n = slate.as_str().and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
+        slate.replace((n + 1).to_string().into_bytes());
+    }
+}
+
+fn count_workflow() -> Workflow {
+    let mut b = Workflow::builder("net-count");
+    b.external_stream("S1");
+    b.updater("counter", &["S1"]);
+    b.build().unwrap()
+}
+
+fn loopback_topology(n: usize) -> Topology {
+    Topology::loopback_ephemeral(n, false).unwrap()
+}
+
+fn start_node(topology: &Topology, local: usize) -> Engine {
+    let cfg = EngineConfig {
+        machines: topology.len(),
+        workers_per_machine: 2,
+        transport: TransportKind::Tcp { topology: topology.clone(), local },
+        ..EngineConfig::default()
+    };
+    Engine::start(count_workflow(), OperatorSet::new().updater(CountUpdater), cfg, None).unwrap()
+}
+
+fn total_processed(nodes: &[&Engine]) -> u64 {
+    nodes.iter().map(|n| n.stats().processed).sum()
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    true
+}
+
+#[test]
+fn events_route_across_the_wire_and_slates_read_from_any_node() {
+    let topology = loopback_topology(3);
+    let a = start_node(&topology, 0);
+    let b = start_node(&topology, 1);
+    let c = start_node(&topology, 2);
+
+    const KEYS: usize = 40;
+    const PER_KEY: usize = 25;
+    for round in 0..PER_KEY {
+        for k in 0..KEYS {
+            a.submit(Event::new(
+                "S1",
+                (round * KEYS + k) as u64,
+                Key::from(format!("key-{k}")),
+                "e",
+            ))
+            .unwrap();
+        }
+    }
+    assert!(
+        wait_until(Duration::from_secs(20), || total_processed(&[&a, &b, &c])
+            == (KEYS * PER_KEY) as u64),
+        "cluster did not process all {} events (got {})",
+        KEYS * PER_KEY,
+        total_processed(&[&a, &b, &c])
+    );
+    // Work actually crossed the wire: node A cannot own every key's arc.
+    assert!(b.stats().processed + c.stats().processed > 0, "no events left node A");
+
+    // Every key's slate is readable from every node (remote reads for keys
+    // owned elsewhere), and all counts are exact.
+    for node in [&a, &b, &c] {
+        for k in 0..KEYS {
+            let bytes = node
+                .read_slate("counter", &Key::from(format!("key-{k}")))
+                .unwrap_or_else(|| panic!("key-{k} unreadable"));
+            assert_eq!(String::from_utf8(bytes).unwrap(), PER_KEY.to_string(), "key-{k}");
+        }
+    }
+
+    a.shutdown();
+    b.shutdown();
+    c.shutdown();
+}
+
+#[test]
+fn killing_a_peer_triggers_report_broadcast_ring_drop_and_loss_logging() {
+    let topology = loopback_topology(3);
+    let a = start_node(&topology, 0); // master
+    let b = start_node(&topology, 1);
+    let c = start_node(&topology, 2);
+
+    // Warm traffic so every node owns some keys and pools are live.
+    for i in 0..120u64 {
+        a.submit(Event::new("S1", i, Key::from(format!("warm-{i}")), "e")).unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(20), || total_processed(&[&a, &b, &c]) == 120));
+
+    // Kill node B: its listener closes and its queues die — exactly what a
+    // crashed muppetd looks like to its peers.
+    let b_stats = b.shutdown();
+    assert_eq!(b_stats.lost_in_queues, 0, "B drained before the kill");
+
+    // Keep submitting from A. Sends that hash to B hit dead sockets; §4.3
+    // requires: report to master → broadcast → every ring drops B → the
+    // undeliverable events are lost (and logged), not retried.
+    let mut submitted_after_kill = 0u64;
+    let detected = wait_until(Duration::from_secs(30), || {
+        for i in 0..10u64 {
+            let n = 1000 + submitted_after_kill * 10 + i;
+            a.submit(Event::new("S1", n, Key::from(format!("post-{n}")), "e")).unwrap();
+        }
+        submitted_after_kill += 1;
+        a.failure_detected(1) && c.failure_detected(1)
+    });
+    assert!(detected, "failure never detected/broadcast after {submitted_after_kill}0 sends");
+
+    // The master (A) received the report.
+    assert!(a.failure_detected(1), "master must know about B");
+    // The broadcast dropped B from every survivor's ring.
+    assert!(
+        wait_until(Duration::from_secs(5), || !a.ring_contains(1) && !c.ring_contains(1)),
+        "rings must drop B after the broadcast"
+    );
+    // The in-flight events were lost and logged on whichever sender hit
+    // the dead connection.
+    let lost: u64 = a.stats().lost_machine_failure + c.stats().lost_machine_failure;
+    assert!(lost >= 1, "at least one event must be lost to the dead machine");
+    let drops: Vec<String> = a.recent_drops().into_iter().chain(c.recent_drops()).collect();
+    assert!(
+        drops.iter().any(|d| d.contains("lost to failed machine 1")),
+        "loss must be logged, got {drops:?}"
+    );
+
+    // The survivors keep accepting and processing new traffic, with B's
+    // arcs reassigned.
+    let before = total_processed(&[&a, &c]);
+    for i in 0..90u64 {
+        a.submit(Event::new("S1", 100_000 + i, Key::from(format!("tail-{i}")), "e")).unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(20), || total_processed(&[&a, &c]) >= before + 90),
+        "survivors must process post-failure traffic"
+    );
+
+    a.shutdown();
+    c.shutdown();
+}
+
+#[test]
+fn muppet1_engine_works_over_tcp() {
+    let topology = loopback_topology(2);
+    let mk = |local| {
+        let cfg = EngineConfig {
+            kind: EngineKind::Muppet1,
+            machines: 2,
+            workers_per_op: 2,
+            transport: TransportKind::Tcp { topology: topology.clone(), local },
+            ..EngineConfig::default()
+        };
+        Engine::start(count_workflow(), OperatorSet::new().updater(CountUpdater), cfg, None)
+            .unwrap()
+    };
+    let a = mk(0);
+    let b = mk(1);
+
+    for i in 0..200u64 {
+        a.submit(Event::new("S1", i, Key::from(format!("k-{}", i % 16)), "e")).unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(20), || total_processed(&[&a, &b]) == 200),
+        "1.0 cluster did not process all events (got {})",
+        total_processed(&[&a, &b])
+    );
+    let mut sum = 0u64;
+    for k in 0..16 {
+        let bytes = a
+            .read_slate("counter", &Key::from(format!("k-{k}")))
+            .unwrap_or_else(|| panic!("k-{k} unreadable"));
+        sum += String::from_utf8(bytes).unwrap().parse::<u64>().unwrap();
+    }
+    assert_eq!(sum, 200, "per-key counts must sum to the submissions");
+
+    a.shutdown();
+    b.shutdown();
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for `criterion`: the bench-definition API surface this
+//! workspace uses (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `iter`/`iter_batched`, `black_box`, `Throughput`), implemented as a
+//! small wall-clock timing harness. No statistics engine — each bench runs
+//! a calibrated number of iterations and reports mean time per iteration
+//! (and derived throughput). Good enough to keep the `benches/` targets
+//! compiling, runnable, and honest about relative magnitudes.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computed value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// How much work one measured element represents, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup. The shim times the routine only,
+/// so all variants behave identically.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Fresh input per iteration.
+    PerIteration,
+    /// Small batched inputs.
+    SmallInput,
+    /// Large batched inputs.
+    LargeInput,
+}
+
+/// The timing loop handed to bench closures.
+pub struct Bencher {
+    /// Measured mean duration of one iteration.
+    mean: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` over a calibrated number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate: aim for ~100ms of total measurement, capped.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(100);
+        let iters = ((target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000)) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean = start.elapsed() / (iters as u32);
+    }
+
+    /// Time `routine` with per-batch `setup` excluded from measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        let iters = self.sample_size.max(1) as u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean = total / (iters as u32);
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower the per-bench iteration count (slow benches).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Declare per-iteration work for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<N: Into<String>, F>(&mut self, name: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        let mut bencher = Bencher { mean: Duration::ZERO, sample_size: self.sample_size };
+        f(&mut bencher);
+        let mean = bencher.mean;
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(" ({:.0} elem/s)", n as f64 / mean.as_secs_f64().max(1e-12))
+            }
+            Throughput::Bytes(n) => {
+                format!(" ({:.1} MiB/s)", n as f64 / 1048576.0 / mean.as_secs_f64().max(1e-12))
+            }
+        });
+        println!("{}/{:<40} {:>12.3?}/iter{}", self.name, name, mean, rate.unwrap_or_default());
+        self
+    }
+
+    /// End the group.
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark manager.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n-- {name} --");
+        BenchmarkGroup { name, throughput: None, sample_size: 20, _criterion: self }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<N: Into<String>, F>(&mut self, name: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Collect bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("sample");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 100],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::PerIteration,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,810 @@
+//! Offline stand-in for `proptest`: the strategy combinators and macros this
+//! workspace's property tests use, implemented as deterministic *generate-only*
+//! property testing (no shrinking). Each test runs `ProptestConfig::cases`
+//! random cases from a seed derived from the test's name, so failures
+//! reproduce run-to-run.
+//!
+//! Supported surface: `any::<T>()`, integer/float range strategies, a regex
+//! subset for `&str` strategies (`[class]{m,n}` atoms and `\PC`),
+//! `collection::{vec, hash_set, btree_map}`, `option::of`, tuples, `Just`,
+//! `prop_oneof!`, `.prop_map`, `.prop_recursive`, and the `proptest!` /
+//! `prop_assert*` macros.
+
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------- RNG
+
+/// Deterministic RNG driving generation (xoshiro256++).
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seeded from an arbitrary label (the test name).
+    pub fn from_label(label: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut sm = h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0);
+        (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------- Strategy
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a recursive strategy: at each of `depth` levels, generation
+    /// chooses between the base (leaf) strategy and `branch` applied to the
+    /// previous level. `_nodes` / `_items` are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _nodes: u32,
+        _items: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = BoxedStrategy::new(self);
+        let mut cur = leaf.clone();
+        for _ in 0..depth {
+            let branched = BoxedStrategy::new(branch(cur));
+            cur = BoxedStrategy::new(LeafOrBranch { leaf: leaf.clone(), branch: branched });
+        }
+        cur
+    }
+
+    /// Erase the concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::new(self)
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    /// Erase `strategy`.
+    pub fn new<S: Strategy<Value = T> + 'static>(strategy: S) -> BoxedStrategy<T> {
+        BoxedStrategy(Arc::new(strategy))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+struct LeafOrBranch<T> {
+    leaf: BoxedStrategy<T>,
+    branch: BoxedStrategy<T>,
+}
+
+impl<T> Strategy for LeafOrBranch<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        if rng.next_u64() & 1 == 0 {
+            self.leaf.generate(rng)
+        } else {
+            self.branch.generate(rng)
+        }
+    }
+}
+
+/// Always produce a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies of one value type (`prop_oneof!`).
+pub struct Union<T>(pub Vec<BoxedStrategy<T>>);
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.0.is_empty(), "prop_oneof! needs at least one arm");
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------- any / Arbitrary
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Sample the full domain uniformly.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite doubles over a wide range (proptest's any::<f64> includes
+        // specials; our tests only use ranges, this is a safe default).
+        let mag = rng.unit_f64() * 1.0e15;
+        if rng.next_u64() & 1 == 0 {
+            mag
+        } else {
+            -mag
+        }
+    }
+}
+
+/// Strategy for `T`'s full domain.
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `A` (`any::<u64>()` etc.).
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(PhantomData)
+}
+
+// ---------------------------------------------------------------- ranges
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + v) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (start as i128 + v) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        let v = self.start + rng.unit_f64() * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+// ---------------------------------------------------------------- regex-subset strings
+
+/// `&str` patterns act as strategies generating matching strings, for the
+/// regex subset `atom*` where atom is `[class]`, `\PC`, or a literal char,
+/// each optionally followed by `{n}` / `{m,n}`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = if atom.min == atom.max {
+                atom.min
+            } else {
+                atom.min + rng.below((atom.max - atom.min + 1) as u64) as usize
+            };
+            for _ in 0..count {
+                match &atom.kind {
+                    AtomKind::Class(chars) => {
+                        out.push(chars[rng.below(chars.len() as u64) as usize]);
+                    }
+                    AtomKind::Printable => {
+                        // \PC — mostly ASCII printable, occasionally wider.
+                        let c = match rng.below(20) {
+                            0 => 'é',
+                            1 => '\u{1F600}',
+                            2 => '\u{4e2d}',
+                            _ => char::from(b' ' + rng.below(95) as u8),
+                        };
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+struct PatternAtom {
+    kind: AtomKind,
+    min: usize,
+    max: usize,
+}
+
+enum AtomKind {
+    Class(Vec<char>),
+    Printable,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternAtom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let kind = match chars[i] {
+            '[' => {
+                let (class, next) = parse_class(&chars, i + 1);
+                i = next;
+                AtomKind::Class(class)
+            }
+            '\\' if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') => {
+                i += 3;
+                AtomKind::Printable
+            }
+            '\\' => {
+                let lit = *chars.get(i + 1).expect("dangling escape in pattern");
+                i += 2;
+                AtomKind::Class(vec![unescape(lit)])
+            }
+            c => {
+                i += 1;
+                AtomKind::Class(vec![c])
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..].iter().position(|&c| c == '}').expect("unclosed {n,m}") + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad repetition lower bound"),
+                    hi.trim().parse().expect("bad repetition upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad repetition count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(PatternAtom { kind, min, max });
+    }
+    atoms
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut class = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = if chars[i] == '\\' {
+            i += 1;
+            unescape(*chars.get(i).expect("dangling escape in class"))
+        } else {
+            chars[i]
+        };
+        // Range `a-z` (a '-' not at either end and not escaped).
+        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).map(|&c| c != ']').unwrap_or(false) {
+            let hi = if chars[i + 2] == '\\' {
+                i += 1;
+                unescape(*chars.get(i + 2).expect("dangling escape in class range"))
+            } else {
+                chars[i + 2]
+            };
+            for v in (c as u32)..=(hi as u32) {
+                if let Some(ch) = char::from_u32(v) {
+                    class.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            class.push(c);
+            i += 1;
+        }
+    }
+    assert!(chars.get(i) == Some(&']'), "unclosed character class");
+    (class, i + 1)
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+// ---------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+// ---------------------------------------------------------------- collections
+
+/// Collection strategies (`proptest::collection::*`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Size specifications accepted by collection strategies.
+    pub trait SizeRange: Clone {
+        /// Pick a size.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    /// `Vec<T>` of a size drawn from `size`.
+    pub struct VecStrategy<S, R> {
+        elem: S,
+        size: R,
+    }
+
+    /// Build a [`VecStrategy`].
+    pub fn vec<S: Strategy, R: SizeRange>(elem: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `HashSet<T>` with a target size drawn from `size` (duplicates are
+    /// retried a bounded number of times).
+    pub struct HashSetStrategy<S, R> {
+        elem: S,
+        size: R,
+    }
+
+    /// Build a [`HashSetStrategy`].
+    pub fn hash_set<S, R>(elem: S, size: R) -> HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+        R: SizeRange,
+    {
+        HashSetStrategy { elem, size }
+    }
+
+    impl<S, R> Strategy for HashSetStrategy<S, R>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+        R: SizeRange,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = std::collections::HashSet::new();
+            let mut tries = 0;
+            while out.len() < n && tries < 10 * n + 100 {
+                out.insert(self.elem.generate(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+
+    /// `BTreeMap<K, V>` with a target size drawn from `size`.
+    pub struct BTreeMapStrategy<K, V, R> {
+        key: K,
+        value: V,
+        size: R,
+    }
+
+    /// Build a [`BTreeMapStrategy`].
+    pub fn btree_map<K, V, R>(key: K, value: V, size: R) -> BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V, R> Strategy for BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            let mut out = std::collections::BTreeMap::new();
+            let mut tries = 0;
+            while out.len() < n && tries < 10 * n + 100 {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Optional-value strategies (`proptest::option::of`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Generates `Some` half the time.
+    pub struct OptionStrategy<S>(S);
+
+    /// Build an [`OptionStrategy`].
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 0 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------- config & runner
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                for case in 0..u64::from(config.cases) {
+                    let mut __rng = $crate::TestRng::from_label(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Uniform choice between strategy arms of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union(vec![ $($crate::BoxedStrategy::new($arm)),+ ])
+    };
+}
+
+/// The common imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+// ---------------------------------------------------------------- self-tests
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_any_are_in_bounds() {
+        let mut rng = TestRng::from_label("ranges", 0);
+        for _ in 0..1000 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let _: u64 = any::<u64>().generate(&mut rng);
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_their_own_shape() {
+        let mut rng = TestRng::from_label("strings", 1);
+        for _ in 0..500 {
+            let s = "[a-z0-9]{1,16}".generate(&mut rng);
+            assert!((1..=16).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()), "{s:?}");
+            let one = "[a-e]".generate(&mut rng);
+            assert_eq!(one.chars().count(), 1);
+            assert!(('a'..='e').contains(&one.chars().next().unwrap()));
+            let p = "\\PC{0,64}".generate(&mut rng);
+            assert!(p.chars().count() <= 64);
+            assert!(p.chars().all(|c| !c.is_control()), "{p:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_class_members_parse() {
+        let mut rng = TestRng::from_label("escapes", 2);
+        let allowed: Vec<char> = {
+            let mut v: Vec<char> = ('a'..='z').chain('A'..='Z').chain('0'..='9').collect();
+            v.extend([' ', '_', '-', '"', '\\', '/', '\n', '\t', '\u{e9}', '\u{1F600}']);
+            v
+        };
+        for _ in 0..500 {
+            let s = "[a-zA-Z0-9 _\\-\"\\\\/\n\t\u{e9}\u{1F600}]{0,24}".generate(&mut rng);
+            assert!(s.chars().all(|c| allowed.contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = TestRng::from_label("collections", 3);
+        for _ in 0..200 {
+            let v = crate::collection::vec(any::<u8>(), 0..5).generate(&mut rng);
+            assert!(v.len() < 5);
+            let exact = crate::collection::vec(any::<u8>(), 7usize).generate(&mut rng);
+            assert_eq!(exact.len(), 7);
+            let set = crate::collection::hash_set("[a-z]{8}", 1..10).generate(&mut rng);
+            assert!(!set.is_empty() && set.len() < 10);
+            let map =
+                crate::collection::btree_map(any::<u32>(), any::<bool>(), 2..4).generate(&mut rng);
+            assert!((2..4).contains(&map.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_map_and_recursive_compose() {
+        #[derive(Debug, Clone, PartialEq)]
+        enum Tree {
+            Leaf(bool),
+            Node(Vec<Tree>),
+        }
+        let strat = prop_oneof![Just(Tree::Leaf(true)), any::<bool>().prop_map(Tree::Leaf)]
+            .prop_recursive(3, 8, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
+        let mut rng = TestRng::from_label("recursive", 4);
+        for _ in 0..100 {
+            let _tree = strat.generate(&mut rng);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u64..100, flip in any::<bool>(), s in "[a-c]{2}") {
+            prop_assert!(x < 100);
+            prop_assert_eq!(s.len(), 2);
+            prop_assert_ne!(flip as u64, 2u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let gen = |label: &str| {
+            let mut rng = TestRng::from_label(label, 9);
+            crate::collection::vec(any::<u64>(), 0..20).generate(&mut rng)
+        };
+        assert_eq!(gen("same"), gen("same"));
+        assert_ne!(gen("same"), gen("different"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Offline stand-in for the `rand` crate: the `Rng`/`SeedableRng` surface
+//! this workspace uses, backed by xoshiro256++ seeded via splitmix64.
+//! Deterministic for a given seed, statistically solid for workload
+//! synthesis (the repo's Zipf/arrival generators assert distribution
+//! shapes against it).
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types producible uniformly at random by [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Sample one value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Sample one value from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift bounded sampling (Lemire): negligible bias
+                // at these span sizes, no modulo.
+                let r = rng.next_u64() as u128;
+                let v = (r * span) >> 64;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let r = rng.next_u64() as u128;
+                let v = (r * span) >> 64;
+                (start as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f64::sample_standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Guard against rounding up to the excluded endpoint.
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for std::ops::Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f32::sample_standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        if v >= self.end {
+            self.start
+        } else {
+            v
+        }
+    }
+}
+
+/// The user-facing random-value interface.
+pub trait Rng: RngCore {
+    /// Uniform value from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0,1]");
+        f64::sample_standard(self) < p
+    }
+
+    /// Uniform value of `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++ (not the real crate's ChaCha,
+    /// but deterministic-per-seed and more than adequate for synthetic
+    /// workloads).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// A cheap ad-hoc generator seeded from the system clock — for the odd
+/// call-site that wants `rand::thread_rng()`-style convenience.
+pub fn thread_rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.subsec_nanos()).unwrap_or(0);
+    <rngs::StdRng as SeedableRng>::seed_from_u64(u64::from(nanos) ^ 0x5bf0_3635_dee9_1d27)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let i = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 1_000, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as i64 - 30_000).abs() < 2_000, "{hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn next_u64() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&x));
+    }
+}
