@@ -56,6 +56,11 @@ pub enum Frame {
     Hello { sender: MachineId },
     /// Deliver an event (one-way; losses surface as connection errors).
     Event(WireEvent),
+    /// Deliver a coalesced run of events (one-way). One frame header, one
+    /// CRC, one syscall for the whole run — the amortization that makes
+    /// the wire keep up with the firehose (§4.1). Semantically identical
+    /// to the same events sent as individual [`Frame::Event`]s.
+    EventBatch(Vec<WireEvent>),
     /// Worker → master: `failed` was unreachable on send (§4.3).
     FailureReport { failed: MachineId },
     /// Master → everyone: drop `failed` from all hash rings (§4.3).
@@ -87,6 +92,12 @@ const KIND_STORE_PUT: u8 = 7;
 const KIND_STORE_GET: u8 = 8;
 const KIND_STORE_VALUE: u8 = 9;
 const KIND_STORE_ACK: u8 = 10;
+const KIND_EVENT_BATCH: u8 = 11;
+
+/// The encoded floor of one event inside a batch (op + injected_us +
+/// flags + hint tag + the event's own fixed fields) — used to bound the
+/// batch-vector pre-allocation against corrupt counts.
+const MIN_WIRE_EVENT_BYTES: usize = 8;
 
 fn put_opt_bytes(out: &mut Vec<u8>, value: &Option<Vec<u8>>) {
     match value {
@@ -130,6 +141,69 @@ fn get_opt_varint(buf: &[u8]) -> Option<(Option<u64>, usize)> {
     }
 }
 
+/// Encode one batched-path event's fields (shared by the `Event` and
+/// `EventBatch` payloads).
+fn put_wire_event(out: &mut Vec<u8>, ev: &WireEvent) {
+    put_varint(out, ev.op as u64);
+    put_varint(out, ev.injected_us);
+    let mut flags = 0u8;
+    if ev.redirected {
+        flags |= 1;
+    }
+    if ev.external {
+        flags |= 2;
+    }
+    out.push(flags);
+    put_opt_varint(out, ev.thread_hint.map(|t| t as u64));
+    put_event(out, &ev.event);
+}
+
+/// Decode one batched-path event's fields. Returns the event and the
+/// bytes consumed; `None` on malformed input.
+fn get_wire_event(buf: &[u8]) -> Option<(WireEvent, usize)> {
+    let mut at = 0;
+    let (op, n) = get_varint(buf)?;
+    at += n;
+    let (injected_us, n) = get_varint(&buf[at..])?;
+    at += n;
+    let flags = *buf.get(at)?;
+    at += 1;
+    let (hint, n) = get_opt_varint(&buf[at..])?;
+    at += n;
+    let (event, n) = get_event(&buf[at..])?;
+    at += n;
+    Some((
+        WireEvent {
+            op: op as OpId,
+            event,
+            injected_us,
+            redirected: flags & 1 != 0,
+            external: flags & 2 != 0,
+            thread_hint: hint.map(|t| t as usize),
+        },
+        at,
+    ))
+}
+
+/// Encode a run of events as the smallest equivalent payload: a plain
+/// `Event` frame for a single event (byte-identical to the unbatched
+/// wire), an `EventBatch` otherwise. Used by senders that hold the events
+/// by reference and must not clone them just to build a `Frame` value.
+pub fn encode_events_payload(events: &[WireEvent]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 * events.len().max(1));
+    if let [only] = events {
+        out.push(KIND_EVENT);
+        put_wire_event(&mut out, only);
+    } else {
+        out.push(KIND_EVENT_BATCH);
+        put_varint(&mut out, events.len() as u64);
+        for ev in events {
+            put_wire_event(&mut out, ev);
+        }
+    }
+    out
+}
+
 impl Frame {
     /// Encode the payload (kind byte + fields), without the outer
     /// length/CRC header.
@@ -143,18 +217,14 @@ impl Frame {
             }
             Frame::Event(ev) => {
                 out.push(KIND_EVENT);
-                put_varint(&mut out, ev.op as u64);
-                put_varint(&mut out, ev.injected_us);
-                let mut flags = 0u8;
-                if ev.redirected {
-                    flags |= 1;
+                put_wire_event(&mut out, ev);
+            }
+            Frame::EventBatch(events) => {
+                out.push(KIND_EVENT_BATCH);
+                put_varint(&mut out, events.len() as u64);
+                for ev in events {
+                    put_wire_event(&mut out, ev);
                 }
-                if ev.external {
-                    flags |= 2;
-                }
-                out.push(flags);
-                put_opt_varint(&mut out, ev.thread_hint.map(|t| t as u64));
-                put_event(&mut out, &ev.event);
             }
             Frame::FailureReport { failed } => {
                 out.push(KIND_FAILURE_REPORT);
@@ -212,26 +282,23 @@ impl Frame {
                 Frame::Hello { sender: sender as MachineId }
             }
             KIND_EVENT => {
-                let mut at = 0;
-                let (op, n) = get_varint(rest)?;
-                at += n;
-                let (injected_us, n) = get_varint(&rest[at..])?;
-                at += n;
-                let flags = *rest.get(at)?;
-                at += 1;
-                let (hint, n) = get_opt_varint(&rest[at..])?;
-                at += n;
-                let (event, n) = get_event(&rest[at..])?;
-                at += n;
+                let (ev, n) = get_wire_event(rest)?;
+                expect_consumed(rest, n)?;
+                Frame::Event(ev)
+            }
+            KIND_EVENT_BATCH => {
+                let (count, mut at) = get_varint(rest)?;
+                // Cap the pre-allocation by what the buffer could possibly
+                // hold: a corrupt count must not trigger a huge reserve.
+                let possible = rest.len() / MIN_WIRE_EVENT_BYTES + 1;
+                let mut events = Vec::with_capacity((count as usize).min(possible));
+                for _ in 0..count {
+                    let (ev, n) = get_wire_event(&rest[at..])?;
+                    at += n;
+                    events.push(ev);
+                }
                 expect_consumed(rest, at)?;
-                Frame::Event(WireEvent {
-                    op: op as OpId,
-                    event,
-                    injected_us,
-                    redirected: flags & 1 != 0,
-                    external: flags & 2 != 0,
-                    thread_hint: hint.map(|t| t as usize),
-                })
+                Frame::EventBatch(events)
             }
             KIND_FAILURE_REPORT => {
                 let (failed, n) = get_varint(rest)?;
@@ -364,19 +431,36 @@ mod tests {
     use super::*;
     use muppet_core::event::Key;
 
-    fn sample_frames() -> Vec<Frame> {
+    fn sample_wire_event(seq: u64) -> WireEvent {
         let mut event = Event::new("S1", 99, Key::from("walmart"), b"checkin".to_vec());
-        event.seq = 3;
+        event.seq = seq;
+        WireEvent {
+            op: 4,
+            event,
+            injected_us: 123,
+            redirected: true,
+            external: false,
+            thread_hint: Some(7),
+        }
+    }
+
+    fn sample_frames() -> Vec<Frame> {
         vec![
             Frame::Hello { sender: 2 },
-            Frame::Event(WireEvent {
-                op: 4,
-                event,
-                injected_us: 123,
-                redirected: true,
-                external: false,
-                thread_hint: Some(7),
-            }),
+            Frame::Event(sample_wire_event(3)),
+            Frame::EventBatch(Vec::new()),
+            Frame::EventBatch(vec![
+                sample_wire_event(1),
+                sample_wire_event(2),
+                WireEvent {
+                    op: 0,
+                    event: Event::new("S2", 7, Key::from(""), Vec::new()),
+                    injected_us: 0,
+                    redirected: false,
+                    external: true,
+                    thread_hint: None,
+                },
+            ]),
             Frame::FailureReport { failed: 1 },
             Frame::FailureBroadcast { failed: 0 },
             Frame::SlateGet { updater: "counter".into(), key: b"best-buy".to_vec() },
@@ -450,5 +534,27 @@ mod tests {
     fn unknown_kind_rejected() {
         assert_eq!(Frame::decode_payload(&[200]), None);
         assert_eq!(Frame::decode_payload(&[]), None);
+    }
+
+    #[test]
+    fn encode_events_payload_matches_frame_encoding() {
+        let one = [sample_wire_event(5)];
+        assert_eq!(
+            encode_events_payload(&one),
+            Frame::Event(one[0].clone()).encode_payload(),
+            "a single event must be byte-identical to the unbatched wire"
+        );
+        let many = vec![sample_wire_event(1), sample_wire_event(2)];
+        assert_eq!(encode_events_payload(&many), Frame::EventBatch(many.clone()).encode_payload());
+    }
+
+    #[test]
+    fn corrupt_batch_count_is_rejected_without_huge_allocation() {
+        // A batch claiming u64::MAX events with a near-empty body must
+        // fail cleanly (the per-event decode runs out of bytes) and the
+        // pre-allocation is capped by the buffer length.
+        let mut payload = vec![KIND_EVENT_BATCH];
+        put_varint(&mut payload, u64::MAX);
+        assert_eq!(Frame::decode_payload(&payload), None);
     }
 }

@@ -9,9 +9,13 @@
 //! * [`transport::InProcessTransport`] — the original synchronous queue
 //!   hand-off, refactored behind the trait with identical semantics;
 //! * [`tcp::TcpTransport`] — real TCP sockets with length-prefixed binary
-//!   framing ([`frame`], reusing `muppet-core::codec`), per-peer connection
-//!   pooling, and send-failure surfacing so the §4.3 failure protocol
-//!   triggers on actual connection errors;
+//!   framing ([`frame`], reusing `muppet-core::codec`): per-peer batching
+//!   senders that coalesce events into `EventBatch` frames under a
+//!   size/age flush policy ([`tcp::BatchConfig`]) with bounded outboxes
+//!   (backpressure, not buffering), connection pooling for
+//!   request/response frames, and send-failure surfacing so the §4.3
+//!   failure protocol triggers on actual connection errors — with every
+//!   event of a failed batch accounted individually;
 //! * [`topology::Topology`] — static cluster layout (TOML subset or peer
 //!   list) for `muppetd` processes.
 //!
@@ -24,6 +28,6 @@ pub mod topology;
 pub mod transport;
 
 pub use frame::{Frame, WireEvent};
-pub use tcp::{TcpListenerHandle, TcpStats, TcpTransport};
+pub use tcp::{BatchConfig, TcpListenerHandle, TcpStats, TcpTransport};
 pub use topology::{NodeSpec, Topology};
 pub use transport::{ClusterHandler, InProcessTransport, MachineId, NetError, Transport};

@@ -1,35 +1,50 @@
 //! The TCP transport: real sockets between `muppetd` processes.
 //!
 //! Wire model (§4.1): workers pass events *directly* to the owning
-//! machine's process — one length-prefixed [`Frame`] per message over a
-//! pooled connection; the master is only ever involved in the §4.3
+//! machine's process; the master is only ever involved in the §4.3
 //! failure frames. Each engine process owns exactly one machine of the
 //! topology; a background listener accepts frames from peers and hands
 //! them to the engine's [`ClusterHandler`].
 //!
-//! Failure surfacing: a send that cannot reach its peer — connection
-//! refused, reset, or timed out, after one reconnect attempt — returns
-//! [`NetError::Unreachable`], which the engine treats exactly like the
-//! simulated dead-machine check: report to master, master broadcasts,
-//! rings drop the machine, the event is lost and logged (§4.3). Events
-//! already buffered by the kernel when a peer dies are silently lost —
-//! the paper's semantics, not a bug: detection is traffic-driven and the
-//! undelivered window is bounded by the socket buffer.
+//! **The event path is batched and pipelined.** `send_event` enqueues
+//! into a bounded per-peer outbox; a dedicated sender thread per peer
+//! drains it, coalescing events into [`Frame::EventBatch`] frames under a
+//! size/age policy ([`BatchConfig`]: flush at `batch_max` events or when
+//! the oldest queued event is `flush_us` old, whichever first) and
+//! writing them back-to-back over one persistent connection — no
+//! per-event connection checkout, CRC, or syscall. A full outbox blocks
+//! the enqueueing thread (real backpressure; the engine also folds
+//! [`Transport::outbound_backlog`] into its source-throttle budget) —
+//! the queue never grows unboundedly.
 //!
-//! Connection pooling: per peer, a small stack of idle connections; an
-//! exchange takes one exclusively (so request/response frames like
-//! `SlateGet` never interleave), then returns it. Concurrent senders get
-//! concurrent connections up to `MAX_IDLE_PER_PEER` kept alive.
+//! Failure surfacing: a batch that cannot reach its peer — connection
+//! refused, reset, peer FIN seen by the pre-write probe, or timed out,
+//! after one reconnect attempt — is one traffic-driven §4.3 detection.
+//! The sender marks the peer down, drains the outbox, and hands the
+//! whole undelivered run (failed batch + everything queued behind it) to
+//! [`ClusterHandler::handle_send_failure`], which reports to the master
+//! and accounts every event individually (lost-and-logged, never
+//! retried). Later `send_event` calls return [`NetError::Unreachable`]
+//! synchronously. Events already buffered by the kernel when a peer dies
+//! are silently lost — the paper's semantics, not a bug: detection is
+//! traffic-driven and the undelivered window is bounded by the socket
+//! buffer.
+//!
+//! Request/response frames (`SlateGet`, `StorePut`, …) and the §4.3
+//! failure frames stay on the synchronous pooled path: per peer, a small
+//! stack of idle connections; an exchange takes one exclusively (so
+//! request/response frames never interleave), then returns it.
 
-use std::io;
+use std::collections::VecDeque;
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
-use crate::frame::{Frame, WireEvent};
+use crate::frame::{self, Frame, WireEvent, MAX_FRAME_BYTES};
 use crate::topology::Topology;
 use crate::transport::{ClusterHandler, HandlerSlot, MachineId, NetError, Transport};
 
@@ -37,12 +52,41 @@ use crate::transport::{ClusterHandler, HandlerSlot, MachineId, NetError, Transpo
 const MAX_IDLE_PER_PEER: usize = 8;
 /// Connect timeout (loopback and LAN latencies).
 const CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
-/// Read timeout for request/response exchanges.
+/// Read timeout for request/response exchanges, and write timeout on
+/// every outbound connection (a hung peer cannot wedge a sender thread —
+/// or, through it, shutdown's thread join).
 const REPLY_TIMEOUT: Duration = Duration::from_secs(5);
 /// Poll interval for the nonblocking accept loop.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
 /// Read timeout on inbound connections (bounds shutdown latency).
 const SERVE_POLL: Duration = Duration::from_millis(200);
+/// Idle/stop-flag poll for sender threads and blocked producers.
+const OUTBOX_POLL: Duration = Duration::from_millis(20);
+/// Soft cap on one batch frame's encoded size: flush early rather than
+/// approach [`MAX_FRAME_BYTES`].
+const BATCH_SOFT_BYTES: usize = 1 << 20;
+
+/// Flush policy for the per-peer batching senders: a batch goes on the
+/// wire when it holds `batch_max` events OR the oldest queued event is
+/// `flush_us` microseconds old, whichever comes first.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Events coalesced into one frame at most.
+    pub batch_max: usize,
+    /// Age bound: a queued event never waits longer than this before its
+    /// batch is flushed (0 = flush immediately, batching only what has
+    /// already accumulated).
+    pub flush_us: u64,
+    /// Bounded outbox capacity per peer (events). A full outbox blocks
+    /// the sender — backpressure, not buffering.
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { batch_max: 128, flush_us: 1_000, queue_capacity: 16_384 }
+    }
+}
 
 /// Cumulative transport counters (all relaxed; cheap to snapshot).
 #[derive(Debug, Default)]
@@ -55,6 +99,15 @@ pub struct TcpStats {
     pub send_failures: AtomicU64,
     /// Fresh connections dialed.
     pub connects: AtomicU64,
+    /// Multi-event frames written by the batching senders.
+    pub batches_sent: AtomicU64,
+    /// Events shipped through the batching path (any frame size).
+    pub batched_events_sent: AtomicU64,
+    /// Times a producer blocked on a full per-peer outbox (backpressure).
+    pub queue_full_waits: AtomicU64,
+    /// Gauge: events accepted but not yet written to (or failed off) the
+    /// wire, across all peers.
+    pub outbound_backlog: AtomicU64,
 }
 
 struct PeerPool {
@@ -62,39 +115,117 @@ struct PeerPool {
     idle: Mutex<Vec<TcpStream>>,
 }
 
+/// Outbox interior: the queued events plus flush bookkeeping.
+struct OutboxQueue {
+    events: VecDeque<WireEvent>,
+    /// When the oldest queued event arrived (age-based flush).
+    oldest_at: Option<Instant>,
+}
+
+/// One peer's outbound event queue + the state its sender thread needs.
+/// Sender threads hold only this Arc (never the transport), so dropping
+/// the transport can join them without a reference cycle.
+struct PeerOutbox {
+    dest: MachineId,
+    local: MachineId,
+    addr: SocketAddr,
+    cfg: BatchConfig,
+    queue: Mutex<OutboxQueue>,
+    /// Signals both ways: producers on free room, the sender on new work.
+    cv: Condvar,
+    /// Set by the sender on wire failure; enqueues then refuse with
+    /// `Unreachable` (§4.3: a dead machine never comes back).
+    down: AtomicBool,
+    /// Set on transport drop; the sender flushes what is queued and exits.
+    stopping: AtomicBool,
+    /// Lazy sender-thread spawn flag.
+    started: AtomicBool,
+    stats: Arc<TcpStats>,
+    handler: Arc<HandlerSlot>,
+}
+
+/// Conservative over-estimate of one event's encoded size (flush-early
+/// byte cap and the oversized-event refusal at enqueue). The slack must
+/// exceed the true worst-case envelope — kind byte, flags, up to five
+/// 10-byte varints (op, injected_us, ts, seq, thread hint) and three
+/// length prefixes, under 90 bytes total — or an oversized event could
+/// pass the enqueue check, fail at the socket, and be misread as a dead
+/// peer.
+fn wire_event_size_hint(ev: &WireEvent) -> usize {
+    ev.event.key.as_bytes().len() + ev.event.value.len() + ev.event.stream.as_str().len() + 128
+}
+
 /// A [`Transport`] over real TCP sockets. One instance per `muppetd`
 /// process; `local` is the machine this process runs.
 pub struct TcpTransport {
     topology: Topology,
     local: MachineId,
-    handler: HandlerSlot,
+    handler: Arc<HandlerSlot>,
     /// Indexed by machine id; `None` at `local`.
     pools: Vec<Option<PeerPool>>,
-    stats: TcpStats,
+    /// Per-peer batching outboxes; `None` at `local`.
+    outboxes: Vec<Option<Arc<PeerOutbox>>>,
+    /// Lazily spawned per-peer sender threads (joined on drop).
+    sender_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    stats: Arc<TcpStats>,
 }
 
 impl TcpTransport {
-    /// Build the transport for `local` within `topology` (addresses are
-    /// resolved eagerly so misconfiguration fails fast).
+    /// Build the transport for `local` within `topology` with the default
+    /// [`BatchConfig`] (addresses are resolved eagerly so
+    /// misconfiguration fails fast).
     pub fn new(topology: Topology, local: MachineId) -> Result<Arc<TcpTransport>, String> {
+        TcpTransport::new_with_batching(topology, local, BatchConfig::default())
+    }
+
+    /// Build the transport with an explicit batching/flush policy.
+    pub fn new_with_batching(
+        topology: Topology,
+        local: MachineId,
+        batch: BatchConfig,
+    ) -> Result<Arc<TcpTransport>, String> {
         topology.validate()?;
         if local >= topology.len() {
             return Err(format!("local machine {local} is not in the topology"));
         }
+        let stats = Arc::new(TcpStats::default());
+        let handler = Arc::new(HandlerSlot::default());
         let mut pools = Vec::with_capacity(topology.len());
+        let mut outboxes = Vec::with_capacity(topology.len());
         for node in &topology.nodes {
             if node.id == local {
                 pools.push(None);
+                outboxes.push(None);
             } else {
-                pools.push(Some(PeerPool { addr: node.addr()?, idle: Mutex::new(Vec::new()) }));
+                let addr = node.addr()?;
+                pools.push(Some(PeerPool { addr, idle: Mutex::new(Vec::new()) }));
+                outboxes.push(Some(Arc::new(PeerOutbox {
+                    dest: node.id,
+                    local,
+                    addr,
+                    cfg: BatchConfig {
+                        batch_max: batch.batch_max.max(1),
+                        queue_capacity: batch.queue_capacity.max(1),
+                        ..batch
+                    },
+                    queue: Mutex::new(OutboxQueue { events: VecDeque::new(), oldest_at: None }),
+                    cv: Condvar::new(),
+                    down: AtomicBool::new(false),
+                    stopping: AtomicBool::new(false),
+                    started: AtomicBool::new(false),
+                    stats: Arc::clone(&stats),
+                    handler: Arc::clone(&handler),
+                })));
             }
         }
         Ok(Arc::new(TcpTransport {
             topology,
             local,
-            handler: HandlerSlot::default(),
+            handler,
             pools,
-            stats: TcpStats::default(),
+            outboxes,
+            sender_threads: Mutex::new(Vec::new()),
+            stats,
         }))
     }
 
@@ -116,14 +247,77 @@ impl TcpTransport {
         self.pools.get(dest).and_then(|p| p.as_ref()).ok_or(NetError::NoRoute(dest))
     }
 
+    fn outbox(&self, dest: MachineId) -> Result<&Arc<PeerOutbox>, NetError> {
+        self.outboxes.get(dest).and_then(|o| o.as_ref()).ok_or(NetError::NoRoute(dest))
+    }
+
+    /// Spawn `outbox`'s sender thread on first use (transports that only
+    /// run request/response traffic never pay for idle threads).
+    fn ensure_sender(&self, outbox: &Arc<PeerOutbox>) {
+        if outbox.started.load(Ordering::Acquire) {
+            return;
+        }
+        let mut threads = self.sender_threads.lock();
+        if outbox.started.swap(true, Ordering::AcqRel) {
+            return; // raced; the other enqueue spawned it
+        }
+        let ob = Arc::clone(outbox);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("muppet-send-{}-{}", self.local, outbox.dest))
+                .spawn(move || sender_loop(ob))
+                .expect("spawn peer sender"),
+        );
+    }
+
+    /// The batched event send path: put `ev` on `dest`'s outbox, blocking
+    /// while the outbox is full (backpressure). `Unreachable` once the
+    /// sender has declared the peer down; `Protocol` for events that could
+    /// never fit a frame (a local error, not a dead peer — must not trip
+    /// §4.3).
+    fn enqueue_event(&self, dest: MachineId, ev: WireEvent) -> Result<(), NetError> {
+        let size = wire_event_size_hint(&ev);
+        if size > MAX_FRAME_BYTES {
+            return Err(NetError::Protocol(format!(
+                "event of ~{size} bytes exceeds the {MAX_FRAME_BYTES}-byte frame limit"
+            )));
+        }
+        let outbox = self.outbox(dest)?;
+        if outbox.down.load(Ordering::Acquire) {
+            return Err(NetError::Unreachable(dest));
+        }
+        self.ensure_sender(outbox);
+        let mut q = outbox.queue.lock();
+        loop {
+            if outbox.down.load(Ordering::Acquire) {
+                return Err(NetError::Unreachable(dest));
+            }
+            if q.events.len() < outbox.cfg.queue_capacity {
+                let was_empty = q.events.is_empty();
+                if was_empty {
+                    q.oldest_at = Some(Instant::now());
+                }
+                q.events.push_back(ev);
+                self.stats.outbound_backlog.fetch_add(1, Ordering::Relaxed);
+                // Wake the sender only on the transitions it can act on:
+                // new work after idle, or a batch crossing the size
+                // trigger mid-age-wait. Steady-state pushes into a
+                // part-filled batch stay notification-free (the sender's
+                // age timeout covers them).
+                if was_empty || q.events.len() >= outbox.cfg.batch_max {
+                    outbox.cv.notify_all();
+                }
+                return Ok(());
+            }
+            // Full: wait for the sender to drain (or to declare the peer
+            // down). The timeout re-checks stop/down flags.
+            self.stats.queue_full_waits.fetch_add(1, Ordering::Relaxed);
+            outbox.cv.wait_for(&mut q, OUTBOX_POLL);
+        }
+    }
+
     fn connect(&self, addr: SocketAddr) -> io::Result<TcpStream> {
-        let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
-        stream.set_nodelay(true)?;
-        stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
-        self.stats.connects.fetch_add(1, Ordering::Relaxed);
-        let mut stream2 = &stream;
-        Frame::Hello { sender: self.local }.write_to(&mut stream2)?;
-        Ok(stream)
+        dial(addr, self.local, &self.stats)
     }
 
     /// Run one frame exchange with `dest`: write `frame`, optionally read
@@ -213,6 +407,196 @@ impl TcpTransport {
     }
 }
 
+impl Drop for TcpTransport {
+    /// Stop the batching senders: each flushes whatever its outbox still
+    /// holds (to live peers), then exits and is joined. Sender threads
+    /// hold only their `PeerOutbox` Arc, so this cannot deadlock on the
+    /// transport's own refcount.
+    fn drop(&mut self) {
+        for outbox in self.outboxes.iter().flatten() {
+            outbox.stopping.store(true, Ordering::Release);
+            outbox.cv.notify_all();
+        }
+        for t in self.sender_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Take the next batch off `outbox`: up to `batch_max` events (bounded by
+/// [`BATCH_SOFT_BYTES`] encoded size), waiting until either the batch
+/// fills or the oldest queued event reaches `flush_us` of age. `None`
+/// when stopping with an empty queue.
+fn collect_batch(outbox: &PeerOutbox) -> Option<Vec<WireEvent>> {
+    let age_limit = Duration::from_micros(outbox.cfg.flush_us);
+    let mut q = outbox.queue.lock();
+    loop {
+        if q.events.is_empty() {
+            if outbox.stopping.load(Ordering::Acquire) {
+                return None;
+            }
+            outbox.cv.wait_for(&mut q, OUTBOX_POLL);
+            continue;
+        }
+        let age_done = q.oldest_at.map(|t| t.elapsed() >= age_limit).unwrap_or(true);
+        if q.events.len() >= outbox.cfg.batch_max
+            || age_done
+            || outbox.stopping.load(Ordering::Acquire)
+        {
+            let mut batch = Vec::with_capacity(q.events.len().min(outbox.cfg.batch_max));
+            let mut bytes = 0usize;
+            while batch.len() < outbox.cfg.batch_max {
+                let Some(ev) = q.events.front() else { break };
+                let size = wire_event_size_hint(ev);
+                if !batch.is_empty() && bytes + size > BATCH_SOFT_BYTES {
+                    break;
+                }
+                bytes += size;
+                batch.push(q.events.pop_front().expect("front checked"));
+            }
+            // The remainder's true oldest age is unknown (only the head's
+            // was tracked); restarting the clock is safe — a still-full
+            // queue flushes again immediately via the size trigger.
+            q.oldest_at = if q.events.is_empty() { None } else { Some(Instant::now()) };
+            return Some(batch);
+        }
+        // Wait out the remaining age, capped so stop/new-work signals are
+        // never missed for long.
+        let oldest = q.oldest_at.unwrap_or_else(Instant::now);
+        let remaining = age_limit.saturating_sub(oldest.elapsed());
+        outbox.cv.wait_for(&mut q, remaining.clamp(Duration::from_micros(50), OUTBOX_POLL));
+    }
+}
+
+/// Dial a peer and send the connection preamble. Both timeouts are set —
+/// the write timeout matters even on the pooled request/response path: a
+/// failure report written from a sender thread must not block forever on
+/// a stalled master, or `TcpTransport::drop`'s join would wedge shutdown.
+fn dial(addr: SocketAddr, local: MachineId, stats: &TcpStats) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
+    stream.set_write_timeout(Some(REPLY_TIMEOUT))?;
+    stats.connects.fetch_add(1, Ordering::Relaxed);
+    let mut w = &stream;
+    Frame::Hello { sender: local }.write_to(&mut w)?;
+    Ok(stream)
+}
+
+/// Dial `outbox`'s peer.
+fn connect_outbox(outbox: &PeerOutbox) -> io::Result<TcpStream> {
+    dial(outbox.addr, outbox.local, &outbox.stats)
+}
+
+/// Check a reused event connection for a peer that has already closed:
+/// events are one-way, so any readable state — EOF (FIN) or unexpected
+/// bytes — means the connection is dead. Without this probe, the first
+/// write after a graceful peer close "succeeds" into the kernel buffer
+/// and a whole batch is silently lost; with it, detection is
+/// deterministic once the close has propagated.
+fn probe_peer_alive(stream: &TcpStream) -> io::Result<()> {
+    stream.set_nonblocking(true)?;
+    let mut probe = [0u8; 1];
+    let mut reader = stream;
+    let verdict = match reader.read(&mut probe) {
+        Ok(0) => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "peer closed")),
+        Ok(_) => {
+            Err(io::Error::new(io::ErrorKind::InvalidData, "unexpected data on event connection"))
+        }
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+        Err(e) => Err(e),
+    };
+    stream.set_nonblocking(false)?;
+    verdict
+}
+
+/// Write one encoded batch, reusing `conn` with one reconnect retry (a
+/// stale persistent connection gets one fresh dial; a dead peer fails
+/// that too).
+fn send_payload(
+    outbox: &PeerOutbox,
+    conn: &mut Option<TcpStream>,
+    payload: &[u8],
+) -> io::Result<()> {
+    let reused = conn.is_some();
+    let first = match conn.as_mut() {
+        Some(stream) => {
+            probe_peer_alive(stream).and_then(|()| frame::write_payload(stream, payload))
+        }
+        None => connect_outbox(outbox).and_then(|mut stream| {
+            frame::write_payload(&mut stream, payload)?;
+            *conn = Some(stream);
+            Ok(())
+        }),
+    };
+    match first {
+        Ok(()) => Ok(()),
+        Err(e) if !reused => {
+            *conn = None;
+            Err(e)
+        }
+        Err(e) if matches!(e.kind(), io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock) => {
+            // A write *timeout* on a live connection means the peer is
+            // stalled, not gone — the frame may sit in kernel buffers and
+            // still be delivered when the peer resumes. Re-sending it on
+            // a fresh dial would double-deliver the whole batch, so no
+            // retry: surface the failure (slow past the timeout is
+            // treated as dead, loss over duplication).
+            *conn = None;
+            Err(e)
+        }
+        Err(_) => {
+            // A connection-level error (reset, FIN seen by the probe,
+            // broken pipe): the stale persistent connection gets one
+            // fresh dial. Nothing of the failed write can be delivered —
+            // the peer's socket is gone — so the resend cannot duplicate.
+            *conn = None;
+            let mut stream = connect_outbox(outbox)?;
+            frame::write_payload(&mut stream, payload)?;
+            *conn = Some(stream);
+            Ok(())
+        }
+    }
+}
+
+/// One peer's dedicated sender: drain the outbox in batches, pipelining
+/// frames over a persistent connection. On wire failure (after the one
+/// reconnect retry) this is the §4.3 detection point — mark the peer
+/// down, drain everything undelivered, and hand it to the engine.
+fn sender_loop(outbox: Arc<PeerOutbox>) {
+    let mut conn: Option<TcpStream> = None;
+    while let Some(batch) = collect_batch(&outbox) {
+        let payload = frame::encode_events_payload(&batch);
+        match send_payload(&outbox, &mut conn, &payload) {
+            Ok(()) => {
+                outbox.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
+                if batch.len() > 1 {
+                    outbox.stats.batches_sent.fetch_add(1, Ordering::Relaxed);
+                }
+                outbox.stats.batched_events_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                outbox.stats.outbound_backlog.fetch_sub(batch.len() as u64, Ordering::Relaxed);
+                outbox.cv.notify_all(); // room freed: wake blocked producers
+            }
+            Err(_) => {
+                outbox.stats.send_failures.fetch_add(1, Ordering::Relaxed);
+                outbox.down.store(true, Ordering::Release);
+                let mut lost = batch;
+                {
+                    let mut q = outbox.queue.lock();
+                    lost.extend(q.events.drain(..));
+                    q.oldest_at = None;
+                }
+                outbox.stats.outbound_backlog.fetch_sub(lost.len() as u64, Ordering::Relaxed);
+                outbox.cv.notify_all(); // blocked producers see `down`
+                if let Some(handler) = outbox.handler.get() {
+                    handler.handle_send_failure(outbox.dest, lost);
+                }
+                return; // §4.3: a dead machine never comes back
+            }
+        }
+    }
+}
+
 impl Transport for TcpTransport {
     fn register(&self, handler: Weak<dyn ClusterHandler>) {
         self.handler.register(handler);
@@ -233,7 +617,11 @@ impl Transport for TcpTransport {
                 None => Err(NetError::NoRoute(dest)),
             };
         }
-        self.exchange(dest, &Frame::Event(ev), false).map(|_| ())
+        self.enqueue_event(dest, ev)
+    }
+
+    fn outbound_backlog(&self) -> usize {
+        self.stats.outbound_backlog.load(Ordering::Relaxed) as usize
     }
 
     fn report_failure(&self, failed: MachineId) {
@@ -434,6 +822,12 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
                 let _ = handler.deliver_event(local, ev);
                 None
             }
+            Frame::EventBatch(events) => {
+                for ev in events {
+                    let _ = handler.deliver_event(local, ev);
+                }
+                None
+            }
             Frame::FailureReport { failed } => {
                 handler.handle_failure_report(failed);
                 None
@@ -472,6 +866,7 @@ mod tests {
         delivered: AtomicUsize,
         reports: Mutex<Vec<MachineId>>,
         broadcasts: Mutex<Vec<MachineId>>,
+        send_failures: Mutex<Vec<(MachineId, usize)>>,
         store: Mutex<std::collections::HashMap<Vec<u8>, Vec<u8>>>,
     }
 
@@ -481,6 +876,7 @@ mod tests {
                 delivered: AtomicUsize::new(0),
                 reports: Mutex::new(Vec::new()),
                 broadcasts: Mutex::new(Vec::new()),
+                send_failures: Mutex::new(Vec::new()),
                 store: Mutex::new(Default::default()),
             })
         }
@@ -490,6 +886,9 @@ mod tests {
         fn deliver_event(&self, _dest: MachineId, _ev: WireEvent) -> Result<(), NetError> {
             self.delivered.fetch_add(1, Ordering::Relaxed);
             Ok(())
+        }
+        fn handle_send_failure(&self, dest: MachineId, lost: Vec<WireEvent>) {
+            self.send_failures.lock().push((dest, lost.len()));
         }
         fn handle_failure_report(&self, failed: MachineId) {
             self.reports.lock().push(failed);
@@ -550,7 +949,95 @@ mod tests {
             assert!(std::time::Instant::now() < deadline, "events not delivered");
             std::thread::sleep(Duration::from_millis(5));
         }
-        assert!(t0.stats().frames_sent.load(Ordering::Relaxed) >= 10);
+        // The batching path accounts every event; the frame count may be
+        // smaller (coalescing) but never zero.
+        let stats = t0.stats();
+        assert_eq!(stats.batched_events_sent.load(Ordering::Relaxed), 10);
+        let frames = stats.frames_sent.load(Ordering::Relaxed);
+        assert!((1..=10).contains(&frames), "got {frames} frames for 10 events");
+        assert_eq!(stats.outbound_backlog.load(Ordering::Relaxed), 0, "backlog drains");
+    }
+
+    #[test]
+    fn queued_events_coalesce_into_batches() {
+        let topo = Topology::loopback_ephemeral(2, false).unwrap();
+        // A long age bound so the first flush finds a full queue.
+        let batch = BatchConfig { batch_max: 64, flush_us: 50_000, queue_capacity: 4096 };
+        let t0 = TcpTransport::new_with_batching(topo.clone(), 0, batch).unwrap();
+        let t1 = TcpTransport::new(topo, 1).unwrap();
+        let h0 = EchoHandler::new();
+        let h1 = EchoHandler::new();
+        t0.register(Arc::downgrade(&h0) as Weak<dyn ClusterHandler>);
+        t1.register(Arc::downgrade(&h1) as Weak<dyn ClusterHandler>);
+        let _l1 = t1.start_listener().unwrap();
+        for _ in 0..200 {
+            t0.send_event(1, wire_event()).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h1.delivered.load(Ordering::Relaxed) < 200 {
+            assert!(std::time::Instant::now() < deadline, "events not delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let stats = t0.stats();
+        let frames = stats.frames_sent.load(Ordering::Relaxed);
+        assert!(frames < 200, "200 events must not take 200 frames (got {frames})");
+        assert!(stats.batches_sent.load(Ordering::Relaxed) >= 1, "at least one multi-event frame");
+    }
+
+    #[test]
+    fn full_outbox_blocks_instead_of_buffering_unboundedly() {
+        let topo = Topology::loopback_ephemeral(2, false).unwrap();
+        // Tiny queue + slow flush: the producer must hit the wall.
+        let batch = BatchConfig { batch_max: 4, flush_us: 20_000, queue_capacity: 8 };
+        let t0 = TcpTransport::new_with_batching(topo.clone(), 0, batch).unwrap();
+        let t1 = TcpTransport::new(topo, 1).unwrap();
+        let h0 = EchoHandler::new();
+        let h1 = EchoHandler::new();
+        t0.register(Arc::downgrade(&h0) as Weak<dyn ClusterHandler>);
+        t1.register(Arc::downgrade(&h1) as Weak<dyn ClusterHandler>);
+        let _l1 = t1.start_listener().unwrap();
+        for _ in 0..100 {
+            t0.send_event(1, wire_event()).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while h1.delivered.load(Ordering::Relaxed) < 100 {
+            assert!(std::time::Instant::now() < deadline, "events not delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            t0.stats().queue_full_waits.load(Ordering::Relaxed) > 0,
+            "an 8-slot outbox fed 100 events must exert backpressure"
+        );
+        assert_eq!(t0.outbound_backlog(), 0);
+    }
+
+    #[test]
+    fn failed_batch_is_one_detection_with_every_event_accounted() {
+        let topo = Topology::loopback_ephemeral(2, false).unwrap();
+        // Age bound long enough to park all events in the outbox first.
+        let batch = BatchConfig { batch_max: 1024, flush_us: 400_000, queue_capacity: 4096 };
+        let t0 = TcpTransport::new_with_batching(topo, 0, batch).unwrap();
+        let h0 = EchoHandler::new();
+        t0.register(Arc::downgrade(&h0) as Weak<dyn ClusterHandler>);
+        // Peer 1 never exists: the flush's connect is refused and the
+        // whole queued run must surface as one send failure.
+        for _ in 0..17 {
+            t0.send_event(1, wire_event()).unwrap();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h0.send_failures.lock().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "send failure never surfaced");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let failures = h0.send_failures.lock();
+        assert_eq!(failures.len(), 1, "one batch failure, not one per event");
+        let (dest, lost) = &failures[0];
+        assert_eq!(*dest, 1);
+        assert_eq!(*lost, 17, "every queued event is in the lost set");
+        drop(failures);
+        assert_eq!(t0.outbound_backlog(), 0);
+        // The peer is down for good: later sends fail synchronously.
+        assert!(matches!(t0.send_event(1, wire_event()), Err(NetError::Unreachable(1))));
     }
 
     #[test]

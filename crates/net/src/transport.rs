@@ -59,6 +59,17 @@ pub trait ClusterHandler: Send + Sync + 'static {
     /// `Err(Unreachable)` if `dest` is not a live machine here.
     fn deliver_event(&self, dest: MachineId, ev: WireEvent) -> Result<(), NetError>;
 
+    /// An asynchronous send path (the TCP transport's per-peer batching
+    /// senders) gave up on `dest`: the whole in-flight batch plus
+    /// everything still queued behind it is undeliverable. One §4.3
+    /// detection — the implementation reports the failure once and
+    /// accounts every event in `lost` individually (lost-and-logged,
+    /// never retried). Default: drop silently (handlers that never use an
+    /// async transport need no accounting).
+    fn handle_send_failure(&self, dest: MachineId, lost: Vec<WireEvent>) {
+        let _ = (dest, lost);
+    }
+
     /// A failure report reached the master role on this node (§4.3).
     fn handle_failure_report(&self, failed: MachineId);
 
@@ -102,8 +113,20 @@ pub trait Transport: Send + Sync + 'static {
     fn local_machine(&self) -> Option<MachineId>;
 
     /// Pass an event directly to `dest`'s worker queues.
-    /// `Err(Unreachable)` is the §4.3 detection signal.
+    /// `Err(Unreachable)` is the §4.3 detection signal. Asynchronous
+    /// transports may accept the event into a bounded outbound queue and
+    /// surface a later wire failure through
+    /// [`ClusterHandler::handle_send_failure`] instead.
     fn send_event(&self, dest: MachineId, ev: WireEvent) -> Result<(), NetError>;
+
+    /// Events accepted by [`Transport::send_event`] but not yet on the
+    /// wire (asynchronous transports). The engine adds this to its
+    /// pending/throttle budget so a slow peer pushes back on the source
+    /// instead of growing an unbounded buffer. Synchronous transports
+    /// have no outbound queue: 0.
+    fn outbound_backlog(&self) -> usize {
+        0
+    }
 
     /// Report `failed` to the master role (local call or wire frame).
     fn report_failure(&self, failed: MachineId);

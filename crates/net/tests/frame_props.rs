@@ -1,0 +1,180 @@
+//! Property tests for the full `Frame` codec: every variant (including
+//! `EventBatch`) round-trips through payload encoding and stream I/O, and
+//! adversarial inputs — truncation, byte corruption, random bytes,
+//! absurd length/count prefixes — always yield a decode *error*, never a
+//! panic or a huge speculative allocation.
+
+use std::io::Cursor;
+
+use muppet_core::codec;
+use muppet_core::event::{Event, Key};
+use muppet_net::frame::{Frame, WireEvent, MAX_FRAME_BYTES};
+use proptest::prelude::*;
+
+fn arb_event() -> impl Strategy<Value = Event> {
+    (
+        "[A-Za-z][A-Za-z0-9_]{0,11}",
+        any::<u64>(),
+        proptest::collection::vec(any::<u8>(), 0..48),
+        proptest::collection::vec(any::<u8>(), 0..256),
+        any::<u64>(),
+    )
+        .prop_map(|(stream, ts, key, value, seq)| {
+            let mut event = Event::new(stream.as_str(), ts, Key::from(key), value);
+            event.seq = seq;
+            event
+        })
+}
+
+fn arb_wire_event() -> impl Strategy<Value = WireEvent> {
+    (
+        arb_event(),
+        0usize..256,
+        any::<u64>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::option::of(0u64..1024),
+    )
+        .prop_map(|(event, op, injected_us, redirected, external, hint)| WireEvent {
+            op,
+            event,
+            injected_us,
+            redirected,
+            external,
+            thread_hint: hint.map(|t| t as usize),
+        })
+}
+
+fn arb_opt_bytes() -> impl Strategy<Value = Option<Vec<u8>>> {
+    proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64))
+}
+
+fn arb_frame() -> BoxedStrategy<Frame> {
+    let updater = "[a-z][a-z0-9_-]{0,15}";
+    prop_oneof![
+        (0usize..64).prop_map(|sender| Frame::Hello { sender }),
+        arb_wire_event().prop_map(Frame::Event),
+        proptest::collection::vec(arb_wire_event(), 0..12).prop_map(Frame::EventBatch),
+        (0usize..64).prop_map(|failed| Frame::FailureReport { failed }),
+        (0usize..64).prop_map(|failed| Frame::FailureBroadcast { failed }),
+        (updater, proptest::collection::vec(any::<u8>(), 0..48))
+            .prop_map(|(updater, key)| Frame::SlateGet { updater, key }),
+        arb_opt_bytes().prop_map(|value| Frame::SlateValue { value }),
+        (
+            updater,
+            proptest::collection::vec(any::<u8>(), 0..48),
+            proptest::collection::vec(any::<u8>(), 0..128),
+            proptest::option::of(any::<u64>()),
+            any::<u64>(),
+        )
+            .prop_map(|(updater, key, value, ttl_secs, now_us)| Frame::StorePut {
+                updater,
+                key,
+                value,
+                ttl_secs,
+                now_us,
+            }),
+        (updater, proptest::collection::vec(any::<u8>(), 0..48), any::<u64>())
+            .prop_map(|(updater, key, now_us)| Frame::StoreGet { updater, key, now_us }),
+        arb_opt_bytes().prop_map(|value| Frame::StoreValue { value }),
+        Just(Frame::StoreAck),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn every_variant_roundtrips_through_payload_and_stream(frame in arb_frame()) {
+        // Payload-level roundtrip.
+        let payload = frame.encode_payload();
+        prop_assert_eq!(Frame::decode_payload(&payload), Some(frame.clone()));
+        // Stream-level roundtrip (header + CRC + payload).
+        let mut wire = Vec::new();
+        frame.write_to(&mut wire).unwrap();
+        let back = Frame::read_from(&mut Cursor::new(&wire)).unwrap();
+        prop_assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn framed_sequences_roundtrip_in_order(frames in proptest::collection::vec(arb_frame(), 1..8)) {
+        let mut wire = Vec::new();
+        for frame in &frames {
+            frame.write_to(&mut wire).unwrap();
+        }
+        let mut cursor = Cursor::new(&wire);
+        for frame in &frames {
+            prop_assert_eq!(&Frame::read_from(&mut cursor).unwrap(), frame);
+        }
+    }
+
+    #[test]
+    fn truncation_is_an_error_never_a_panic(frame in arb_frame(), cut in any::<u64>()) {
+        let mut wire = Vec::new();
+        frame.write_to(&mut wire).unwrap();
+        // Any strict prefix must fail to read (EOF or decode error).
+        let cut = (cut as usize) % wire.len();
+        wire.truncate(cut);
+        prop_assert!(Frame::read_from(&mut Cursor::new(&wire)).is_err());
+    }
+
+    #[test]
+    fn payload_truncation_is_a_decode_error(frame in arb_frame(), cut in any::<u64>()) {
+        let payload = frame.encode_payload();
+        let cut = (cut as usize) % payload.len();
+        // decode_payload must reject every strict prefix: either the
+        // fields run out of bytes or the trailing-consumption check
+        // fires. Never a panic.
+        prop_assert_eq!(Frame::decode_payload(&payload[..cut]), None);
+    }
+
+    #[test]
+    fn byte_corruption_is_detected(frame in arb_frame(), at in any::<u64>(), flip in 1u8..=255) {
+        let mut wire = Vec::new();
+        frame.write_to(&mut wire).unwrap();
+        let at = (at as usize) % wire.len();
+        wire[at] ^= flip;
+        // A corrupted length prefix desyncs the stream (read error / EOF);
+        // a corrupted CRC or payload byte trips the checksum. Either way:
+        // an error, not a wrong frame and not a panic.
+        prop_assert!(Frame::read_from(&mut Cursor::new(&wire)).is_err());
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_payload_decoder(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Whatever comes back must be reached without panicking; random
+        // bytes decoding to Some(frame) would be fine (and wildly
+        // unlikely past the kind byte), the property is "total, no UB-ish
+        // surprises, no over-allocation".
+        let _ = Frame::decode_payload(&bytes);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_the_stream_reader(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Frame::read_from(&mut Cursor::new(&bytes));
+    }
+
+    #[test]
+    fn absurd_length_prefixes_are_rejected_before_allocating(len in any::<u32>(), crc in any::<u32>()) {
+        // A header claiming up to 4 GiB of payload with no body: must be
+        // rejected (over the frame limit) or fail on EOF — and must not
+        // try to allocate the claimed length when it exceeds the limit.
+        let mut wire = Vec::new();
+        codec::put_u32(&mut wire, len);
+        codec::put_u32(&mut wire, crc);
+        let err = Frame::read_from(&mut Cursor::new(&wire)).unwrap_err();
+        if len as usize > MAX_FRAME_BYTES {
+            prop_assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        }
+    }
+
+    #[test]
+    fn absurd_batch_counts_are_rejected_without_allocating(count in any::<u64>(), body in proptest::collection::vec(any::<u8>(), 0..32)) {
+        // KIND_EVENT_BATCH = 11 with an arbitrary count varint and junk
+        // body: the decoder caps its pre-allocation by the buffer size,
+        // so even count = u64::MAX cannot reserve beyond ~buffer length.
+        let mut payload = vec![11u8];
+        codec::put_varint(&mut payload, count);
+        payload.extend_from_slice(&body);
+        let _ = Frame::decode_payload(&payload);
+    }
+}

@@ -36,7 +36,7 @@ use muppet_core::event::{Event, Key, StreamId};
 use muppet_core::operator::{Mapper, Updater, VecEmitter};
 use muppet_core::workflow::{OpId, OpKind, Workflow};
 use muppet_net::frame::WireEvent;
-use muppet_net::tcp::{TcpListenerHandle, TcpTransport};
+use muppet_net::tcp::{BatchConfig, TcpListenerHandle, TcpTransport};
 use muppet_net::topology::Topology;
 use muppet_net::transport::{ClusterHandler, InProcessTransport, MachineId, NetError, Transport};
 use muppet_slatestore::cluster::StoreCluster;
@@ -115,6 +115,14 @@ pub struct EngineConfig {
     pub overflow: OverflowPolicy,
     /// Whether to measure end-to-end latency per updater delivery.
     pub record_latency: bool,
+    /// TCP mode: events coalesced into one wire frame at most (the
+    /// batching senders' size trigger; 1 = unbatched). Ignored
+    /// in-process.
+    pub net_batch_max: usize,
+    /// TCP mode: age bound in microseconds — a queued outbound event
+    /// never waits longer than this for its batch to flush (the latency
+    /// side of the size/age policy). Ignored in-process.
+    pub net_flush_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -131,6 +139,8 @@ impl Default for EngineConfig {
             flush: FlushPolicy::default(),
             overflow: OverflowPolicy::default(),
             record_latency: true,
+            net_batch_max: BatchConfig::default().batch_max,
+            net_flush_us: BatchConfig::default().flush_us,
         }
     }
 }
@@ -154,6 +164,8 @@ impl EngineConfig {
             },
             overflow: OverflowPolicy::default(),
             record_latency: true,
+            net_batch_max: BatchConfig::default().batch_max,
+            net_flush_us: BatchConfig::default().flush_us,
         }
     }
 }
@@ -290,6 +302,27 @@ pub struct EngineStats {
     pub cache: crate::cache::CacheStats,
     /// Dirty slates that never reached the store (loss bound, §4.3).
     pub dirty_slates: u64,
+    /// Wire-level counters (all zero for the in-process transport).
+    pub net: NetSummary,
+}
+
+/// Snapshot of the TCP transport's counters (see `muppet_net::TcpStats`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetSummary {
+    /// Frames written to peers (events, batches, and request frames).
+    pub frames_sent: u64,
+    /// Frames received by this node's listener.
+    pub frames_received: u64,
+    /// Multi-event frames written by the batching senders.
+    pub batches_sent: u64,
+    /// Events shipped through the batching path.
+    pub batched_events_sent: u64,
+    /// Wire failures that triggered §4.3 detection.
+    pub send_failures: u64,
+    /// Times a producer blocked on a full peer outbox (backpressure).
+    pub queue_full_waits: u64,
+    /// Gauge: events accepted for send but not yet on the wire.
+    pub outbound_backlog: u64,
 }
 
 impl Machine {
@@ -314,6 +347,8 @@ struct Shared {
     machines: Vec<Machine>,
     /// The wire (in-process hand-off or TCP).
     transport: Arc<dyn Transport>,
+    /// TCP mode: the concrete transport, for wire-level stats snapshots.
+    tcp: Option<Arc<TcpTransport>>,
     /// TCP mode: the locally hosted store service, served to peers via
     /// the transport's store frames.
     host_store: Option<Arc<StoreCluster>>,
@@ -382,7 +417,15 @@ impl Engine {
                         cfg.machines
                     )));
                 }
-                let tcp = TcpTransport::new(topology.clone(), *local).map_err(Error::Config)?;
+                let batch = BatchConfig {
+                    batch_max: cfg.net_batch_max,
+                    flush_us: cfg.net_flush_us,
+                    // Bound each peer outbox like a worker queue: the
+                    // backlog participates in the same throttle budget.
+                    queue_capacity: cfg.queue_capacity.max(1),
+                };
+                let tcp = TcpTransport::new_with_batching(topology.clone(), *local, batch)
+                    .map_err(Error::Config)?;
                 (Arc::clone(&tcp) as Arc<dyn Transport>, Some(tcp))
             }
         };
@@ -554,6 +597,7 @@ impl Engine {
             ops,
             machines,
             transport: Arc::clone(&transport),
+            tcp: tcp.clone(),
             host_store: store.clone(),
             master: Master::new(),
             pending: AtomicI64::new(0),
@@ -642,7 +686,14 @@ impl Engine {
         }
         if self.shared.cfg.overflow == OverflowPolicy::SourceThrottle {
             let budget = self.shared.total_queue_budget() as i64;
-            while self.shared.pending.load(Ordering::Acquire) > budget {
+            // The in-flight count includes the transport's outbound
+            // backlog (TCP mode): events parked in per-peer batching
+            // outboxes are cluster load exactly like queued events, so a
+            // slow wire throttles the source instead of growing buffers.
+            while self.shared.pending.load(Ordering::Acquire)
+                + self.shared.transport.outbound_backlog() as i64
+                > budget
+            {
                 if self.shared.stopping.load(Ordering::Acquire) {
                     break;
                 }
@@ -668,11 +719,15 @@ impl Engine {
         self.submit(Event::new(stream, ts, key, value))
     }
 
-    /// Wait until all in-flight events finish (or `timeout` elapses).
+    /// Wait until all in-flight events finish (or `timeout` elapses) —
+    /// including events still parked in the transport's outbound batching
+    /// queues, which have not reached their destination machine yet.
     /// Returns true on a full drain.
     pub fn drain(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        while self.shared.pending.load(Ordering::Acquire) > 0 {
+        while self.shared.pending.load(Ordering::Acquire) > 0
+            || self.shared.transport.outbound_backlog() > 0
+        {
             if Instant::now() > deadline {
                 return false;
             }
@@ -692,13 +747,7 @@ impl Engine {
             return None;
         }
         let route = key.route_hash(updater);
-        let owner = match self.shared.cfg.kind {
-            EngineKind::Muppet2 => self.shared.machine_ring.read().owner(route)?,
-            EngineKind::Muppet1 => {
-                let slot_id = self.shared.op_rings.read().get(op)?.owner(route)?;
-                self.shared.worker_slots[slot_id].machine
-            }
-        };
+        let owner = self.owner_machine(updater, key)?;
         if self.shared.transport.is_local(owner) {
             let machine = &self.shared.machines[owner];
             match self.shared.cfg.kind {
@@ -711,6 +760,21 @@ impl Engine {
             }
         } else {
             self.shared.transport.read_slate(owner, updater, key.as_bytes()).ok().flatten()
+        }
+    }
+
+    /// The machine whose rings currently own ⟨`updater`, `key`⟩ — where
+    /// an event with that key would be routed and where its slate lives.
+    /// `None` for unknown operators or once every owner has failed.
+    pub fn owner_machine(&self, updater: &str, key: &Key) -> Option<usize> {
+        let op = self.shared.wf.op_id(updater)?;
+        let route = key.route_hash(updater);
+        match self.shared.cfg.kind {
+            EngineKind::Muppet2 => self.shared.machine_ring.read().owner(route),
+            EngineKind::Muppet1 => {
+                let slot_id = self.shared.op_rings.read().get(op)?.owner(route)?;
+                Some(self.shared.worker_slots[slot_id].machine)
+            }
         }
     }
 
@@ -859,6 +923,21 @@ impl Engine {
             }
             dirty = cache.dirty;
         }
+        let net = match &self.shared.tcp {
+            Some(tcp) => {
+                let t = tcp.stats();
+                NetSummary {
+                    frames_sent: t.frames_sent.load(Ordering::Relaxed),
+                    frames_received: t.frames_received.load(Ordering::Relaxed),
+                    batches_sent: t.batches_sent.load(Ordering::Relaxed),
+                    batched_events_sent: t.batched_events_sent.load(Ordering::Relaxed),
+                    send_failures: t.send_failures.load(Ordering::Relaxed),
+                    queue_full_waits: t.queue_full_waits.load(Ordering::Relaxed),
+                    outbound_backlog: t.outbound_backlog.load(Ordering::Relaxed),
+                }
+            }
+            None => NetSummary::default(),
+        };
         EngineStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             processed: c.processed.load(Ordering::Relaxed),
@@ -872,6 +951,7 @@ impl Engine {
             latency: self.shared.latency.summary(),
             cache,
             dirty_slates: dirty,
+            net,
         }
     }
 
@@ -1247,6 +1327,20 @@ struct EngineHandler(Arc<Shared>);
 impl ClusterHandler for EngineHandler {
     fn deliver_event(&self, dest: MachineId, ev: WireEvent) -> std::result::Result<(), NetError> {
         deliver_local(&self.0, dest, ev)
+    }
+
+    fn handle_send_failure(&self, dest: MachineId, lost: Vec<WireEvent>) {
+        // The async half of §4.3: a batching sender gave up on `dest`.
+        // One detection (the report; the master dedupes), with every
+        // undelivered event counted and logged individually — exactly
+        // what the synchronous path does per event, amortized over the
+        // batch. Never retried.
+        let shared = &self.0;
+        shared.counters.lost_machine_failure.fetch_add(lost.len() as u64, Ordering::Relaxed);
+        for ev in &lost {
+            shared.drop_log.log(format!("lost to failed machine {dest}: key={:?}", ev.event.key));
+        }
+        shared.transport.report_failure(dest);
     }
 
     fn handle_failure_report(&self, failed: MachineId) {

@@ -66,6 +66,9 @@ impl SlateReader for crate::engine::Engine {
             ("max_queue_high_water", Json::num(self.max_queue_high_water() as f64)),
             ("cache_entries", Json::num(s.cache.entries as f64)),
             ("p99_latency_us", Json::num(s.latency.p99_us as f64)),
+            ("net_frames_sent", Json::num(s.net.frames_sent as f64)),
+            ("net_batches_sent", Json::num(s.net.batches_sent as f64)),
+            ("net_outbound_backlog", Json::num(s.net.outbound_backlog as f64)),
             (
                 "failed_machines",
                 Json::Arr(

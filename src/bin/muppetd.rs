@@ -24,6 +24,11 @@
 //! node 0). Kill any other node and keep submitting: the senders report
 //! the dead machine, the master broadcasts, and `/status` on every
 //! surviving node shows it under `failed_machines`.
+//!
+//! The event wire batches: outbound events coalesce into `EventBatch`
+//! frames per peer, flushed at `--batch-max` events or `--flush-us`
+//! microseconds of age, whichever first (see DESIGN.md §5 "Batching and
+//! backpressure").
 
 use std::sync::Arc;
 
@@ -42,13 +47,16 @@ struct Options {
     workers: usize,
     store_host: Option<usize>,
     data_dir: Option<String>,
+    batch_max: usize,
+    flush_us: u64,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: muppetd (--config <cluster.toml> | --peers <host:port:http,...>) --node <id>
            [--app hot_topics|retailer] [--engine muppet1|muppet2]
-           [--workers <n>] [--store-host <id>] [--data-dir <path>] [--master <id>]"
+           [--workers <n>] [--store-host <id>] [--data-dir <path>] [--master <id>]
+           [--batch-max <events>] [--flush-us <microseconds>]"
     );
     std::process::exit(2)
 }
@@ -63,6 +71,9 @@ fn parse_args() -> Options {
     let mut store_host = None;
     let mut data_dir = None;
     let mut master: Option<usize> = None;
+    let defaults = EngineConfig::default();
+    let mut batch_max = defaults.net_batch_max;
+    let mut flush_us = defaults.net_flush_us;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -98,6 +109,18 @@ fn parse_args() -> Options {
                 }
             }
             "--workers" => workers = value().parse().unwrap_or(4),
+            "--batch-max" => {
+                batch_max = value().parse().unwrap_or_else(|_| {
+                    eprintln!("muppetd: --batch-max wants an event count");
+                    usage()
+                })
+            }
+            "--flush-us" => {
+                flush_us = value().parse().unwrap_or_else(|_| {
+                    eprintln!("muppetd: --flush-us wants microseconds");
+                    usage()
+                })
+            }
             "--store-host" => store_host = value().parse().ok(),
             "--data-dir" => data_dir = Some(value().to_string()),
             "--master" => master = value().parse().ok(),
@@ -117,7 +140,7 @@ fn parse_args() -> Options {
         eprintln!("muppetd: --node {node} not in topology of {} nodes", topology.len());
         std::process::exit(2);
     }
-    Options { topology, node, app, kind, workers, store_host, data_dir }
+    Options { topology, node, app, kind, workers, store_host, data_dir, batch_max, flush_us }
 }
 
 fn app_workflow_and_ops(app: &str) -> (Workflow, OperatorSet) {
@@ -172,6 +195,8 @@ fn main() {
         workers_per_op: opts.workers,
         transport: TransportKind::Tcp { topology: opts.topology.clone(), local: opts.node },
         store_host: opts.store_host,
+        net_batch_max: opts.batch_max,
+        net_flush_us: opts.flush_us,
         ..EngineConfig::default()
     };
     let engine = match Engine::start(workflow, ops, cfg, store) {

@@ -66,8 +66,30 @@ fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
     true
 }
 
+/// Spawn a 3-node cluster on probed-free ports. Ports are reserved by
+/// binding port 0 immediately before each spawn attempt
+/// (`loopback_ephemeral`), which is inherently racy against other
+/// processes on the machine — so a node that dies or never answers
+/// `/status` (its port was stolen between probe and bind) aborts the
+/// attempt and the whole cluster retries on a fresh port set instead of
+/// failing the test on a stale collision.
 fn start_cluster() -> Cluster {
-    let topology = muppet::net::Topology::loopback_ephemeral(3, true).unwrap();
+    const ATTEMPTS: usize = 3;
+    for attempt in 1..=ATTEMPTS {
+        match try_start_cluster() {
+            Ok(cluster) => return cluster,
+            Err(e) if attempt < ATTEMPTS => {
+                eprintln!("cluster start attempt {attempt} failed ({e}); retrying on fresh ports");
+            }
+            Err(e) => panic!("cluster never became ready after {ATTEMPTS} attempts: {e}"),
+        }
+    }
+    unreachable!()
+}
+
+fn try_start_cluster() -> Result<Cluster, String> {
+    let topology = muppet::net::Topology::loopback_ephemeral(3, true)
+        .map_err(|e| format!("cannot probe free ports: {e}"))?;
     let http_ports: Vec<u16> = topology.nodes.iter().map(|n| n.http_port).collect();
     let peers = topology
         .nodes
@@ -87,17 +109,26 @@ fn start_cluster() -> Cluster {
             )
         })
         .collect();
-    let cluster = Cluster { children, http_ports };
-    for &port in &cluster.http_ports {
-        assert!(
-            wait_until(Duration::from_secs(20), || matches!(
-                http("GET", port, "/status", b""),
-                Ok((200, _))
-            )),
-            "node on http port {port} never became ready"
-        );
+    // Cluster's Drop kills the children if any readiness check fails.
+    let mut cluster = Cluster { children, http_ports };
+    for node in 0..3 {
+        let port = cluster.http_ports[node];
+        let ready = wait_until(Duration::from_secs(20), || {
+            // A child that exited (e.g. "cannot bind": the probed port
+            // was stolen) will never answer; fail the attempt fast.
+            if let Some(child) = cluster.children[node].as_mut() {
+                if let Ok(Some(status)) = child.try_wait() {
+                    eprintln!("muppetd node {node} exited early: {status}");
+                    return true; // break the wait; the http check below fails
+                }
+            }
+            matches!(http("GET", port, "/status", b""), Ok((200, _)))
+        });
+        if !ready || !matches!(http("GET", port, "/status", b""), Ok((200, _))) {
+            return Err(format!("node {node} on http port {port} never became ready"));
+        }
     }
-    cluster
+    Ok(cluster)
 }
 
 #[test]

@@ -1,0 +1,101 @@
+//! The latency side of the size/age flush policy: batching must never
+//! turn into a Nagle stall. A single event with no follow-up traffic —
+//! the worst case for any coalescing wire, since nothing else will ever
+//! fill its batch — must still be delivered within ~2× `net_flush_us`,
+//! for both engine generations over TCP loopback.
+
+use std::time::{Duration, Instant};
+
+use muppet::prelude::*;
+
+struct CountUpdater;
+
+impl Updater for CountUpdater {
+    fn name(&self) -> &str {
+        "counter"
+    }
+    fn update(&self, _ctx: &mut dyn Emitter, _event: &Event, slate: &mut Slate) {
+        let n = slate.as_str().and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
+        slate.replace((n + 1).to_string().into_bytes());
+    }
+}
+
+fn count_workflow() -> Workflow {
+    let mut b = Workflow::builder("net-batch");
+    b.external_stream("S1");
+    b.updater("counter", &["S1"]);
+    b.build().unwrap()
+}
+
+/// The flush policy under test: a long batch-size trigger that a single
+/// event can never hit, so only the age bound can get it on the wire.
+const FLUSH_US: u64 = 250_000;
+
+fn start_node(topology: &Topology, local: usize, kind: EngineKind) -> Engine {
+    let cfg = EngineConfig {
+        kind,
+        machines: topology.len(),
+        workers_per_machine: 2,
+        workers_per_op: 2,
+        transport: TransportKind::Tcp { topology: topology.clone(), local },
+        net_batch_max: 10_000,
+        net_flush_us: FLUSH_US,
+        ..EngineConfig::default()
+    };
+    Engine::start(count_workflow(), OperatorSet::new().updater(CountUpdater), cfg, None).unwrap()
+}
+
+/// A key whose ⟨key, "counter"⟩ arc is owned by machine 1, so node 0
+/// must send it across the wire (asked of the engine's own routing).
+fn remote_owned_key(node0: &Engine) -> Key {
+    for i in 0..10_000 {
+        let key = Key::from(format!("probe-{i}"));
+        if node0.owner_machine("counter", &key) == Some(1) {
+            return key;
+        }
+    }
+    panic!("no key routed to machine 1 in 10k probes");
+}
+
+fn single_event_is_flushed_within_the_age_bound(kind: EngineKind) {
+    let topology = Topology::loopback_ephemeral(2, false).unwrap();
+    let a = start_node(&topology, 0, kind);
+    let b = start_node(&topology, 1, kind);
+
+    let key = remote_owned_key(&a);
+    let started = Instant::now();
+    a.submit(Event::new("S1", 1, key, "e")).unwrap();
+
+    // No follow-up traffic: only the age trigger can flush this batch.
+    let bound = Duration::from_micros(2 * FLUSH_US);
+    let deadline = started + bound;
+    let mut delivered_at = None;
+    while Instant::now() <= deadline {
+        if b.stats().processed >= 1 {
+            delivered_at = Some(started.elapsed());
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let elapsed = delivered_at.unwrap_or_else(|| {
+        panic!(
+            "single event not delivered within 2x flush_us ({bound:?}) — Nagle stall \
+             ({kind:?}; remote processed = {})",
+            b.stats().processed
+        )
+    });
+    assert!(elapsed <= bound, "{elapsed:?} exceeds the {bound:?} flush bound ({kind:?})");
+
+    a.shutdown();
+    b.shutdown();
+}
+
+#[test]
+fn muppet2_single_event_flushes_within_the_age_bound() {
+    single_event_is_flushed_within_the_age_bound(EngineKind::Muppet2);
+}
+
+#[test]
+fn muppet1_single_event_flushes_within_the_age_bound() {
+    single_event_is_flushed_within_the_age_bound(EngineKind::Muppet1);
+}

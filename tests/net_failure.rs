@@ -168,6 +168,131 @@ fn killing_a_peer_triggers_report_broadcast_ring_drop_and_loss_logging() {
     c.shutdown();
 }
 
+/// The §4.3 loss-accounting contract across the async batching boundary,
+/// at transport level where the undelivered count is exact: a peer killed
+/// mid-stream with a non-empty outbound queue produces *one* failure
+/// report and *one* broadcast, and the lost set handed back for
+/// lost-and-logged accounting holds exactly the undelivered batched
+/// events — no event dropped from the books, none double-counted.
+#[test]
+fn killed_peer_with_queued_batch_is_one_report_with_exact_loss_accounting() {
+    use muppet::net::{
+        BatchConfig, ClusterHandler, MachineId, NetError, TcpTransport, Transport, WireEvent,
+    };
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, Weak};
+
+    /// Mimics the engine's handler: counts deliveries, routes an async
+    /// send failure into report_failure (like `EngineHandler`), and
+    /// fans the master-side report out as a broadcast.
+    #[derive(Default)]
+    struct Proto {
+        delivered: AtomicUsize,
+        lost: Mutex<Vec<WireEvent>>,
+        reports: Mutex<Vec<MachineId>>,
+        broadcasts: Mutex<Vec<MachineId>>,
+        transport: Mutex<Weak<TcpTransport>>,
+    }
+
+    impl ClusterHandler for Proto {
+        fn deliver_event(&self, _dest: MachineId, _ev: WireEvent) -> Result<(), NetError> {
+            self.delivered.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        }
+        fn handle_send_failure(&self, dest: MachineId, lost: Vec<WireEvent>) {
+            self.lost.lock().unwrap().extend(lost);
+            // Take the transport out of the lock before the nested call
+            // (report → broadcast re-enters this handler).
+            let transport = self.transport.lock().unwrap().upgrade();
+            if let Some(t) = transport {
+                t.report_failure(dest);
+            }
+        }
+        fn handle_failure_report(&self, failed: MachineId) {
+            self.reports.lock().unwrap().push(failed);
+            let transport = self.transport.lock().unwrap().upgrade();
+            if let Some(t) = transport {
+                t.broadcast_failure(failed);
+            }
+        }
+        fn handle_failure_broadcast(&self, failed: MachineId) {
+            self.broadcasts.lock().unwrap().push(failed);
+        }
+        fn read_local_slate(&self, _d: MachineId, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
+            None
+        }
+    }
+
+    let topology = loopback_topology(2);
+    // Age bound long enough that the post-kill events are all still
+    // queued when the flush fires against the dead peer.
+    let batch = BatchConfig { batch_max: 1024, flush_us: 500_000, queue_capacity: 4096 };
+    let t0 = TcpTransport::new_with_batching(topology.clone(), 0, batch).unwrap();
+    let t1 = TcpTransport::new(topology, 1).unwrap();
+    let h0 = Arc::new(Proto::default());
+    let h1 = Arc::new(Proto::default());
+    *h0.transport.lock().unwrap() = Arc::downgrade(&t0);
+    t0.register(Arc::downgrade(&h0) as Weak<dyn ClusterHandler>);
+    t1.register(Arc::downgrade(&h1) as Weak<dyn ClusterHandler>);
+    let listener1 = t1.start_listener().unwrap();
+
+    let ev = || WireEvent {
+        op: 0,
+        event: Event::new("S1", 1, Key::from("k"), "v"),
+        injected_us: 0,
+        redirected: false,
+        external: true,
+        thread_hint: None,
+    };
+
+    // Mid-stream: the pipelined connection to node 1 is live and has
+    // carried traffic.
+    for _ in 0..3 {
+        t0.send_event(1, ev()).unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || h1.delivered.load(Ordering::Relaxed) == 3),
+        "warm events never delivered"
+    );
+
+    // Kill node 1 (listener + transport — what a dead muppetd looks
+    // like), and let the close propagate before the next flush.
+    drop(listener1);
+    drop(t1);
+    std::thread::sleep(Duration::from_millis(400));
+
+    // Fill the outbound queue while the peer is a corpse. All of these
+    // are accepted (async path) and none can ever be delivered.
+    const UNDELIVERED: usize = 23;
+    for _ in 0..UNDELIVERED {
+        t0.send_event(1, ev()).unwrap();
+    }
+    assert!(t0.outbound_backlog() > 0, "events must be queued, not sent inline");
+
+    // The flush hits the dead wire: one detection, everything accounted.
+    assert!(
+        wait_until(Duration::from_secs(10), || h0.lost.lock().unwrap().len() == UNDELIVERED),
+        "lost {} of {UNDELIVERED} undelivered events",
+        h0.lost.lock().unwrap().len()
+    );
+    // The report/broadcast chain runs on the sender thread right after
+    // the lost set is recorded; give it a moment to complete.
+    assert!(
+        wait_until(Duration::from_secs(5), || !h0.broadcasts.lock().unwrap().is_empty()),
+        "broadcast never fired"
+    );
+    let reports = h0.reports.lock().unwrap().clone();
+    let broadcasts = h0.broadcasts.lock().unwrap().clone();
+    assert_eq!(reports, vec![1], "exactly one failure report");
+    assert_eq!(broadcasts, vec![1], "exactly one broadcast");
+    assert_eq!(t0.outbound_backlog(), 0, "the dead peer's queue is fully drained");
+    assert_eq!(t0.stats().send_failures.load(Ordering::Relaxed), 1);
+
+    // §4.3: the machine never comes back — later sends fail fast, and
+    // that is a *synchronous* Unreachable (the engine's per-event path).
+    assert!(matches!(t0.send_event(1, ev()), Err(NetError::Unreachable(1))));
+}
+
 #[test]
 fn muppet1_engine_works_over_tcp() {
     let topology = loopback_topology(2);
