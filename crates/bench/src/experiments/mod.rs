@@ -8,6 +8,7 @@ pub mod x12_hotspot_splitting;
 pub mod x13_slate_sizes;
 pub mod x14_http_reads;
 pub mod x15_network_transport;
+pub mod x16_elasticity;
 pub mod x1_distributed_execution;
 pub mod x2_retailer_counts;
 pub mod x3_hot_topics;

@@ -145,8 +145,8 @@ impl ClusterHandler for SinkHandler {
         self.0.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
-    fn handle_failure_report(&self, _failed: MachineId) {}
-    fn handle_failure_broadcast(&self, _failed: MachineId) {}
+    fn handle_failure_report(&self, _failed: MachineId, _epoch: u64) {}
+    fn handle_failure_broadcast(&self, _failed: MachineId, _epoch: u64) {}
     fn read_local_slate(&self, _d: MachineId, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
         None
     }
@@ -178,6 +178,7 @@ fn wire_throughput(n: usize, batch: BatchConfig) -> (Duration, u64) {
             redirected: false,
             external: true,
             thread_hint: None,
+            forwards: 0,
         })
         .collect();
     let t0 = Instant::now();

@@ -1,0 +1,199 @@
+//! X16 — elastic membership: a machine joins a *running* cluster.
+//!
+//! The paper's cluster only ever shrinks (§4.3 failure drops); the
+//! ROADMAP north-star needs growth under load. This experiment measures
+//! the two costs of a live join on a partitionable per-key-counter
+//! workload (an I/O-weight updater — each update parks its worker the
+//! way a write-through store round trip would — with keys spread evenly
+//! over the ring):
+//!
+//! * **throughput before vs after** the join — the added machine's
+//!   workers must raise (never lower) the sustained event rate;
+//! * **handoff stall** — the wall time of the membership protocol
+//!   itself (prepare: flush moved slates under the membership write
+//!   lock; commit: install the epoch), during which updaters briefly
+//!   serialize against the ring swap.
+//!
+//! Correctness is asserted, not sampled: after both phases every
+//! per-key count must sum to exactly the number of submitted events and
+//! every loss counter must be zero — the join is loss-free.
+//!
+//! Results are also written to `BENCH_x16.json` so CI records the
+//! trajectory (same pattern as x15).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use muppet_core::event::{Event, Key};
+use muppet_core::json::Json;
+use muppet_core::operator::{Emitter, Updater};
+use muppet_core::slate::Slate;
+use muppet_core::workflow::Workflow;
+use muppet_runtime::engine::{Engine, EngineConfig, EngineKind, OperatorSet};
+use muppet_runtime::overflow::OverflowPolicy;
+use muppet_slatestore::cluster::{StoreCluster, StoreConfig};
+use muppet_slatestore::util::TempDir;
+
+use crate::table::{rate, Table};
+use crate::Scale;
+
+const KEYS: usize = 256;
+/// Per-update park time: the simulated store/IO round trip each slate
+/// write pays. Parking (not spinning) is what a write-through flush or a
+/// remote read does to a worker, and it is what an added machine's
+/// workers genuinely parallelize — even on a single-core host, where a
+/// CPU-spin workload could show no join speedup at all.
+const UPDATE_IO: Duration = Duration::from_micros(120);
+
+/// A per-key counter with deliberate I/O weight — the partitionable
+/// workload: every key is independent, so more machines = more of the
+/// ring working in parallel.
+struct SpinCounter;
+
+impl Updater for SpinCounter {
+    fn name(&self) -> &str {
+        "spin-counter"
+    }
+    fn update(&self, _ctx: &mut dyn Emitter, _event: &Event, slate: &mut Slate) {
+        std::thread::sleep(UPDATE_IO);
+        slate.incr_counter(1);
+    }
+}
+
+fn workflow() -> Workflow {
+    let mut b = Workflow::builder("x16-elasticity");
+    b.external_stream("S1");
+    b.updater("spin-counter", &["S1"]);
+    b.build().unwrap()
+}
+
+/// Submit `n` events round-robin over the key space and wait for the
+/// cluster to fully drain. Returns the wall time.
+fn drive(engine: &Engine, n: usize, seq_base: u64) -> Duration {
+    let t0 = Instant::now();
+    for i in 0..n {
+        engine
+            .submit(Event::new(
+                "S1",
+                seq_base + i as u64,
+                Key::from(format!("k{:03}", i % KEYS)),
+                "e",
+            ))
+            .expect("submit");
+    }
+    assert!(engine.drain(Duration::from_secs(300)), "x16 phase did not drain");
+    t0.elapsed()
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) {
+    super::banner(
+        "X16",
+        "elastic membership: live machine join (throughput + handoff stall)",
+        "DESIGN.md §7; beyond the paper (§4.3 only shrinks)",
+    );
+    let n = scale.events(30_000);
+    let machines_before = 1usize;
+
+    let dir = TempDir::new("x16-elasticity").expect("temp store dir");
+    let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
+    let cfg = EngineConfig {
+        kind: EngineKind::Muppet2,
+        machines: machines_before,
+        workers_per_machine: 1,
+        queue_capacity: 1 << 14,
+        overflow: OverflowPolicy::SourceThrottle, // zero-loss configuration
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start(
+        workflow(),
+        OperatorSet::new().updater(SpinCounter),
+        cfg,
+        Some(Arc::clone(&store)),
+    )
+    .unwrap();
+
+    // Warm the caches / rings, then measure the pre-join steady state.
+    drive(&engine, n / 10, 0);
+    let pre = drive(&engine, n, 1_000_000);
+
+    // The join, timed: reserve → prepare (flush every moved slate under
+    // the membership lock) → commit. Submissions are *not* stopped
+    // around it in real deployments; here the phases are separated so
+    // the stall and the rates are each measured cleanly.
+    let t_join = Instant::now();
+    let joined = engine.join_machine().expect("join");
+    let stall = t_join.elapsed();
+    assert!(engine.ring_contains(joined), "joiner must enter the ring");
+
+    let post = drive(&engine, n, 2_000_000);
+
+    // Loss-free: every submitted event is in exactly one per-key count.
+    let submitted = (n / 10 + 2 * n) as u64;
+    let mut total = 0u64;
+    for k in 0..KEYS {
+        if let Some(bytes) = engine.read_slate("spin-counter", &Key::from(format!("k{k:03}"))) {
+            total += String::from_utf8(bytes).unwrap().parse::<u64>().unwrap();
+        }
+    }
+    assert_eq!(total, submitted, "per-key counts must sum to every submitted event");
+    let stats = engine.shutdown();
+    assert_eq!(stats.lost_machine_failure, 0, "a join must not lose events");
+    assert_eq!(stats.lost_in_queues, 0);
+    assert_eq!(stats.dropped_overflow, 0);
+    assert_eq!(stats.epoch, 1, "one join = one epoch");
+
+    let pre_rate = n as f64 / pre.as_secs_f64().max(1e-9);
+    let post_rate = n as f64 / post.as_secs_f64().max(1e-9);
+    let speedup = post_rate / pre_rate.max(1e-9);
+
+    let mut table = Table::new(["phase", "machines", "events", "wall time", "events/s"]);
+    table.row([
+        "pre-join".to_string(),
+        machines_before.to_string(),
+        n.to_string(),
+        format!("{pre:.2?}"),
+        rate(n, pre),
+    ]);
+    table.row([
+        "post-join".to_string(),
+        (machines_before + 1).to_string(),
+        n.to_string(),
+        format!("{post:.2?}"),
+        rate(n, post),
+    ]);
+    table.print();
+    println!(
+        "\nshape check: the join stalled processing for {stall:.2?} (prepare flush + epoch \
+         install), forwarded {} in-flight events to the new owner, and post-join throughput is \
+         {speedup:.2}× pre-join on {} cores",
+        stats.forwarded,
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+    );
+    // The gate: adding a machine must not lose throughput. A small noise
+    // margin for loaded shared runners; the committed full-scale run
+    // (BENCH_x16.json) records the real ratio.
+    assert!(
+        speedup >= 0.9,
+        "post-join throughput collapsed: {post_rate:.0} vs {pre_rate:.0} events/s"
+    );
+
+    let doc = Json::obj([
+        ("experiment", Json::str("x16")),
+        ("workload", Json::str("per-key spin counters (partitionable)")),
+        ("machines_before", Json::num(machines_before as f64)),
+        ("machines_after", Json::num((machines_before + 1) as f64)),
+        ("events_per_phase", Json::num(n as f64)),
+        ("pre_join_events_per_sec", Json::num(pre_rate)),
+        ("post_join_events_per_sec", Json::num(post_rate)),
+        ("post_vs_pre_speedup", Json::num(speedup)),
+        ("handoff_stall_ms", Json::num(stall.as_secs_f64() * 1e3)),
+        ("forwarded_events", Json::num(stats.forwarded as f64)),
+        ("lost_events", Json::num(0.0)),
+        ("epoch_after", Json::num(stats.epoch as f64)),
+    ]);
+    match std::fs::write("BENCH_x16.json", doc.to_pretty() + "\n") {
+        Ok(()) => println!("wrote BENCH_x16.json"),
+        Err(e) => eprintln!("could not write BENCH_x16.json: {e}"),
+    }
+}

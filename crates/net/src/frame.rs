@@ -20,6 +20,7 @@ use muppet_core::codec::{
 use muppet_core::event::Event;
 use muppet_core::workflow::OpId;
 
+use crate::topology::NodeSpec;
 use crate::transport::MachineId;
 
 /// Refuse frames larger than this (corrupt length prefixes otherwise
@@ -47,6 +48,50 @@ pub struct WireEvent {
     /// cluster-wide). `None` for Muppet 2.0 two-choice dispatch at the
     /// receiver.
     pub thread_hint: Option<usize>,
+    /// Times this event has been forwarded by a machine that no longer
+    /// owned its key (elastic handoff / laggard rings). Capped at
+    /// [`MAX_FORWARDS`] on the wire; receivers drop-and-log beyond it so
+    /// disagreeing rings can never ping-pong an event forever.
+    pub forwards: u8,
+}
+
+/// Hop bound for ownership forwarding (3 bits in the wire flags byte).
+pub const MAX_FORWARDS: u8 = 7;
+
+/// Which step of the membership protocol a [`MembershipUpdate`] carries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MembershipPhase {
+    /// Stage the candidate rings and flush moved-away dirty slates, then
+    /// ack (request/response — the handoff barrier).
+    Prepare,
+    /// Install the staged epoch (one-way).
+    Commit,
+    /// Discard the staged epoch: the join was aborted before commit
+    /// (one-way). Prepared nodes revert to their committed rings; the
+    /// already-flushed slates fault back in from the store.
+    Abort,
+}
+
+/// An epoch-stamped membership change in flight between the master and
+/// the workers (elastic scale-out; DESIGN.md §7).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MembershipUpdate {
+    /// The epoch this update creates (or, for an abort, discards).
+    pub epoch: u64,
+    /// Prepare, commit, or abort.
+    pub phase: MembershipPhase,
+    /// Machine ids entering the rings at this epoch.
+    pub joined: Vec<MachineId>,
+    /// The complete committed ring membership *after* this epoch — not
+    /// just the delta. A worker that missed an earlier epoch heals from
+    /// this: any member absent from its rings is (re-)added when the
+    /// update stages, so one lost frame can never diverge membership
+    /// forever.
+    pub members: Vec<MachineId>,
+    /// The full cluster node list (workers learn new peers' addresses
+    /// from here; ids are contiguous and include not-yet-joined
+    /// reservations).
+    pub nodes: Vec<NodeSpec>,
 }
 
 /// One protocol message.
@@ -61,10 +106,28 @@ pub enum Frame {
     /// the wire keep up with the firehose (§4.1). Semantically identical
     /// to the same events sent as individual [`Frame::Event`]s.
     EventBatch(Vec<WireEvent>),
-    /// Worker → master: `failed` was unreachable on send (§4.3).
-    FailureReport { failed: MachineId },
-    /// Master → everyone: drop `failed` from all hash rings (§4.3).
-    FailureBroadcast { failed: MachineId },
+    /// Worker → master: `failed` was unreachable on send (§4.3), observed
+    /// under membership `epoch` (stale-epoch reports about a re-joined id
+    /// are rejected by the master).
+    FailureReport { failed: MachineId, epoch: u64 },
+    /// Master → everyone: drop `failed` from all hash rings (§4.3),
+    /// stamped with the epoch the failure was accepted under.
+    FailureBroadcast { failed: MachineId, epoch: u64 },
+    /// Joiner → master: machine `machine` (previously reserved via the
+    /// HTTP `/join` admin call) is live and ready to enter the rings.
+    Join { machine: MachineId },
+    /// Master → workers: an epoch-stamped membership change (prepare or
+    /// commit; see [`MembershipUpdate`]).
+    Membership(MembershipUpdate),
+    /// Worker → master reply to a [`Frame::Membership`] prepare: the
+    /// epoch is staged; moved-away dirty slates were flushed before this
+    /// ack.
+    MembershipAck { epoch: u64 },
+    /// Worker → master reply to a [`Frame::Membership`] prepare the
+    /// worker refused (e.g. a newer epoch already staged). Lets the
+    /// master fail fast instead of burning a reply timeout and
+    /// misreading a healthy worker as dead.
+    MembershipNack { epoch: u64 },
     /// Request the live cached slate of ⟨updater, key⟩ (§4.4 remote read).
     SlateGet { updater: String, key: Vec<u8> },
     /// Response to [`Frame::SlateGet`].
@@ -79,8 +142,9 @@ pub enum Frame {
     StoreAck,
 }
 
-/// Protocol version carried in [`Frame::Hello`].
-pub const PROTOCOL_VERSION: u64 = 1;
+/// Protocol version carried in [`Frame::Hello`]. v2: epoch-stamped
+/// failure frames + the membership (elastic join) frames.
+pub const PROTOCOL_VERSION: u64 = 2;
 
 const KIND_HELLO: u8 = 1;
 const KIND_EVENT: u8 = 2;
@@ -93,6 +157,10 @@ const KIND_STORE_GET: u8 = 8;
 const KIND_STORE_VALUE: u8 = 9;
 const KIND_STORE_ACK: u8 = 10;
 const KIND_EVENT_BATCH: u8 = 11;
+const KIND_JOIN: u8 = 12;
+const KIND_MEMBERSHIP: u8 = 13;
+const KIND_MEMBERSHIP_ACK: u8 = 14;
+const KIND_MEMBERSHIP_NACK: u8 = 15;
 
 /// The encoded floor of one event inside a batch (op + injected_us +
 /// flags + hint tag + the event's own fixed fields) — used to bound the
@@ -153,6 +221,8 @@ fn put_wire_event(out: &mut Vec<u8>, ev: &WireEvent) {
     if ev.external {
         flags |= 2;
     }
+    // Bits 2..=4: the forwarding hop count, saturating at MAX_FORWARDS.
+    flags |= ev.forwards.min(MAX_FORWARDS) << 2;
     out.push(flags);
     put_opt_varint(out, ev.thread_hint.map(|t| t as u64));
     put_event(out, &ev.event);
@@ -180,7 +250,38 @@ fn get_wire_event(buf: &[u8]) -> Option<(WireEvent, usize)> {
             redirected: flags & 1 != 0,
             external: flags & 2 != 0,
             thread_hint: hint.map(|t| t as usize),
+            forwards: (flags >> 2) & 0x07,
         },
+        at,
+    ))
+}
+
+fn put_node_spec(out: &mut Vec<u8>, node: &NodeSpec) {
+    put_varint(out, node.id as u64);
+    put_len_prefixed(out, node.host.as_bytes());
+    put_varint(out, node.port as u64);
+    put_varint(out, node.http_port as u64);
+}
+
+fn get_node_spec(buf: &[u8]) -> Option<(NodeSpec, usize)> {
+    let mut at = 0;
+    let (id, n) = get_varint(buf)?;
+    at += n;
+    let (host, n) = get_len_prefixed(&buf[at..])?;
+    let host = std::str::from_utf8(host).ok()?.to_string();
+    at += n;
+    let (port, n) = get_varint(&buf[at..])?;
+    if port > u16::MAX as u64 {
+        return None;
+    }
+    at += n;
+    let (http_port, n) = get_varint(&buf[at..])?;
+    if http_port > u16::MAX as u64 {
+        return None;
+    }
+    at += n;
+    Some((
+        NodeSpec { id: id as MachineId, host, port: port as u16, http_port: http_port as u16 },
         at,
     ))
 }
@@ -226,13 +327,48 @@ impl Frame {
                     put_wire_event(&mut out, ev);
                 }
             }
-            Frame::FailureReport { failed } => {
+            Frame::FailureReport { failed, epoch } => {
                 out.push(KIND_FAILURE_REPORT);
                 put_varint(&mut out, *failed as u64);
+                put_varint(&mut out, *epoch);
             }
-            Frame::FailureBroadcast { failed } => {
+            Frame::FailureBroadcast { failed, epoch } => {
                 out.push(KIND_FAILURE_BROADCAST);
                 put_varint(&mut out, *failed as u64);
+                put_varint(&mut out, *epoch);
+            }
+            Frame::Join { machine } => {
+                out.push(KIND_JOIN);
+                put_varint(&mut out, *machine as u64);
+            }
+            Frame::Membership(update) => {
+                out.push(KIND_MEMBERSHIP);
+                put_varint(&mut out, update.epoch);
+                out.push(match update.phase {
+                    MembershipPhase::Prepare => 0,
+                    MembershipPhase::Commit => 1,
+                    MembershipPhase::Abort => 2,
+                });
+                put_varint(&mut out, update.joined.len() as u64);
+                for &id in &update.joined {
+                    put_varint(&mut out, id as u64);
+                }
+                put_varint(&mut out, update.members.len() as u64);
+                for &id in &update.members {
+                    put_varint(&mut out, id as u64);
+                }
+                put_varint(&mut out, update.nodes.len() as u64);
+                for node in &update.nodes {
+                    put_node_spec(&mut out, node);
+                }
+            }
+            Frame::MembershipAck { epoch } => {
+                out.push(KIND_MEMBERSHIP_ACK);
+                put_varint(&mut out, *epoch);
+            }
+            Frame::MembershipNack { epoch } => {
+                out.push(KIND_MEMBERSHIP_NACK);
+                put_varint(&mut out, *epoch);
             }
             Frame::SlateGet { updater, key } => {
                 out.push(KIND_SLATE_GET);
@@ -302,13 +438,73 @@ impl Frame {
             }
             KIND_FAILURE_REPORT => {
                 let (failed, n) = get_varint(rest)?;
-                expect_consumed(rest, n)?;
-                Frame::FailureReport { failed: failed as MachineId }
+                let (epoch, m) = get_varint(&rest[n..])?;
+                expect_consumed(rest, n + m)?;
+                Frame::FailureReport { failed: failed as MachineId, epoch }
             }
             KIND_FAILURE_BROADCAST => {
                 let (failed, n) = get_varint(rest)?;
+                let (epoch, m) = get_varint(&rest[n..])?;
+                expect_consumed(rest, n + m)?;
+                Frame::FailureBroadcast { failed: failed as MachineId, epoch }
+            }
+            KIND_JOIN => {
+                let (machine, n) = get_varint(rest)?;
                 expect_consumed(rest, n)?;
-                Frame::FailureBroadcast { failed: failed as MachineId }
+                Frame::Join { machine: machine as MachineId }
+            }
+            KIND_MEMBERSHIP => {
+                let mut at = 0;
+                let (epoch, n) = get_varint(rest)?;
+                at += n;
+                let phase = match *rest.get(at)? {
+                    0 => MembershipPhase::Prepare,
+                    1 => MembershipPhase::Commit,
+                    2 => MembershipPhase::Abort,
+                    _ => return None,
+                };
+                at += 1;
+                let (joined_count, n) = get_varint(&rest[at..])?;
+                at += n;
+                // Cap pre-allocations by what the buffer could hold (one
+                // byte per varint at minimum) — a corrupt count must not
+                // trigger a huge reserve.
+                let possible = rest.len() + 1;
+                let mut joined = Vec::with_capacity((joined_count as usize).min(possible));
+                for _ in 0..joined_count {
+                    let (id, n) = get_varint(&rest[at..])?;
+                    at += n;
+                    joined.push(id as MachineId);
+                }
+                let (member_count, n) = get_varint(&rest[at..])?;
+                at += n;
+                let mut members = Vec::with_capacity((member_count as usize).min(possible));
+                for _ in 0..member_count {
+                    let (id, n) = get_varint(&rest[at..])?;
+                    at += n;
+                    members.push(id as MachineId);
+                }
+                let (node_count, n) = get_varint(&rest[at..])?;
+                at += n;
+                let possible = rest.len() / 4 + 1;
+                let mut nodes = Vec::with_capacity((node_count as usize).min(possible));
+                for _ in 0..node_count {
+                    let (node, n) = get_node_spec(&rest[at..])?;
+                    at += n;
+                    nodes.push(node);
+                }
+                expect_consumed(rest, at)?;
+                Frame::Membership(MembershipUpdate { epoch, phase, joined, members, nodes })
+            }
+            KIND_MEMBERSHIP_ACK => {
+                let (epoch, n) = get_varint(rest)?;
+                expect_consumed(rest, n)?;
+                Frame::MembershipAck { epoch }
+            }
+            KIND_MEMBERSHIP_NACK => {
+                let (epoch, n) = get_varint(rest)?;
+                expect_consumed(rest, n)?;
+                Frame::MembershipNack { epoch }
             }
             KIND_SLATE_GET => {
                 let (updater, n) = get_len_prefixed(rest)?;
@@ -441,6 +637,7 @@ mod tests {
             redirected: true,
             external: false,
             thread_hint: Some(7),
+            forwards: 3,
         }
     }
 
@@ -459,10 +656,38 @@ mod tests {
                     redirected: false,
                     external: true,
                     thread_hint: None,
+                    forwards: 0,
                 },
             ]),
-            Frame::FailureReport { failed: 1 },
-            Frame::FailureBroadcast { failed: 0 },
+            Frame::FailureReport { failed: 1, epoch: 4 },
+            Frame::FailureBroadcast { failed: 0, epoch: 0 },
+            Frame::Join { machine: 3 },
+            Frame::Membership(MembershipUpdate {
+                epoch: 2,
+                phase: MembershipPhase::Prepare,
+                joined: vec![3],
+                members: vec![0, 1, 2, 3],
+                nodes: vec![
+                    NodeSpec { id: 0, host: "127.0.0.1".into(), port: 9100, http_port: 8100 },
+                    NodeSpec { id: 3, host: "10.0.0.7".into(), port: 9103, http_port: 0 },
+                ],
+            }),
+            Frame::Membership(MembershipUpdate {
+                epoch: 5,
+                phase: MembershipPhase::Commit,
+                joined: Vec::new(),
+                members: Vec::new(),
+                nodes: Vec::new(),
+            }),
+            Frame::Membership(MembershipUpdate {
+                epoch: 6,
+                phase: MembershipPhase::Abort,
+                joined: vec![4],
+                members: Vec::new(),
+                nodes: Vec::new(),
+            }),
+            Frame::MembershipAck { epoch: 2 },
+            Frame::MembershipNack { epoch: 9 },
             Frame::SlateGet { updater: "counter".into(), key: b"best-buy".to_vec() },
             Frame::SlateValue { value: Some(b"42".to_vec()) },
             Frame::SlateValue { value: None },
@@ -500,9 +725,20 @@ mod tests {
     }
 
     #[test]
+    fn forwards_roundtrip_and_saturate_on_the_wire() {
+        let mut ev = sample_wire_event(1);
+        ev.forwards = MAX_FORWARDS + 5; // encodes saturated, not wrapped
+        let payload = Frame::Event(ev).encode_payload();
+        match Frame::decode_payload(&payload) {
+            Some(Frame::Event(back)) => assert_eq!(back.forwards, MAX_FORWARDS),
+            other => panic!("expected an Event frame, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn corruption_is_detected() {
         let mut buf = Vec::new();
-        Frame::FailureReport { failed: 3 }.write_to(&mut buf).unwrap();
+        Frame::FailureReport { failed: 3, epoch: 1 }.write_to(&mut buf).unwrap();
         // Flip a payload bit: CRC must catch it.
         let last = buf.len() - 1;
         buf[last] ^= 0x01;

@@ -42,10 +42,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 
-use crate::frame::{self, Frame, WireEvent, MAX_FRAME_BYTES};
-use crate::topology::Topology;
+use crate::frame::{self, Frame, MembershipPhase, MembershipUpdate, WireEvent, MAX_FRAME_BYTES};
+use crate::topology::{NodeSpec, Topology};
 use crate::transport::{ClusterHandler, HandlerSlot, MachineId, NetError, Transport};
 
 /// Idle connections retained per peer.
@@ -157,14 +157,22 @@ fn wire_event_size_hint(ev: &WireEvent) -> usize {
 
 /// A [`Transport`] over real TCP sockets. One instance per `muppetd`
 /// process; `local` is the machine this process runs.
+///
+/// The peer table grows at runtime ([`TcpTransport::add_peer`]) — elastic
+/// membership appends nodes to a running cluster; ids are never reused
+/// and the master role never moves.
 pub struct TcpTransport {
-    topology: Topology,
+    topology: RwLock<Topology>,
     local: MachineId,
+    /// The master role's machine id (pinned at cluster creation).
+    master: MachineId,
+    batch: BatchConfig,
     handler: Arc<HandlerSlot>,
-    /// Indexed by machine id; `None` at `local`.
-    pools: Vec<Option<PeerPool>>,
-    /// Per-peer batching outboxes; `None` at `local`.
-    outboxes: Vec<Option<Arc<PeerOutbox>>>,
+    /// Indexed by machine id; `None` at `local`. Grows via `add_peer`.
+    pools: RwLock<Vec<Option<Arc<PeerPool>>>>,
+    /// Per-peer batching outboxes; `None` at `local`. Grows via
+    /// `add_peer`.
+    outboxes: RwLock<Vec<Option<Arc<PeerOutbox>>>>,
     /// Lazily spawned per-peer sender threads (joined on drop).
     sender_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     stats: Arc<TcpStats>,
@@ -188,50 +196,75 @@ impl TcpTransport {
         if local >= topology.len() {
             return Err(format!("local machine {local} is not in the topology"));
         }
-        let stats = Arc::new(TcpStats::default());
-        let handler = Arc::new(HandlerSlot::default());
-        let mut pools = Vec::with_capacity(topology.len());
-        let mut outboxes = Vec::with_capacity(topology.len());
-        for node in &topology.nodes {
-            if node.id == local {
-                pools.push(None);
-                outboxes.push(None);
-            } else {
-                let addr = node.addr()?;
-                pools.push(Some(PeerPool { addr, idle: Mutex::new(Vec::new()) }));
-                outboxes.push(Some(Arc::new(PeerOutbox {
-                    dest: node.id,
-                    local,
-                    addr,
-                    cfg: BatchConfig {
-                        batch_max: batch.batch_max.max(1),
-                        queue_capacity: batch.queue_capacity.max(1),
-                        ..batch
-                    },
-                    queue: Mutex::new(OutboxQueue { events: VecDeque::new(), oldest_at: None }),
-                    cv: Condvar::new(),
-                    down: AtomicBool::new(false),
-                    stopping: AtomicBool::new(false),
-                    started: AtomicBool::new(false),
-                    stats: Arc::clone(&stats),
-                    handler: Arc::clone(&handler),
-                })));
-            }
-        }
-        Ok(Arc::new(TcpTransport {
-            topology,
+        let transport = Arc::new(TcpTransport {
+            master: topology.master,
             local,
-            handler,
-            pools,
-            outboxes,
+            batch: BatchConfig {
+                batch_max: batch.batch_max.max(1),
+                queue_capacity: batch.queue_capacity.max(1),
+                ..batch
+            },
+            handler: Arc::new(HandlerSlot::default()),
+            pools: RwLock::new(Vec::new()),
+            outboxes: RwLock::new(Vec::new()),
             sender_threads: Mutex::new(Vec::new()),
-            stats,
-        }))
+            stats: Arc::new(TcpStats::default()),
+            topology: RwLock::new(Topology { nodes: Vec::new(), master: topology.master }),
+        });
+        for node in &topology.nodes {
+            transport.add_peer(node)?;
+        }
+        Ok(transport)
     }
 
-    /// The static topology this transport runs in.
-    pub fn topology(&self) -> &Topology {
-        &self.topology
+    /// Append one node to the peer table (or re-resolve a known id —
+    /// idempotent for identical specs). Elastic joins call this when a
+    /// membership update names a machine this transport has never seen;
+    /// ids must arrive contiguously.
+    pub fn add_peer(&self, node: &NodeSpec) -> Result<(), String> {
+        let mut topology = self.topology.write();
+        let mut pools = self.pools.write();
+        let mut outboxes = self.outboxes.write();
+        if node.id < topology.nodes.len() {
+            if topology.nodes[node.id] == *node {
+                return Ok(()); // idempotent re-announcement
+            }
+            return Err(format!("peer id {} already bound to a different address", node.id));
+        }
+        if node.id != topology.nodes.len() {
+            return Err(format!(
+                "peer ids must be contiguous (got {}, expected {})",
+                node.id,
+                topology.nodes.len()
+            ));
+        }
+        if node.id == self.local {
+            pools.push(None);
+            outboxes.push(None);
+        } else {
+            let addr = node.addr()?;
+            pools.push(Some(Arc::new(PeerPool { addr, idle: Mutex::new(Vec::new()) })));
+            outboxes.push(Some(Arc::new(PeerOutbox {
+                dest: node.id,
+                local: self.local,
+                addr,
+                cfg: self.batch,
+                queue: Mutex::new(OutboxQueue { events: VecDeque::new(), oldest_at: None }),
+                cv: Condvar::new(),
+                down: AtomicBool::new(false),
+                stopping: AtomicBool::new(false),
+                started: AtomicBool::new(false),
+                stats: Arc::clone(&self.stats),
+                handler: Arc::clone(&self.handler),
+            })));
+        }
+        topology.nodes.push(node.clone());
+        Ok(())
+    }
+
+    /// A snapshot of the (growable) topology this transport runs in.
+    pub fn topology(&self) -> Topology {
+        self.topology.read().clone()
     }
 
     /// Counter snapshot.
@@ -243,12 +276,12 @@ impl TcpTransport {
         self.handler.get()
     }
 
-    fn pool(&self, dest: MachineId) -> Result<&PeerPool, NetError> {
-        self.pools.get(dest).and_then(|p| p.as_ref()).ok_or(NetError::NoRoute(dest))
+    fn pool(&self, dest: MachineId) -> Result<Arc<PeerPool>, NetError> {
+        self.pools.read().get(dest).and_then(|p| p.clone()).ok_or(NetError::NoRoute(dest))
     }
 
-    fn outbox(&self, dest: MachineId) -> Result<&Arc<PeerOutbox>, NetError> {
-        self.outboxes.get(dest).and_then(|o| o.as_ref()).ok_or(NetError::NoRoute(dest))
+    fn outbox(&self, dest: MachineId) -> Result<Arc<PeerOutbox>, NetError> {
+        self.outboxes.read().get(dest).and_then(|o| o.clone()).ok_or(NetError::NoRoute(dest))
     }
 
     /// Spawn `outbox`'s sender thread on first use (transports that only
@@ -286,7 +319,7 @@ impl TcpTransport {
         if outbox.down.load(Ordering::Acquire) {
             return Err(NetError::Unreachable(dest));
         }
-        self.ensure_sender(outbox);
+        self.ensure_sender(&outbox);
         let mut q = outbox.queue.lock();
         loop {
             if outbox.down.load(Ordering::Acquire) {
@@ -379,8 +412,12 @@ impl TcpTransport {
     /// [`Transport::register`]. The returned handle stops the listener
     /// (and its connection threads) on drop.
     pub fn start_listener(self: &Arc<Self>) -> io::Result<TcpListenerHandle> {
-        let node = &self.topology.nodes[self.local];
-        let listener = TcpListener::bind((node.host.as_str(), node.port))?;
+        let (host, port) = {
+            let topology = self.topology.read();
+            let node = &topology.nodes[self.local];
+            (node.host.clone(), node.port)
+        };
+        let listener = TcpListener::bind((host.as_str(), port))?;
         let port = listener.local_addr()?.port();
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -413,7 +450,7 @@ impl Drop for TcpTransport {
     /// hold only their `PeerOutbox` Arc, so this cannot deadlock on the
     /// transport's own refcount.
     fn drop(&mut self) {
-        for outbox in self.outboxes.iter().flatten() {
+        for outbox in self.outboxes.read().iter().flatten() {
             outbox.stopping.store(true, Ordering::Release);
             outbox.cv.notify_all();
         }
@@ -624,36 +661,89 @@ impl Transport for TcpTransport {
         self.stats.outbound_backlog.load(Ordering::Relaxed) as usize
     }
 
-    fn report_failure(&self, failed: MachineId) {
-        if self.topology.master == self.local {
+    fn report_failure(&self, failed: MachineId, epoch: u64) {
+        if self.master == self.local {
             if let Some(h) = self.handler() {
-                h.handle_failure_report(failed);
+                h.handle_failure_report(failed, epoch);
             }
             return;
         }
         // Best effort: if the master itself is unreachable, apply the drop
         // locally so this node stops routing to the dead machine.
-        if self.exchange(self.topology.master, &Frame::FailureReport { failed }, false).is_err() {
+        if self.exchange(self.master, &Frame::FailureReport { failed, epoch }, false).is_err() {
             if let Some(h) = self.handler() {
-                h.handle_failure_broadcast(failed);
+                h.handle_failure_broadcast(failed, epoch);
             }
         }
     }
 
-    fn broadcast_failure(&self, failed: MachineId) {
-        for node in &self.topology.nodes {
-            if node.id == failed {
+    fn broadcast_failure(&self, failed: MachineId, epoch: u64) {
+        let nodes: Vec<MachineId> = self.topology.read().nodes.iter().map(|n| n.id).collect();
+        for id in nodes {
+            if id == failed {
                 continue; // no point telling the dead machine
             }
-            if node.id == self.local {
+            if id == self.local {
                 if let Some(h) = self.handler() {
-                    h.handle_failure_broadcast(failed);
+                    h.handle_failure_broadcast(failed, epoch);
                 }
             } else {
                 // Best effort; unreachable peers will detect via their own
                 // traffic.
-                let _ = self.exchange(node.id, &Frame::FailureBroadcast { failed }, false);
+                let _ = self.exchange(id, &Frame::FailureBroadcast { failed, epoch }, false);
             }
+        }
+    }
+
+    fn send_join(&self, master: MachineId, machine: MachineId) -> Result<(), NetError> {
+        if master == self.local {
+            return match self.handler() {
+                Some(h) => {
+                    h.handle_join(machine);
+                    Ok(())
+                }
+                None => Err(NetError::NoRoute(machine)),
+            };
+        }
+        self.exchange(master, &Frame::Join { machine }, false).map(|_| ())
+    }
+
+    fn send_membership(
+        &self,
+        dest: MachineId,
+        update: &MembershipUpdate,
+        want_ack: bool,
+    ) -> Result<(), NetError> {
+        if dest == self.local {
+            return match self.handler() {
+                Some(h) => {
+                    let acked = h.handle_membership(update);
+                    if want_ack && !acked {
+                        return Err(NetError::Protocol(format!(
+                            "membership epoch {} not acknowledged locally",
+                            update.epoch
+                        )));
+                    }
+                    Ok(())
+                }
+                None => Err(NetError::NoRoute(dest)),
+            };
+        }
+        // Only the prepare phase replies on the wire (a one-way
+        // commit/abort reply would poison the pooled connection with an
+        // unread frame).
+        debug_assert_eq!(
+            want_ack,
+            update.phase == MembershipPhase::Prepare,
+            "acks belong to the prepare phase"
+        );
+        match self.exchange(dest, &Frame::Membership(update.clone()), want_ack)? {
+            None => Ok(()),
+            Some(Frame::MembershipAck { epoch }) if epoch == update.epoch => Ok(()),
+            Some(Frame::MembershipNack { epoch }) => {
+                Err(NetError::Protocol(format!("peer {dest} refused membership epoch {epoch}")))
+            }
+            other => Err(NetError::Protocol(format!("expected MembershipAck, got {other:?}"))),
         }
     }
 
@@ -828,13 +918,32 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
                 }
                 None
             }
-            Frame::FailureReport { failed } => {
-                handler.handle_failure_report(failed);
+            Frame::FailureReport { failed, epoch } => {
+                handler.handle_failure_report(failed, epoch);
                 None
             }
-            Frame::FailureBroadcast { failed } => {
-                handler.handle_failure_broadcast(failed);
+            Frame::FailureBroadcast { failed, epoch } => {
+                handler.handle_failure_broadcast(failed, epoch);
                 None
+            }
+            Frame::Join { machine } => {
+                handler.handle_join(machine);
+                None
+            }
+            Frame::Membership(update) => {
+                // Prepare is a request/response (the flush-before-ack
+                // barrier) — a refusal replies an explicit nack so the
+                // master fails fast instead of burning a reply timeout.
+                // Commit/abort are one-way so the pooled connection is
+                // never left with an unread reply.
+                let acked = handler.handle_membership(&update);
+                match update.phase {
+                    MembershipPhase::Prepare if acked => {
+                        Some(Frame::MembershipAck { epoch: update.epoch })
+                    }
+                    MembershipPhase::Prepare => Some(Frame::MembershipNack { epoch: update.epoch }),
+                    MembershipPhase::Commit | MembershipPhase::Abort => None,
+                }
             }
             Frame::SlateGet { updater, key } => {
                 Some(Frame::SlateValue { value: handler.read_local_slate(local, &updater, &key) })
@@ -847,7 +956,11 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
                 Some(Frame::StoreValue { value: handler.backend_load(&updater, &key, now_us) })
             }
             // Reply kinds arriving as requests: protocol violation.
-            Frame::SlateValue { .. } | Frame::StoreValue { .. } | Frame::StoreAck => return,
+            Frame::SlateValue { .. }
+            | Frame::StoreValue { .. }
+            | Frame::StoreAck
+            | Frame::MembershipAck { .. }
+            | Frame::MembershipNack { .. } => return,
         };
         if let Some(reply) = reply {
             if reply.write_to(&mut writer).is_err() {
@@ -864,8 +977,10 @@ mod tests {
 
     struct EchoHandler {
         delivered: AtomicUsize,
-        reports: Mutex<Vec<MachineId>>,
-        broadcasts: Mutex<Vec<MachineId>>,
+        reports: Mutex<Vec<(MachineId, u64)>>,
+        broadcasts: Mutex<Vec<(MachineId, u64)>>,
+        joins: Mutex<Vec<MachineId>>,
+        memberships: Mutex<Vec<MembershipUpdate>>,
         send_failures: Mutex<Vec<(MachineId, usize)>>,
         store: Mutex<std::collections::HashMap<Vec<u8>, Vec<u8>>>,
     }
@@ -876,6 +991,8 @@ mod tests {
                 delivered: AtomicUsize::new(0),
                 reports: Mutex::new(Vec::new()),
                 broadcasts: Mutex::new(Vec::new()),
+                joins: Mutex::new(Vec::new()),
+                memberships: Mutex::new(Vec::new()),
                 send_failures: Mutex::new(Vec::new()),
                 store: Mutex::new(Default::default()),
             })
@@ -890,11 +1007,18 @@ mod tests {
         fn handle_send_failure(&self, dest: MachineId, lost: Vec<WireEvent>) {
             self.send_failures.lock().push((dest, lost.len()));
         }
-        fn handle_failure_report(&self, failed: MachineId) {
-            self.reports.lock().push(failed);
+        fn handle_failure_report(&self, failed: MachineId, epoch: u64) {
+            self.reports.lock().push((failed, epoch));
         }
-        fn handle_failure_broadcast(&self, failed: MachineId) {
-            self.broadcasts.lock().push(failed);
+        fn handle_failure_broadcast(&self, failed: MachineId, epoch: u64) {
+            self.broadcasts.lock().push((failed, epoch));
+        }
+        fn handle_join(&self, machine: MachineId) {
+            self.joins.lock().push(machine);
+        }
+        fn handle_membership(&self, update: &MembershipUpdate) -> bool {
+            self.memberships.lock().push(update.clone());
+            true
         }
         fn read_local_slate(&self, _dest: MachineId, updater: &str, key: &[u8]) -> Option<Vec<u8>> {
             (updater == "U1" && key == b"walmart").then(|| b"7".to_vec())
@@ -935,6 +1059,7 @@ mod tests {
             redirected: false,
             external: true,
             thread_hint: None,
+            forwards: 0,
         }
     }
 
@@ -1055,23 +1180,85 @@ mod tests {
     #[test]
     fn failure_report_routes_to_master_and_broadcast_fans_out() {
         let (t0, t1, h0, h1, _l0, _l1) = pair();
-        // Node 1 reports to the master (node 0) over the wire.
-        t1.report_failure(7);
+        // Node 1 reports to the master (node 0) over the wire, stamped
+        // with its membership epoch.
+        t1.report_failure(7, 3);
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while h0.reports.lock().is_empty() {
             assert!(std::time::Instant::now() < deadline, "report not received");
             std::thread::sleep(Duration::from_millis(5));
         }
-        assert_eq!(*h0.reports.lock(), vec![7]);
+        assert_eq!(*h0.reports.lock(), vec![(7, 3)]);
         // Master broadcast reaches both nodes (local + remote).
-        t0.broadcast_failure(7);
+        t0.broadcast_failure(7, 3);
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while h1.broadcasts.lock().is_empty() {
             assert!(std::time::Instant::now() < deadline, "broadcast not received");
             std::thread::sleep(Duration::from_millis(5));
         }
-        assert_eq!(*h0.broadcasts.lock(), vec![7]);
-        assert_eq!(*h1.broadcasts.lock(), vec![7]);
+        assert_eq!(*h0.broadcasts.lock(), vec![(7, 3)]);
+        assert_eq!(*h1.broadcasts.lock(), vec![(7, 3)]);
+    }
+
+    #[test]
+    fn join_and_membership_phases_cross_the_wire() {
+        let (t0, t1, h0, h1, _l0, _l1) = pair();
+        // Joiner → master announcement (delivery errors surface).
+        t1.send_join(0, 2).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h0.joins.lock().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "join not received");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(*h0.joins.lock(), vec![2]);
+        // Prepare is a blocking request/response: the ack returns only
+        // after the peer's handler ran (the flush barrier).
+        let spec = NodeSpec { id: 2, host: "127.0.0.1".into(), port: 1, http_port: 0 };
+        let prepare = MembershipUpdate {
+            epoch: 1,
+            phase: MembershipPhase::Prepare,
+            joined: vec![2],
+            members: vec![0, 1, 2],
+            nodes: vec![spec.clone()],
+        };
+        t0.send_membership(1, &prepare, true).unwrap();
+        assert_eq!(*h1.memberships.lock(), vec![prepare.clone()]);
+        // Commit is one-way.
+        let commit = MembershipUpdate { phase: MembershipPhase::Commit, ..prepare };
+        t0.send_membership(1, &commit, false).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h1.memberships.lock().len() < 2 {
+            assert!(std::time::Instant::now() < deadline, "commit not received");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(h1.memberships.lock()[1], commit);
+    }
+
+    #[test]
+    fn add_peer_grows_a_running_transport() {
+        // A 2-node cluster grows a 3rd peer at runtime; events to the new
+        // id flow without rebuilding the transport.
+        let grown = Topology::loopback_ephemeral(3, false).unwrap();
+        let base = Topology { nodes: grown.nodes[..2].to_vec(), master: 0 };
+        let t0 = TcpTransport::new(base, 0).unwrap();
+        let t2 = TcpTransport::new(grown.clone(), 2).unwrap();
+        let h0 = EchoHandler::new();
+        let h2 = EchoHandler::new();
+        t0.register(Arc::downgrade(&h0) as Weak<dyn ClusterHandler>);
+        t2.register(Arc::downgrade(&h2) as Weak<dyn ClusterHandler>);
+        let _l2 = t2.start_listener().unwrap();
+
+        assert!(matches!(t0.send_event(2, wire_event()), Err(NetError::NoRoute(2))));
+        t0.add_peer(&grown.nodes[2]).unwrap();
+        t0.add_peer(&grown.nodes[2]).unwrap(); // idempotent re-announcement
+        assert_eq!(t0.topology().len(), 3);
+        assert!(t0.add_peer(&NodeSpec { id: 5, ..grown.nodes[2].clone() }).is_err(), "gapped id");
+        t0.send_event(2, wire_event()).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h2.delivered.load(Ordering::Relaxed) < 1 {
+            assert!(std::time::Instant::now() < deadline, "event to grown peer not delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
     }
 
     #[test]

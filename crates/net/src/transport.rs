@@ -22,7 +22,7 @@
 use std::fmt;
 use std::sync::{Arc, OnceLock, Weak};
 
-use crate::frame::WireEvent;
+use crate::frame::{MembershipUpdate, WireEvent};
 
 /// Cluster-wide machine index (ring member id).
 pub type MachineId = usize;
@@ -71,11 +71,29 @@ pub trait ClusterHandler: Send + Sync + 'static {
     }
 
     /// A failure report reached the master role on this node (§4.3).
-    fn handle_failure_report(&self, failed: MachineId);
+    /// `epoch` is the membership epoch the reporter observed the failure
+    /// under — the master rejects reports staler than the machine's
+    /// latest join, so a slow report can never kill a re-joined
+    /// incarnation.
+    fn handle_failure_report(&self, failed: MachineId, epoch: u64);
 
     /// A master broadcast arrived: drop `failed` from every hash ring
-    /// (§4.3).
-    fn handle_failure_broadcast(&self, failed: MachineId);
+    /// (§4.3), unless the broadcast's `epoch` predates the machine's
+    /// latest join.
+    fn handle_failure_broadcast(&self, failed: MachineId, epoch: u64);
+
+    /// Master role only: a reserved machine announced it is live and
+    /// ready to join the rings (elastic scale-out; DESIGN.md §7). The
+    /// implementation runs the prepare/commit membership protocol.
+    fn handle_join(&self, _machine: MachineId) {}
+
+    /// An epoch-stamped membership update arrived (prepare or commit).
+    /// Returns true when the phase was applied (the ack); prepare
+    /// implementations must flush moved-away dirty slates before
+    /// returning.
+    fn handle_membership(&self, _update: &MembershipUpdate) -> bool {
+        false
+    }
 
     /// Read the live cached slate of ⟨updater, key⟩ on local machine
     /// `dest` (§4.4).
@@ -128,11 +146,29 @@ pub trait Transport: Send + Sync + 'static {
         0
     }
 
-    /// Report `failed` to the master role (local call or wire frame).
-    fn report_failure(&self, failed: MachineId);
+    /// Report `failed` to the master role (local call or wire frame),
+    /// stamped with the reporter's membership epoch.
+    fn report_failure(&self, failed: MachineId, epoch: u64);
 
     /// Master-side: tell every machine to drop `failed` from its rings.
-    fn broadcast_failure(&self, failed: MachineId);
+    fn broadcast_failure(&self, failed: MachineId, epoch: u64);
+
+    /// Joiner-side: announce to the master role that `machine` (this
+    /// process's reserved id) is live and ready to enter the rings.
+    /// Errors when the announcement could not reach the master — the
+    /// joiner must surface or retry it, or it would sit outside every
+    /// ring forever believing it joined.
+    fn send_join(&self, master: MachineId, machine: MachineId) -> Result<(), NetError>;
+
+    /// Master-side: deliver one membership phase to `dest`. With
+    /// `want_ack` the call blocks until the peer acknowledges (the
+    /// prepare barrier: moved-away slates are flushed before the ack).
+    fn send_membership(
+        &self,
+        dest: MachineId,
+        update: &MembershipUpdate,
+        want_ack: bool,
+    ) -> Result<(), NetError>;
 
     /// Read the live cached slate owned by `dest` (§4.4).
     fn read_slate(
@@ -220,15 +256,46 @@ impl Transport for InProcessTransport {
         }
     }
 
-    fn report_failure(&self, failed: MachineId) {
+    fn report_failure(&self, failed: MachineId, epoch: u64) {
         if let Some(h) = self.handler() {
-            h.handle_failure_report(failed);
+            h.handle_failure_report(failed, epoch);
         }
     }
 
-    fn broadcast_failure(&self, failed: MachineId) {
+    fn broadcast_failure(&self, failed: MachineId, epoch: u64) {
         if let Some(h) = self.handler() {
-            h.handle_failure_broadcast(failed);
+            h.handle_failure_broadcast(failed, epoch);
+        }
+    }
+
+    fn send_join(&self, _master: MachineId, machine: MachineId) -> Result<(), NetError> {
+        match self.handler() {
+            Some(h) => {
+                h.handle_join(machine);
+                Ok(())
+            }
+            None => Err(NetError::NoRoute(machine)),
+        }
+    }
+
+    fn send_membership(
+        &self,
+        dest: MachineId,
+        update: &MembershipUpdate,
+        want_ack: bool,
+    ) -> Result<(), NetError> {
+        match self.handler() {
+            Some(h) => {
+                let acked = h.handle_membership(update);
+                if want_ack && !acked {
+                    return Err(NetError::Protocol(format!(
+                        "membership epoch {} not acknowledged",
+                        update.epoch
+                    )));
+                }
+                Ok(())
+            }
+            None => Err(NetError::NoRoute(dest)),
         }
     }
 
@@ -287,6 +354,8 @@ mod tests {
         delivered: AtomicUsize,
         reports: Mutex<Vec<MachineId>>,
         broadcasts: Mutex<Vec<MachineId>>,
+        joins: Mutex<Vec<MachineId>>,
+        memberships: Mutex<Vec<MembershipUpdate>>,
     }
 
     impl ClusterHandler for RecordingHandler {
@@ -297,11 +366,18 @@ mod tests {
             self.delivered.fetch_add(1, Ordering::Relaxed);
             Ok(())
         }
-        fn handle_failure_report(&self, failed: MachineId) {
+        fn handle_failure_report(&self, failed: MachineId, _epoch: u64) {
             self.reports.lock().unwrap().push(failed);
         }
-        fn handle_failure_broadcast(&self, failed: MachineId) {
+        fn handle_failure_broadcast(&self, failed: MachineId, _epoch: u64) {
             self.broadcasts.lock().unwrap().push(failed);
+        }
+        fn handle_join(&self, machine: MachineId) {
+            self.joins.lock().unwrap().push(machine);
+        }
+        fn handle_membership(&self, update: &MembershipUpdate) -> bool {
+            self.memberships.lock().unwrap().push(update.clone());
+            true
         }
         fn read_local_slate(
             &self,
@@ -321,6 +397,7 @@ mod tests {
             redirected: false,
             external: true,
             thread_hint: None,
+            forwards: 0,
         }
     }
 
@@ -332,8 +409,8 @@ mod tests {
 
         assert!(transport.send_event(0, wire_event()).is_ok());
         assert!(matches!(transport.send_event(9, wire_event()), Err(NetError::Unreachable(9))));
-        transport.report_failure(9);
-        transport.broadcast_failure(9);
+        transport.report_failure(9, 0);
+        transport.broadcast_failure(9, 0);
         assert_eq!(handler.delivered.load(Ordering::Relaxed), 1);
         assert_eq!(*handler.reports.lock().unwrap(), vec![9]);
         assert_eq!(*handler.broadcasts.lock().unwrap(), vec![9]);
@@ -341,6 +418,26 @@ mod tests {
         assert_eq!(transport.read_slate(0, "absent", b"k").unwrap(), None);
         assert!(transport.is_local(7));
         assert_eq!(transport.local_machine(), None);
+    }
+
+    #[test]
+    fn in_process_join_and_membership_route_to_handler() {
+        let transport = InProcessTransport::new();
+        let handler = Arc::new(RecordingHandler::default());
+        transport.register(Arc::downgrade(&handler) as Weak<dyn ClusterHandler>);
+
+        transport.send_join(0, 3).unwrap();
+        assert_eq!(*handler.joins.lock().unwrap(), vec![3]);
+        let update = MembershipUpdate {
+            epoch: 1,
+            phase: crate::frame::MembershipPhase::Prepare,
+            joined: vec![3],
+            members: vec![0, 3],
+            nodes: Vec::new(),
+        };
+        transport.send_membership(0, &update, true).unwrap();
+        assert_eq!(handler.memberships.lock().unwrap().len(), 1);
+        assert_eq!(handler.memberships.lock().unwrap()[0], update);
     }
 
     #[test]

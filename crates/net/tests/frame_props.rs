@@ -8,7 +8,10 @@ use std::io::Cursor;
 
 use muppet_core::codec;
 use muppet_core::event::{Event, Key};
-use muppet_net::frame::{Frame, WireEvent, MAX_FRAME_BYTES};
+use muppet_net::frame::{
+    Frame, MembershipPhase, MembershipUpdate, WireEvent, MAX_FORWARDS, MAX_FRAME_BYTES,
+};
+use muppet_net::topology::NodeSpec;
 use proptest::prelude::*;
 
 fn arb_event() -> impl Strategy<Value = Event> {
@@ -34,15 +37,47 @@ fn arb_wire_event() -> impl Strategy<Value = WireEvent> {
         any::<bool>(),
         any::<bool>(),
         proptest::option::of(0u64..1024),
+        0u8..=MAX_FORWARDS,
     )
-        .prop_map(|(event, op, injected_us, redirected, external, hint)| WireEvent {
+        .prop_map(|(event, op, injected_us, redirected, external, hint, forwards)| WireEvent {
             op,
             event,
             injected_us,
             redirected,
             external,
             thread_hint: hint.map(|t| t as usize),
+            forwards,
         })
+}
+
+fn arb_node_spec() -> impl Strategy<Value = NodeSpec> {
+    (0usize..64, "[a-z0-9.\\-]{1,24}", any::<u16>(), any::<u16>())
+        .prop_map(|(id, host, port, http_port)| NodeSpec { id, host, port, http_port })
+}
+
+fn arb_membership() -> impl Strategy<Value = MembershipUpdate> {
+    (
+        any::<u64>(),
+        0u8..3,
+        proptest::collection::vec(0usize..64, 0..4),
+        proptest::collection::vec(arb_node_spec(), 0..6),
+    )
+        .prop_map(|(epoch, phase, joined, nodes)| MembershipUpdate {
+            epoch,
+            phase: match phase {
+                0 => MembershipPhase::Prepare,
+                1 => MembershipPhase::Commit,
+                _ => MembershipPhase::Abort,
+            },
+            joined,
+            members: Vec::new(),
+            nodes,
+        })
+}
+
+fn arb_membership_with_members() -> impl Strategy<Value = MembershipUpdate> {
+    (arb_membership(), proptest::collection::vec(0usize..64, 0..8))
+        .prop_map(|(update, members)| MembershipUpdate { members, ..update })
 }
 
 fn arb_opt_bytes() -> impl Strategy<Value = Option<Vec<u8>>> {
@@ -55,8 +90,14 @@ fn arb_frame() -> BoxedStrategy<Frame> {
         (0usize..64).prop_map(|sender| Frame::Hello { sender }),
         arb_wire_event().prop_map(Frame::Event),
         proptest::collection::vec(arb_wire_event(), 0..12).prop_map(Frame::EventBatch),
-        (0usize..64).prop_map(|failed| Frame::FailureReport { failed }),
-        (0usize..64).prop_map(|failed| Frame::FailureBroadcast { failed }),
+        (0usize..64, any::<u64>())
+            .prop_map(|(failed, epoch)| Frame::FailureReport { failed, epoch }),
+        (0usize..64, any::<u64>())
+            .prop_map(|(failed, epoch)| Frame::FailureBroadcast { failed, epoch }),
+        (0usize..64).prop_map(|machine| Frame::Join { machine }),
+        arb_membership_with_members().prop_map(Frame::Membership),
+        any::<u64>().prop_map(|epoch| Frame::MembershipAck { epoch }),
+        any::<u64>().prop_map(|epoch| Frame::MembershipNack { epoch }),
         (updater, proptest::collection::vec(any::<u8>(), 0..48))
             .prop_map(|(updater, key)| Frame::SlateGet { updater, key }),
         arb_opt_bytes().prop_map(|value| Frame::SlateValue { value }),
@@ -174,6 +215,25 @@ proptest! {
         // so even count = u64::MAX cannot reserve beyond ~buffer length.
         let mut payload = vec![11u8];
         codec::put_varint(&mut payload, count);
+        payload.extend_from_slice(&body);
+        let _ = Frame::decode_payload(&payload);
+    }
+
+    #[test]
+    fn absurd_membership_counts_are_rejected_without_allocating(
+        epoch in any::<u64>(),
+        joined_count in any::<u64>(),
+        node_count in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // KIND_MEMBERSHIP = 13: corrupt joined/node counts with a junk
+        // body must fail cleanly — the per-entry decode runs out of bytes
+        // and the pre-allocations are capped by the buffer length.
+        let mut payload = vec![13u8];
+        codec::put_varint(&mut payload, epoch);
+        payload.push(0); // prepare
+        codec::put_varint(&mut payload, joined_count);
+        codec::put_varint(&mut payload, node_count);
         payload.extend_from_slice(&body);
         let _ = Frame::decode_payload(&payload);
     }

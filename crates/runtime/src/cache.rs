@@ -49,8 +49,18 @@ impl Default for FlushPolicy {
 pub trait SlateBackend: Send + Sync + 'static {
     /// Load the persisted slate bytes for ⟨updater, key⟩, if any.
     fn load(&self, updater: &str, key: &Key, now_us: u64) -> Option<Vec<u8>>;
-    /// Persist the slate bytes for ⟨updater, key⟩.
-    fn store(&self, updater: &str, key: &Key, bytes: &[u8], ttl_secs: Option<u64>, now_us: u64);
+    /// Persist the slate bytes for ⟨updater, key⟩. Returns `false` when
+    /// the write did not reach the store (quorum failure, dead store
+    /// host): the caller must keep the slate dirty so a later flush
+    /// retries — dropping it would silently lose the update.
+    fn store(
+        &self,
+        updater: &str,
+        key: &Key,
+        bytes: &[u8],
+        ttl_secs: Option<u64>,
+        now_us: u64,
+    ) -> bool;
 }
 
 /// Backend that drops writes and never finds anything — engines without an
@@ -62,7 +72,18 @@ impl SlateBackend for NullBackend {
     fn load(&self, _updater: &str, _key: &Key, _now_us: u64) -> Option<Vec<u8>> {
         None
     }
-    fn store(&self, _updater: &str, _key: &Key, _bytes: &[u8], _ttl: Option<u64>, _now_us: u64) {}
+    fn store(
+        &self,
+        _updater: &str,
+        _key: &Key,
+        _bytes: &[u8],
+        _ttl: Option<u64>,
+        _now_us: u64,
+    ) -> bool {
+        // With no store attached there is nothing to retry against:
+        // report success so caches do not accumulate forever-dirty slates.
+        true
+    }
 }
 
 impl SlateBackend for StoreCluster {
@@ -73,11 +94,17 @@ impl SlateBackend for StoreCluster {
         self.get(&cell_key, now_us).ok().flatten().map(|b| b.to_vec())
     }
 
-    fn store(&self, updater: &str, key: &Key, bytes: &[u8], ttl_secs: Option<u64>, now_us: u64) {
+    fn store(
+        &self,
+        updater: &str,
+        key: &Key,
+        bytes: &[u8],
+        ttl_secs: Option<u64>,
+        now_us: u64,
+    ) -> bool {
         let cell_key = CellKey::new(key.as_bytes(), updater.as_bytes());
-        // Write failures are likewise absorbed; the dirty slate stays dirty
-        // and a later flush retries.
-        let _ = self.put(&cell_key, bytes, ttl_secs, now_us);
+        // A write failure keeps the slate dirty; a later flush retries.
+        self.put(&cell_key, bytes, ttl_secs, now_us).is_ok()
     }
 }
 
@@ -121,6 +148,7 @@ pub struct CacheCounters {
     store_loads: AtomicU64,
     evictions: AtomicU64,
     flush_writes: AtomicU64,
+    flush_failures: AtomicU64,
     ttl_resets: AtomicU64,
 }
 
@@ -137,6 +165,8 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Writes issued to the backend.
     pub flush_writes: u64,
+    /// Backend writes that failed (the slate stayed dirty for retry).
+    pub flush_failures: u64,
     /// Slates reset because their TTL lapsed.
     pub ttl_resets: u64,
     /// Live entries.
@@ -193,7 +223,7 @@ impl SlateCache {
         ttl_secs: Option<u64>,
         now_us: u64,
     ) -> Arc<SlateSlot> {
-        let mut evicted: Vec<Arc<SlateSlot>> = Vec::new();
+        let mut evicted: Vec<((OpId, Key), Arc<SlateSlot>)> = Vec::new();
         let slot = {
             let mut map = self.map.lock();
             if let Some(slot) = map.get(&(op, key.clone())) {
@@ -217,30 +247,55 @@ impl SlateCache {
                 state: Mutex::new(SlateState { slate, flushed_version, last_write_us: now_us }),
             });
             map.insert((op, key.clone()), Arc::clone(&slot));
-            // Evict beyond capacity. `pop_lru` moves the map's reference
-            // out, so an unborrowed victim has strong_count == 1; anything
-            // higher means a worker (or the local `slot` binding, for the
-            // entry we just inserted) still holds it — skip those and
-            // reinsert, bounded so a fully-borrowed cache cannot spin.
+            // Select eviction victims beyond capacity — but keep them
+            // *resident*: each candidate is reinserted immediately (as
+            // MRU) and only leaves the map after its flush succeeds. A
+            // victim removed while dirty would open a window where a
+            // concurrent get_or_load re-creates the slot from the (still
+            // unwritten) backend and the slate forks. `pop_lru` moves
+            // the map's reference out, so an unborrowed victim has
+            // strong_count == 1; anything higher means a worker (or the
+            // local `slot` binding, for the entry we just inserted)
+            // still holds it — skip those, bounded so a fully-borrowed
+            // cache cannot spin.
             let mut skipped: Vec<((OpId, Key), Arc<SlateSlot>)> = Vec::new();
-            let max_skips = map.len();
-            while map.len() > self.capacity && skipped.len() < max_skips {
+            let max_picks = map.len();
+            // Reinserting keeps `map.len()` constant, so the loop is
+            // bounded by the victim count (the capacity excess), not by
+            // the map shrinking.
+            let excess = map.len().saturating_sub(self.capacity);
+            while evicted.len() < excess && evicted.len() + skipped.len() < max_picks {
                 let Some((k, victim)) = map.pop_lru() else { break };
                 if Arc::strong_count(&victim) > 1 {
                     skipped.push((k, victim));
                     continue;
                 }
-                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
-                evicted.push(victim);
+                map.insert(k.clone(), Arc::clone(&victim)); // stays resident until flushed
+                evicted.push((k, victim));
             }
             for (k, v) in skipped {
                 map.insert(k, v); // reinsert as MRU; retry next time
             }
             slot
         };
-        // Flush dirty evictees outside the map lock.
-        for victim in evicted {
-            self.flush_slot(&victim, now_us);
+        // Flush the victims outside the map lock, then remove each from
+        // the map only if it was persisted and nobody raced us: the
+        // entry still holds this exact slot, no worker borrowed it
+        // meanwhile (count == map + our binding), and no write re-dirtied
+        // it. Anything else stays resident for the next sweep — a failed
+        // store write must never silently lose the update.
+        for (k, victim) in evicted {
+            let flushed = self.flush_slot(&victim, now_us);
+            let mut map = self.map.lock();
+            let unchanged = map.peek(&k).map(|s| Arc::ptr_eq(s, &victim)).unwrap_or(false);
+            if flushed
+                && unchanged
+                && Arc::strong_count(&victim) == 2
+                && !victim.state.lock().dirty()
+            {
+                map.remove(&k);
+                self.counters.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
         slot
     }
@@ -258,35 +313,80 @@ impl SlateCache {
     }
 
     /// Record a completed updater write on `slot`; under write-through this
-    /// persists immediately.
+    /// persists immediately. A failed write-through leaves the slate dirty
+    /// (the eviction/shutdown flush retries it).
     pub fn note_write(&self, slot: &SlateSlot, state: &mut SlateState, now_us: u64) {
         state.last_write_us = now_us;
         if self.policy == FlushPolicy::WriteThrough && state.dirty() {
-            self.backend.store(
+            if self.backend.store(
                 &slot.updater,
                 &slot.key,
                 state.slate.bytes(),
                 slot.ttl_secs,
                 now_us,
-            );
-            state.flushed_version = state.slate.version();
-            self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
+            ) {
+                state.flushed_version = state.slate.version();
+                self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.counters.flush_failures.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
-    fn flush_slot(&self, slot: &SlateSlot, now_us: u64) {
+    /// Flush one slot if dirty. Returns false only when the backend write
+    /// failed — the slate stays dirty for a later retry.
+    fn flush_slot(&self, slot: &SlateSlot, now_us: u64) -> bool {
         let mut state = slot.state.lock();
         if state.dirty() {
-            self.backend.store(
+            if self.backend.store(
                 &slot.updater,
                 &slot.key,
                 state.slate.bytes(),
                 slot.ttl_secs,
                 now_us,
-            );
-            state.flushed_version = state.slate.version();
-            self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
+            ) {
+                state.flushed_version = state.slate.version();
+                self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
+            } else {
+                self.counters.flush_failures.fetch_add(1, Ordering::Relaxed);
+                return false;
+            }
         }
+        true
+    }
+
+    /// Public flush-one entry point (elastic handoff: the old owner
+    /// flushes moved-away slates before acking the epoch). Returns false
+    /// when the backend write failed.
+    pub fn flush_slot_now(&self, slot: &SlateSlot, now_us: u64) -> bool {
+        self.flush_slot(slot, now_us)
+    }
+
+    /// Remove every cached slate of updater `op` whose key matches
+    /// `moved`, returning the removed ⟨key, slot⟩ pairs (elastic handoff:
+    /// the keys whose ring arc moved to another machine). The caller
+    /// decides what to do with them — flush to the store, or hand them
+    /// directly to the new owner's cache in-process.
+    pub fn take_matching(
+        &self,
+        op: OpId,
+        moved: &dyn Fn(&Key) -> bool,
+    ) -> Vec<(Key, Arc<SlateSlot>)> {
+        let mut map = self.map.lock();
+        let keys: Vec<Key> = map
+            .iter()
+            .filter(|((o, k), _)| *o == op && moved(k))
+            .map(|((_, k), _)| k.clone())
+            .collect();
+        keys.into_iter()
+            .filter_map(|k| map.remove(&(op, k.clone())).map(|slot| (k, slot)))
+            .collect()
+    }
+
+    /// Insert an externally-built slot (elastic handoff between in-process
+    /// machines: the moved slate keeps its state, dirtiness included).
+    pub fn insert_slot(&self, op: OpId, key: Key, slot: Arc<SlateSlot>) {
+        self.map.lock().insert((op, key), slot);
     }
 
     /// Flush every dirty slate (background flusher tick / graceful
@@ -296,7 +396,7 @@ impl SlateCache {
             self.map.lock().iter().map(|(_, slot)| Arc::clone(slot)).collect();
         let before = self.counters.flush_writes.load(Ordering::Relaxed);
         for slot in slots {
-            self.flush_slot(&slot, now_us);
+            let _ = self.flush_slot(&slot, now_us); // failures stay dirty; next sweep retries
         }
         self.counters.flush_writes.load(Ordering::Relaxed) - before
     }
@@ -344,6 +444,7 @@ impl SlateCache {
             store_loads: self.counters.store_loads.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
             flush_writes: self.counters.flush_writes.load(Ordering::Relaxed),
+            flush_failures: self.counters.flush_failures.load(Ordering::Relaxed),
             ttl_resets: self.counters.ttl_resets.load(Ordering::Relaxed),
             entries,
             dirty,
@@ -368,9 +469,65 @@ mod tests {
         fn load(&self, updater: &str, key: &Key, _now: u64) -> Option<Vec<u8>> {
             self.data.read().get(&(updater.to_string(), key.clone())).cloned()
         }
-        fn store(&self, updater: &str, key: &Key, bytes: &[u8], _ttl: Option<u64>, _now: u64) {
+        fn store(
+            &self,
+            updater: &str,
+            key: &Key,
+            bytes: &[u8],
+            _ttl: Option<u64>,
+            _now: u64,
+        ) -> bool {
             self.stores.fetch_add(1, Ordering::Relaxed);
             self.data.write().insert((updater.to_string(), key.clone()), bytes.to_vec());
+            true
+        }
+    }
+
+    /// Backend whose first `fail_n` writes fail (store outage), then
+    /// recovers — the regression harness for lost-on-evict updates.
+    #[derive(Debug, Default)]
+    struct FlakyBackend {
+        inner: MemBackend,
+        failures_left: AtomicU64,
+        failed: AtomicU64,
+    }
+
+    impl FlakyBackend {
+        fn failing(n: u64) -> Self {
+            FlakyBackend {
+                inner: MemBackend::default(),
+                failures_left: AtomicU64::new(n),
+                failed: AtomicU64::new(0),
+            }
+        }
+    }
+
+    impl SlateBackend for FlakyBackend {
+        fn load(&self, updater: &str, key: &Key, now: u64) -> Option<Vec<u8>> {
+            self.inner.load(updater, key, now)
+        }
+        fn store(
+            &self,
+            updater: &str,
+            key: &Key,
+            bytes: &[u8],
+            ttl: Option<u64>,
+            now: u64,
+        ) -> bool {
+            loop {
+                let left = self.failures_left.load(Ordering::Acquire);
+                if left == 0 {
+                    return self.inner.store(updater, key, bytes, ttl, now);
+                }
+                if self
+                    .failures_left
+                    .compare_exchange(left, left - 1, Ordering::AcqRel, Ordering::Acquire)
+                    .is_ok()
+                {
+                    self.failed.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
         }
     }
 
@@ -453,6 +610,85 @@ mod tests {
         let slot = cache.get_or_load(0, &name, &k0, None, 100);
         assert_eq!(slot.state.lock().slate.bytes(), b"v0");
         assert_eq!(cache.stats().store_loads, 1);
+    }
+
+    #[test]
+    fn evicted_dirty_slate_survives_a_failed_store_write() {
+        // The regression: a dirty slate evicted for capacity whose store
+        // write fails used to be dropped from the map — the update was
+        // silently lost. It must stay resident (dirty) and reach the
+        // store once the backend recovers.
+        let backend = Arc::new(FlakyBackend::failing(2));
+        let cache = SlateCache::new(1, FlushPolicy::OnEvict, Arc::clone(&backend) as _);
+        let name = updater_name();
+        let precious = Key::from("precious");
+        {
+            let slot = cache.get_or_load(0, &name, &precious, None, 0);
+            let mut state = slot.state.lock();
+            state.slate.replace(b"critical-update".to_vec());
+            cache.note_write(&slot, &mut state, 0);
+        } // slot Arc dropped: evictable
+          // Capacity pressure while the store is down: the eviction flush
+          // fails and the victim must be reinserted, not dropped.
+        cache.get_or_load(0, &name, &Key::from("intruder-1"), None, 1);
+        assert!(backend.failed.load(Ordering::Relaxed) >= 1, "the outage was exercised");
+        assert_eq!(
+            cache.read(0, &precious),
+            Some(b"critical-update".to_vec()),
+            "a failed eviction flush must keep the slate resident"
+        );
+        assert!(cache.stats().flush_failures >= 1);
+        assert_eq!(backend.load("U1", &precious, 0), None, "nothing reached the store yet");
+        // Burn through the remaining failure, then a flusher sweep
+        // succeeds and the value lands in the store.
+        let mut swept = 0;
+        while backend.load("U1", &precious, 0).is_none() {
+            cache.flush_dirty(10 + swept);
+            swept += 1;
+            assert!(swept < 10, "flush retries never reached the recovered store");
+        }
+        assert_eq!(backend.load("U1", &precious, 0), Some(b"critical-update".to_vec()));
+        assert_eq!(cache.dirty_count(), 0);
+    }
+
+    #[test]
+    fn capacity_overflow_evicts_only_the_excess() {
+        // Regression: victims stay resident during the flush, so the
+        // selection loop must stop at the capacity excess — one insert
+        // over capacity evicts one entry, not the whole cache.
+        let cache = SlateCache::new(4, FlushPolicy::OnEvict, Arc::new(NullBackend));
+        let name = updater_name();
+        for i in 0..5 {
+            cache.get_or_load(0, &name, &Key::from(format!("k{i}")), None, i);
+        }
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1, "exactly the excess is evicted: {s:?}");
+        assert_eq!(s.entries, 4);
+    }
+
+    #[test]
+    fn take_matching_hands_off_and_insert_slot_restores() {
+        let cache = SlateCache::new(10, FlushPolicy::OnEvict, Arc::new(NullBackend));
+        let name = updater_name();
+        for key in ["stay", "move-a", "move-b"] {
+            let slot = cache.get_or_load(0, &name, &Key::from(key), None, 0);
+            let mut state = slot.state.lock();
+            state.slate.replace(format!("v-{key}").into_bytes());
+            cache.note_write(&slot, &mut state, 0);
+        }
+        let moved = cache.take_matching(0, &|k: &Key| k.as_str().unwrap().starts_with("move"));
+        assert_eq!(moved.len(), 2);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.read(0, &Key::from("move-a")), None, "taken slates left the cache");
+        assert_eq!(cache.read(0, &Key::from("stay")), Some(b"v-stay".to_vec()));
+        // The new owner's cache adopts them with state (and dirtiness)
+        // intact.
+        let target = SlateCache::new(10, FlushPolicy::OnEvict, Arc::new(NullBackend));
+        for (key, slot) in moved {
+            assert!(slot.state.lock().dirty(), "handoff preserves dirtiness");
+            target.insert_slot(0, key, slot);
+        }
+        assert_eq!(target.read(0, &Key::from("move-b")), Some(b"v-move-b".to_vec()));
     }
 
     #[test]

@@ -35,12 +35,12 @@ use muppet_core::error::{Error, Result};
 use muppet_core::event::{Event, Key, StreamId};
 use muppet_core::operator::{Mapper, Updater, VecEmitter};
 use muppet_core::workflow::{OpId, OpKind, Workflow};
-use muppet_net::frame::WireEvent;
+use muppet_net::frame::{MembershipPhase, MembershipUpdate, WireEvent, MAX_FORWARDS};
 use muppet_net::tcp::{BatchConfig, TcpListenerHandle, TcpTransport};
-use muppet_net::topology::Topology;
+use muppet_net::topology::{NodeSpec, Topology};
 use muppet_net::transport::{ClusterHandler, InProcessTransport, MachineId, NetError, Transport};
 use muppet_slatestore::cluster::StoreCluster;
-use muppet_slatestore::ring::ConsistentRing;
+use muppet_slatestore::ring::{ConsistentRing, EpochRing};
 use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::cache::{FlushPolicy, NullBackend, SlateBackend, SlateCache};
@@ -123,6 +123,28 @@ pub struct EngineConfig {
     /// never waits longer than this for its batch to flush (the latency
     /// side of the size/age policy). Ignored in-process.
     pub net_flush_us: u64,
+    /// Elastic clusters: the machine count the cluster was *founded*
+    /// with. Machines `base..machines` joined later (Muppet 1.0 derives
+    /// their worker layout from the join order instead of the founding
+    /// round-robin). `None` means every machine is a founding member.
+    pub base_machines: Option<usize>,
+    /// This node was reserved via the master's `/join` admin call and has
+    /// not entered the rings yet: start with the local machine excluded
+    /// from all rings, then call [`Engine::announce_join`] — the master's
+    /// epoch-stamped membership update installs it everywhere (including
+    /// here).
+    pub pending_join: bool,
+    /// The membership epoch this engine starts at (a joiner inherits the
+    /// master's epoch from the join grant; founding members start at 0).
+    pub initial_epoch: u64,
+    /// Machines already known failed at start (a joiner inherits the
+    /// master's failed set so it never routes to corpses).
+    pub initial_failed: Vec<usize>,
+    /// The committed ring membership at start (`None` = every machine).
+    /// A joiner inherits this from its grant so that *reserved but not
+    /// yet joined* ids — present in the node list for addressing — never
+    /// enter its rings before their own commit.
+    pub ring_members: Option<Vec<usize>>,
 }
 
 impl Default for EngineConfig {
@@ -141,6 +163,11 @@ impl Default for EngineConfig {
             record_latency: true,
             net_batch_max: BatchConfig::default().batch_max,
             net_flush_us: BatchConfig::default().flush_us,
+            base_machines: None,
+            pending_join: false,
+            initial_epoch: 0,
+            initial_failed: Vec::new(),
+            ring_members: None,
         }
     }
 }
@@ -166,8 +193,39 @@ impl EngineConfig {
             record_latency: true,
             net_batch_max: BatchConfig::default().batch_max,
             net_flush_us: BatchConfig::default().flush_us,
+            base_machines: None,
+            pending_join: false,
+            initial_epoch: 0,
+            initial_failed: Vec::new(),
+            ring_members: None,
         }
     }
+}
+
+/// A join reservation issued by the master's `/join` admin endpoint: the
+/// id and cluster view the joining `muppetd` starts its engine with.
+#[derive(Clone, Debug)]
+pub struct JoinGrant {
+    /// The machine id assigned to the joiner (always `nodes.len() - 1` —
+    /// ids are append-only, never reused).
+    pub id: MachineId,
+    /// The master's membership epoch at reservation time.
+    pub epoch: u64,
+    /// The founding machine count (Muppet 1.0 layout replay).
+    pub base: usize,
+    /// The full node list, joiner included (as a not-yet-joined
+    /// reservation).
+    pub topology: Topology,
+    /// Machines already known failed.
+    pub failed: Vec<usize>,
+    /// The committed ring members at grant time — a strict subset of the
+    /// node list when other reservations are pending; only these may
+    /// enter the joiner's initial rings.
+    pub members: Vec<usize>,
+    /// The cluster's slate-store host, so the joiner wires itself to the
+    /// same store the handoff flushes went to (a joiner without it would
+    /// fault nothing and silently reset every moved slate).
+    pub store_host: Option<usize>,
 }
 
 /// Map the config consistency onto the store's enum (convenience for
@@ -232,6 +290,8 @@ struct Packet {
     injected_us: u64,
     /// True once redirected to an overflow stream (no double redirects).
     redirected: bool,
+    /// Ownership-forwarding hops so far (elastic handoff; capped).
+    forwards: u8,
 }
 
 /// Per-machine state.
@@ -254,11 +314,18 @@ struct Machine {
     thread_ops: Vec<Option<OpId>>,
 }
 
-/// 1.0 worker slot: global id → (machine, thread).
+/// 1.0 worker slot: global id → (machine, thread, function). Slot ids
+/// are append-only and their layout is a pure function of the founding
+/// configuration plus machine ids (join layout: machine `id ≥ base` owns
+/// one slot per op at a deterministic position), so every node derives
+/// identical slot ids regardless of when it learned of a machine.
 #[derive(Clone, Copy, Debug)]
 struct WorkerSlot {
     machine: usize,
     thread: usize,
+    /// The function this slot runs (lets membership updates rebuild a
+    /// missing machine's ring entries from the slot table alone).
+    op: OpId,
 }
 
 /// Cumulative engine counters.
@@ -273,6 +340,7 @@ struct Counters {
     redirected_overflow: AtomicU64,
     throttle_waits: AtomicU64,
     publish_errors: AtomicU64,
+    forwarded: AtomicU64,
 }
 
 /// Public snapshot of engine statistics.
@@ -296,6 +364,12 @@ pub struct EngineStats {
     pub throttle_waits: u64,
     /// Emissions to unknown/external streams (discarded, counted).
     pub publish_errors: u64,
+    /// Events re-sent to their current owner by a machine that no longer
+    /// owned their key (elastic handoff / laggard rings) — never lost,
+    /// just re-routed.
+    pub forwarded: u64,
+    /// The membership epoch this node has installed.
+    pub epoch: u64,
     /// End-to-end latency (injection → updater completion).
     pub latency: LatencySummary,
     /// Aggregated slate-cache stats.
@@ -338,13 +412,151 @@ impl Machine {
             thread_ops: Vec::new(),
         }
     }
+
+    /// A local Muppet 2.0 machine: a worker pool and one central cache.
+    fn local2(cfg: &EngineConfig, backend: &Arc<dyn SlateBackend>) -> Machine {
+        let threads = cfg.workers_per_machine.max(1);
+        Machine {
+            local: true,
+            alive: AtomicBool::new(true),
+            queues: (0..threads).map(|_| Arc::new(EventQueue::new(cfg.queue_capacity))).collect(),
+            in_flight: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            central_cache: Some(Arc::new(SlateCache::new(
+                cfg.slate_cache_capacity,
+                cfg.flush,
+                Arc::clone(backend),
+            ))),
+            worker_caches: (0..threads).map(|_| None).collect(),
+            thread_ops: (0..threads).map(|_| None).collect(),
+        }
+    }
+
+    /// A local Muppet 1.0 machine from its thread→function binding; each
+    /// updater thread gets an even share of the machine's cache budget
+    /// (§4.5).
+    fn local1(
+        thread_ops: &[OpId],
+        wf: &Workflow,
+        cfg: &EngineConfig,
+        backend: &Arc<dyn SlateBackend>,
+    ) -> Machine {
+        let n_upd =
+            thread_ops.iter().filter(|&&op| wf.op(op).kind == OpKind::Update).count().max(1);
+        let per_worker_cap = (cfg.slate_cache_capacity / n_upd).max(1);
+        // A machine can end up with zero assigned workers (more machines
+        // than worker slots); keep one idle thread so every per-thread
+        // vector stays consistent.
+        let n_threads = thread_ops.len().max(1);
+        let mut worker_caches: Vec<Option<Arc<SlateCache>>> = thread_ops
+            .iter()
+            .map(|&op| {
+                if wf.op(op).kind == OpKind::Update {
+                    Some(Arc::new(SlateCache::new(per_worker_cap, cfg.flush, Arc::clone(backend))))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        worker_caches.resize_with(n_threads, || None);
+        let mut bound_ops: Vec<Option<OpId>> = thread_ops.iter().map(|&op| Some(op)).collect();
+        bound_ops.resize(n_threads, None);
+        Machine {
+            local: true,
+            alive: AtomicBool::new(true),
+            queues: (0..n_threads).map(|_| Arc::new(EventQueue::new(cfg.queue_capacity))).collect(),
+            in_flight: (0..n_threads).map(|_| AtomicU64::new(0)).collect(),
+            central_cache: None,
+            worker_caches,
+            thread_ops: bound_ops,
+        }
+    }
+}
+
+/// The Muppet 1.0 worker layout of one machine that *joined* a running
+/// cluster: one worker slot per function, thread `t` running op `t`.
+/// A pure function of the workflow, so every node (and the joiner
+/// itself) derives the identical layout from the join order alone.
+fn join_layout_ops(wf: &Workflow) -> Vec<OpId> {
+    (0..wf.ops().len()).collect()
+}
+
+/// The routing state one membership epoch defines: the machine ring
+/// (2.0), the per-op worker-slot rings (1.0), and the slot table. All of
+/// it lives under ONE `RwLock` — updaters hold the read lock across a
+/// slate mutation, so installing a new epoch (write lock) is atomic with
+/// respect to every in-flight update: after the install, no worker can
+/// still be mutating a slate the node just handed off.
+struct Membership {
+    /// 2.0: ring over machines, stamped with the master-assigned
+    /// membership epoch (failure drops reshape the ring but do not mint
+    /// epochs; only committed membership updates do).
+    machine_ring: EpochRing,
+    /// 1.0: ring per op over global worker-slot ids.
+    op_rings: Vec<ConsistentRing>,
+    /// 1.0: global slot id → (machine, thread).
+    worker_slots: Vec<WorkerSlot>,
+    /// Staged next-epoch state between the prepare and commit phases of a
+    /// join. Once staged, *processing* ownership checks use it (this node
+    /// has flushed its moved-away slates and must forward instead of
+    /// updating them locally) while *sender* routing keeps the committed
+    /// rings until the cluster-wide flush barrier passes.
+    pending: Option<PendingEpoch>,
+}
+
+/// A staged (prepared, not yet committed) membership epoch.
+struct PendingEpoch {
+    epoch: u64,
+    machine_ring: ConsistentRing,
+    op_rings: Vec<ConsistentRing>,
+    worker_slots: Vec<WorkerSlot>,
+    joined: Vec<MachineId>,
+}
+
+impl Membership {
+    /// Committed 2.0 owner of `route` — what senders route by.
+    fn owner2(&self, route: RouteHash) -> Option<usize> {
+        self.machine_ring.owner(route)
+    }
+
+    /// Committed 1.0 owning slot of ⟨op, route⟩.
+    fn slot1(&self, op: OpId, route: RouteHash) -> Option<WorkerSlot> {
+        self.op_rings.get(op)?.owner(route).map(|sid| self.worker_slots[sid])
+    }
+
+    /// 2.0 owner including a staged epoch (processing-side checks).
+    fn effective_owner2(&self, route: RouteHash) -> Option<usize> {
+        match &self.pending {
+            Some(p) => p.machine_ring.owner(route),
+            None => self.machine_ring.owner(route),
+        }
+    }
+
+    /// 1.0 owning slot including a staged epoch (processing-side checks).
+    fn effective_slot1(&self, op: OpId, route: RouteHash) -> Option<WorkerSlot> {
+        match &self.pending {
+            Some(p) => p.op_rings.get(op)?.owner(route).map(|sid| p.worker_slots[sid]),
+            None => self.slot1(op, route),
+        }
+    }
 }
 
 struct Shared {
     wf: Workflow,
     ops: Vec<OpInstance>,
     cfg: EngineConfig,
-    machines: Vec<Machine>,
+    /// Per-machine state; grows when machines join (ids are append-only).
+    machines: RwLock<Vec<Arc<Machine>>>,
+    /// The epoch-stamped routing state (all rings + slot table).
+    membership: RwLock<Membership>,
+    /// The full cluster node list, reservations included (authoritative
+    /// on the master; grown from membership updates elsewhere).
+    cluster_nodes: Mutex<Vec<NodeSpec>>,
+    /// Serializes join reservations + protocol runs on the master.
+    join_lock: Mutex<()>,
+    /// Highest epoch this master has ever handed out (monotone even
+    /// across aborted joins — a staged-but-never-committed epoch must
+    /// never be reused with different content).
+    epoch_mint: AtomicU64,
     /// The wire (in-process hand-off or TCP).
     transport: Arc<dyn Transport>,
     /// TCP mode: the concrete transport, for wire-level stats snapshots.
@@ -352,11 +564,13 @@ struct Shared {
     /// TCP mode: the locally hosted store service, served to peers via
     /// the transport's store frames.
     host_store: Option<Arc<StoreCluster>>,
-    /// 2.0: ring over machines.
-    machine_ring: RwLock<ConsistentRing>,
-    /// 1.0: ring per op over global worker-slot ids.
-    op_rings: RwLock<Vec<ConsistentRing>>,
-    worker_slots: Vec<WorkerSlot>,
+    /// The slate backend every cache flushes to / loads from (also the
+    /// read fallback when a slate's owner is unreachable, §4.4).
+    backend: Arc<dyn SlateBackend>,
+    /// Whether `backend` actually persists (false for [`NullBackend`]):
+    /// decides whether elastic handoff goes through the store or moves
+    /// slots directly between in-process caches.
+    has_backend: bool,
     master: Master,
     /// Events enqueued but not yet fully processed.
     pending: AtomicI64,
@@ -375,10 +589,22 @@ impl Shared {
         self.start.elapsed().as_micros() as u64
     }
 
+    fn machine(&self, id: usize) -> Option<Arc<Machine>> {
+        self.machines.read().get(id).cloned()
+    }
+
+    fn machines_snapshot(&self) -> Vec<Arc<Machine>> {
+        self.machines.read().clone()
+    }
+
+    fn epoch(&self) -> u64 {
+        self.membership.read().machine_ring.epoch()
+    }
+
     /// Total events the cluster's queues are sized to hold; the source-
     /// throttling high-water mark.
     fn total_queue_budget(&self) -> usize {
-        self.machines.iter().map(|m| m.queues.len() * self.cfg.queue_capacity).sum()
+        self.machines.read().iter().map(|m| m.queues.len() * self.cfg.queue_capacity).sum()
     }
 }
 
@@ -481,45 +707,36 @@ impl Engine {
             })
             .collect::<Result<_>>()?;
 
-        // Build machines + worker layout.
-        let mut machines = Vec::with_capacity(cfg.machines);
+        // Build machines + worker layout. Machines `0..base` carry the
+        // founding layout; machines `base..` joined a running cluster and
+        // carry the deterministic join layout (replayed identically on
+        // every node from the join order).
+        let base = cfg.base_machines.unwrap_or(cfg.machines).min(cfg.machines).max(1);
+        let local_machine = transport.local_machine();
+        let mut machines: Vec<Arc<Machine>> = Vec::with_capacity(cfg.machines);
         let mut worker_slots = Vec::new();
-        let mut op_rings = Vec::new();
+        let mut op_rings: Vec<ConsistentRing> =
+            (0..workflow.ops().len()).map(|_| ConsistentRing::new(0, 32)).collect();
         match cfg.kind {
             EngineKind::Muppet2 => {
                 for m in 0..cfg.machines {
-                    if !is_local(m) {
-                        machines.push(Machine::remote_stub());
-                        continue;
-                    }
-                    let threads = cfg.workers_per_machine.max(1);
-                    machines.push(Machine {
-                        local: true,
-                        alive: AtomicBool::new(true),
-                        queues: (0..threads)
-                            .map(|_| Arc::new(EventQueue::new(cfg.queue_capacity)))
-                            .collect(),
-                        in_flight: (0..threads).map(|_| AtomicU64::new(0)).collect(),
-                        central_cache: Some(Arc::new(SlateCache::new(
-                            cfg.slate_cache_capacity,
-                            cfg.flush,
-                            Arc::clone(&backend),
-                        ))),
-                        worker_caches: (0..threads).map(|_| None).collect(),
-                        thread_ops: (0..threads).map(|_| None).collect(),
-                    });
+                    machines.push(Arc::new(if is_local(m) {
+                        Machine::local2(&cfg, &backend)
+                    } else {
+                        Machine::remote_stub()
+                    }));
                 }
             }
             EngineKind::Muppet1 => {
-                // Assign workers_per_op workers per function, round-robin
-                // over machines. Machine thread lists grow as slots land.
-                let mut per_machine_threads: Vec<Vec<OpId>> = vec![Vec::new(); cfg.machines];
+                // Founding machines: workers_per_op workers per function,
+                // round-robin over machines 0..base.
+                let mut per_machine_threads: Vec<Vec<OpId>> = vec![Vec::new(); base];
                 let mut slot_positions: Vec<Vec<(usize, usize)>> = Vec::new(); // per op: (machine, thread)
                 let mut rr = 0usize;
                 for op_id in 0..workflow.ops().len() {
                     let mut positions = Vec::new();
                     for _ in 0..cfg.workers_per_op.max(1) {
-                        let m = rr % cfg.machines;
+                        let m = rr % base;
                         rr += 1;
                         let thread = per_machine_threads[m].len();
                         per_machine_threads[m].push(op_id);
@@ -527,78 +744,107 @@ impl Engine {
                     }
                     slot_positions.push(positions);
                 }
-                // Updater-worker cache budget: split the machine budget
-                // evenly across that machine's updater threads (§4.5).
-                let updater_threads_per_machine: Vec<usize> = per_machine_threads
-                    .iter()
-                    .map(|threads| {
-                        threads.iter().filter(|&&op| workflow.op(op).kind == OpKind::Update).count()
-                    })
-                    .collect();
                 for (m, thread_ops) in per_machine_threads.iter().enumerate() {
-                    if !is_local(m) {
-                        machines.push(Machine::remote_stub());
-                        continue;
-                    }
-                    let n_upd = updater_threads_per_machine[m].max(1);
-                    let per_worker_cap = (cfg.slate_cache_capacity / n_upd).max(1);
-                    // A machine can end up with zero assigned workers (more
-                    // machines than worker slots); keep one idle thread so
-                    // every per-thread vector stays consistent.
-                    let n_threads = thread_ops.len().max(1);
-                    let mut worker_caches: Vec<Option<Arc<SlateCache>>> = thread_ops
-                        .iter()
-                        .map(|&op| {
-                            if workflow.op(op).kind == OpKind::Update {
-                                Some(Arc::new(SlateCache::new(
-                                    per_worker_cap,
-                                    cfg.flush,
-                                    Arc::clone(&backend),
-                                )))
-                            } else {
-                                None
-                            }
-                        })
-                        .collect();
-                    worker_caches.resize_with(n_threads, || None);
-                    let mut bound_ops: Vec<Option<OpId>> =
-                        thread_ops.iter().map(|&op| Some(op)).collect();
-                    bound_ops.resize(n_threads, None);
-                    machines.push(Machine {
-                        local: true,
-                        alive: AtomicBool::new(true),
-                        queues: (0..n_threads)
-                            .map(|_| Arc::new(EventQueue::new(cfg.queue_capacity)))
-                            .collect(),
-                        in_flight: (0..n_threads).map(|_| AtomicU64::new(0)).collect(),
-                        central_cache: None,
-                        worker_caches,
-                        thread_ops: bound_ops,
-                    });
+                    machines.push(Arc::new(if is_local(m) {
+                        Machine::local1(thread_ops, &workflow, &cfg, &backend)
+                    } else {
+                        Machine::remote_stub()
+                    }));
                 }
-                // Global worker slots + per-op rings over slot ids.
-                for positions in &slot_positions {
-                    let mut ring = ConsistentRing::new(0, 32);
+                // Founding worker slots + per-op rings over slot ids.
+                for (op, positions) in slot_positions.iter().enumerate() {
                     for &(machine, thread) in positions {
                         let slot_id = worker_slots.len();
-                        worker_slots.push(WorkerSlot { machine, thread });
-                        ring.add(slot_id);
+                        worker_slots.push(WorkerSlot { machine, thread, op });
+                        op_rings[op].add(slot_id);
                     }
-                    op_rings.push(ring);
+                }
+                // Joined machines (id order): one slot per function,
+                // thread t running op t, at deterministic slot ids.
+                let join_ops = join_layout_ops(&workflow);
+                for id in base..cfg.machines {
+                    machines.push(Arc::new(if is_local(id) {
+                        Machine::local1(&join_ops, &workflow, &cfg, &backend)
+                    } else {
+                        Machine::remote_stub()
+                    }));
+                    for (thread, &op) in join_ops.iter().enumerate() {
+                        let slot_id = worker_slots.len();
+                        worker_slots.push(WorkerSlot { machine: id, thread, op });
+                        op_rings[op].add(slot_id);
+                    }
                 }
             }
         }
 
+        // The machine ring holds only committed members: not a pending
+        // local joiner, not machines already known failed, and — when
+        // the grant says so — not ids that are mere reservations (other
+        // joiners racing us; they enter via their own commit).
+        let in_ring = |m: usize| {
+            if cfg.pending_join && local_machine == Some(m) {
+                return false;
+            }
+            if cfg.initial_failed.contains(&m) {
+                return false;
+            }
+            cfg.ring_members.as_ref().map(|members| members.contains(&m)).unwrap_or(true)
+        };
+        let mut machine_ring = ConsistentRing::new(0, 64);
+        for m in 0..cfg.machines {
+            if in_ring(m) {
+                machine_ring.add(m);
+            }
+        }
+        // Out-of-ring machines lose their 1.0 slots too; failed ones
+        // also their alive flag.
+        for m in 0..cfg.machines {
+            if in_ring(m) {
+                continue;
+            }
+            for (slot_id, slot) in worker_slots.iter().enumerate() {
+                if slot.machine == m {
+                    for ring in op_rings.iter_mut() {
+                        ring.remove(slot_id);
+                    }
+                }
+            }
+            if cfg.initial_failed.contains(&m) {
+                if let Some(machine) = machines.get(m) {
+                    machine.alive.store(false, Ordering::Release);
+                }
+            }
+        }
+
+        // The authoritative node list (addresses for TCP; synthesized
+        // placeholders in-process, where addressing is by id only).
+        let cluster_nodes: Vec<NodeSpec> = match &cfg.transport {
+            TransportKind::Tcp { topology, .. } => topology.nodes.clone(),
+            TransportKind::InProcess => (0..cfg.machines)
+                .map(|id| NodeSpec { id, host: "in-process".into(), port: 0, http_port: 0 })
+                .collect(),
+        };
+
+        let initial_epoch = cfg.initial_epoch;
+        let initial_failed = cfg.initial_failed.clone();
         let shared = Arc::new(Shared {
-            machine_ring: RwLock::new(ConsistentRing::new(cfg.machines, 64)),
-            op_rings: RwLock::new(op_rings),
-            worker_slots,
+            membership: RwLock::new(Membership {
+                machine_ring: EpochRing::from_ring(machine_ring, initial_epoch),
+                op_rings,
+                worker_slots,
+                pending: None,
+            }),
+            cluster_nodes: Mutex::new(cluster_nodes),
+            join_lock: Mutex::new(()),
+            epoch_mint: AtomicU64::new(initial_epoch),
             wf: workflow,
             ops,
-            machines,
+            machines: RwLock::new(machines),
             transport: Arc::clone(&transport),
             tcp: tcp.clone(),
             host_store: store.clone(),
+            backend,
+            has_backend,
             master: Master::new(),
             pending: AtomicI64::new(0),
             stopping: AtomicBool::new(false),
@@ -610,6 +856,9 @@ impl Engine {
             throttle_cv: Condvar::new(),
             cfg,
         });
+        for failed in initial_failed {
+            shared.master.mark_failed(failed, initial_epoch);
+        }
 
         // Wire the transport back into this engine.
         let handler = Arc::new(EngineHandler(Arc::clone(&shared)));
@@ -618,35 +867,23 @@ impl Engine {
         // Spawn worker threads (local machines only; remote stubs have no
         // queues).
         let mut threads = Vec::new();
-        for m in 0..shared.machines.len() {
-            for t in 0..shared.machines[m].queues.len() {
-                let sh = Arc::clone(&shared);
-                threads.push(
-                    std::thread::Builder::new()
-                        .name(format!("muppet-m{m}-w{t}"))
-                        .spawn(move || worker_loop(sh, m, t))
-                        .expect("spawn worker"),
-                );
+        {
+            let machines = shared.machines.read();
+            for m in 0..machines.len() {
+                for t in 0..machines[m].queues.len() {
+                    threads.push(spawn_worker(&shared, m, t));
+                }
             }
         }
         // Spawn background flusher threads (one per local machine) when the
         // policy is interval-based and a backend (direct or remote) is
         // attached.
         let mut flushers = Vec::new();
-        if let FlushPolicy::IntervalMs(ms) = shared.cfg.flush {
-            if has_backend {
-                for m in 0..shared.machines.len() {
-                    if !shared.machines[m].local {
-                        continue;
-                    }
-                    let sh = Arc::clone(&shared);
-                    let interval = Duration::from_millis(ms.max(1));
-                    flushers.push(
-                        std::thread::Builder::new()
-                            .name(format!("muppet-flusher-{m}"))
-                            .spawn(move || flusher_loop(sh, m, interval))
-                            .expect("spawn flusher"),
-                    );
+        if matches!(shared.cfg.flush, FlushPolicy::IntervalMs(_)) && has_backend {
+            let machines = shared.machines.read();
+            for m in 0..machines.len() {
+                if machines[m].local {
+                    flushers.push(spawn_flusher(&shared, m));
                 }
             }
         }
@@ -706,7 +943,8 @@ impl Engine {
         self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
         let subscribers = self.shared.wf.subscribers_of(stream.as_str()).to_vec();
         for op in subscribers {
-            let packet = Packet { op, event: event.clone(), injected_us, redirected: false };
+            let packet =
+                Packet { op, event: event.clone(), injected_us, redirected: false, forwards: 0 };
             try_send(&self.shared, packet, true);
         }
         Ok(())
@@ -741,25 +979,66 @@ impl Engine {
     /// the durable key-value store to ensure an up-to-date reply"). When
     /// the owning machine lives in another process (TCP mode), the read
     /// crosses the wire as a `SlateGet` frame.
+    ///
+    /// A read addressed to a machine that has died (or was dropped from
+    /// the ring between resolution and the wire call) does not surface as
+    /// a failure: it falls back to the *current* owner and then to the
+    /// durable store, so the client sees the last flushed value instead
+    /// of an error — the §4.3 survivor-recovery path, applied to reads.
     pub fn read_slate(&self, updater: &str, key: &Key) -> Option<Vec<u8>> {
         let op = self.shared.wf.op_id(updater)?;
         if self.shared.wf.op(op).kind != OpKind::Update {
             return None;
         }
-        let route = key.route_hash(updater);
-        let owner = self.owner_machine(updater, key)?;
-        if self.shared.transport.is_local(owner) {
-            let machine = &self.shared.machines[owner];
-            match self.shared.cfg.kind {
-                EngineKind::Muppet2 => machine.central_cache.as_ref()?.read(op, key),
-                EngineKind::Muppet1 => {
-                    let slot_id = self.shared.op_rings.read().get(op)?.owner(route)?;
-                    let slot = self.shared.worker_slots[slot_id];
-                    machine.worker_caches[slot.thread].as_ref()?.read(op, key)
-                }
+        let first_owner = self.owner_machine(updater, key)?;
+        match self.read_slate_from(first_owner, op, updater, key) {
+            Ok(Some(bytes)) => Some(bytes),
+            Ok(None) => {
+                // The live owner has nothing cached (evicted, or freshly
+                // handed the arc and not yet faulted): the store holds
+                // the last flushed value — the §4.2 miss path, applied
+                // to reads.
+                self.shared.backend.load(updater, key, self.shared.now_us())
             }
+            Err(_) => {
+                // The owner was unreachable. The failed request may
+                // already have driven the §4.3 protocol; re-resolve and
+                // try the new owner once, then fall back to the store.
+                let retried = self
+                    .owner_machine(updater, key)
+                    .filter(|&again| again != first_owner)
+                    .and_then(|again| self.read_slate_from(again, op, updater, key).ok().flatten());
+                retried.or_else(|| self.shared.backend.load(updater, key, self.shared.now_us()))
+            }
+        }
+    }
+
+    /// One read attempt against a specific machine's cache.
+    fn read_slate_from(
+        &self,
+        owner: usize,
+        op: OpId,
+        updater: &str,
+        key: &Key,
+    ) -> std::result::Result<Option<Vec<u8>>, NetError> {
+        if self.shared.transport.is_local(owner) {
+            let Some(machine) = self.shared.machine(owner) else { return Ok(None) };
+            if !machine.alive.load(Ordering::Acquire) {
+                return Err(NetError::Unreachable(owner));
+            }
+            Ok(match self.shared.cfg.kind {
+                EngineKind::Muppet2 => {
+                    machine.central_cache.as_ref().and_then(|cache| cache.read(op, key))
+                }
+                EngineKind::Muppet1 => {
+                    let route = key.route_hash(updater);
+                    let slot = self.shared.membership.read().effective_slot1(op, route);
+                    slot.filter(|s| s.machine == owner)
+                        .and_then(|s| machine.worker_caches.get(s.thread)?.as_ref()?.read(op, key))
+                }
+            })
         } else {
-            self.shared.transport.read_slate(owner, updater, key.as_bytes()).ok().flatten()
+            self.shared.transport.read_slate(owner, updater, key.as_bytes())
         }
     }
 
@@ -769,12 +1048,10 @@ impl Engine {
     pub fn owner_machine(&self, updater: &str, key: &Key) -> Option<usize> {
         let op = self.shared.wf.op_id(updater)?;
         let route = key.route_hash(updater);
+        let membership = self.shared.membership.read();
         match self.shared.cfg.kind {
-            EngineKind::Muppet2 => self.shared.machine_ring.read().owner(route),
-            EngineKind::Muppet1 => {
-                let slot_id = self.shared.op_rings.read().get(op)?.owner(route)?;
-                Some(self.shared.worker_slots[slot_id].machine)
-            }
+            EngineKind::Muppet2 => membership.owner2(route),
+            EngineKind::Muppet1 => membership.slot1(op, route).map(|slot| slot.machine),
         }
     }
 
@@ -782,7 +1059,7 @@ impl Engine {
     pub fn cached_keys(&self, updater: &str) -> Vec<Key> {
         let Some(op) = self.shared.wf.op_id(updater) else { return Vec::new() };
         let mut keys = Vec::new();
-        for m in &self.shared.machines {
+        for m in &self.shared.machines_snapshot() {
             if !m.alive.load(Ordering::Acquire) {
                 continue;
             }
@@ -814,7 +1091,7 @@ impl Engine {
             }
         };
         let mut out = Vec::new();
-        for m in &self.shared.machines {
+        for m in &self.shared.machines_snapshot() {
             if !m.alive.load(Ordering::Acquire) {
                 continue;
             }
@@ -836,7 +1113,7 @@ impl Engine {
     /// In TCP mode this only makes sense for the local machine (killing a
     /// peer means killing its process).
     pub fn kill_machine(&self, machine: usize) {
-        let m = &self.shared.machines[machine];
+        let Some(m) = self.shared.machine(machine) else { return };
         if !m.local {
             return;
         }
@@ -853,9 +1130,130 @@ impl Engine {
         self.shared.pending.fetch_sub(lost as i64, Ordering::AcqRel);
     }
 
-    /// Number of machines configured.
+    /// Number of machines known (configured + joined).
     pub fn machine_count(&self) -> usize {
-        self.shared.machines.len()
+        self.shared.machines.read().len()
+    }
+
+    /// The membership epoch this node has installed.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch()
+    }
+
+    /// This node's view of the cluster: (epoch, node list, failed ids).
+    pub fn membership_view(&self) -> (u64, Vec<NodeSpec>, Vec<usize>) {
+        (
+            self.shared.epoch(),
+            self.shared.cluster_nodes.lock().clone(),
+            self.shared.master.failed_machines(),
+        )
+    }
+
+    /// In-process elastic growth: add one machine to the running
+    /// simulated cluster and drive the full membership protocol through
+    /// the transport — reserve, prepare (epoch-stamped, with the dirty
+    /// slates of moved arcs handed off), commit. Returns the new
+    /// machine's id. TCP clusters grow via `muppetd --join` instead.
+    pub fn join_machine(&self) -> Result<usize> {
+        let shared = &self.shared;
+        if shared.transport.local_machine().is_some() {
+            return Err(Error::Config(
+                "join_machine grows in-process clusters; TCP nodes join via `muppetd --join`"
+                    .into(),
+            ));
+        }
+        let id = {
+            let _serialize = shared.join_lock.lock();
+            let mut machines = shared.machines.write();
+            let id = machines.len();
+            let machine = match shared.cfg.kind {
+                EngineKind::Muppet2 => Machine::local2(&shared.cfg, &shared.backend),
+                EngineKind::Muppet1 => Machine::local1(
+                    &join_layout_ops(&shared.wf),
+                    &shared.wf,
+                    &shared.cfg,
+                    &shared.backend,
+                ),
+            };
+            machines.push(Arc::new(machine));
+            drop(machines);
+            shared.cluster_nodes.lock().push(NodeSpec {
+                id,
+                host: "in-process".into(),
+                port: 0,
+                http_port: 0,
+            });
+            let machines = shared.machines.read();
+            let mut threads = self.threads.lock();
+            for t in 0..machines[id].queues.len() {
+                threads.push(spawn_worker(shared, id, t));
+            }
+            if matches!(shared.cfg.flush, FlushPolicy::IntervalMs(_)) && shared.has_backend {
+                self.flushers.lock().push(spawn_flusher(shared, id));
+            }
+            id
+        };
+        // Announce readiness: the (in-process) master role runs the
+        // prepare → handoff → commit protocol synchronously.
+        shared
+            .transport
+            .send_join(0, id)
+            .map_err(|e| Error::Config(format!("join announcement failed: {e}")))?;
+        if !self.ring_contains(id) {
+            return Err(Error::Config(format!("machine {id} failed to enter the rings")));
+        }
+        Ok(id)
+    }
+
+    /// Master-side admin (the HTTP `POST /join` endpoint): reserve a
+    /// cluster id for a joining `muppetd`. The node is appended to the
+    /// peer table — so the master can talk to it — but enters no ring
+    /// until its engine announces readiness ([`Engine::announce_join`]).
+    pub fn admin_reserve_join(&self, host: &str, port: u16, http_port: u16) -> Result<JoinGrant> {
+        let shared = &self.shared;
+        let Some(tcp) = &shared.tcp else {
+            return Err(Error::Config("join reservations require the TCP transport".into()));
+        };
+        let master = tcp.topology().master;
+        if shared.transport.local_machine() != Some(master) {
+            return Err(Error::Config(format!("joins must be sent to the master (node {master})")));
+        }
+        let _serialize = shared.join_lock.lock();
+        let mut cluster_nodes = shared.cluster_nodes.lock();
+        let id = cluster_nodes.len();
+        let spec = NodeSpec { id, host: host.to_string(), port, http_port };
+        tcp.add_peer(&spec).map_err(Error::Config)?;
+        shared.machines.write().push(Arc::new(Machine::remote_stub()));
+        cluster_nodes.push(spec);
+        let mut members = shared.membership.read().machine_ring.members().to_vec();
+        members.sort_unstable();
+        Ok(JoinGrant {
+            id,
+            epoch: shared.epoch(),
+            base: shared.cfg.base_machines.unwrap_or(shared.cfg.machines),
+            topology: Topology { nodes: cluster_nodes.clone(), master },
+            failed: shared.master.failed_machines(),
+            members,
+            store_host: shared.cfg.store_host,
+        })
+    }
+
+    /// Joiner-side: announce to the master that this node (started with
+    /// [`EngineConfig::pending_join`], listener live) is ready to enter
+    /// the rings. The master's epoch-stamped membership update installs
+    /// it everywhere — including here, once the commit arrives.
+    pub fn announce_join(&self) -> Result<()> {
+        let shared = &self.shared;
+        let Some(local) = shared.transport.local_machine() else {
+            return Err(Error::Config("announce_join is for TCP joiners".into()));
+        };
+        let Some(tcp) = &shared.tcp else {
+            return Err(Error::Config("announce_join is for TCP joiners".into()));
+        };
+        shared
+            .transport
+            .send_join(tcp.topology().master, local)
+            .map_err(|e| Error::Config(format!("join announcement failed: {e}")))
     }
 
     /// Whether the master has been told about a machine failure yet
@@ -866,9 +1264,9 @@ impl Engine {
     }
 
     /// Whether `machine` is still a member of the routing ring (false once
-    /// the §4.3 broadcast dropped it).
+    /// the §4.3 broadcast dropped it, true again after a committed join).
     pub fn ring_contains(&self, machine: usize) -> bool {
-        self.shared.machine_ring.read().contains(machine)
+        self.shared.membership.read().machine_ring.contains(machine)
     }
 
     /// The machine this engine runs locally (`None` in-process, where all
@@ -892,6 +1290,7 @@ impl Engine {
     pub fn max_queue_high_water(&self) -> usize {
         self.shared
             .machines
+            .read()
             .iter()
             .flat_map(|m| m.queues.iter())
             .map(|q| q.high_water())
@@ -904,13 +1303,14 @@ impl Engine {
         let c = &self.shared.counters;
         let mut cache = crate::cache::CacheStats::default();
         let mut dirty = 0u64;
-        for m in &self.shared.machines {
+        for m in &self.shared.machines_snapshot() {
             let mut add = |s: crate::cache::CacheStats| {
                 cache.hits += s.hits;
                 cache.misses += s.misses;
                 cache.store_loads += s.store_loads;
                 cache.evictions += s.evictions;
                 cache.flush_writes += s.flush_writes;
+                cache.flush_failures += s.flush_failures;
                 cache.ttl_resets += s.ttl_resets;
                 cache.entries += s.entries;
                 cache.dirty += s.dirty;
@@ -948,6 +1348,8 @@ impl Engine {
             redirected_overflow: c.redirected_overflow.load(Ordering::Relaxed),
             throttle_waits: c.throttle_waits.load(Ordering::Relaxed),
             publish_errors: c.publish_errors.load(Ordering::Relaxed),
+            forwarded: c.forwarded.load(Ordering::Relaxed),
+            epoch: self.shared.epoch(),
             latency: self.shared.latency.summary(),
             cache,
             dirty_slates: dirty,
@@ -973,7 +1375,7 @@ impl Engine {
             listener.stop();
         }
         self.shared.stopping.store(true, Ordering::Release);
-        for m in &self.shared.machines {
+        for m in &self.shared.machines_snapshot() {
             for q in &m.queues {
                 q.notify();
             }
@@ -987,7 +1389,7 @@ impl Engine {
         // Graceful final flush (live machines only — dead machines lost
         // their dirty slates, §4.3).
         let now = self.shared.now_us();
-        for m in &self.shared.machines {
+        for m in &self.shared.machines_snapshot() {
             if !m.alive.load(Ordering::Acquire) {
                 continue;
             }
@@ -1002,10 +1404,32 @@ impl Engine {
     }
 }
 
+/// Spawn the worker thread for (machine, thread).
+fn spawn_worker(shared: &Arc<Shared>, m: usize, t: usize) -> std::thread::JoinHandle<()> {
+    let sh = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("muppet-m{m}-w{t}"))
+        .spawn(move || worker_loop(sh, m, t))
+        .expect("spawn worker")
+}
+
+/// Spawn the background flusher for one local machine (interval policy).
+fn spawn_flusher(shared: &Arc<Shared>, m: usize) -> std::thread::JoinHandle<()> {
+    let FlushPolicy::IntervalMs(ms) = shared.cfg.flush else {
+        unreachable!("flushers only run under the interval policy")
+    };
+    let sh = Arc::clone(shared);
+    let interval = Duration::from_millis(ms.max(1));
+    std::thread::Builder::new()
+        .name(format!("muppet-flusher-{m}"))
+        .spawn(move || flusher_loop(sh, m, interval))
+        .expect("spawn flusher")
+}
+
 fn worker_loop(shared: Arc<Shared>, machine_id: usize, thread: usize) {
     let poll = Duration::from_millis(1);
+    let machine = shared.machine(machine_id).expect("worker spawned for an existing machine");
     loop {
-        let machine = &shared.machines[machine_id];
         if !machine.alive.load(Ordering::Acquire) {
             return; // crashed machine: thread dies with it
         }
@@ -1024,7 +1448,7 @@ fn worker_loop(shared: Arc<Shared>, machine_id: usize, thread: usize) {
 }
 
 fn process_packet(shared: &Arc<Shared>, machine_id: usize, thread: usize, packet: Packet) {
-    let machine = &shared.machines[machine_id];
+    let machine = shared.machine(machine_id).expect("packet delivered to an existing machine");
     // Muppet 1.0 invariant: a worker is bound to exactly one function.
     debug_assert!(
         machine.thread_ops[thread].is_none() || machine.thread_ops[thread] == Some(packet.op),
@@ -1040,6 +1464,30 @@ fn process_packet(shared: &Arc<Shared>, machine_id: usize, thread: usize, packet
             mapper.map(&mut emitter, &packet.event);
         }
         OpInstance::Update { updater, name, ttl_secs } => {
+            // Ownership check under the membership read lock, held across
+            // the whole slate mutation: a membership change (write lock)
+            // can only land between updates, never mid-update — so the
+            // prepare-phase flush sees every completed write, and no
+            // worker mutates a slate its machine has already handed off.
+            // Keys this machine no longer owns (a committed drop, or a
+            // *staged* epoch after this node flushed them) are forwarded
+            // to their current owner instead of being processed here.
+            let membership = shared.membership.read();
+            let (owner, fwd_hint) = match shared.cfg.kind {
+                EngineKind::Muppet2 => (membership.effective_owner2(route), None),
+                EngineKind::Muppet1 => {
+                    let slot = membership.effective_slot1(packet.op, route);
+                    (slot.map(|s| s.machine), slot.map(|s| s.thread))
+                }
+            };
+            if let Some(owner) = owner.filter(|&o| o != machine_id) {
+                drop(membership);
+                machine.in_flight[thread].store(0, Ordering::Release);
+                forward_packet(shared, packet, owner, fwd_hint);
+                shared.pending.fetch_sub(1, Ordering::AcqRel);
+                shared.throttle_cv.notify_all();
+                return;
+            }
             let cache = match shared.cfg.kind {
                 EngineKind::Muppet2 => machine.central_cache.as_ref().expect("2.0 central cache"),
                 EngineKind::Muppet1 => {
@@ -1053,6 +1501,7 @@ fn process_packet(shared: &Arc<Shared>, machine_id: usize, thread: usize, packet
                 updater.update(&mut emitter, &packet.event, &mut state.slate);
                 cache.note_write(&slot, &mut state, now);
             }
+            drop(membership);
             if shared.cfg.record_latency {
                 shared.latency.record(shared.now_us().saturating_sub(packet.injected_us));
             }
@@ -1086,6 +1535,47 @@ fn process_packet(shared: &Arc<Shared>, machine_id: usize, thread: usize, packet
     shared.throttle_cv.notify_all();
 }
 
+/// Re-send a packet whose key this machine no longer owns to its current
+/// owner (elastic handoff; also heals laggard-ring deliveries). Bounded
+/// by [`MAX_FORWARDS`] so disagreeing rings can never ping-pong an event
+/// forever — past the cap the event is dropped-and-logged like any other
+/// undeliverable (§4.3 posture).
+fn forward_packet(shared: &Arc<Shared>, packet: Packet, owner: usize, thread_hint: Option<usize>) {
+    if packet.forwards >= MAX_FORWARDS {
+        shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+        shared.drop_log.log(format!(
+            "forward cap hit for key={:?} (rings disagree about machine {owner}?)",
+            packet.event.key
+        ));
+        return;
+    }
+    shared.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+    let key = packet.event.key.clone();
+    let ev = WireEvent {
+        op: packet.op,
+        event: packet.event,
+        injected_us: packet.injected_us,
+        redirected: packet.redirected,
+        // Forwarded events count as internal: the receiver's overflow
+        // policy must never block the forwarding worker.
+        external: false,
+        thread_hint,
+        forwards: packet.forwards + 1,
+    };
+    match shared.transport.send_event(owner, ev) {
+        Ok(()) => {}
+        Err(NetError::Unreachable(_)) => {
+            shared.transport.report_failure(owner, shared.epoch());
+            shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+            shared.drop_log.log(format!("lost to failed machine {owner}: key={key:?}"));
+        }
+        Err(e) => {
+            shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+            shared.drop_log.log(format!("undeliverable to machine {owner} ({e}): key={key:?}"));
+        }
+    }
+}
+
 fn fan_out(
     shared: &Arc<Shared>,
     stream: &StreamId,
@@ -1095,7 +1585,7 @@ fn fan_out(
 ) {
     let subscribers = shared.wf.subscribers_of(stream.as_str()).to_vec();
     for op in subscribers {
-        let packet = Packet { op, event: event.clone(), injected_us, redirected };
+        let packet = Packet { op, event: event.clone(), injected_us, redirected, forwards: 0 };
         try_send(shared, packet, false);
     }
 }
@@ -1109,14 +1599,17 @@ fn fan_out(
 fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
     let updater_name = shared.wf.op(packet.op).name.as_str();
     let route: RouteHash = packet.event.key.route_hash(updater_name);
-    let dest = match shared.cfg.kind {
-        EngineKind::Muppet2 => shared.machine_ring.read().owner(route).map(|m| (m, None)),
-        EngineKind::Muppet1 => {
-            let rings = shared.op_rings.read();
-            rings[packet.op].owner(route).map(|slot_id| {
-                let slot = shared.worker_slots[slot_id];
-                (slot.machine, Some(slot.thread))
-            })
+    // Senders route by the *committed* rings: a staged (prepared) epoch
+    // only redirects processing on the machines that already flushed —
+    // routing to a joiner before the cluster-wide flush barrier passes
+    // could fault a stale slate out of the store.
+    let dest = {
+        let membership = shared.membership.read();
+        match shared.cfg.kind {
+            EngineKind::Muppet2 => membership.owner2(route).map(|m| (m, None)),
+            EngineKind::Muppet1 => {
+                membership.slot1(packet.op, route).map(|slot| (slot.machine, Some(slot.thread)))
+            }
         }
     };
     let Some((machine_id, thread_hint)) = dest else {
@@ -1131,6 +1624,7 @@ fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
         redirected: packet.redirected,
         external,
         thread_hint,
+        forwards: packet.forwards,
     };
     match shared.transport.send_event(machine_id, ev) {
         Ok(()) => {}
@@ -1138,7 +1632,7 @@ fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
             // §4.3: the sender detected the dead machine on send. Report to
             // the master (the master's broadcast removes it from every
             // ring); the undeliverable event is lost and logged.
-            shared.transport.report_failure(machine_id);
+            shared.transport.report_failure(machine_id, shared.epoch());
             shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
             shared.drop_log.log(format!("lost to failed machine {machine_id}: key={key:?}"));
         }
@@ -1164,7 +1658,7 @@ fn deliver_local(
     ev: WireEvent,
 ) -> std::result::Result<(), NetError> {
     loop {
-        let Some(machine) = shared.machines.get(machine_id) else {
+        let Some(machine) = shared.machine(machine_id) else {
             return Err(NetError::NoRoute(machine_id));
         };
         if !machine.local {
@@ -1187,11 +1681,10 @@ fn deliver_local(
                 let valid =
                     |t: usize| t < machine.queues.len() && machine.thread_ops[t] == Some(ev.op);
                 let resolved = ev.thread_hint.filter(|&t| valid(t)).or_else(|| {
-                    let rings = shared.op_rings.read();
-                    rings
-                        .get(ev.op)
-                        .and_then(|ring| ring.owner(route))
-                        .map(|slot_id| shared.worker_slots[slot_id])
+                    shared
+                        .membership
+                        .read()
+                        .effective_slot1(ev.op, route)
                         .filter(|slot| slot.machine == machine_id && valid(slot.thread))
                         .map(|slot| slot.thread)
                 });
@@ -1234,6 +1727,7 @@ fn deliver_local(
             event: ev.event,
             injected_us: ev.injected_us,
             redirected: ev.redirected,
+            forwards: ev.forwards,
         };
         if queue.len_hint() < queue.capacity() {
             // Likely-room fast path; capacity may still be exceeded by a
@@ -1273,6 +1767,7 @@ fn deliver_local(
                         event: event.clone(),
                         injected_us: ev.injected_us,
                         redirected: true,
+                        forwards: ev.forwards,
                     };
                     try_send(shared, p, external);
                 }
@@ -1299,25 +1794,373 @@ fn deliver_local(
 }
 
 /// Drop `failed` from every routing structure — the effect of the master's
-/// §4.3 broadcast, applied on each node.
-fn apply_ring_drop(shared: &Arc<Shared>, failed: usize) {
-    shared.machine_ring.write().remove(failed);
+/// §4.3 broadcast, applied on each node. `epoch` fences re-joined
+/// incarnations: a broadcast staler than the machine's latest join is a
+/// ghost of a previous incarnation and is ignored. Failure drops do not
+/// mint epochs — only master-coordinated membership updates do, so every
+/// node's epoch stays comparable.
+fn apply_ring_drop(shared: &Arc<Shared>, failed: usize, epoch: u64) {
+    if epoch < shared.master.joined_epoch(failed) {
+        return;
+    }
     {
-        let mut rings = shared.op_rings.write();
-        for (slot_id, slot) in shared.worker_slots.iter().enumerate() {
-            if slot.machine == failed {
-                for ring in rings.iter_mut() {
+        let mut membership = shared.membership.write();
+        membership.machine_ring.remove(failed);
+        let slot_ids: Vec<usize> = membership
+            .worker_slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.machine == failed)
+            .map(|(slot_id, _)| slot_id)
+            .collect();
+        for slot_id in slot_ids {
+            for ring in membership.op_rings.iter_mut() {
+                ring.remove(slot_id);
+            }
+            if let Some(p) = membership.pending.as_mut() {
+                for ring in p.op_rings.iter_mut() {
                     ring.remove(slot_id);
                 }
             }
         }
+        if let Some(p) = membership.pending.as_mut() {
+            p.machine_ring.remove(failed);
+        }
     }
-    if let Some(machine) = shared.machines.get(failed) {
+    if let Some(machine) = shared.machine(failed) {
         machine.alive.store(false, Ordering::Release);
     }
     // Every node tracks the failed set ("each worker keeps track of all
     // failed machines"), without re-reporting.
-    shared.master.mark_failed(failed);
+    shared.master.mark_failed(failed, epoch);
+}
+
+/// Stage a membership epoch (the *prepare* phase): grow the peer table
+/// for unseen nodes, build the candidate rings, and — the handoff
+/// invariant — flush (or transfer) every dirty slate whose arc moves away
+/// from a local machine, all under the membership write lock so no
+/// updater can be mid-write on a moved slate. After this returns true,
+/// processing-side ownership checks use the staged rings: moved keys are
+/// forwarded to their new owner, never updated here again.
+fn membership_prepare(shared: &Arc<Shared>, update: &MembershipUpdate) -> bool {
+    let mut membership = shared.membership.write();
+    if update.epoch <= membership.machine_ring.epoch() {
+        return true; // already installed (duplicate delivery)
+    }
+    if let Some(p) = &membership.pending {
+        if p.epoch == update.epoch {
+            return true; // duplicate prepare
+        }
+        if p.epoch > update.epoch {
+            return false; // a newer epoch is already staged
+        }
+    }
+    // Grow peers + machine stubs for nodes this engine has never seen.
+    {
+        let mut machines = shared.machines.write();
+        let mut cluster_nodes = shared.cluster_nodes.lock();
+        let mut specs: Vec<&NodeSpec> = update.nodes.iter().collect();
+        specs.sort_by_key(|s| s.id);
+        for spec in specs {
+            if spec.id < machines.len() {
+                continue;
+            }
+            if let Some(tcp) = &shared.tcp {
+                if let Err(e) = tcp.add_peer(spec) {
+                    shared.drop_log.log(format!("membership add_peer failed: {e}"));
+                    return false;
+                }
+            }
+            machines.push(Arc::new(Machine::remote_stub()));
+            cluster_nodes.push(spec.clone());
+        }
+    }
+    // Candidate routing state: committed rings + every machine the
+    // master says is (or becomes) a member. Healing is by *member set*,
+    // not by delta: a node that missed an earlier epoch re-adds the
+    // machines it lost track of here, so one dropped frame can never
+    // diverge membership forever.
+    let mut machine_ring = membership.machine_ring.ring().clone();
+    let mut op_rings = membership.op_rings.clone();
+    let mut worker_slots = membership.worker_slots.clone();
+    if shared.cfg.kind == EngineKind::Muppet1 {
+        // 1.0 slot ids are a pure function of the machine id (join
+        // layout: one slot per op, thread t = op t, at position
+        // base_slots + (id - base) · n_ops). Materialize placeholders
+        // for EVERY known machine id in order — reservations included,
+        // outside the rings — so slot ids agree across nodes no matter
+        // when (or whether) each id actually joins.
+        let known = shared.machines.read().len();
+        let base = shared.cfg.base_machines.unwrap_or(shared.cfg.machines);
+        for id in base..known {
+            if !worker_slots.iter().any(|slot| slot.machine == id) {
+                for (thread, op) in join_layout_ops(&shared.wf).into_iter().enumerate() {
+                    worker_slots.push(WorkerSlot { machine: id, thread, op });
+                }
+            }
+        }
+    }
+    let mut entering: Vec<MachineId> = update.joined.clone();
+    entering.extend(update.members.iter().copied());
+    for id in entering {
+        if machine_ring.contains(id) || shared.master.is_failed(id) {
+            continue;
+        }
+        machine_ring.add(id);
+        if shared.cfg.kind == EngineKind::Muppet1 {
+            for (slot_id, slot) in worker_slots.iter().enumerate() {
+                if slot.machine == id {
+                    op_rings[slot.op].add(slot_id);
+                }
+            }
+        }
+    }
+    // The handoff: move every slate whose arc leaves a local machine.
+    let machines = shared.machines_snapshot();
+    let now = shared.now_us();
+    for (m, machine) in machines.iter().enumerate() {
+        if !machine.local || !machine.alive.load(Ordering::Acquire) {
+            continue;
+        }
+        for op in 0..shared.wf.ops().len() {
+            if shared.wf.op(op).kind != OpKind::Update {
+                continue;
+            }
+            let opname = shared.wf.op(op).name.clone();
+            let moved_to: &dyn Fn(&Key) -> Option<usize> = &|key| {
+                let route = key.route_hash(&opname);
+                let (old_owner, new_owner) = match shared.cfg.kind {
+                    EngineKind::Muppet2 => {
+                        // The ownership-diff primitive: only arcs whose
+                        // owner changes between the two rings move.
+                        if !membership.machine_ring.owner_moved(&machine_ring, route) {
+                            return None;
+                        }
+                        (membership.machine_ring.owner(route), machine_ring.owner(route))
+                    }
+                    EngineKind::Muppet1 => (
+                        membership.slot1(op, route).map(|s| s.machine),
+                        op_rings
+                            .get(op)
+                            .and_then(|ring| ring.owner(route))
+                            .map(|sid| worker_slots[sid].machine),
+                    ),
+                };
+                new_owner.filter(|&new| old_owner == Some(m) && new != m)
+            };
+            let caches: Vec<&Arc<SlateCache>> = match shared.cfg.kind {
+                EngineKind::Muppet2 => machine.central_cache.iter().collect(),
+                EngineKind::Muppet1 => machine
+                    .worker_caches
+                    .iter()
+                    .enumerate()
+                    .filter(|(t, _)| machine.thread_ops.get(*t) == Some(&Some(op)))
+                    .filter_map(|(_, c)| c.as_ref())
+                    .collect(),
+            };
+            for cache in caches {
+                let taken = cache.take_matching(op, &|key| moved_to(key).is_some());
+                for (key, slot) in taken {
+                    if shared.has_backend {
+                        // Store-backed handoff (§4.3 recovery path, run
+                        // proactively): flush, then the new owner faults
+                        // the slate in on its first event. A failed
+                        // flush (store down mid-join) must not destroy
+                        // the slate: it goes back into the cache dirty —
+                        // post-prepare processing forwards this key, so
+                        // nothing re-dirties it here, and the background
+                        // flusher retries until the store recovers (the
+                        // new owner reads stale until then; bounded
+                        // inconsistency instead of silent loss).
+                        if !cache.flush_slot_now(&slot, now) {
+                            shared.drop_log.log(format!(
+                                "handoff flush failed for {opname} key={key:?} (store down?); \
+                                 retained for flusher retry"
+                            ));
+                            cache.insert_slot(op, key, slot);
+                        }
+                        continue;
+                    }
+                    // No store attached: hand the slot to the new owner's
+                    // cache directly when it lives in this process (the
+                    // in-process cluster); otherwise the slate is lost
+                    // exactly like a §4.3 crash would lose it.
+                    let target = moved_to(&key)
+                        .and_then(|new| machines.get(new))
+                        .filter(|target| target.local);
+                    match target {
+                        Some(target) => {
+                            let target_cache = match shared.cfg.kind {
+                                EngineKind::Muppet2 => target.central_cache.as_ref(),
+                                EngineKind::Muppet1 => target
+                                    .thread_ops
+                                    .iter()
+                                    .position(|&t| t == Some(op))
+                                    .and_then(|t| target.worker_caches[t].as_ref()),
+                            };
+                            match target_cache {
+                                Some(c) => c.insert_slot(op, key, slot),
+                                None => shared.drop_log.log(format!(
+                                    "handoff target cache missing for {opname} key={key:?}"
+                                )),
+                            }
+                        }
+                        None => shared.drop_log.log(format!(
+                            "handoff without store: slate {opname} key={key:?} lost (§4.3 \
+                             posture)"
+                        )),
+                    }
+                }
+            }
+        }
+    }
+    membership.pending = Some(PendingEpoch {
+        epoch: update.epoch,
+        machine_ring,
+        op_rings,
+        worker_slots,
+        joined: update.joined.clone(),
+    });
+    true
+}
+
+/// Install a staged membership epoch (the *commit* phase).
+fn membership_commit(shared: &Arc<Shared>, epoch: u64) -> bool {
+    let mut membership = shared.membership.write();
+    if membership.machine_ring.epoch() >= epoch {
+        return true; // duplicate commit
+    }
+    let Some(p) = membership.pending.take() else {
+        // Commit without a prepare (this node missed the prepare frame):
+        // nothing staged — keep the old rings; ownership forwarding by
+        // the up-to-date owners still delivers every event correctly.
+        return false;
+    };
+    if p.epoch != epoch {
+        membership.pending = Some(p);
+        return false;
+    }
+    membership.machine_ring = EpochRing::from_ring(p.machine_ring, epoch);
+    membership.op_rings = p.op_rings;
+    membership.worker_slots = p.worker_slots;
+    let joined = p.joined;
+    drop(membership);
+    for id in joined {
+        shared.master.mark_joined(id, epoch);
+    }
+    true
+}
+
+/// Discard a staged membership epoch (the *abort* phase): a prepare
+/// acked somewhere, but the join could not complete. Ownership reverts
+/// to the committed rings; the already-flushed moved slates simply fault
+/// back in from the store on the old owner's next touch.
+fn membership_abort(shared: &Arc<Shared>, epoch: u64) -> bool {
+    let mut membership = shared.membership.write();
+    if membership.pending.as_ref().map(|p| p.epoch) == Some(epoch) {
+        membership.pending = None;
+        shared.drop_log.log(format!("membership epoch {epoch} aborted; staged state discarded"));
+    }
+    true
+}
+
+/// Deliver one membership phase to every participant in `order` (the
+/// local node exactly once). `want_ack` only for prepare. Returns the
+/// first wire failure, if any.
+fn fan_out_membership(
+    shared: &Arc<Shared>,
+    order: &[MachineId],
+    update: &MembershipUpdate,
+    want_ack: bool,
+) -> std::result::Result<(), (MachineId, NetError)> {
+    let mut local_done = false;
+    let mut first_err = None;
+    for &dest in order {
+        if shared.transport.is_local(dest) {
+            if !local_done {
+                local_done = true;
+                let handler = EngineHandler(Arc::clone(shared));
+                if !handler.handle_membership(update) && want_ack && first_err.is_none() {
+                    first_err = Some((dest, NetError::Protocol("local phase refused".to_string())));
+                }
+            }
+        } else if let Err(e) = shared.transport.send_membership(dest, update, want_ack) {
+            if want_ack {
+                return Err((dest, e));
+            }
+            if first_err.is_none() {
+                first_err = Some((dest, e));
+            }
+        }
+    }
+    match first_err {
+        Some(err) if want_ack => Err(err),
+        _ => Ok(()),
+    }
+}
+
+/// The master side of a join: a reserved machine announced it is live.
+/// Runs the protocol — prepare to the joiner first (so forwarded events
+/// always find it ready) and then to every committed ring member (each
+/// ack certifies the moved-away slates were flushed), then commit
+/// everywhere; any un-acked prepare aborts the epoch explicitly so no
+/// worker is left forwarding to a joiner that never commits. Serialized
+/// per master.
+fn run_join_protocol(shared: &Arc<Shared>, machine: MachineId) {
+    let _serialize = shared.join_lock.lock();
+    // A duplicate announcement (e.g. the joiner's commit frame was lost
+    // and it re-announced) runs the protocol again: everywhere the
+    // machine is already a member the epoch is a no-op, and on the
+    // joiner the member-heal path installs it.
+    // Mint a fresh epoch, monotone even across aborted attempts: a
+    // staged-but-never-committed epoch on some worker must never be
+    // reused with different content, or a later commit could install
+    // divergent rings there (serialized by join_lock, so load/store is
+    // race-free).
+    let epoch = (shared.epoch() + 1).max(shared.epoch_mint.load(Ordering::Acquire) + 1);
+    shared.epoch_mint.store(epoch, Ordering::Release);
+    let nodes = shared.cluster_nodes.lock().clone();
+    if machine >= nodes.len() {
+        shared.drop_log.log(format!("join announcement for unreserved machine {machine}"));
+        return;
+    }
+    // The barrier participants: the joiner plus the *committed ring
+    // members* — the machines that can own moved arcs. Reservations that
+    // never announced are excluded (their listeners may not exist; they
+    // must not be able to abort someone else's join), and so are failed
+    // machines.
+    let mut members = shared.membership.read().machine_ring.members().to_vec();
+    members.sort_unstable();
+    let mut order: Vec<MachineId> = vec![machine];
+    order.extend(members.iter().copied().filter(|&id| id != machine));
+    let mut post_members = members.clone();
+    post_members.push(machine);
+    post_members.sort_unstable();
+    post_members.dedup();
+
+    let prepare = MembershipUpdate {
+        epoch,
+        phase: MembershipPhase::Prepare,
+        joined: vec![machine],
+        members: post_members,
+        nodes,
+    };
+    if let Err((dest, e)) = fan_out_membership(shared, &order, &prepare, true) {
+        // An un-acked live participant kills the join: the ack is the
+        // handoff barrier — committing past a worker whose flush did
+        // not finish would let the joiner fault stale slates out of the
+        // store. Abort explicitly so every node that DID stage the
+        // epoch reverts to its committed rings instead of forwarding to
+        // a joiner that will never commit. (A genuinely dead worker
+        // blocks joins only until traffic-driven §4.3 detection removes
+        // it from the member set.)
+        shared.drop_log.log(format!("join of {machine} aborted: prepare to {dest}: {e}"));
+        let abort = MembershipUpdate { phase: MembershipPhase::Abort, ..prepare };
+        let _ = fan_out_membership(shared, &order, &abort, false);
+        return;
+    }
+    let commit = MembershipUpdate { phase: MembershipPhase::Commit, ..prepare };
+    let _ = fan_out_membership(shared, &order, &commit, false);
 }
 
 /// The engine side of the wire: what the transport calls to finish
@@ -1340,19 +2183,32 @@ impl ClusterHandler for EngineHandler {
         for ev in &lost {
             shared.drop_log.log(format!("lost to failed machine {dest}: key={:?}", ev.event.key));
         }
-        shared.transport.report_failure(dest);
+        shared.transport.report_failure(dest, shared.epoch());
     }
 
-    fn handle_failure_report(&self, failed: MachineId) {
-        // First report wins; the master broadcast fans the drop out to
-        // every machine (including this one). Duplicates are absorbed.
-        if self.0.master.report_failure(failed) {
-            self.0.transport.broadcast_failure(failed);
+    fn handle_failure_report(&self, failed: MachineId, epoch: u64) {
+        // First live report wins; the master broadcast fans the drop out
+        // to every machine (including this one). Duplicates and reports
+        // staler than the machine's latest join are absorbed.
+        if self.0.master.report_failure(failed, epoch) {
+            self.0.transport.broadcast_failure(failed, epoch);
         }
     }
 
-    fn handle_failure_broadcast(&self, failed: MachineId) {
-        apply_ring_drop(&self.0, failed);
+    fn handle_failure_broadcast(&self, failed: MachineId, epoch: u64) {
+        apply_ring_drop(&self.0, failed, epoch);
+    }
+
+    fn handle_join(&self, machine: MachineId) {
+        run_join_protocol(&self.0, machine);
+    }
+
+    fn handle_membership(&self, update: &MembershipUpdate) -> bool {
+        match update.phase {
+            MembershipPhase::Prepare => membership_prepare(&self.0, update),
+            MembershipPhase::Commit => membership_commit(&self.0, update.epoch),
+            MembershipPhase::Abort => membership_abort(&self.0, update.epoch),
+        }
     }
 
     fn read_local_slate(&self, dest: MachineId, updater: &str, key: &[u8]) -> Option<Vec<u8>> {
@@ -1361,7 +2217,7 @@ impl ClusterHandler for EngineHandler {
         if shared.wf.op(op).kind != OpKind::Update {
             return None;
         }
-        let machine = shared.machines.get(dest)?;
+        let machine = shared.machine(dest)?;
         if !machine.local || !machine.alive.load(Ordering::Acquire) {
             return None;
         }
@@ -1370,8 +2226,7 @@ impl ClusterHandler for EngineHandler {
             EngineKind::Muppet2 => machine.central_cache.as_ref()?.read(op, &key),
             EngineKind::Muppet1 => {
                 let route = key.route_hash(updater);
-                let slot_id = shared.op_rings.read().get(op)?.owner(route)?;
-                let slot = shared.worker_slots[slot_id];
+                let slot = shared.membership.read().effective_slot1(op, route)?;
                 if slot.machine != dest {
                     return None;
                 }
@@ -1402,6 +2257,7 @@ impl ClusterHandler for EngineHandler {
 }
 
 fn flusher_loop(shared: Arc<Shared>, machine_id: usize, interval: Duration) {
+    let machine = shared.machine(machine_id).expect("flusher spawned for an existing machine");
     while !shared.stopping.load(Ordering::Acquire) {
         // Sleep in short slices so shutdown does not block for a full
         // (possibly multi-minute) flush interval.
@@ -1412,7 +2268,6 @@ fn flusher_loop(shared: Arc<Shared>, machine_id: usize, interval: Duration) {
             }
             std::thread::sleep(Duration::from_millis(5).min(interval));
         }
-        let machine = &shared.machines[machine_id];
         if !machine.alive.load(Ordering::Acquire) {
             return;
         }

@@ -43,6 +43,20 @@ pub trait SlateReader: Send + Sync + 'static {
     fn submit_event(&self, _stream: &str, _key: Key, _value: Vec<u8>) -> Result<(), String> {
         Err("ingest not supported".to_string())
     }
+
+    /// Reserve a cluster id for a joining node (`POST /join`, body =
+    /// `host:port:http_port`). Returns the grant document the joiner
+    /// parses (id/epoch/base/failed header + the topology TOML). Master
+    /// nodes only; default: unsupported.
+    fn reserve_join(&self, _spec: &str) -> Result<String, String> {
+        Err("join not supported".to_string())
+    }
+
+    /// The node's membership view (`GET /membership`): epoch, node list,
+    /// failed machines, as JSON.
+    fn membership_json(&self) -> String {
+        "{}".to_string()
+    }
 }
 
 impl SlateReader for crate::engine::Engine {
@@ -63,6 +77,10 @@ impl SlateReader for crate::engine::Engine {
             ("emitted", Json::num(s.emitted as f64)),
             ("dropped_overflow", Json::num(s.dropped_overflow as f64)),
             ("lost_machine_failure", Json::num(s.lost_machine_failure as f64)),
+            ("lost_in_queues", Json::num(s.lost_in_queues as f64)),
+            ("forwarded", Json::num(s.forwarded as f64)),
+            ("epoch", Json::num(s.epoch as f64)),
+            ("machines", Json::num(self.machine_count() as f64)),
             ("max_queue_high_water", Json::num(self.max_queue_high_water() as f64)),
             ("cache_entries", Json::num(s.cache.entries as f64)),
             ("p99_latency_us", Json::num(s.latency.p99_us as f64)),
@@ -81,6 +99,59 @@ impl SlateReader for crate::engine::Engine {
 
     fn submit_event(&self, stream: &str, key: Key, value: Vec<u8>) -> Result<(), String> {
         self.submit_kv(stream, key, value).map_err(|e| e.to_string())
+    }
+
+    fn reserve_join(&self, spec: &str) -> Result<String, String> {
+        let fields: Vec<&str> = spec.trim().split(':').collect();
+        if fields.len() != 3 {
+            return Err("join body must be host:port:http_port".to_string());
+        }
+        let port: u16 = fields[1].parse().map_err(|_| "bad port".to_string())?;
+        let http_port: u16 = fields[2].parse().map_err(|_| "bad http_port".to_string())?;
+        let grant =
+            self.admin_reserve_join(fields[0], port, http_port).map_err(|e| e.to_string())?;
+        // Grant document: a one-line header the joiner parses by hand,
+        // then the topology in the TOML subset `muppetd --config` already
+        // understands.
+        let failed = grant.failed.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(",");
+        let members = grant.members.iter().map(|m| m.to_string()).collect::<Vec<_>>().join(",");
+        let store_host = grant.store_host.map(|h| format!(" store_host={h}")).unwrap_or_default();
+        Ok(format!(
+            "id={} epoch={} base={} failed={} members={}{}\n{}",
+            grant.id,
+            grant.epoch,
+            grant.base,
+            failed,
+            members,
+            store_host,
+            grant.topology.to_toml()
+        ))
+    }
+
+    fn membership_json(&self) -> String {
+        use muppet_core::json::Json;
+        let (epoch, nodes, failed) = self.membership_view();
+        Json::obj([
+            ("epoch", Json::num(epoch as f64)),
+            ("failed", Json::Arr(failed.into_iter().map(|m| Json::num(m as f64)).collect())),
+            (
+                "nodes",
+                Json::Arr(
+                    nodes
+                        .into_iter()
+                        .map(|n| {
+                            Json::obj([
+                                ("id", Json::num(n.id as f64)),
+                                ("host", Json::str(&n.host)),
+                                ("port", Json::num(n.port as f64)),
+                                ("http_port", Json::num(n.http_port as f64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .to_compact()
     }
 }
 
@@ -188,11 +259,31 @@ fn handle_connection(stream: TcpStream, reader: &dyn SlateReader) -> std::io::Re
             Err(msg) => respond(&mut out, 400, "text/plain", msg.as_bytes()),
         };
     }
+    if method == "POST" && path == "/join" {
+        // POST /join, body = host:port:http_port → the join grant
+        // (admin; master node only).
+        if content_length > 4096 {
+            return respond(&mut out, 400, "text/plain", b"body too large");
+        }
+        let mut body = vec![0u8; content_length];
+        std::io::Read::read_exact(&mut buf, &mut body)?;
+        let Ok(spec) = String::from_utf8(body) else {
+            return respond(&mut out, 400, "text/plain", b"body must be utf-8");
+        };
+        return match reader.reserve_join(&spec) {
+            Ok(grant) => respond(&mut out, 200, "text/plain", grant.as_bytes()),
+            Err(msg) => respond(&mut out, 400, "text/plain", msg.as_bytes()),
+        };
+    }
     if method != "GET" {
         return respond(&mut out, 405, "text/plain", b"method not allowed");
     }
     if path == "/status" {
         let body = reader.status_json();
+        return respond(&mut out, 200, "application/json", body.as_bytes());
+    }
+    if path == "/membership" {
+        let body = reader.membership_json();
         return respond(&mut out, 200, "application/json", body.as_bytes());
     }
     if let Some(updater) = path.strip_prefix("/keys/") {

@@ -1,4 +1,4 @@
-//! The failure master (§4.3).
+//! The failure master (§4.3), epoch-aware for elastic membership.
 //!
 //! Muppet deliberately keeps the master *off the data path*: "Muppet lets
 //! the workers pass events directly to one another without going through
@@ -9,11 +9,18 @@
 //! worker's hash ring drops the machine; the undeliverable event is lost
 //! (and logged), not retried. Detection is driven by traffic, which the
 //! paper argues beats periodic pings at streaming rates.
+//!
+//! With elastic membership (DESIGN.md §7) a machine id can *re-join* at a
+//! later epoch, so bare ids no longer identify an incarnation: a stale
+//! report — observed against the old incarnation, delayed on the wire —
+//! must not kill the new one. Every report and broadcast is therefore
+//! stamped with the membership epoch the failure was observed under, and
+//! the registry rejects anything staler than the machine's latest join.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-use muppet_core::hash::FxHashSet;
+use muppet_core::hash::{FxHashMap, FxHashSet};
 use parking_lot::RwLock;
 
 /// One failure report, for the experiment log.
@@ -21,16 +28,22 @@ use parking_lot::RwLock;
 pub struct FailureReport {
     /// Machine that was found unreachable.
     pub machine: usize,
+    /// The membership epoch the reporter observed the failure under.
+    pub epoch: u64,
     /// When the report arrived at the master.
     pub at: Instant,
 }
 
-/// The master: failure registry + broadcast.
+/// The master: failure registry + broadcast, epoch-fenced.
 #[derive(Debug, Default)]
 pub struct Master {
     failed: RwLock<FxHashSet<usize>>,
+    /// Latest epoch each machine (re-)joined at. Absent = a founding
+    /// member (joined at epoch 0).
+    joined: RwLock<FxHashMap<usize, u64>>,
     reports: RwLock<Vec<FailureReport>>,
     broadcasts: AtomicU64,
+    stale_rejections: AtomicU64,
 }
 
 impl Master {
@@ -39,9 +52,33 @@ impl Master {
         Master::default()
     }
 
-    /// Report `machine` unreachable. Returns `true` if this was the first
-    /// report (i.e. a broadcast happened); duplicate reports are absorbed.
-    pub fn report_failure(&self, machine: usize) -> bool {
+    /// The epoch `machine` last joined at (0 for founding members).
+    pub fn joined_epoch(&self, machine: usize) -> u64 {
+        self.joined.read().get(&machine).copied().unwrap_or(0)
+    }
+
+    /// Record that `machine` (re-)joined the cluster at `epoch`: clears
+    /// any failed mark from a previous incarnation and fences out stale
+    /// reports (those stamped with an earlier epoch).
+    pub fn mark_joined(&self, machine: usize, epoch: u64) {
+        let mut joined = self.joined.write();
+        let slot = joined.entry(machine).or_insert(0);
+        if epoch >= *slot {
+            *slot = epoch;
+            self.failed.write().remove(&machine);
+        }
+    }
+
+    /// Report `machine` unreachable, observed under membership `epoch`.
+    /// Returns `true` if this was the first live report (i.e. a broadcast
+    /// should happen); duplicates are absorbed, and reports staler than
+    /// the machine's latest join are rejected outright — they describe a
+    /// previous incarnation.
+    pub fn report_failure(&self, machine: usize, epoch: u64) -> bool {
+        if epoch < self.joined_epoch(machine) {
+            self.stale_rejections.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
         {
             let failed = self.failed.read();
             if failed.contains(&machine) {
@@ -49,10 +86,16 @@ impl Master {
             }
         }
         let mut failed = self.failed.write();
+        // Re-check the fence under the write lock: a concurrent
+        // mark_joined must win over a racing stale report.
+        if epoch < self.joined_epoch(machine) {
+            self.stale_rejections.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
         if !failed.insert(machine) {
             return false;
         }
-        self.reports.write().push(FailureReport { machine, at: Instant::now() });
+        self.reports.write().push(FailureReport { machine, epoch, at: Instant::now() });
         self.broadcasts.fetch_add(1, Ordering::Relaxed);
         true
     }
@@ -60,8 +103,13 @@ impl Master {
     /// Record a failure learned from a master *broadcast* (as opposed to a
     /// locally observed one): updates the failed set without logging a
     /// report or counting a broadcast, so receiving nodes never re-fan the
-    /// news out. Returns `true` if the machine was newly marked.
-    pub fn mark_failed(&self, machine: usize) -> bool {
+    /// news out. Returns `true` if the machine was newly marked; stale
+    /// broadcasts (older than the machine's latest join) are rejected.
+    pub fn mark_failed(&self, machine: usize, epoch: u64) -> bool {
+        if epoch < self.joined_epoch(machine) {
+            self.stale_rejections.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
         self.failed.write().insert(machine)
     }
 
@@ -84,9 +132,14 @@ impl Master {
         self.reports.read().clone()
     }
 
-    /// Number of broadcasts issued (== distinct failed machines).
+    /// Number of broadcasts issued (== distinct accepted failures).
     pub fn broadcast_count(&self) -> u64 {
         self.broadcasts.load(Ordering::Relaxed)
+    }
+
+    /// Reports/broadcasts rejected for carrying a stale epoch.
+    pub fn stale_rejection_count(&self) -> u64 {
+        self.stale_rejections.load(Ordering::Relaxed)
     }
 }
 
@@ -98,8 +151,8 @@ mod tests {
     fn first_report_broadcasts_duplicates_absorbed() {
         let m = Master::new();
         assert!(!m.is_failed(3));
-        assert!(m.report_failure(3));
-        assert!(!m.report_failure(3), "duplicate report must not re-broadcast");
+        assert!(m.report_failure(3, 0));
+        assert!(!m.report_failure(3, 0), "duplicate report must not re-broadcast");
         assert!(m.is_failed(3));
         assert_eq!(m.broadcast_count(), 1);
         assert_eq!(m.reports().len(), 1);
@@ -109,9 +162,9 @@ mod tests {
     #[test]
     fn multiple_failures_accumulate() {
         let m = Master::new();
-        m.report_failure(1);
-        m.report_failure(0);
-        m.report_failure(2);
+        m.report_failure(1, 0);
+        m.report_failure(0, 0);
+        m.report_failure(2, 0);
         assert_eq!(m.failed_machines(), vec![0, 1, 2]);
         assert_eq!(m.broadcast_count(), 3);
     }
@@ -123,7 +176,7 @@ mod tests {
         let winners: Vec<bool> = (0..8)
             .map(|_| {
                 let m = Arc::clone(&m);
-                std::thread::spawn(move || m.report_failure(7))
+                std::thread::spawn(move || m.report_failure(7, 0))
             })
             .collect::<Vec<_>>()
             .into_iter()
@@ -131,5 +184,54 @@ mod tests {
             .collect();
         assert_eq!(winners.iter().filter(|&&w| w).count(), 1, "exactly one reporter wins");
         assert_eq!(m.broadcast_count(), 1);
+    }
+
+    #[test]
+    fn rejoin_clears_the_failed_mark() {
+        let m = Master::new();
+        assert!(m.report_failure(2, 0));
+        assert!(m.is_failed(2));
+        m.mark_joined(2, 3);
+        assert!(!m.is_failed(2), "a re-joined machine is alive again");
+        assert_eq!(m.joined_epoch(2), 3);
+    }
+
+    #[test]
+    fn stale_report_cannot_kill_a_rejoined_incarnation() {
+        // The bug this fences: machine 2 fails, re-joins at epoch 3, and
+        // only then does a slow worker's report — observed against the
+        // *old* incarnation under epoch 0 — reach the master. Without the
+        // epoch stamp the bare-usize registry would kill the new
+        // incarnation.
+        let m = Master::new();
+        m.mark_joined(2, 3);
+        assert!(!m.report_failure(2, 0), "stale-epoch report must be rejected");
+        assert!(!m.is_failed(2));
+        assert_eq!(m.broadcast_count(), 0);
+        assert_eq!(m.stale_rejection_count(), 1);
+        // A report observed at (or after) the join epoch is legitimate:
+        // the *new* incarnation really did die.
+        assert!(m.report_failure(2, 3));
+        assert!(m.is_failed(2));
+    }
+
+    #[test]
+    fn stale_broadcast_receipt_is_rejected_too() {
+        let m = Master::new();
+        m.mark_joined(4, 2);
+        assert!(!m.mark_failed(4, 1), "stale broadcast must not mark the new incarnation");
+        assert!(!m.is_failed(4));
+        assert!(m.mark_failed(4, 2));
+        assert!(m.is_failed(4));
+    }
+
+    #[test]
+    fn mark_joined_ignores_regressions() {
+        let m = Master::new();
+        m.mark_joined(1, 5);
+        m.mark_joined(1, 2); // an out-of-order (older) join must not lower the fence
+        assert_eq!(m.joined_epoch(1), 5);
+        assert!(!m.report_failure(1, 4));
+        assert!(m.report_failure(1, 5));
     }
 }

@@ -5,10 +5,10 @@
 //! cluster". In a `muppetd` cluster, one node hosts the store
 //! ([`crate::engine::EngineConfig::store_host`]); every other node's slate
 //! cache flushes and misses go through `StorePut`/`StoreGet` frames on the
-//! same [`Transport`] the events use. Write failures are absorbed (the
-//! dirty slate stays dirty; a later flush retries) and read failures
-//! surface as cache misses — the availability-first posture of the
-//! in-process store adapter.
+//! same [`Transport`] the events use. Write failures are surfaced to the
+//! cache (the dirty slate stays dirty; a later flush retries) and read
+//! failures surface as cache misses — the availability-first posture of
+//! the in-process store adapter.
 
 use std::sync::Arc;
 
@@ -35,9 +35,17 @@ impl SlateBackend for RemoteBackend {
         self.transport.store_get(self.host, updater, key.as_bytes(), now_us).ok().flatten()
     }
 
-    fn store(&self, updater: &str, key: &Key, bytes: &[u8], ttl_secs: Option<u64>, now_us: u64) {
-        let _ =
-            self.transport.store_put(self.host, updater, key.as_bytes(), bytes, ttl_secs, now_us);
+    fn store(
+        &self,
+        updater: &str,
+        key: &Key,
+        bytes: &[u8],
+        ttl_secs: Option<u64>,
+        now_us: u64,
+    ) -> bool {
+        self.transport
+            .store_put(self.host, updater, key.as_bytes(), bytes, ttl_secs, now_us)
+            .is_ok()
     }
 }
 
@@ -59,8 +67,8 @@ mod tests {
         fn deliver_event(&self, dest: usize, _ev: WireEvent) -> Result<(), NetError> {
             Err(NetError::NoRoute(dest))
         }
-        fn handle_failure_report(&self, _f: usize) {}
-        fn handle_failure_broadcast(&self, _f: usize) {}
+        fn handle_failure_report(&self, _f: usize, _epoch: u64) {}
+        fn handle_failure_broadcast(&self, _f: usize, _epoch: u64) {}
         fn read_local_slate(&self, _d: usize, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
             None
         }

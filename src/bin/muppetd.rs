@@ -1,14 +1,17 @@
 //! `muppetd` — one Muppet machine as a standalone OS process.
 //!
-//! Joins a static cluster (TOML config or `--peers` flag), runs the
-//! engine for one of the bundled applications over the TCP transport, and
+//! Joins a static cluster (TOML config or `--peers` flag) — or an
+//! already-running one (`--join`, elastic scale-out) — runs the engine
+//! for one of the bundled applications over the TCP transport, and
 //! serves the §4.4 HTTP endpoints on its topology `http_port`:
 //!
 //! * `GET  /slate/<updater>/<key>`  — live slate read (cluster-wide: reads
 //!   for keys owned by other machines cross the wire);
 //! * `GET  /keys/<updater>`         — cached keys;
-//! * `GET  /status`                 — engine counters + failed machines;
-//! * `POST /submit/<stream>/<key>`  — ingest one event (body = value).
+//! * `GET  /status`                 — engine counters + epoch + failures;
+//! * `GET  /membership`             — epoch, node list, failed machines;
+//! * `POST /submit/<stream>/<key>`  — ingest one event (body = value);
+//! * `POST /join` (master only)     — reserve a cluster id for a joiner.
 //!
 //! Example 3-node loopback cluster:
 //!
@@ -19,6 +22,18 @@
 //! curl -X POST --data-binary '{"topics":["sports"]}' http://127.0.0.1:8100/submit/S1/k1
 //! curl http://127.0.0.1:8102/status
 //! ```
+//!
+//! Growing the running cluster by a 4th machine (DESIGN.md §7):
+//!
+//! ```sh
+//! cargo run --release --bin muppetd -- \
+//!     --join 127.0.0.1:8100 --listen 127.0.0.1:9103:8103
+//! ```
+//!
+//! The joiner reserves an id at the master's HTTP `/join`, starts its
+//! engine (listener live, outside every ring), then announces itself on
+//! the wire; the master's epoch-stamped membership update installs it
+//! everywhere, with moved slates handed off through the slate store.
 //!
 //! The failure master (§4.3) runs on the topology's `master` node (default
 //! node 0). Kill any other node and keep submitting: the senders report
@@ -36,6 +51,7 @@ use muppet::apps::{hot_topics, retailer};
 use muppet::core::workflow::Workflow;
 use muppet::prelude::*;
 use muppet::runtime::engine::{OperatorSet, TransportKind};
+use muppet::runtime::http::http_post;
 use muppet::slatestore::cluster::{StoreCluster, StoreConfig};
 use muppet_net::topology::Topology;
 
@@ -49,6 +65,9 @@ struct Options {
     data_dir: Option<String>,
     batch_max: usize,
     flush_us: u64,
+    /// Elastic join state from the grant: (founding machine count, grant
+    /// epoch, failed machines, committed ring members).
+    join: Option<(usize, u64, Vec<usize>, Vec<usize>)>,
 }
 
 fn usage() -> ! {
@@ -56,9 +75,74 @@ fn usage() -> ! {
         "usage: muppetd (--config <cluster.toml> | --peers <host:port:http,...>) --node <id>
            [--app hot_topics|retailer] [--engine muppet1|muppet2]
            [--workers <n>] [--store-host <id>] [--data-dir <path>] [--master <id>]
-           [--batch-max <events>] [--flush-us <microseconds>]"
+           [--batch-max <events>] [--flush-us <microseconds>]
+       muppetd --join <master-host:http_port> --listen <host:port:http_port>
+           [--app ...] [--engine ...] [--workers ...] [--store-host <id>] [...]"
     );
     std::process::exit(2)
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("muppetd: {msg}");
+    std::process::exit(2)
+}
+
+/// A parsed join grant.
+struct Grant {
+    topology: Topology,
+    id: usize,
+    base: usize,
+    epoch: u64,
+    failed: Vec<usize>,
+    members: Vec<usize>,
+    /// The cluster's store host (inherited so handoff faults find the
+    /// slates the old owners flushed).
+    store_host: Option<usize>,
+}
+
+/// Reserve an id at the running cluster's master and parse the grant.
+fn reserve_join(master_http: &str, listen: &str) -> Grant {
+    let fields: Vec<&str> = listen.split(':').collect();
+    if fields.len() != 3 {
+        fail(format!("--listen wants host:port:http_port, got '{listen}'"));
+    }
+    let url = format!("http://{master_http}/join");
+    let (code, body) = http_post(&url, listen.as_bytes())
+        .unwrap_or_else(|e| fail(format!("cannot reach master at {url}: {e}")));
+    let body = String::from_utf8_lossy(&body).to_string();
+    if code != 200 {
+        fail(format!("master refused the join: {body}"));
+    }
+    // Grant: "id=N epoch=E base=B failed=a,b members=a,b\n" + topology
+    // TOML.
+    let (header, toml) =
+        body.split_once('\n').unwrap_or_else(|| fail(format!("malformed grant: {body}")));
+    let parse_list = |v: &str| -> Vec<usize> {
+        v.split(',').filter(|s| !s.is_empty()).filter_map(|s| s.parse().ok()).collect()
+    };
+    let mut id = None;
+    let mut epoch = None;
+    let mut base = None;
+    let mut failed = Vec::new();
+    let mut members: Option<Vec<usize>> = None;
+    let mut store_host = None;
+    for part in header.split_whitespace() {
+        match part.split_once('=') {
+            Some(("id", v)) => id = v.parse().ok(),
+            Some(("epoch", v)) => epoch = v.parse().ok(),
+            Some(("base", v)) => base = v.parse().ok(),
+            Some(("failed", v)) => failed = parse_list(v),
+            Some(("members", v)) => members = Some(parse_list(v)),
+            Some(("store_host", v)) => store_host = v.parse().ok(),
+            _ => {}
+        }
+    }
+    let (Some(id), Some(epoch), Some(base), Some(members)) = (id, epoch, base, members) else {
+        fail(format!("malformed grant header: {header}"))
+    };
+    let topology =
+        Topology::from_toml_str(toml).unwrap_or_else(|e| fail(format!("bad grant topology: {e}")));
+    Grant { topology, id, base, epoch, failed, members, store_host }
 }
 
 fn parse_args() -> Options {
@@ -71,6 +155,8 @@ fn parse_args() -> Options {
     let mut store_host = None;
     let mut data_dir = None;
     let mut master: Option<usize> = None;
+    let mut join: Option<String> = None;
+    let mut listen: Option<String> = None;
     let defaults = EngineConfig::default();
     let mut batch_max = defaults.net_batch_max;
     let mut flush_us = defaults.net_flush_us;
@@ -82,21 +168,20 @@ fn parse_args() -> Options {
             "--config" => {
                 let path = value();
                 let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    eprintln!("muppetd: cannot read {path}: {e}");
-                    std::process::exit(2)
+                    fail(format!("cannot read {path}: {e}"));
                 });
                 topology = Some(Topology::from_toml_str(&text).unwrap_or_else(|e| {
-                    eprintln!("muppetd: bad config {path}: {e}");
-                    std::process::exit(2)
+                    fail(format!("bad config {path}: {e}"));
                 }));
             }
             "--peers" => {
                 topology = Some(Topology::from_peer_list(value()).unwrap_or_else(|e| {
-                    eprintln!("muppetd: bad --peers: {e}");
-                    std::process::exit(2)
+                    fail(format!("bad --peers: {e}"));
                 }));
             }
             "--node" => node = value().parse().ok(),
+            "--join" => join = Some(value().to_string()),
+            "--listen" => listen = Some(value().to_string()),
             "--app" => app = value().to_string(),
             "--engine" => {
                 kind = match value() {
@@ -131,16 +216,46 @@ fn parse_args() -> Options {
             }
         }
     }
+
+    if let Some(master_http) = join {
+        // Elastic join: the grant supplies topology, id, epoch state —
+        // and the cluster's store host, unless overridden explicitly.
+        let listen = listen.unwrap_or_else(|| fail("--join requires --listen".to_string()));
+        let grant = reserve_join(&master_http, &listen);
+        return Options {
+            topology: grant.topology,
+            node: grant.id,
+            app,
+            kind,
+            workers,
+            store_host: store_host.or(grant.store_host),
+            data_dir,
+            batch_max,
+            flush_us,
+            join: Some((grant.base, grant.epoch, grant.failed, grant.members)),
+        };
+    }
+
     let mut topology = topology.unwrap_or_else(|| usage());
     if let Some(m) = master {
         topology.master = m;
     }
     let node = node.unwrap_or_else(|| usage());
     if node >= topology.len() {
-        eprintln!("muppetd: --node {node} not in topology of {} nodes", topology.len());
-        std::process::exit(2);
+        fail(format!("--node {node} not in topology of {} nodes", topology.len()));
     }
-    Options { topology, node, app, kind, workers, store_host, data_dir, batch_max, flush_us }
+    Options {
+        topology,
+        node,
+        app,
+        kind,
+        workers,
+        store_host,
+        data_dir,
+        batch_max,
+        flush_us,
+        join: None,
+    }
 }
 
 fn app_workflow_and_ops(app: &str) -> (Workflow, OperatorSet) {
@@ -188,6 +303,12 @@ fn main() {
     };
 
     let http_port = opts.topology.nodes[opts.node].http_port;
+    let (base_machines, initial_epoch, initial_failed, ring_members) = match &opts.join {
+        Some((base, epoch, failed, members)) => {
+            (Some(*base), *epoch, failed.clone(), Some(members.clone()))
+        }
+        None => (None, 0, Vec::new(), None),
+    };
     let cfg = EngineConfig {
         kind: opts.kind,
         machines: opts.topology.len(),
@@ -197,6 +318,11 @@ fn main() {
         store_host: opts.store_host,
         net_batch_max: opts.batch_max,
         net_flush_us: opts.flush_us,
+        base_machines,
+        pending_join: opts.join.is_some(),
+        initial_epoch,
+        initial_failed,
+        ring_members,
         ..EngineConfig::default()
     };
     let engine = match Engine::start(workflow, ops, cfg, store) {
@@ -223,9 +349,42 @@ fn main() {
         None
     };
 
+    // Elastic join: the listener is live — announce readiness; the
+    // master's prepare/commit installs this machine into every ring.
+    // Delivery of the announcement is NOT the join: the master's
+    // protocol can still abort (a worker's prepare un-acked), so wait
+    // until this node actually appears in its own committed ring and
+    // re-announce if it does not. A node that silently sits outside
+    // every ring is worse than one that exits loudly.
+    if opts.join.is_some() {
+        let mut joined = false;
+        'announce: for attempt in 0..5 {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_secs(1));
+            }
+            if let Err(e) = engine.announce_join() {
+                eprintln!("muppetd: join announcement attempt {attempt} failed: {e}");
+                continue;
+            }
+            // The commit normally lands within milliseconds; give the
+            // cluster-wide flush barrier a generous window.
+            for _ in 0..100 {
+                if engine.ring_contains(opts.node) {
+                    joined = true;
+                    break 'announce;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(100));
+            }
+        }
+        if !joined {
+            eprintln!("muppetd: join never committed (this node is outside every ring); giving up");
+            std::process::exit(1)
+        }
+    }
+
     let node_spec = &opts.topology.nodes[opts.node];
     println!(
-        "muppetd: node {}/{} ({}) listening on {}:{}{} app={} engine={:?} master={}",
+        "muppetd: node {}/{} ({}) listening on {}:{}{} app={} engine={:?} master={}{}",
         opts.node,
         opts.topology.len(),
         if opts.topology.master == opts.node { "master" } else { "worker" },
@@ -235,6 +394,7 @@ fn main() {
         opts.app,
         opts.kind,
         opts.topology.master,
+        if opts.join.is_some() { " (joined live)" } else { "" },
     );
     // Flush the ready line so supervisors (and the e2e test) can wait on it.
     use std::io::Write as _;

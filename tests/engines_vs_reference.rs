@@ -1,12 +1,15 @@
 //! The central correctness claim: the distributed engines approximate the
 //! reference executor's well-defined semantics (§3), and for loss-free
-//! configurations of commutative applications they match it *exactly*.
+//! configurations of commutative applications they match it *exactly* —
+//! including across an elastic mid-stream machine join.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 use muppet::apps::retailer::{self, Counter, RetailerMapper};
 use muppet::prelude::*;
+use muppet::slatestore::util::TempDir;
 use muppet::workloads::checkins::CheckinGenerator;
 
 fn reference_counts(events: &[Event]) -> BTreeMap<String, u64> {
@@ -89,6 +92,99 @@ fn both_engines_agree_with_each_other_and_ground_truth() {
     let v2 = engine_counts(&events, EngineKind::Muppet2, 2);
     assert_eq!(v1, truth, "Muppet 1.0 vs ground truth");
     assert_eq!(v2, truth, "Muppet 2.0 vs ground truth");
+}
+
+/// Run `events` through an engine that *grows by one machine* mid-stream
+/// (elastic join, DESIGN.md §7) and return the per-retailer totals.
+fn engine_counts_with_join(
+    events: &[Event],
+    kind: EngineKind,
+    machines: usize,
+    store: Option<Arc<StoreCluster>>,
+) -> BTreeMap<String, u64> {
+    let cfg = EngineConfig {
+        kind,
+        machines,
+        workers_per_machine: 2,
+        workers_per_op: 2,
+        overflow: OverflowPolicy::SourceThrottle,
+        queue_capacity: 512,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start(
+        retailer::workflow(),
+        OperatorSet::new().mapper(RetailerMapper::new()).updater(Counter::new()),
+        cfg,
+        store,
+    )
+    .unwrap();
+    let epoch_before = engine.epoch();
+    let (first, second) = events.split_at(events.len() / 2);
+    for ev in first {
+        engine.submit(ev.clone()).unwrap();
+    }
+    // Mid-stream — no drain, no quiesce: queues are hot while the new
+    // machine enters the rings and moved slates are handed off.
+    let joined = engine.join_machine().unwrap();
+    assert_eq!(joined, machines, "ids are append-only");
+    assert!(engine.ring_contains(joined), "the joiner must enter the ring");
+    assert!(engine.epoch() > epoch_before, "a join must mint a new epoch");
+    for ev in second {
+        engine.submit(ev.clone()).unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(60)), "engine must drain");
+    let mut out = BTreeMap::new();
+    for (retailer_name, _) in muppet::workloads::checkins::RETAILER_VENUES {
+        if let Some(bytes) = engine.read_slate(retailer::COUNTER, &Key::from(*retailer_name)) {
+            out.insert(
+                retailer_name.to_string(),
+                String::from_utf8(bytes).unwrap().parse().unwrap(),
+            );
+        }
+    }
+    let stats = engine.shutdown();
+    assert_eq!(stats.dropped_overflow, 0, "zero-loss config must not drop");
+    assert_eq!(
+        stats.lost_machine_failure + stats.lost_in_queues,
+        0,
+        "a mid-stream join must be loss-free on the handoff path"
+    );
+    out
+}
+
+#[test]
+fn muppet2_with_midstream_join_matches_reference_exactly() {
+    // Store-backed handoff: the old owner flushes moved slates, the new
+    // machine faults them in — totals must still be exact.
+    let dir = TempDir::new("join-ref-m2").unwrap();
+    let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
+    let mut gen = CheckinGenerator::new(505, 800, 2000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, 8000);
+    let expected = reference_counts(&events);
+    let got = engine_counts_with_join(&events, EngineKind::Muppet2, 3, Some(store));
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn muppet1_with_midstream_join_matches_reference_exactly() {
+    let dir = TempDir::new("join-ref-m1").unwrap();
+    let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
+    let mut gen = CheckinGenerator::new(606, 800, 2000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, 8000);
+    let expected = reference_counts(&events);
+    let got = engine_counts_with_join(&events, EngineKind::Muppet1, 3, Some(store));
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn midstream_join_without_store_transfers_slates_directly() {
+    // No store attached: the in-process handoff moves the slate slots
+    // between machine caches instead — still exact.
+    let mut gen = CheckinGenerator::new(707, 500, 2000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, 6000);
+    let expected = reference_counts(&events);
+    let got = engine_counts_with_join(&events, EngineKind::Muppet2, 2, None);
+    assert_eq!(got, expected);
 }
 
 #[test]

@@ -205,17 +205,17 @@ fn killed_peer_with_queued_batch_is_one_report_with_exact_loss_accounting() {
             // (report → broadcast re-enters this handler).
             let transport = self.transport.lock().unwrap().upgrade();
             if let Some(t) = transport {
-                t.report_failure(dest);
+                t.report_failure(dest, 0);
             }
         }
-        fn handle_failure_report(&self, failed: MachineId) {
+        fn handle_failure_report(&self, failed: MachineId, epoch: u64) {
             self.reports.lock().unwrap().push(failed);
             let transport = self.transport.lock().unwrap().upgrade();
             if let Some(t) = transport {
-                t.broadcast_failure(failed);
+                t.broadcast_failure(failed, epoch);
             }
         }
-        fn handle_failure_broadcast(&self, failed: MachineId) {
+        fn handle_failure_broadcast(&self, failed: MachineId, _epoch: u64) {
             self.broadcasts.lock().unwrap().push(failed);
         }
         fn read_local_slate(&self, _d: MachineId, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
@@ -243,6 +243,7 @@ fn killed_peer_with_queued_batch_is_one_report_with_exact_loss_accounting() {
         redirected: false,
         external: true,
         thread_hint: None,
+        forwards: 0,
     };
 
     // Mid-stream: the pipelined connection to node 1 is live and has
@@ -291,6 +292,76 @@ fn killed_peer_with_queued_batch_is_one_report_with_exact_loss_accounting() {
     // §4.3: the machine never comes back — later sends fail fast, and
     // that is a *synchronous* Unreachable (the engine's per-event path).
     assert!(matches!(t0.send_event(1, ev()), Err(NetError::Unreachable(1))));
+}
+
+/// §4.4 read availability: a slate read addressed to a machine that has
+/// died must not surface `Unreachable` — it falls back to the current
+/// owner / the slate store and returns the last flushed value.
+#[test]
+fn slate_read_from_killed_owner_falls_back_to_the_store() {
+    use muppet::slatestore::util::TempDir;
+    use std::sync::Arc;
+
+    let topology = loopback_topology(3);
+    let dir = TempDir::new("read-fallback").unwrap();
+    let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
+    let mk = |local: usize| {
+        let cfg = EngineConfig {
+            machines: topology.len(),
+            workers_per_machine: 2,
+            // Write-through: every update reaches the store before the
+            // worker moves on, so "last flushed value" == last value.
+            flush: FlushPolicy::WriteThrough,
+            transport: TransportKind::Tcp { topology: topology.clone(), local },
+            store_host: Some(0),
+            ..EngineConfig::default()
+        };
+        let store = (local == 0).then(|| Arc::clone(&store));
+        Engine::start(count_workflow(), OperatorSet::new().updater(CountUpdater), cfg, store)
+            .unwrap()
+    };
+    let a = mk(0); // master + store host
+    let b = mk(1);
+    let c = mk(2);
+
+    // Find keys owned by the non-store workers (killing the store host
+    // would conflate the two failure modes).
+    let owned_by = |m: usize| {
+        (0..200)
+            .map(|i| Key::from(format!("fk-{i}")))
+            .find(|k| a.owner_machine("counter", k) == Some(m))
+            .expect("some key hashes to every 3-node arc")
+    };
+    let key_b = owned_by(1);
+    for _ in 0..5 {
+        a.submit(Event::new("S1", 1, key_b.clone(), "e")).unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(20), || total_processed(&[&a, &b, &c]) == 5));
+    // Sanity: the live owner serves the read remotely.
+    assert_eq!(
+        a.read_slate("counter", &key_b).map(|b| String::from_utf8(b).unwrap()).as_deref(),
+        Some("5")
+    );
+
+    // Kill the owner. No traffic is sent afterwards, so §4.3 detection
+    // has NOT run: the ring still names the corpse as owner.
+    b.shutdown();
+    assert!(a.ring_contains(1), "no traffic yet: the ring still holds the dead owner");
+    let read = a.read_slate("counter", &key_b);
+    assert_eq!(
+        read.map(|b| String::from_utf8(b).unwrap()).as_deref(),
+        Some("5"),
+        "a read addressed to a dead machine must fall back to the store, not error"
+    );
+    // The same read works from the store host's own engine and from the
+    // other survivor (RemoteBackend path).
+    assert_eq!(
+        c.read_slate("counter", &key_b).map(|b| String::from_utf8(b).unwrap()).as_deref(),
+        Some("5")
+    );
+
+    a.shutdown();
+    c.shutdown();
 }
 
 #[test]
