@@ -120,23 +120,20 @@ impl Updater for MinuteCounter {
             .and_then(|v| v.get("ts").and_then(Json::as_u64))
             .unwrap_or(event.ts);
         let day = day_index(ts);
-        let (mut count, slate_day) = match slate.as_json() {
-            Some(v) => (
-                v.get("count").and_then(Json::as_u64).unwrap_or(0),
-                v.get("day").and_then(Json::as_u64).unwrap_or(day),
-            ),
-            None => (0, day),
-        };
+        // Resident slate: parsed once per cache fault, mutated in place,
+        // serialized only at byte boundaries (flush/handoff/HTTP).
+        let state = slate
+            .obj_mut_or(|| Json::obj([("count", Json::num(0)), ("day", Json::num(day as f64))]));
+        let mut count = state.get("count").and_then(Json::as_u64).unwrap_or(0);
+        let slate_day = state.get("day").and_then(Json::as_u64).unwrap_or(day);
         if slate_day != day {
             // Same minute key on a new day: fresh window (Example 5 counts
             // "the number of tweets per topic" per minute of *each* day).
             count = 0;
         }
         count += 1;
-        slate.replace_json(&Json::obj([
-            ("count", Json::num(count as f64)),
-            ("day", Json::num(day as f64)),
-        ]));
+        state.set("count", Json::num(count as f64));
+        state.set("day", Json::num(day as f64));
         // Publish the running count (see module docs for why not a timer).
         let out = Json::obj([("count", Json::num(count as f64)), ("ts", Json::num(ts as f64))]);
         ctx.publish(COUNT_STREAM, event.key.clone(), out.to_compact().into_bytes());
@@ -173,8 +170,9 @@ impl Updater for HotDetector {
         let day = day_index(ts);
 
         // Slate: Example 5's two summaries (total_count, days) plus the
-        // bookkeeping to fold a finished day into them.
-        let state = slate.as_json().unwrap_or_else(|| {
+        // bookkeeping to fold a finished day into them. Resident: parsed
+        // at most once, mutated in place below.
+        let state = slate.obj_mut_or(|| {
             Json::obj([
                 ("total_count", Json::num(0)),
                 ("days", Json::num(0)),
@@ -210,13 +208,11 @@ impl Updater for HotDetector {
             }
         }
 
-        slate.replace_json(&Json::obj([
-            ("total_count", Json::num(total as f64)),
-            ("days", Json::num(days as f64)),
-            ("last_day", Json::num(last_day as f64)),
-            ("today_count", Json::num(today_count as f64)),
-            ("emitted_day", emitted_day.map(|d| Json::num(d as f64)).unwrap_or(Json::Null)),
-        ]));
+        state.set("total_count", Json::num(total as f64));
+        state.set("days", Json::num(days as f64));
+        state.set("last_day", Json::num(last_day as f64));
+        state.set("today_count", Json::num(today_count as f64));
+        state.set("emitted_day", emitted_day.map(|d| Json::num(d as f64)).unwrap_or(Json::Null));
     }
 }
 

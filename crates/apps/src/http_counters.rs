@@ -78,26 +78,26 @@ impl Updater for SectionCounter {
             400..=499 => "4xx",
             _ => "5xx",
         };
-        let (mut count, mut total_bytes) = Self::totals(slate);
-        let mut classes: Vec<(String, u64)> = ["2xx", "3xx", "4xx", "5xx"]
-            .iter()
-            .map(|c| (c.to_string(), Self::status_count(slate, c)))
-            .collect();
-        count += 1;
-        total_bytes += bytes;
-        for (c, n) in classes.iter_mut() {
-            if c == class {
-                *n += 1;
-            }
+        // Resident slate: mutate counters in place, including the nested
+        // per-status-class object.
+        let state = slate.obj_mut_or(|| {
+            Json::obj([
+                ("count", Json::num(0)),
+                ("status", Json::obj(["2xx", "3xx", "4xx", "5xx"].map(|c| (c, Json::num(0))))),
+                ("bytes", Json::num(0)),
+            ])
+        });
+        let count = state.get("count").and_then(Json::as_u64).unwrap_or(0);
+        let total_bytes = state.get("bytes").and_then(Json::as_u64).unwrap_or(0);
+        state.set("count", Json::num((count + 1) as f64));
+        if state.get("status").and_then(Json::as_obj).is_none() {
+            // A foreign payload without the nested object: rebuild it.
+            state.set("status", Json::obj(["2xx", "3xx", "4xx", "5xx"].map(|c| (c, Json::num(0)))));
         }
-        slate.replace_json(&Json::obj([
-            ("count", Json::num(count as f64)),
-            (
-                "status",
-                Json::Obj(classes.into_iter().map(|(c, n)| (c, Json::num(n as f64))).collect()),
-            ),
-            ("bytes", Json::num(total_bytes as f64)),
-        ]));
+        let classes = state.get_mut("status").expect("status object just ensured");
+        let n = classes.get(class).and_then(Json::as_u64).unwrap_or(0);
+        classes.set(class, Json::num((n + 1) as f64));
+        state.set("bytes", Json::num((total_bytes + bytes) as f64));
     }
 }
 

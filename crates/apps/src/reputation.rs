@@ -126,17 +126,14 @@ impl Updater for ReputationScorer {
             .ok()
             .and_then(|v| v.get("delta").and_then(Json::as_i64))
             .unwrap_or(0);
-        let (score, events) = match slate.as_json() {
-            Some(v) => (
-                v.get("score").and_then(Json::as_i64).unwrap_or(0),
-                v.get("events").and_then(Json::as_u64).unwrap_or(0),
-            ),
-            None => (0, 0),
-        };
-        slate.replace_json(&Json::obj([
-            ("score", Json::num((score + delta) as f64)),
-            ("events", Json::num((events + 1) as f64)),
-        ]));
+        // Resident slate: mutate the parsed document in place; the bytes
+        // materialize only at flush/read boundaries.
+        let state =
+            slate.obj_mut_or(|| Json::obj([("score", Json::num(0)), ("events", Json::num(0))]));
+        let score = state.get("score").and_then(Json::as_i64).unwrap_or(0);
+        let events = state.get("events").and_then(Json::as_u64).unwrap_or(0);
+        state.set("score", Json::num((score + delta) as f64));
+        state.set("events", Json::num((events + 1) as f64));
     }
 }
 

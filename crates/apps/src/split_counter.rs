@@ -126,11 +126,11 @@ impl Updater for PartialCounter {
     }
 
     fn update(&self, ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
-        let state = slate.as_json();
-        let mut count =
-            state.as_ref().and_then(|v| v.get("count").and_then(Json::as_u64)).unwrap_or(0);
-        let mut unreported =
-            state.as_ref().and_then(|v| v.get("unreported").and_then(Json::as_u64)).unwrap_or(0);
+        // Resident slate: read and write the parsed document in place.
+        let state =
+            slate.obj_mut_or(|| Json::obj([("count", Json::num(0)), ("unreported", Json::num(0))]));
+        let mut count = state.get("count").and_then(Json::as_u64).unwrap_or(0);
+        let mut unreported = state.get("unreported").and_then(Json::as_u64).unwrap_or(0);
         count += 1;
         unreported += 1;
         if unreported >= self.emit_every {
@@ -140,10 +140,8 @@ impl Updater for PartialCounter {
             }
             unreported = 0;
         }
-        slate.replace_json(&Json::obj([
-            ("count", Json::num(count as f64)),
-            ("unreported", Json::num(unreported as f64)),
-        ]));
+        state.set("count", Json::num(count as f64));
+        state.set("unreported", Json::num(unreported as f64));
     }
 }
 

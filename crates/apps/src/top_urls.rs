@@ -146,7 +146,20 @@ impl Updater for TopKUpdater {
         else {
             return;
         };
-        let mut board = Self::leaderboard(slate);
+        // Read the board out of the resident document (parsed at most
+        // once per cache fault — no byte-level reparse per event).
+        let mut board: Vec<(String, u64)> = slate
+            .ensure_json()
+            .and_then(|doc| doc.get("top").and_then(Json::as_arr))
+            .map(|items| {
+                items
+                    .iter()
+                    .filter_map(|e| {
+                        Some((e.get("url")?.as_str()?.to_string(), e.get("count")?.as_u64()?))
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         match board.iter_mut().find(|(u, _)| u == url) {
             Some(entry) => entry.1 = entry.1.max(count),
             None => board.push((url.to_string(), count)),
@@ -157,7 +170,9 @@ impl Updater for TopKUpdater {
         let top = Json::arr(board.iter().map(|(u, c)| {
             Json::obj([("url", Json::str(u.clone())), ("count", Json::num(*c as f64))])
         }));
-        slate.replace_json(&Json::obj([("k", Json::num(self.k as f64)), ("top", top)]));
+        // Install the rebuilt document without an intermediate
+        // serialization.
+        slate.set_json(Json::obj([("k", Json::num(self.k as f64)), ("top", top)]));
     }
 }
 

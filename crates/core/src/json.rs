@@ -186,30 +186,38 @@ impl Json {
 
     /// Compact serialization (no whitespace). Same as `to_string()`.
     pub fn to_compact(&self) -> String {
-        let mut out = String::new();
+        let mut out = Vec::new();
         self.write(&mut out, None, 0);
-        out
+        // The serializer only emits valid UTF-8.
+        String::from_utf8(out).expect("serializer emits UTF-8")
     }
 
     /// Pretty serialization with 2-space indentation.
     pub fn to_pretty(&self) -> String {
-        let mut out = String::new();
+        let mut out = Vec::new();
         self.write(&mut out, Some(2), 0);
-        out
+        String::from_utf8(out).expect("serializer emits UTF-8")
     }
 
-    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+    /// Compact serialization appended to a byte buffer — the flush path,
+    /// which previously detoured through an intermediate `String` per
+    /// slate write. Byte-for-byte identical to [`Json::to_compact`].
+    pub fn write_into(&self, out: &mut Vec<u8>) {
+        self.write(out, None, 0);
+    }
+
+    fn write(&self, out: &mut Vec<u8>, indent: Option<usize>, level: usize) {
         match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(true) => out.push_str("true"),
-            Json::Bool(false) => out.push_str("false"),
+            Json::Null => out.extend_from_slice(b"null"),
+            Json::Bool(true) => out.extend_from_slice(b"true"),
+            Json::Bool(false) => out.extend_from_slice(b"false"),
             Json::Num(n) => write_number(out, *n),
             Json::Str(s) => write_string(out, s),
             Json::Arr(items) => {
-                out.push('[');
+                out.push(b'[');
                 for (i, item) in items.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.push(b',');
                     }
                     newline_indent(out, indent, level + 1);
                     item.write(out, indent, level + 1);
@@ -217,26 +225,26 @@ impl Json {
                 if !items.is_empty() {
                     newline_indent(out, indent, level);
                 }
-                out.push(']');
+                out.push(b']');
             }
             Json::Obj(pairs) => {
-                out.push('{');
+                out.push(b'{');
                 for (i, (k, v)) in pairs.iter().enumerate() {
                     if i > 0 {
-                        out.push(',');
+                        out.push(b',');
                     }
                     newline_indent(out, indent, level + 1);
                     write_string(out, k);
-                    out.push(':');
+                    out.push(b':');
                     if indent.is_some() {
-                        out.push(' ');
+                        out.push(b' ');
                     }
                     v.write(out, indent, level + 1);
                 }
                 if !pairs.is_empty() {
                     newline_indent(out, indent, level);
                 }
-                out.push('}');
+                out.push(b'}');
             }
         }
     }
@@ -248,48 +256,51 @@ impl fmt::Display for Json {
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+fn newline_indent(out: &mut Vec<u8>, indent: Option<usize>, level: usize) {
     if let Some(width) = indent {
-        out.push('\n');
+        out.push(b'\n');
         for _ in 0..width * level {
-            out.push(' ');
+            out.push(b' ');
         }
     }
 }
 
-fn write_number(out: &mut String, n: f64) {
+fn write_number(out: &mut Vec<u8>, n: f64) {
+    use std::io::Write;
     if n.is_finite() {
         if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
             // Integral values print without the trailing ".0" so counters
             // roundtrip byte-identically.
-            out.push_str(&format!("{}", n as i64));
+            write!(out, "{}", n as i64).expect("Vec write is infallible");
         } else {
-            out.push_str(&format!("{n}"));
+            write!(out, "{n}").expect("Vec write is infallible");
         }
     } else {
         // JSON has no Inf/NaN; serialize as null like most permissive encoders.
-        out.push_str("null");
+        out.extend_from_slice(b"null");
     }
 }
 
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
+fn write_string(out: &mut Vec<u8>, s: &str) {
+    out.push(b'"');
+    let mut utf8 = [0u8; 4];
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            '\u{08}' => out.push_str("\\b"),
-            '\u{0c}' => out.push_str("\\f"),
+            '"' => out.extend_from_slice(b"\\\""),
+            '\\' => out.extend_from_slice(b"\\\\"),
+            '\n' => out.extend_from_slice(b"\\n"),
+            '\r' => out.extend_from_slice(b"\\r"),
+            '\t' => out.extend_from_slice(b"\\t"),
+            '\u{08}' => out.extend_from_slice(b"\\b"),
+            '\u{0c}' => out.extend_from_slice(b"\\f"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                use std::io::Write;
+                write!(out, "\\u{:04x}", c as u32).expect("Vec write is infallible");
             }
-            c => out.push(c),
+            c => out.extend_from_slice(c.encode_utf8(&mut utf8).as_bytes()),
         }
     }
-    out.push('"');
+    out.push(b'"');
 }
 
 struct Parser<'a> {
@@ -657,6 +668,23 @@ mod tests {
     fn unicode_passthrough_in_fast_path() {
         let v = Json::parse("\"héllo wörld ✓\"").unwrap();
         assert_eq!(v.as_str(), Some("héllo wörld ✓"));
+    }
+
+    #[test]
+    fn write_into_matches_to_compact() {
+        let v = Json::obj([
+            ("count", Json::num(3)),
+            ("frac", Json::num(2.5)),
+            ("text", Json::str("a\"b\\c\né😀")),
+            ("list", Json::arr([Json::Null, Json::Bool(true)])),
+        ]);
+        let mut buf = Vec::new();
+        v.write_into(&mut buf);
+        assert_eq!(buf, v.to_compact().into_bytes());
+        // Appends rather than overwrites.
+        let mut prefixed = b"x".to_vec();
+        v.write_into(&mut prefixed);
+        assert_eq!(&prefixed[1..], buf.as_slice());
     }
 
     #[test]

@@ -14,19 +14,80 @@
 //! is an opaque byte blob that the updater replaces wholesale
 //! (`replaceSlate`). Convenience accessors cover the common encodings the
 //! paper mentions: UTF-8 text counters and JSON objects.
+//!
+//! ## The resident representation
+//!
+//! "Our applications often use JSON to encode slates" (§4.2) — and the
+//! per-event hot path used to pay for that by re-parsing the payload from
+//! bytes and re-serializing it back on *every* event. A slate now holds one
+//! of two representations:
+//!
+//! * **Bytes** — the canonical blob (what the store and the wire see);
+//! * **Json** — a parsed document *resident* in the slate, with the byte
+//!   form materialized lazily (and cached) only at real byte boundaries:
+//!   store flush, slate handoff, HTTP `/slate` reads, wire transfer.
+//!
+//! [`Slate::ensure_json`] converts bytes → resident once (keeping the
+//! original bytes cached, so an untouched slate still flushes the exact
+//! bytes it was loaded with); [`Slate::json_mut`] / [`Slate::json_mut_or`]
+//! mutate the resident document in place, bumping `version` without
+//! serializing. [`Slate::bytes`] serializes at most once per mutation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use bytes::Bytes;
 
 use crate::json::Json;
 
+/// Global count of byte-payload → JSON-document parses (all slates).
+static PARSES: AtomicU64 = AtomicU64::new(0);
+/// Global count of JSON-document → byte-payload serializations.
+static SERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide (parses, serializations) counters for slate payloads — an
+/// allocations-ish proxy the hot-path benchmarks record: the seed path
+/// pays one parse *and* one serialization per update, the resident path
+/// parses once per cache fault and serializes once per flush.
+pub fn repr_counters() -> (u64, u64) {
+    (PARSES.load(Ordering::Relaxed), SERIALIZATIONS.load(Ordering::Relaxed))
+}
+
+/// The payload: canonical bytes, or a resident parsed document with its
+/// byte form cached lazily.
+#[derive(Clone, Debug)]
+enum Repr {
+    Bytes(Bytes),
+    Json {
+        doc: Json,
+        /// The serialized form; filled on first byte access after a
+        /// mutation (or carried over from the parse when untouched).
+        bytes: OnceLock<Bytes>,
+    },
+}
+
 /// A slate: the per-⟨updater, key⟩ summary blob, plus bookkeeping the
 /// runtime uses for cache/flush management.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct Slate {
-    data: Vec<u8>,
+    repr: Repr,
     /// Bumped on every mutation; lets caches detect dirtiness cheaply.
     version: u64,
 }
+
+impl Default for Slate {
+    fn default() -> Self {
+        Slate { repr: Repr::Bytes(Bytes::new()), version: 0 }
+    }
+}
+
+impl PartialEq for Slate {
+    fn eq(&self, other: &Self) -> bool {
+        self.version == other.version && self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for Slate {}
 
 impl Slate {
     /// A fresh, empty slate — what an updater receives "when [it] accesses a
@@ -38,54 +99,157 @@ impl Slate {
 
     /// Build a slate from raw bytes (e.g. loaded from the key-value store).
     pub fn from_bytes(data: Vec<u8>) -> Self {
-        Slate { data, version: 0 }
+        Slate { repr: Repr::Bytes(Bytes::from(data)), version: 0 }
     }
 
     /// True if no updater has written anything yet (or the slate expired).
+    /// A resident document is never empty (its serialization is at least
+    /// `null`).
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        match &self.repr {
+            Repr::Bytes(b) => b.is_empty(),
+            Repr::Json { .. } => false,
+        }
     }
 
-    /// The raw slate payload.
+    /// The raw slate payload. For a resident document this materializes
+    /// (and caches) the serialized form — the byte boundary of the store
+    /// flush, slate handoff, HTTP read, and wire paths.
     pub fn bytes(&self) -> &[u8] {
-        &self.data
+        match &self.repr {
+            Repr::Bytes(b) => b,
+            Repr::Json { doc, bytes } => bytes.get_or_init(|| serialize(doc)),
+        }
     }
 
-    /// Byte length of the payload.
+    /// Byte length of the payload (materializes a resident document).
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.bytes().len()
     }
 
     /// Payload as UTF-8 text, if valid. (Figure 4 stores a decimal counter
     /// as text.)
     pub fn as_str(&self) -> Option<&str> {
-        std::str::from_utf8(&self.data).ok()
+        std::str::from_utf8(self.bytes()).ok()
     }
 
     /// Decode the payload as JSON — "our applications often use JSON to
     /// encode slates for language independence and flexibility" (§4.2).
+    /// Returns an owned document; hot paths with `&mut` access should use
+    /// [`Slate::ensure_json`] / [`Slate::json_mut`] instead, which parse at
+    /// most once per slate.
     pub fn as_json(&self) -> Option<Json> {
-        if self.data.is_empty() {
-            return None;
+        match &self.repr {
+            Repr::Bytes(b) => {
+                if b.is_empty() {
+                    return None;
+                }
+                PARSES.fetch_add(1, Ordering::Relaxed);
+                Json::parse(std::str::from_utf8(b).ok()?).ok()
+            }
+            Repr::Json { doc, .. } => Some(doc.clone()),
         }
-        Json::parse(std::str::from_utf8(&self.data).ok()?).ok()
+    }
+
+    /// Make the parsed document resident (parsing at most once) and return
+    /// a shared reference to it. Does **not** count as a mutation: the
+    /// original bytes are kept cached, so an untouched slate still flushes
+    /// byte-identically. `None` when the payload is empty or not JSON (the
+    /// representation is left as bytes).
+    pub fn ensure_json(&mut self) -> Option<&Json> {
+        if let Repr::Bytes(b) = &self.repr {
+            if b.is_empty() {
+                return None;
+            }
+            PARSES.fetch_add(1, Ordering::Relaxed);
+            let doc = Json::parse(std::str::from_utf8(b).ok()?).ok()?;
+            let bytes = OnceLock::new();
+            let _ = bytes.set(b.clone());
+            self.repr = Repr::Json { doc, bytes };
+        }
+        match &self.repr {
+            Repr::Json { doc, .. } => Some(doc),
+            Repr::Bytes(_) => None,
+        }
+    }
+
+    /// Mutable access to the resident document. Counts as a mutation:
+    /// `version` is bumped and the cached byte form is invalidated —
+    /// serialization happens only at the next byte boundary. `None` when
+    /// the payload is empty or not JSON (nothing is changed then).
+    pub fn json_mut(&mut self) -> Option<&mut Json> {
+        self.ensure_json()?;
+        self.version += 1;
+        match &mut self.repr {
+            Repr::Json { doc, bytes } => {
+                bytes.take(); // invalidate: the doc is about to change
+                Some(doc)
+            }
+            Repr::Bytes(_) => unreachable!("ensure_json left a resident doc"),
+        }
+    }
+
+    /// Mutable access to the resident document, installing `init()` when
+    /// the slate is empty or unparseable (the Figure 4 "parse failure ⟹
+    /// start fresh" posture). Always counts as a mutation.
+    pub fn json_mut_or(&mut self, init: impl FnOnce() -> Json) -> &mut Json {
+        if self.ensure_json().is_none() {
+            self.repr = Repr::Json { doc: init(), bytes: OnceLock::new() };
+        }
+        self.version += 1;
+        match &mut self.repr {
+            Repr::Json { doc, bytes } => {
+                bytes.take();
+                doc
+            }
+            Repr::Bytes(_) => unreachable!("a resident doc was just installed"),
+        }
+    }
+
+    /// Like [`Slate::json_mut_or`], but also falls back to `init()` when
+    /// the payload parses to something other than an object — the common
+    /// app shape is an object slate mutated with [`Json::set`], which
+    /// panics on non-objects, and a foreign or corrupt payload must
+    /// rebuild (the old parse-and-replace behaviour) rather than panic a
+    /// worker. `init` must return an object.
+    pub fn obj_mut_or(&mut self, init: impl FnOnce() -> Json) -> &mut Json {
+        if !matches!(self.ensure_json(), Some(Json::Obj(_))) {
+            self.repr = Repr::Json { doc: init(), bytes: OnceLock::new() };
+        }
+        self.version += 1;
+        match &mut self.repr {
+            Repr::Json { doc, bytes } => {
+                bytes.take();
+                doc
+            }
+            Repr::Bytes(_) => unreachable!("a resident doc was just installed"),
+        }
     }
 
     /// Replace the entire payload — the `replaceSlate` call of Figure 4.
     pub fn replace(&mut self, data: Vec<u8>) {
-        self.data = data;
+        self.repr = Repr::Bytes(Bytes::from(data));
         self.version += 1;
     }
 
-    /// Replace the payload with serialized JSON.
+    /// Replace the payload with a JSON document, taking ownership: the
+    /// document becomes resident and is serialized only at the next byte
+    /// boundary.
+    pub fn set_json(&mut self, value: Json) {
+        self.repr = Repr::Json { doc: value, bytes: OnceLock::new() };
+        self.version += 1;
+    }
+
+    /// Replace the payload with serialized JSON (clones `value`; prefer
+    /// [`Slate::set_json`] when the document can be moved in).
     pub fn replace_json(&mut self, value: &Json) {
-        self.replace(value.to_string().into_bytes());
+        self.set_json(value.clone());
     }
 
     /// Reset to empty (TTL expiry / explicit deletion).
     pub fn clear(&mut self) {
-        if !self.data.is_empty() {
-            self.data.clear();
+        if !self.is_empty() {
+            self.repr = Repr::Bytes(Bytes::new());
             self.version += 1;
         }
     }
@@ -96,10 +260,14 @@ impl Slate {
         self.version
     }
 
-    /// Clone the payload into a cheaply-shareable [`Bytes`] (used when
-    /// handing the slate to the store writer thread).
+    /// The payload as a cheaply-shareable [`Bytes`] (used when handing the
+    /// slate to the store writer thread). No copy: bytes payloads share
+    /// their buffer, resident documents share the materialized cache.
     pub fn to_shared(&self) -> Bytes {
-        Bytes::copy_from_slice(&self.data)
+        match &self.repr {
+            Repr::Bytes(b) => b.clone(),
+            Repr::Json { doc, bytes } => bytes.get_or_init(|| serialize(doc)).clone(),
+        }
     }
 
     // --- typed counter helpers (the dominant slate shape in the paper's
@@ -118,6 +286,13 @@ impl Slate {
         self.replace(next.to_string().into_bytes());
         next
     }
+}
+
+fn serialize(doc: &Json) -> Bytes {
+    SERIALIZATIONS.fetch_add(1, Ordering::Relaxed);
+    let mut out = Vec::new();
+    doc.write_into(&mut out);
+    Bytes::from(out)
 }
 
 #[cfg(test)]
@@ -189,5 +364,105 @@ mod tests {
         let t = Slate::from_bytes(vec![0xff, 0xfe]);
         assert_eq!(t.as_str(), None);
         assert_eq!(s.to_shared().as_ref(), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn ensure_json_preserves_bytes_and_version() {
+        // A resident conversion is not a mutation: the slate flushes the
+        // exact bytes it was loaded with, even if parse→serialize would
+        // not roundtrip them identically (e.g. whitespace).
+        let original = b"{ \"count\" : 3 }".to_vec();
+        let mut s = Slate::from_bytes(original.clone());
+        assert_eq!(s.ensure_json().unwrap().get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(s.version(), 0);
+        assert_eq!(s.bytes(), original.as_slice(), "untouched resident slate keeps its bytes");
+        // A second ensure_json returns the same resident doc (the repr
+        // stays Json; re-parsing would lose the cached original bytes).
+        s.ensure_json().unwrap();
+        assert_eq!(s.bytes(), original.as_slice());
+    }
+
+    #[test]
+    fn json_mut_bumps_version_and_reserializes() {
+        let mut s = Slate::from_bytes(br#"{"count":3}"#.to_vec());
+        {
+            let doc = s.json_mut().unwrap();
+            doc.set("count", Json::num(4));
+        }
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.bytes(), br#"{"count":4}"#);
+        assert_eq!(s.len(), 11);
+    }
+
+    #[test]
+    fn json_mut_on_non_json_is_none_and_untouched() {
+        let mut s = Slate::from_bytes(b"not json".to_vec());
+        assert!(s.json_mut().is_none());
+        assert_eq!(s.version(), 0);
+        assert_eq!(s.bytes(), b"not json");
+        let mut empty = Slate::empty();
+        assert!(empty.json_mut().is_none());
+    }
+
+    #[test]
+    fn json_mut_or_installs_default() {
+        let mut s = Slate::empty();
+        {
+            let doc = s.json_mut_or(|| Json::obj([("n", Json::num(0))]));
+            doc.set("n", Json::num(1));
+        }
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.bytes(), br#"{"n":1}"#);
+        // Unparseable payloads fall back to the default too.
+        let mut bad = Slate::from_bytes(b"garbage".to_vec());
+        bad.json_mut_or(|| Json::obj([("n", Json::num(7))]));
+        assert_eq!(bad.bytes(), br#"{"n":7}"#);
+    }
+
+    #[test]
+    fn obj_mut_or_rebuilds_non_object_payloads() {
+        // A corrupt (or foreign) payload that parses to a non-object must
+        // rebuild from the default, not panic the worker on `set`.
+        for payload in [&b"5"[..], b"[1,2]", b"\"str\"", b"garbage", b""] {
+            let mut s = Slate::from_bytes(payload.to_vec());
+            let doc = s.obj_mut_or(|| Json::obj([("n", Json::num(0))]));
+            doc.set("n", Json::num(1));
+            assert_eq!(s.bytes(), br#"{"n":1}"#, "payload {payload:?}");
+        }
+        // Object payloads are mutated in place.
+        let mut s = Slate::from_bytes(br#"{"n":41,"extra":true}"#.to_vec());
+        s.obj_mut_or(|| Json::obj([("n", Json::num(0))])).set("n", Json::num(42));
+        assert_eq!(s.bytes(), br#"{"n":42,"extra":true}"#);
+    }
+
+    #[test]
+    fn set_json_matches_replace_json_bytes() {
+        let v = Json::obj([("a", Json::num(1)), ("b", Json::str("x"))]);
+        let mut a = Slate::empty();
+        let mut b = Slate::empty();
+        a.replace_json(&v);
+        b.set_json(v);
+        assert_eq!(a.bytes(), b.bytes());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resident_clear_resets_to_empty_bytes() {
+        let mut s = Slate::empty();
+        s.set_json(Json::obj([("x", Json::num(1))]));
+        assert!(!s.is_empty());
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.bytes(), b"");
+        assert_eq!(s.version(), 2);
+    }
+
+    #[test]
+    fn resident_and_bytes_slates_compare_by_payload() {
+        let mut resident = Slate::empty();
+        resident.set_json(Json::obj([("n", Json::num(3))]));
+        let mut bytes = Slate::empty();
+        bytes.replace(br#"{"n":3}"#.to_vec());
+        assert_eq!(resident, bytes, "same version, same payload");
     }
 }

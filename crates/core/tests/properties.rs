@@ -122,6 +122,96 @@ proptest! {
 
 // ---------- events & slates ----------
 
+/// One step of a slate mutation sequence, applied through the resident
+/// API on one slate and through the seed-style byte path on the other.
+#[derive(Clone, Debug)]
+enum SlateOp {
+    /// `obj_mut_or` + `set` — the migrated-app hot path.
+    ObjSet(String, i64),
+    /// Nested mutation through `get_mut` (http_counters-style).
+    ObjSetNested(String, String, i64),
+    /// Wholesale JSON replacement.
+    SetJson(Json),
+    /// Raw byte replacement (Figure 4's `replaceSlate`).
+    Replace(Vec<u8>),
+    /// Decimal-counter increment (retailer-style slates).
+    Incr(u64),
+    /// TTL expiry / deletion.
+    Clear,
+    /// A read-only residency conversion (HTTP read through the cache).
+    EnsureJson,
+}
+
+fn arb_slate_op() -> impl Strategy<Value = SlateOp> {
+    prop_oneof![
+        ("[a-c]", -1000i64..1000).prop_map(|(k, v)| SlateOp::ObjSet(k, v)),
+        ("[a-c]", "[x-z]", -1000i64..1000).prop_map(|(k, j, v)| SlateOp::ObjSetNested(k, j, v)),
+        arb_json(2).prop_map(SlateOp::SetJson),
+        proptest::collection::vec(any::<u8>(), 0..24).prop_map(SlateOp::Replace),
+        (1u64..100).prop_map(SlateOp::Incr),
+        Just(SlateOp::Clear),
+        Just(SlateOp::EnsureJson),
+    ]
+}
+
+fn obj_default() -> Json {
+    Json::obj([("seed", Json::num(0))])
+}
+
+fn mutate_doc(doc: &mut Json, op: &SlateOp) {
+    match op {
+        SlateOp::ObjSet(k, v) => doc.set(k.clone(), Json::num(*v as f64)),
+        SlateOp::ObjSetNested(k, j, v) => {
+            if doc.get(k).and_then(Json::as_obj).is_none() {
+                doc.set(k.clone(), Json::obj::<String>([]));
+            }
+            doc.get_mut(k).expect("just ensured").set(j.clone(), Json::num(*v as f64));
+        }
+        _ => unreachable!("only object ops mutate documents"),
+    }
+}
+
+/// The new hot path: resident document, mutated in place, serialized only
+/// when `bytes()` is observed.
+fn apply_resident(slate: &mut Slate, op: &SlateOp) {
+    match op {
+        SlateOp::ObjSet(..) | SlateOp::ObjSetNested(..) => {
+            mutate_doc(slate.obj_mut_or(obj_default), op)
+        }
+        SlateOp::SetJson(v) => slate.set_json(v.clone()),
+        SlateOp::Replace(bytes) => slate.replace(bytes.clone()),
+        SlateOp::Incr(n) => {
+            slate.incr_counter(*n);
+        }
+        SlateOp::Clear => slate.clear(),
+        SlateOp::EnsureJson => {
+            let _ = slate.ensure_json();
+        }
+    }
+}
+
+/// The seed path: every mutation crosses the byte boundary — parse the
+/// payload, rebuild, serialize back.
+fn apply_plain(slate: &mut Slate, op: &SlateOp) {
+    match op {
+        SlateOp::ObjSet(..) | SlateOp::ObjSetNested(..) => {
+            let mut doc = match slate.as_json() {
+                Some(v @ Json::Obj(_)) => v,
+                _ => obj_default(),
+            };
+            mutate_doc(&mut doc, op);
+            slate.replace(doc.to_compact().into_bytes());
+        }
+        SlateOp::SetJson(v) => slate.replace(v.to_compact().into_bytes()),
+        SlateOp::Replace(bytes) => slate.replace(bytes.clone()),
+        SlateOp::Incr(n) => {
+            slate.incr_counter(*n);
+        }
+        SlateOp::Clear => slate.clear(),
+        SlateOp::EnsureJson => {} // a read; no byte-path analogue needed
+    }
+}
+
 proptest! {
     #[test]
     fn event_order_is_total_and_consistent(
@@ -149,6 +239,43 @@ proptest! {
         }
         prop_assert_eq!(s.counter(), expect);
         prop_assert_eq!(s.version(), increments.len() as u64);
+    }
+
+    // ---------- resident-JSON slate ≡ plain-bytes slate ----------
+    //
+    // The hot-path tentpole: a slate holding a resident parsed document
+    // must be observationally byte-identical to one that crosses the byte
+    // boundary on every mutation (the seed path) — store flushes, HTTP
+    // reads, wire transfers all read `bytes()`/`to_shared()`, so any
+    // divergence here forks persisted state.
+
+    #[test]
+    fn resident_slate_equals_bytes_slate_under_mutations(
+        ops in proptest::collection::vec(arb_slate_op(), 0..40),
+    ) {
+        let mut resident = Slate::empty();
+        let mut plain = Slate::empty();
+        for op in &ops {
+            apply_resident(&mut resident, op);
+            apply_plain(&mut plain, op);
+            // Every step is a potential flush/HTTP-read boundary.
+            prop_assert_eq!(resident.bytes(), plain.bytes(), "op: {:?}", op);
+            prop_assert_eq!(resident.is_empty(), plain.is_empty());
+            prop_assert_eq!(resident.len(), plain.len());
+            prop_assert_eq!(resident.to_shared().as_ref(), plain.to_shared().as_ref());
+            prop_assert_eq!(resident.as_json(), plain.as_json());
+        }
+    }
+
+    #[test]
+    fn resident_conversion_never_changes_flushed_bytes(v in arb_json(3)) {
+        // Reading a slate into residency (ensure_json) is not a mutation:
+        // the bytes it flushes afterwards are exactly the bytes it held.
+        let payload = v.to_compact().into_bytes();
+        let mut s = Slate::from_bytes(payload.clone());
+        let _ = s.ensure_json();
+        prop_assert_eq!(s.bytes(), payload.as_slice());
+        prop_assert_eq!(s.version(), 0);
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use muppet_core::event::Key;
+use muppet_core::hash::fx64_pair;
 use muppet_core::slate::Slate;
 use muppet_core::workflow::OpId;
 use muppet_slatestore::cluster::StoreCluster;
@@ -143,8 +144,6 @@ pub struct SlateSlot {
 /// Cache statistics (atomic; cheap to snapshot).
 #[derive(Debug, Default)]
 pub struct CacheCounters {
-    hits: AtomicU64,
-    misses: AtomicU64,
     store_loads: AtomicU64,
     evictions: AtomicU64,
     flush_writes: AtomicU64,
@@ -173,12 +172,43 @@ pub struct CacheStats {
     pub entries: u64,
     /// Dirty entries (unpersisted).
     pub dirty: u64,
+    /// Lock shards the cache's budget is split over.
+    pub shards: u64,
 }
 
-/// An LRU slate cache bound to a backend.
-pub struct SlateCache {
+/// One lock shard: its own LRU map, its slice of the capacity budget, and
+/// its own hit/miss counters (the `/status` observability surface).
+struct Shard {
     map: Mutex<LruMap<(OpId, Key), Arc<SlateSlot>>>,
     capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Per-shard statistics snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookups served from this shard.
+    pub hits: u64,
+    /// Lookups that missed in this shard.
+    pub misses: u64,
+    /// Live entries in this shard.
+    pub entries: u64,
+    /// This shard's slice of the capacity budget.
+    pub capacity: u64,
+}
+
+/// An LRU slate cache bound to a backend, split into power-of-two lock
+/// shards so a machine's worker pool stops serializing on one mutex
+/// (the Muppet 2.0 central cache was a single `Mutex<LruMap>` — with 4+
+/// workers the map lock was the hottest line on the machine). Shard
+/// selection hashes ⟨op, key⟩ with the same fx64 family the routing rings
+/// use; each shard owns an even slice of the capacity budget and runs the
+/// full eviction/flush/TTL protocol independently.
+pub struct SlateCache {
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard count is a power of two.
+    shard_mask: u64,
     policy: FlushPolicy,
     backend: Arc<dyn SlateBackend>,
     counters: CacheCounters,
@@ -187,18 +217,44 @@ pub struct SlateCache {
 impl std::fmt::Debug for SlateCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SlateCache")
-            .field("capacity", &self.capacity)
+            .field("capacity", &self.capacity())
+            .field("shards", &self.shards.len())
             .field("policy", &self.policy)
             .finish()
     }
 }
 
 impl SlateCache {
-    /// A cache holding up to `capacity` slates.
+    /// A single-shard cache holding up to `capacity` slates (the Muppet
+    /// 1.0 per-worker caches, which have exactly one owner and gain
+    /// nothing from sharding).
     pub fn new(capacity: usize, policy: FlushPolicy, backend: Arc<dyn SlateBackend>) -> Self {
+        SlateCache::with_shards(capacity, policy, backend, 1)
+    }
+
+    /// A cache holding up to `capacity` slates split over `shards` lock
+    /// shards (rounded up to a power of two). The total budget is pinned:
+    /// shard capacities sum to exactly `max(capacity, shards)`.
+    pub fn with_shards(
+        capacity: usize,
+        policy: FlushPolicy,
+        backend: Arc<dyn SlateBackend>,
+        shards: usize,
+    ) -> Self {
+        let n = shards.max(1).next_power_of_two();
+        let capacity = capacity.max(n); // every shard holds at least one slate
+        let (base, extra) = (capacity / n, capacity % n);
+        let shards: Vec<Shard> = (0..n)
+            .map(|i| Shard {
+                map: Mutex::new(LruMap::new()),
+                capacity: base + usize::from(i < extra),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            })
+            .collect();
         SlateCache {
-            map: Mutex::new(LruMap::new()),
-            capacity: capacity.max(1),
+            shards: shards.into_boxed_slice(),
+            shard_mask: (n - 1) as u64,
             policy,
             backend,
             counters: CacheCounters::default(),
@@ -208,6 +264,23 @@ impl SlateCache {
     /// The flush policy.
     pub fn policy(&self) -> FlushPolicy {
         self.policy
+    }
+
+    /// Number of lock shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total capacity across shards.
+    pub fn capacity(&self) -> usize {
+        self.shards.iter().map(|s| s.capacity).sum()
+    }
+
+    /// The shard owning ⟨`op`, `key`⟩ — the same fx64 the rings route by,
+    /// with the op id mixed in so two updaters' slates for one key spread.
+    fn shard_of(&self, op: OpId, key: &Key) -> &Shard {
+        let h = fx64_pair(key.as_bytes(), &(op as u64).to_le_bytes());
+        &self.shards[(h & self.shard_mask) as usize]
     }
 
     /// Fetch (or create) the slot for ⟨updater `op`, `key`⟩. On a miss the
@@ -223,17 +296,18 @@ impl SlateCache {
         ttl_secs: Option<u64>,
         now_us: u64,
     ) -> Arc<SlateSlot> {
+        let shard = self.shard_of(op, key);
         let mut evicted: Vec<((OpId, Key), Arc<SlateSlot>)> = Vec::new();
         let slot = {
-            let mut map = self.map.lock();
+            let mut map = shard.map.lock();
             if let Some(slot) = map.get(&(op, key.clone())) {
-                self.counters.hits.fetch_add(1, Ordering::Relaxed);
+                shard.hits.fetch_add(1, Ordering::Relaxed);
                 let slot = Arc::clone(slot);
                 drop(map);
                 self.maybe_ttl_reset(&slot, now_us);
                 return slot;
             }
-            self.counters.misses.fetch_add(1, Ordering::Relaxed);
+            shard.misses.fetch_add(1, Ordering::Relaxed);
             let loaded = self.backend.load(updater, key, now_us);
             if loaded.is_some() {
                 self.counters.store_loads.fetch_add(1, Ordering::Relaxed);
@@ -263,7 +337,7 @@ impl SlateCache {
             // Reinserting keeps `map.len()` constant, so the loop is
             // bounded by the victim count (the capacity excess), not by
             // the map shrinking.
-            let excess = map.len().saturating_sub(self.capacity);
+            let excess = map.len().saturating_sub(shard.capacity);
             while evicted.len() < excess && evicted.len() + skipped.len() < max_picks {
                 let Some((k, victim)) = map.pop_lru() else { break };
                 if Arc::strong_count(&victim) > 1 {
@@ -286,7 +360,7 @@ impl SlateCache {
         // store write must never silently lose the update.
         for (k, victim) in evicted {
             let flushed = self.flush_slot(&victim, now_us);
-            let mut map = self.map.lock();
+            let mut map = shard.map.lock();
             let unchanged = map.peek(&k).map(|s| Arc::ptr_eq(s, &victim)).unwrap_or(false);
             if flushed
                 && unchanged
@@ -310,6 +384,15 @@ impl SlateCache {
             state.flushed_version = state.slate.version();
             self.counters.ttl_resets.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Record a lookup served from a worker's slot memo (the batch-drain
+    /// path reuses the previous packet's slot for a run of same-key events
+    /// without touching the shard lock): counts as a shard hit and applies
+    /// the TTL check exactly like a map lookup would.
+    pub fn note_memo_hit(&self, op: OpId, slot: &Arc<SlateSlot>, now_us: u64) {
+        self.shard_of(op, &slot.key).hits.fetch_add(1, Ordering::Relaxed);
+        self.maybe_ttl_reset(slot, now_us);
     }
 
     /// Record a completed updater write on `slot`; under write-through this
@@ -372,31 +455,37 @@ impl SlateCache {
         op: OpId,
         moved: &dyn Fn(&Key) -> bool,
     ) -> Vec<(Key, Arc<SlateSlot>)> {
-        let mut map = self.map.lock();
-        let keys: Vec<Key> = map
-            .iter()
-            .filter(|((o, k), _)| *o == op && moved(k))
-            .map(|((_, k), _)| k.clone())
-            .collect();
-        keys.into_iter()
-            .filter_map(|k| map.remove(&(op, k.clone())).map(|slot| (k, slot)))
-            .collect()
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            let mut map = shard.map.lock();
+            let keys: Vec<Key> = map
+                .iter()
+                .filter(|((o, k), _)| *o == op && moved(k))
+                .map(|((_, k), _)| k.clone())
+                .collect();
+            out.extend(
+                keys.into_iter().filter_map(|k| map.remove(&(op, k.clone())).map(|slot| (k, slot))),
+            );
+        }
+        out
     }
 
     /// Insert an externally-built slot (elastic handoff between in-process
     /// machines: the moved slate keeps its state, dirtiness included).
     pub fn insert_slot(&self, op: OpId, key: Key, slot: Arc<SlateSlot>) {
-        self.map.lock().insert((op, key), slot);
+        self.shard_of(op, &key).map.lock().insert((op, key), slot);
     }
 
     /// Flush every dirty slate (background flusher tick / graceful
     /// shutdown). Returns the number of slates written.
     pub fn flush_dirty(&self, now_us: u64) -> u64 {
-        let slots: Vec<Arc<SlateSlot>> =
-            self.map.lock().iter().map(|(_, slot)| Arc::clone(slot)).collect();
         let before = self.counters.flush_writes.load(Ordering::Relaxed);
-        for slot in slots {
-            let _ = self.flush_slot(&slot, now_us); // failures stay dirty; next sweep retries
+        for shard in self.shards.iter() {
+            let slots: Vec<Arc<SlateSlot>> =
+                shard.map.lock().iter().map(|(_, slot)| Arc::clone(slot)).collect();
+            for slot in slots {
+                let _ = self.flush_slot(&slot, now_us); // failures stay dirty; next sweep retries
+            }
         }
         self.counters.flush_writes.load(Ordering::Relaxed) - before
     }
@@ -406,7 +495,7 @@ impl SlateCache {
     /// ensure an up-to-date reply").
     pub fn read(&self, op: OpId, key: &Key) -> Option<Vec<u8>> {
         let slot = {
-            let map = self.map.lock();
+            let map = self.shard_of(op, key).map.lock();
             map.peek(&(op, key.clone())).map(Arc::clone)
         }?;
         let state = slot.state.lock();
@@ -419,28 +508,55 @@ impl SlateCache {
 
     /// Keys currently cached for updater `op` (bulk reads / debugging).
     pub fn keys_of(&self, op: OpId) -> Vec<Key> {
-        self.map.lock().iter().filter(|((o, _), _)| *o == op).map(|((_, k), _)| k.clone()).collect()
+        let mut keys = Vec::new();
+        for shard in self.shards.iter() {
+            keys.extend(
+                shard.map.lock().iter().filter(|((o, _), _)| *o == op).map(|((_, k), _)| k.clone()),
+            );
+        }
+        keys
     }
 
     /// Number of dirty slates that would be lost if this machine crashed
     /// right now (§4.3: "whatever changes ... not yet been flushed to the
     /// key-value store are lost").
     pub fn dirty_count(&self) -> u64 {
-        let slots: Vec<Arc<SlateSlot>> =
-            self.map.lock().iter().map(|(_, slot)| Arc::clone(slot)).collect();
-        slots.iter().filter(|s| s.state.lock().dirty()).count() as u64
+        let mut dirty = 0u64;
+        for shard in self.shards.iter() {
+            let slots: Vec<Arc<SlateSlot>> =
+                shard.map.lock().iter().map(|(_, slot)| Arc::clone(slot)).collect();
+            dirty += slots.iter().filter(|s| s.state.lock().dirty()).count() as u64;
+        }
+        dirty
+    }
+
+    /// Per-shard statistics (hit/miss/occupancy per lock shard).
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                hits: s.hits.load(Ordering::Relaxed),
+                misses: s.misses.load(Ordering::Relaxed),
+                entries: s.map.lock().len() as u64,
+                capacity: s.capacity as u64,
+            })
+            .collect()
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> CacheStats {
-        // Take the map lock exactly once: a `self.map.lock()` temporary
-        // inside the struct literal would live to the end of the statement
-        // and deadlock against `dirty_count()`'s own lock.
-        let entries = self.map.lock().len() as u64;
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut entries = 0u64;
+        for shard in self.shards.iter() {
+            hits += shard.hits.load(Ordering::Relaxed);
+            misses += shard.misses.load(Ordering::Relaxed);
+            entries += shard.map.lock().len() as u64;
+        }
         let dirty = self.dirty_count();
         CacheStats {
-            hits: self.counters.hits.load(Ordering::Relaxed),
-            misses: self.counters.misses.load(Ordering::Relaxed),
+            hits,
+            misses,
             store_loads: self.counters.store_loads.load(Ordering::Relaxed),
             evictions: self.counters.evictions.load(Ordering::Relaxed),
             flush_writes: self.counters.flush_writes.load(Ordering::Relaxed),
@@ -448,6 +564,7 @@ impl SlateCache {
             ttl_resets: self.counters.ttl_resets.load(Ordering::Relaxed),
             entries,
             dirty,
+            shards: self.shards.len() as u64,
         }
     }
 }
@@ -753,6 +870,133 @@ mod tests {
         let mut keys = cache.keys_of(0);
         keys.sort();
         assert_eq!(keys, vec![Key::from("a"), Key::from("b")]);
+    }
+
+    #[test]
+    fn sharded_capacity_is_pinned_to_the_total() {
+        // The budget must not inflate when split: shard capacities sum to
+        // exactly the configured total, regardless of divisibility.
+        for (capacity, shards) in [(100usize, 8usize), (10, 8), (7, 4), (1, 4), (100_000, 16)] {
+            let cache = SlateCache::with_shards(
+                capacity,
+                FlushPolicy::OnEvict,
+                Arc::new(NullBackend),
+                shards,
+            );
+            let n = shards.next_power_of_two();
+            assert_eq!(cache.shard_count(), n);
+            assert_eq!(cache.capacity(), capacity.max(n), "capacity pinned ({capacity}/{shards})");
+        }
+    }
+
+    #[test]
+    fn sharded_cache_spreads_entries_and_counts_hits_per_shard() {
+        let cache = SlateCache::with_shards(10_000, FlushPolicy::OnEvict, Arc::new(NullBackend), 8);
+        let name = updater_name();
+        for i in 0..512 {
+            let k = Key::from(format!("key-{i}"));
+            cache.get_or_load(0, &name, &k, None, 0);
+            cache.get_or_load(0, &name, &k, None, 1); // one hit each
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 512);
+        assert_eq!(stats.hits, 512);
+        assert_eq!(stats.misses, 512);
+        assert_eq!(stats.shards, 8);
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), 8);
+        assert_eq!(per_shard.iter().map(|s| s.entries).sum::<u64>(), 512);
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), 512);
+        let occupied = per_shard.iter().filter(|s| s.entries > 0).count();
+        assert!(occupied >= 6, "fx64 spreads 512 keys over most of 8 shards: {per_shard:?}");
+    }
+
+    #[test]
+    fn sharded_eviction_respects_per_shard_slices() {
+        // 8 slates of budget over 4 shards (2 each): flooding one updater
+        // with many keys evicts down to the per-shard slices without the
+        // total ever exceeding the budget.
+        let backend = Arc::new(MemBackend::default());
+        let cache = SlateCache::with_shards(8, FlushPolicy::OnEvict, Arc::clone(&backend) as _, 4);
+        let name = updater_name();
+        for i in 0..64 {
+            let k = Key::from(format!("k{i}"));
+            let slot = cache.get_or_load(0, &name, &k, None, i);
+            let mut state = slot.state.lock();
+            state.slate.replace(format!("v{i}").into_bytes());
+            cache.note_write(&slot, &mut state, i);
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 8, "entries bounded by the total budget: {stats:?}");
+        assert!(stats.evictions >= 56, "the excess was evicted: {stats:?}");
+        assert_eq!(stats.flush_writes, stats.evictions, "every dirty victim was persisted");
+        // Everything evicted is reloadable from the store.
+        let slot = cache.get_or_load(0, &name, &Key::from("k0"), None, 100);
+        assert_eq!(slot.state.lock().slate.bytes(), b"v0");
+    }
+
+    #[test]
+    fn sharded_dirty_victim_survives_failed_flush() {
+        // The PR 3 regression, per shard: an evicted dirty slate whose
+        // store write fails stays resident in ITS shard and retries.
+        let backend = Arc::new(FlakyBackend::failing(64));
+        let cache = SlateCache::with_shards(4, FlushPolicy::OnEvict, Arc::clone(&backend) as _, 4);
+        let name = updater_name();
+        let mut written = Vec::new();
+        for i in 0..32 {
+            let k = Key::from(format!("precious-{i}"));
+            let slot = cache.get_or_load(0, &name, &k, None, i);
+            let mut state = slot.state.lock();
+            state.slate.replace(format!("critical-{i}").into_bytes());
+            cache.note_write(&slot, &mut state, i);
+            written.push(k);
+        }
+        assert!(backend.failed.load(Ordering::Relaxed) >= 1, "the outage was exercised");
+        // Store is down: nothing may have been dropped — every update is
+        // either still cached (dirty) or already persisted.
+        for (i, k) in written.iter().enumerate() {
+            let expect = format!("critical-{i}").into_bytes();
+            let live = cache.read(0, k);
+            let stored = backend.load("U1", k, 0);
+            assert!(
+                live.as_deref() == Some(expect.as_slice())
+                    || stored.as_deref() == Some(expect.as_slice()),
+                "update {i} lost under store outage (live={live:?} stored={stored:?})"
+            );
+        }
+        assert!(cache.stats().flush_failures >= 1);
+        // Recovery: sweeps drain every retained dirty slate to the store.
+        let mut swept = 0;
+        while cache.dirty_count() > 0 {
+            cache.flush_dirty(1000 + swept);
+            swept += 1;
+            assert!(swept < 100, "flush retries never drained the dirty set");
+        }
+        for (i, k) in written.iter().enumerate() {
+            let expect = format!("critical-{i}").into_bytes();
+            let in_cache = cache.read(0, k);
+            let in_store = backend.load("U1", k, 0);
+            assert!(
+                in_store.as_deref() == Some(expect.as_slice())
+                    || in_cache.as_deref() == Some(expect.as_slice()),
+                "update {i} missing after recovery"
+            );
+        }
+    }
+
+    #[test]
+    fn memo_hits_count_and_apply_ttl() {
+        let cache = SlateCache::with_shards(16, FlushPolicy::OnEvict, Arc::new(NullBackend), 4);
+        let name = updater_name();
+        let k = Key::from("memoed");
+        let slot = cache.get_or_load(0, &name, &k, Some(1), 0);
+        slot.state.lock().slate.replace(b"live".to_vec());
+        cache.note_memo_hit(0, &slot, 500_000);
+        assert!(!slot.state.lock().slate.is_empty(), "within TTL: untouched");
+        cache.note_memo_hit(0, &slot, 2_000_001);
+        assert!(slot.state.lock().slate.is_empty(), "memo path still applies the TTL reset");
+        assert_eq!(cache.stats().hits, 2, "memo hits count as shard hits");
+        assert_eq!(cache.stats().ttl_resets, 1);
     }
 
     #[test]

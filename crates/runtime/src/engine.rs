@@ -43,13 +43,18 @@ use muppet_slatestore::cluster::StoreCluster;
 use muppet_slatestore::ring::{ConsistentRing, EpochRing};
 use parking_lot::{Condvar, Mutex, RwLock};
 
-use crate::cache::{FlushPolicy, NullBackend, SlateBackend, SlateCache};
+use crate::cache::{FlushPolicy, NullBackend, SlateBackend, SlateCache, SlateSlot};
 use crate::dispatch::{choose_between, RouteHash};
 use crate::master::Master;
 use crate::metrics::{Histogram, LatencySummary};
 use crate::netstore::RemoteBackend;
 use crate::overflow::{DropLog, OverflowAction, OverflowPolicy};
 use crate::queue::EventQueue;
+
+/// Default lock-shard count for the Muppet 2.0 central slate cache.
+pub const DEFAULT_CACHE_SHARDS: usize = 8;
+/// Default per-worker queue drain batch (events per lock acquisition).
+pub const DEFAULT_DRAIN_BATCH: usize = 64;
 
 /// Which generation of Muppet to run (§4.5).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -109,6 +114,17 @@ pub struct EngineConfig {
     /// evenly across the machine's updater workers; 2.0 gives it to the
     /// central cache.
     pub slate_cache_capacity: usize,
+    /// Muppet 2.0: lock shards the central cache is split over (rounded
+    /// up to a power of two; the budget is pinned across shards). With one
+    /// shard every worker serializes on a single mutex — the pre-sharding
+    /// hot-path bottleneck. Muppet 1.0 per-worker caches have one owner
+    /// and always use a single shard.
+    pub cache_shards: usize,
+    /// Events a worker drains from its queue per lock acquisition (1 =
+    /// the pre-batching pop-per-event behaviour). Batching never *waits*
+    /// for a full batch — a drain returns whatever is queued — so it adds
+    /// no latency, only removes mutex + condvar round-trips.
+    pub drain_batch_max: usize,
     /// Flush policy for dirty slates.
     pub flush: FlushPolicy,
     /// Queue-overflow policy.
@@ -158,6 +174,8 @@ impl Default for EngineConfig {
             workers_per_op: 2,
             queue_capacity: 4096,
             slate_cache_capacity: 100_000,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            drain_batch_max: DEFAULT_DRAIN_BATCH,
             flush: FlushPolicy::default(),
             overflow: OverflowPolicy::default(),
             record_latency: true,
@@ -184,6 +202,8 @@ impl EngineConfig {
             workers_per_op: app.workers_per_machine, // 1.0 interpretation
             queue_capacity: app.queue_capacity,
             slate_cache_capacity: app.slate_cache_capacity,
+            cache_shards: DEFAULT_CACHE_SHARDS,
+            drain_batch_max: DEFAULT_DRAIN_BATCH,
             flush: match app.flush {
                 FlushSpec::WriteThrough => FlushPolicy::WriteThrough,
                 FlushSpec::IntervalMs(ms) => FlushPolicy::IntervalMs(ms),
@@ -378,6 +398,25 @@ pub struct EngineStats {
     pub dirty_slates: u64,
     /// Wire-level counters (all zero for the in-process transport).
     pub net: NetSummary,
+    /// Queue drain-batch sizes (how many events workers pop per lock
+    /// acquisition).
+    pub drain: DrainSummary,
+}
+
+/// Distribution of worker queue drain-batch sizes (events per
+/// `pop_many`). Percentiles are power-of-two bucket upper bounds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DrainSummary {
+    /// Non-empty drains.
+    pub drains: u64,
+    /// Mean batch size.
+    pub mean: u64,
+    /// Median batch size (bucket upper bound).
+    pub p50: u64,
+    /// 99th-percentile batch size (bucket upper bound).
+    pub p99: u64,
+    /// Largest single drain.
+    pub max: u64,
 }
 
 /// Snapshot of the TCP transport's counters (see `muppet_net::TcpStats`).
@@ -421,10 +460,11 @@ impl Machine {
             alive: AtomicBool::new(true),
             queues: (0..threads).map(|_| Arc::new(EventQueue::new(cfg.queue_capacity))).collect(),
             in_flight: (0..threads).map(|_| AtomicU64::new(0)).collect(),
-            central_cache: Some(Arc::new(SlateCache::new(
+            central_cache: Some(Arc::new(SlateCache::with_shards(
                 cfg.slate_cache_capacity,
                 cfg.flush,
                 Arc::clone(backend),
+                cfg.cache_shards.max(1),
             ))),
             worker_caches: (0..threads).map(|_| None).collect(),
             thread_ops: (0..threads).map(|_| None).collect(),
@@ -577,6 +617,8 @@ struct Shared {
     stopping: AtomicBool,
     counters: Counters,
     latency: Histogram,
+    /// Batch sizes of non-empty worker queue drains.
+    drain_hist: Histogram,
     drop_log: DropLog,
     start: Instant,
     /// Source-throttling gate: producers wait here when queues are full.
@@ -850,6 +892,7 @@ impl Engine {
             stopping: AtomicBool::new(false),
             counters: Counters::default(),
             latency: Histogram::new(),
+            drain_hist: Histogram::new(),
             drop_log: DropLog::new(1024),
             start: Instant::now(),
             throttle_mutex: Mutex::new(()),
@@ -941,10 +984,22 @@ impl Engine {
         }
         let injected_us = self.shared.now_us();
         self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
-        let subscribers = self.shared.wf.subscribers_of(stream.as_str()).to_vec();
-        for op in subscribers {
-            let packet =
-                Packet { op, event: event.clone(), injected_us, redirected: false, forwards: 0 };
+        // The workflow is immutable after start: iterate the subscriber
+        // slice directly (no per-event Vec) and move the event into the
+        // last packet instead of cloning it.
+        let subscribers = self.shared.wf.subscribers_of(stream.as_str());
+        if let Some((&last, rest)) = subscribers.split_last() {
+            for &op in rest {
+                let packet = Packet {
+                    op,
+                    event: event.clone(),
+                    injected_us,
+                    redirected: false,
+                    forwards: 0,
+                };
+                try_send(&self.shared, packet, true);
+            }
+            let packet = Packet { op: last, event, injected_us, redirected: false, forwards: 0 };
             try_send(&self.shared, packet, true);
         }
         Ok(())
@@ -1314,6 +1369,7 @@ impl Engine {
                 cache.ttl_resets += s.ttl_resets;
                 cache.entries += s.entries;
                 cache.dirty += s.dirty;
+                cache.shards += s.shards;
             };
             if let Some(central) = &m.central_cache {
                 add(central.stats());
@@ -1354,7 +1410,39 @@ impl Engine {
             cache,
             dirty_slates: dirty,
             net,
+            drain: {
+                let d = self.shared.drain_hist.summary();
+                DrainSummary {
+                    drains: d.count,
+                    mean: d.mean_us,
+                    p50: d.p50_us,
+                    p99: d.p99_us,
+                    max: d.max_us,
+                }
+            },
         }
+    }
+
+    /// Per-shard central-cache statistics, summed shard-wise across this
+    /// engine's local machines (Muppet 2.0; empty under Muppet 1.0, whose
+    /// per-worker caches are single-shard by construction).
+    pub fn cache_shard_stats(&self) -> Vec<crate::cache::ShardStats> {
+        let mut out: Vec<crate::cache::ShardStats> = Vec::new();
+        for m in &self.shared.machines_snapshot() {
+            if let Some(cache) = &m.central_cache {
+                let per = cache.shard_stats();
+                if out.len() < per.len() {
+                    out.resize(per.len(), crate::cache::ShardStats::default());
+                }
+                for (acc, s) in out.iter_mut().zip(per) {
+                    acc.hits += s.hits;
+                    acc.misses += s.misses;
+                    acc.entries += s.entries;
+                    acc.capacity += s.capacity;
+                }
+            }
+        }
+        out
     }
 
     /// Recent drop-log entries (§4.3: dropped events "can be logged for
@@ -1429,110 +1517,212 @@ fn spawn_flusher(shared: &Arc<Shared>, m: usize) -> std::thread::JoinHandle<()> 
 fn worker_loop(shared: Arc<Shared>, machine_id: usize, thread: usize) {
     let poll = Duration::from_millis(1);
     let machine = shared.machine(machine_id).expect("worker spawned for an existing machine");
+    let batch_max = shared.cfg.drain_batch_max.max(1);
+    let mut batch: Vec<Packet> = Vec::with_capacity(batch_max);
     loop {
         if !machine.alive.load(Ordering::Acquire) {
             return; // crashed machine: thread dies with it
         }
         if shared.stopping.load(Ordering::Acquire) {
             // Drain remaining work, then exit.
-            match machine.queues[thread].try_pop() {
-                Some(p) => process_packet(&shared, machine_id, thread, p),
-                None => return,
+            if machine.queues[thread].pop_many(&mut batch, batch_max, Duration::ZERO) == 0 {
+                return;
             }
+            process_batch(&shared, &machine, machine_id, thread, &mut batch);
             continue;
         }
-        if let Some(packet) = machine.queues[thread].pop_timeout(poll) {
-            process_packet(&shared, machine_id, thread, packet);
+        let n = machine.queues[thread].pop_many(&mut batch, batch_max, poll);
+        if n > 0 {
+            shared.drain_hist.record(n as u64);
+            process_batch(&shared, &machine, machine_id, thread, &mut batch);
         }
     }
 }
 
-fn process_packet(shared: &Arc<Shared>, machine_id: usize, thread: usize, packet: Packet) {
-    let machine = shared.machine(machine_id).expect("packet delivered to an existing machine");
-    // Muppet 1.0 invariant: a worker is bound to exactly one function.
-    debug_assert!(
-        machine.thread_ops[thread].is_none() || machine.thread_ops[thread] == Some(packet.op),
-        "1.0 worker received an event for a function it does not run"
-    );
-    let op_decl = shared.wf.op(packet.op);
-    let route = packet.event.key.route_hash(&op_decl.name);
-    machine.in_flight[thread].store(route.wrapping_add(1), Ordering::Release);
+/// A processed packet whose emissions have not fanned out yet. Fan-out
+/// re-enters the membership lock on the in-process send path, so while a
+/// run's read guard is held the follow-up work is parked here; the
+/// packet's in-flight count drops only once its emissions are enqueued
+/// (`finish_packet`), so `drain`/throttling never observe a gap.
+struct Finished {
+    op: OpId,
+    ts: u64,
+    injected_us: u64,
+    redirected: bool,
+    records: Vec<muppet_core::event::EmitRecord>,
+}
 
-    let mut emitter = VecEmitter::new();
-    match &shared.ops[packet.op] {
-        OpInstance::Map(mapper) => {
-            mapper.map(&mut emitter, &packet.event);
-        }
-        OpInstance::Update { updater, name, ttl_secs } => {
-            // Ownership check under the membership read lock, held across
-            // the whole slate mutation: a membership change (write lock)
-            // can only land between updates, never mid-update — so the
-            // prepare-phase flush sees every completed write, and no
-            // worker mutates a slate its machine has already handed off.
-            // Keys this machine no longer owns (a committed drop, or a
-            // *staged* epoch after this node flushed them) are forwarded
-            // to their current owner instead of being processed here.
-            let membership = shared.membership.read();
-            let (owner, fwd_hint) = match shared.cfg.kind {
-                EngineKind::Muppet2 => (membership.effective_owner2(route), None),
-                EngineKind::Muppet1 => {
-                    let slot = membership.effective_slot1(packet.op, route);
-                    (slot.map(|s| s.machine), slot.map(|s| s.thread))
-                }
-            };
-            if let Some(owner) = owner.filter(|&o| o != machine_id) {
-                drop(membership);
-                machine.in_flight[thread].store(0, Ordering::Release);
-                forward_packet(shared, packet, owner, fwd_hint);
-                shared.pending.fetch_sub(1, Ordering::AcqRel);
-                shared.throttle_cv.notify_all();
-                return;
-            }
-            let cache = match shared.cfg.kind {
-                EngineKind::Muppet2 => machine.central_cache.as_ref().expect("2.0 central cache"),
-                EngineKind::Muppet1 => {
-                    machine.worker_caches[thread].as_ref().expect("1.0 updater thread owns a cache")
-                }
-            };
-            let now = shared.now_us();
-            let slot = cache.get_or_load(packet.op, name, &packet.event.key, *ttl_secs, now);
-            {
-                let mut state = slot.state.lock();
-                updater.update(&mut emitter, &packet.event, &mut state.slate);
-                cache.note_write(&slot, &mut state, now);
-            }
-            drop(membership);
-            if shared.cfg.record_latency {
-                shared.latency.record(shared.now_us().saturating_sub(packet.injected_us));
-            }
-        }
-    }
-    shared.counters.processed.fetch_add(1, Ordering::Relaxed);
-    machine.in_flight[thread].store(0, Ordering::Release);
-
-    // Admit emissions: ts = input ts + 1 (§3), fan out to subscribers.
-    let records = emitter.take();
-    for rec in records {
+/// Admit one finished packet's emissions (ts = input ts + 1, §3) and
+/// retire it from the in-flight count.
+fn finish_packet(shared: &Arc<Shared>, done: Finished) {
+    for rec in done.records {
         shared.counters.emitted.fetch_add(1, Ordering::Relaxed);
         if shared.wf.is_external(rec.stream.as_str()) || !shared.wf.has_stream(rec.stream.as_str())
         {
             shared.counters.publish_errors.fetch_add(1, Ordering::Relaxed);
-            shared.drop_log.log(format!("illegal publish to {} from {}", rec.stream, op_decl.name));
+            shared.drop_log.log(format!(
+                "illegal publish to {} from {}",
+                rec.stream,
+                shared.wf.op(done.op).name
+            ));
             continue;
         }
         let out = Event {
             stream: rec.stream.clone(),
-            ts: packet.event.ts + 1,
+            ts: done.ts + 1,
             key: rec.key,
             value: rec.value,
             seq: 0,
         };
-        fan_out(shared, &rec.stream, out, packet.injected_us, packet.redirected);
+        fan_out(shared, &rec.stream, out, done.injected_us, done.redirected);
     }
-
-    // This packet is done.
     shared.pending.fetch_sub(1, Ordering::AcqRel);
     shared.throttle_cv.notify_all();
+}
+
+/// Process one drained batch. The updater packets of a batch share a
+/// single membership read guard (a *run*; mapper packets need no lock and
+/// pass through without closing it), and consecutive same-⟨op, key⟩
+/// updater packets reuse the previous packet's cache slot (the memo)
+/// without touching the shard lock — the per-event costs the batch
+/// amortizes. Every packet's fan-out is deferred while the guard is held
+/// (the in-process send path re-enters the membership lock) and flushed
+/// when the run closes: at a packet that must be forwarded, and at batch
+/// end. The memo dies with the guard, because slate handoffs
+/// (`take_matching`) run under the membership *write* lock and so can
+/// only interleave between runs, never inside one.
+fn process_batch(
+    shared: &Arc<Shared>,
+    machine: &Arc<Machine>,
+    machine_id: usize,
+    thread: usize,
+    batch: &mut Vec<Packet>,
+) {
+    let mut memo: Option<(OpId, Key, Arc<SlateSlot>)> = None;
+    let mut finished: Vec<Finished> = Vec::new();
+    let mut guard: Option<parking_lot::RwLockReadGuard<'_, Membership>> = None;
+    for packet in batch.drain(..) {
+        // Muppet 1.0 invariant: a worker is bound to exactly one function.
+        debug_assert!(
+            machine.thread_ops[thread].is_none() || machine.thread_ops[thread] == Some(packet.op),
+            "1.0 worker received an event for a function it does not run"
+        );
+        let route = packet.event.key.route_hash(&shared.wf.op(packet.op).name);
+        machine.in_flight[thread].store(route.wrapping_add(1), Ordering::Release);
+        match &shared.ops[packet.op] {
+            OpInstance::Map(mapper) => {
+                // Mappers need no membership lock; an open updater run's
+                // guard is left in place and the mapper's fan-out joins
+                // the deferred queue like everyone else's.
+                let mut emitter = VecEmitter::new();
+                mapper.map(&mut emitter, &packet.event);
+                shared.counters.processed.fetch_add(1, Ordering::Relaxed);
+                machine.in_flight[thread].store(0, Ordering::Release);
+                finished.push(Finished {
+                    op: packet.op,
+                    ts: packet.event.ts,
+                    injected_us: packet.injected_us,
+                    redirected: packet.redirected,
+                    records: emitter.take(),
+                });
+            }
+            OpInstance::Update { updater, name, ttl_secs } => {
+                // With a store backend attached, a memo-missing packet's
+                // get_or_load below may do real I/O (disk, or a remote
+                // store RPC). Close the run first so a waiting membership
+                // writer (join prepare/commit) gets in between I/O-bound
+                // packets — the pre-batching cadence — instead of stalling
+                // behind a whole batch of sequential loads. Store-less
+                // engines load from memory in microseconds and keep the
+                // full run amortization.
+                let memo_hit = matches!(&memo, Some((m_op, m_key, _))
+                    if *m_op == packet.op && *m_key == packet.event.key);
+                if shared.has_backend && guard.is_some() && !memo_hit {
+                    memo = None;
+                    drop(guard.take());
+                    for done in finished.drain(..) {
+                        finish_packet(shared, done);
+                    }
+                }
+                // Ownership check under the membership read lock, held
+                // across the whole slate mutation (and, amortized, across
+                // the run): a membership change (write lock) can only land
+                // between runs, never mid-update — so the prepare-phase
+                // flush sees every completed write, and no worker mutates
+                // a slate its machine has already handed off. Keys this
+                // machine no longer owns (a committed drop, or a *staged*
+                // epoch after this node flushed them) are forwarded to
+                // their current owner instead of being processed here.
+                let membership = guard.get_or_insert_with(|| shared.membership.read());
+                let (owner, fwd_hint) = match shared.cfg.kind {
+                    EngineKind::Muppet2 => (membership.effective_owner2(route), None),
+                    EngineKind::Muppet1 => {
+                        let slot = membership.effective_slot1(packet.op, route);
+                        (slot.map(|s| s.machine), slot.map(|s| s.thread))
+                    }
+                };
+                if let Some(owner) = owner.filter(|&o| o != machine_id) {
+                    // Forwarding re-enters the transport (and, in-process,
+                    // the membership lock): close the run first.
+                    memo = None;
+                    drop(guard.take());
+                    for done in finished.drain(..) {
+                        finish_packet(shared, done);
+                    }
+                    machine.in_flight[thread].store(0, Ordering::Release);
+                    forward_packet(shared, packet, owner, fwd_hint);
+                    shared.pending.fetch_sub(1, Ordering::AcqRel);
+                    shared.throttle_cv.notify_all();
+                    continue;
+                }
+                let cache = match shared.cfg.kind {
+                    EngineKind::Muppet2 => {
+                        machine.central_cache.as_ref().expect("2.0 central cache")
+                    }
+                    EngineKind::Muppet1 => machine.worker_caches[thread]
+                        .as_ref()
+                        .expect("1.0 updater thread owns a cache"),
+                };
+                let now = shared.now_us();
+                let slot = match &memo {
+                    Some((m_op, m_key, m_slot))
+                        if *m_op == packet.op && *m_key == packet.event.key =>
+                    {
+                        cache.note_memo_hit(packet.op, m_slot, now);
+                        Arc::clone(m_slot)
+                    }
+                    _ => {
+                        let s =
+                            cache.get_or_load(packet.op, name, &packet.event.key, *ttl_secs, now);
+                        memo = Some((packet.op, packet.event.key.clone(), Arc::clone(&s)));
+                        s
+                    }
+                };
+                let mut emitter = VecEmitter::new();
+                {
+                    let mut state = slot.state.lock();
+                    updater.update(&mut emitter, &packet.event, &mut state.slate);
+                    cache.note_write(&slot, &mut state, now);
+                }
+                if shared.cfg.record_latency {
+                    shared.latency.record(shared.now_us().saturating_sub(packet.injected_us));
+                }
+                shared.counters.processed.fetch_add(1, Ordering::Relaxed);
+                machine.in_flight[thread].store(0, Ordering::Release);
+                finished.push(Finished {
+                    op: packet.op,
+                    ts: packet.event.ts,
+                    injected_us: packet.injected_us,
+                    redirected: packet.redirected,
+                    records: emitter.take(),
+                });
+            }
+        }
+    }
+    drop(guard.take());
+    for done in finished.drain(..) {
+        finish_packet(shared, done);
+    }
 }
 
 /// Re-send a packet whose key this machine no longer owns to its current
@@ -1583,9 +1773,14 @@ fn fan_out(
     injected_us: u64,
     redirected: bool,
 ) {
-    let subscribers = shared.wf.subscribers_of(stream.as_str()).to_vec();
-    for op in subscribers {
-        let packet = Packet { op, event: event.clone(), injected_us, redirected, forwards: 0 };
+    // No per-event Vec, no clone for the final (usually only) subscriber.
+    let subscribers = shared.wf.subscribers_of(stream.as_str());
+    if let Some((&last, rest)) = subscribers.split_last() {
+        for &op in rest {
+            let packet = Packet { op, event: event.clone(), injected_us, redirected, forwards: 0 };
+            try_send(shared, packet, false);
+        }
+        let packet = Packet { op: last, event, injected_us, redirected, forwards: 0 };
         try_send(shared, packet, false);
     }
 }

@@ -83,6 +83,25 @@ impl SlateReader for crate::engine::Engine {
             ("machines", Json::num(self.machine_count() as f64)),
             ("max_queue_high_water", Json::num(self.max_queue_high_water() as f64)),
             ("cache_entries", Json::num(s.cache.entries as f64)),
+            ("cache_hits", Json::num(s.cache.hits as f64)),
+            ("cache_misses", Json::num(s.cache.misses as f64)),
+            // Per-machine shard count — the length of cache_shard_hits
+            // below (EngineStats::cache.shards is the cross-machine sum).
+            ("cache_shards", Json::num(self.cache_shard_stats().len() as f64)),
+            ("drain_batches", Json::num(s.drain.drains as f64)),
+            ("drain_batch_mean", Json::num(s.drain.mean as f64)),
+            ("drain_batch_p50", Json::num(s.drain.p50 as f64)),
+            ("drain_batch_p99", Json::num(s.drain.p99 as f64)),
+            ("drain_batch_max", Json::num(s.drain.max as f64)),
+            (
+                "cache_shard_hits",
+                Json::Arr(
+                    self.cache_shard_stats()
+                        .into_iter()
+                        .map(|sh| Json::num(sh.hits as f64))
+                        .collect(),
+                ),
+            ),
             ("p99_latency_us", Json::num(s.latency.p99_us as f64)),
             ("net_frames_sent", Json::num(s.net.frames_sent as f64)),
             ("net_batches_sent", Json::num(s.net.batches_sent as f64)),

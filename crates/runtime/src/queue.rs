@@ -85,6 +85,26 @@ impl<T> EventQueue<T> {
         item
     }
 
+    /// Pop up to `max` items in one lock acquisition, appending to `out`;
+    /// waits up to `timeout` when the queue is empty. Returns the number
+    /// of items popped (0 on timeout). This is the batch-drain fast path:
+    /// a worker amortizes the mutex + condvar round-trip over a whole run
+    /// of queued events instead of paying it per event. No added latency —
+    /// the call returns whatever is queued, it never waits to fill `max`.
+    pub fn pop_many(&self, out: &mut Vec<T>, max: usize, timeout: Duration) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut q = self.inner.lock();
+        if q.is_empty() {
+            self.nonempty.wait_for(&mut q, timeout);
+        }
+        let n = q.len().min(max);
+        out.extend(q.drain(..n));
+        self.len_hint.store(q.len(), Ordering::Relaxed);
+        n
+    }
+
     /// Non-blocking pop.
     pub fn try_pop(&self) -> Option<T> {
         let mut q = self.inner.lock();
@@ -173,6 +193,43 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.push(42u32).unwrap();
         assert_eq!(waiter.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn pop_many_drains_up_to_max_in_order() {
+        let q = EventQueue::new(100);
+        for i in 0..10 {
+            q.push(i).unwrap();
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_many(&mut out, 4, Duration::from_millis(1)), 4);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(q.len_hint(), 6);
+        // Appends to the buffer; takes everything left when max exceeds it.
+        assert_eq!(q.pop_many(&mut out, 100, Duration::from_millis(1)), 6);
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+        assert!(q.is_empty());
+        // Empty queue: waits, then returns 0.
+        let t0 = std::time::Instant::now();
+        assert_eq!(q.pop_many(&mut out, 4, Duration::from_millis(20)), 0);
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+        assert_eq!(q.pop_many(&mut out, 0, Duration::from_secs(5)), 0, "max=0 returns at once");
+    }
+
+    #[test]
+    fn pop_many_wakes_on_push() {
+        let q = Arc::new(EventQueue::new(8));
+        let q2 = Arc::clone(&q);
+        let waiter = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let n = q2.pop_many(&mut out, 8, Duration::from_secs(5));
+            (n, out)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(7u32).unwrap();
+        let (n, out) = waiter.join().unwrap();
+        assert!(n >= 1);
+        assert_eq!(out[0], 7);
     }
 
     #[test]

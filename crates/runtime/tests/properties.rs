@@ -117,6 +117,47 @@ proptest! {
         prop_assert_eq!(mean, true_mean);
     }
 
+    // ---------- sharded slate cache vs single shard ----------
+
+    #[test]
+    fn sharded_cache_reads_match_single_shard(
+        shards in 1usize..16,
+        writes in proptest::collection::vec(("[a-h]", "[0-9a-f]{1,6}"), 1..60),
+    ) {
+        use muppet_runtime::cache::{FlushPolicy, NullBackend, SlateCache};
+        use muppet_core::event::Key;
+        use std::sync::Arc;
+        // Ample capacity (no evictions): splitting the lock must be
+        // invisible — every read returns exactly what a single-shard
+        // cache returns, and entry accounting agrees.
+        let single = SlateCache::new(1024, FlushPolicy::OnEvict, Arc::new(NullBackend));
+        let sharded =
+            SlateCache::with_shards(1024, FlushPolicy::OnEvict, Arc::new(NullBackend), shards);
+        let name: Arc<str> = Arc::from("U1");
+        for (i, (key, value)) in writes.iter().enumerate() {
+            let key = Key::from(key.as_str());
+            for cache in [&single, &sharded] {
+                let slot = cache.get_or_load(0, &name, &key, None, i as u64);
+                let mut state = slot.state.lock();
+                state.slate.replace(value.clone().into_bytes());
+                cache.note_write(&slot, &mut state, i as u64);
+            }
+        }
+        for (key, _) in &writes {
+            let key = Key::from(key.as_str());
+            prop_assert_eq!(single.read(0, &key), sharded.read(0, &key));
+        }
+        let (a, b) = (single.stats(), sharded.stats());
+        prop_assert_eq!(a.entries, b.entries);
+        prop_assert_eq!(a.hits + a.misses, b.hits + b.misses);
+        prop_assert_eq!(a.dirty, b.dirty);
+        let mut keys_a = single.keys_of(0);
+        let mut keys_b = sharded.keys_of(0);
+        keys_a.sort();
+        keys_b.sort();
+        prop_assert_eq!(keys_a, keys_b);
+    }
+
     // ---------- overflow decisions ----------
 
     #[test]
