@@ -14,6 +14,7 @@
 
 use std::io::{self, Read, Write};
 
+use bytes::Bytes;
 use muppet_core::codec::{
     self, get_event, get_len_prefixed, get_varint, put_event, put_len_prefixed, put_varint,
 };
@@ -94,6 +95,30 @@ pub struct MembershipUpdate {
     pub nodes: Vec<NodeSpec>,
 }
 
+/// One slate write inside a [`Frame::StorePutBatch`] — the wire image of
+/// a dirty-slate snapshot headed for the store host.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorePutItem {
+    /// Update function (store column).
+    pub updater: String,
+    /// Event key (store row).
+    pub key: Vec<u8>,
+    /// Slate bytes — refcounted, so a flush snapshot moves from the
+    /// slate cache into the frame without copying the payload.
+    pub value: Bytes,
+    /// Slate TTL, if the updater configured one.
+    pub ttl_secs: Option<u64>,
+}
+
+/// One slate read inside a [`Frame::StoreGetBatch`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreGetItem {
+    /// Update function (store column).
+    pub updater: String,
+    /// Event key (store row).
+    pub key: Vec<u8>,
+}
+
 /// One protocol message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
@@ -140,11 +165,26 @@ pub enum Frame {
     StoreValue { value: Option<Vec<u8>> },
     /// Response to [`Frame::StorePut`].
     StoreAck,
+    /// Persist a run of slates on the store-hosting node in ONE framed
+    /// round trip (the §4.2 write-behind flush: a tick's dirty set crosses
+    /// the wire as one frame, one CRC, one syscall — the store-path twin
+    /// of [`Frame::EventBatch`]). Semantically identical to the same cells
+    /// sent as individual [`Frame::StorePut`]s, which remain accepted.
+    StorePutBatch { items: Vec<StorePutItem>, now_us: u64 },
+    /// Response to [`Frame::StorePutBatch`]: per-item success, in order
+    /// (false = the store refused that cell; the sender keeps it dirty).
+    StoreAckBatch { ok: Vec<bool> },
+    /// Load a run of slates from the store-hosting node in one round trip.
+    StoreGetBatch { items: Vec<StoreGetItem>, now_us: u64 },
+    /// Response to [`Frame::StoreGetBatch`]: per-item values, in order.
+    StoreValueBatch { values: Vec<Option<Vec<u8>>> },
 }
 
-/// Protocol version carried in [`Frame::Hello`]. v2: epoch-stamped
-/// failure frames + the membership (elastic join) frames.
-pub const PROTOCOL_VERSION: u64 = 2;
+/// Protocol version carried in [`Frame::Hello`]. v3: batched store frames
+/// (`StorePutBatch`/`StoreGetBatch` + responses); v2 added epoch-stamped
+/// failure frames + the membership (elastic join) frames. The unbatched
+/// store frames remain in the protocol and are still accepted.
+pub const PROTOCOL_VERSION: u64 = 3;
 
 const KIND_HELLO: u8 = 1;
 const KIND_EVENT: u8 = 2;
@@ -161,6 +201,10 @@ const KIND_JOIN: u8 = 12;
 const KIND_MEMBERSHIP: u8 = 13;
 const KIND_MEMBERSHIP_ACK: u8 = 14;
 const KIND_MEMBERSHIP_NACK: u8 = 15;
+const KIND_STORE_PUT_BATCH: u8 = 16;
+const KIND_STORE_ACK_BATCH: u8 = 17;
+const KIND_STORE_GET_BATCH: u8 = 18;
+const KIND_STORE_VALUE_BATCH: u8 = 19;
 
 /// The encoded floor of one event inside a batch (op + injected_us +
 /// flags + hint tag + the event's own fixed fields) — used to bound the
@@ -398,6 +442,40 @@ impl Frame {
                 put_opt_bytes(&mut out, value);
             }
             Frame::StoreAck => out.push(KIND_STORE_ACK),
+            Frame::StorePutBatch { items, now_us } => {
+                out.push(KIND_STORE_PUT_BATCH);
+                put_varint(&mut out, items.len() as u64);
+                for item in items {
+                    put_len_prefixed(&mut out, item.updater.as_bytes());
+                    put_len_prefixed(&mut out, &item.key);
+                    put_len_prefixed(&mut out, &item.value);
+                    put_opt_varint(&mut out, item.ttl_secs);
+                }
+                put_varint(&mut out, *now_us);
+            }
+            Frame::StoreAckBatch { ok } => {
+                out.push(KIND_STORE_ACK_BATCH);
+                put_varint(&mut out, ok.len() as u64);
+                for &b in ok {
+                    out.push(u8::from(b));
+                }
+            }
+            Frame::StoreGetBatch { items, now_us } => {
+                out.push(KIND_STORE_GET_BATCH);
+                put_varint(&mut out, items.len() as u64);
+                for item in items {
+                    put_len_prefixed(&mut out, item.updater.as_bytes());
+                    put_len_prefixed(&mut out, &item.key);
+                }
+                put_varint(&mut out, *now_us);
+            }
+            Frame::StoreValueBatch { values } => {
+                out.push(KIND_STORE_VALUE_BATCH);
+                put_varint(&mut out, values.len() as u64);
+                for value in values {
+                    put_opt_bytes(&mut out, value);
+                }
+            }
         }
         out
     }
@@ -560,6 +638,77 @@ impl Frame {
                 expect_consumed(rest, 0)?;
                 Frame::StoreAck
             }
+            KIND_STORE_PUT_BATCH => {
+                let (count, mut at) = get_varint(rest)?;
+                // Cap the pre-allocation by what the buffer could possibly
+                // hold (≥4 bytes per item: three length prefixes + the ttl
+                // tag) — a corrupt count must not trigger a huge reserve.
+                let possible = rest.len() / 4 + 1;
+                let mut items = Vec::with_capacity((count as usize).min(possible));
+                for _ in 0..count {
+                    let (updater, n) = get_len_prefixed(&rest[at..])?;
+                    let updater = std::str::from_utf8(updater).ok()?.to_string();
+                    at += n;
+                    let (key, n) = get_len_prefixed(&rest[at..])?;
+                    let key = key.to_vec();
+                    at += n;
+                    let (value, n) = get_len_prefixed(&rest[at..])?;
+                    let value = Bytes::copy_from_slice(value);
+                    at += n;
+                    let (ttl_secs, n) = get_opt_varint(&rest[at..])?;
+                    at += n;
+                    items.push(StorePutItem { updater, key, value, ttl_secs });
+                }
+                let (now_us, n) = get_varint(&rest[at..])?;
+                at += n;
+                expect_consumed(rest, at)?;
+                Frame::StorePutBatch { items, now_us }
+            }
+            KIND_STORE_ACK_BATCH => {
+                let (count, mut at) = get_varint(rest)?;
+                let possible = rest.len() + 1;
+                let mut ok = Vec::with_capacity((count as usize).min(possible));
+                for _ in 0..count {
+                    match *rest.get(at)? {
+                        0 => ok.push(false),
+                        1 => ok.push(true),
+                        _ => return None,
+                    }
+                    at += 1;
+                }
+                expect_consumed(rest, at)?;
+                Frame::StoreAckBatch { ok }
+            }
+            KIND_STORE_GET_BATCH => {
+                let (count, mut at) = get_varint(rest)?;
+                let possible = rest.len() / 2 + 1;
+                let mut items = Vec::with_capacity((count as usize).min(possible));
+                for _ in 0..count {
+                    let (updater, n) = get_len_prefixed(&rest[at..])?;
+                    let updater = std::str::from_utf8(updater).ok()?.to_string();
+                    at += n;
+                    let (key, n) = get_len_prefixed(&rest[at..])?;
+                    let key = key.to_vec();
+                    at += n;
+                    items.push(StoreGetItem { updater, key });
+                }
+                let (now_us, n) = get_varint(&rest[at..])?;
+                at += n;
+                expect_consumed(rest, at)?;
+                Frame::StoreGetBatch { items, now_us }
+            }
+            KIND_STORE_VALUE_BATCH => {
+                let (count, mut at) = get_varint(rest)?;
+                let possible = rest.len() + 1;
+                let mut values = Vec::with_capacity((count as usize).min(possible));
+                for _ in 0..count {
+                    let (value, n) = get_opt_bytes(&rest[at..])?;
+                    at += n;
+                    values.push(value);
+                }
+                expect_consumed(rest, at)?;
+                Frame::StoreValueBatch { values }
+            }
             _ => return None,
         };
         Some(frame)
@@ -701,6 +850,34 @@ mod tests {
             Frame::StoreGet { updater: "counter".into(), key: b"k".to_vec(), now_us: 5 },
             Frame::StoreValue { value: Some(vec![9]) },
             Frame::StoreAck,
+            Frame::StorePutBatch { items: Vec::new(), now_us: 0 },
+            Frame::StorePutBatch {
+                items: vec![
+                    StorePutItem {
+                        updater: "counter".into(),
+                        key: b"walmart".to_vec(),
+                        value: Bytes::from_static(b"42"),
+                        ttl_secs: Some(60),
+                    },
+                    StorePutItem {
+                        updater: "topics".into(),
+                        key: Vec::new(),
+                        value: Bytes::new(),
+                        ttl_secs: None,
+                    },
+                ],
+                now_us: 9_000,
+            },
+            Frame::StoreAckBatch { ok: vec![true, false, true] },
+            Frame::StoreAckBatch { ok: Vec::new() },
+            Frame::StoreGetBatch {
+                items: vec![
+                    StoreGetItem { updater: "counter".into(), key: b"a".to_vec() },
+                    StoreGetItem { updater: "counter".into(), key: b"b".to_vec() },
+                ],
+                now_us: 77,
+            },
+            Frame::StoreValueBatch { values: vec![Some(vec![1, 2]), None] },
         ]
     }
 

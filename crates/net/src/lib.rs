@@ -27,7 +27,9 @@ pub mod tcp;
 pub mod topology;
 pub mod transport;
 
-pub use frame::{Frame, MembershipPhase, MembershipUpdate, WireEvent, MAX_FORWARDS};
+pub use frame::{
+    Frame, MembershipPhase, MembershipUpdate, StoreGetItem, StorePutItem, WireEvent, MAX_FORWARDS,
+};
 pub use tcp::{BatchConfig, TcpListenerHandle, TcpStats, TcpTransport};
 pub use topology::{NodeSpec, Topology};
 pub use transport::{ClusterHandler, InProcessTransport, MachineId, NetError, Transport};

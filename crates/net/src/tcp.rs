@@ -44,7 +44,10 @@ use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex, RwLock};
 
-use crate::frame::{self, Frame, MembershipPhase, MembershipUpdate, WireEvent, MAX_FRAME_BYTES};
+use crate::frame::{
+    self, Frame, MembershipPhase, MembershipUpdate, StoreGetItem, StorePutItem, WireEvent,
+    MAX_FRAME_BYTES,
+};
 use crate::topology::{NodeSpec, Topology};
 use crate::transport::{ClusterHandler, HandlerSlot, MachineId, NetError, Transport};
 
@@ -816,6 +819,57 @@ impl Transport for TcpTransport {
             other => Err(NetError::Protocol(format!("expected StoreValue, got {other:?}"))),
         }
     }
+
+    fn store_put_many(
+        &self,
+        dest: MachineId,
+        items: Vec<StorePutItem>,
+        now_us: u64,
+    ) -> Result<Vec<bool>, NetError> {
+        if dest == self.local {
+            return match self.handler() {
+                Some(h) => Ok(h.backend_store_many(&items, now_us)),
+                None => Err(NetError::NoRoute(dest)),
+            };
+        }
+        // One framed round trip for the whole run — the flush tick's N
+        // dirty slates cost one request frame and one reply, not N; the
+        // owned items move straight into the frame (no payload re-copy).
+        let sent = items.len();
+        let request = Frame::StorePutBatch { items, now_us };
+        match self.exchange(dest, &request, true)? {
+            Some(Frame::StoreAckBatch { ok }) if ok.len() == sent => Ok(ok),
+            Some(Frame::StoreAckBatch { ok }) => Err(NetError::Protocol(format!(
+                "StoreAckBatch length mismatch: sent {sent}, acked {}",
+                ok.len()
+            ))),
+            other => Err(NetError::Protocol(format!("expected StoreAckBatch, got {other:?}"))),
+        }
+    }
+
+    fn store_get_many(
+        &self,
+        dest: MachineId,
+        items: Vec<StoreGetItem>,
+        now_us: u64,
+    ) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+        if dest == self.local {
+            return match self.handler() {
+                Some(h) => Ok(h.backend_load_many(&items, now_us)),
+                None => Err(NetError::NoRoute(dest)),
+            };
+        }
+        let asked = items.len();
+        let request = Frame::StoreGetBatch { items, now_us };
+        match self.exchange(dest, &request, true)? {
+            Some(Frame::StoreValueBatch { values }) if values.len() == asked => Ok(values),
+            Some(Frame::StoreValueBatch { values }) => Err(NetError::Protocol(format!(
+                "StoreValueBatch length mismatch: asked {asked}, got {}",
+                values.len()
+            ))),
+            other => Err(NetError::Protocol(format!("expected StoreValueBatch, got {other:?}"))),
+        }
+    }
 }
 
 /// A running frame listener; dropping it stops the node's inbound wire
@@ -955,10 +1009,18 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
             Frame::StoreGet { updater, key, now_us } => {
                 Some(Frame::StoreValue { value: handler.backend_load(&updater, &key, now_us) })
             }
+            Frame::StorePutBatch { items, now_us } => {
+                Some(Frame::StoreAckBatch { ok: handler.backend_store_many(&items, now_us) })
+            }
+            Frame::StoreGetBatch { items, now_us } => {
+                Some(Frame::StoreValueBatch { values: handler.backend_load_many(&items, now_us) })
+            }
             // Reply kinds arriving as requests: protocol violation.
             Frame::SlateValue { .. }
             | Frame::StoreValue { .. }
             | Frame::StoreAck
+            | Frame::StoreAckBatch { .. }
+            | Frame::StoreValueBatch { .. }
             | Frame::MembershipAck { .. }
             | Frame::MembershipNack { .. } => return,
         };
@@ -1175,6 +1237,34 @@ mod tests {
         assert_eq!(t1.store_get(0, "U1", b"k1", 0).unwrap(), Some(b"v1".to_vec()));
         assert_eq!(t1.store_get(0, "U1", b"nope", 0).unwrap(), None);
         assert_eq!(h0.store.lock().len(), 1);
+    }
+
+    #[test]
+    fn store_batches_are_one_round_trip_each() {
+        let (_t0, t1, h0, _h1, _l0, _l1) = pair();
+        let before = t1.stats().frames_sent.load(Ordering::Relaxed);
+        let items: Vec<StorePutItem> = (0..32)
+            .map(|i| StorePutItem {
+                updater: "U1".into(),
+                key: format!("k{i}").into_bytes(),
+                value: format!("v{i}").into_bytes().into(),
+                ttl_secs: None,
+            })
+            .collect();
+        let ok = t1.store_put_many(0, items, 5).unwrap();
+        assert_eq!(ok, vec![true; 32]);
+        assert_eq!(h0.store.lock().len(), 32, "every cell landed on the host");
+        let gets: Vec<StoreGetItem> = (0..33)
+            .map(|i| StoreGetItem { updater: "U1".into(), key: format!("k{i}").into_bytes() })
+            .collect();
+        let values = t1.store_get_many(0, gets, 6).unwrap();
+        assert_eq!(values.len(), 33);
+        for (i, v) in values.iter().take(32).enumerate() {
+            assert_eq!(v.as_deref(), Some(format!("v{i}").as_bytes()));
+        }
+        assert_eq!(values[32], None, "unknown keys read as None");
+        let frames = t1.stats().frames_sent.load(Ordering::Relaxed) - before;
+        assert_eq!(frames, 2, "32 puts + 33 gets = exactly two wire round trips");
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use std::fmt;
 use std::sync::{Arc, OnceLock, Weak};
 
-use crate::frame::{MembershipUpdate, WireEvent};
+use crate::frame::{MembershipUpdate, StoreGetItem, StorePutItem, WireEvent};
 
 /// Cluster-wide machine index (ring member id).
 pub type MachineId = usize;
@@ -115,6 +115,26 @@ pub trait ClusterHandler: Send + Sync + 'static {
     fn backend_load(&self, _updater: &str, _key: &[u8], _now_us: u64) -> Option<Vec<u8>> {
         None
     }
+
+    /// Persist a run of slates into the locally hosted store, returning
+    /// per-item success in order. Default: one [`ClusterHandler::backend_store`]
+    /// per item (the unbatched store path has no failure signal, so every
+    /// item reports true) — store hosts override this to group-commit the
+    /// run and report real per-cell outcomes.
+    fn backend_store_many(&self, items: &[StorePutItem], now_us: u64) -> Vec<bool> {
+        items
+            .iter()
+            .map(|item| {
+                self.backend_store(&item.updater, &item.key, &item.value, item.ttl_secs, now_us);
+                true
+            })
+            .collect()
+    }
+
+    /// Load a run of slates from the locally hosted store, in order.
+    fn backend_load_many(&self, items: &[StoreGetItem], now_us: u64) -> Vec<Option<Vec<u8>>> {
+        items.iter().map(|item| self.backend_load(&item.updater, &item.key, now_us)).collect()
+    }
 }
 
 /// A cluster wire: direct event passing, the master failure channel, and
@@ -197,6 +217,45 @@ pub trait Transport: Send + Sync + 'static {
         key: &[u8],
         now_us: u64,
     ) -> Result<Option<Vec<u8>>, NetError>;
+
+    /// Persist a run of slates on the store-hosting machine `dest` —
+    /// ideally in one wire round trip ([`crate::frame::Frame::StorePutBatch`]).
+    /// Items are taken by value so a frame-building transport never
+    /// re-copies the payload. Returns per-item success in order; an
+    /// `Err` means the whole batch may not have reached the store (the
+    /// caller keeps every slate dirty). Default: one
+    /// [`Transport::store_put`] per item, mapping that item's wire
+    /// failure to `false` — correct but unbatched.
+    fn store_put_many(
+        &self,
+        dest: MachineId,
+        items: Vec<StorePutItem>,
+        now_us: u64,
+    ) -> Result<Vec<bool>, NetError> {
+        Ok(items
+            .iter()
+            .map(|item| {
+                self.store_put(dest, &item.updater, &item.key, &item.value, item.ttl_secs, now_us)
+                    .is_ok()
+            })
+            .collect())
+    }
+
+    /// Load a run of slates from the store-hosting machine `dest` —
+    /// ideally one [`crate::frame::Frame::StoreGetBatch`] round trip.
+    /// Default: one [`Transport::store_get`] per item (wire failures read
+    /// as misses, the availability-first posture of the miss path).
+    fn store_get_many(
+        &self,
+        dest: MachineId,
+        items: Vec<StoreGetItem>,
+        now_us: u64,
+    ) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+        Ok(items
+            .iter()
+            .map(|item| self.store_get(dest, &item.updater, &item.key, now_us).ok().flatten())
+            .collect())
+    }
 }
 
 /// Shared late-registration slot for the engine handler.
@@ -338,6 +397,32 @@ impl Transport for InProcessTransport {
     ) -> Result<Option<Vec<u8>>, NetError> {
         match self.handler() {
             Some(h) => Ok(h.backend_load(updater, key, now_us)),
+            None => Err(NetError::NoRoute(dest)),
+        }
+    }
+
+    fn store_put_many(
+        &self,
+        dest: MachineId,
+        items: Vec<StorePutItem>,
+        now_us: u64,
+    ) -> Result<Vec<bool>, NetError> {
+        // One handler call for the whole run: the in-process store host
+        // group-commits it exactly like a remote one would.
+        match self.handler() {
+            Some(h) => Ok(h.backend_store_many(&items, now_us)),
+            None => Err(NetError::NoRoute(dest)),
+        }
+    }
+
+    fn store_get_many(
+        &self,
+        dest: MachineId,
+        items: Vec<StoreGetItem>,
+        now_us: u64,
+    ) -> Result<Vec<Option<Vec<u8>>>, NetError> {
+        match self.handler() {
+            Some(h) => Ok(h.backend_load_many(&items, now_us)),
             None => Err(NetError::NoRoute(dest)),
         }
     }

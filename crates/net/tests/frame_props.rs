@@ -9,7 +9,8 @@ use std::io::Cursor;
 use muppet_core::codec;
 use muppet_core::event::{Event, Key};
 use muppet_net::frame::{
-    Frame, MembershipPhase, MembershipUpdate, WireEvent, MAX_FORWARDS, MAX_FRAME_BYTES,
+    Frame, MembershipPhase, MembershipUpdate, StoreGetItem, StorePutItem, WireEvent, MAX_FORWARDS,
+    MAX_FRAME_BYTES,
 };
 use muppet_net::topology::NodeSpec;
 use proptest::prelude::*;
@@ -84,6 +85,26 @@ fn arb_opt_bytes() -> impl Strategy<Value = Option<Vec<u8>>> {
     proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64))
 }
 
+fn arb_store_put_item() -> impl Strategy<Value = StorePutItem> {
+    (
+        "[a-z][a-z0-9_-]{0,15}",
+        proptest::collection::vec(any::<u8>(), 0..48),
+        proptest::collection::vec(any::<u8>(), 0..128),
+        proptest::option::of(any::<u64>()),
+    )
+        .prop_map(|(updater, key, value, ttl_secs)| StorePutItem {
+            updater,
+            key,
+            value: value.into(),
+            ttl_secs,
+        })
+}
+
+fn arb_store_get_item() -> impl Strategy<Value = StoreGetItem> {
+    ("[a-z][a-z0-9_-]{0,15}", proptest::collection::vec(any::<u8>(), 0..48))
+        .prop_map(|(updater, key)| StoreGetItem { updater, key })
+}
+
 fn arb_frame() -> BoxedStrategy<Frame> {
     let updater = "[a-z][a-z0-9_-]{0,15}";
     prop_oneof![
@@ -119,6 +140,13 @@ fn arb_frame() -> BoxedStrategy<Frame> {
             .prop_map(|(updater, key, now_us)| Frame::StoreGet { updater, key, now_us }),
         arb_opt_bytes().prop_map(|value| Frame::StoreValue { value }),
         Just(Frame::StoreAck),
+        (proptest::collection::vec(arb_store_put_item(), 0..8), any::<u64>())
+            .prop_map(|(items, now_us)| Frame::StorePutBatch { items, now_us }),
+        proptest::collection::vec(any::<bool>(), 0..32).prop_map(|ok| Frame::StoreAckBatch { ok }),
+        (proptest::collection::vec(arb_store_get_item(), 0..8), any::<u64>())
+            .prop_map(|(items, now_us)| Frame::StoreGetBatch { items, now_us }),
+        proptest::collection::vec(arb_opt_bytes(), 0..8)
+            .prop_map(|values| Frame::StoreValueBatch { values }),
     ]
     .boxed()
 }
@@ -214,6 +242,22 @@ proptest! {
         // body: the decoder caps its pre-allocation by the buffer size,
         // so even count = u64::MAX cannot reserve beyond ~buffer length.
         let mut payload = vec![11u8];
+        codec::put_varint(&mut payload, count);
+        payload.extend_from_slice(&body);
+        let _ = Frame::decode_payload(&payload);
+    }
+
+    #[test]
+    fn absurd_store_batch_counts_are_rejected_without_allocating(
+        kind in prop_oneof![Just(16u8), Just(17), Just(18), Just(19)],
+        count in any::<u64>(),
+        body in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        // The four store-batch kinds with an arbitrary count varint and a
+        // junk body: the per-item decode runs out of bytes and the
+        // pre-allocation is capped by the buffer length — clean rejection,
+        // no panic, no huge reserve.
+        let mut payload = vec![kind];
         codec::put_varint(&mut payload, count);
         payload.extend_from_slice(&body);
         let _ = Frame::decode_payload(&payload);

@@ -12,18 +12,33 @@
 //! slot's state while running the update function. Two-choice dispatch
 //! bounds contention on any slot to two workers (§4.5).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
+use std::time::Duration;
 
+use bytes::Bytes;
 use muppet_core::event::Key;
 use muppet_core::hash::fx64_pair;
 use muppet_core::slate::Slate;
 use muppet_core::workflow::OpId;
 use muppet_slatestore::cluster::StoreCluster;
 use muppet_slatestore::types::CellKey;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::lru::LruMap;
+use crate::metrics::Histogram;
+
+/// Default cap on one batched flush call (dirty slates per
+/// `store_many`; see [`crate::engine::EngineConfig::flush_batch_max`]).
+pub const DEFAULT_FLUSH_BATCH_MAX: usize = 256;
+
+/// Soft byte cap on one flush batch's payload: a batch closes early
+/// rather than approach the wire's 64 MB hard frame limit (an oversized
+/// `StorePutBatch` would be refused wholesale and rebuilt identically
+/// on every sweep — a flush livelock). A single slate over the cap
+/// still flushes alone.
+pub const FLUSH_BATCH_SOFT_BYTES: usize = 8 << 20;
 
 /// When dirty slates reach the key-value store (§4.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +60,22 @@ impl Default for FlushPolicy {
     }
 }
 
+/// One dirty-slate snapshot inside a batched flush: the bytes and
+/// identity a [`SlateBackend::store_many`] call persists. Snapshots are
+/// taken under the slot's state lock but *written* without it — a worker
+/// mutating the slate never waits on the (possibly remote) store write.
+#[derive(Clone, Debug)]
+pub struct FlushItem {
+    /// The update function's name (store column).
+    pub updater: Arc<str>,
+    /// The event key (store row).
+    pub key: Key,
+    /// The slate bytes at snapshot time.
+    pub bytes: Bytes,
+    /// TTL configured for this updater's slates.
+    pub ttl_secs: Option<u64>,
+}
+
 /// Where cache misses load from and flushes write to. Implemented by the
 /// slate-store cluster; tests may substitute an in-memory backend.
 pub trait SlateBackend: Send + Sync + 'static {
@@ -62,6 +93,26 @@ pub trait SlateBackend: Send + Sync + 'static {
         ttl_secs: Option<u64>,
         now_us: u64,
     ) -> bool;
+
+    /// Persist a run of slates, returning per-item success in order.
+    /// Batch-capable backends override this to turn a flush tick's dirty
+    /// set into one store round trip (one `StorePutBatch` frame over the
+    /// wire, one WAL group commit on the LSM node); the default falls
+    /// back to per-slate [`SlateBackend::store`] calls so existing
+    /// backends keep working unchanged.
+    fn store_many(&self, items: &[FlushItem], now_us: u64) -> Vec<bool> {
+        items
+            .iter()
+            .map(|item| self.store(&item.updater, &item.key, &item.bytes, item.ttl_secs, now_us))
+            .collect()
+    }
+
+    /// Load a run of slates, in order. Same batching contract as
+    /// [`SlateBackend::store_many`]; the default falls back to per-slate
+    /// loads.
+    fn load_many(&self, items: &[(Arc<str>, Key)], now_us: u64) -> Vec<Option<Vec<u8>>> {
+        items.iter().map(|(updater, key)| self.load(updater, key, now_us)).collect()
+    }
 }
 
 /// Backend that drops writes and never finds anything — engines without an
@@ -107,6 +158,34 @@ impl SlateBackend for StoreCluster {
         // A write failure keeps the slate dirty; a later flush retries.
         self.put(&cell_key, bytes, ttl_secs, now_us).is_ok()
     }
+
+    fn store_many(&self, items: &[FlushItem], now_us: u64) -> Vec<bool> {
+        // One `put_many`: cells grouped per storage node, each node's run
+        // WAL-group-committed (one fsync per batch under `sync_each`).
+        let cells: Vec<(CellKey, &[u8], Option<u64>)> = items
+            .iter()
+            .map(|item| {
+                (
+                    CellKey::new(item.key.as_bytes(), item.updater.as_bytes()),
+                    item.bytes.as_ref(),
+                    item.ttl_secs,
+                )
+            })
+            .collect();
+        self.put_many(&cells, now_us).into_iter().map(|r| r.is_ok()).collect()
+    }
+
+    fn load_many(&self, items: &[(Arc<str>, Key)], now_us: u64) -> Vec<Option<Vec<u8>>> {
+        let keys: Vec<CellKey> = items
+            .iter()
+            .map(|(updater, key)| CellKey::new(key.as_bytes(), updater.as_bytes()))
+            .collect();
+        // Quorum failures surface as misses (availability-first reads).
+        self.get_many(&keys, now_us)
+            .into_iter()
+            .map(|r| r.ok().flatten().map(|b| b.to_vec()))
+            .collect()
+    }
 }
 
 /// Mutable slate state guarded by the slot lock.
@@ -119,6 +198,21 @@ pub struct SlateState {
     pub flushed_version: u64,
     /// Engine-relative µs of the last updater write (drives TTL reset).
     pub last_write_us: u64,
+    /// Whether this slot is currently registered in its shard's dirty
+    /// index (guarded by the state lock, so the clean→dirty transition
+    /// registers exactly once — steady-state re-writes of an
+    /// already-dirty slate touch no extra lock).
+    indexed: bool,
+    /// A flush of this slot's snapshot is mid-flight to the backend
+    /// (guarded by the state lock). Concurrent flushes of one slot must
+    /// be refused: the backend write runs outside the state lock and the
+    /// store resolves same-key writes by arrival order, so two in-flight
+    /// snapshots could land newest-first and leave the STALE bytes
+    /// durable while the CAS marks the slot clean — a silently lost
+    /// update. (The pre-pipeline code serialized flushes by holding the
+    /// state lock across the write; this flag restores that exclusion
+    /// without the blocking.)
+    flushing: bool,
 }
 
 impl SlateState {
@@ -131,6 +225,8 @@ impl SlateState {
 /// One cached slate: identity + lockable state.
 #[derive(Debug)]
 pub struct SlateSlot {
+    /// The updater's workflow id (shard + dirty-index addressing).
+    pub op: OpId,
     /// The update function's name (store column).
     pub updater: Arc<str>,
     /// The event key (store row).
@@ -149,6 +245,9 @@ pub struct CacheCounters {
     flush_writes: AtomicU64,
     flush_failures: AtomicU64,
     ttl_resets: AtomicU64,
+    flush_batches: AtomicU64,
+    store_round_trips: AtomicU64,
+    miss_coalesced: AtomicU64,
 }
 
 /// Snapshot of [`CacheCounters`].
@@ -174,15 +273,73 @@ pub struct CacheStats {
     pub dirty: u64,
     /// Lock shards the cache's budget is split over.
     pub shards: u64,
+    /// Batched `store_many` calls issued by flush sweeps.
+    pub flush_batches: u64,
+    /// Median flush-batch size (power-of-two bucket upper bound).
+    pub flush_batch_p50: u64,
+    /// Largest single flush batch.
+    pub flush_batch_largest: u64,
+    /// Backend round trips (loads + stores + batched stores): over a
+    /// remote store host this is the wire-round-trip count of the slate
+    /// path.
+    pub store_round_trips: u64,
+    /// Concurrent misses on the same ⟨op, key⟩ that shared another miss's
+    /// in-flight backend load instead of stampeding the store.
+    pub miss_coalesced: u64,
 }
 
 /// One lock shard: its own LRU map, its slice of the capacity budget, and
 /// its own hit/miss counters (the `/status` observability surface).
 struct Shard {
     map: Mutex<LruMap<(OpId, Key), Arc<SlateSlot>>>,
+    /// The dirty index: slots with unpersisted writes, registered on the
+    /// clean→dirty transition. Flush sweeps drain this instead of walking
+    /// the whole map — a sweep's cost scales with the dirty set, not the
+    /// cache size. Weak so an index entry never pins a slot resident (the
+    /// eviction strong-count protocol stays exact).
+    dirty: Mutex<HashMap<(OpId, Key), Weak<SlateSlot>>>,
+    /// Single-flight read-through: ⟨op, key⟩s with a backend load already
+    /// in flight. Concurrent misses park on the flight instead of
+    /// stampeding the store with duplicate loads.
+    flights: Mutex<HashMap<(OpId, Key), Arc<Flight>>>,
     capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+}
+
+/// Outcome of one flush attempt of one slot.
+enum FlushOutcome {
+    /// The slot is persisted up to the snapshot (or was already clean).
+    Done,
+    /// Another flush of this slot is mid-flight; this attempt did not
+    /// write (the slot stays dirty and indexed for retry).
+    InFlight,
+    /// The backend refused the write; the slot stays dirty for retry.
+    Failed,
+}
+
+/// A single-flight ticket: the leader resolves it once its loaded slot is
+/// in the map; waiters block on it, then retry the map lookup.
+#[derive(Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Flight {
+    /// Block until the leader resolves the flight (re-checking
+    /// periodically so a wedged backend cannot strand waiters silently).
+    fn wait(&self) {
+        let mut done = self.done.lock();
+        while !*done {
+            self.cv.wait_for(&mut done, Duration::from_millis(50));
+        }
+    }
+
+    fn finish(&self) {
+        *self.done.lock() = true;
+        self.cv.notify_all();
+    }
 }
 
 /// Per-shard statistics snapshot.
@@ -211,7 +368,11 @@ pub struct SlateCache {
     shard_mask: u64,
     policy: FlushPolicy,
     backend: Arc<dyn SlateBackend>,
+    /// Dirty slates coalesced into one `store_many` call at most.
+    flush_batch_max: usize,
     counters: CacheCounters,
+    /// Distribution of flush-batch sizes (events per `store_many`).
+    flush_batch_hist: Histogram,
 }
 
 impl std::fmt::Debug for SlateCache {
@@ -247,6 +408,8 @@ impl SlateCache {
         let shards: Vec<Shard> = (0..n)
             .map(|i| Shard {
                 map: Mutex::new(LruMap::new()),
+                dirty: Mutex::new(HashMap::new()),
+                flights: Mutex::new(HashMap::new()),
                 capacity: base + usize::from(i < extra),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
@@ -257,8 +420,17 @@ impl SlateCache {
             shard_mask: (n - 1) as u64,
             policy,
             backend,
+            flush_batch_max: DEFAULT_FLUSH_BATCH_MAX,
             counters: CacheCounters::default(),
+            flush_batch_hist: Histogram::new(),
         }
+    }
+
+    /// Set the flush-batch cap: dirty slates coalesced into one backend
+    /// `store_many` call at most (1 = the per-slate write-behind path).
+    pub fn with_flush_batch(mut self, flush_batch_max: usize) -> Self {
+        self.flush_batch_max = flush_batch_max.max(1);
+        self
     }
 
     /// The flush policy.
@@ -285,9 +457,12 @@ impl SlateCache {
 
     /// Fetch (or create) the slot for ⟨updater `op`, `key`⟩. On a miss the
     /// backend is consulted ("Muppet retrieves the slate from the Cassandra
-    /// cluster", §4.2); if nothing is stored the slot starts empty and the
-    /// update function initializes it. Cached slates whose TTL lapsed reset
-    /// to empty ("resetting to an empty slate at that time").
+    /// cluster", §4.2) with single-flight read-through: the load runs with
+    /// no cache lock held, and concurrent misses on the same ⟨op, key⟩
+    /// share the one in-flight load instead of stampeding the store. If
+    /// nothing is stored the slot starts empty and the update function
+    /// initializes it. Cached slates whose TTL lapsed reset to empty
+    /// ("resetting to an empty slate at that time").
     pub fn get_or_load(
         &self,
         op: OpId,
@@ -297,67 +472,158 @@ impl SlateCache {
         now_us: u64,
     ) -> Arc<SlateSlot> {
         let shard = self.shard_of(op, key);
+        loop {
+            let flight = {
+                let mut map = shard.map.lock();
+                if let Some(slot) = map.get(&(op, key.clone())) {
+                    shard.hits.fetch_add(1, Ordering::Relaxed);
+                    let slot = Arc::clone(slot);
+                    drop(map);
+                    self.maybe_ttl_reset(&slot, now_us);
+                    return slot;
+                }
+                let mut flights = shard.flights.lock();
+                match flights.get(&(op, key.clone())) {
+                    Some(flight) => {
+                        // Another miss is already loading this slate from
+                        // the backend: share its flight.
+                        self.counters.miss_coalesced.fetch_add(1, Ordering::Relaxed);
+                        Arc::clone(flight)
+                    }
+                    None => {
+                        shard.misses.fetch_add(1, Ordering::Relaxed);
+                        flights.insert((op, key.clone()), Arc::new(Flight::default()));
+                        drop(flights);
+                        drop(map);
+                        return self.load_as_leader(shard, op, updater, key, ttl_secs, now_us);
+                    }
+                }
+            };
+            flight.wait();
+            // Retry: the leader's slot is (usually) a map hit now.
+        }
+    }
+
+    /// The leader half of single-flight read-through: consult the backend
+    /// with NO cache locks held, install the slot, resolve the flight,
+    /// then run the eviction protocol on any capacity excess.
+    #[allow(clippy::too_many_arguments)]
+    fn load_as_leader(
+        &self,
+        shard: &Shard,
+        op: OpId,
+        updater: &Arc<str>,
+        key: &Key,
+        ttl_secs: Option<u64>,
+        now_us: u64,
+    ) -> Arc<SlateSlot> {
+        /// Resolves the flight on every exit — including an unwinding
+        /// backend panic. A stranded flight would hang every future miss
+        /// on this key forever; with the guard, waiters wake, retry, and
+        /// (if the slot never landed) elect a fresh leader.
+        struct FlightGuard<'a> {
+            shard: &'a Shard,
+            key: (OpId, Key),
+        }
+        impl Drop for FlightGuard<'_> {
+            fn drop(&mut self) {
+                if let Some(flight) = self.shard.flights.lock().remove(&self.key) {
+                    flight.finish();
+                }
+            }
+        }
+        let guard = FlightGuard { shard, key: (op, key.clone()) };
+        let loaded = self.backend.load(updater, key, now_us);
+        self.counters.store_round_trips.fetch_add(1, Ordering::Relaxed);
+        if loaded.is_some() {
+            self.counters.store_loads.fetch_add(1, Ordering::Relaxed);
+        }
+        let slate = loaded.map(Slate::from_bytes).unwrap_or_default();
+        let flushed_version = slate.version();
+        let fresh = Arc::new(SlateSlot {
+            op,
+            updater: Arc::clone(updater),
+            key: key.clone(),
+            ttl_secs,
+            state: Mutex::new(SlateState {
+                slate,
+                flushed_version,
+                last_write_us: now_us,
+                indexed: false,
+                flushing: false,
+            }),
+        });
         let mut evicted: Vec<((OpId, Key), Arc<SlateSlot>)> = Vec::new();
         let slot = {
             let mut map = shard.map.lock();
-            if let Some(slot) = map.get(&(op, key.clone())) {
-                shard.hits.fetch_add(1, Ordering::Relaxed);
-                let slot = Arc::clone(slot);
+            if let Some(existing) = map.get(&(op, key.clone())) {
+                // An externally-built slot landed while we were loading
+                // (elastic handoff `insert_slot`): it carries live state —
+                // our freshly loaded copy is the stale one. Keep theirs.
+                let existing = Arc::clone(existing);
                 drop(map);
-                self.maybe_ttl_reset(&slot, now_us);
-                return slot;
+                return existing; // guard resolves the flight
             }
-            shard.misses.fetch_add(1, Ordering::Relaxed);
-            let loaded = self.backend.load(updater, key, now_us);
-            if loaded.is_some() {
-                self.counters.store_loads.fetch_add(1, Ordering::Relaxed);
-            }
-            let slate = loaded.map(Slate::from_bytes).unwrap_or_default();
-            let flushed_version = slate.version();
-            let slot = Arc::new(SlateSlot {
-                updater: Arc::clone(updater),
-                key: key.clone(),
-                ttl_secs,
-                state: Mutex::new(SlateState { slate, flushed_version, last_write_us: now_us }),
-            });
-            map.insert((op, key.clone()), Arc::clone(&slot));
-            // Select eviction victims beyond capacity — but keep them
-            // *resident*: each candidate is reinserted immediately (as
-            // MRU) and only leaves the map after its flush succeeds. A
-            // victim removed while dirty would open a window where a
-            // concurrent get_or_load re-creates the slot from the (still
-            // unwritten) backend and the slate forks. `pop_lru` moves
-            // the map's reference out, so an unborrowed victim has
-            // strong_count == 1; anything higher means a worker (or the
-            // local `slot` binding, for the entry we just inserted)
-            // still holds it — skip those, bounded so a fully-borrowed
-            // cache cannot spin.
-            let mut skipped: Vec<((OpId, Key), Arc<SlateSlot>)> = Vec::new();
-            let max_picks = map.len();
-            // Reinserting keeps `map.len()` constant, so the loop is
-            // bounded by the victim count (the capacity excess), not by
-            // the map shrinking.
-            let excess = map.len().saturating_sub(shard.capacity);
-            while evicted.len() < excess && evicted.len() + skipped.len() < max_picks {
-                let Some((k, victim)) = map.pop_lru() else { break };
-                if Arc::strong_count(&victim) > 1 {
-                    skipped.push((k, victim));
-                    continue;
-                }
-                map.insert(k.clone(), Arc::clone(&victim)); // stays resident until flushed
-                evicted.push((k, victim));
-            }
-            for (k, v) in skipped {
-                map.insert(k, v); // reinsert as MRU; retry next time
-            }
-            slot
+            map.insert((op, key.clone()), Arc::clone(&fresh));
+            self.pick_eviction_victims(shard, &mut map, &mut evicted);
+            Arc::clone(&fresh)
         };
-        // Flush the victims outside the map lock, then remove each from
-        // the map only if it was persisted and nobody raced us: the
-        // entry still holds this exact slot, no worker borrowed it
-        // meanwhile (count == map + our binding), and no write re-dirtied
-        // it. Anything else stays resident for the next sweep — a failed
-        // store write must never silently lose the update.
+        // Wake the waiters before the (possibly I/O-bound) victim flush.
+        drop(guard);
+        self.flush_and_remove_victims(shard, evicted, now_us);
+        slot
+    }
+
+    /// Select eviction victims beyond capacity (called with the shard map
+    /// locked) — but keep them *resident*: each candidate is reinserted
+    /// immediately (as MRU) and only leaves the map after its flush
+    /// succeeds. A victim removed while dirty would open a window where a
+    /// concurrent get_or_load re-creates the slot from the (still
+    /// unwritten) backend and the slate forks. `pop_lru` moves the map's
+    /// reference out, so an unborrowed victim has strong_count == 1;
+    /// anything higher means a worker (or the leader's fresh binding, for
+    /// the entry just inserted) still holds it — skip those, bounded so a
+    /// fully-borrowed cache cannot spin. (The dirty index holds only
+    /// `Weak` references, so being dirty never disguises a slot as
+    /// borrowed.)
+    fn pick_eviction_victims(
+        &self,
+        shard: &Shard,
+        map: &mut LruMap<(OpId, Key), Arc<SlateSlot>>,
+        evicted: &mut Vec<((OpId, Key), Arc<SlateSlot>)>,
+    ) {
+        let mut skipped: Vec<((OpId, Key), Arc<SlateSlot>)> = Vec::new();
+        let max_picks = map.len();
+        // Reinserting keeps `map.len()` constant, so the loop is
+        // bounded by the victim count (the capacity excess), not by
+        // the map shrinking.
+        let excess = map.len().saturating_sub(shard.capacity);
+        while evicted.len() < excess && evicted.len() + skipped.len() < max_picks {
+            let Some((k, victim)) = map.pop_lru() else { break };
+            if Arc::strong_count(&victim) > 1 {
+                skipped.push((k, victim));
+                continue;
+            }
+            map.insert(k.clone(), Arc::clone(&victim)); // stays resident until flushed
+            evicted.push((k, victim));
+        }
+        for (k, v) in skipped {
+            map.insert(k, v); // reinsert as MRU; retry next time
+        }
+    }
+
+    /// Flush the victims outside the map lock, then remove each from
+    /// the map only if it was persisted and nobody raced us: the
+    /// entry still holds this exact slot, no worker borrowed it
+    /// meanwhile (count == map + our binding), and no write re-dirtied
+    /// it. Anything else stays resident for the next sweep — a failed
+    /// store write must never silently lose the update.
+    fn flush_and_remove_victims(
+        &self,
+        shard: &Shard,
+        evicted: Vec<((OpId, Key), Arc<SlateSlot>)>,
+        now_us: u64,
+    ) {
         for (k, victim) in evicted {
             let flushed = self.flush_slot(&victim, now_us);
             let mut map = shard.map.lock();
@@ -371,7 +637,6 @@ impl SlateCache {
                 self.counters.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        slot
     }
 
     fn maybe_ttl_reset(&self, slot: &Arc<SlateSlot>, now_us: u64) {
@@ -395,32 +660,40 @@ impl SlateCache {
         self.maybe_ttl_reset(slot, now_us);
     }
 
-    /// Record a completed updater write on `slot`; under write-through this
-    /// persists immediately. A failed write-through leaves the slate dirty
-    /// (the eviction/shutdown flush retries it).
-    pub fn note_write(&self, slot: &SlateSlot, state: &mut SlateState, now_us: u64) {
-        state.last_write_us = now_us;
-        if self.policy == FlushPolicy::WriteThrough && state.dirty() {
-            if self.backend.store(
-                &slot.updater,
-                &slot.key,
-                state.slate.bytes(),
-                slot.ttl_secs,
-                now_us,
-            ) {
-                state.flushed_version = state.slate.version();
-                self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
-            } else {
-                self.counters.flush_failures.fetch_add(1, Ordering::Relaxed);
-            }
+    /// Register `slot` in its shard's dirty index if it is not already
+    /// there (caller holds the slot's state lock — the `indexed` flag
+    /// makes steady-state re-writes of an already-dirty slate free).
+    fn ensure_indexed(&self, slot: &Arc<SlateSlot>, state: &mut SlateState) {
+        if !state.indexed {
+            state.indexed = true;
+            self.shard_of(slot.op, &slot.key)
+                .dirty
+                .lock()
+                .insert((slot.op, slot.key.clone()), Arc::downgrade(slot));
         }
     }
 
-    /// Flush one slot if dirty. Returns false only when the backend write
-    /// failed — the slate stays dirty for a later retry.
-    fn flush_slot(&self, slot: &SlateSlot, now_us: u64) -> bool {
-        let mut state = slot.state.lock();
-        if state.dirty() {
+    /// Re-register `slot` unconditionally — the flush paths use this
+    /// after taking (or declining) a snapshot, when the `indexed` flag
+    /// may be stale-false while the slot's index entry is gone.
+    fn force_reindex(&self, slot: &Arc<SlateSlot>, state: &mut SlateState) {
+        state.indexed = false;
+        self.ensure_indexed(slot, state);
+    }
+
+    /// Record a completed updater write on `slot`; under write-through this
+    /// persists immediately. A failed write-through leaves the slate dirty
+    /// (the eviction/shutdown flush retries it). Under the write-behind
+    /// policies the slot is registered in its shard's dirty index so the
+    /// next flush sweep finds it without scanning the cache.
+    pub fn note_write(&self, slot: &Arc<SlateSlot>, state: &mut SlateState, now_us: u64) {
+        state.last_write_us = now_us;
+        if self.policy == FlushPolicy::WriteThrough && state.dirty() && !state.flushing {
+            // (With a flush of this slot mid-flight, the synchronous write
+            // is skipped — two concurrent store writes of one key could
+            // land out of order. The slot stays dirty; the in-flight
+            // flush's CAS sees the newer version and re-registers it.)
+            self.counters.store_round_trips.fetch_add(1, Ordering::Relaxed);
             if self.backend.store(
                 &slot.updater,
                 &slot.key,
@@ -430,19 +703,86 @@ impl SlateCache {
             ) {
                 state.flushed_version = state.slate.version();
                 self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
-            } else {
-                self.counters.flush_failures.fetch_add(1, Ordering::Relaxed);
-                return false;
+                return;
             }
+            self.counters.flush_failures.fetch_add(1, Ordering::Relaxed);
         }
-        true
+        if state.dirty() {
+            self.ensure_indexed(slot, state);
+        }
+    }
+
+    /// Flush one slot if dirty, without holding the slot's state lock
+    /// across the (possibly remote, blocking) backend write: snapshot
+    /// bytes + version under the lock, write outside it, then advance
+    /// `flushed_version` to the *written* version only — a worker that
+    /// mutated the slate mid-flight keeps it dirty (its newer version was
+    /// not persisted) and never stalls behind the wire round trip.
+    /// Returns false when the backend write failed — or when another
+    /// flush of this slot is already mid-flight (issuing a second,
+    /// reorderable store write would risk the stale snapshot landing
+    /// last) — the slate stays dirty for a later retry either way.
+    fn flush_slot(&self, slot: &Arc<SlateSlot>, now_us: u64) -> bool {
+        matches!(self.try_flush_slot(slot, now_us), FlushOutcome::Done)
+    }
+
+    /// One flush attempt of one slot (see [`SlateCache::flush_slot`]).
+    fn try_flush_slot(&self, slot: &Arc<SlateSlot>, now_us: u64) -> FlushOutcome {
+        let (bytes, version) = {
+            let mut state = slot.state.lock();
+            if !state.dirty() {
+                return FlushOutcome::Done;
+            }
+            if state.flushing {
+                // Serialize per slot: the in-flight flush's completion
+                // re-registers whatever its snapshot did not cover.
+                self.force_reindex(slot, &mut state);
+                return FlushOutcome::InFlight;
+            }
+            state.flushing = true;
+            // This flush owns the snapshot: deregister so a concurrent
+            // sweep does not double-write it; any write that lands after
+            // this lock drops re-registers via `note_write`.
+            state.indexed = false;
+            (state.slate.to_shared(), state.slate.version())
+        };
+        self.counters.store_round_trips.fetch_add(1, Ordering::Relaxed);
+        if self.backend.store(&slot.updater, &slot.key, &bytes, slot.ttl_secs, now_us) {
+            let mut state = slot.state.lock();
+            state.flushing = false;
+            if version > state.flushed_version {
+                state.flushed_version = version;
+            }
+            if state.dirty() {
+                // Mutated while the snapshot was in flight: the newer
+                // version stays dirty for the next sweep.
+                self.force_reindex(slot, &mut state);
+            }
+            self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
+            FlushOutcome::Done
+        } else {
+            let mut state = slot.state.lock();
+            state.flushing = false;
+            self.force_reindex(slot, &mut state);
+            self.counters.flush_failures.fetch_add(1, Ordering::Relaxed);
+            FlushOutcome::Failed
+        }
     }
 
     /// Public flush-one entry point (elastic handoff: the old owner
-    /// flushes moved-away slates before acking the epoch). Returns false
+    /// flushes moved-away slates before acking the epoch — the ack
+    /// certifies the slate is durable, so an in-flight background flush
+    /// is *waited out* and the slot re-checked, never skipped; the wait
+    /// is bounded by the backend's own write timeout). Returns false
     /// when the backend write failed.
-    pub fn flush_slot_now(&self, slot: &SlateSlot, now_us: u64) -> bool {
-        self.flush_slot(slot, now_us)
+    pub fn flush_slot_now(&self, slot: &Arc<SlateSlot>, now_us: u64) -> bool {
+        loop {
+            match self.try_flush_slot(slot, now_us) {
+                FlushOutcome::Done => return true,
+                FlushOutcome::Failed => return false,
+                FlushOutcome::InFlight => std::thread::sleep(Duration::from_millis(1)),
+            }
+        }
     }
 
     /// Remove every cached slate of updater `op` whose key matches
@@ -463,31 +803,152 @@ impl SlateCache {
                 .filter(|((o, k), _)| *o == op && moved(k))
                 .map(|((_, k), _)| k.clone())
                 .collect();
-            out.extend(
-                keys.into_iter().filter_map(|k| map.remove(&(op, k.clone())).map(|slot| (k, slot))),
-            );
+            let taken: Vec<(Key, Arc<SlateSlot>)> = keys
+                .into_iter()
+                .filter_map(|k| map.remove(&(op, k.clone())).map(|slot| (k, slot)))
+                .collect();
+            drop(map);
+            // The slots leave this cache: purge their dirty-index entries
+            // (the new owner's cache re-registers them on insert), then
+            // mark them unindexed. The two locks are never nested — every
+            // other path orders state → dirty (`ensure_indexed` under the
+            // caller's state lock), so taking state while holding dirty
+            // here would be an AB-BA deadlock with a concurrent flusher.
+            {
+                let mut dirty = shard.dirty.lock();
+                for (k, _) in &taken {
+                    dirty.remove(&(op, k.clone()));
+                }
+            }
+            for (_, slot) in &taken {
+                slot.state.lock().indexed = false;
+            }
+            out.extend(taken);
         }
         out
     }
 
     /// Insert an externally-built slot (elastic handoff between in-process
-    /// machines: the moved slate keeps its state, dirtiness included).
+    /// machines: the moved slate keeps its state, dirtiness included — a
+    /// dirty arrival enters this cache's dirty index so the next flush
+    /// sweep finds it).
     pub fn insert_slot(&self, op: OpId, key: Key, slot: Arc<SlateSlot>) {
-        self.shard_of(op, &key).map.lock().insert((op, key), slot);
+        debug_assert_eq!(slot.op, op, "a handed-off slot keeps its op identity");
+        self.shard_of(op, &key).map.lock().insert((op, key), Arc::clone(&slot));
+        let mut state = slot.state.lock();
+        if state.dirty() {
+            self.force_reindex(&slot, &mut state); // its old cache's registration is gone
+        }
     }
 
     /// Flush every dirty slate (background flusher tick / graceful
-    /// shutdown). Returns the number of slates written.
+    /// shutdown). The sweep drains the per-shard dirty indexes — visiting
+    /// only dirty slots, not the whole cache — then assembles the
+    /// snapshots into `FlushBatch`es of at most `flush_batch_max` slates
+    /// and issues ONE batched backend call per batch (one store round
+    /// trip over a remote host, one WAL group commit on the LSM node).
+    /// Snapshots are taken under each slot's state lock but written
+    /// outside it, so no worker ever stalls behind the store write of a
+    /// slate it is mutating. Returns the number of slates written.
     pub fn flush_dirty(&self, now_us: u64) -> u64 {
-        let before = self.counters.flush_writes.load(Ordering::Relaxed);
+        let mut candidates: Vec<Arc<SlateSlot>> = Vec::new();
         for shard in self.shards.iter() {
-            let slots: Vec<Arc<SlateSlot>> =
-                shard.map.lock().iter().map(|(_, slot)| Arc::clone(slot)).collect();
-            for slot in slots {
-                let _ = self.flush_slot(&slot, now_us); // failures stay dirty; next sweep retries
+            // Dead weaks are slots that left the cache after their last
+            // flush (eviction removes only clean slots); nothing to do.
+            candidates.extend(shard.dirty.lock().drain().filter_map(|(_, weak)| weak.upgrade()));
+        }
+        let mut written = 0u64;
+        let mut at = 0usize;
+        while at < candidates.len() {
+            // Snapshot phase: bytes + version per dirty slot, each under
+            // its own briefly-held state lock. A batch closes at
+            // `flush_batch_max` slates OR `FLUSH_BATCH_SOFT_BYTES` of
+            // payload, whichever first — a count-only cap could assemble
+            // a frame over the wire's hard size limit, which would be
+            // rejected wholesale and rebuilt identically forever. A
+            // single slate over the soft cap still flushes (alone),
+            // exactly like the per-slate path would send it.
+            let mut items: Vec<FlushItem> = Vec::new();
+            let mut meta: Vec<(&Arc<SlateSlot>, u64)> = Vec::new();
+            let mut batch_bytes = 0usize;
+            while at < candidates.len() && items.len() < self.flush_batch_max {
+                let slot = &candidates[at];
+                let (bytes, version) = {
+                    let mut state = slot.state.lock();
+                    state.indexed = false; // this sweep owns the snapshot
+                    if !state.dirty() {
+                        at += 1;
+                        continue; // raced with an eviction flush / TTL reset
+                    }
+                    if state.flushing {
+                        // An eviction flush of this slot is mid-flight:
+                        // a second, reorderable store write could land
+                        // the stale snapshot last. Leave it for the next
+                        // sweep (its completion re-registers it too).
+                        self.force_reindex(slot, &mut state);
+                        at += 1;
+                        continue;
+                    }
+                    state.flushing = true;
+                    (state.slate.to_shared(), state.slate.version())
+                };
+                if !items.is_empty() && batch_bytes + bytes.len() > FLUSH_BATCH_SOFT_BYTES {
+                    // Close this batch; the slot opens the next one. The
+                    // snapshot above claimed the slot (flushing = true) —
+                    // release the claim or no sweep could ever touch it
+                    // again (`at` is not advanced, so it is re-snapshotted
+                    // as the next batch's first item).
+                    let mut state = slot.state.lock();
+                    state.flushing = false;
+                    self.force_reindex(slot, &mut state);
+                    break;
+                }
+                batch_bytes += bytes.len();
+                items.push(FlushItem {
+                    updater: Arc::clone(&slot.updater),
+                    key: slot.key.clone(),
+                    bytes,
+                    ttl_secs: slot.ttl_secs,
+                });
+                meta.push((slot, version));
+                at += 1;
+            }
+            if items.is_empty() {
+                continue;
+            }
+            // One batched backend call for the whole chunk.
+            let oks = self.backend.store_many(&items, now_us);
+            self.counters.store_round_trips.fetch_add(1, Ordering::Relaxed);
+            self.counters.flush_batches.fetch_add(1, Ordering::Relaxed);
+            self.flush_batch_hist.record(items.len() as u64);
+            debug_assert_eq!(oks.len(), items.len(), "store_many must ack per item");
+            // A short ack vector (a misbehaving backend) must fail the
+            // uncovered tail, not silently strand it dirty-but-unindexed.
+            let oks = oks.into_iter().chain(std::iter::repeat(false));
+            for ((slot, version), ok) in meta.into_iter().zip(oks) {
+                if ok {
+                    let mut state = slot.state.lock();
+                    state.flushing = false;
+                    // Compare-and-set: advance only to the version this
+                    // sweep actually wrote — a concurrent mutation's newer
+                    // version stays dirty (and re-registered itself).
+                    if version > state.flushed_version {
+                        state.flushed_version = version;
+                    }
+                    if state.dirty() {
+                        self.force_reindex(slot, &mut state);
+                    }
+                    self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
+                    written += 1;
+                } else {
+                    let mut state = slot.state.lock();
+                    state.flushing = false;
+                    self.force_reindex(slot, &mut state);
+                    self.counters.flush_failures.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
-        self.counters.flush_writes.load(Ordering::Relaxed) - before
+        written
     }
 
     /// Read a slate's current bytes without creating it (HTTP reads, §4.4:
@@ -565,6 +1026,11 @@ impl SlateCache {
             entries,
             dirty,
             shards: self.shards.len() as u64,
+            flush_batches: self.counters.flush_batches.load(Ordering::Relaxed),
+            flush_batch_p50: self.flush_batch_hist.percentile_us(0.50),
+            flush_batch_largest: self.flush_batch_hist.max_us(),
+            store_round_trips: self.counters.store_round_trips.load(Ordering::Relaxed),
+            miss_coalesced: self.counters.miss_coalesced.load(Ordering::Relaxed),
         }
     }
 }
@@ -645,6 +1111,52 @@ mod tests {
                     return false;
                 }
             }
+        }
+    }
+
+    /// Backend whose store/load calls block until the test releases them
+    /// — the harness for "no worker stalls behind a wire round trip".
+    struct SlowBackend {
+        inner: MemBackend,
+        /// Signalled (once per store entry) when a store is in flight.
+        entered: std::sync::mpsc::Sender<()>,
+        /// Store calls block here until the test sends a token.
+        release: Mutex<std::sync::mpsc::Receiver<()>>,
+        loads: AtomicU64,
+    }
+
+    impl SlowBackend {
+        fn gated() -> (Arc<SlowBackend>, std::sync::mpsc::Receiver<()>, std::sync::mpsc::Sender<()>)
+        {
+            let (entered_tx, entered_rx) = std::sync::mpsc::channel();
+            let (release_tx, release_rx) = std::sync::mpsc::channel();
+            let backend = Arc::new(SlowBackend {
+                inner: MemBackend::default(),
+                entered: entered_tx,
+                release: Mutex::new(release_rx),
+                loads: AtomicU64::new(0),
+            });
+            (backend, entered_rx, release_tx)
+        }
+    }
+
+    impl SlateBackend for SlowBackend {
+        fn load(&self, updater: &str, key: &Key, now: u64) -> Option<Vec<u8>> {
+            self.loads.fetch_add(1, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            self.inner.load(updater, key, now)
+        }
+        fn store(
+            &self,
+            updater: &str,
+            key: &Key,
+            bytes: &[u8],
+            ttl: Option<u64>,
+            now: u64,
+        ) -> bool {
+            let _ = self.entered.send(());
+            let _ = self.release.lock().recv(); // park until released
+            self.inner.store(updater, key, bytes, ttl, now)
         }
     }
 
@@ -997,6 +1509,307 @@ mod tests {
         assert!(slot.state.lock().slate.is_empty(), "memo path still applies the TTL reset");
         assert_eq!(cache.stats().hits, 2, "memo hits count as shard hits");
         assert_eq!(cache.stats().ttl_resets, 1);
+    }
+
+    #[test]
+    fn mid_flight_mutation_is_never_blocked_and_never_lost() {
+        // The write-behind regression pair: (1) a worker mutating a slate
+        // whose snapshot is mid-flight to the backend must not wait for
+        // the (blocking) store write; (2) the flush's compare-and-set on
+        // flushed_version must only advance to the version it actually
+        // wrote — the mid-flight mutation stays dirty and reaches the
+        // store on the next sweep, never silently "already flushed".
+        let (backend, entered, release) = SlowBackend::gated();
+        let cache =
+            Arc::new(SlateCache::new(10, FlushPolicy::IntervalMs(1), Arc::clone(&backend) as _));
+        let name = updater_name();
+        let k = Key::from("contended");
+        let slot = cache.get_or_load(0, &name, &k, None, 0);
+        {
+            let mut state = slot.state.lock();
+            state.slate.replace(b"v1".to_vec());
+            cache.note_write(&slot, &mut state, 0);
+        }
+        // Start the flush; it parks inside the backend store with the
+        // v1 snapshot taken and NO state lock held.
+        let flusher = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.flush_dirty(10))
+        };
+        entered.recv_timeout(std::time::Duration::from_secs(5)).expect("flush reached the store");
+        // The worker mutates the slate NOW, while the store write is in
+        // flight. If the flush held the state lock across the write this
+        // would deadlock (the release below comes after), so completing
+        // within the timeout is the no-blocking proof.
+        let mutated = {
+            let cache = Arc::clone(&cache);
+            let slot = Arc::clone(&slot);
+            std::thread::spawn(move || {
+                let mut state = slot.state.lock();
+                state.slate.replace(b"v2".to_vec());
+                cache.note_write(&slot, &mut state, 11);
+            })
+        };
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = mutated.join();
+            let _ = done_tx.send(());
+        });
+        done_rx
+            .recv_timeout(std::time::Duration::from_secs(5))
+            .expect("a worker must never block on an in-flight flush of its slate");
+        // Let the store write (of the v1 snapshot) complete.
+        release.send(()).unwrap();
+        assert_eq!(flusher.join().unwrap(), 1, "the v1 snapshot was written");
+        assert_eq!(backend.inner.load("U1", &k, 0), Some(b"v1".to_vec()));
+        // The CAS advanced flushed_version only to v1: the newer v2 is
+        // still dirty and the next sweep persists it.
+        assert!(slot.state.lock().dirty(), "the mid-flight mutation must stay dirty");
+        assert_eq!(cache.dirty_count(), 1);
+        release.send(()).unwrap(); // pre-release the second store
+        assert_eq!(cache.flush_dirty(20), 1);
+        assert_eq!(backend.inner.load("U1", &k, 0), Some(b"v2".to_vec()));
+        assert!(!slot.state.lock().dirty());
+    }
+
+    #[test]
+    fn evicted_mid_flight_snapshot_does_not_lose_the_newer_version() {
+        // The satellite regression, eviction flavor: a dirty slate being
+        // flushed for eviction while a borrower mutates it must stay
+        // resident and dirty (the eviction removal re-checks dirtiness
+        // under the map lock after the CAS).
+        let (backend, entered, release) = SlowBackend::gated();
+        let cache = Arc::new(SlateCache::new(1, FlushPolicy::OnEvict, Arc::clone(&backend) as _));
+        let name = updater_name();
+        let precious = Key::from("precious");
+        {
+            let slot = cache.get_or_load(0, &name, &precious, None, 0);
+            let mut state = slot.state.lock();
+            state.slate.replace(b"old".to_vec());
+            cache.note_write(&slot, &mut state, 0);
+        } // dropped: evictable
+        let evictor = {
+            let cache = Arc::clone(&cache);
+            let name = Arc::clone(&name);
+            std::thread::spawn(move || {
+                // Capacity pressure: the eviction flush of `precious`
+                // parks in the backend.
+                cache.get_or_load(0, &name, &Key::from("intruder"), None, 1);
+            })
+        };
+        entered.recv_timeout(std::time::Duration::from_secs(5)).expect("eviction flush started");
+        // Mutate the slate while its old snapshot is on the wire.
+        let slot = cache.get_or_load(0, &name, &precious, None, 2);
+        {
+            let mut state = slot.state.lock();
+            state.slate.replace(b"newer".to_vec());
+            cache.note_write(&slot, &mut state, 2);
+        }
+        drop(slot);
+        release.send(()).unwrap();
+        evictor.join().unwrap();
+        // The newer version must still be visible (resident) — the CAS
+        // only covered the old snapshot, so the slot stayed dirty and the
+        // eviction removal declined to drop it.
+        assert_eq!(
+            cache.read(0, &precious),
+            Some(b"newer".to_vec()),
+            "a mid-flight mutation must survive the eviction flush"
+        );
+        release.send(()).unwrap(); // allow the retry sweep's store
+        cache.flush_dirty(10);
+        assert_eq!(backend.inner.load("U1", &precious, 0), Some(b"newer".to_vec()));
+    }
+
+    #[test]
+    fn concurrent_flushes_of_one_slot_serialize() {
+        // The write-ordering hazard: the store resolves same-key writes by
+        // arrival order, so two concurrent in-flight snapshots of one slot
+        // (eviction flush + sweep, or two sweeps) could land newest-first
+        // and leave the stale bytes durable while the CAS marks the slot
+        // clean. The `flushing` flag must make the second flush *skip* the
+        // slot (keeping it dirty) instead of issuing a reorderable write.
+        let (backend, entered, release) = SlowBackend::gated();
+        let cache =
+            Arc::new(SlateCache::new(10, FlushPolicy::IntervalMs(1), Arc::clone(&backend) as _));
+        let name = updater_name();
+        let k = Key::from("ordered");
+        let slot = cache.get_or_load(0, &name, &k, None, 0);
+        {
+            let mut state = slot.state.lock();
+            state.slate.replace(b"v1".to_vec());
+            cache.note_write(&slot, &mut state, 0);
+        }
+        let sweep = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || cache.flush_dirty(10))
+        };
+        entered.recv_timeout(std::time::Duration::from_secs(5)).expect("first flush in flight");
+        // Mutate to v2 while the v1 snapshot is parked in the backend,
+        // then run a second sweep: it must NOT issue a concurrent store
+        // write of this slot (the gated backend would show a second
+        // `entered` signal — and the test would deadlock on join).
+        {
+            let mut state = slot.state.lock();
+            state.slate.replace(b"v2".to_vec());
+            cache.note_write(&slot, &mut state, 11);
+        }
+        assert_eq!(cache.flush_dirty(12), 0, "the in-flight slot is skipped, not double-written");
+        assert!(
+            entered.try_recv().is_err(),
+            "no second store write may start while one is in flight"
+        );
+        release.send(()).unwrap();
+        assert_eq!(sweep.join().unwrap(), 1);
+        assert_eq!(backend.inner.load("U1", &k, 0), Some(b"v1".to_vec()));
+        assert!(slot.state.lock().dirty(), "v2 is still dirty");
+        // The skipped slot was re-registered: the next sweep writes v2 and
+        // the store converges on the newest version.
+        release.send(()).unwrap();
+        assert_eq!(cache.flush_dirty(20), 1);
+        assert_eq!(backend.inner.load("U1", &k, 0), Some(b"v2".to_vec()));
+        assert!(!slot.state.lock().dirty());
+        assert_eq!(cache.dirty_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_misses_share_one_backend_load() {
+        // Single-flight read-through: 8 threads missing on the same
+        // ⟨op, key⟩ must issue ONE backend load between them.
+        let (backend, _entered, _release) = SlowBackend::gated();
+        backend.inner.store("U1", &Key::from("hot"), b"77", None, 0);
+        let cache = Arc::new(SlateCache::with_shards(
+            100,
+            FlushPolicy::OnEvict,
+            Arc::clone(&backend) as _,
+            4,
+        ));
+        let name = updater_name();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let name = Arc::clone(&name);
+                std::thread::spawn(move || cache.get_or_load(0, &name, &Key::from("hot"), None, 1))
+            })
+            .collect();
+        let slots: Vec<Arc<SlateSlot>> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        assert!(slots.iter().all(|s| Arc::ptr_eq(s, &slots[0])), "one shared slot");
+        assert_eq!(slots[0].state.lock().slate.counter(), 77, "the loaded value is shared");
+        assert_eq!(backend.loads.load(Ordering::SeqCst), 1, "one load, not a stampede");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "one leader miss");
+        assert_eq!(stats.miss_coalesced, 7, "seven waiters coalesced");
+        assert_eq!(stats.store_loads, 1);
+        // Distinct keys still load independently.
+        cache.get_or_load(0, &name, &Key::from("cold"), None, 2);
+        assert_eq!(backend.loads.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn flush_sweep_batches_and_visits_only_dirty_slots() {
+        let backend = Arc::new(MemBackend::default());
+        let cache = SlateCache::with_shards(
+            10_000,
+            FlushPolicy::IntervalMs(100),
+            Arc::clone(&backend) as _,
+            8,
+        )
+        .with_flush_batch(32);
+        let name = updater_name();
+        // 500 clean residents + 100 dirty.
+        for i in 0..500 {
+            cache.get_or_load(0, &name, &Key::from(format!("clean-{i}")), None, 0);
+        }
+        for i in 0..100 {
+            let slot = cache.get_or_load(0, &name, &Key::from(format!("dirty-{i}")), None, 1);
+            let mut state = slot.state.lock();
+            state.slate.replace(format!("v{i}").into_bytes());
+            cache.note_write(&slot, &mut state, 1);
+        }
+        let trips_before = cache.stats().store_round_trips;
+        let stores_before = backend.stores.load(Ordering::Relaxed);
+        assert_eq!(cache.flush_dirty(10), 100);
+        let stats = cache.stats();
+        assert_eq!(
+            backend.stores.load(Ordering::Relaxed) - stores_before,
+            100,
+            "exactly the dirty slots were written — the sweep never touches clean residents"
+        );
+        let trips = stats.store_round_trips - trips_before;
+        assert_eq!(trips, 100_u64.div_ceil(32), "⌈100/32⌉ batched backend calls, not 100");
+        assert_eq!(stats.flush_batches, 4);
+        assert!(stats.flush_batch_largest >= 32, "full batches were assembled: {stats:?}");
+        // A second sweep with nothing dirty issues zero backend calls.
+        assert_eq!(cache.flush_dirty(20), 0);
+        assert_eq!(cache.stats().store_round_trips, stats.store_round_trips);
+        // Everything is reloadable bit-for-bit.
+        for i in 0..100 {
+            assert_eq!(
+                backend.load("U1", &Key::from(format!("dirty-{i}")), 0),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+    }
+
+    #[test]
+    fn soft_byte_cap_splits_batches_without_stranding_slots() {
+        // The regression: closing a batch early on FLUSH_BATCH_SOFT_BYTES
+        // used to leak `flushing = true` on the slot whose snapshot
+        // tripped the cap — every later sweep skipped it forever. Two
+        // slates big enough that they cannot share a batch must flush in
+        // one sweep as two batches, and nothing may stay dirty.
+        let backend = Arc::new(MemBackend::default());
+        let cache = SlateCache::new(10, FlushPolicy::IntervalMs(100), Arc::clone(&backend) as _);
+        let name = updater_name();
+        let big = FLUSH_BATCH_SOFT_BYTES / 2 + 1024;
+        for key in ["jumbo-a", "jumbo-b"] {
+            let slot = cache.get_or_load(0, &name, &Key::from(key), None, 0);
+            let mut state = slot.state.lock();
+            state.slate.replace(vec![key.as_bytes()[6]; big]);
+            cache.note_write(&slot, &mut state, 0);
+        }
+        assert_eq!(cache.flush_dirty(1), 2, "both jumbo slates flush in ONE sweep");
+        assert_eq!(cache.dirty_count(), 0, "no slot may be stranded flushing");
+        let stats = cache.stats();
+        assert_eq!(stats.flush_batches, 2, "the byte cap split the sweep into two batches");
+        assert_eq!(backend.load("U1", &Key::from("jumbo-a"), 0).map(|v| v.len()), Some(big));
+        assert_eq!(backend.load("U1", &Key::from("jumbo-b"), 0).map(|v| v.len()), Some(big));
+        // And the slots remain flushable afterwards (the handoff barrier
+        // must not spin).
+        let slot = cache.get_or_load(0, &name, &Key::from("jumbo-a"), None, 2);
+        slot.state.lock().slate.replace(b"small-again".to_vec());
+        assert!(cache.flush_slot_now(&slot, 3), "the slot is still flushable");
+    }
+
+    #[test]
+    fn batched_flush_equals_per_slate_flush_in_the_store() {
+        // Equivalence: the same dirty set flushed with batch cap 1 (the
+        // per-slate write-behind path) and with a large cap must leave
+        // bit-identical backend contents.
+        let run = |batch: usize| -> std::collections::HashMap<(String, Key), Vec<u8>> {
+            let backend = Arc::new(MemBackend::default());
+            let cache = SlateCache::with_shards(
+                1000,
+                FlushPolicy::IntervalMs(5),
+                Arc::clone(&backend) as _,
+                4,
+            )
+            .with_flush_batch(batch);
+            let name = updater_name();
+            for i in 0..64 {
+                let slot = cache.get_or_load(0, &name, &Key::from(format!("k{i}")), None, 0);
+                let mut state = slot.state.lock();
+                state.slate.replace(format!("payload-{i}-{}", "x".repeat(i)).into_bytes());
+                cache.note_write(&slot, &mut state, 0);
+            }
+            cache.flush_dirty(1);
+            let contents = backend.data.read().clone();
+            contents
+        };
+        let per_slate = run(1);
+        let batched = run(256);
+        assert_eq!(per_slate.len(), 64);
+        assert_eq!(per_slate, batched, "batched flush must be bit-identical to per-slate flush");
     }
 
     #[test]

@@ -43,7 +43,9 @@ use muppet_slatestore::cluster::StoreCluster;
 use muppet_slatestore::ring::{ConsistentRing, EpochRing};
 use parking_lot::{Condvar, Mutex, RwLock};
 
-use crate::cache::{FlushPolicy, NullBackend, SlateBackend, SlateCache, SlateSlot};
+use crate::cache::{
+    FlushPolicy, NullBackend, SlateBackend, SlateCache, SlateSlot, DEFAULT_FLUSH_BATCH_MAX,
+};
 use crate::dispatch::{choose_between, RouteHash};
 use crate::master::Master;
 use crate::metrics::{Histogram, LatencySummary};
@@ -127,6 +129,11 @@ pub struct EngineConfig {
     pub drain_batch_max: usize,
     /// Flush policy for dirty slates.
     pub flush: FlushPolicy,
+    /// Dirty slates a flush sweep coalesces into one batched backend
+    /// call (`SlateBackend::store_many`) at most: over a remote store
+    /// host, one `StorePutBatch` wire round trip; on the LSM node, one
+    /// WAL group commit. 1 = the per-slate write-behind path.
+    pub flush_batch_max: usize,
     /// Queue-overflow policy.
     pub overflow: OverflowPolicy,
     /// Whether to measure end-to-end latency per updater delivery.
@@ -177,6 +184,7 @@ impl Default for EngineConfig {
             cache_shards: DEFAULT_CACHE_SHARDS,
             drain_batch_max: DEFAULT_DRAIN_BATCH,
             flush: FlushPolicy::default(),
+            flush_batch_max: DEFAULT_FLUSH_BATCH_MAX,
             overflow: OverflowPolicy::default(),
             record_latency: true,
             net_batch_max: BatchConfig::default().batch_max,
@@ -209,6 +217,7 @@ impl EngineConfig {
                 FlushSpec::IntervalMs(ms) => FlushPolicy::IntervalMs(ms),
                 FlushSpec::OnEvict => FlushPolicy::OnEvict,
             },
+            flush_batch_max: DEFAULT_FLUSH_BATCH_MAX,
             overflow: OverflowPolicy::default(),
             record_latency: true,
             net_batch_max: BatchConfig::default().batch_max,
@@ -401,6 +410,27 @@ pub struct EngineStats {
     /// Queue drain-batch sizes (how many events workers pop per lock
     /// acquisition).
     pub drain: DrainSummary,
+    /// The write-behind store pipeline (flush batching + single-flight
+    /// misses), aggregated across this node's slate caches.
+    pub store: StoreSummary,
+}
+
+/// Counters of the write-behind store pipeline (DESIGN.md §9).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreSummary {
+    /// Batched `store_many` calls issued by flush sweeps.
+    pub flush_batches: u64,
+    /// Median flush-batch size (power-of-two bucket upper bound; worst
+    /// cache when a machine owns several).
+    pub flush_batch_p50: u64,
+    /// Largest single flush batch.
+    pub flush_batch_largest: u64,
+    /// Backend round trips (loads + stores + batched stores) — over a
+    /// remote store host, the wire-round-trip count of the slate path.
+    pub store_round_trips: u64,
+    /// Concurrent cache misses that shared another miss's in-flight
+    /// backend load (single-flight read-through).
+    pub miss_coalesced: u64,
 }
 
 /// Distribution of worker queue drain-batch sizes (events per
@@ -460,12 +490,15 @@ impl Machine {
             alive: AtomicBool::new(true),
             queues: (0..threads).map(|_| Arc::new(EventQueue::new(cfg.queue_capacity))).collect(),
             in_flight: (0..threads).map(|_| AtomicU64::new(0)).collect(),
-            central_cache: Some(Arc::new(SlateCache::with_shards(
-                cfg.slate_cache_capacity,
-                cfg.flush,
-                Arc::clone(backend),
-                cfg.cache_shards.max(1),
-            ))),
+            central_cache: Some(Arc::new(
+                SlateCache::with_shards(
+                    cfg.slate_cache_capacity,
+                    cfg.flush,
+                    Arc::clone(backend),
+                    cfg.cache_shards.max(1),
+                )
+                .with_flush_batch(cfg.flush_batch_max),
+            )),
             worker_caches: (0..threads).map(|_| None).collect(),
             thread_ops: (0..threads).map(|_| None).collect(),
         }
@@ -491,7 +524,10 @@ impl Machine {
             .iter()
             .map(|&op| {
                 if wf.op(op).kind == OpKind::Update {
-                    Some(Arc::new(SlateCache::new(per_worker_cap, cfg.flush, Arc::clone(backend))))
+                    Some(Arc::new(
+                        SlateCache::new(per_worker_cap, cfg.flush, Arc::clone(backend))
+                            .with_flush_batch(cfg.flush_batch_max),
+                    ))
                 } else {
                     None
                 }
@@ -1370,6 +1406,11 @@ impl Engine {
                 cache.entries += s.entries;
                 cache.dirty += s.dirty;
                 cache.shards += s.shards;
+                cache.flush_batches += s.flush_batches;
+                cache.flush_batch_p50 = cache.flush_batch_p50.max(s.flush_batch_p50);
+                cache.flush_batch_largest = cache.flush_batch_largest.max(s.flush_batch_largest);
+                cache.store_round_trips += s.store_round_trips;
+                cache.miss_coalesced += s.miss_coalesced;
             };
             if let Some(central) = &m.central_cache {
                 add(central.stats());
@@ -1419,6 +1460,13 @@ impl Engine {
                     p99: d.p99_us,
                     max: d.max_us,
                 }
+            },
+            store: StoreSummary {
+                flush_batches: cache.flush_batches,
+                flush_batch_p50: cache.flush_batch_p50,
+                flush_batch_largest: cache.flush_batch_largest,
+                store_round_trips: cache.store_round_trips,
+                miss_coalesced: cache.miss_coalesced,
             },
         }
     }
@@ -2448,6 +2496,41 @@ impl ClusterHandler for EngineHandler {
         let store = self.0.host_store.as_ref()?;
         let key = Key::from(key);
         SlateBackend::load(&**store, updater, &key, now_us)
+    }
+
+    fn backend_store_many(&self, items: &[muppet_net::StorePutItem], now_us: u64) -> Vec<bool> {
+        // A peer's `StorePutBatch` lands here: one `store_many` on the
+        // hosted cluster — cells grouped per LSM node, each node's run
+        // WAL-group-committed — with real per-cell quorum outcomes in the
+        // ack (the unbatched `StorePut` path cannot report these).
+        let Some(store) = &self.0.host_store else {
+            return vec![false; items.len()];
+        };
+        let flush: Vec<crate::cache::FlushItem> = items
+            .iter()
+            .map(|item| crate::cache::FlushItem {
+                updater: Arc::from(item.updater.as_str()),
+                key: Key::from(item.key.as_slice()),
+                bytes: item.value.clone(),
+                ttl_secs: item.ttl_secs,
+            })
+            .collect();
+        SlateBackend::store_many(&**store, &flush, now_us)
+    }
+
+    fn backend_load_many(
+        &self,
+        items: &[muppet_net::StoreGetItem],
+        now_us: u64,
+    ) -> Vec<Option<Vec<u8>>> {
+        let Some(store) = &self.0.host_store else {
+            return vec![None; items.len()];
+        };
+        let keys: Vec<(Arc<str>, Key)> = items
+            .iter()
+            .map(|item| (Arc::from(item.updater.as_str()), Key::from(item.key.as_slice())))
+            .collect();
+        SlateBackend::load_many(&**store, &keys, now_us)
     }
 }
 

@@ -103,6 +103,12 @@ impl SlateReader for crate::engine::Engine {
                 ),
             ),
             ("p99_latency_us", Json::num(s.latency.p99_us as f64)),
+            // The write-behind store pipeline (DESIGN.md §9).
+            ("store_flush_batches", Json::num(s.store.flush_batches as f64)),
+            ("store_flush_batch_p50", Json::num(s.store.flush_batch_p50 as f64)),
+            ("store_flush_batch_largest", Json::num(s.store.flush_batch_largest as f64)),
+            ("store_round_trips", Json::num(s.store.store_round_trips as f64)),
+            ("store_miss_coalesced", Json::num(s.store.miss_coalesced as f64)),
             ("net_frames_sent", Json::num(s.net.frames_sent as f64)),
             ("net_batches_sent", Json::num(s.net.batches_sent as f64)),
             ("net_outbound_backlog", Json::num(s.net.outbound_backlog as f64)),

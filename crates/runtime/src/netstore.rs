@@ -13,9 +13,10 @@
 use std::sync::Arc;
 
 use muppet_core::event::Key;
+use muppet_net::frame::{StoreGetItem, StorePutItem};
 use muppet_net::transport::{MachineId, Transport};
 
-use crate::cache::SlateBackend;
+use crate::cache::{FlushItem, SlateBackend};
 
 /// Store reads/writes forwarded to `host` over the transport.
 pub struct RemoteBackend {
@@ -46,6 +47,41 @@ impl SlateBackend for RemoteBackend {
         self.transport
             .store_put(self.host, updater, key.as_bytes(), bytes, ttl_secs, now_us)
             .is_ok()
+    }
+
+    fn store_many(&self, items: &[FlushItem], now_us: u64) -> Vec<bool> {
+        // One `StorePutBatch` frame for the whole run: a flush tick of N
+        // dirty slates costs one wire round trip instead of N. A wire
+        // failure fails the batch wholesale — every slate stays dirty and
+        // the next sweep retries (identical posture to the per-slate
+        // path, amortized).
+        let wire: Vec<StorePutItem> = items
+            .iter()
+            .map(|item| StorePutItem {
+                updater: item.updater.to_string(),
+                key: item.key.as_bytes().to_vec(),
+                value: item.bytes.clone(), // refcount bump, not a copy
+                ttl_secs: item.ttl_secs,
+            })
+            .collect();
+        match self.transport.store_put_many(self.host, wire, now_us) {
+            Ok(ok) if ok.len() == items.len() => ok,
+            _ => vec![false; items.len()],
+        }
+    }
+
+    fn load_many(&self, items: &[(Arc<str>, Key)], now_us: u64) -> Vec<Option<Vec<u8>>> {
+        let wire: Vec<StoreGetItem> = items
+            .iter()
+            .map(|(updater, key)| StoreGetItem {
+                updater: updater.to_string(),
+                key: key.as_bytes().to_vec(),
+            })
+            .collect();
+        match self.transport.store_get_many(self.host, wire, now_us) {
+            Ok(values) if values.len() == items.len() => values,
+            _ => vec![None; items.len()], // wire failure reads as misses
+        }
     }
 }
 

@@ -66,6 +66,14 @@ pub struct StoreConfig {
     /// Compress values before storing (the §4.2 behaviour; off for
     /// ablation).
     pub compress_values: bool,
+    /// Largest run [`StoreCluster::put_many`] hands one node in a single
+    /// group commit; bigger batches are split. Bounds WAL latency under a
+    /// huge flush tick without giving up the per-batch fsync amortization.
+    pub put_batch_max: usize,
+    /// fsync node WALs on every append (durable against power loss).
+    /// Batched writes group-commit: one fsync per [`StoreCluster::put_many`]
+    /// run per node, instead of one per record.
+    pub wal_sync_each: bool,
 }
 
 impl Default for StoreConfig {
@@ -77,6 +85,8 @@ impl Default for StoreConfig {
             device: DeviceProfile::NULL,
             memtable_flush_bytes: 4 * 1024 * 1024,
             compress_values: true,
+            put_batch_max: 1024,
+            wal_sync_each: false,
         }
     }
 }
@@ -94,6 +104,8 @@ pub struct ClusterStats {
     pub node: NodeStats,
     /// Successful quorum writes.
     pub writes_ok: u64,
+    /// Batched write calls ([`StoreCluster::put_many`] chunks).
+    pub write_batches: u64,
     /// Successful quorum reads.
     pub reads_ok: u64,
     /// Read-repair writes issued.
@@ -125,7 +137,8 @@ impl StoreCluster {
         for i in 0..cfg.nodes {
             let device = Arc::new(StorageDevice::new(cfg.device));
             let node_cfg = NodeConfig::new(base.join(format!("node-{i}")))
-                .with_flush_bytes(cfg.memtable_flush_bytes);
+                .with_flush_bytes(cfg.memtable_flush_bytes)
+                .with_wal_sync(cfg.wal_sync_each);
             nodes.push(ClusterNode {
                 store: Mutex::new(StoreNode::open(node_cfg, Arc::clone(&device))?),
                 device,
@@ -189,6 +202,95 @@ impl StoreCluster {
         } else {
             Err(StoreError::QuorumFailed { required, acked })
         }
+    }
+
+    /// Write a run of cells at the default consistency — the batched half
+    /// of the §4.2 write-behind pipeline. Cells are grouped *per storage
+    /// node* (each cell still reaches its full replica set) and every
+    /// node's run lands through [`StoreNode::put_many`], whose WAL group
+    /// commit costs one fsync per run under `wal_sync_each` instead of one
+    /// per record. Returns one result per input cell: a cell acks when its
+    /// quorum is met, independent of its batch-mates.
+    pub fn put_many(
+        &self,
+        items: &[(CellKey, &[u8], Option<u64>)],
+        now: u64,
+    ) -> Vec<StoreResult<()>> {
+        let mut out: Vec<StoreResult<()>> = Vec::with_capacity(items.len());
+        for chunk in items.chunks(self.cfg.put_batch_max.max(1)) {
+            out.extend(self.put_chunk(chunk, now));
+        }
+        out
+    }
+
+    fn put_chunk(&self, items: &[(CellKey, &[u8], Option<u64>)], now: u64) -> Vec<StoreResult<()>> {
+        // Compress once per cell, then fan the prepared bytes out to the
+        // replica sets.
+        let prepared: Vec<(Bytes, Vec<usize>)> = items
+            .iter()
+            .map(|(key, value, _)| {
+                let stored: Bytes = if self.cfg.compress_values {
+                    compress(value).into()
+                } else {
+                    Bytes::copy_from_slice(value)
+                };
+                (stored, self.replica_set(key))
+            })
+            .collect();
+        // Group per node: node id → the (index, cell) runs it stores.
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (idx, (_, replicas)) in prepared.iter().enumerate() {
+            for &node in replicas {
+                per_node[node].push(idx);
+            }
+        }
+        let mut acked = vec![0usize; items.len()];
+        for (node_id, indices) in per_node.iter().enumerate() {
+            if indices.is_empty() {
+                continue;
+            }
+            let node = &self.nodes[node_id];
+            if !node.up.load(Ordering::Acquire) {
+                continue;
+            }
+            let entries: Vec<(CellKey, Bytes, Option<u64>)> = indices
+                .iter()
+                .map(|&idx| (items[idx].0.clone(), prepared[idx].0.clone(), items[idx].2))
+                .collect();
+            // One lock acquisition and one WAL group commit per node.
+            match node.store.lock().put_many(&entries, now) {
+                Ok(()) => {
+                    for &idx in indices {
+                        acked[idx] += 1;
+                    }
+                }
+                Err(_) => { /* nothing on this node acked; quorum math decides */ }
+            }
+        }
+        let mut stats = self.stats.lock();
+        stats.write_batches += 1;
+        let mut out = Vec::with_capacity(items.len());
+        for (idx, (key_value, replicas)) in items.iter().zip(prepared.iter()).enumerate() {
+            let required = self.cfg.consistency.required(replicas.1.len());
+            stats.raw_bytes += key_value.1.len() as u64;
+            stats.stored_bytes += prepared[idx].0.len() as u64 * replicas.1.len() as u64;
+            if acked[idx] >= required {
+                stats.writes_ok += 1;
+                out.push(Ok(()));
+            } else {
+                out.push(Err(StoreError::QuorumFailed { required, acked: acked[idx] }));
+            }
+        }
+        out
+    }
+
+    /// Read a run of cells at the default consistency (the remote miss
+    /// path's `StoreGetBatch` lands here: one wire round trip, N point
+    /// reads). Quorum failures surface per cell as `None`-less errors
+    /// folded to `Err`; callers wanting the availability-first posture map
+    /// errors to misses.
+    pub fn get_many(&self, keys: &[CellKey], now: u64) -> Vec<StoreResult<Option<Bytes>>> {
+        keys.iter().map(|key| self.get(key, now)).collect()
     }
 
     /// Delete at the default consistency.
@@ -323,6 +425,13 @@ impl StoreCluster {
     /// Total SSTable bytes across nodes.
     pub fn disk_bytes(&self) -> u64 {
         self.nodes.iter().map(|n| n.store.lock().disk_bytes()).sum()
+    }
+
+    /// WAL fsyncs across nodes (the group-commit observable: under
+    /// `wal_sync_each`, per-record puts cost one fsync each while
+    /// `put_many` runs cost one per node per batch).
+    pub fn wal_sync_count(&self) -> u64 {
+        self.nodes.iter().map(|n| n.store.lock().wal_sync_count()).sum()
     }
 
     /// Bulk-read every visible row of one column (= update function) across
@@ -467,6 +576,64 @@ mod tests {
         c.node_down(2);
         let got = c.get_with(&key("heal"), 40, Consistency::One).unwrap();
         assert_eq!(got.unwrap().as_ref(), b"new");
+    }
+
+    #[test]
+    fn put_many_equals_per_cell_puts() {
+        let (_dir, batched) = cluster(Consistency::Quorum);
+        let (_dir2, percell) = cluster(Consistency::Quorum);
+        let cells: Vec<(CellKey, Vec<u8>)> =
+            (0..40).map(|i| (key(&format!("k{i}")), format!("value-{i}").into_bytes())).collect();
+        let items: Vec<(CellKey, &[u8], Option<u64>)> =
+            cells.iter().map(|(k, v)| (k.clone(), v.as_slice(), None)).collect();
+        for r in batched.put_many(&items, 5) {
+            r.unwrap();
+        }
+        for (k, v) in &cells {
+            percell.put(k, v, None, 5).unwrap();
+        }
+        // Bit-identical read-back, and the batched cluster did the same
+        // number of logical writes.
+        for (k, v) in &cells {
+            assert_eq!(batched.get(k, 6).unwrap().unwrap().as_ref(), v.as_slice());
+            assert_eq!(batched.get(k, 6).unwrap(), percell.get(k, 6).unwrap());
+        }
+        assert_eq!(batched.stats().writes_ok, 40);
+        assert!(batched.stats().write_batches >= 1);
+        assert_eq!(batched.stats().node.puts, percell.stats().node.puts);
+    }
+
+    #[test]
+    fn put_many_chunks_by_batch_limit_and_reports_quorum_per_cell() {
+        let dir = TempDir::new("cluster").unwrap();
+        let cfg = StoreConfig { put_batch_max: 8, ..Default::default() };
+        let c = StoreCluster::open(dir.path(), cfg).unwrap();
+        let values: Vec<Vec<u8>> = (0..20).map(|i| format!("v{i}").into_bytes()).collect();
+        let items: Vec<(CellKey, &[u8], Option<u64>)> =
+            values.iter().enumerate().map(|(i, v)| (key(&format!("c{i}")), &v[..], None)).collect();
+        let results = c.put_many(&items, 1);
+        assert_eq!(results.len(), 20);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(c.stats().write_batches, 3, "20 cells at batch limit 8 = 3 chunks");
+        // With every node down, each cell individually reports its quorum
+        // failure.
+        for n in 0..c.node_count() {
+            c.node_down(n);
+        }
+        let results = c.put_many(&items[..3], 2);
+        assert!(results.iter().all(|r| matches!(r, Err(StoreError::QuorumFailed { .. }))));
+    }
+
+    #[test]
+    fn get_many_matches_point_reads() {
+        let (_dir, c) = cluster(Consistency::Quorum);
+        c.put(&key("a"), b"1", None, 1).unwrap();
+        c.put(&key("b"), b"2", None, 1).unwrap();
+        let keys = vec![key("a"), key("b"), key("ghost")];
+        let got = c.get_many(&keys, 2);
+        assert_eq!(got[0].as_ref().unwrap().as_deref(), Some(b"1".as_slice()));
+        assert_eq!(got[1].as_ref().unwrap().as_deref(), Some(b"2".as_slice()));
+        assert_eq!(got[2].as_ref().unwrap(), &None);
     }
 
     #[test]

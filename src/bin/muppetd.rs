@@ -65,6 +65,7 @@ struct Options {
     data_dir: Option<String>,
     batch_max: usize,
     flush_us: u64,
+    flush_batch_max: usize,
     /// Elastic join state from the grant: (founding machine count, grant
     /// epoch, failed machines, committed ring members).
     join: Option<(usize, u64, Vec<usize>, Vec<usize>)>,
@@ -76,6 +77,7 @@ fn usage() -> ! {
            [--app hot_topics|retailer] [--engine muppet1|muppet2]
            [--workers <n>] [--store-host <id>] [--data-dir <path>] [--master <id>]
            [--batch-max <events>] [--flush-us <microseconds>]
+           [--flush-batch-max <slates>]
        muppetd --join <master-host:http_port> --listen <host:port:http_port>
            [--app ...] [--engine ...] [--workers ...] [--store-host <id>] [...]"
     );
@@ -160,6 +162,7 @@ fn parse_args() -> Options {
     let defaults = EngineConfig::default();
     let mut batch_max = defaults.net_batch_max;
     let mut flush_us = defaults.net_flush_us;
+    let mut flush_batch_max = defaults.flush_batch_max;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -206,6 +209,12 @@ fn parse_args() -> Options {
                     usage()
                 })
             }
+            "--flush-batch-max" => {
+                flush_batch_max = value().parse().unwrap_or_else(|_| {
+                    eprintln!("muppetd: --flush-batch-max wants a slate count");
+                    usage()
+                })
+            }
             "--store-host" => store_host = value().parse().ok(),
             "--data-dir" => data_dir = Some(value().to_string()),
             "--master" => master = value().parse().ok(),
@@ -232,6 +241,7 @@ fn parse_args() -> Options {
             data_dir,
             batch_max,
             flush_us,
+            flush_batch_max,
             join: Some((grant.base, grant.epoch, grant.failed, grant.members)),
         };
     }
@@ -254,6 +264,7 @@ fn parse_args() -> Options {
         data_dir,
         batch_max,
         flush_us,
+        flush_batch_max,
         join: None,
     }
 }
@@ -318,6 +329,7 @@ fn main() {
         store_host: opts.store_host,
         net_batch_max: opts.batch_max,
         net_flush_us: opts.flush_us,
+        flush_batch_max: opts.flush_batch_max,
         base_machines,
         pending_join: opts.join.is_some(),
         initial_epoch,
