@@ -11,6 +11,7 @@ pub mod x15_network_transport;
 pub mod x16_elasticity;
 pub mod x17_hot_path;
 pub mod x18_store_path;
+pub mod x19_observability;
 pub mod x1_distributed_execution;
 pub mod x2_retailer_counts;
 pub mod x3_hot_topics;

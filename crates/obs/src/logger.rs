@@ -1,0 +1,315 @@
+//! Leveled structured logging: JSON-lines or human text, one `write`
+//! per record so concurrent threads never interleave mid-line.
+//!
+//! Replaces the scattered `eprintln!` paths: every record carries the
+//! machine id, and call sites attach epoch/op/key fields. The engine
+//! logs operational *incidents* here (peer deaths, flush failures) —
+//! exactly once each — while the bounded [`DropLog`]-style rings keep
+//! their per-event forensic entries.
+//!
+//! [`DropLog`]: ../muppet_runtime/overflow/struct.DropLog.html
+
+use std::io::Write;
+use std::sync::Arc;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Record severity. `Off` disables everything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Hot-path tracing (never on by default).
+    Debug,
+    /// Lifecycle events (startup, join, shutdown).
+    Info,
+    /// Incidents the cluster survives (peer death, flush failure).
+    #[default]
+    Warn,
+    /// Incidents that lose data or abort operations.
+    Error,
+    /// Log nothing.
+    Off,
+}
+
+impl Level {
+    /// Parse a level name (`debug`/`info`/`warn`/`error`/`off`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            "off" | "none" => Some(Level::Off),
+            _ => None,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+            Level::Off => "off",
+        }
+    }
+}
+
+/// A typed field value, so JSON output keeps numbers as numbers.
+#[derive(Clone, Debug)]
+pub enum FieldValue {
+    /// Unsigned number.
+    U64(u64),
+    /// Signed number.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Text.
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+type Sink = Box<dyn Fn(&str) + Send + Sync>;
+
+/// A leveled logger. Cheap to share (`Arc<Logger>`); a disabled logger
+/// costs one branch per call site.
+pub struct Logger {
+    min: Level,
+    json: bool,
+    machine: Option<u64>,
+    /// `None` writes to stderr; tests capture lines through a sink.
+    sink: Option<Sink>,
+}
+
+impl std::fmt::Debug for Logger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Logger")
+            .field("min", &self.min)
+            .field("json", &self.json)
+            .field("machine", &self.machine)
+            .finish()
+    }
+}
+
+impl Logger {
+    /// A logger that drops everything.
+    pub fn disabled() -> Arc<Logger> {
+        Arc::new(Logger { min: Level::Off, json: false, machine: None, sink: None })
+    }
+
+    /// A stderr logger at `min` severity; `json` selects JSON-lines over
+    /// human text; `machine` stamps every record.
+    pub fn stderr(min: Level, json: bool, machine: Option<u64>) -> Arc<Logger> {
+        Arc::new(Logger { min, json, machine, sink: None })
+    }
+
+    /// A logger delivering rendered lines to `sink` (tests).
+    pub fn with_sink(
+        min: Level,
+        json: bool,
+        machine: Option<u64>,
+        sink: impl Fn(&str) + Send + Sync + 'static,
+    ) -> Arc<Logger> {
+        Arc::new(Logger { min, json, machine, sink: Some(Box::new(sink)) })
+    }
+
+    /// Whether records at `level` would be written.
+    pub fn enabled(&self, level: Level) -> bool {
+        self.min != Level::Off && level >= self.min
+    }
+
+    /// Write one record.
+    pub fn log(&self, level: Level, msg: &str, fields: &[(&str, FieldValue)]) {
+        if !self.enabled(level) {
+            return;
+        }
+        let ts_ms =
+            SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+        let line = if self.json {
+            let mut s = String::with_capacity(128);
+            s.push_str(&format!(
+                "{{\"ts_ms\":{ts_ms},\"level\":\"{}\",\"msg\":\"{}\"",
+                level.as_str(),
+                escape_json(msg)
+            ));
+            if let Some(m) = self.machine {
+                s.push_str(&format!(",\"machine\":{m}"));
+            }
+            for (k, v) in fields {
+                s.push_str(&format!(",\"{}\":", escape_json(k)));
+                match v {
+                    FieldValue::U64(n) => s.push_str(&n.to_string()),
+                    FieldValue::I64(n) => s.push_str(&n.to_string()),
+                    FieldValue::F64(n) if n.is_finite() => s.push_str(&n.to_string()),
+                    FieldValue::F64(n) => s.push_str(&format!("\"{n}\"")),
+                    FieldValue::Str(t) => s.push_str(&format!("\"{}\"", escape_json(t))),
+                }
+            }
+            s.push('}');
+            s
+        } else {
+            let mut s = String::with_capacity(96);
+            s.push_str(&format!("[{:>5}]", level.as_str()));
+            if let Some(m) = self.machine {
+                s.push_str(&format!(" m{m}"));
+            }
+            s.push(' ');
+            s.push_str(msg);
+            for (k, v) in fields {
+                match v {
+                    FieldValue::U64(n) => s.push_str(&format!(" {k}={n}")),
+                    FieldValue::I64(n) => s.push_str(&format!(" {k}={n}")),
+                    FieldValue::F64(n) => s.push_str(&format!(" {k}={n}")),
+                    FieldValue::Str(t) => s.push_str(&format!(" {k}={t:?}")),
+                }
+            }
+            s
+        };
+        match &self.sink {
+            Some(sink) => sink(&line),
+            None => {
+                // One write per record: concurrent threads cannot
+                // interleave mid-line.
+                let mut err = std::io::stderr().lock();
+                let _ = writeln!(err, "{line}");
+            }
+        }
+    }
+
+    /// Log at [`Level::Debug`].
+    pub fn debug(&self, msg: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Debug, msg, fields);
+    }
+
+    /// Log at [`Level::Info`].
+    pub fn info(&self, msg: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Info, msg, fields);
+    }
+
+    /// Log at [`Level::Warn`].
+    pub fn warn(&self, msg: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Warn, msg, fields);
+    }
+
+    /// Log at [`Level::Error`].
+    pub fn error(&self, msg: &str, fields: &[(&str, FieldValue)]) {
+        self.log(Level::Error, msg, fields);
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex;
+
+    fn capture(
+        min: Level,
+        json: bool,
+        machine: Option<u64>,
+    ) -> (Arc<Logger>, Arc<Mutex<Vec<String>>>) {
+        let lines = Arc::new(Mutex::new(Vec::new()));
+        let sink_lines = Arc::clone(&lines);
+        let logger =
+            Logger::with_sink(min, json, machine, move |l| sink_lines.lock().push(l.to_string()));
+        (logger, lines)
+    }
+
+    #[test]
+    fn levels_filter() {
+        let (logger, lines) = capture(Level::Warn, false, None);
+        logger.info("quiet", &[]);
+        logger.warn("loud", &[]);
+        logger.error("louder", &[]);
+        let lines = lines.lock();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("loud"));
+    }
+
+    #[test]
+    fn off_disables_everything() {
+        let (logger, lines) = capture(Level::Off, false, None);
+        logger.error("nope", &[]);
+        assert!(lines.lock().is_empty());
+        assert!(!logger.enabled(Level::Error));
+    }
+
+    #[test]
+    fn json_lines_are_valid_json_objects() {
+        let (logger, lines) = capture(Level::Info, true, Some(3));
+        logger.warn(
+            "peer \"dead\"",
+            &[("epoch", 7u64.into()), ("op", "count_tags".into()), ("lost", 12u64.into())],
+        );
+        let lines = lines.lock();
+        let line = &lines[0];
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"level\":\"warn\""), "{line}");
+        assert!(line.contains("\"machine\":3"), "{line}");
+        assert!(line.contains("\"epoch\":7"), "{line}");
+        assert!(line.contains("\"op\":\"count_tags\""), "{line}");
+        assert!(line.contains("\"msg\":\"peer \\\"dead\\\"\""), "{line}");
+    }
+
+    #[test]
+    fn text_lines_carry_fields() {
+        let (logger, lines) = capture(Level::Debug, false, Some(0));
+        logger.debug("event", &[("key", "k1".into()), ("n", 5u64.into())]);
+        let lines = lines.lock();
+        assert!(lines[0].contains("m0"), "{}", lines[0]);
+        assert!(lines[0].contains("key=\"k1\""), "{}", lines[0]);
+        assert!(lines[0].contains("n=5"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("info"), Some(Level::Info));
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("verbose"), None);
+        assert!(Level::Warn < Level::Error);
+    }
+}

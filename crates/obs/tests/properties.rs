@@ -1,0 +1,117 @@
+//! Property tests for the observability substrate: counter exactness
+//! under concurrency, and heavy-hitter sketch accuracy on a Zipf stream
+//! against exact counts.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use muppet_obs::{Registry, SpaceSaving};
+use muppet_workloads::zipf::Zipf;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// The registry's counters are plain shared atomics: concurrent
+    /// increments from any number of threads sum exactly — no sampling,
+    /// no loss, no double counting.
+    #[test]
+    fn concurrent_increments_sum_exactly(
+        per_thread in proptest::collection::vec(1u64..2_000, 2..8),
+    ) {
+        let reg = Registry::new();
+        let counter = reg.counter("prop_events_total", "property-test counter");
+        let handles: Vec<_> = per_thread
+            .iter()
+            .map(|&n| {
+                let c = counter.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..n {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        prop_assert_eq!(counter.get(), per_thread.iter().sum::<u64>());
+        // The rendered exposition sees the same exact value.
+        let text = reg.render();
+        let parsed = muppet_obs::parse_exposition(&text).unwrap();
+        let sample = parsed.iter().find(|s| s.name == "prop_events_total").unwrap();
+        prop_assert_eq!(sample.value as u64, counter.get());
+    }
+
+    /// Labeled series are independent cells: concurrent traffic on one
+    /// never bleeds into its siblings.
+    #[test]
+    fn labeled_series_stay_independent(a in 1u64..5_000, b in 1u64..5_000) {
+        let reg = Arc::new(Registry::new());
+        let ca = reg.counter_with("prop_ops_total", "", &[("op", "a")]);
+        let cb = reg.counter_with("prop_ops_total", "", &[("op", "b")]);
+        let ta = { let c = ca.clone(); std::thread::spawn(move || for _ in 0..a { c.inc() }) };
+        let tb = { let c = cb.clone(); std::thread::spawn(move || for _ in 0..b { c.inc() }) };
+        ta.join().unwrap();
+        tb.join().unwrap();
+        prop_assert_eq!(ca.get(), a);
+        prop_assert_eq!(cb.get(), b);
+    }
+
+    /// Space-saving on a Zipf stream: every reported count is within the
+    /// classic `N / m` bound of the exact count, never undercounts, and
+    /// the guaranteed heavy hitters (true count > N / m) are all present.
+    #[test]
+    fn sketch_tracks_zipf_within_error_bound(
+        seed in 0u64..1_000,
+        skew in 8u32..20, // exponent = skew / 10 ∈ [0.8, 2.0)
+        capacity in 16usize..64,
+    ) {
+        let n_events = 20_000u64;
+        let universe = 5_000;
+        let zipf = Zipf::new(universe, skew as f64 / 10.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sketch = SpaceSaving::new(capacity);
+        let mut exact: HashMap<usize, u64> = HashMap::new();
+        for _ in 0..n_events {
+            let rank = zipf.sample(&mut rng);
+            *exact.entry(rank).or_default() += 1;
+            sketch.offer(rank);
+        }
+        prop_assert_eq!(sketch.offered(), n_events);
+        let bound = sketch.error_bound();
+        prop_assert_eq!(bound, n_events / capacity as u64);
+        for hh in sketch.top(capacity) {
+            let true_count = exact.get(&hh.key).copied().unwrap_or(0);
+            // Never undercounts; overshoot within the sketch's own err,
+            // which itself respects the global bound.
+            prop_assert!(hh.count >= true_count,
+                "key {} reported {} < true {}", hh.key, hh.count, true_count);
+            prop_assert!(hh.count - true_count <= hh.err,
+                "key {} overshoot {} exceeds tracked err {}",
+                hh.key, hh.count - true_count, hh.err);
+            prop_assert!(hh.err <= bound, "err {} above N/m bound {}", hh.err, bound);
+        }
+        // Completeness: every key with true count above N/m is tracked.
+        for (key, &count) in &exact {
+            if count > bound {
+                prop_assert!(sketch.estimate(key).is_some(),
+                    "guaranteed hitter {} (count {}) missing", key, count);
+            }
+        }
+        // The sketch's top-1 matches the true hottest rank whenever the
+        // stream is skewed enough for rank 0 to clear the error bound by
+        // a margin (true separation beats worst-case overshoot).
+        let (true_top, true_top_count) =
+            exact.iter().map(|(k, v)| (*k, *v)).max_by_key(|&(_, v)| v).unwrap();
+        let runner_up = exact
+            .iter()
+            .filter(|(k, _)| **k != true_top)
+            .map(|(_, v)| *v)
+            .max()
+            .unwrap_or(0);
+        if true_top_count > runner_up + bound {
+            prop_assert_eq!(sketch.top(1)[0].key, true_top);
+        }
+    }
+}

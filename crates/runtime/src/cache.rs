@@ -15,13 +15,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use muppet_core::event::Key;
 use muppet_core::hash::fx64_pair;
 use muppet_core::slate::Slate;
 use muppet_core::workflow::OpId;
+use muppet_obs::{HeavyHitter, HistogramSnapshot, Logger, Sampler, SpaceSaving};
 use muppet_slatestore::cluster::StoreCluster;
 use muppet_slatestore::types::CellKey;
 use parking_lot::{Condvar, Mutex};
@@ -355,6 +356,9 @@ pub struct ShardStats {
     pub capacity: u64,
 }
 
+/// One shard's space-saving sketch over ⟨op, key⟩ offers.
+type HotSketch = Mutex<SpaceSaving<(OpId, Key)>>;
+
 /// An LRU slate cache bound to a backend, split into power-of-two lock
 /// shards so a machine's worker pool stops serializing on one mutex
 /// (the Muppet 2.0 central cache was a single `Mutex<LruMap>` — with 4+
@@ -373,6 +377,20 @@ pub struct SlateCache {
     counters: CacheCounters,
     /// Distribution of flush-batch sizes (events per `store_many`).
     flush_batch_hist: Histogram,
+    /// Per-shard heavy-hitter sketches over the updater event stream
+    /// (⟨op, key⟩ offers from the engine's updater path, §5: "the
+    /// distribution of event keys can be strongly skewed"). Empty when
+    /// hot-key telemetry is off.
+    hot: Box<[HotSketch]>,
+    /// Per-shard 1-in-N gates for sketch offers; a hit offers with the
+    /// sampling interval as its weight, keeping reported counts
+    /// event-scale.
+    hot_samplers: Box<[Sampler]>,
+    /// µs per backend store call on the flush path; shared with the
+    /// registry when one is attached.
+    flush_latency: Arc<Histogram>,
+    /// Incident logger (flush failures, aggregated once per sweep).
+    logger: Arc<Logger>,
 }
 
 impl std::fmt::Debug for SlateCache {
@@ -423,6 +441,10 @@ impl SlateCache {
             flush_batch_max: DEFAULT_FLUSH_BATCH_MAX,
             counters: CacheCounters::default(),
             flush_batch_hist: Histogram::new(),
+            hot: Box::new([]),
+            hot_samplers: Box::new([]),
+            flush_latency: Arc::new(Histogram::new()),
+            logger: Logger::disabled(),
         }
     }
 
@@ -430,6 +452,38 @@ impl SlateCache {
     /// `store_many` call at most (1 = the per-slate write-behind path).
     pub fn with_flush_batch(mut self, flush_batch_max: usize) -> Self {
         self.flush_batch_max = flush_batch_max.max(1);
+        self
+    }
+
+    /// Enable per-⟨op, key⟩ hot-spot telemetry: one space-saving sketch
+    /// of `capacity` keys per lock shard, fed 1-in-`sample_n` offers
+    /// (each weighted by the interval). `capacity = 0` disables it —
+    /// [`SlateCache::offer_hot`] becomes a single branch.
+    pub fn with_hot_keys(mut self, capacity: usize, sample_n: u64) -> Self {
+        if capacity == 0 {
+            self.hot = Box::new([]);
+            self.hot_samplers = Box::new([]);
+            return self;
+        }
+        let n = self.shards.len();
+        let sketches: Vec<Mutex<SpaceSaving<(OpId, Key)>>> =
+            (0..n).map(|_| Mutex::new(SpaceSaving::new(capacity))).collect();
+        let samplers: Vec<Sampler> = (0..n).map(|_| Sampler::every(sample_n)).collect();
+        self.hot = sketches.into_boxed_slice();
+        self.hot_samplers = samplers.into_boxed_slice();
+        self
+    }
+
+    /// Record flush-path store latency into `hist` (a registry-owned
+    /// histogram, so `/metrics` exports the flush stage).
+    pub fn with_flush_latency(mut self, hist: Arc<Histogram>) -> Self {
+        self.flush_latency = hist;
+        self
+    }
+
+    /// Route flush-incident warnings through `logger`.
+    pub fn with_logger(mut self, logger: Arc<Logger>) -> Self {
+        self.logger = logger;
         self
     }
 
@@ -660,6 +714,48 @@ impl SlateCache {
         self.maybe_ttl_reset(slot, now_us);
     }
 
+    /// Offer one updater event's ⟨op, key⟩ to the hot-key sketches. The
+    /// engine calls this once per processed update event (memo-hit and
+    /// map-lookup paths alike); the per-shard sampler keeps the steady
+    /// cost to one relaxed `fetch_add`, and each sampled hit is weighted
+    /// by the interval so reported counts stay event-scale estimates.
+    pub fn offer_hot(&self, op: OpId, key: &Key) {
+        if self.hot.is_empty() {
+            return;
+        }
+        let h = fx64_pair(key.as_bytes(), &(op as u64).to_le_bytes());
+        let i = (h & self.shard_mask) as usize;
+        let sampler = &self.hot_samplers[i];
+        if sampler.hit() {
+            self.hot[i].lock().offer_n((op, key.clone()), sampler.rate());
+        }
+    }
+
+    /// The top `k` ⟨op, key⟩ pairs by estimated event count, merged
+    /// across shards. Shard selection is key-stable, so per-shard entries
+    /// are disjoint and a concatenation-then-sort merge is exact over the
+    /// union of the shard sketches.
+    pub fn hot_keys(&self, k: usize) -> Vec<HeavyHitter<(OpId, Key)>> {
+        let mut all: Vec<HeavyHitter<(OpId, Key)>> = Vec::new();
+        for sketch in self.hot.iter() {
+            let sketch = sketch.lock();
+            all.extend(sketch.top(sketch.capacity()));
+        }
+        all.sort_by(|a, b| b.count.cmp(&a.count).then(a.err.cmp(&b.err)));
+        all.truncate(k);
+        all
+    }
+
+    /// Point-in-time reading of the flush-batch-size histogram (the
+    /// registry's cache collector exports it as a histogram family).
+    pub fn flush_batch_snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bucket_counts: self.flush_batch_hist.bucket_counts(),
+            sum: self.flush_batch_hist.sum_us(),
+            count: self.flush_batch_hist.count(),
+        }
+    }
+
     /// Register `slot` in its shard's dirty index if it is not already
     /// there (caller holds the slot's state lock — the `indexed` flag
     /// makes steady-state re-writes of an already-dirty slate free).
@@ -694,13 +790,16 @@ impl SlateCache {
             // land out of order. The slot stays dirty; the in-flight
             // flush's CAS sees the newer version and re-registers it.)
             self.counters.store_round_trips.fetch_add(1, Ordering::Relaxed);
-            if self.backend.store(
+            let t0 = Instant::now();
+            let ok = self.backend.store(
                 &slot.updater,
                 &slot.key,
                 state.slate.bytes(),
                 slot.ttl_secs,
                 now_us,
-            ) {
+            );
+            self.flush_latency.record(t0.elapsed().as_micros() as u64);
+            if ok {
                 state.flushed_version = state.slate.version();
                 self.counters.flush_writes.fetch_add(1, Ordering::Relaxed);
                 return;
@@ -747,7 +846,10 @@ impl SlateCache {
             (state.slate.to_shared(), state.slate.version())
         };
         self.counters.store_round_trips.fetch_add(1, Ordering::Relaxed);
-        if self.backend.store(&slot.updater, &slot.key, &bytes, slot.ttl_secs, now_us) {
+        let t0 = Instant::now();
+        let ok = self.backend.store(&slot.updater, &slot.key, &bytes, slot.ttl_secs, now_us);
+        self.flush_latency.record(t0.elapsed().as_micros() as u64);
+        if ok {
             let mut state = slot.state.lock();
             state.flushing = false;
             if version > state.flushed_version {
@@ -765,6 +867,15 @@ impl SlateCache {
             state.flushing = false;
             self.force_reindex(slot, &mut state);
             self.counters.flush_failures.fetch_add(1, Ordering::Relaxed);
+            // One warn per failed flush attempt of one slot (the
+            // eviction / handoff path flushes one slate per incident).
+            self.logger.warn(
+                "slate flush failed; kept dirty for retry",
+                &[
+                    ("updater", slot.updater.as_ref().into()),
+                    ("key", String::from_utf8_lossy(slot.key.as_bytes()).into_owned().into()),
+                ],
+            );
             FlushOutcome::Failed
         }
     }
@@ -858,6 +969,7 @@ impl SlateCache {
             candidates.extend(shard.dirty.lock().drain().filter_map(|(_, weak)| weak.upgrade()));
         }
         let mut written = 0u64;
+        let mut failed = 0u64;
         let mut at = 0usize;
         while at < candidates.len() {
             // Snapshot phase: bytes + version per dirty slot, each under
@@ -917,7 +1029,9 @@ impl SlateCache {
                 continue;
             }
             // One batched backend call for the whole chunk.
+            let t0 = Instant::now();
             let oks = self.backend.store_many(&items, now_us);
+            self.flush_latency.record(t0.elapsed().as_micros() as u64);
             self.counters.store_round_trips.fetch_add(1, Ordering::Relaxed);
             self.counters.flush_batches.fetch_add(1, Ordering::Relaxed);
             self.flush_batch_hist.record(items.len() as u64);
@@ -945,8 +1059,18 @@ impl SlateCache {
                     state.flushing = false;
                     self.force_reindex(slot, &mut state);
                     self.counters.flush_failures.fetch_add(1, Ordering::Relaxed);
+                    failed += 1;
                 }
             }
+        }
+        if failed > 0 {
+            // One warn per sweep, not per slate: a store outage during a
+            // large sweep is one incident, and per-slot records from
+            // concurrent sweeps would interleave into noise.
+            self.logger.warn(
+                "flush sweep: backend refused writes; slates stay dirty for retry",
+                &[("failed", failed.into()), ("written", written.into())],
+            );
         }
         written
     }

@@ -25,6 +25,7 @@
 //!
 //! Machines are structs; "the network" is a queue hand-off. See DESIGN.md.
 
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -39,6 +40,7 @@ use muppet_net::frame::{MembershipPhase, MembershipUpdate, WireEvent, MAX_FORWAR
 use muppet_net::tcp::{BatchConfig, TcpListenerHandle, TcpTransport};
 use muppet_net::topology::{NodeSpec, Topology};
 use muppet_net::transport::{ClusterHandler, InProcessTransport, MachineId, NetError, Transport};
+use muppet_obs::{Counter, Level, Logger, Registry, Sample, Sampler};
 use muppet_slatestore::cluster::StoreCluster;
 use muppet_slatestore::ring::{ConsistentRing, EpochRing};
 use parking_lot::{Condvar, Mutex, RwLock};
@@ -168,6 +170,23 @@ pub struct EngineConfig {
     /// yet joined* ids — present in the node list for addressing — never
     /// enter its rings before their own commit.
     pub ring_members: Option<Vec<usize>>,
+    /// Master switch for the observability extras that ride the hot
+    /// path: sampled per-stage latency spans and per-shard hot-key
+    /// sketch offers. The registry's counters and the end-to-end latency
+    /// histogram are always on (one relaxed atomic each — they predate
+    /// the registry).
+    pub metrics: bool,
+    /// 1-in-N sampling interval for per-stage latency spans and hot-key
+    /// offers (rounded up to a power of two; 1 = observe every event).
+    pub latency_sample_n: u64,
+    /// Keys tracked per cache shard by the space-saving hot-key sketch
+    /// (0 disables per-⟨op, key⟩ telemetry).
+    pub hot_key_capacity: usize,
+    /// Minimum severity for operational incident logging. Defaults to
+    /// `Off` so libraries and tests stay silent; `muppetd` raises it.
+    pub log_level: Level,
+    /// Emit incident log records as JSON lines instead of human text.
+    pub log_json: bool,
 }
 
 impl Default for EngineConfig {
@@ -194,6 +213,11 @@ impl Default for EngineConfig {
             initial_epoch: 0,
             initial_failed: Vec::new(),
             ring_members: None,
+            metrics: true,
+            latency_sample_n: 64,
+            hot_key_capacity: 64,
+            log_level: Level::Off,
+            log_json: false,
         }
     }
 }
@@ -227,6 +251,11 @@ impl EngineConfig {
             initial_epoch: 0,
             initial_failed: Vec::new(),
             ring_members: None,
+            metrics: true,
+            latency_sample_n: 64,
+            hot_key_capacity: 64,
+            log_level: Level::Off,
+            log_json: false,
         }
     }
 }
@@ -321,6 +350,10 @@ struct Packet {
     redirected: bool,
     /// Ownership-forwarding hops so far (elastic handoff; capped).
     forwards: u8,
+    /// Engine-relative µs at local enqueue when the queue-wait span
+    /// sampled this packet; 0 = unsampled. Stamped only on the local
+    /// delivery side — never crosses the wire.
+    enqueued_us: u64,
 }
 
 /// Per-machine state.
@@ -357,19 +390,59 @@ struct WorkerSlot {
     op: OpId,
 }
 
-/// Cumulative engine counters.
-#[derive(Debug, Default)]
+/// Cumulative engine counters — registry handles, so the same atomic
+/// cells feed both [`EngineStats`] and the `/metrics` exposition.
 struct Counters {
-    submitted: AtomicU64,
-    processed: AtomicU64,
-    emitted: AtomicU64,
-    lost_machine_failure: AtomicU64,
-    lost_in_queues: AtomicU64,
-    dropped_overflow: AtomicU64,
-    redirected_overflow: AtomicU64,
-    throttle_waits: AtomicU64,
-    publish_errors: AtomicU64,
-    forwarded: AtomicU64,
+    submitted: Counter,
+    processed: Counter,
+    emitted: Counter,
+    lost_machine_failure: Counter,
+    lost_in_queues: Counter,
+    dropped_overflow: Counter,
+    redirected_overflow: Counter,
+    throttle_waits: Counter,
+    publish_errors: Counter,
+    forwarded: Counter,
+}
+
+impl Counters {
+    fn register(reg: &Registry) -> Counters {
+        let lost = "Events lost (§4.3), by reason";
+        Counters {
+            submitted: reg.counter("muppet_events_submitted_total", "External events accepted"),
+            processed: reg
+                .counter("muppet_events_processed_total", "Operator invocations completed"),
+            emitted: reg.counter("muppet_events_emitted_total", "Events emitted by operators"),
+            lost_machine_failure: reg.counter_with(
+                "muppet_events_lost_total",
+                lost,
+                &[("reason", "machine_failure")],
+            ),
+            lost_in_queues: reg.counter_with(
+                "muppet_events_lost_total",
+                lost,
+                &[("reason", "in_queues")],
+            ),
+            dropped_overflow: reg
+                .counter("muppet_overflow_dropped_total", "Events dropped by the overflow policy"),
+            redirected_overflow: reg.counter(
+                "muppet_overflow_redirected_total",
+                "Events redirected to the overflow stream",
+            ),
+            throttle_waits: reg.counter(
+                "muppet_throttle_waits_total",
+                "Times an external producer blocked on source throttling",
+            ),
+            publish_errors: reg.counter(
+                "muppet_publish_errors_total",
+                "Emissions to unknown/external streams (discarded)",
+            ),
+            forwarded: reg.counter(
+                "muppet_events_forwarded_total",
+                "Events re-sent to their current owner (elastic handoff)",
+            ),
+        }
+    }
 }
 
 /// Public snapshot of engine statistics.
@@ -483,7 +556,7 @@ impl Machine {
     }
 
     /// A local Muppet 2.0 machine: a worker pool and one central cache.
-    fn local2(cfg: &EngineConfig, backend: &Arc<dyn SlateBackend>) -> Machine {
+    fn local2(cfg: &EngineConfig, backend: &Arc<dyn SlateBackend>, obs: &CacheObs) -> Machine {
         let threads = cfg.workers_per_machine.max(1);
         Machine {
             local: true,
@@ -497,7 +570,10 @@ impl Machine {
                     Arc::clone(backend),
                     cfg.cache_shards.max(1),
                 )
-                .with_flush_batch(cfg.flush_batch_max),
+                .with_flush_batch(cfg.flush_batch_max)
+                .with_hot_keys(obs.hot_key_capacity, obs.hot_sample_n)
+                .with_flush_latency(Arc::clone(&obs.flush_latency))
+                .with_logger(Arc::clone(&obs.logger)),
             )),
             worker_caches: (0..threads).map(|_| None).collect(),
             thread_ops: (0..threads).map(|_| None).collect(),
@@ -512,6 +588,7 @@ impl Machine {
         wf: &Workflow,
         cfg: &EngineConfig,
         backend: &Arc<dyn SlateBackend>,
+        obs: &CacheObs,
     ) -> Machine {
         let n_upd =
             thread_ops.iter().filter(|&&op| wf.op(op).kind == OpKind::Update).count().max(1);
@@ -526,7 +603,10 @@ impl Machine {
                 if wf.op(op).kind == OpKind::Update {
                     Some(Arc::new(
                         SlateCache::new(per_worker_cap, cfg.flush, Arc::clone(backend))
-                            .with_flush_batch(cfg.flush_batch_max),
+                            .with_flush_batch(cfg.flush_batch_max)
+                            .with_hot_keys(obs.hot_key_capacity, obs.hot_sample_n)
+                            .with_flush_latency(Arc::clone(&obs.flush_latency))
+                            .with_logger(Arc::clone(&obs.logger)),
                     ))
                 } else {
                     None
@@ -616,6 +696,72 @@ impl Membership {
     }
 }
 
+/// Help string shared by every `muppet_stage_latency_us` series.
+const STAGE_HELP: &str = "Sampled per-stage event latency, microseconds";
+
+/// The observability wiring every slate cache receives at construction —
+/// founding machines and elastic joiners alike (kept in [`Shared`] so
+/// `join_machine` builds identically instrumented caches).
+#[derive(Clone)]
+struct CacheObs {
+    /// The `stage="flush"` latency histogram (backend store calls).
+    flush_latency: Arc<Histogram>,
+    logger: Arc<Logger>,
+    /// Keys per shard for the hot-key sketch (0 = disabled).
+    hot_key_capacity: usize,
+    /// 1-in-N sampling of sketch offers (counted with weight N).
+    hot_sample_n: u64,
+}
+
+/// Sampled per-stage latency spans: ingest (submit → accepted by a
+/// queue), queue-wait (enqueue → drained), service (slate fetch +
+/// operator execution, labeled per op), and fan-out (emitted records →
+/// re-routed). The flush stage lives cache-side via [`CacheObs`]. Each
+/// span is timed on 1 in `latency_sample_n` events; an unsampled event
+/// pays one relaxed fetch_add and a branch.
+struct StageMetrics {
+    /// False ⇒ every span site is a single load + branch.
+    enabled: bool,
+    sampler_ingest: Sampler,
+    sampler_queue: Sampler,
+    sampler_service: Sampler,
+    sampler_fanout: Sampler,
+    ingest: Arc<Histogram>,
+    queue_wait: Arc<Histogram>,
+    /// Indexed by `OpId`.
+    service: Vec<Arc<Histogram>>,
+    fanout: Arc<Histogram>,
+}
+
+impl StageMetrics {
+    fn new(reg: &Registry, wf: &Workflow, cfg: &EngineConfig) -> StageMetrics {
+        let n = cfg.latency_sample_n.max(1);
+        let stage =
+            |s: &str| reg.histogram_with("muppet_stage_latency_us", STAGE_HELP, &[("stage", s)]);
+        StageMetrics {
+            enabled: cfg.metrics,
+            sampler_ingest: Sampler::every(n),
+            sampler_queue: Sampler::every(n),
+            sampler_service: Sampler::every(n),
+            sampler_fanout: Sampler::every(n),
+            ingest: stage("ingest"),
+            queue_wait: stage("queue_wait"),
+            service: wf
+                .ops()
+                .iter()
+                .map(|op| {
+                    reg.histogram_with(
+                        "muppet_stage_latency_us",
+                        STAGE_HELP,
+                        &[("stage", "service"), ("op", &op.name)],
+                    )
+                })
+                .collect(),
+            fanout: stage("fanout"),
+        }
+    }
+}
+
 struct Shared {
     wf: Workflow,
     ops: Vec<OpInstance>,
@@ -652,9 +798,26 @@ struct Shared {
     pending: AtomicI64,
     stopping: AtomicBool,
     counters: Counters,
-    latency: Histogram,
+    latency: Arc<Histogram>,
     /// Batch sizes of non-empty worker queue drains.
-    drain_hist: Histogram,
+    drain_hist: Arc<Histogram>,
+    /// The unified metrics registry: every counter/histogram above is a
+    /// handle into it, and collectors pull cache/net/store state at
+    /// scrape time. `Engine::registry()` / `GET /metrics` expose it.
+    registry: Arc<Registry>,
+    /// Sampled per-stage latency spans.
+    stages: StageMetrics,
+    /// Leveled incident logger (peer deaths, flush failures). Disabled
+    /// (`Level::Off`) unless the config raises it.
+    logger: Arc<Logger>,
+    /// Peers whose death was already logged through `logger`: §4.3
+    /// detection can fire concurrently from the sync-send, forward, and
+    /// batch-sender paths for one incident; this set makes the
+    /// operator-facing record exactly-once while the [`DropLog`] ring
+    /// keeps its per-event entries.
+    logged_peer_deaths: Mutex<HashSet<usize>>,
+    /// Cache observability wiring, reused by elastic joins.
+    cache_obs: CacheObs,
     drop_log: DropLog,
     start: Instant,
     /// Source-throttling gate: producers wait here when queues are full.
@@ -785,6 +948,27 @@ impl Engine {
             })
             .collect::<Result<_>>()?;
 
+        // The observability substrate: one registry per engine, built
+        // before the machines so every cache records into it from the
+        // first event.
+        let registry = Arc::new(Registry::new());
+        let logger = if cfg.log_level == Level::Off {
+            Logger::disabled()
+        } else {
+            Logger::stderr(cfg.log_level, cfg.log_json, transport.local_machine().map(|m| m as u64))
+        };
+        let stages = StageMetrics::new(&registry, &workflow, &cfg);
+        let cache_obs = CacheObs {
+            flush_latency: registry.histogram_with(
+                "muppet_stage_latency_us",
+                STAGE_HELP,
+                &[("stage", "flush")],
+            ),
+            logger: Arc::clone(&logger),
+            hot_key_capacity: if cfg.metrics { cfg.hot_key_capacity } else { 0 },
+            hot_sample_n: cfg.latency_sample_n.max(1),
+        };
+
         // Build machines + worker layout. Machines `0..base` carry the
         // founding layout; machines `base..` joined a running cluster and
         // carry the deterministic join layout (replayed identically on
@@ -799,7 +983,7 @@ impl Engine {
             EngineKind::Muppet2 => {
                 for m in 0..cfg.machines {
                     machines.push(Arc::new(if is_local(m) {
-                        Machine::local2(&cfg, &backend)
+                        Machine::local2(&cfg, &backend, &cache_obs)
                     } else {
                         Machine::remote_stub()
                     }));
@@ -824,7 +1008,7 @@ impl Engine {
                 }
                 for (m, thread_ops) in per_machine_threads.iter().enumerate() {
                     machines.push(Arc::new(if is_local(m) {
-                        Machine::local1(thread_ops, &workflow, &cfg, &backend)
+                        Machine::local1(thread_ops, &workflow, &cfg, &backend, &cache_obs)
                     } else {
                         Machine::remote_stub()
                     }));
@@ -842,7 +1026,7 @@ impl Engine {
                 let join_ops = join_layout_ops(&workflow);
                 for id in base..cfg.machines {
                     machines.push(Arc::new(if is_local(id) {
-                        Machine::local1(&join_ops, &workflow, &cfg, &backend)
+                        Machine::local1(&join_ops, &workflow, &cfg, &backend, &cache_obs)
                     } else {
                         Machine::remote_stub()
                     }));
@@ -926,9 +1110,18 @@ impl Engine {
             master: Master::new(),
             pending: AtomicI64::new(0),
             stopping: AtomicBool::new(false),
-            counters: Counters::default(),
-            latency: Histogram::new(),
-            drain_hist: Histogram::new(),
+            counters: Counters::register(&registry),
+            latency: registry.histogram(
+                "muppet_event_latency_us",
+                "End-to-end event latency (injection → updater completion), microseconds",
+            ),
+            drain_hist: registry
+                .histogram("muppet_drain_batch_events", "Events per non-empty worker queue drain"),
+            registry,
+            stages,
+            logger,
+            logged_peer_deaths: Mutex::new(HashSet::new()),
+            cache_obs,
             drop_log: DropLog::new(1024),
             start: Instant::now(),
             throttle_mutex: Mutex::new(()),
@@ -938,6 +1131,7 @@ impl Engine {
         for failed in initial_failed {
             shared.master.mark_failed(failed, initial_epoch);
         }
+        register_collectors(&shared);
 
         // Wire the transport back into this engine.
         let handler = Arc::new(EngineHandler(Arc::clone(&shared)));
@@ -1013,13 +1207,13 @@ impl Engine {
                 if self.shared.stopping.load(Ordering::Acquire) {
                     break;
                 }
-                self.shared.counters.throttle_waits.fetch_add(1, Ordering::Relaxed);
+                self.shared.counters.throttle_waits.inc();
                 let mut guard = self.shared.throttle_mutex.lock();
                 self.shared.throttle_cv.wait_for(&mut guard, Duration::from_millis(1));
             }
         }
         let injected_us = self.shared.now_us();
-        self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.submitted.inc();
         // The workflow is immutable after start: iterate the subscriber
         // slice directly (no per-event Vec) and move the event into the
         // last packet instead of cloning it.
@@ -1032,11 +1226,25 @@ impl Engine {
                     injected_us,
                     redirected: false,
                     forwards: 0,
+                    enqueued_us: 0,
                 };
                 try_send(&self.shared, packet, true);
             }
-            let packet = Packet { op: last, event, injected_us, redirected: false, forwards: 0 };
+            let packet = Packet {
+                op: last,
+                event,
+                injected_us,
+                redirected: false,
+                forwards: 0,
+                enqueued_us: 0,
+            };
             try_send(&self.shared, packet, true);
+        }
+        let stages = &self.shared.stages;
+        if stages.enabled && stages.sampler_ingest.hit() {
+            // The ingest span: external injection → accepted by a queue
+            // (or the transport's outbox) for every subscriber.
+            stages.ingest.record(self.shared.now_us().saturating_sub(injected_us));
         }
         Ok(())
     }
@@ -1217,7 +1425,7 @@ impl Engine {
             lost += dropped.len() as u64;
             q.notify();
         }
-        self.shared.counters.lost_in_queues.fetch_add(lost, Ordering::Relaxed);
+        self.shared.counters.lost_in_queues.add(lost);
         self.shared.pending.fetch_sub(lost as i64, Ordering::AcqRel);
     }
 
@@ -1258,12 +1466,15 @@ impl Engine {
             let mut machines = shared.machines.write();
             let id = machines.len();
             let machine = match shared.cfg.kind {
-                EngineKind::Muppet2 => Machine::local2(&shared.cfg, &shared.backend),
+                EngineKind::Muppet2 => {
+                    Machine::local2(&shared.cfg, &shared.backend, &shared.cache_obs)
+                }
                 EngineKind::Muppet1 => Machine::local1(
                     &join_layout_ops(&shared.wf),
                     &shared.wf,
                     &shared.cfg,
                     &shared.backend,
+                    &shared.cache_obs,
                 ),
             };
             machines.push(Arc::new(machine));
@@ -1436,16 +1647,16 @@ impl Engine {
             None => NetSummary::default(),
         };
         EngineStats {
-            submitted: c.submitted.load(Ordering::Relaxed),
-            processed: c.processed.load(Ordering::Relaxed),
-            emitted: c.emitted.load(Ordering::Relaxed),
-            lost_machine_failure: c.lost_machine_failure.load(Ordering::Relaxed),
-            lost_in_queues: c.lost_in_queues.load(Ordering::Relaxed),
-            dropped_overflow: c.dropped_overflow.load(Ordering::Relaxed),
-            redirected_overflow: c.redirected_overflow.load(Ordering::Relaxed),
-            throttle_waits: c.throttle_waits.load(Ordering::Relaxed),
-            publish_errors: c.publish_errors.load(Ordering::Relaxed),
-            forwarded: c.forwarded.load(Ordering::Relaxed),
+            submitted: c.submitted.get(),
+            processed: c.processed.get(),
+            emitted: c.emitted.get(),
+            lost_machine_failure: c.lost_machine_failure.get(),
+            lost_in_queues: c.lost_in_queues.get(),
+            dropped_overflow: c.dropped_overflow.get(),
+            redirected_overflow: c.redirected_overflow.get(),
+            throttle_waits: c.throttle_waits.get(),
+            publish_errors: c.publish_errors.get(),
+            forwarded: c.forwarded.get(),
             epoch: self.shared.epoch(),
             latency: self.shared.latency.summary(),
             cache,
@@ -1469,6 +1680,47 @@ impl Engine {
                 miss_coalesced: cache.miss_coalesced,
             },
         }
+    }
+
+    /// The engine's unified metrics registry: every [`EngineStats`]
+    /// counter plus cache/net/store collectors. `registry().render()` is
+    /// the Prometheus text exposition served at `GET /metrics`.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
+    }
+
+    /// The Prometheus text exposition of this engine's registry.
+    pub fn metrics_text(&self) -> String {
+        self.shared.registry.render()
+    }
+
+    /// Whole seconds since the engine started.
+    pub fn uptime_s(&self) -> u64 {
+        self.shared.start.elapsed().as_secs()
+    }
+
+    /// The hottest ⟨updater, key⟩ pairs this node has seen, estimated by
+    /// the per-shard space-saving sketches (count, overshoot bound), best
+    /// first. Empty when `hot_key_capacity` is 0 or metrics are off.
+    pub fn hot_keys(&self, k: usize) -> Vec<(String, Key, u64, u64)> {
+        let mut all = Vec::new();
+        for m in &self.shared.machines_snapshot() {
+            if let Some(central) = &m.central_cache {
+                all.extend(central.hot_keys(k));
+            }
+            for wc in m.worker_caches.iter().flatten() {
+                all.extend(wc.hot_keys(k));
+            }
+        }
+        all.sort_by(|a, b| b.count.cmp(&a.count).then(a.err.cmp(&b.err)));
+        all.truncate(k);
+        all.into_iter()
+            .map(|hh| {
+                let (op, key) = hh.key;
+                let name = self.shared.wf.op(op).name.clone();
+                (name, key, hh.count, hh.err)
+            })
+            .collect()
     }
 
     /// Per-shard central-cache statistics, summed shard-wise across this
@@ -1603,11 +1855,14 @@ struct Finished {
 /// Admit one finished packet's emissions (ts = input ts + 1, §3) and
 /// retire it from the in-flight count.
 fn finish_packet(shared: &Arc<Shared>, done: Finished) {
+    let fanout_t0 =
+        (!done.records.is_empty() && shared.stages.enabled && shared.stages.sampler_fanout.hit())
+            .then(|| shared.now_us());
     for rec in done.records {
-        shared.counters.emitted.fetch_add(1, Ordering::Relaxed);
+        shared.counters.emitted.inc();
         if shared.wf.is_external(rec.stream.as_str()) || !shared.wf.has_stream(rec.stream.as_str())
         {
-            shared.counters.publish_errors.fetch_add(1, Ordering::Relaxed);
+            shared.counters.publish_errors.inc();
             shared.drop_log.log(format!(
                 "illegal publish to {} from {}",
                 rec.stream,
@@ -1623,6 +1878,9 @@ fn finish_packet(shared: &Arc<Shared>, done: Finished) {
             seq: 0,
         };
         fan_out(shared, &rec.stream, out, done.injected_us, done.redirected);
+    }
+    if let Some(t0) = fanout_t0 {
+        shared.stages.fanout.record(shared.now_us().saturating_sub(t0));
     }
     shared.pending.fetch_sub(1, Ordering::AcqRel);
     shared.throttle_cv.notify_all();
@@ -1657,14 +1915,24 @@ fn process_batch(
         );
         let route = packet.event.key.route_hash(&shared.wf.op(packet.op).name);
         machine.in_flight[thread].store(route.wrapping_add(1), Ordering::Release);
+        if packet.enqueued_us > 0 {
+            // The queue-wait span: stamped at local enqueue by a sampler
+            // hit, closed when the drain reaches the packet.
+            shared.stages.queue_wait.record(shared.now_us().saturating_sub(packet.enqueued_us));
+        }
         match &shared.ops[packet.op] {
             OpInstance::Map(mapper) => {
                 // Mappers need no membership lock; an open updater run's
                 // guard is left in place and the mapper's fan-out joins
                 // the deferred queue like everyone else's.
+                let service_t0 = (shared.stages.enabled && shared.stages.sampler_service.hit())
+                    .then(|| shared.now_us());
                 let mut emitter = VecEmitter::new();
                 mapper.map(&mut emitter, &packet.event);
-                shared.counters.processed.fetch_add(1, Ordering::Relaxed);
+                if let Some(t0) = service_t0 {
+                    shared.stages.service[packet.op].record(shared.now_us().saturating_sub(t0));
+                }
+                shared.counters.processed.inc();
                 machine.in_flight[thread].store(0, Ordering::Release);
                 finished.push(Finished {
                     op: packet.op,
@@ -1731,6 +1999,8 @@ fn process_batch(
                         .as_ref()
                         .expect("1.0 updater thread owns a cache"),
                 };
+                cache.offer_hot(packet.op, &packet.event.key);
+                let service_sampled = shared.stages.enabled && shared.stages.sampler_service.hit();
                 let now = shared.now_us();
                 let slot = match &memo {
                     Some((m_op, m_key, m_slot))
@@ -1752,10 +2022,15 @@ fn process_batch(
                     updater.update(&mut emitter, &packet.event, &mut state.slate);
                     cache.note_write(&slot, &mut state, now);
                 }
+                if service_sampled {
+                    // Service span: slate fetch (cache or store) + the
+                    // update under the slot lock.
+                    shared.stages.service[packet.op].record(shared.now_us().saturating_sub(now));
+                }
                 if shared.cfg.record_latency {
                     shared.latency.record(shared.now_us().saturating_sub(packet.injected_us));
                 }
-                shared.counters.processed.fetch_add(1, Ordering::Relaxed);
+                shared.counters.processed.inc();
                 machine.in_flight[thread].store(0, Ordering::Release);
                 finished.push(Finished {
                     op: packet.op,
@@ -1778,16 +2053,37 @@ fn process_batch(
 /// by [`MAX_FORWARDS`] so disagreeing rings can never ping-pong an event
 /// forever — past the cap the event is dropped-and-logged like any other
 /// undeliverable (§4.3 posture).
+/// Log a peer's death through the leveled logger exactly once per peer.
+/// §4.3 detection is send-driven and can fire concurrently from the
+/// sync-send, forward, and batch-sender failure paths for one incident;
+/// without the set each path would emit its own report. The [`DropLog`]
+/// ring keeps its per-event entries regardless.
+fn log_peer_death(shared: &Arc<Shared>, dest: usize, lost_events: u64) {
+    if !shared.logger.enabled(Level::Warn) {
+        return;
+    }
+    if shared.logged_peer_deaths.lock().insert(dest) {
+        shared.logger.warn(
+            "peer unreachable; reported to master (send-detect, §4.3)",
+            &[
+                ("peer", (dest as u64).into()),
+                ("epoch", shared.epoch().into()),
+                ("lost_events", lost_events.into()),
+            ],
+        );
+    }
+}
+
 fn forward_packet(shared: &Arc<Shared>, packet: Packet, owner: usize, thread_hint: Option<usize>) {
     if packet.forwards >= MAX_FORWARDS {
-        shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+        shared.counters.lost_machine_failure.inc();
         shared.drop_log.log(format!(
             "forward cap hit for key={:?} (rings disagree about machine {owner}?)",
             packet.event.key
         ));
         return;
     }
-    shared.counters.forwarded.fetch_add(1, Ordering::Relaxed);
+    shared.counters.forwarded.inc();
     let key = packet.event.key.clone();
     let ev = WireEvent {
         op: packet.op,
@@ -1804,11 +2100,12 @@ fn forward_packet(shared: &Arc<Shared>, packet: Packet, owner: usize, thread_hin
         Ok(()) => {}
         Err(NetError::Unreachable(_)) => {
             shared.transport.report_failure(owner, shared.epoch());
-            shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+            log_peer_death(shared, owner, 1);
+            shared.counters.lost_machine_failure.inc();
             shared.drop_log.log(format!("lost to failed machine {owner}: key={key:?}"));
         }
         Err(e) => {
-            shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+            shared.counters.lost_machine_failure.inc();
             shared.drop_log.log(format!("undeliverable to machine {owner} ({e}): key={key:?}"));
         }
     }
@@ -1825,10 +2122,18 @@ fn fan_out(
     let subscribers = shared.wf.subscribers_of(stream.as_str());
     if let Some((&last, rest)) = subscribers.split_last() {
         for &op in rest {
-            let packet = Packet { op, event: event.clone(), injected_us, redirected, forwards: 0 };
+            let packet = Packet {
+                op,
+                event: event.clone(),
+                injected_us,
+                redirected,
+                forwards: 0,
+                enqueued_us: 0,
+            };
             try_send(shared, packet, false);
         }
-        let packet = Packet { op: last, event, injected_us, redirected, forwards: 0 };
+        let packet =
+            Packet { op: last, event, injected_us, redirected, forwards: 0, enqueued_us: 0 };
         try_send(shared, packet, false);
     }
 }
@@ -1856,7 +2161,7 @@ fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
         }
     };
     let Some((machine_id, thread_hint)) = dest else {
-        shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+        shared.counters.lost_machine_failure.inc();
         return;
     };
     let key = packet.event.key.clone();
@@ -1876,14 +2181,15 @@ fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
             // the master (the master's broadcast removes it from every
             // ring); the undeliverable event is lost and logged.
             shared.transport.report_failure(machine_id, shared.epoch());
-            shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+            log_peer_death(shared, machine_id, 1);
+            shared.counters.lost_machine_failure.inc();
             shared.drop_log.log(format!("lost to failed machine {machine_id}: key={key:?}"));
         }
         Err(e) => {
             // A local protocol/config error (oversized frame, no handler)
             // is not a dead peer — the event is lost and logged, but the
             // machine must not be declared failed.
-            shared.counters.lost_machine_failure.fetch_add(1, Ordering::Relaxed);
+            shared.counters.lost_machine_failure.inc();
             shared
                 .drop_log
                 .log(format!("undeliverable to machine {machine_id} ({e}): key={key:?}"));
@@ -1965,12 +2271,23 @@ fn deliver_local(
             }
         };
         let queue = &machine.queues[thread];
-        let into_packet = |ev: WireEvent| Packet {
-            op: ev.op,
-            event: ev.event,
-            injected_us: ev.injected_us,
-            redirected: ev.redirected,
-            forwards: ev.forwards,
+        let into_packet = |ev: WireEvent| {
+            // Stamp the queue-wait span here, on the receiving side —
+            // the mark never crosses the wire (`max(1)`: 0 means
+            // unsampled, and `now_us` can legitimately be 0 early on).
+            let enqueued_us = if shared.stages.enabled && shared.stages.sampler_queue.hit() {
+                shared.now_us().max(1)
+            } else {
+                0
+            };
+            Packet {
+                op: ev.op,
+                event: ev.event,
+                injected_us: ev.injected_us,
+                redirected: ev.redirected,
+                forwards: ev.forwards,
+                enqueued_us,
+            }
         };
         if queue.len_hint() < queue.capacity() {
             // Likely-room fast path; capacity may still be exceeded by a
@@ -1983,7 +2300,7 @@ fn deliver_local(
         // Queue full: invoke the overflow mechanism (§4.3).
         match shared.cfg.overflow.decide(ev.external, ev.redirected) {
             OverflowAction::Drop => {
-                shared.counters.dropped_overflow.fetch_add(1, Ordering::Relaxed);
+                shared.counters.dropped_overflow.inc();
                 shared.drop_log.log(format!(
                     "overflow drop at m{machine_id}w{thread}: key={:?} op={}",
                     ev.event.key, updater_name
@@ -1991,11 +2308,11 @@ fn deliver_local(
                 return Ok(());
             }
             OverflowAction::Redirect(overflow_stream) => {
-                shared.counters.redirected_overflow.fetch_add(1, Ordering::Relaxed);
+                shared.counters.redirected_overflow.inc();
                 if !shared.wf.has_stream(&overflow_stream)
                     || shared.wf.is_external(&overflow_stream)
                 {
-                    shared.counters.publish_errors.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.publish_errors.inc();
                     return Ok(());
                 }
                 let external = ev.external;
@@ -2011,6 +2328,7 @@ fn deliver_local(
                         injected_us: ev.injected_us,
                         redirected: true,
                         forwards: ev.forwards,
+                        enqueued_us: 0,
                     };
                     try_send(shared, p, external);
                 }
@@ -2022,7 +2340,7 @@ fn deliver_local(
                 return Ok(());
             }
             OverflowAction::BlockProducer => {
-                shared.counters.throttle_waits.fetch_add(1, Ordering::Relaxed);
+                shared.counters.throttle_waits.inc();
                 let mut guard = shared.throttle_mutex.lock();
                 shared.throttle_cv.wait_for(&mut guard, Duration::from_millis(1));
                 drop(guard);
@@ -2422,7 +2740,8 @@ impl ClusterHandler for EngineHandler {
         // what the synchronous path does per event, amortized over the
         // batch. Never retried.
         let shared = &self.0;
-        shared.counters.lost_machine_failure.fetch_add(lost.len() as u64, Ordering::Relaxed);
+        log_peer_death(shared, dest, lost.len() as u64);
+        shared.counters.lost_machine_failure.add(lost.len() as u64);
         for ev in &lost {
             shared.drop_log.log(format!("lost to failed machine {dest}: key={:?}", ev.event.key));
         }
@@ -2532,6 +2851,146 @@ impl ClusterHandler for EngineHandler {
             .collect();
         SlateBackend::load_many(&**store, &keys, now_us)
     }
+}
+
+/// Register the registry's pull-side collectors: cache, net, store, and
+/// slate-representation state that lives in its own structs (pre-dating
+/// the registry) and is snapshotted at scrape time instead of being
+/// migrated onto push handles. Holds only a `Weak` back-reference —
+/// `Shared` owns the registry, so a strong ref would leak both.
+fn register_collectors(shared: &Arc<Shared>) {
+    let weak = Arc::downgrade(shared);
+    shared.registry.collector(move |out| {
+        let Some(sh) = weak.upgrade() else { return };
+        collect_engine_samples(&sh, out);
+    });
+}
+
+fn collect_engine_samples(sh: &Arc<Shared>, out: &mut Vec<Sample>) {
+    out.push(Sample::gauge("muppet_epoch", &[], sh.epoch() as i64));
+    out.push(Sample::gauge("muppet_uptime_seconds", &[], sh.start.elapsed().as_secs() as i64));
+    out.push(Sample::gauge("muppet_pending_events", &[], sh.pending.load(Ordering::Acquire)));
+    out.push(Sample::gauge(
+        "muppet_protocol_version",
+        &[],
+        muppet_net::frame::PROTOCOL_VERSION as i64,
+    ));
+    if let Some(local) = sh.transport.local_machine() {
+        out.push(Sample::gauge("muppet_machine_id", &[], local as i64));
+    }
+
+    // Slate caches: aggregate counters, per-shard hit/miss series, the
+    // flush-batch size distribution, and the hottest ⟨op, key⟩ pairs.
+    let mut cache = crate::cache::CacheStats::default();
+    let mut shard_hits: Vec<(u64, u64)> = Vec::new();
+    let mut batches = muppet_obs::HistogramSnapshot::default();
+    let mut hot: Vec<muppet_obs::HeavyHitter<(OpId, Key)>> = Vec::new();
+    let mut merge = |c: &SlateCache| {
+        let s = c.stats();
+        cache.hits += s.hits;
+        cache.misses += s.misses;
+        cache.store_loads += s.store_loads;
+        cache.evictions += s.evictions;
+        cache.flush_writes += s.flush_writes;
+        cache.flush_failures += s.flush_failures;
+        cache.ttl_resets += s.ttl_resets;
+        cache.entries += s.entries;
+        cache.dirty += s.dirty;
+        cache.flush_batches += s.flush_batches;
+        cache.store_round_trips += s.store_round_trips;
+        cache.miss_coalesced += s.miss_coalesced;
+        for (i, ss) in c.shard_stats().into_iter().enumerate() {
+            if shard_hits.len() <= i {
+                shard_hits.resize(i + 1, (0, 0));
+            }
+            shard_hits[i].0 += ss.hits;
+            shard_hits[i].1 += ss.misses;
+        }
+        let b = c.flush_batch_snapshot();
+        if batches.bucket_counts.len() < b.bucket_counts.len() {
+            batches.bucket_counts.resize(b.bucket_counts.len(), 0);
+        }
+        for (acc, n) in batches.bucket_counts.iter_mut().zip(&b.bucket_counts) {
+            *acc += n;
+        }
+        batches.sum += b.sum;
+        batches.count += b.count;
+        hot.extend(c.hot_keys(10));
+    };
+    for m in &sh.machines_snapshot() {
+        if let Some(central) = &m.central_cache {
+            merge(central);
+        }
+        for wc in m.worker_caches.iter().flatten() {
+            merge(wc);
+        }
+    }
+    let cc = |name: &str, v: u64| Sample::counter(name, &[], v);
+    out.push(cc("muppet_cache_hits_total", cache.hits));
+    out.push(cc("muppet_cache_misses_total", cache.misses));
+    out.push(cc("muppet_cache_store_loads_total", cache.store_loads));
+    out.push(cc("muppet_cache_evictions_total", cache.evictions));
+    out.push(cc("muppet_cache_flush_writes_total", cache.flush_writes));
+    out.push(cc("muppet_cache_flush_failures_total", cache.flush_failures));
+    out.push(cc("muppet_cache_ttl_resets_total", cache.ttl_resets));
+    out.push(cc("muppet_cache_flush_batches_total", cache.flush_batches));
+    out.push(cc("muppet_cache_store_round_trips_total", cache.store_round_trips));
+    out.push(cc("muppet_cache_miss_coalesced_total", cache.miss_coalesced));
+    out.push(Sample::gauge("muppet_cache_entries", &[], cache.entries as i64));
+    out.push(Sample::gauge("muppet_cache_dirty_slates", &[], cache.dirty as i64));
+    for (i, (hits, misses)) in shard_hits.iter().enumerate() {
+        let shard = i.to_string();
+        out.push(Sample::counter("muppet_cache_shard_hits_total", &[("shard", &shard)], *hits));
+        out.push(Sample::counter("muppet_cache_shard_misses_total", &[("shard", &shard)], *misses));
+    }
+    if batches.count > 0 {
+        out.push(Sample {
+            name: "muppet_flush_batch_slates".into(),
+            labels: Vec::new(),
+            value: muppet_obs::Value::Histogram(batches),
+        });
+    }
+    hot.sort_by(|a, b| b.count.cmp(&a.count).then(a.err.cmp(&b.err)));
+    hot.truncate(10);
+    for hh in hot {
+        let (op, key) = hh.key;
+        let op_name = sh.wf.op(op).name.as_str();
+        let key_text = String::from_utf8_lossy(key.as_bytes()).into_owned();
+        out.push(Sample::counter(
+            "muppet_hot_key_events_est",
+            &[("op", op_name), ("key", &key_text)],
+            hh.count,
+        ));
+    }
+
+    // The wire (TCP mode only; all zero in-process).
+    if let Some(tcp) = &sh.tcp {
+        let t = tcp.stats();
+        let load = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        out.push(cc("muppet_net_frames_sent_total", load(&t.frames_sent)));
+        out.push(cc("muppet_net_frames_received_total", load(&t.frames_received)));
+        out.push(cc("muppet_net_batches_sent_total", load(&t.batches_sent)));
+        out.push(cc("muppet_net_batched_events_sent_total", load(&t.batched_events_sent)));
+        out.push(cc("muppet_net_send_failures_total", load(&t.send_failures)));
+        out.push(cc("muppet_net_connects_total", load(&t.connects)));
+        out.push(cc("muppet_net_queue_full_waits_total", load(&t.queue_full_waits)));
+        out.push(Sample::gauge(
+            "muppet_net_outbound_backlog",
+            &[],
+            load(&t.outbound_backlog) as i64,
+        ));
+    }
+
+    // The durable store (when hosted by this node).
+    if let Some(store) = &sh.host_store {
+        out.push(cc("muppet_wal_syncs_total", store.wal_sync_count()));
+    }
+
+    // Slate codec work (process-wide statics — shared across engines in
+    // one process, which only bench harnesses do).
+    let (parses, serializations) = muppet_core::slate::repr_counters();
+    out.push(cc("muppet_slate_parses_total", parses));
+    out.push(cc("muppet_slate_serializations_total", serializations));
 }
 
 fn flusher_loop(shared: Arc<Shared>, machine_id: usize, interval: Duration) {

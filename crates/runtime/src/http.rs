@@ -57,6 +57,12 @@ pub trait SlateReader: Send + Sync + 'static {
     fn membership_json(&self) -> String {
         "{}".to_string()
     }
+
+    /// The Prometheus text exposition (`GET /metrics`). `None` means the
+    /// host has no metrics registry and the endpoint serves 404.
+    fn metrics_text(&self) -> Option<String> {
+        None
+    }
 }
 
 impl SlateReader for crate::engine::Engine {
@@ -68,10 +74,23 @@ impl SlateReader for crate::engine::Engine {
         self.cached_keys(updater)
     }
 
+    fn metrics_text(&self) -> Option<String> {
+        Some(self.metrics_text())
+    }
+
     fn status_json(&self) -> String {
         use muppet_core::json::Json;
         let s = self.stats();
         Json::obj([
+            ("uptime_s", Json::num(self.uptime_s() as f64)),
+            (
+                "machine_id",
+                match self.local_machine() {
+                    Some(id) => Json::num(id as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("protocol_version", Json::num(muppet_net::frame::PROTOCOL_VERSION as f64)),
             ("submitted", Json::num(s.submitted as f64)),
             ("processed", Json::num(s.processed as f64)),
             ("emitted", Json::num(s.emitted as f64)),
@@ -310,6 +329,12 @@ fn handle_connection(stream: TcpStream, reader: &dyn SlateReader) -> std::io::Re
     if path == "/membership" {
         let body = reader.membership_json();
         return respond(&mut out, 200, "application/json", body.as_bytes());
+    }
+    if path == "/metrics" {
+        return match reader.metrics_text() {
+            Some(body) => respond(&mut out, 200, "text/plain; version=0.0.4", body.as_bytes()),
+            None => respond(&mut out, 404, "text/plain", b"no metrics registry"),
+        };
     }
     if let Some(updater) = path.strip_prefix("/keys/") {
         // Newline-separated percent-encoded keys of one updater.

@@ -9,6 +9,8 @@
 //!   for keys owned by other machines cross the wire);
 //! * `GET  /keys/<updater>`         — cached keys;
 //! * `GET  /status`                 — engine counters + epoch + failures;
+//! * `GET  /metrics`                — Prometheus text exposition (counters,
+//!   per-stage latency histograms, hot-key top-k);
 //! * `GET  /membership`             — epoch, node list, failed machines;
 //! * `POST /submit/<stream>/<key>`  — ingest one event (body = value);
 //! * `POST /join` (master only)     — reserve a cluster id for a joiner.
@@ -66,6 +68,10 @@ struct Options {
     batch_max: usize,
     flush_us: u64,
     flush_batch_max: usize,
+    metrics: bool,
+    latency_sample_n: u64,
+    log_level: Level,
+    log_json: bool,
     /// Elastic join state from the grant: (founding machine count, grant
     /// epoch, failed machines, committed ring members).
     join: Option<(usize, u64, Vec<usize>, Vec<usize>)>,
@@ -78,6 +84,8 @@ fn usage() -> ! {
            [--workers <n>] [--store-host <id>] [--data-dir <path>] [--master <id>]
            [--batch-max <events>] [--flush-us <microseconds>]
            [--flush-batch-max <slates>]
+           [--metrics on|off] [--latency-sample-n <n>]
+           [--log-level debug|info|warn|error|off] [--log-json]
        muppetd --join <master-host:http_port> --listen <host:port:http_port>
            [--app ...] [--engine ...] [--workers ...] [--store-host <id>] [...]"
     );
@@ -163,6 +171,12 @@ fn parse_args() -> Options {
     let mut batch_max = defaults.net_batch_max;
     let mut flush_us = defaults.net_flush_us;
     let mut flush_batch_max = defaults.flush_batch_max;
+    let mut metrics = defaults.metrics;
+    let mut latency_sample_n = defaults.latency_sample_n;
+    // Unlike library embeddings (silent by default), a daemon logs its
+    // operational incidents.
+    let mut log_level = Level::Info;
+    let mut log_json = false;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -215,6 +229,29 @@ fn parse_args() -> Options {
                     usage()
                 })
             }
+            "--metrics" => {
+                metrics = match value() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => {
+                        eprintln!("muppetd: --metrics wants on|off, got {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--latency-sample-n" => {
+                latency_sample_n = value().parse().unwrap_or_else(|_| {
+                    eprintln!("muppetd: --latency-sample-n wants an event count");
+                    usage()
+                })
+            }
+            "--log-level" => {
+                log_level = Level::parse(value()).unwrap_or_else(|| {
+                    eprintln!("muppetd: --log-level wants debug|info|warn|error|off");
+                    usage()
+                })
+            }
+            "--log-json" => log_json = true,
             "--store-host" => store_host = value().parse().ok(),
             "--data-dir" => data_dir = Some(value().to_string()),
             "--master" => master = value().parse().ok(),
@@ -242,6 +279,10 @@ fn parse_args() -> Options {
             batch_max,
             flush_us,
             flush_batch_max,
+            metrics,
+            latency_sample_n,
+            log_level,
+            log_json,
             join: Some((grant.base, grant.epoch, grant.failed, grant.members)),
         };
     }
@@ -265,6 +306,10 @@ fn parse_args() -> Options {
         batch_max,
         flush_us,
         flush_batch_max,
+        metrics,
+        latency_sample_n,
+        log_level,
+        log_json,
         join: None,
     }
 }
@@ -330,6 +375,10 @@ fn main() {
         net_batch_max: opts.batch_max,
         net_flush_us: opts.flush_us,
         flush_batch_max: opts.flush_batch_max,
+        metrics: opts.metrics,
+        latency_sample_n: opts.latency_sample_n,
+        log_level: opts.log_level,
+        log_json: opts.log_json,
         base_machines,
         pending_join: opts.join.is_some(),
         initial_epoch,

@@ -16,6 +16,9 @@
 //!
 //! * [`core`](muppet_core) — the programming model, workflow graphs, and a
 //!   deterministic reference executor.
+//! * [`obs`](muppet_obs) — the observability substrate: the unified
+//!   metrics registry behind `GET /metrics`, the space-saving hot-key
+//!   sketch, and leveled structured logging.
 //! * [`net`](muppet_net) — the cluster wire: `Transport` trait with
 //!   in-process and TCP implementations, binary framing, topology config,
 //!   and the §4.3 failure frames (run a real cluster with the `muppetd`
@@ -61,6 +64,7 @@
 pub use muppet_apps as apps;
 pub use muppet_core as core;
 pub use muppet_net as net;
+pub use muppet_obs as obs;
 pub use muppet_runtime as runtime;
 pub use muppet_slatestore as slatestore;
 pub use muppet_workloads as workloads;
@@ -77,6 +81,7 @@ pub mod prelude {
         workflow::{Workflow, WorkflowBuilder},
     };
     pub use muppet_net::topology::{NodeSpec, Topology};
+    pub use muppet_obs::{Level, Logger, Registry};
     pub use muppet_runtime::{
         cache::FlushPolicy,
         engine::{Engine, EngineConfig, EngineKind, EngineStats, OperatorSet, TransportKind},
