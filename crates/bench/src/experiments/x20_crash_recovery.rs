@@ -1,0 +1,335 @@
+//! X20 — crash recovery: what the ingest WAL costs, and what it buys.
+//!
+//! §4.3 frames failures as routine ("machines fail quite often") and the
+//! recovery story as restart-and-rejoin. This repo's ingest WAL (PR 7)
+//! makes that restart exact: every accepted event is appended to a
+//! per-machine log before any worker sees it, so a crashed node replays
+//! its uncommitted suffix and converges to bit-identical slates.
+//! Durability is not free — this experiment measures *how* not-free,
+//! across the same fsync spectrum X18 walked for the store WAL:
+//!
+//! * `no-wal`           — the PR-6 baseline: accepted events live only in
+//!   worker queues; a crash loses them;
+//! * `wal-sync-each`    — one fsync per accepted event (the naive
+//!   durable-ingest strawman);
+//! * `wal-group-commit` — each ingest frame stages as one batch and
+//!   shares one fsync (`IngestLog` group commit), so the fsync tax is
+//!   per-frame, not per-event.
+//!
+//! Sources feed the engine in coalesced frames via `submit_many` — the
+//! ingest twin of the PR-2 transport outbox, and the batching boundary
+//! the WAL piggybacks on. All three arms push the identical hot_topics
+//! tweet stream (the X17 workload: JSON slates, realistic per-event
+//! compute) through the identical 3-machine in-process engine.
+//!
+//! The payoff half reruns the story on the retailer counter app, whose
+//! ground truth the `ReferenceExecutor` computes exactly: ingest through
+//! a group-commit WAL, drop the engine as a crash would, reopen — every
+//! record replays and every count equals the reference bit-for-bit.
+//! Results land in `BENCH_x20.json`; the headline figure is the
+//! group-commit ingest tax in events/s versus `no-wal` (acceptance:
+//! under 10% at full scale).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use muppet_apps::hot_topics::{self, HotDetector, MinuteCounter, TopicMapper};
+use muppet_apps::retailer::{self, Counter, RetailerMapper};
+use muppet_core::event::Event;
+use muppet_core::json::Json;
+use muppet_core::Key;
+use muppet_runtime::engine::{Engine, EngineConfig, EngineStats, OperatorSet};
+use muppet_runtime::overflow::OverflowPolicy;
+use muppet_workloads::checkins::CheckinGenerator;
+use muppet_workloads::tweets::TweetGenerator;
+
+use crate::table::{rate, Table};
+use crate::Scale;
+
+const MACHINES: usize = 3;
+const WORKERS: usize = 2;
+/// Concurrent source connections feeding the engine.
+const SUBMITTERS: usize = 4;
+/// Events per coalesced ingest frame — the `submit_many` batching
+/// boundary the WAL's group commit piggybacks on (PR 2's outbox frames
+/// batch at the same grain).
+const FRAME: usize = 256;
+/// Interleaved repetitions of the ⟨no-wal, group-commit⟩ pair; the
+/// headline tax is the median of the pairwise ratios, and each arm's
+/// fastest rep is tabulated.
+const REPS: usize = 5;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("muppet-x20-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench temp dir");
+    dir
+}
+
+struct Outcome {
+    stats: EngineStats,
+    elapsed: Duration,
+    /// ⟨records appended, fsyncs issued⟩; `None` for the `no-wal` arm.
+    wal: Option<(u64, u64)>,
+}
+
+fn engine_config(wal: Option<&std::path::Path>, sync_each: bool) -> EngineConfig {
+    EngineConfig {
+        machines: MACHINES,
+        workers_per_machine: WORKERS,
+        queue_capacity: 1 << 14,
+        // Loss-free: every arm processes the identical event set, so
+        // events/s ratios compare equal work.
+        overflow: OverflowPolicy::SourceThrottle,
+        ingest_wal: wal.map(std::path::Path::to_path_buf),
+        ingest_sync_each: sync_each,
+        ..EngineConfig::default()
+    }
+}
+
+fn hot_topics_ops() -> OperatorSet {
+    OperatorSet::new()
+        .mapper(TopicMapper::new())
+        .updater(MinuteCounter::new())
+        .updater(HotDetector::new(3.0))
+}
+
+/// Feed `events` to a fresh engine as coalesced frames from
+/// [`SUBMITTERS`] threads and drain. Frames go round-robin across the
+/// submitters, modeling parallel source connections each delivering
+/// batched reads off its socket.
+fn run_arm(events: &[Event], wal: Option<&std::path::Path>, sync_each: bool) -> Outcome {
+    let engine = Engine::start(
+        hot_topics::workflow(),
+        hot_topics_ops(),
+        engine_config(wal, sync_each),
+        None,
+    )
+    .expect("engine start");
+    let engine = Arc::new(engine);
+    let frames: Vec<&[Event]> = events.chunks(FRAME).collect();
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for part in 0..SUBMITTERS {
+            let engine = Arc::clone(&engine);
+            let frames = &frames;
+            s.spawn(move || {
+                for frame in frames.iter().skip(part).step_by(SUBMITTERS) {
+                    engine.submit_many(frame.to_vec()).expect("submit_many");
+                }
+            });
+        }
+    });
+    assert!(engine.drain(Duration::from_secs(300)), "arm did not drain");
+    let elapsed = t0.elapsed();
+    let wal_stats = engine.ingest_wal_stats();
+    let stats = Arc::into_inner(engine).expect("sole engine owner").shutdown();
+    Outcome { stats, elapsed, wal: wal_stats }
+}
+
+fn arm_json(name: &str, n: usize, o: &Outcome) -> Json {
+    let secs = o.elapsed.as_secs_f64().max(1e-9);
+    Json::obj([
+        ("arm", Json::str(name)),
+        ("events", Json::num(n as f64)),
+        ("processed", Json::num(o.stats.processed as f64)),
+        ("wall_ms", Json::num(o.elapsed.as_secs_f64() * 1e3)),
+        ("events_per_sec", Json::num(n as f64 / secs)),
+        ("p99_e2e_us", Json::num(o.stats.latency.p99_us as f64)),
+        ("wal_records", o.wal.map(|(r, _)| Json::num(r as f64)).unwrap_or(Json::Null)),
+        ("wal_fsyncs", o.wal.map(|(_, s)| Json::num(s as f64)).unwrap_or(Json::Null)),
+    ])
+}
+
+/// The payoff half: ingest retailer checkins through a group-commit
+/// WAL, "crash" (drop the engine without checkpointing), reopen on the
+/// same log, and prove the replay is complete and bit-exact against the
+/// reference executor. Returns ⟨replayed, replay wall, retailers checked⟩.
+fn run_replay_check(scale: Scale) -> (u64, Duration, usize) {
+    let n = scale.events(60_000);
+    let mut gen = CheckinGenerator::new(42, 3_000, 5_000.0);
+    let events = gen.take(retailer::CHECKIN_STREAM, n);
+    let truth = CheckinGenerator::expected_retailer_counts(&events);
+    let dir = temp_dir("replay");
+    let wal = dir.join("ingest.wal");
+
+    let ops = || OperatorSet::new().mapper(RetailerMapper::new()).updater(Counter::new());
+    let engine = Engine::start(retailer::workflow(), ops(), engine_config(Some(&wal), false), None)
+        .expect("ingest engine start");
+    for frame in events.chunks(FRAME) {
+        engine.submit_many(frame.to_vec()).expect("submit_many");
+    }
+    assert!(engine.drain(Duration::from_secs(180)), "ingest did not drain");
+    let (records, _) = engine.ingest_wal_stats().expect("wal stats");
+    assert_eq!(records, n as u64, "every accepted event must hit the WAL");
+    // No store backend ⇒ no replay cursor was ever checkpointed, so this
+    // shutdown leaves the log looking exactly like a crash: the reopened
+    // engine must replay the entire ingest history.
+    engine.shutdown();
+
+    let t0 = Instant::now();
+    let recovery =
+        Engine::start(retailer::workflow(), ops(), engine_config(Some(&wal), false), None)
+            .expect("recovery engine start");
+    assert!(recovery.drain(Duration::from_secs(180)), "recovery replay did not drain");
+    let replay_elapsed = t0.elapsed();
+    let replayed = recovery.recovered_replayed();
+    assert_eq!(replayed, n as u64, "recovery must replay every logged event");
+    let mut matched = 0usize;
+    for (retailer_name, expected) in &truth {
+        let bytes = recovery
+            .read_slate(retailer::COUNTER, &Key::from(retailer_name.as_str()))
+            .unwrap_or_else(|| panic!("no slate for {retailer_name} after replay"));
+        let got: u64 = std::str::from_utf8(&bytes).ok().and_then(|s| s.parse().ok()).unwrap_or(0);
+        assert_eq!(
+            got, *expected,
+            "replayed count for {retailer_name} diverged from the reference executor"
+        );
+        matched += 1;
+    }
+    assert_eq!(matched, truth.len(), "every reference retailer must be re-counted");
+    recovery.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    (replayed, replay_elapsed, matched)
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) {
+    super::banner(
+        "X20",
+        "crash recovery: ingest WAL tax (fsync spectrum) and bit-exact replay",
+        "§4.3 failure handling; §3.1 exactly-once update semantics",
+    );
+    let n = scale.events(60_000);
+    let events: Vec<Event> = TweetGenerator::new(42, 2_000, 40.0).take(hot_topics::TWEET_STREAM, n);
+
+    // Untimed warm-up: populate the page cache, allocator arenas, and
+    // thread stacks so the first timed rep isn't structurally cold.
+    let _ = run_arm(&events, None, false);
+    // The headline comparison interleaves the two timed arms rep by rep
+    // and takes the MEDIAN of the pairwise throughput ratios. On a
+    // shared 1-core box a background burst lasts seconds — long enough
+    // to poison a whole back-to-back block of one arm and make
+    // independent min-of-N swing wildly — but adjacent runs see the
+    // same weather, so their ratio is stable. The sync-each strawman
+    // runs once: at ~15× the wall time its verdict is not in doubt, and
+    // its fsync ledger (the CI gate) is deterministic.
+    let sync_dir = temp_dir("sync-each");
+    let group_dir = temp_dir("group");
+    let mut no_wal_reps = Vec::new();
+    let mut group_reps = Vec::new();
+    for rep in 0..REPS {
+        no_wal_reps.push(run_arm(&events, None, false));
+        group_reps.push(run_arm(
+            &events,
+            Some(&group_dir.join(format!("ingest-{rep}.wal"))),
+            false,
+        ));
+    }
+    let mut pair_tax: Vec<f64> = no_wal_reps
+        .iter()
+        .zip(&group_reps)
+        .map(|(nw, g)| (1.0 - nw.elapsed.as_secs_f64() / g.elapsed.as_secs_f64().max(1e-9)) * 100.0)
+        .collect();
+    pair_tax.sort_by(|a, b| a.partial_cmp(b).expect("finite tax"));
+    let group_tax_pct = pair_tax[REPS / 2];
+    let fastest = |reps: Vec<Outcome>| reps.into_iter().min_by_key(|o| o.elapsed).expect("reps");
+    let arms: Vec<(&str, Outcome)> = vec![
+        ("no-wal", fastest(no_wal_reps)),
+        ("wal-sync-each", run_arm(&events, Some(&sync_dir.join("ingest.wal")), true)),
+        ("wal-group-commit", fastest(group_reps)),
+    ];
+    let (replayed, replay_elapsed, retailers_checked) = run_replay_check(scale);
+
+    let mut table = Table::new([
+        "arm",
+        "events",
+        "wall time",
+        "events/s",
+        "wal records",
+        "wal fsyncs",
+        "events/fsync",
+    ]);
+    for (name, o) in &arms {
+        let (records, syncs) = o.wal.unwrap_or((0, 0));
+        table.row([
+            name.to_string(),
+            n.to_string(),
+            format!("{:.2?}", o.elapsed),
+            rate(n, o.elapsed),
+            if o.wal.is_some() { records.to_string() } else { "-".to_string() },
+            if o.wal.is_some() { syncs.to_string() } else { "-".to_string() },
+            if o.wal.is_some() {
+                format!("{:.1}", records as f64 / (syncs as f64).max(1.0))
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    table.print();
+
+    let no_wal = &arms[0].1;
+    let sync_each = &arms[1].1;
+    let group = &arms[2].1;
+    let eps = |o: &Outcome| n as f64 / o.elapsed.as_secs_f64().max(1e-9);
+    let sync_each_tax_pct = (1.0 - eps(sync_each) / eps(no_wal)) * 100.0;
+    println!(
+        "\nshape check: group commit amortized {} appends into {} fsyncs \
+         ({:.0} events/fsync) for a median ingest tax of {group_tax_pct:.1}% events/s vs \
+         no-wal over {REPS} interleaved reps (the sync-each strawman pays \
+         {sync_each_tax_pct:.1}%); crash-replaying a {}-event retailer WAL recovered every \
+         record in {replay_elapsed:.2?} and reproduced all {retailers_checked} reference \
+         counts bit-exactly",
+        group.wal.unwrap().0,
+        group.wal.unwrap().1,
+        group.wal.unwrap().0 as f64 / (group.wal.unwrap().1 as f64).max(1.0),
+        replayed,
+    );
+
+    // Gate CI on the deterministic durability ledger, not wall time
+    // (shared runners make timing unreliable; the committed full-scale
+    // numbers live in BENCH_x20.json).
+    let processed: Vec<u64> = arms.iter().map(|(_, o)| o.stats.processed).collect();
+    assert!(
+        processed.iter().all(|&p| p == processed[0] && p > 0),
+        "all arms must process the identical event set: {processed:?}"
+    );
+    assert_eq!(no_wal.wal, None, "the baseline arm must not open an ingest WAL");
+    let (se_records, se_syncs) = sync_each.wal.unwrap();
+    assert_eq!(se_records, n as u64, "sync-each must append one record per accepted event");
+    assert_eq!(se_syncs, n as u64, "sync-each must fsync every single append");
+    let (g_records, g_syncs) = group.wal.unwrap();
+    assert_eq!(g_records, n as u64, "group commit must lose no appends");
+    let frames = n.div_ceil(FRAME) as u64;
+    assert!(
+        g_syncs <= frames,
+        "group commit must pay at most one fsync per ingest frame ({g_syncs} > {frames})"
+    );
+
+    let doc = Json::obj([
+        ("experiment", Json::str("x20")),
+        ("workload", Json::str("hot_topics tweets (tax arms); retailer checkins (replay)")),
+        ("machines", Json::num(MACHINES as f64)),
+        ("workers_per_machine", Json::num(WORKERS as f64)),
+        ("submitter_threads", Json::num(SUBMITTERS as f64)),
+        ("ingest_frame_events", Json::num(FRAME as f64)),
+        ("reps_per_timed_arm", Json::num(REPS as f64)),
+        ("events", Json::num(n as f64)),
+        ("ingest_tax_group_commit_pct", Json::num((group_tax_pct * 10.0).round() / 10.0)),
+        ("ingest_tax_sync_each_pct", Json::num((sync_each_tax_pct * 10.0).round() / 10.0)),
+        ("replayed_events", Json::num(replayed as f64)),
+        ("replay_ms", Json::num(replay_elapsed.as_secs_f64() * 1e3)),
+        (
+            "replay_events_per_sec",
+            Json::num(replayed as f64 / replay_elapsed.as_secs_f64().max(1e-9)),
+        ),
+        ("replayed_counts_match_reference", Json::Bool(true)),
+        ("arms", Json::arr(arms.iter().map(|(name, o)| arm_json(name, n, o)))),
+    ]);
+    std::fs::write("BENCH_x20.json", doc.to_pretty())
+        .unwrap_or_else(|e| eprintln!("could not write BENCH_x20.json: {e}"));
+    println!("\nwrote BENCH_x20.json");
+
+    let _ = std::fs::remove_dir_all(&sync_dir);
+    let _ = std::fs::remove_dir_all(&group_dir);
+}

@@ -178,13 +178,23 @@ pub enum Frame {
     StoreGetBatch { items: Vec<StoreGetItem>, now_us: u64 },
     /// Response to [`Frame::StoreGetBatch`]: per-item values, in order.
     StoreValueBatch { values: Vec<Option<Vec<u8>>> },
+    /// A restarted incarnation of `machine` re-identifying itself (crash
+    /// recovery): the receiver clears its §4.3 death-ledger entry, marks
+    /// the machine routable again, and — on the master — re-runs the
+    /// join protocol so the returning node regains its ring position.
+    Reintroduce { machine: usize },
+    /// Response to [`Frame::Reintroduce`]: the receiver's membership
+    /// epoch, so the returning node can fence itself.
+    ReintroduceAck { epoch: u64 },
 }
 
-/// Protocol version carried in [`Frame::Hello`]. v3: batched store frames
-/// (`StorePutBatch`/`StoreGetBatch` + responses); v2 added epoch-stamped
-/// failure frames + the membership (elastic join) frames. The unbatched
-/// store frames remain in the protocol and are still accepted.
-pub const PROTOCOL_VERSION: u64 = 3;
+/// Protocol version carried in [`Frame::Hello`]. v4: restart
+/// re-identification (`Reintroduce`/`ReintroduceAck`); v3 added batched
+/// store frames (`StorePutBatch`/`StoreGetBatch` + responses); v2 added
+/// epoch-stamped failure frames + the membership (elastic join) frames.
+/// The unbatched store frames remain in the protocol and are still
+/// accepted.
+pub const PROTOCOL_VERSION: u64 = 4;
 
 const KIND_HELLO: u8 = 1;
 const KIND_EVENT: u8 = 2;
@@ -205,6 +215,8 @@ const KIND_STORE_PUT_BATCH: u8 = 16;
 const KIND_STORE_ACK_BATCH: u8 = 17;
 const KIND_STORE_GET_BATCH: u8 = 18;
 const KIND_STORE_VALUE_BATCH: u8 = 19;
+const KIND_REINTRODUCE: u8 = 20;
+const KIND_REINTRODUCE_ACK: u8 = 21;
 
 /// The encoded floor of one event inside a batch (op + injected_us +
 /// flags + hint tag + the event's own fixed fields) — used to bound the
@@ -476,6 +488,14 @@ impl Frame {
                     put_opt_bytes(&mut out, value);
                 }
             }
+            Frame::Reintroduce { machine } => {
+                out.push(KIND_REINTRODUCE);
+                put_varint(&mut out, *machine as u64);
+            }
+            Frame::ReintroduceAck { epoch } => {
+                out.push(KIND_REINTRODUCE_ACK);
+                put_varint(&mut out, *epoch);
+            }
         }
         out
     }
@@ -709,6 +729,16 @@ impl Frame {
                 expect_consumed(rest, at)?;
                 Frame::StoreValueBatch { values }
             }
+            KIND_REINTRODUCE => {
+                let (machine, n) = get_varint(rest)?;
+                expect_consumed(rest, n)?;
+                Frame::Reintroduce { machine: machine as usize }
+            }
+            KIND_REINTRODUCE_ACK => {
+                let (epoch, n) = get_varint(rest)?;
+                expect_consumed(rest, n)?;
+                Frame::ReintroduceAck { epoch }
+            }
             _ => return None,
         };
         Some(frame)
@@ -878,6 +908,8 @@ mod tests {
                 now_us: 77,
             },
             Frame::StoreValueBatch { values: vec![Some(vec![1, 2]), None] },
+            Frame::Reintroduce { machine: 3 },
+            Frame::ReintroduceAck { epoch: 9 },
         ]
     }
 

@@ -870,6 +870,32 @@ impl Transport for TcpTransport {
             other => Err(NetError::Protocol(format!("expected StoreValueBatch, got {other:?}"))),
         }
     }
+
+    fn reintroduce(&self, dest: MachineId, machine: MachineId) -> Result<u64, NetError> {
+        if dest == self.local {
+            return match self.handler() {
+                Some(h) => Ok(h.handle_reintroduce(machine)),
+                None => Err(NetError::NoRoute(dest)),
+            };
+        }
+        match self.exchange(dest, &Frame::Reintroduce { machine }, true)? {
+            Some(Frame::ReintroduceAck { epoch }) => Ok(epoch),
+            other => Err(NetError::Protocol(format!("expected ReintroduceAck, got {other:?}"))),
+        }
+    }
+
+    fn revive_peer(&self, peer: MachineId) {
+        // A declared-dead peer's outbox is permanently down and its sender
+        // thread has exited (§4.3: "a dead machine never comes back").
+        // Reintroduction is the one sanctioned resurrection: reset both
+        // flags under the sender-threads lock so the next enqueue respawns
+        // a sender instead of racing a half-dead one.
+        let Ok(outbox) = self.outbox(peer) else { return };
+        let _threads = self.sender_threads.lock();
+        if outbox.down.swap(false, Ordering::AcqRel) {
+            outbox.started.store(false, Ordering::Release);
+        }
+    }
 }
 
 /// A running frame listener; dropping it stops the node's inbound wire
@@ -1015,6 +1041,14 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
             Frame::StoreGetBatch { items, now_us } => {
                 Some(Frame::StoreValueBatch { values: handler.backend_load_many(&items, now_us) })
             }
+            Frame::Reintroduce { machine } => {
+                // A restarted incarnation re-identified itself: forget our
+                // send-side death state first so the handler's re-join
+                // traffic can reach it, then let the engine clear its
+                // ledger/rings.
+                transport.revive_peer(machine);
+                Some(Frame::ReintroduceAck { epoch: handler.handle_reintroduce(machine) })
+            }
             // Reply kinds arriving as requests: protocol violation.
             Frame::SlateValue { .. }
             | Frame::StoreValue { .. }
@@ -1022,7 +1056,8 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
             | Frame::StoreAckBatch { .. }
             | Frame::StoreValueBatch { .. }
             | Frame::MembershipAck { .. }
-            | Frame::MembershipNack { .. } => return,
+            | Frame::MembershipNack { .. }
+            | Frame::ReintroduceAck { .. } => return,
         };
         if let Some(reply) = reply {
             if reply.write_to(&mut writer).is_err() {

@@ -135,6 +135,16 @@ pub trait ClusterHandler: Send + Sync + 'static {
     fn backend_load_many(&self, items: &[StoreGetItem], now_us: u64) -> Vec<Option<Vec<u8>>> {
         items.iter().map(|item| self.backend_load(&item.updater, &item.key, now_us)).collect()
     }
+
+    /// A restarted incarnation of `machine` re-identified itself (crash
+    /// recovery): clear any §4.3 death-ledger state for it, make it
+    /// routable again, and — on the master — re-admit it to the rings.
+    /// Returns this node's membership epoch for the returning node to
+    /// fence itself with. Default: acknowledge at epoch 0 without
+    /// clearing anything (handlers without failure state).
+    fn handle_reintroduce(&self, _machine: MachineId) -> u64 {
+        0
+    }
 }
 
 /// A cluster wire: direct event passing, the master failure channel, and
@@ -256,6 +266,20 @@ pub trait Transport: Send + Sync + 'static {
             .map(|item| self.store_get(dest, &item.updater, &item.key, now_us).ok().flatten())
             .collect())
     }
+
+    /// Announce to `dest` that `machine` — a previously failed id — is a
+    /// restarted incarnation re-identifying itself (crash recovery).
+    /// Returns `dest`'s membership epoch. Default: unsupported.
+    fn reintroduce(&self, dest: MachineId, machine: MachineId) -> Result<u64, NetError> {
+        let _ = (dest, machine);
+        Err(NetError::Protocol("this transport does not support reintroduction".into()))
+    }
+
+    /// Forget any local send-side death state for `peer` (a permanently
+    /// downed outbox, a dead sender thread) so traffic can flow to its
+    /// restarted incarnation. Synchronous transports keep no such state:
+    /// default no-op.
+    fn revive_peer(&self, _peer: MachineId) {}
 }
 
 /// Shared late-registration slot for the engine handler.
@@ -423,6 +447,13 @@ impl Transport for InProcessTransport {
     ) -> Result<Vec<Option<Vec<u8>>>, NetError> {
         match self.handler() {
             Some(h) => Ok(h.backend_load_many(&items, now_us)),
+            None => Err(NetError::NoRoute(dest)),
+        }
+    }
+
+    fn reintroduce(&self, dest: MachineId, machine: MachineId) -> Result<u64, NetError> {
+        match self.handler() {
+            Some(h) => Ok(h.handle_reintroduce(machine)),
             None => Err(NetError::NoRoute(dest)),
         }
     }

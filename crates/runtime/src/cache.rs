@@ -939,6 +939,21 @@ impl SlateCache {
         out
     }
 
+    /// Drop one ⟨op, key⟩ slot from the cache *without* flushing it —
+    /// poison containment: a panicking updater may have left the slate
+    /// half-mutated, so its cached state must be thrown away (never
+    /// flushed) and the next touch refaults the store's last good
+    /// version. Same lock discipline as [`SlateCache::take_matching`]:
+    /// map, then dirty, then slot state — never nested.
+    pub fn discard(&self, op: OpId, key: &Key) {
+        let shard = self.shard_of(op, key);
+        let slot = shard.map.lock().remove(&(op, key.clone()));
+        shard.dirty.lock().remove(&(op, key.clone()));
+        if let Some(slot) = slot {
+            slot.state.lock().indexed = false;
+        }
+    }
+
     /// Insert an externally-built slot (elastic handoff between in-process
     /// machines: the moved slate keeps its state, dirtiness included — a
     /// dirty arrival enters this cache's dirty index so the next flush

@@ -1,0 +1,154 @@
+//! Dead-letter queue — the parking lot for poison events.
+//!
+//! A MapUpdate event can be unprocessable in two ways: the updater (or
+//! mapper) panics on it, or its payload fails to decode. Before this
+//! module, either case killed the worker thread that touched it, leaked
+//! the thread's queued packets, and wedged `Engine::drain` on a pending
+//! count that could never reach zero. Now `process_batch` contains the
+//! panic with `catch_unwind` and routes the offending event here, keeping
+//! the thread — and the drain accounting — alive.
+//!
+//! The queue is bounded: when full, the *oldest* letter is evicted (and
+//! counted as dropped) so the most recent failures — the ones an operator
+//! is debugging — are always retained. Letters are listed via the node's
+//! HTTP endpoint `GET /dlq` and re-injected via `POST /dlq/retry`, which
+//! drains the queue back into the dispatch path (useful after a buggy
+//! updater is hot-fixed or a transient resource problem clears).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use muppet_core::workflow::OpId;
+use muppet_core::Event;
+use parking_lot::Mutex;
+
+/// One parked event, with enough context to retry or debug it.
+#[derive(Clone, Debug)]
+pub struct DeadLetter {
+    /// The operator (updater or mapper) the event was headed for.
+    pub op: OpId,
+    /// The event itself, unmodified.
+    pub event: Event,
+    /// Human-readable failure cause (panic message or decode error).
+    pub reason: String,
+    /// Engine-clock microseconds when the event was parked.
+    pub at_us: u64,
+}
+
+/// Bounded FIFO of dead letters with eviction and lifetime counters.
+pub struct DeadLetterQueue {
+    letters: Mutex<VecDeque<DeadLetter>>,
+    capacity: usize,
+    added: AtomicU64,
+    dropped: AtomicU64,
+    retried: AtomicU64,
+}
+
+impl DeadLetterQueue {
+    /// A queue holding at most `capacity` letters (0 is clamped to 1 —
+    /// a DLQ that can hold nothing would silently re-lose poison events).
+    pub fn new(capacity: usize) -> Self {
+        DeadLetterQueue {
+            letters: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(1),
+            added: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+        }
+    }
+
+    /// Park a letter, evicting the oldest if the queue is full.
+    pub fn push(&self, letter: DeadLetter) {
+        let mut letters = self.letters.lock();
+        if letters.len() >= self.capacity {
+            letters.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        letters.push_back(letter);
+        self.added.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Remove and return every parked letter (for `/dlq/retry`).
+    pub fn drain(&self) -> Vec<DeadLetter> {
+        let drained: Vec<DeadLetter> = self.letters.lock().drain(..).collect();
+        self.retried.fetch_add(drained.len() as u64, Ordering::Relaxed);
+        drained
+    }
+
+    /// Snapshot the parked letters without removing them (for `GET /dlq`).
+    pub fn snapshot(&self) -> Vec<DeadLetter> {
+        self.letters.lock().iter().cloned().collect()
+    }
+
+    /// Letters currently parked.
+    pub fn depth(&self) -> usize {
+        self.letters.lock().len()
+    }
+
+    /// Lifetime letters parked.
+    pub fn added(&self) -> u64 {
+        self.added.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime letters evicted by capacity pressure.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime letters handed back for retry.
+    pub fn retried(&self) -> u64 {
+        self.retried.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muppet_core::Event;
+
+    fn letter(i: u64) -> DeadLetter {
+        DeadLetter {
+            op: 0,
+            event: Event::new("S", i, format!("k{i}").into(), "v"),
+            reason: format!("boom {i}"),
+            at_us: i,
+        }
+    }
+
+    #[test]
+    fn push_snapshot_drain_roundtrip() {
+        let q = DeadLetterQueue::new(8);
+        q.push(letter(1));
+        q.push(letter(2));
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.added(), 2);
+        let snap = q.snapshot();
+        assert_eq!(snap.len(), 2, "snapshot does not consume");
+        assert_eq!(q.depth(), 2);
+        let drained = q.drain();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].reason, "boom 1", "FIFO order");
+        assert_eq!(q.depth(), 0);
+        assert_eq!(q.retried(), 2);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let q = DeadLetterQueue::new(3);
+        for i in 0..5 {
+            q.push(letter(i));
+        }
+        assert_eq!(q.depth(), 3);
+        assert_eq!(q.dropped(), 2);
+        let snap = q.snapshot();
+        assert_eq!(snap[0].at_us, 2, "letters 0 and 1 were evicted");
+        assert_eq!(snap[2].at_us, 4, "newest failures are retained");
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let q = DeadLetterQueue::new(0);
+        q.push(letter(7));
+        assert_eq!(q.depth(), 1);
+    }
+}

@@ -49,6 +49,8 @@ use crate::cache::{
     FlushPolicy, NullBackend, SlateBackend, SlateCache, SlateSlot, DEFAULT_FLUSH_BATCH_MAX,
 };
 use crate::dispatch::{choose_between, RouteHash};
+use crate::dlq::{DeadLetter, DeadLetterQueue};
+use crate::ingestlog::IngestLog;
 use crate::master::Master;
 use crate::metrics::{Histogram, LatencySummary};
 use crate::netstore::RemoteBackend;
@@ -59,6 +61,11 @@ use crate::queue::EventQueue;
 pub const DEFAULT_CACHE_SHARDS: usize = 8;
 /// Default per-worker queue drain batch (events per lock acquisition).
 pub const DEFAULT_DRAIN_BATCH: usize = 64;
+/// Default dead-letter queue capacity per machine.
+pub const DEFAULT_DLQ_CAPACITY: usize = 1024;
+/// Reserved store column the ingest replay cursor is checkpointed under
+/// (never a real updater name — workflow operator names are validated).
+const INGEST_CURSOR_COLUMN: &str = "__ingest_cursor";
 
 /// Which generation of Muppet to run (§4.5).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -187,6 +194,19 @@ pub struct EngineConfig {
     pub log_level: Level,
     /// Emit incident log records as JSON lines instead of human text.
     pub log_json: bool,
+    /// Path of this machine's ingest WAL (`None` = no ingest logging,
+    /// the paper's §4.3 lose-in-flight-work semantics). When set, every
+    /// accepted external event is appended durably before dispatch, and
+    /// `Engine::start` replays the segment's suffix past the checkpointed
+    /// cursor so a restart converges to bit-identical slates.
+    pub ingest_wal: Option<std::path::PathBuf>,
+    /// Ingest WAL durability mode: true = fsync per record (lowest loss
+    /// window, highest tax); false = leader-based group commit (one fsync
+    /// per concurrent batch — the x20 default).
+    pub ingest_sync_each: bool,
+    /// Dead-letter queue capacity (poison events parked per machine
+    /// before the oldest letters are evicted).
+    pub dlq_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -218,6 +238,9 @@ impl Default for EngineConfig {
             hot_key_capacity: 64,
             log_level: Level::Off,
             log_json: false,
+            ingest_wal: None,
+            ingest_sync_each: false,
+            dlq_capacity: DEFAULT_DLQ_CAPACITY,
         }
     }
 }
@@ -256,6 +279,9 @@ impl EngineConfig {
             hot_key_capacity: 64,
             log_level: Level::Off,
             log_json: false,
+            ingest_wal: None,
+            ingest_sync_each: false,
+            dlq_capacity: DEFAULT_DLQ_CAPACITY,
         }
     }
 }
@@ -403,6 +429,8 @@ struct Counters {
     throttle_waits: Counter,
     publish_errors: Counter,
     forwarded: Counter,
+    ingest_logged: Counter,
+    dead_lettered: Counter,
 }
 
 impl Counters {
@@ -440,6 +468,14 @@ impl Counters {
             forwarded: reg.counter(
                 "muppet_events_forwarded_total",
                 "Events re-sent to their current owner (elastic handoff)",
+            ),
+            ingest_logged: reg.counter(
+                "muppet_wal_ingest_records_total",
+                "Events appended durably to the ingest WAL",
+            ),
+            dead_lettered: reg.counter(
+                "muppet_dead_letters_total",
+                "Poison events parked in the dead-letter queue",
             ),
         }
     }
@@ -823,6 +859,14 @@ struct Shared {
     /// Source-throttling gate: producers wait here when queues are full.
     throttle_mutex: Mutex<()>,
     throttle_cv: Condvar,
+    /// The per-machine ingest WAL (`None` = the paper's §4.3 semantics:
+    /// in-flight work dies with the machine).
+    ingest_log: Option<Arc<IngestLog>>,
+    /// Events replayed from the ingest WAL by this start (past the
+    /// checkpointed cursor).
+    recovered: AtomicU64,
+    /// Poison events parked instead of killing worker threads.
+    dlq: Arc<DeadLetterQueue>,
 }
 
 impl Shared {
@@ -846,6 +890,36 @@ impl Shared {
     /// throttling high-water mark.
     fn total_queue_budget(&self) -> usize {
         self.machines.read().iter().map(|m| m.queues.len() * self.cfg.queue_capacity).sum()
+    }
+
+    /// The store key under which this machine checkpoints its ingest
+    /// replay cursor. Rides the slate backend as a reserved ⟨column,
+    /// row⟩ pair, so cursor durability shares the store's quorum/WAL
+    /// guarantees without a second persistence mechanism.
+    fn ingest_cursor_key(&self) -> Key {
+        let id = self.transport.local_machine().unwrap_or(0);
+        Key::from(format!("node-{id}"))
+    }
+
+    /// The checkpointed replay cursor: events `0..cursor` of the ingest
+    /// WAL are already reflected in store-recovered slates.
+    fn load_ingest_cursor(&self) -> u64 {
+        self.backend
+            .load(INGEST_CURSOR_COLUMN, &self.ingest_cursor_key(), self.now_us())
+            .and_then(|bytes| String::from_utf8(bytes).ok()?.trim().parse().ok())
+            .unwrap_or(0)
+    }
+
+    /// Persist the replay cursor. Returns false if the store rejected
+    /// the write (the caller must not treat the checkpoint as taken).
+    fn store_ingest_cursor(&self, cursor: u64) -> bool {
+        self.backend.store(
+            INGEST_CURSOR_COLUMN,
+            &self.ingest_cursor_key(),
+            cursor.to_string().as_bytes(),
+            None,
+            self.now_us(),
+        )
     }
 }
 
@@ -1087,8 +1161,22 @@ impl Engine {
                 .collect(),
         };
 
+        // Crash recovery: open (or create) the ingest WAL before anything
+        // can accept events. A torn tail from a crash mid-append is cut
+        // back to the last intact record; the recovered history is
+        // replayed past the checkpointed cursor once the workers are up.
+        let (ingest_log, ingest_recovery) = match &cfg.ingest_wal {
+            Some(path) => {
+                let (log, rec) = IngestLog::open(path, cfg.ingest_sync_each)
+                    .map_err(|e| Error::Config(format!("cannot open ingest WAL: {e}")))?;
+                (Some(Arc::new(log)), Some(rec))
+            }
+            None => (None, None),
+        };
+
         let initial_epoch = cfg.initial_epoch;
         let initial_failed = cfg.initial_failed.clone();
+        let dlq_capacity = cfg.dlq_capacity;
         let shared = Arc::new(Shared {
             membership: RwLock::new(Membership {
                 machine_ring: EpochRing::from_ring(machine_ring, initial_epoch),
@@ -1126,6 +1214,9 @@ impl Engine {
             start: Instant::now(),
             throttle_mutex: Mutex::new(()),
             throttle_cv: Condvar::new(),
+            ingest_log,
+            recovered: AtomicU64::new(0),
+            dlq: Arc::new(DeadLetterQueue::new(dlq_capacity)),
             cfg,
         });
         for failed in initial_failed {
@@ -1150,9 +1241,15 @@ impl Engine {
         }
         // Spawn background flusher threads (one per local machine) when the
         // policy is interval-based and a backend (direct or remote) is
-        // attached.
+        // attached. With an ingest WAL the flushers stay parked: store
+        // slate state may only advance together with the replay cursor
+        // (at `Engine::checkpoint`), or a restart would replay events
+        // whose effects were already flushed and double-count them.
         let mut flushers = Vec::new();
-        if matches!(shared.cfg.flush, FlushPolicy::IntervalMs(_)) && has_backend {
+        if matches!(shared.cfg.flush, FlushPolicy::IntervalMs(_))
+            && has_backend
+            && shared.ingest_log.is_none()
+        {
             let machines = shared.machines.read();
             for m in 0..machines.len() {
                 if machines[m].local {
@@ -1169,13 +1266,72 @@ impl Engine {
             ),
             None => None,
         };
-        Ok(Engine {
+        let engine = Engine {
             shared,
             _handler: handler,
             listener: Mutex::new(listener),
             threads: Mutex::new(threads),
             flushers: Mutex::new(flushers),
-        })
+        };
+        // Replay the ingest suffix past the checkpointed cursor: the
+        // store recovered the slates as of the last checkpoint, so only
+        // events logged after it are re-injected. A node that was
+        // checkpointed at shutdown (SIGTERM) replays nothing.
+        if let Some(recovery) = ingest_recovery {
+            engine.replay_recovered(recovery.events, recovery.truncated);
+        }
+        Ok(engine)
+    }
+
+    /// Re-inject the ingest-WAL suffix past the persisted cursor. The
+    /// replayed events fan out exactly like fresh submissions — same
+    /// routing, same seq assignment order — but are *not* re-appended to
+    /// the WAL (they are already in it) and count as `recovered`, not
+    /// `submitted`.
+    fn replay_recovered(&self, events: Vec<Event>, truncated: bool) {
+        let shared = &self.shared;
+        let cursor = shared.load_ingest_cursor();
+        let total = events.len() as u64;
+        let skip = cursor.min(total) as usize;
+        let replayed = (events.len() - skip) as u64;
+        for event in events.into_iter().skip(skip) {
+            let injected_us = shared.now_us();
+            let subscribers = shared.wf.subscribers_of(event.stream.as_str());
+            if let Some((&last, rest)) = subscribers.split_last() {
+                for &op in rest {
+                    let packet = Packet {
+                        op,
+                        event: event.clone(),
+                        injected_us,
+                        redirected: false,
+                        forwards: 0,
+                        enqueued_us: 0,
+                    };
+                    try_send(shared, packet, true);
+                }
+                let packet = Packet {
+                    op: last,
+                    event,
+                    injected_us,
+                    redirected: false,
+                    forwards: 0,
+                    enqueued_us: 0,
+                };
+                try_send(shared, packet, true);
+            }
+        }
+        shared.recovered.store(replayed, Ordering::Release);
+        if replayed > 0 || truncated {
+            shared.logger.warn(
+                "ingest WAL recovery",
+                &[
+                    ("logged", total.into()),
+                    ("cursor", cursor.into()),
+                    ("replayed", replayed.into()),
+                    ("torn_tail", u64::from(truncated).into()),
+                ],
+            );
+        }
     }
 
     /// Inject one external event (the paper's special source mapper M0
@@ -1212,6 +1368,63 @@ impl Engine {
                 self.shared.throttle_cv.wait_for(&mut guard, Duration::from_millis(1));
             }
         }
+        // Durability line: an accepted event is in the ingest WAL before
+        // any worker sees it, so a crash after this point replays it.
+        // Group commit batches concurrent submitters into one fsync.
+        if let Some(log) = &self.shared.ingest_log {
+            log.append(&event)
+                .map_err(|e| Error::Config(format!("ingest WAL append failed: {e}")))?;
+            self.shared.counters.ingest_logged.inc();
+        }
+        self.dispatch_accepted(event);
+        Ok(())
+    }
+
+    /// Submit a coalesced run of external events — the ingest twin of
+    /// the transport outbox's frame batching. Semantically identical to
+    /// calling [`Engine::submit`] per event, but the durability line is
+    /// drawn once: the whole run enters the ingest WAL as a single
+    /// staged batch sharing one fsync ([`IngestLog::append_batch`]), so
+    /// sources that deliver in frames pay the fsync tax per frame, not
+    /// per event. Source throttling is checked once at the head of the
+    /// run; like `submit`, events are only accepted from external
+    /// streams.
+    pub fn submit_many(&self, events: Vec<Event>) -> Result<()> {
+        for event in &events {
+            if !self.shared.wf.is_external(event.stream.as_str()) {
+                return Err(Error::ExternalStreamViolation(event.stream.as_str().to_string()));
+            }
+        }
+        if self.shared.cfg.overflow == OverflowPolicy::SourceThrottle {
+            let budget = self.shared.total_queue_budget() as i64;
+            while self.shared.pending.load(Ordering::Acquire)
+                + self.shared.transport.outbound_backlog() as i64
+                > budget
+            {
+                if self.shared.stopping.load(Ordering::Acquire) {
+                    break;
+                }
+                self.shared.counters.throttle_waits.inc();
+                let mut guard = self.shared.throttle_mutex.lock();
+                self.shared.throttle_cv.wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+        if let Some(log) = &self.shared.ingest_log {
+            log.append_batch(&events)
+                .map_err(|e| Error::Config(format!("ingest WAL append failed: {e}")))?;
+            self.shared.counters.ingest_logged.add(events.len() as u64);
+        }
+        for event in events {
+            self.dispatch_accepted(event);
+        }
+        Ok(())
+    }
+
+    /// Fan an accepted (validated, WAL-durable) external event out to its
+    /// stream's subscriber queues. The shared tail of `submit` and
+    /// `submit_many`.
+    fn dispatch_accepted(&self, event: Event) {
+        let stream = event.stream.clone();
         let injected_us = self.shared.now_us();
         self.shared.counters.submitted.inc();
         // The workflow is immutable after start: iterate the subscriber
@@ -1246,7 +1459,6 @@ impl Engine {
             // (or the transport's outbox) for every subscriber.
             stages.ingest.record(self.shared.now_us().saturating_sub(injected_us));
         }
-        Ok(())
     }
 
     /// Convenience: submit with the engine assigning the timestamp (µs
@@ -1490,7 +1702,10 @@ impl Engine {
             for t in 0..machines[id].queues.len() {
                 threads.push(spawn_worker(shared, id, t));
             }
-            if matches!(shared.cfg.flush, FlushPolicy::IntervalMs(_)) && shared.has_backend {
+            if matches!(shared.cfg.flush, FlushPolicy::IntervalMs(_))
+                && shared.has_backend
+                && shared.ingest_log.is_none()
+            {
                 self.flushers.lock().push(spawn_flusher(shared, id));
             }
             id
@@ -1556,6 +1771,33 @@ impl Engine {
             .transport
             .send_join(tcp.topology().master, local)
             .map_err(|e| Error::Config(format!("join announcement failed: {e}")))
+    }
+
+    /// Restarted-node side of restart re-identification: tell the master
+    /// "machine `local` is back under its old id". The master revives the
+    /// wire, clears the previous incarnation's §4.3 death-ledger entry,
+    /// and — if the crash was detected and the id dropped from the rings —
+    /// re-runs the join protocol to restore the old ring position. A no-op
+    /// for in-process clusters and for the master itself (which applies
+    /// the same steps locally).
+    pub fn announce_restart(&self) -> Result<()> {
+        let shared = &self.shared;
+        let Some(local) = shared.transport.local_machine() else {
+            return Ok(());
+        };
+        let Some(tcp) = &shared.tcp else {
+            return Ok(());
+        };
+        let master = tcp.topology().master;
+        if local == master {
+            EngineHandler(Arc::clone(shared)).handle_reintroduce(local);
+            return Ok(());
+        }
+        shared
+            .transport
+            .reintroduce(master, local)
+            .map_err(|e| Error::Config(format!("restart announcement failed: {e}")))?;
+        Ok(())
     }
 
     /// Whether the master has been told about a machine failure yet
@@ -1751,6 +1993,115 @@ impl Engine {
         self.shared.drop_log.recent()
     }
 
+    /// Events replayed from the ingest WAL when this engine started
+    /// (zero without an ingest WAL, and zero after a clean checkpointed
+    /// shutdown — the SIGTERM acceptance test's assertion).
+    pub fn recovered_replayed(&self) -> u64 {
+        self.shared.recovered.load(Ordering::Acquire)
+    }
+
+    /// ⟨records appended, fsyncs issued⟩ of the ingest WAL, or `None`
+    /// when ingest logging is off.
+    pub fn ingest_wal_stats(&self) -> Option<(u64, u64)> {
+        self.shared.ingest_log.as_ref().map(|log| (log.record_count(), log.sync_count()))
+    }
+
+    /// This machine's dead-letter queue.
+    pub fn dlq(&self) -> Arc<DeadLetterQueue> {
+        Arc::clone(&self.shared.dlq)
+    }
+
+    /// Re-inject every parked dead letter into the dispatch path (the
+    /// `POST /dlq/retry` admin action — after a buggy updater is fixed
+    /// or a transient failure clears). Returns how many were re-sent. A
+    /// letter that poisons again simply comes back to the queue.
+    pub fn dlq_retry(&self) -> usize {
+        let letters = self.shared.dlq.drain();
+        let n = letters.len();
+        for letter in letters {
+            let packet = Packet {
+                op: letter.op,
+                event: letter.event,
+                injected_us: self.shared.now_us(),
+                redirected: false,
+                forwards: 0,
+                enqueued_us: 0,
+            };
+            try_send(&self.shared, packet, true);
+        }
+        n
+    }
+
+    /// The dead-letter queue contents as JSON (the HTTP `GET /dlq`
+    /// endpoint), oldest letter first.
+    pub fn dlq_json(&self) -> String {
+        use muppet_core::json::Json;
+        Json::Arr(
+            self.shared
+                .dlq
+                .snapshot()
+                .into_iter()
+                .map(|l| {
+                    Json::obj([
+                        ("op", Json::str(&self.shared.wf.op(l.op).name)),
+                        ("stream", Json::str(l.event.stream.as_str())),
+                        ("key", Json::str(String::from_utf8_lossy(l.event.key.as_bytes()))),
+                        ("value", Json::str(String::from_utf8_lossy(&l.event.value))),
+                        ("ts", Json::num(l.event.ts as f64)),
+                        ("reason", Json::str(&l.reason)),
+                        ("at_us", Json::num(l.at_us as f64)),
+                    ])
+                })
+                .collect(),
+        )
+        .to_compact()
+    }
+
+    /// Draw a recovery line: drain in-flight work, flush every dirty
+    /// slate, persist the replay cursor at the WAL's record count, and
+    /// fsync the ingest WAL. After a successful checkpoint a restart
+    /// replays zero events.
+    ///
+    /// Returns false — leaving the *old* cursor authoritative, so a
+    /// restart replays more than necessary but never misses an event —
+    /// when the drain timed out, a slate failed to flush, or the cursor
+    /// write did not reach the store. Engines without an ingest WAL
+    /// return true trivially.
+    pub fn checkpoint(&self, timeout: Duration) -> bool {
+        let Some(log) = self.shared.ingest_log.as_ref() else {
+            return true;
+        };
+        if !self.drain(timeout) {
+            return false;
+        }
+        // Flush every dirty slate; the flushed store state now reflects
+        // exactly the WAL prefix `0..record_count`.
+        let now = self.shared.now_us();
+        let mut dirty_left = 0u64;
+        for m in &self.shared.machines_snapshot() {
+            if !m.alive.load(Ordering::Acquire) {
+                continue;
+            }
+            if let Some(cache) = &m.central_cache {
+                cache.flush_dirty(now);
+                dirty_left += cache.stats().dirty;
+            }
+            for cache in m.worker_caches.iter().flatten() {
+                cache.flush_dirty(now);
+                dirty_left += cache.stats().dirty;
+            }
+        }
+        if dirty_left > 0 {
+            // Some slate did not reach the store (quorum failure, dead
+            // store host): advancing the cursor would lose its updates.
+            return false;
+        }
+        if log.sync().is_err() {
+            return false;
+        }
+        self.shared.store_ingest_cursor(log.record_count())
+    }
+
     /// Stop the engine: waits for queues to drain (bounded), flushes all
     /// dirty slates (graceful shutdown), joins threads, and returns final
     /// stats.
@@ -1786,6 +2137,14 @@ impl Engine {
             }
             for cache in m.worker_caches.iter().flatten() {
                 cache.flush_dirty(now);
+            }
+        }
+        // Seal the recovery line: the flushed slates cover the whole
+        // ingest log, so a restart after this clean shutdown replays
+        // nothing.
+        if let Some(log) = &self.shared.ingest_log {
+            if log.sync().is_ok() {
+                self.shared.store_ingest_cursor(log.record_count());
             }
         }
         self.stats()
@@ -1928,7 +2287,18 @@ fn process_batch(
                 let service_t0 = (shared.stages.enabled && shared.stages.sampler_service.hit())
                     .then(|| shared.now_us());
                 let mut emitter = VecEmitter::new();
-                mapper.map(&mut emitter, &packet.event);
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    mapper.map(&mut emitter, &packet.event)
+                }));
+                if let Err(payload) = outcome {
+                    // Poison event: contain the panic (an uncontained one
+                    // kills this worker thread and wedges `drain` on the
+                    // stuck pending count), discard any partial emissions,
+                    // park the event, keep draining.
+                    machine.in_flight[thread].store(0, Ordering::Release);
+                    dead_letter(shared, packet, payload);
+                    continue;
+                }
                 if let Some(t0) = service_t0 {
                     shared.stages.service[packet.op].record(shared.now_us().saturating_sub(t0));
                 }
@@ -2017,10 +2387,28 @@ fn process_batch(
                     }
                 };
                 let mut emitter = VecEmitter::new();
-                {
+                let outcome = {
                     let mut state = slot.state.lock();
-                    updater.update(&mut emitter, &packet.event, &mut state.slate);
-                    cache.note_write(&slot, &mut state, now);
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        updater.update(&mut emitter, &packet.event, &mut state.slate)
+                    }));
+                    // A panicking updater gets no dirty-marking: its
+                    // half-mutated slate must never be flushed.
+                    if r.is_ok() {
+                        cache.note_write(&slot, &mut state, now);
+                    }
+                    r
+                };
+                if let Err(payload) = outcome {
+                    // Poison event: the updater may have left the slate
+                    // half-mutated, so evict the cached slot — the next
+                    // touch refaults the last good version from the
+                    // store — then park the event and keep the thread.
+                    memo = None;
+                    cache.discard(packet.op, &packet.event.key);
+                    machine.in_flight[thread].store(0, Ordering::Release);
+                    dead_letter(shared, packet, payload);
+                    continue;
                 }
                 if service_sampled {
                     // Service span: slate fetch (cache or store) + the
@@ -2048,12 +2436,47 @@ fn process_batch(
     }
 }
 
-/// Re-send a packet whose key this machine no longer owns to its current
-/// owner (elastic handoff; also heals laggard-ring deliveries). Bounded
-/// by [`MAX_FORWARDS`] so disagreeing rings can never ping-pong an event
-/// forever — past the cap the event is dropped-and-logged like any other
-/// undeliverable (§4.3 posture).
-/// Log a peer's death through the leveled logger exactly once per peer.
+/// Extract a human-readable message from a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic (non-string payload)".to_string()
+    }
+}
+
+/// Park a poison event in the dead-letter queue and retire it from the
+/// in-flight accounting — the worker thread survives, `drain` still
+/// converges, and the event stays inspectable via `GET /dlq`.
+fn dead_letter(shared: &Arc<Shared>, packet: Packet, payload: Box<dyn std::any::Any + Send>) {
+    let reason = panic_message(payload);
+    shared.counters.dead_lettered.inc();
+    shared.drop_log.log(format!(
+        "poison event dead-lettered at {}: key={:?} ({reason})",
+        shared.wf.op(packet.op).name,
+        packet.event.key
+    ));
+    if shared.logger.enabled(Level::Warn) {
+        shared.logger.warn(
+            "operator panic contained; event dead-lettered",
+            &[("op", (packet.op as u64).into()), ("dlq_depth", (shared.dlq.depth() as u64).into())],
+        );
+    }
+    shared.dlq.push(DeadLetter {
+        op: packet.op,
+        event: packet.event,
+        reason,
+        at_us: shared.now_us(),
+    });
+    shared.pending.fetch_sub(1, Ordering::AcqRel);
+    shared.throttle_cv.notify_all();
+}
+
+/// Log a peer's death through the leveled logger exactly once per peer
+/// *per incarnation* — a committed rejoin or restart re-identification
+/// clears the entry so the NEW incarnation's death is logged afresh.
 /// §4.3 detection is send-driven and can fire concurrently from the
 /// sync-send, forward, and batch-sender failure paths for one incident;
 /// without the set each path would emit its own report. The [`DropLog`]
@@ -2074,6 +2497,11 @@ fn log_peer_death(shared: &Arc<Shared>, dest: usize, lost_events: u64) {
     }
 }
 
+/// Re-send a packet whose key this machine no longer owns to its current
+/// owner (elastic handoff; also heals laggard-ring deliveries). Bounded
+/// by [`MAX_FORWARDS`] so disagreeing rings can never ping-pong an event
+/// forever — past the cap the event is dropped-and-logged like any other
+/// undeliverable (§4.3 posture).
 fn forward_packet(shared: &Arc<Shared>, packet: Packet, owner: usize, thread_hint: Option<usize>) {
     if packet.forwards >= MAX_FORWARDS {
         shared.counters.lost_machine_failure.inc();
@@ -2464,10 +2892,24 @@ fn membership_prepare(shared: &Arc<Shared>, update: &MembershipUpdate) -> bool {
     let mut entering: Vec<MachineId> = update.joined.clone();
     entering.extend(update.members.iter().copied());
     for id in entering {
-        if machine_ring.contains(id) || shared.master.is_failed(id) {
+        // The failed set excludes members from healing, but never the
+        // explicit joiners of THIS epoch: a restarted incarnation
+        // re-announces under its old id, and the join must be able to
+        // supersede the death recorded against the previous incarnation.
+        if machine_ring.contains(id)
+            || (shared.master.is_failed(id) && !update.joined.contains(&id))
+        {
             continue;
         }
         machine_ring.add(id);
+        if update.joined.contains(&id) {
+            // Reachable again: re-arm the wire and the liveness flag so
+            // forwarded events flow as soon as the staged rings apply.
+            shared.transport.revive_peer(id);
+            if let Some(machine) = shared.machine(id) {
+                machine.alive.store(true, Ordering::Release);
+            }
+        }
         if shared.cfg.kind == EngineKind::Muppet1 {
             for (slot_id, slot) in worker_slots.iter().enumerate() {
                 if slot.machine == id {
@@ -2608,6 +3050,13 @@ fn membership_commit(shared: &Arc<Shared>, epoch: u64) -> bool {
     drop(membership);
     for id in joined {
         shared.master.mark_joined(id, epoch);
+        // Forget the previous incarnation's death (§4.3 ledger): if the
+        // NEW incarnation dies, detection must report and log it afresh.
+        shared.logged_peer_deaths.lock().remove(&id);
+        shared.transport.revive_peer(id);
+        if let Some(machine) = shared.machine(id) {
+            machine.alive.store(true, Ordering::Release);
+        }
     }
     true
 }
@@ -2763,6 +3212,27 @@ impl ClusterHandler for EngineHandler {
 
     fn handle_join(&self, machine: MachineId) {
         run_join_protocol(&self.0, machine);
+    }
+
+    fn handle_reintroduce(&self, machine: MachineId) -> u64 {
+        // Restart re-identification (master side): a node that crashed
+        // and came back announces under its old id. Re-arm the wire to
+        // it, wipe the previous incarnation's §4.3 death ledger entry so
+        // a NEW death is detected and logged afresh, and — if the old
+        // incarnation was dropped from the rings — run the join protocol
+        // to restore its old ring position.
+        let shared = &self.0;
+        shared.transport.revive_peer(machine);
+        shared.logged_peer_deaths.lock().remove(&machine);
+        if let Some(m) = shared.machine(machine) {
+            m.alive.store(true, Ordering::Release);
+        }
+        let needs_join = shared.master.is_failed(machine)
+            || !shared.membership.read().machine_ring.contains(machine);
+        if needs_join {
+            run_join_protocol(shared, machine);
+        }
+        shared.epoch()
     }
 
     fn handle_membership(&self, update: &MembershipUpdate) -> bool {
@@ -2985,6 +3455,15 @@ fn collect_engine_samples(sh: &Arc<Shared>, out: &mut Vec<Sample>) {
     if let Some(store) = &sh.host_store {
         out.push(cc("muppet_wal_syncs_total", store.wal_sync_count()));
     }
+
+    // Crash recovery: the ingest WAL and the dead-letter queue.
+    if let Some(log) = &sh.ingest_log {
+        out.push(cc("muppet_wal_ingest_syncs_total", log.sync_count()));
+        out.push(cc("muppet_wal_ingest_replayed_total", sh.recovered.load(Ordering::Relaxed)));
+    }
+    out.push(Sample::gauge("muppet_dlq_depth", &[], sh.dlq.depth() as i64));
+    out.push(cc("muppet_dlq_evicted_total", sh.dlq.dropped()));
+    out.push(cc("muppet_dlq_retried_total", sh.dlq.retried()));
 
     // Slate codec work (process-wide statics — shared across engines in
     // one process, which only bench harnesses do).

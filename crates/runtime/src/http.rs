@@ -63,6 +63,18 @@ pub trait SlateReader: Send + Sync + 'static {
     fn metrics_text(&self) -> Option<String> {
         None
     }
+
+    /// The dead-letter queue contents (`GET /dlq`), newest last, as a
+    /// JSON array. Default: empty (no DLQ attached).
+    fn dlq_json(&self) -> String {
+        "[]".to_string()
+    }
+
+    /// Re-inject every dead-lettered event (`POST /dlq/retry`). Returns
+    /// how many events went back into the pipeline. Default: unsupported.
+    fn dlq_retry(&self) -> Result<usize, String> {
+        Err("dlq not supported".to_string())
+    }
 }
 
 impl SlateReader for crate::engine::Engine {
@@ -76,6 +88,14 @@ impl SlateReader for crate::engine::Engine {
 
     fn metrics_text(&self) -> Option<String> {
         Some(self.metrics_text())
+    }
+
+    fn dlq_json(&self) -> String {
+        self.dlq_json()
+    }
+
+    fn dlq_retry(&self) -> Result<usize, String> {
+        Ok(self.dlq_retry())
     }
 
     fn status_json(&self) -> String {
@@ -128,6 +148,26 @@ impl SlateReader for crate::engine::Engine {
             ("store_flush_batch_largest", Json::num(s.store.flush_batch_largest as f64)),
             ("store_round_trips", Json::num(s.store.store_round_trips as f64)),
             ("store_miss_coalesced", Json::num(s.store.miss_coalesced as f64)),
+            // Crash recovery (DESIGN.md §11): ingest WAL + DLQ state.
+            ("recovered_replayed", Json::num(self.recovered_replayed() as f64)),
+            (
+                "ingest_wal_records",
+                match self.ingest_wal_stats() {
+                    Some((records, _)) => Json::num(records as f64),
+                    None => Json::Null,
+                },
+            ),
+            (
+                "ingest_wal_syncs",
+                match self.ingest_wal_stats() {
+                    Some((_, syncs)) => Json::num(syncs as f64),
+                    None => Json::Null,
+                },
+            ),
+            ("dlq_depth", Json::num(self.dlq().depth() as f64)),
+            ("dlq_added", Json::num(self.dlq().added() as f64)),
+            ("dlq_dropped", Json::num(self.dlq().dropped() as f64)),
+            ("dlq_retried", Json::num(self.dlq().retried() as f64)),
             ("net_frames_sent", Json::num(s.net.frames_sent as f64)),
             ("net_batches_sent", Json::num(s.net.batches_sent as f64)),
             ("net_outbound_backlog", Json::num(s.net.outbound_backlog as f64)),
@@ -319,8 +359,23 @@ fn handle_connection(stream: TcpStream, reader: &dyn SlateReader) -> std::io::Re
             Err(msg) => respond(&mut out, 400, "text/plain", msg.as_bytes()),
         };
     }
+    if method == "POST" && path == "/dlq/retry" {
+        return match reader.dlq_retry() {
+            Ok(n) => respond(
+                &mut out,
+                200,
+                "application/json",
+                format!("{{\"retried\":{n}}}").as_bytes(),
+            ),
+            Err(msg) => respond(&mut out, 400, "text/plain", msg.as_bytes()),
+        };
+    }
     if method != "GET" {
         return respond(&mut out, 405, "text/plain", b"method not allowed");
+    }
+    if path == "/dlq" {
+        let body = reader.dlq_json();
+        return respond(&mut out, 200, "application/json", body.as_bytes());
     }
     if path == "/status" {
         let body = reader.status_json();
@@ -491,6 +546,12 @@ mod tests {
         fn status_json(&self) -> String {
             r#"{"ok":true}"#.to_string()
         }
+        fn dlq_json(&self) -> String {
+            r#"[{"op":"U1","reason":"boom"}]"#.to_string()
+        }
+        fn dlq_retry(&self) -> Result<usize, String> {
+            Ok(3)
+        }
     }
 
     fn server() -> HttpSlateServer {
@@ -557,6 +618,17 @@ mod tests {
         let mut line = String::new();
         reader.read_line(&mut line).unwrap();
         assert!(line.contains("405"), "{line}");
+    }
+
+    #[test]
+    fn dlq_endpoints_roundtrip() {
+        let srv = server();
+        let (code, body) = http_get(&format!("{}/dlq", srv.base_url())).unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, br#"[{"op":"U1","reason":"boom"}]"#);
+        let (code, body) = http_post(&format!("{}/dlq/retry", srv.base_url()), b"").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, br#"{"retried":3}"#);
     }
 
     #[test]

@@ -39,8 +39,10 @@
 
 pub mod cache;
 pub mod dispatch;
+pub mod dlq;
 pub mod engine;
 pub mod http;
+pub mod ingestlog;
 pub mod lru;
 pub mod master;
 pub mod metrics;

@@ -43,11 +43,44 @@ pub struct WalWriter {
 }
 
 impl WalWriter {
-    /// Create (truncate) a segment at `path`.
+    /// Create (truncate) a segment at `path`. Callers that may be
+    /// re-opening a segment they still need to recover from must use
+    /// [`WalWriter::open_or_create`] instead — `create` destroys exactly
+    /// the records a restart would replay.
     pub fn create(path: impl AsRef<Path>, sync_each: bool) -> StoreResult<WalWriter> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new().create(true).write(true).truncate(true).open(&path)?;
         Ok(WalWriter { path, out: BufWriter::new(file), records: 0, bytes: 0, sync_each, syncs: 0 })
+    }
+
+    /// Open an existing segment for appending — replaying its intact
+    /// prefix first — or create it fresh if absent. A torn tail (the
+    /// half-written frame of a crashed append) is cut off at the last
+    /// intact record boundary, so new appends land on a clean frame
+    /// boundary instead of behind garbage that would poison every later
+    /// replay. Returns the positioned writer plus the replayed records;
+    /// `record_count`/`byte_count` continue from the recovered prefix.
+    pub fn open_or_create(
+        path: impl AsRef<Path>,
+        sync_each: bool,
+    ) -> StoreResult<(WalWriter, WalReplay)> {
+        use std::io::Seek;
+        let path = path.as_ref().to_path_buf();
+        let replayed = replay(&path)?;
+        let mut file = OpenOptions::new().create(true).truncate(false).write(true).open(&path)?;
+        if replayed.truncated {
+            file.set_len(replayed.valid_bytes)?;
+        }
+        file.seek(std::io::SeekFrom::Start(replayed.valid_bytes))?;
+        let writer = WalWriter {
+            path,
+            out: BufWriter::new(file),
+            records: replayed.records.len() as u64,
+            bytes: replayed.valid_bytes,
+            sync_each,
+            syncs: 0,
+        };
+        Ok((writer, replayed))
     }
 
     /// Write one framed record into the buffer (no sync decision).
@@ -63,8 +96,11 @@ impl WalWriter {
         Ok(())
     }
 
-    /// Make everything written so far durable (flush + fsync).
-    fn sync(&mut self) -> StoreResult<()> {
+    /// Make everything written so far durable (flush + fsync). Callers
+    /// that batch appends without `sync_each` (checkpointing an ingest
+    /// log, graceful shutdown) use this to draw an explicit durability
+    /// line.
+    pub fn sync(&mut self) -> StoreResult<()> {
         self.out.flush()?;
         self.out.get_ref().sync_data()?;
         self.syncs += 1;
@@ -143,6 +179,9 @@ pub struct WalReplay {
     pub records: Vec<(CellKey, Cell)>,
     /// True if replay stopped early at a torn/corrupt record.
     pub truncated: bool,
+    /// Bytes of intact framed records (the boundary a torn tail is cut
+    /// back to by [`WalWriter::open_or_create`]).
+    pub valid_bytes: u64,
 }
 
 /// Replay a segment file. Missing file ⟹ empty replay (fresh node).
@@ -154,7 +193,7 @@ pub fn replay(path: impl AsRef<Path>) -> StoreResult<WalReplay> {
             f.read_to_end(&mut data)?;
         }
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(WalReplay { records: Vec::new(), truncated: false });
+            return Ok(WalReplay { records: Vec::new(), truncated: false, valid_bytes: 0 });
         }
         Err(e) => return Err(e.into()),
     }
@@ -190,7 +229,7 @@ pub fn replay(path: impl AsRef<Path>) -> StoreResult<WalReplay> {
         }
         offset = end;
     }
-    Ok(WalReplay { records, truncated })
+    Ok(WalReplay { records, truncated, valid_bytes: offset as u64 })
 }
 
 #[cfg(test)]
@@ -332,6 +371,80 @@ mod tests {
         drop(w2);
         let r = replay(&path).unwrap();
         assert!(r.records.is_empty(), "create() starts a fresh segment");
+    }
+
+    #[test]
+    fn open_or_create_double_restart_loses_nothing() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = dir.file("restart.log");
+        let first: Vec<_> = (0..8).map(sample).collect();
+        {
+            let mut w = WalWriter::create(&path, false).unwrap();
+            w.append_many(&first).unwrap();
+            w.flush().unwrap();
+        }
+        // First restart: the segment must survive reopening and keep counting
+        // from the recovered prefix.
+        let second: Vec<_> = (8..12).map(sample).collect();
+        {
+            let (mut w, replayed) = WalWriter::open_or_create(&path, false).unwrap();
+            assert!(!replayed.truncated);
+            assert_eq!(replayed.records, first);
+            assert_eq!(w.record_count(), 8);
+            w.append_many(&second).unwrap();
+            w.flush().unwrap();
+            assert_eq!(w.record_count(), 12);
+        }
+        // Second restart: both generations are present, in order.
+        let (w, replayed) = WalWriter::open_or_create(&path, false).unwrap();
+        assert!(!replayed.truncated);
+        let mut expected = first;
+        expected.extend(second);
+        assert_eq!(replayed.records, expected);
+        assert_eq!(w.record_count(), 12);
+    }
+
+    #[test]
+    fn open_or_create_truncates_torn_tail_then_appends_cleanly() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = dir.file("torn-reopen.log");
+        {
+            let mut w = WalWriter::create(&path, false).unwrap();
+            for i in 0..10 {
+                let (k, c) = sample(i);
+                w.append(&k, &c).unwrap();
+            }
+            w.flush().unwrap();
+        }
+        let data = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &data[..data.len() - 5]).unwrap();
+
+        let (mut w, replayed) = WalWriter::open_or_create(&path, false).unwrap();
+        assert!(replayed.truncated);
+        assert_eq!(replayed.records.len(), 9, "torn record cut back to the valid prefix");
+        assert_eq!(w.record_count(), 9);
+        let (k, c) = sample(100);
+        w.append(&k, &c).unwrap();
+        w.flush().unwrap();
+        drop(w);
+
+        let r = replay(&path).unwrap();
+        assert!(!r.truncated, "appending after a torn-tail reopen leaves a clean log");
+        assert_eq!(r.records.len(), 10);
+        assert_eq!(r.records[9], (k, c));
+    }
+
+    #[test]
+    fn open_or_create_missing_file_starts_fresh() {
+        let dir = TempDir::new("wal").unwrap();
+        let path = dir.file("fresh.log");
+        let (mut w, replayed) = WalWriter::open_or_create(&path, true).unwrap();
+        assert!(replayed.records.is_empty());
+        assert_eq!(replayed.valid_bytes, 0);
+        let (k, c) = sample(0);
+        w.append(&k, &c).unwrap();
+        drop(w);
+        assert_eq!(replay(&path).unwrap().records.len(), 1);
     }
 
     #[test]

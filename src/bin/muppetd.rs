@@ -75,6 +75,9 @@ struct Options {
     /// Elastic join state from the grant: (founding machine count, grant
     /// epoch, failed machines, committed ring members).
     join: Option<(usize, u64, Vec<usize>, Vec<usize>)>,
+    ingest_wal: Option<String>,
+    ingest_sync_each: bool,
+    dlq_capacity: Option<usize>,
 }
 
 fn usage() -> ! {
@@ -85,6 +88,7 @@ fn usage() -> ! {
            [--batch-max <events>] [--flush-us <microseconds>]
            [--flush-batch-max <slates>]
            [--metrics on|off] [--latency-sample-n <n>]
+           [--ingest-wal <path>] [--ingest-sync each|group] [--dlq-capacity <n>]
            [--log-level debug|info|warn|error|off] [--log-json]
        muppetd --join <master-host:http_port> --listen <host:port:http_port>
            [--app ...] [--engine ...] [--workers ...] [--store-host <id>] [...]"
@@ -177,6 +181,9 @@ fn parse_args() -> Options {
     // operational incidents.
     let mut log_level = Level::Info;
     let mut log_json = false;
+    let mut ingest_wal = None;
+    let mut ingest_sync_each = false;
+    let mut dlq_capacity = None;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -252,6 +259,23 @@ fn parse_args() -> Options {
                 })
             }
             "--log-json" => log_json = true,
+            "--ingest-wal" => ingest_wal = Some(value().to_string()),
+            "--ingest-sync" => {
+                ingest_sync_each = match value() {
+                    "each" => true,
+                    "group" => false,
+                    other => {
+                        eprintln!("muppetd: --ingest-sync wants each|group, got {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--dlq-capacity" => {
+                dlq_capacity = Some(value().parse().unwrap_or_else(|_| {
+                    eprintln!("muppetd: --dlq-capacity wants an event count");
+                    usage()
+                }))
+            }
             "--store-host" => store_host = value().parse().ok(),
             "--data-dir" => data_dir = Some(value().to_string()),
             "--master" => master = value().parse().ok(),
@@ -284,6 +308,9 @@ fn parse_args() -> Options {
             log_level,
             log_json,
             join: Some((grant.base, grant.epoch, grant.failed, grant.members)),
+            ingest_wal,
+            ingest_sync_each,
+            dlq_capacity,
         };
     }
 
@@ -311,6 +338,9 @@ fn parse_args() -> Options {
         log_level,
         log_json,
         join: None,
+        ingest_wal,
+        ingest_sync_each,
+        dlq_capacity,
     }
 }
 
@@ -336,6 +366,21 @@ fn app_workflow_and_ops(app: &str) -> (Workflow, OperatorSet) {
     }
 }
 
+/// SIGTERM latch. Rust's std installs no handlers of its own; the raw
+/// libc `signal` (std already links libc) is all a flag flip needs, and
+/// a flag flip is all that is async-signal-safe anyway.
+static TERM: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_term(_signum: i32) {
+    TERM.store(true, std::sync::atomic::Ordering::Release);
+}
+
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+const SIGTERM: i32 = 15;
+
 fn main() {
     let opts = parse_args();
     let (workflow, ops) = app_workflow_and_ops(&opts.app);
@@ -347,7 +392,12 @@ fn main() {
             let dir = opts.data_dir.clone().unwrap_or_else(|| {
                 format!("{}/muppetd-node{}", std::env::temp_dir().display(), opts.node)
             });
-            match StoreCluster::open(&dir, StoreConfig::default()) {
+            // With an ingest WAL the store IS the checkpoint: the replay
+            // cursor is only as durable as the store's own WAL, so sync
+            // its appends too.
+            let store_cfg =
+                StoreConfig { wal_sync_each: opts.ingest_wal.is_some(), ..StoreConfig::default() };
+            match StoreCluster::open(&dir, store_cfg) {
                 Ok(cluster) => Some(Arc::new(cluster)),
                 Err(e) => {
                     eprintln!("muppetd: cannot open store at {dir}: {e:?}");
@@ -384,6 +434,9 @@ fn main() {
         initial_epoch,
         initial_failed,
         ring_members,
+        ingest_wal: opts.ingest_wal.as_ref().map(std::path::PathBuf::from),
+        ingest_sync_each: opts.ingest_sync_each,
+        dlq_capacity: opts.dlq_capacity.unwrap_or(muppet::runtime::engine::DEFAULT_DLQ_CAPACITY),
         ..EngineConfig::default()
     };
     let engine = match Engine::start(workflow, ops, cfg, store) {
@@ -443,6 +496,26 @@ fn main() {
         }
     }
 
+    // Restart re-identification (DESIGN.md §11): a durable node coming
+    // back up announces itself to the master under its old id, so the
+    // §4.3 death recorded against the previous incarnation is cleared
+    // and the old ring position restored. Best-effort with retries: at
+    // cluster bootstrap the master may simply not be up yet, and a fresh
+    // (never-crashed) start is a no-op on the master.
+    if opts.ingest_wal.is_some() && opts.join.is_none() {
+        for attempt in 0..3 {
+            if attempt > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(500));
+            }
+            match engine.announce_restart() {
+                Ok(()) => break,
+                Err(e) => {
+                    eprintln!("muppetd: restart announcement attempt {attempt} failed: {e}")
+                }
+            }
+        }
+    }
+
     let node_spec = &opts.topology.nodes[opts.node];
     println!(
         "muppetd: node {}/{} ({}) listening on {}:{}{} app={} engine={:?} master={}{}",
@@ -461,8 +534,21 @@ fn main() {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
 
-    // Serve until killed.
+    // Serve until killed. SIGTERM is the clean-shutdown path: drain the
+    // queues, flush every dirty slate, fsync the ingest WAL, persist the
+    // replay cursor, exit 0 — the next start replays zero events. SIGKILL
+    // (or a crash) skips all of that; the next start replays the WAL tail
+    // past the last checkpoint instead.
+    unsafe { signal(SIGTERM, on_term) };
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(3600));
+        if TERM.load(std::sync::atomic::Ordering::Acquire) {
+            eprintln!("muppetd: SIGTERM — checkpointing");
+            if engine.checkpoint(std::time::Duration::from_secs(10)) {
+                std::process::exit(0);
+            }
+            eprintln!("muppetd: checkpoint incomplete; restart will replay the WAL tail");
+            std::process::exit(1);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(200));
     }
 }

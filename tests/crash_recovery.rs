@@ -1,0 +1,436 @@
+//! Crash recovery end-to-end (DESIGN.md §11): the ingest WAL makes every
+//! accepted event durable before the submit is acked, so a `kill -9` loses
+//! nothing — the restarted node replays the uncheckpointed WAL suffix and
+//! converges to the exact counts the single-threaded reference model
+//! produces. SIGTERM is the clean path: checkpoint, exit 0, zero replay.
+//! Poison events (a panicking updater) never kill a worker — they park in
+//! the dead-letter queue and can be retried once the operator is fixed.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use muppet::apps::retailer;
+use muppet::prelude::*;
+use muppet::runtime::engine::OperatorSet;
+use muppet::runtime::http::percent_encode;
+use muppet::slatestore::util::TempDir;
+
+fn http(method: &str, port: u16, path: &str, body: &[u8]) -> std::io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: 127.0.0.1\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let code: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "bad status"))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().unwrap_or(0);
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    std::io::Read::read_exact(&mut reader, &mut body)?;
+    Ok((code, body))
+}
+
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        if Instant::now() > deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    true
+}
+
+/// The checkin bodies the test ingests: five recognized retailers plus one
+/// venue the mapper drops.
+const VENUES: [&str; 6] =
+    ["Wal-Mart Supercenter", "Sam's Club", "Best Buy", "Target", "JCPenney", "Joe's Coffee"];
+
+fn checkin(i: usize) -> String {
+    format!(r#"{{"user":"u{i}","venue":{{"name":"{}"}}}}"#, VENUES[i % VENUES.len()])
+}
+
+/// Expected per-retailer counts for `checkin(0..n)`, from the golden
+/// single-threaded model — the restart must be bit-exact against these.
+fn reference_counts(n: usize) -> Vec<(String, u64)> {
+    let wf = retailer::workflow();
+    let mut exec = ReferenceExecutor::new(&wf);
+    exec.register_mapper(retailer::RetailerMapper::new());
+    exec.register_updater(retailer::Counter::new());
+    for i in 0..n {
+        exec.push_external(
+            retailer::CHECKIN_STREAM,
+            Event::new(retailer::CHECKIN_STREAM, i as u64, Key::from(format!("u{i}")), checkin(i)),
+        );
+    }
+    exec.run_to_completion().unwrap();
+    exec.slates_of(retailer::COUNTER)
+        .into_iter()
+        .map(|(key, slate)| (String::from_utf8(key.as_bytes().to_vec()).unwrap(), slate.counter()))
+        .collect()
+}
+
+struct Node {
+    child: Option<Child>,
+}
+
+impl Drop for Node {
+    fn drop(&mut self) {
+        if let Some(child) = self.child.as_mut() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+impl Node {
+    /// SIGKILL — the crash under test.
+    fn kill9(&mut self) {
+        let mut child = self.child.take().unwrap();
+        child.kill().unwrap();
+        child.wait().unwrap();
+    }
+
+    /// SIGTERM — the clean-shutdown path. Returns the exit status.
+    fn sigterm(&mut self) -> std::process::ExitStatus {
+        let mut child = self.child.take().unwrap();
+        let pid = child.id().to_string();
+        let ok = Command::new("kill")
+            .args(["-TERM", &pid])
+            .status()
+            .map(|s| s.success())
+            .unwrap_or(false);
+        assert!(ok, "could not deliver SIGTERM to pid {pid}");
+        child.wait().unwrap()
+    }
+}
+
+/// Spawn a single-machine `muppetd` with a durable ingest WAL and wait for
+/// its HTTP endpoint. `peers` pins the ports so a restart reuses them.
+fn spawn_node(peers: &str, http_port: u16, data_dir: &str, wal: &str) -> Node {
+    let child = Command::new(env!("CARGO_BIN_EXE_muppetd"))
+        .args([
+            "--peers",
+            peers,
+            "--node",
+            "0",
+            "--app",
+            "retailer",
+            "--store-host",
+            "0",
+            "--data-dir",
+            data_dir,
+            "--ingest-wal",
+            wal,
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn muppetd");
+    let mut node = Node { child: Some(child) };
+    let ready = wait_until(Duration::from_secs(20), || {
+        if let Some(child) = node.child.as_mut() {
+            if let Ok(Some(status)) = child.try_wait() {
+                panic!("muppetd exited before becoming ready: {status}");
+            }
+        }
+        matches!(http("GET", http_port, "/status", b""), Ok((200, _)))
+    });
+    assert!(ready, "muppetd never became ready on http port {http_port}");
+    node
+}
+
+fn slate_count(port: u16, retailer_name: &str) -> Option<String> {
+    let path = format!("/slate/{}/{}", retailer::COUNTER, percent_encode(retailer_name.as_bytes()));
+    match http("GET", port, &path, b"") {
+        Ok((200, body)) => Some(String::from_utf8(body).unwrap()),
+        _ => None,
+    }
+}
+
+fn counts_match(port: u16, expected: &[(String, u64)]) -> bool {
+    expected.iter().all(|(r, n)| slate_count(port, r).as_deref() == Some(n.to_string().as_str()))
+}
+
+#[test]
+fn kill_minus_9_mid_ingest_then_restart_replays_to_bit_exact_counts() {
+    const N: usize = 120;
+    let dir = TempDir::new("crash-recovery").unwrap();
+    let data_dir = dir.path().join("store");
+    let wal = dir.path().join("ingest.log");
+    let topology = muppet::net::Topology::loopback_ephemeral(1, true).unwrap();
+    let spec = &topology.nodes[0];
+    let peers = format!("{}:{}:{}", spec.host, spec.port, spec.http_port);
+    let port = spec.http_port;
+
+    let mut node = spawn_node(&peers, port, data_dir.to_str().unwrap(), wal.to_str().unwrap());
+
+    // Every POST below is acked only after the event is durable in the
+    // ingest WAL — so nothing acked here may be missing after the crash.
+    for i in 0..N {
+        let (code, body) =
+            http("POST", port, &format!("/submit/S1/u{i}"), checkin(i).as_bytes()).unwrap();
+        assert_eq!(code, 200, "{}", String::from_utf8_lossy(&body));
+    }
+
+    // Crash hard, mid-ingest: no drain, no flush, no checkpoint.
+    node.kill9();
+
+    // Restart on the same ports, same store, same WAL.
+    let node2 = spawn_node(&peers, port, data_dir.to_str().unwrap(), wal.to_str().unwrap());
+
+    // The node replayed the un-checkpointed suffix (everything: the crash
+    // preceded any checkpoint) ...
+    let (code, status) = http("GET", port, "/status", b"").unwrap();
+    assert_eq!(code, 200);
+    let status = String::from_utf8(status).unwrap();
+    assert!(
+        status.contains(&format!("\"recovered_replayed\":{N}")),
+        "expected a full replay of {N} events in {status}"
+    );
+    // ... and converges to the reference model's exact counts.
+    let expected = reference_counts(N);
+    assert!(!expected.is_empty());
+    assert!(
+        wait_until(Duration::from_secs(20), || counts_match(port, &expected)),
+        "replayed counts never matched the reference: expected {expected:?}"
+    );
+    drop(node2);
+}
+
+#[test]
+fn sigterm_checkpoints_exits_zero_and_restart_replays_nothing() {
+    const N: usize = 90;
+    let dir = TempDir::new("sigterm-checkpoint").unwrap();
+    let data_dir = dir.path().join("store");
+    let wal = dir.path().join("ingest.log");
+    let topology = muppet::net::Topology::loopback_ephemeral(1, true).unwrap();
+    let spec = &topology.nodes[0];
+    let peers = format!("{}:{}:{}", spec.host, spec.port, spec.http_port);
+    let port = spec.http_port;
+
+    let mut node = spawn_node(&peers, port, data_dir.to_str().unwrap(), wal.to_str().unwrap());
+    for i in 0..N {
+        let (code, _) =
+            http("POST", port, &format!("/submit/S1/u{i}"), checkin(i).as_bytes()).unwrap();
+        assert_eq!(code, 200);
+    }
+    let expected = reference_counts(N);
+    assert!(
+        wait_until(Duration::from_secs(20), || counts_match(port, &expected)),
+        "counts never converged before the SIGTERM"
+    );
+
+    // Clean shutdown: drain + flush + cursor + fsync, then exit 0.
+    let status = node.sigterm();
+    assert_eq!(status.code(), Some(0), "SIGTERM must exit 0 after a clean checkpoint");
+
+    // The restart finds the cursor at the WAL's end: zero replay.
+    let node2 = spawn_node(&peers, port, data_dir.to_str().unwrap(), wal.to_str().unwrap());
+    let (_, status) = http("GET", port, "/status", b"").unwrap();
+    let status = String::from_utf8(status).unwrap();
+    assert!(
+        status.contains("\"recovered_replayed\":0"),
+        "a checkpointed restart must replay nothing: {status}"
+    );
+
+    // Exactly-once across the restart: one more Walmart checkin continues
+    // the persisted count — no duplicate replay inflated it.
+    let walmart_before = expected.iter().find(|(r, _)| r == "Walmart").map(|(_, n)| *n).unwrap();
+    let (code, _) = http("POST", port, "/submit/S1/after", checkin(0).as_bytes()).unwrap();
+    assert_eq!(code, 200);
+    assert!(
+        wait_until(Duration::from_secs(20), || slate_count(port, "Walmart").as_deref()
+            == Some((walmart_before + 1).to_string().as_str())),
+        "post-restart count must continue exactly from the checkpointed value"
+    );
+    drop(node2);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level recovery: in-process machines, full control of the WAL file.
+// ---------------------------------------------------------------------------
+
+/// A per-key decimal counter with full control over inputs.
+struct CountUpdater;
+
+impl Updater for CountUpdater {
+    fn name(&self) -> &str {
+        "counter"
+    }
+    fn update(&self, _ctx: &mut dyn Emitter, _event: &Event, slate: &mut Slate) {
+        let n = slate.as_str().and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
+        slate.replace((n + 1).to_string().into_bytes());
+    }
+}
+
+fn count_workflow() -> Workflow {
+    let mut b = Workflow::builder("crash-count");
+    b.external_stream("S1");
+    b.updater("counter", &["S1"]);
+    b.build().unwrap()
+}
+
+fn count_engine(wal: &std::path::Path) -> Engine {
+    let cfg = EngineConfig {
+        machines: 2,
+        workers_per_machine: 2,
+        ingest_wal: Some(wal.to_path_buf()),
+        ..EngineConfig::default()
+    };
+    Engine::start(count_workflow(), OperatorSet::new().updater(CountUpdater), cfg, None).unwrap()
+}
+
+#[test]
+fn wal_replay_reproduces_reference_counts_and_truncates_a_torn_tail() {
+    const KEYS: usize = 10;
+    const PER_KEY: usize = 12;
+    let dir = TempDir::new("engine-replay").unwrap();
+    let wal = dir.file("ingest.log");
+
+    // The reference slates for the same event sequence.
+    let wf = count_workflow();
+    let mut exec = ReferenceExecutor::new(&wf);
+    exec.register_updater(CountUpdater);
+    let events: Vec<Event> = (0..KEYS * PER_KEY)
+        .map(|i| Event::new("S1", i as u64, Key::from(format!("k-{}", i % KEYS)), "e"))
+        .collect();
+    for ev in &events {
+        exec.push_external("S1", ev.clone());
+    }
+    exec.run_to_completion().unwrap();
+
+    // First life: ingest everything (each submit is WAL-durable), then
+    // shut down. Without a store there is nowhere to persist the replay
+    // cursor, so the next start replays the whole log — the §4.3 "machine
+    // reborn from its log" posture.
+    let e1 = count_engine(&wal);
+    for ev in &events {
+        e1.submit(ev.clone()).unwrap();
+    }
+    assert!(e1.drain(Duration::from_secs(20)));
+    e1.shutdown();
+
+    // Torn tail: a crash mid-append leaves a partial frame. Recovery must
+    // truncate it, replay the intact prefix, and keep appending cleanly.
+    {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&wal).unwrap();
+        f.write_all(&[0xde, 0xad, 0xbe]).unwrap();
+    }
+
+    let e2 = count_engine(&wal);
+    assert_eq!(e2.recovered_replayed(), (KEYS * PER_KEY) as u64, "full replay expected");
+    let all_match = wait_until(Duration::from_secs(20), || {
+        (0..KEYS).all(|k| {
+            let key = Key::from(format!("k-{k}"));
+            let reference = exec.slate("counter", &key).unwrap();
+            e2.read_slate("counter", &key).as_deref() == Some(reference.bytes())
+        })
+    });
+    assert!(all_match, "replayed slates must be bit-exact against the reference model");
+
+    // The truncated log accepts new appends: one more event, one more
+    // record, and the count advances.
+    e2.submit(Event::new("S1", 10_000, Key::from("k-0"), "e")).unwrap();
+    assert!(e2.drain(Duration::from_secs(10)));
+    let (records, _) = e2.ingest_wal_stats().unwrap();
+    assert_eq!(records, (KEYS * PER_KEY + 1) as u64);
+    assert_eq!(
+        e2.read_slate("counter", &Key::from("k-0")).as_deref(),
+        Some((PER_KEY + 1).to_string().as_bytes())
+    );
+    e2.shutdown();
+}
+
+/// An updater that panics on `"boom"` payloads until the shared flag says
+/// the bug is fixed — the poison-event stand-in.
+struct PoisonUpdater {
+    fixed: Arc<AtomicBool>,
+}
+
+impl Updater for PoisonUpdater {
+    fn name(&self) -> &str {
+        "poison"
+    }
+    fn update(&self, _ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
+        if !self.fixed.load(Ordering::Acquire) && event.value.as_ref() == b"boom" {
+            panic!("poison payload");
+        }
+        let n = slate.as_str().and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
+        slate.replace((n + 1).to_string().into_bytes());
+    }
+}
+
+#[test]
+fn panicking_updater_is_contained_dead_lettered_and_retryable() {
+    let fixed = Arc::new(AtomicBool::new(false));
+    let mut b = Workflow::builder("poison-wf");
+    b.external_stream("S1");
+    b.updater("poison", &["S1"]);
+    let wf = b.build().unwrap();
+    let cfg = EngineConfig { machines: 2, workers_per_machine: 2, ..EngineConfig::default() };
+    let engine = Engine::start(
+        wf,
+        OperatorSet::new().updater(PoisonUpdater { fixed: Arc::clone(&fixed) }),
+        cfg,
+        None,
+    )
+    .unwrap();
+
+    // Good traffic around one poison event. The panic must not kill the
+    // worker: everything else processes and the drain converges.
+    for i in 0..40u64 {
+        engine.submit(Event::new("S1", i, Key::from("good"), "e")).unwrap();
+    }
+    engine.submit(Event::new("S1", 40, Key::from("bad"), "boom")).unwrap();
+    for i in 41..81u64 {
+        engine.submit(Event::new("S1", i, Key::from("good"), "e")).unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(20)), "drain must converge past the poison event");
+    assert_eq!(engine.read_slate("poison", &Key::from("good")).as_deref(), Some(b"80".as_ref()));
+    assert_eq!(engine.stats().processed, 80, "the dead-lettered event is not 'processed'");
+    assert_eq!(engine.dlq().depth(), 1);
+    let json = engine.dlq_json();
+    assert!(json.contains("poison") && json.contains("boom"), "{json}");
+
+    // Retry while still broken: the event poisons again and comes back.
+    assert_eq!(engine.dlq_retry(), 1);
+    assert!(
+        wait_until(Duration::from_secs(10), || engine.dlq().depth() == 1),
+        "an unfixed poison event must return to the DLQ"
+    );
+    assert_eq!(engine.dlq().retried(), 1);
+    assert_eq!(engine.read_slate("poison", &Key::from("bad")), None, "no partial state leaked");
+
+    // Fix the operator; the retry drains the queue and applies the event.
+    fixed.store(true, Ordering::Release);
+    assert_eq!(engine.dlq_retry(), 1);
+    assert!(
+        wait_until(Duration::from_secs(10), || engine.dlq().depth() == 0
+            && engine.read_slate("poison", &Key::from("bad")).as_deref() == Some(b"1".as_ref())),
+        "a fixed poison event must finally apply"
+    );
+    engine.shutdown();
+}

@@ -364,6 +364,83 @@ fn slate_read_from_killed_owner_falls_back_to_the_store() {
     c.shutdown();
 }
 
+/// Restart re-identification (DESIGN.md §11): a machine that died, was
+/// detected, and was dropped from every ring comes back *under its old
+/// id*, announces itself to the master, and must (1) re-enter every
+/// survivor's ring at its old position, (2) be cleared from the failed
+/// set, (3) receive routed traffic again, and (4) — the death-ledger
+/// regression — have a SECOND death detected and logged afresh rather
+/// than silently absorbed by the first incarnation's ledger entry.
+#[test]
+fn restarted_machine_reintroduces_rejoins_and_second_death_is_redetected() {
+    let topology = loopback_topology(3);
+    let a = start_node(&topology, 0); // master
+    let b = start_node(&topology, 1);
+    let c = start_node(&topology, 2);
+
+    for i in 0..120u64 {
+        a.submit(Event::new("S1", i, Key::from(format!("warm-{i}")), "e")).unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(20), || total_processed(&[&a, &b, &c]) == 120));
+
+    // First death: kill B, drive traffic until §4.3 drops it everywhere.
+    b.shutdown();
+    let mut n = 0u64;
+    let detected = wait_until(Duration::from_secs(30), || {
+        for i in 0..10u64 {
+            a.submit(Event::new("S1", 1000 + n * 10 + i, Key::from(format!("p-{n}-{i}")), "e"))
+                .unwrap();
+        }
+        n += 1;
+        a.failure_detected(1) && c.failure_detected(1) && !a.ring_contains(1)
+    });
+    assert!(detected, "first death never detected");
+
+    // Restart B under its old id and announce the restart to the master.
+    let b2 = start_node(&topology, 1);
+    assert!(
+        wait_until(Duration::from_secs(10), || b2.announce_restart().is_ok()),
+        "restart announcement never reached the master"
+    );
+    assert!(
+        wait_until(Duration::from_secs(20), || a.ring_contains(1)
+            && c.ring_contains(1)
+            && b2.ring_contains(1)),
+        "restarted machine never re-entered every ring"
+    );
+    assert!(!a.failure_detected(1), "the failed mark must clear on reintroduction");
+
+    // Traffic reaches the reborn machine again.
+    let before = total_processed(&[&a, &c, &b2]);
+    for i in 0..200u64 {
+        a.submit(Event::new("S1", 100_000 + i, Key::from(format!("back-{i}")), "e")).unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(20), || total_processed(&[&a, &c, &b2]) >= before + 200),
+        "post-restart traffic not fully processed (got {} of {})",
+        total_processed(&[&a, &c, &b2]) - before,
+        200
+    );
+    assert!(b2.stats().processed > 0, "no events reached the restarted machine");
+
+    // Second death: without the ledger clear, the first incarnation's
+    // entry would swallow the new incident's log line.
+    b2.shutdown();
+    let mut m = 0u64;
+    let redetected = wait_until(Duration::from_secs(30), || {
+        for i in 0..10u64 {
+            a.submit(Event::new("S1", 200_000 + m * 10 + i, Key::from(format!("q-{m}-{i}")), "e"))
+                .unwrap();
+        }
+        m += 1;
+        a.failure_detected(1) && c.failure_detected(1)
+    });
+    assert!(redetected, "the restarted incarnation's death was never re-detected");
+
+    a.shutdown();
+    c.shutdown();
+}
+
 #[test]
 fn muppet1_engine_works_over_tcp() {
     let topology = loopback_topology(2);
