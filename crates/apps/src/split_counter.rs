@@ -12,7 +12,7 @@
 //! Workflow: `S1 (checkins) → M1 splitting-mapper → S2 → U1 partial-counter
 //! → S3 → U2 total-counter`, parameterized by the split factor k.
 
-use std::sync::Mutex;
+use muppet_core::sync::Mutex;
 
 use muppet_core::event::{Event, Key};
 use muppet_core::hash::FxHashMap;
@@ -92,7 +92,7 @@ impl Mapper for SplittingMapper {
         let Some(venue) = crate::retailer::RetailerMapper::venue_of(event) else { return };
         if let Some(retailer) = match_retailer(&venue) {
             let shard = {
-                let mut cursors = self.rr.lock().expect("cursor lock");
+                let mut cursors = self.rr.lock();
                 let cursor = cursors.entry(retailer).or_insert(0);
                 let shard = *cursor % self.k;
                 *cursor += 1;

@@ -1,0 +1,298 @@
+//! X21 — the instrumented lock shim must be free when the audit is off.
+//!
+//! PR 8 routes every lock in the workspace through `muppet_core::sync`
+//! so the `lock-audit` feature can see them. The deal that migration
+//! rests on: in a default (audit-less) build the shim is a transparent
+//! newtype — same size, same codegen, zero hot-path cost. This
+//! experiment is that deal's release-mode receipt, in two halves:
+//!
+//! * **micro** — raw `parking_lot` vs shim, same binary, three shapes:
+//!   uncontended `Mutex` lock/inc/unlock, uncontended `RwLock` read,
+//!   and a two-thread contended `Mutex` counter. Min-of-reps ns/op for
+//!   each, with the shim/raw ratio as the headline;
+//! * **macro** — the X17 full hot path (hot_topics through the
+//!   3-machine in-process engine, resident slates, default shards and
+//!   drain batch), now with every queue/cache/membership/outbox lock
+//!   running through the shim. Events/s lands next to X17's committed
+//!   trajectory for eyeball comparison.
+//!
+//! CI gates are deterministic only (shared runners make timing
+//! unreliable): the shim types are size-identical to the raw types, all
+//! counters come out exact, and the engine arm processes every event.
+//! The timing ratios are recorded in `BENCH_x21.json` as evidence, not
+//! enforced; the committed full-scale run is the proof of record.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use muppet_apps::hot_topics::{self, HotDetector, MinuteCounter, TopicMapper};
+use muppet_core::event::Event;
+use muppet_core::json::Json;
+use muppet_runtime::engine::{Engine, EngineConfig, OperatorSet};
+use muppet_runtime::overflow::OverflowPolicy;
+use muppet_workloads::tweets::TweetGenerator;
+
+use crate::table::{rate, Table};
+use crate::Scale;
+
+const MACHINES: usize = 3;
+const WORKERS: usize = 2;
+/// Min-of-N reps per micro shape (alternating arms so both see the same
+/// scheduler weather).
+const REPS: usize = 5;
+
+/// One micro shape measured for one arm: returns ⟨ns/op, final count⟩.
+fn time_ops(ops: u64, f: impl Fn(u64) -> u64) -> (f64, u64) {
+    let t0 = Instant::now();
+    let count = std::hint::black_box(f(ops));
+    let ns = t0.elapsed().as_nanos() as f64 / ops as f64;
+    (ns, count)
+}
+
+/// Two threads hammering one mutex-guarded counter until `ops` total
+/// increments land. Generic over the lock via the two closures.
+fn contended<L: Sync>(ops: u64, lock: &L, inc: impl Fn(&L) -> u64 + Sync) -> u64 {
+    let stop = AtomicBool::new(false);
+    let per_thread = ops / 2;
+    std::thread::scope(|s| {
+        let worker = |_: usize| {
+            let stop = &stop;
+            let inc = &inc;
+            s.spawn(move || {
+                let mut last = 0;
+                for _ in 0..per_thread {
+                    last = inc(lock);
+                }
+                let _ = stop.load(Ordering::Relaxed);
+                last
+            })
+        };
+        let a = worker(0);
+        let b = worker(1);
+        a.join().expect("no panic").max(b.join().expect("no panic"))
+    })
+}
+
+struct MicroShape {
+    name: &'static str,
+    raw_ns: f64,
+    shim_ns: f64,
+}
+
+impl MicroShape {
+    fn ratio(&self) -> f64 {
+        self.shim_ns / self.raw_ns.max(1e-9)
+    }
+}
+
+/// Alternate raw/shim reps of one shape, keeping each arm's minimum.
+fn measure(
+    name: &'static str,
+    ops: u64,
+    raw: impl Fn(u64) -> u64,
+    shim: impl Fn(u64) -> u64,
+) -> MicroShape {
+    let mut raw_ns = f64::INFINITY;
+    let mut shim_ns = f64::INFINITY;
+    for _ in 0..REPS {
+        let (r, rc) = time_ops(ops, &raw);
+        let (s, sc) = time_ops(ops, &shim);
+        assert_eq!(rc, ops, "{name}: raw arm lost increments");
+        assert_eq!(sc, ops, "{name}: shim arm lost increments");
+        raw_ns = raw_ns.min(r);
+        shim_ns = shim_ns.min(s);
+    }
+    MicroShape { name, raw_ns, shim_ns }
+}
+
+fn micro_shapes(scale: Scale) -> Vec<MicroShape> {
+    let ops = (20_000_000 / scale.divisor as u64).max(100_000);
+    let contended_ops = (4_000_000 / scale.divisor as u64).max(100_000);
+    let mut shapes = Vec::new();
+
+    {
+        // lint: allow(no-raw-lock) — the raw baseline arm of the shim-overhead contrast
+        let raw = parking_lot::Mutex::new(0u64);
+        let shim = muppet_core::sync::Mutex::new(0u64);
+        shapes.push(measure(
+            "mutex lock/inc/unlock",
+            ops,
+            |n| {
+                for _ in 0..n {
+                    *raw.lock() += 1;
+                }
+                let v = *raw.lock();
+                *raw.lock() = 0;
+                v
+            },
+            |n| {
+                for _ in 0..n {
+                    *shim.lock() += 1;
+                }
+                let v = *shim.lock();
+                *shim.lock() = 0;
+                v
+            },
+        ));
+    }
+    {
+        // lint: allow(no-raw-lock) — the raw baseline arm of the shim-overhead contrast
+        let raw = parking_lot::RwLock::new(1u64);
+        let shim = muppet_core::sync::RwLock::new(1u64);
+        shapes.push(measure(
+            "rwlock read",
+            ops,
+            |n| (0..n).map(|_| *raw.read()).sum::<u64>(),
+            |n| (0..n).map(|_| *shim.read()).sum::<u64>(),
+        ));
+    }
+    {
+        // lint: allow(no-raw-lock) — the raw baseline arm of the shim-overhead contrast
+        let raw = parking_lot::Mutex::new(0u64);
+        let shim = muppet_core::sync::Mutex::new(0u64);
+        shapes.push(measure(
+            "mutex contended ×2 threads",
+            contended_ops,
+            |n| {
+                *raw.lock() = 0;
+                contended(n, &raw, |l| {
+                    let mut g = l.lock();
+                    *g += 1;
+                    *g
+                });
+                let v = *raw.lock();
+                v
+            },
+            |n| {
+                *shim.lock() = 0;
+                contended(n, &shim, |l| {
+                    let mut g = l.lock();
+                    *g += 1;
+                    *g
+                });
+                let v = *shim.lock();
+                v
+            },
+        ));
+    }
+    shapes
+}
+
+struct EngineOutcome {
+    processed: u64,
+    elapsed: Duration,
+}
+
+/// The X17 full hot path, every lock through the shim (this build).
+fn run_engine_arm(events: &[Event]) -> EngineOutcome {
+    let cfg = EngineConfig {
+        machines: MACHINES,
+        workers_per_machine: WORKERS,
+        queue_capacity: 1 << 14,
+        overflow: OverflowPolicy::SourceThrottle,
+        ..EngineConfig::default()
+    };
+    let ops = OperatorSet::new()
+        .mapper(TopicMapper::new())
+        .updater(MinuteCounter::new())
+        .updater(HotDetector::new(3.0));
+    let engine = Engine::start(hot_topics::workflow(), ops, cfg, None).expect("engine start");
+    let t0 = Instant::now();
+    for ev in events {
+        engine.submit(ev.clone()).expect("submit");
+    }
+    assert!(engine.drain(Duration::from_secs(180)), "engine arm did not drain");
+    let elapsed = t0.elapsed();
+    let stats = engine.shutdown();
+    EngineOutcome { processed: stats.processed, elapsed }
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) {
+    super::banner(
+        "X21",
+        "lock shim overhead: raw parking_lot vs muppet_core::sync, audit off",
+        "PR 8 correctness tooling; §4.5 hot-path lock discipline",
+    );
+
+    // Deterministic gate 1: the shim is layout-transparent without the
+    // `lock-audit` feature — a field would show up here first.
+    assert_eq!(
+        std::mem::size_of::<muppet_core::sync::Mutex<u64>>(),
+        // lint: allow(no-raw-lock) — size-transparency gate needs the raw type
+        std::mem::size_of::<parking_lot::Mutex<u64>>(),
+        "shim Mutex must add no fields without lock-audit"
+    );
+    assert_eq!(
+        std::mem::size_of::<muppet_core::sync::RwLock<u64>>(),
+        // lint: allow(no-raw-lock) — size-transparency gate needs the raw type
+        std::mem::size_of::<parking_lot::RwLock<u64>>(),
+        "shim RwLock must add no fields without lock-audit"
+    );
+
+    let shapes = micro_shapes(scale);
+    let n = scale.events(60_000);
+    let events: Vec<Event> = TweetGenerator::new(42, 2_000, 40.0).take(hot_topics::TWEET_STREAM, n);
+    let _ = run_engine_arm(&events); // warm-up: page cache, arenas, stacks
+    let engine = run_engine_arm(&events);
+    // Deterministic gate 2: exact work (SourceThrottle is loss-free).
+    // `processed` counts per-operator packets: each tweet crosses
+    // mapper → minute counter → hot detector, so exactly 3n.
+    assert_eq!(engine.processed, 3 * n as u64, "engine arm must process every event");
+
+    let mut table = Table::new(["shape", "raw ns/op", "shim ns/op", "shim/raw"]);
+    for s in &shapes {
+        table.row([
+            s.name.to_string(),
+            format!("{:.2}", s.raw_ns),
+            format!("{:.2}", s.shim_ns),
+            format!("{:.3}×", s.ratio()),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nengine (X17 full hot path, all locks through the shim): {} events in {:.2?} \
+         = {} events/s",
+        n,
+        engine.elapsed,
+        rate(n, engine.elapsed),
+    );
+    let worst = shapes.iter().map(MicroShape::ratio).fold(0.0f64, f64::max);
+    println!(
+        "shape check: worst micro shim/raw ratio {worst:.3}× (1.0 = free; timing is \
+         informational — the enforced gates are size transparency and exact counts)"
+    );
+
+    let doc = Json::obj([
+        ("experiment", Json::str("x21_lock_shim")),
+        ("events", Json::num(n as f64)),
+        (
+            "micro",
+            Json::Arr(
+                shapes
+                    .iter()
+                    .map(|s| {
+                        Json::obj([
+                            ("shape", Json::str(s.name)),
+                            ("raw_ns_per_op", Json::num(s.raw_ns)),
+                            ("shim_ns_per_op", Json::num(s.shim_ns)),
+                            ("shim_over_raw", Json::num(s.ratio())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "engine",
+            Json::obj([
+                ("arm", Json::str("x17-full-hot-path-shimmed")),
+                ("processed", Json::num(engine.processed as f64)),
+                ("wall_ms", Json::num(engine.elapsed.as_secs_f64() * 1e3)),
+                ("events_per_sec", Json::num(n as f64 / engine.elapsed.as_secs_f64().max(1e-9))),
+            ]),
+        ),
+    ]);
+    std::fs::write("BENCH_x21.json", doc.to_pretty())
+        .unwrap_or_else(|e| eprintln!("could not write BENCH_x21.json: {e}"));
+    println!("\nwrote BENCH_x21.json");
+}

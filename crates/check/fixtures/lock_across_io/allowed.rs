@@ -1,0 +1,12 @@
+// lint-fixture-as: crates/slatestore/src/fixture.rs
+//! Fixture: IO under a lock that IS the design (group commit), excused
+//! by a reasoned annotation.
+
+pub fn group_commit(file: &mut std::fs::File, log: &muppet_core::sync::Mutex<Vec<u8>>) {
+    use std::io::Write;
+    let buf = log.lock();
+    // lint: allow(lock-across-io) — group commit: the writer lock IS the batching mechanism
+    file.write_all(&buf).ok();
+    // lint: allow(lock-across-io) — group commit: followers wait on the durable watermark, not this lock
+    file.sync_data().ok();
+}

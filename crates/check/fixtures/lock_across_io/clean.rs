@@ -1,0 +1,21 @@
+// lint-fixture-as: crates/slatestore/src/fixture.rs
+//! Fixture: the sanctioned shapes — snapshot under the lock, IO outside
+//! it (by scope close or explicit drop). No findings.
+
+pub fn snapshot_then_write(file: &mut std::fs::File, state: &muppet_core::sync::Mutex<Vec<u8>>) {
+    use std::io::Write;
+    let snapshot = {
+        let buf = state.lock();
+        buf.clone()
+    };
+    file.write_all(&snapshot).ok();
+    file.sync_all().ok();
+}
+
+pub fn drop_then_write(file: &mut std::fs::File, state: &muppet_core::sync::Mutex<Vec<u8>>) {
+    use std::io::Write;
+    let buf = state.lock();
+    let snapshot = buf.clone();
+    drop(buf);
+    file.write_all(&snapshot).ok();
+}

@@ -1,0 +1,16 @@
+// lint-fixture-as: crates/slatestore/src/fixture.rs
+//! Fixture: blocking IO while a lock guard is live — each flagged.
+
+pub fn flush(file: &mut std::fs::File, state: &muppet_core::sync::Mutex<Vec<u8>>) {
+    use std::io::Write;
+    let buf = state.lock();
+    file.write_all(&buf).ok(); // finding: `buf` guard live
+    file.sync_all().ok(); // finding: `buf` guard still live
+}
+
+pub fn try_variant(file: &std::fs::File, state: &muppet_core::sync::Mutex<Vec<u8>>) {
+    if let Some(mut buf) = state.try_lock() {
+        buf.clear();
+        file.sync_data().ok(); // finding: try_lock guard live
+    }
+}

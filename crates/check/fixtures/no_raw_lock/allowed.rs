@@ -1,0 +1,10 @@
+// lint-fixture-as: crates/runtime/src/fixture.rs
+//! Fixture: a raw lock excused by a reasoned annotation.
+
+// lint: allow(no-raw-lock) — FFI boundary requires the std type here
+use std::sync::Mutex;
+
+pub struct Excused {
+    // lint: allow(no-raw-lock) — FFI boundary requires the std type here
+    inner: Mutex<u64>,
+}

@@ -1,0 +1,21 @@
+// lint-fixture-as: crates/runtime/src/fixture.rs
+//! Fixture: sanctioned lock usage plus the std::sync types that are NOT
+//! locks — none of this may produce findings.
+
+use muppet_core::sync::{Condvar, Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+pub struct Clean {
+    a: Mutex<u64>,
+    b: Arc<RwLock<u64>>,
+    cv: Condvar,
+    n: AtomicU64,
+    // A shim lock AROUND an mpsc type mentions std::sync without naming
+    // a std lock — must not trip the rule.
+    rx: Mutex<std::sync::mpsc::Receiver<()>>,
+}
+
+pub fn touch(c: &Clean) -> u64 {
+    *c.a.lock() + c.n.load(Ordering::Relaxed)
+}

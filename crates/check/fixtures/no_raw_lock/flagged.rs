@@ -1,0 +1,11 @@
+// lint-fixture-as: crates/runtime/src/fixture.rs
+//! Fixture: raw locks that must each produce a `no-raw-lock` finding.
+
+use parking_lot::Mutex; // finding: parking_lot import
+use std::sync::{Arc, RwLock}; // finding: grouped std::sync lock import
+
+pub struct Raw {
+    a: Mutex<u64>,
+    b: Arc<RwLock<u64>>,
+    c: std::sync::Condvar, // finding: direct std::sync lock path
+}

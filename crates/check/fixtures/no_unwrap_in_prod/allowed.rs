@@ -1,0 +1,7 @@
+// lint-fixture-as: crates/runtime/src/fixture.rs
+//! Fixture: an infallible unwrap excused by a reasoned annotation.
+
+pub fn prod(head: [u8; 8]) -> u64 {
+    // lint: allow(no-unwrap-in-prod) — 8-byte array, slice statically in bounds
+    u64::from_be_bytes(head[0..8].try_into().expect("fixed header"))
+}

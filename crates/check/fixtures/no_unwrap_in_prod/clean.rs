@@ -1,0 +1,20 @@
+// lint-fixture-as: crates/runtime/src/fixture.rs
+//! Fixture: fallible handling plus test-only unwraps — no findings.
+
+pub fn prod(v: Option<u64>) -> Result<u64, String> {
+    // unwrap_or / unwrap_or_else / unwrap_or_default are not unwraps.
+    let a = v.unwrap_or(0);
+    let b = v.unwrap_or_else(|| 1).max(v.unwrap_or_default());
+    Ok(a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u64> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        let r: Result<u64, ()> = Ok(2);
+        assert_eq!(r.expect("test"), 2);
+    }
+}

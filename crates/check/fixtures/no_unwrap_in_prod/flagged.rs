@@ -1,0 +1,8 @@
+// lint-fixture-as: crates/runtime/src/fixture.rs
+//! Fixture: latent panics on production paths — each must be flagged.
+
+pub fn prod(v: Option<u64>, r: Result<u64, String>) -> u64 {
+    let a = v.unwrap(); // finding
+    let b = r.expect("always ok"); // finding
+    a + b
+}

@@ -1,0 +1,7 @@
+// lint-fixture-as: crates/core/src/fixture.rs
+//! Fixture: a wall-clock read excused by a reasoned annotation.
+
+pub fn stamp() -> std::time::Instant {
+    // lint: allow(no-wallclock-in-deterministic) — diagnostics only, never replayed
+    std::time::Instant::now()
+}

@@ -1,0 +1,10 @@
+// lint-fixture-as: crates/core/src/fixture.rs
+//! Fixture: wall-clock reads in a deterministic crate — each flagged.
+
+use std::time::{Instant, SystemTime};
+
+pub fn now_pair() -> (Instant, SystemTime) {
+    let a = Instant::now(); // finding
+    let b = SystemTime::now(); // finding
+    (a, b)
+}

@@ -1,0 +1,360 @@
+//! A minimal Rust source scanner — just enough lexing for the lint rules.
+//!
+//! Not a parser: it classifies every byte as code / comment / string
+//! content, tracks brace depth, and marks `#[cfg(test)]` item bodies. The
+//! rules then pattern-match on the *code-only* projection of each line, so
+//! a lock name inside a doc comment or a string literal never trips a
+//! lint, while the raw line text stays available for `// lint: allow(...)`
+//! annotations (which live in comments on purpose).
+
+/// One source line, classified.
+pub struct LineInfo {
+    /// The line exactly as written (no trailing newline).
+    pub raw: String,
+    /// The line with comment and string/char-literal *contents* blanked to
+    /// spaces (delimiters kept), so rules match code tokens only.
+    pub code: String,
+    /// Brace depth at the start of the line.
+    pub depth_start: usize,
+    /// Brace depth after the line's own braces.
+    pub depth_end: usize,
+    /// True if the line is inside a `#[cfg(test)]` item body (or is the
+    /// attribute/header itself).
+    pub in_test: bool,
+}
+
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(usize),
+    Str,
+    RawStr(usize),
+    CharLit,
+}
+
+/// Scan a whole file into classified lines.
+pub fn scan(source: &str) -> Vec<LineInfo> {
+    let bytes = source.as_bytes();
+    let mut lines: Vec<LineInfo> = Vec::new();
+    let mut raw = String::new();
+    let mut code = String::new();
+    let mut depth: usize = 0;
+    let mut depth_start: usize = 0;
+    let mut state = State::Normal;
+    let mut i = 0;
+
+    // Byte ranges of the code text that belong to `#[cfg(test)]` bodies
+    // are resolved in a second pass; here we just build the projection.
+    let mut flush = |raw: &mut String, code: &mut String, depth_start: &mut usize, depth: usize| {
+        lines.push(LineInfo {
+            raw: std::mem::take(raw),
+            code: std::mem::take(code),
+            depth_start: *depth_start,
+            depth_end: depth,
+            in_test: false,
+        });
+        *depth_start = depth;
+    };
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            // A newline ends line comments; strings/block comments span.
+            if matches!(state, State::LineComment) {
+                state = State::Normal;
+            }
+            flush(&mut raw, &mut code, &mut depth_start, depth);
+            i += 1;
+            continue;
+        }
+        raw.push(b as char);
+        match state {
+            State::Normal => {
+                match b {
+                    b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                        state = State::LineComment;
+                        code.push(' ');
+                    }
+                    b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                        state = State::BlockComment(1);
+                        code.push(' ');
+                    }
+                    b'"' => {
+                        state = State::Str;
+                        code.push('"');
+                    }
+                    b'r' | b'b' if !prev_is_ident(bytes, i) => {
+                        // Possible raw/byte string prefix: r", r#", b", br#"…
+                        let mut j = i + 1;
+                        if b == b'b' && bytes.get(j) == Some(&b'r') {
+                            j += 1;
+                        }
+                        let mut hashes = 0;
+                        while bytes.get(j) == Some(&b'#') {
+                            hashes += 1;
+                            j += 1;
+                        }
+                        let is_raw = b == b'r' || (b == b'b' && bytes.get(i + 1) == Some(&b'r'));
+                        match bytes.get(j) {
+                            Some(&b'"') if is_raw => {
+                                for (k, &byte) in bytes.iter().enumerate().take(j + 1).skip(i) {
+                                    if k > i {
+                                        raw.push(byte as char);
+                                    }
+                                    code.push(byte as char);
+                                }
+                                i = j;
+                                state = State::RawStr(hashes);
+                            }
+                            Some(&b'"') if b == b'b' && hashes == 0 => {
+                                raw.push('"');
+                                code.push('b');
+                                code.push('"');
+                                i += 1;
+                                state = State::Str;
+                            }
+                            _ => code.push(b as char),
+                        }
+                    }
+                    b'\'' => {
+                        // Char literal vs lifetime: 'x' / '\n' are literals,
+                        // 'a (no closing quote right after) is a lifetime.
+                        if bytes.get(i + 1) == Some(&b'\\')
+                            || (bytes.get(i + 2) == Some(&b'\'')
+                                && bytes.get(i + 1).is_some_and(|c| *c != b'\''))
+                        {
+                            state = State::CharLit;
+                        }
+                        code.push('\'');
+                    }
+                    b'{' => {
+                        depth += 1;
+                        code.push('{');
+                    }
+                    b'}' => {
+                        depth = depth.saturating_sub(1);
+                        code.push('}');
+                    }
+                    _ => code.push(b as char),
+                }
+            }
+            State::LineComment => code.push(' '),
+            State::BlockComment(n) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    raw.push('/');
+                    code.push(' ');
+                    code.push(' ');
+                    i += 1;
+                    state = if n == 1 { State::Normal } else { State::BlockComment(n - 1) };
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    raw.push('*');
+                    code.push(' ');
+                    code.push(' ');
+                    i += 1;
+                    state = State::BlockComment(n + 1);
+                } else {
+                    code.push(' ');
+                }
+            }
+            State::Str => match b {
+                b'\\' => {
+                    if let Some(&next) = bytes.get(i + 1) {
+                        if next != b'\n' {
+                            raw.push(next as char);
+                            code.push(' ');
+                            i += 1;
+                        }
+                    }
+                    code.push(' ');
+                }
+                b'"' => {
+                    state = State::Normal;
+                    code.push('"');
+                }
+                _ => code.push(' '),
+            },
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let closes = (1..=hashes).all(|k| bytes.get(i + k) == Some(&b'#'));
+                    if closes {
+                        code.push('"');
+                        for k in 1..=hashes {
+                            raw.push(bytes[i + k] as char);
+                            code.push('#');
+                        }
+                        i += hashes;
+                        state = State::Normal;
+                    } else {
+                        code.push(' ');
+                    }
+                } else {
+                    code.push(' ');
+                }
+            }
+            State::CharLit => match b {
+                b'\\' => {
+                    if let Some(&next) = bytes.get(i + 1) {
+                        raw.push(next as char);
+                        code.push(' ');
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                b'\'' => {
+                    state = State::Normal;
+                    code.push('\'');
+                }
+                _ => code.push(' '),
+            },
+        }
+        i += 1;
+    }
+    if !raw.is_empty() || !code.is_empty() {
+        flush(&mut raw, &mut code, &mut depth_start, depth);
+    }
+    mark_test_regions(&mut lines);
+    lines
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+/// Mark lines belonging to `#[cfg(test)]` item bodies. Works on the
+/// code-only projection: find the attribute, then the `{` that opens the
+/// attributed item (cancelled by an intervening `;` at attribute depth),
+/// then everything until the matching `}`.
+fn mark_test_regions(lines: &mut [LineInfo]) {
+    let mut pending_attr: Option<usize> = None; // line of the cfg(test) attr
+    let mut open_regions: Vec<usize> = Vec::new(); // depth of each region's body
+    for (idx, line) in lines.iter_mut().enumerate() {
+        let code = line.code.clone();
+        let mut depth = line.depth_start;
+        if !open_regions.is_empty() {
+            line.in_test = true;
+        }
+        if pending_attr.is_some() {
+            line.in_test = true;
+        }
+        if cfg_test_attr(&code) {
+            pending_attr = Some(idx);
+            line.in_test = true;
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_attr.is_some() {
+                        // This brace opens the attributed item's body.
+                        open_regions.push(depth);
+                        pending_attr = None;
+                    }
+                }
+                '}' => {
+                    if open_regions.last() == Some(&depth) {
+                        open_regions.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' if pending_attr.is_some() && depth == line.depth_start => {
+                    // `#[cfg(test)] use …;` — attribute without a body.
+                    pending_attr = None;
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Does this code line carry a `#[cfg(test)]`-style attribute (including
+/// `cfg(all(test, …))`, excluding `cfg(not(test))`)?
+fn cfg_test_attr(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(at) = rest.find("#[cfg(") {
+        let inner_start = at + "#[cfg(".len();
+        let Some(end) = rest[inner_start..].find(")]") else {
+            return false;
+        };
+        let inner = rest[inner_start..inner_start + end].replace("not(test)", "");
+        if has_word(&inner, "test") {
+            return true;
+        }
+        rest = &rest[inner_start + end..];
+    }
+    false
+}
+
+/// Whole-word containment: `needle` bounded by non-identifier chars.
+pub fn has_word(haystack: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(at) = haystack[from..].find(needle) {
+        let start = from + at;
+        let end = start + needle.len();
+        let before_ok =
+            start == 0 || !haystack[..start].ends_with(|c: char| c.is_alphanumeric() || c == '_');
+        let after_ok = end == haystack.len()
+            || !haystack[end..].starts_with(|c: char| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_blanked() {
+        let src = r##"let a = "parking_lot::Mutex"; // parking_lot here too
+let b = 1; /* parking_lot */ let c = 2;
+let d = r#"parking_lot"#;
+"##;
+        let lines = scan(src);
+        assert!(!lines[0].code.contains("parking_lot"));
+        assert!(lines[0].raw.contains("parking_lot"));
+        assert!(!lines[1].code.contains("parking_lot"));
+        assert!(lines[1].code.contains("let c = 2;"));
+        assert!(!lines[2].code.contains("parking_lot"));
+    }
+
+    #[test]
+    fn brace_depth_tracks_blocks() {
+        let lines = scan("fn f() {\n    if x {\n    }\n}\n");
+        assert_eq!(lines[0].depth_start, 0);
+        assert_eq!(lines[0].depth_end, 1);
+        assert_eq!(lines[1].depth_end, 2);
+        assert_eq!(lines[3].depth_end, 0);
+    }
+
+    #[test]
+    fn cfg_test_regions_are_marked() {
+        let src = "fn prod() {\n    x.unwrap();\n}\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let lines = scan(src);
+        assert!(!lines[1].in_test);
+        assert!(lines[3].in_test, "attribute line");
+        assert!(lines[5].in_test, "body line");
+        assert!(!lines[7].in_test, "after the region");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let lines = scan("#[cfg(not(test))]\nfn prod() {\n    x.unwrap();\n}\n");
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lines = scan("fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'x';\n");
+        assert!(lines[0].code.contains("&'a str"));
+        assert!(!lines[1].code.contains('x'), "{}", lines[1].code);
+    }
+
+    #[test]
+    fn cfg_test_on_use_item_does_not_open_a_region() {
+        let lines = scan("#[cfg(test)]\nuse foo::bar;\nfn prod() { x.unwrap(); }\n");
+        assert!(!lines[2].in_test);
+    }
+}

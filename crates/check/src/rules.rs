@@ -1,0 +1,331 @@
+//! The deny rules. Each rule pattern-matches the code-only projection
+//! produced by [`crate::lexer`], consults `// lint: allow(rule) — reason`
+//! annotations in the raw text, and yields [`Finding`]s.
+//!
+//! Rules are repo-specific by design: this is not a general Rust linter,
+//! it encodes THIS workspace's invariants (see DESIGN.md §12).
+
+use crate::lexer::{has_word, LineInfo};
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier, e.g. `no-raw-lock`.
+    pub rule: &'static str,
+    /// Repo-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Finding {
+    /// `file:line: rule: message` — the clickable diagnostic format.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
+
+/// All rule identifiers, for `--help` and fixture enumeration.
+pub const RULES: [&str; 4] =
+    ["no-raw-lock", "no-unwrap-in-prod", "no-wallclock-in-deterministic", "lock-across-io"];
+
+/// Is line `idx` (0-based) excused from `rule` by an annotation on the
+/// same line or the line above? The annotation must carry a reason:
+/// `// lint: allow(rule-name) — why this is fine`.
+fn allowed(rule: &str, lines: &[LineInfo], idx: usize) -> bool {
+    let carries = |raw: &str| -> bool {
+        let Some(at) = raw.find("lint: allow(") else {
+            return false;
+        };
+        let rest = &raw[at + "lint: allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            return false;
+        };
+        if rest[..close].trim() != rule {
+            return false;
+        }
+        // Require a non-empty reason after a dash.
+        let after = &rest[close + 1..];
+        let reason = after.trim_start().trim_start_matches(['—', '–', '-', ' ']).trim();
+        !reason.is_empty()
+    };
+    carries(&lines[idx].raw) || (idx > 0 && carries(&lines[idx - 1].raw))
+}
+
+/// `no-raw-lock`: every `Mutex`/`RwLock`/`Condvar` must come from
+/// `muppet_core::sync`, never from `parking_lot` or `std::sync` directly —
+/// otherwise the lock is invisible to the `lock-audit` order graph and the
+/// sched harness. (`vendor/` and the shim itself are path-exempt in the
+/// driver, not here.)
+pub fn no_raw_lock(file: &str, lines: &[LineInfo]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let raw_parking = has_word(code, "parking_lot");
+        let raw_std = std_sync_lock(code);
+        if (raw_parking || raw_std) && !allowed("no-raw-lock", lines, idx) {
+            let which = if raw_parking { "parking_lot" } else { "std::sync" };
+            out.push(Finding {
+                rule: "no-raw-lock",
+                file: file.to_string(),
+                line: idx + 1,
+                message: format!(
+                    "raw {which} lock; use muppet_core::sync so the lock participates \
+                     in lock-audit order tracking"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// Does this line name a lock type out of `std::sync`? Only the lock
+/// types are banned — `std::sync::{mpsc, atomic, Arc, Weak, Once}` are
+/// fine, so the probe inspects what actually follows each `std::sync`
+/// path, not whether `Mutex` appears anywhere on the line (the shim's
+/// own `Mutex<std::sync::mpsc::Receiver<…>>` must not trip it).
+fn std_sync_lock(code: &str) -> bool {
+    const LOCKS: [&str; 3] = ["Mutex", "RwLock", "Condvar"];
+    let mut rest = code;
+    while let Some(at) = rest.find("std::sync") {
+        let tail = &rest[at + "std::sync".len()..];
+        if LOCKS.iter().any(|t| tail.starts_with(&format!("::{t}"))) {
+            return true;
+        }
+        // Grouped import: `use std::sync::{Arc, Mutex}`.
+        if let Some(group) = tail.strip_prefix("::{") {
+            let group = group.split('}').next().unwrap_or(group);
+            if LOCKS.iter().any(|t| has_word(group, t)) {
+                return true;
+            }
+        }
+        rest = tail;
+    }
+    false
+}
+
+/// `no-unwrap-in-prod`: `.unwrap()` / `.expect(` outside `#[cfg(test)]`
+/// in the serving crates is a latent panic on a production path — return
+/// an error or annotate why the value is infallible.
+pub fn no_unwrap_in_prod(file: &str, lines: &[LineInfo]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        let hit = if code.contains(".unwrap()") {
+            Some(".unwrap()")
+        } else if code.contains(".expect(") {
+            Some(".expect(…)")
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            if !allowed("no-unwrap-in-prod", lines, idx) {
+                out.push(Finding {
+                    rule: "no-unwrap-in-prod",
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "{what} on a production path; surface an error (or annotate: \
+                         `// lint: allow(no-unwrap-in-prod) — <why infallible>`)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// `no-wallclock-in-deterministic`: `core` (the reference executor and
+/// everything replay depends on) and the workload generators must be
+/// wall-clock free — determinism is the repo's exactness invariant.
+pub fn no_wallclock_in_deterministic(file: &str, lines: &[LineInfo]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        for probe in ["Instant::now", "SystemTime::now"] {
+            if code.contains(probe) && !allowed("no-wallclock-in-deterministic", lines, idx) {
+                out.push(Finding {
+                    rule: "no-wallclock-in-deterministic",
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "{probe} in a deterministic path; thread a logical clock through \
+                         instead (core::time)"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// A guard binding live in some enclosing block.
+struct LiveGuard {
+    name: String,
+    depth: usize,
+    line: usize,
+}
+
+/// `lock-across-io`: a lock guard bound with `let` and still live when
+/// the same scope performs blocking IO (`fsync`/`write_all`/`send`
+/// family) serializes IO latency behind the lock. Annotate the sites
+/// where that *is* the design (group commit) and restructure the rest.
+pub fn lock_across_io(file: &str, lines: &[LineInfo]) -> Vec<Finding> {
+    const IO_CALLS: [&str; 6] =
+        ["sync_all(", "sync_data(", "fsync(", "write_all(", ".send(", "send_to("];
+    let mut out = Vec::new();
+    let mut guards: Vec<LiveGuard> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = &line.code;
+        // Scope closes kill guards bound deeper than where we are now.
+        // (`depth_start`, not `depth_end`: on the `}` line itself the
+        // guard is still live; it dies on the first line after.)
+        guards.retain(|g| g.depth <= line.depth_start);
+        // Explicit early drop.
+        if let Some(at) = code.find("drop(") {
+            let arg = code[at + "drop(".len()..].trim_start();
+            guards.retain(|g| !arg.starts_with(g.name.as_str()));
+        }
+        let io_hit = IO_CALLS.iter().find(|c| code.contains(**c));
+        if let Some(io) = io_hit {
+            if !guards.is_empty() && !allowed("lock-across-io", lines, idx) {
+                let held: Vec<String> =
+                    guards.iter().map(|g| format!("`{}` (line {})", g.name, g.line)).collect();
+                out.push(Finding {
+                    rule: "lock-across-io",
+                    file: file.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "{} while lock guard{} {} live; move the IO outside the \
+                         critical section or annotate the design",
+                        io.trim_end_matches('('),
+                        if held.len() == 1 { " is" } else { "s are" },
+                        held.join(", "),
+                    ),
+                });
+            }
+        }
+        if let Some(guard) = guard_binding(code) {
+            guards.push(LiveGuard {
+                name: guard,
+                depth: line.depth_end.max(line.depth_start),
+                line: idx + 1,
+            });
+        }
+    }
+    out
+}
+
+/// If this line binds a lock guard with `let`, return the binding name.
+/// Recognized shapes: `let [mut] g = ….lock();` (also `.read()` /
+/// `.write()`), and `[if] let Some([mut] g) = ….try_lock()`.
+fn guard_binding(code: &str) -> Option<String> {
+    let trimmed = code.trim();
+    let after_let = trimmed.find("let ").map(|at| trimmed[at + 4..].trim_start())?;
+    let ends_with_acquire = |s: &str| {
+        let s = s.trim_end().trim_end_matches(['{', ';']).trim_end();
+        let s = s.strip_suffix('?').unwrap_or(s);
+        s.ends_with(".lock()") || s.ends_with(".read()") || s.ends_with(".write()")
+    };
+    if let Some(after_some) = after_let.strip_prefix("Some(") {
+        if code.contains(".try_lock()") {
+            let inner = after_some.split(')').next()?;
+            return Some(inner.trim().trim_start_matches("mut ").to_string());
+        }
+        return None;
+    }
+    if !ends_with_acquire(after_let) {
+        return None;
+    }
+    let name = after_let.trim_start_matches("mut ").split([' ', ':', '=']).next()?;
+    let name = name.trim();
+    (!name.is_empty() && name.chars().all(|c| c.is_alphanumeric() || c == '_'))
+        .then(|| name.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    #[test]
+    fn raw_lock_flagged_and_allowed() {
+        let f = no_raw_lock("f.rs", &scan("use parking_lot::Mutex;\n"));
+        assert_eq!(f.len(), 1);
+        let f = no_raw_lock("f.rs", &scan("use std::sync::{Arc, Mutex};\n"));
+        assert_eq!(f.len(), 1);
+        let f =
+            no_raw_lock("f.rs", &scan("use std::sync::Arc;\nuse std::sync::atomic::AtomicU64;\n"));
+        assert!(f.is_empty(), "Arc/atomics are fine: {f:?}");
+        let f = no_raw_lock("f.rs", &scan("release: Mutex<std::sync::mpsc::Receiver<()>>,\n"));
+        assert!(f.is_empty(), "shim Mutex over an mpsc type is fine: {f:?}");
+        let f = no_raw_lock("f.rs", &scan("let g: std::sync::MutexGuard<u8>;\n"));
+        assert_eq!(f.len(), 1, "direct std::sync lock paths still flagged");
+        let f = no_raw_lock(
+            "f.rs",
+            &scan("// lint: allow(no-raw-lock) — bootstrap before shim exists\nuse parking_lot::Mutex;\n"),
+        );
+        assert!(f.is_empty());
+        // An annotation without a reason does not count.
+        let f = no_raw_lock("f.rs", &scan("use parking_lot::Mutex; // lint: allow(no-raw-lock)\n"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn unwrap_in_prod_flagged_test_exempt() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); z.expect(\"ok\"); }\n}\n";
+        let f = no_unwrap_in_prod("f.rs", &scan(src));
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_is_not_unwrap() {
+        let f = no_unwrap_in_prod("f.rs", &scan("let x = v.unwrap_or(0).unwrap_or_default();\n"));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn wallclock_flagged() {
+        let f = no_wallclock_in_deterministic("f.rs", &scan("let t = Instant::now();\n"));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn guard_across_io_flagged_drop_clears() {
+        let src = "fn f() {\n    let mut w = self.writer.lock();\n    file.write_all(&buf);\n}\n";
+        let f = lock_across_io("f.rs", &scan(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains('w'));
+
+        let src = "fn f() {\n    let w = self.writer.lock();\n    drop(w);\n    file.write_all(&buf);\n}\n";
+        assert!(lock_across_io("f.rs", &scan(src)).is_empty());
+
+        let src = "fn f() {\n    {\n        let w = self.writer.lock();\n    }\n    file.write_all(&buf);\n}\n";
+        assert!(lock_across_io("f.rs", &scan(src)).is_empty(), "scope close kills the guard");
+    }
+
+    #[test]
+    fn try_lock_guard_recognized() {
+        let src = "fn f() {\n    if let Some(mut w) = self.writer.try_lock() {\n        out.sync_data();\n    }\n}\n";
+        let f = lock_across_io("f.rs", &scan(src));
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn annotated_io_site_is_allowed() {
+        let src = "fn f() {\n    let mut w = self.writer.lock();\n    // lint: allow(lock-across-io) — group commit by design\n    file.sync_all();\n}\n";
+        assert!(lock_across_io("f.rs", &scan(src)).is_empty());
+    }
+}

@@ -1,0 +1,120 @@
+//! Deterministic-seed schedule perturbation.
+//!
+//! A thread cannot choose when the OS preempts it, but it can *offer*
+//! preemption points. Each participating thread derives a private
+//! splitmix64 stream from ⟨global seed, thread index⟩ and, at every
+//! [`point`], draws from it to decide: continue, yield the CPU, or spin
+//! briefly. Sweeping the seed space drives the same protocol code through
+//! thousands of distinct interleavings — on a 1-core CI runner (where
+//! threads otherwise run to quantum exhaustion and concurrency bugs
+//! hide), the injected yields are what create interleaving diversity at
+//! all.
+//!
+//! The decision *sequence* per thread is a pure function of the seed, so
+//! a failing seed is rerunnable; the actual interleaving additionally
+//! depends on the OS scheduler, so this is a probabilistic explorer, not
+//! a model checker — the point is that each seed perturbs differently.
+//!
+//! Two entry styles:
+//! * models call [`point`] explicitly at their protocol steps;
+//! * under the `lock-audit` feature, [`hook`] can be installed via
+//!   `muppet_core::sync::audit::set_sched_hook` so every *shim lock
+//!   acquisition* in real code becomes a perturbation point too.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static GLOBAL_SEED: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static STREAM: Cell<u64> = const { Cell::new(0) };
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Set the seed for the next run. Threads registered afterwards derive
+/// their streams from it.
+pub fn install(seed: u64) {
+    GLOBAL_SEED.store(seed, Ordering::SeqCst);
+}
+
+/// Join the current thread to the perturbation run as participant
+/// `thread_idx`. Must be called by each model thread before its first
+/// [`point`]; unregistered threads see every point as a no-op.
+pub fn register(thread_idx: u64) {
+    let mut s = GLOBAL_SEED.load(Ordering::SeqCst) ^ thread_idx.wrapping_mul(0xA076_1D64_78BD_642F);
+    // Burn one draw so thread 0 with seed 0 is not the identity stream.
+    splitmix(&mut s);
+    STREAM.with(|c| c.set(s));
+    ACTIVE.with(|c| c.set(true));
+}
+
+/// Leave the run (thread reuse hygiene for pooled executors).
+pub fn deregister() {
+    ACTIVE.with(|c| c.set(false));
+}
+
+/// A preemption offer: based on the thread's deterministic stream,
+/// either continue immediately, yield to the OS scheduler, or spin.
+pub fn point() {
+    if !ACTIVE.with(|c| c.get()) {
+        return;
+    }
+    let draw = STREAM.with(|c| {
+        let mut s = c.get();
+        let d = splitmix(&mut s);
+        c.set(s);
+        d
+    });
+    match draw % 10 {
+        // 50%: run on — long undisturbed stretches matter too, or every
+        // interleaving degenerates into lockstep.
+        0..=4 => {}
+        // 40%: give the scheduler a chance to run someone else here.
+        5..=8 => std::thread::yield_now(),
+        // 10%: burn a short, seed-sized window so another thread can
+        // enter the code we just left.
+        _ => {
+            let spins = draw % 256;
+            for _ in 0..spins {
+                std::hint::spin_loop();
+            }
+        }
+    }
+}
+
+/// `fn()`-shaped adapter for `muppet_core::sync::audit::set_sched_hook`:
+/// perturb at every shim lock acquisition of registered threads.
+pub fn hook() {
+    point();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_per_seed_and_thread() {
+        let draws = |seed: u64, idx: u64| -> Vec<u64> {
+            let mut s = seed ^ idx.wrapping_mul(0xA076_1D64_78BD_642F);
+            splitmix(&mut s);
+            (0..8).map(|_| splitmix(&mut s) % 10).collect()
+        };
+        assert_eq!(draws(7, 1), draws(7, 1));
+        assert_ne!(draws(7, 1), draws(8, 1), "seed changes the stream");
+        assert_ne!(draws(7, 1), draws(7, 2), "thread index changes the stream");
+    }
+
+    #[test]
+    fn unregistered_threads_are_untouched() {
+        deregister();
+        point(); // must be a no-op, not a panic
+    }
+}

@@ -1,0 +1,77 @@
+//! The lint engine against its own fixtures: every rule must fire on its
+//! `flagged.rs`, stay silent on `clean.rs`, and honor the reasoned
+//! annotations in `allowed.rs`. This is the executable spec for the
+//! rules — if a rule regresses, the fixture that encodes its contract
+//! fails by name.
+
+use std::path::PathBuf;
+
+use muppet_check::lint;
+
+fn fixture(rule_dir: &str, which: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(rule_dir)
+        .join(which)
+        .to_string_lossy()
+        .into_owned()
+}
+
+/// (fixture directory, rule id, findings expected in flagged.rs)
+const CASES: [(&str, &str, usize); 4] = [
+    ("no_raw_lock", "no-raw-lock", 3),
+    ("no_unwrap_in_prod", "no-unwrap-in-prod", 2),
+    ("no_wallclock_in_deterministic", "no-wallclock-in-deterministic", 2),
+    ("lock_across_io", "lock-across-io", 3),
+];
+
+#[test]
+fn flagged_fixtures_fail_with_exact_counts() {
+    for (dir, rule, expected) in CASES {
+        let report = lint::lint_files(&[fixture(dir, "flagged.rs")]).expect("fixture readable");
+        let hits: Vec<_> = report.findings.iter().filter(|f| f.rule == rule).collect();
+        assert_eq!(
+            hits.len(),
+            expected,
+            "{dir}/flagged.rs must produce {expected} `{rule}` findings:\n{}",
+            report.render_text()
+        );
+        // Diagnostics point at the on-disk file (clickable), not the
+        // virtual path the header sets for scoping.
+        assert!(hits.iter().all(|f| f.file.ends_with("flagged.rs")), "{hits:?}");
+    }
+}
+
+#[test]
+fn clean_fixtures_pass() {
+    for (dir, rule, _) in CASES {
+        let report = lint::lint_files(&[fixture(dir, "clean.rs")]).expect("fixture readable");
+        assert!(
+            report.findings.is_empty(),
+            "{dir}/clean.rs must be clean of `{rule}` (and everything else):\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn allowed_fixtures_pass_via_annotations() {
+    for (dir, rule, _) in CASES {
+        let report = lint::lint_files(&[fixture(dir, "allowed.rs")]).expect("fixture readable");
+        assert!(
+            report.findings.is_empty(),
+            "{dir}/allowed.rs carries `lint: allow({rule})` annotations and must pass:\n{}",
+            report.render_text()
+        );
+    }
+}
+
+#[test]
+fn json_summary_is_machine_readable() {
+    let report =
+        lint::lint_files(&[fixture("no_unwrap_in_prod", "flagged.rs")]).expect("fixture readable");
+    let json = report.render_json();
+    assert!(json.starts_with(r#"{"files_scanned":1,"finding_count":2,"#), "{json}");
+    assert!(json.contains(r#""rule":"no-unwrap-in-prod""#), "{json}");
+    assert!(json.contains(r#""line":5"#), "{json}");
+}

@@ -35,6 +35,7 @@ pub mod json;
 pub mod operator;
 pub mod reference;
 pub mod slate;
+pub mod sync;
 pub mod time;
 pub mod workflow;
 

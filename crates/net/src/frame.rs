@@ -758,7 +758,9 @@ impl Frame {
     pub fn read_from(r: &mut impl Read) -> io::Result<Frame> {
         let mut head = [0u8; 8];
         r.read_exact(&mut head)?;
+        // lint: allow(no-unwrap-in-prod) — 8-byte header array, offsets statically in bounds
         let len = codec::get_u32(&head, 0).expect("fixed header") as usize;
+        // lint: allow(no-unwrap-in-prod) — 8-byte header array, offsets statically in bounds
         let crc = codec::get_u32(&head, 4).expect("fixed header");
         if len > MAX_FRAME_BYTES {
             return Err(io::Error::new(

@@ -42,7 +42,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use muppet_core::sync::{Condvar, Mutex, RwLock};
 
 use crate::frame::{
     self, Frame, MembershipPhase, MembershipUpdate, StoreGetItem, StorePutItem, WireEvent,
@@ -302,6 +302,7 @@ impl TcpTransport {
             std::thread::Builder::new()
                 .name(format!("muppet-send-{}-{}", self.local, outbox.dest))
                 .spawn(move || sender_loop(ob))
+                // lint: allow(no-unwrap-in-prod) — spawn fails only on OS thread exhaustion; fail fast
                 .expect("spawn peer sender"),
         );
     }
@@ -486,13 +487,14 @@ fn collect_batch(outbox: &PeerOutbox) -> Option<Vec<WireEvent>> {
             let mut batch = Vec::with_capacity(q.events.len().min(outbox.cfg.batch_max));
             let mut bytes = 0usize;
             while batch.len() < outbox.cfg.batch_max {
-                let Some(ev) = q.events.front() else { break };
-                let size = wire_event_size_hint(ev);
+                let Some(ev) = q.events.pop_front() else { break };
+                let size = wire_event_size_hint(&ev);
                 if !batch.is_empty() && bytes + size > BATCH_SOFT_BYTES {
+                    q.events.push_front(ev); // over budget: stays for the next batch
                     break;
                 }
                 bytes += size;
-                batch.push(q.events.pop_front().expect("front checked"));
+                batch.push(ev);
             }
             // The remainder's true oldest age is unknown (only the head's
             // was tracked); restarting the clock is safe — a still-full
@@ -967,7 +969,9 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
             Ok(true) => {}
             Ok(false) | Err(_) => return,
         }
+        // lint: allow(no-unwrap-in-prod) — 8-byte header array, offsets statically in bounds
         let len = muppet_core::codec::get_u32(&head, 0).expect("fixed header") as usize;
+        // lint: allow(no-unwrap-in-prod) — 8-byte header array, offsets statically in bounds
         let crc = muppet_core::codec::get_u32(&head, 4).expect("fixed header");
         if len > crate::frame::MAX_FRAME_BYTES {
             return;

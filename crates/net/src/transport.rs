@@ -462,8 +462,8 @@ impl Transport for InProcessTransport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use muppet_core::sync::Mutex;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
 
     #[derive(Default)]
     struct RecordingHandler {
@@ -483,16 +483,16 @@ mod tests {
             Ok(())
         }
         fn handle_failure_report(&self, failed: MachineId, _epoch: u64) {
-            self.reports.lock().unwrap().push(failed);
+            self.reports.lock().push(failed);
         }
         fn handle_failure_broadcast(&self, failed: MachineId, _epoch: u64) {
-            self.broadcasts.lock().unwrap().push(failed);
+            self.broadcasts.lock().push(failed);
         }
         fn handle_join(&self, machine: MachineId) {
-            self.joins.lock().unwrap().push(machine);
+            self.joins.lock().push(machine);
         }
         fn handle_membership(&self, update: &MembershipUpdate) -> bool {
-            self.memberships.lock().unwrap().push(update.clone());
+            self.memberships.lock().push(update.clone());
             true
         }
         fn read_local_slate(
@@ -528,8 +528,8 @@ mod tests {
         transport.report_failure(9, 0);
         transport.broadcast_failure(9, 0);
         assert_eq!(handler.delivered.load(Ordering::Relaxed), 1);
-        assert_eq!(*handler.reports.lock().unwrap(), vec![9]);
-        assert_eq!(*handler.broadcasts.lock().unwrap(), vec![9]);
+        assert_eq!(*handler.reports.lock(), vec![9]);
+        assert_eq!(*handler.broadcasts.lock(), vec![9]);
         assert_eq!(transport.read_slate(0, "present", b"k").unwrap(), Some(b"value".to_vec()));
         assert_eq!(transport.read_slate(0, "absent", b"k").unwrap(), None);
         assert!(transport.is_local(7));
@@ -543,7 +543,7 @@ mod tests {
         transport.register(Arc::downgrade(&handler) as Weak<dyn ClusterHandler>);
 
         transport.send_join(0, 3).unwrap();
-        assert_eq!(*handler.joins.lock().unwrap(), vec![3]);
+        assert_eq!(*handler.joins.lock(), vec![3]);
         let update = MembershipUpdate {
             epoch: 1,
             phase: crate::frame::MembershipPhase::Prepare,
@@ -552,8 +552,8 @@ mod tests {
             nodes: Vec::new(),
         };
         transport.send_membership(0, &update, true).unwrap();
-        assert_eq!(handler.memberships.lock().unwrap().len(), 1);
-        assert_eq!(handler.memberships.lock().unwrap()[0], update);
+        assert_eq!(handler.memberships.lock().len(), 1);
+        assert_eq!(handler.memberships.lock()[0], update);
     }
 
     #[test]

@@ -244,7 +244,7 @@ fn escape_json(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use muppet_core::sync::Mutex;
 
     fn capture(
         min: Level,

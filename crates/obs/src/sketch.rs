@@ -71,6 +71,7 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| e.count)
+            // lint: allow(no-unwrap-in-prod) — reached only when entries.len() == capacity >= 1
             .expect("capacity >= 1 so entries is non-empty");
         let evicted_count = self.entries[min_i].count;
         let old_key = std::mem::replace(

@@ -21,11 +21,11 @@ use bytes::Bytes;
 use muppet_core::event::Key;
 use muppet_core::hash::fx64_pair;
 use muppet_core::slate::Slate;
+use muppet_core::sync::{Condvar, Mutex};
 use muppet_core::workflow::OpId;
 use muppet_obs::{HeavyHitter, HistogramSnapshot, Logger, Sampler, SpaceSaving};
 use muppet_slatestore::cluster::StoreCluster;
 use muppet_slatestore::types::CellKey;
-use parking_lot::{Condvar, Mutex};
 
 use crate::lru::LruMap;
 use crate::metrics::Histogram;
@@ -1177,7 +1177,7 @@ impl SlateCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::RwLock;
+    use muppet_core::sync::RwLock;
     use std::collections::HashMap;
 
     /// In-memory backend recording stores.

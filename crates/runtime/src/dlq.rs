@@ -18,9 +18,9 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use muppet_core::sync::Mutex;
 use muppet_core::workflow::OpId;
 use muppet_core::Event;
-use parking_lot::Mutex;
 
 /// One parked event, with enough context to retry or debug it.
 #[derive(Clone, Debug)]

@@ -35,6 +35,7 @@ use muppet_core::config::{AppConfig, ConsistencySpec, FlushSpec};
 use muppet_core::error::{Error, Result};
 use muppet_core::event::{Event, Key, StreamId};
 use muppet_core::operator::{Mapper, Updater, VecEmitter};
+use muppet_core::sync::{Condvar, Mutex, RwLock};
 use muppet_core::workflow::{OpId, OpKind, Workflow};
 use muppet_net::frame::{MembershipPhase, MembershipUpdate, WireEvent, MAX_FORWARDS};
 use muppet_net::tcp::{BatchConfig, TcpListenerHandle, TcpTransport};
@@ -43,7 +44,6 @@ use muppet_net::transport::{ClusterHandler, InProcessTransport, MachineId, NetEr
 use muppet_obs::{Counter, Level, Logger, Registry, Sample, Sampler};
 use muppet_slatestore::cluster::StoreCluster;
 use muppet_slatestore::ring::{ConsistentRing, EpochRing};
-use parking_lot::{Condvar, Mutex, RwLock};
 
 use crate::cache::{
     FlushPolicy, NullBackend, SlateBackend, SlateCache, SlateSlot, DEFAULT_FLUSH_BATCH_MAX,
@@ -2157,6 +2157,7 @@ fn spawn_worker(shared: &Arc<Shared>, m: usize, t: usize) -> std::thread::JoinHa
     std::thread::Builder::new()
         .name(format!("muppet-m{m}-w{t}"))
         .spawn(move || worker_loop(sh, m, t))
+        // lint: allow(no-unwrap-in-prod) — spawn fails only on OS thread exhaustion; fail fast
         .expect("spawn worker")
 }
 
@@ -2170,11 +2171,13 @@ fn spawn_flusher(shared: &Arc<Shared>, m: usize) -> std::thread::JoinHandle<()> 
     std::thread::Builder::new()
         .name(format!("muppet-flusher-{m}"))
         .spawn(move || flusher_loop(sh, m, interval))
+        // lint: allow(no-unwrap-in-prod) — spawn fails only on OS thread exhaustion; fail fast
         .expect("spawn flusher")
 }
 
 fn worker_loop(shared: Arc<Shared>, machine_id: usize, thread: usize) {
     let poll = Duration::from_millis(1);
+    // lint: allow(no-unwrap-in-prod) — worker threads are spawned per existing machine index
     let machine = shared.machine(machine_id).expect("worker spawned for an existing machine");
     let batch_max = shared.cfg.drain_batch_max.max(1);
     let mut batch: Vec<Packet> = Vec::with_capacity(batch_max);
@@ -2265,7 +2268,7 @@ fn process_batch(
 ) {
     let mut memo: Option<(OpId, Key, Arc<SlateSlot>)> = None;
     let mut finished: Vec<Finished> = Vec::new();
-    let mut guard: Option<parking_lot::RwLockReadGuard<'_, Membership>> = None;
+    let mut guard: Option<muppet_core::sync::RwLockReadGuard<'_, Membership>> = None;
     for packet in batch.drain(..) {
         // Muppet 1.0 invariant: a worker is bound to exactly one function.
         debug_assert!(
@@ -2363,10 +2366,12 @@ fn process_batch(
                 }
                 let cache = match shared.cfg.kind {
                     EngineKind::Muppet2 => {
+                        // lint: allow(no-unwrap-in-prod) — 2.0 machines are built with a central cache
                         machine.central_cache.as_ref().expect("2.0 central cache")
                     }
                     EngineKind::Muppet1 => machine.worker_caches[thread]
                         .as_ref()
+                        // lint: allow(no-unwrap-in-prod) — 1.0 machines build one cache per worker
                         .expect("1.0 updater thread owns a cache"),
                 };
                 cache.offer_hot(packet.op, &packet.event.key);
@@ -3473,6 +3478,7 @@ fn collect_engine_samples(sh: &Arc<Shared>, out: &mut Vec<Sample>) {
 }
 
 fn flusher_loop(shared: Arc<Shared>, machine_id: usize, interval: Duration) {
+    // lint: allow(no-unwrap-in-prod) — flushers are spawned per existing machine index
     let machine = shared.machine(machine_id).expect("flusher spawned for an existing machine");
     while !shared.stopping.load(Ordering::Acquire) {
         // Sleep in short slices so shutdown does not block for a full

@@ -326,7 +326,9 @@ fn handle_connection(stream: TcpStream, reader: &dyn SlateReader) -> std::io::Re
     };
     if method == "POST" && path.starts_with("/submit/") {
         // POST /submit/<stream>/<percent-encoded key>, body = event value.
-        let rest = path.strip_prefix("/submit/").expect("prefix checked");
+        let Some(rest) = path.strip_prefix("/submit/") else {
+            return respond(&mut out, 400, "text/plain", b"expected /submit/<stream>/<key>");
+        };
         let Some((stream_name, key_enc)) = rest.split_once('/') else {
             return respond(&mut out, 400, "text/plain", b"expected /submit/<stream>/<key>");
         };

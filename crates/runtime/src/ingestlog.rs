@@ -35,10 +35,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use bytes::Bytes;
+use muppet_core::sync::{audit, Condvar, Mutex};
 use muppet_core::Event;
 use muppet_slatestore::types::{Cell, CellKey, StoreResult};
 use muppet_slatestore::wal::WalWriter;
-use parking_lot::{Condvar, Mutex};
 
 /// Encode an event as a WAL record. `seq` is intentionally not stored:
 /// replay re-admits events in log order, which reproduces it.
@@ -140,7 +140,10 @@ impl IngestLog {
             let mut w = self.writer.lock();
             for event in events {
                 let record = event_to_record(event);
-                w.append_many(std::slice::from_ref(&record))?;
+                // Fsync under the writer lock is this mode's definition
+                // (one durability line per record) — sanctioned for the
+                // lock-audit IO probe.
+                audit::io_allowed(|| w.append_many(std::slice::from_ref(&record)))?;
                 self.records_total.fetch_add(1, Ordering::Relaxed);
                 self.syncs.fetch_add(1, Ordering::Relaxed);
             }
@@ -178,7 +181,11 @@ impl IngestLog {
                     if entries.is_empty() {
                         break;
                     }
-                    w.append_many(&entries)?;
+                    // Group commit IS fsync-under-the-writer-lock: the
+                    // lock is the batching mechanism, and followers wait
+                    // on the durable watermark (not this lock) — mark
+                    // the probe window sanctioned.
+                    audit::io_allowed(|| w.append_many(&entries))?;
                     self.records_total.fetch_add(entries.len() as u64, Ordering::Relaxed);
                     self.syncs.fetch_add(1, Ordering::Relaxed);
                     self.durable.store(high, Ordering::Release);
@@ -210,7 +217,9 @@ impl IngestLog {
     /// appended so far. Used by checkpoint/shutdown.
     pub fn sync(&self) -> StoreResult<()> {
         let mut w = self.writer.lock();
-        w.sync()?;
+        // Checkpoint/shutdown durability line: the lock is what makes
+        // the fsync cover everything appended — sanctioned by design.
+        audit::io_allowed(|| w.sync())?;
         Ok(())
     }
 

@@ -57,17 +57,25 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         self.map.is_empty()
     }
 
+    // Intrusive-list invariant (whole impl): every index reached via
+    // `map`, `head`, `tail`, or a node's `prev`/`next` refers to an
+    // occupied slot — freed slots are unlinked first and only reachable
+    // through `free`. The `expect`/`unwrap` calls below assert exactly
+    // that; there is no error to surface.
     fn unlink(&mut self, idx: usize) {
         let (prev, next) = {
+            // lint: allow(no-unwrap-in-prod) — intrusive-list invariant, see above
             let n = self.nodes[idx].as_ref().expect("linked node exists");
             (n.prev, n.next)
         };
         if prev != NIL {
+            // lint: allow(no-unwrap-in-prod) — intrusive-list invariant, see above
             self.nodes[prev].as_mut().unwrap().next = next;
         } else {
             self.head = next;
         }
         if next != NIL {
+            // lint: allow(no-unwrap-in-prod) — intrusive-list invariant, see above
             self.nodes[next].as_mut().unwrap().prev = prev;
         } else {
             self.tail = prev;
@@ -76,11 +84,13 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
 
     fn push_front(&mut self, idx: usize) {
         {
+            // lint: allow(no-unwrap-in-prod) — intrusive-list invariant, see above
             let n = self.nodes[idx].as_mut().expect("node exists");
             n.prev = NIL;
             n.next = self.head;
         }
         if self.head != NIL {
+            // lint: allow(no-unwrap-in-prod) — intrusive-list invariant, see above
             self.nodes[self.head].as_mut().unwrap().prev = idx;
         }
         self.head = idx;
@@ -119,6 +129,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// previous value if the key existed.
     pub fn insert(&mut self, key: K, value: V) -> Option<V> {
         if let Some(&idx) = self.map.get(&key) {
+            // lint: allow(no-unwrap-in-prod) — intrusive-list invariant, see `unlink`
             let old = std::mem::replace(&mut self.nodes[idx].as_mut().unwrap().value, value);
             if self.head != idx {
                 self.unlink(idx);
@@ -154,6 +165,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         }
         let idx = self.tail;
         self.unlink(idx);
+        // lint: allow(no-unwrap-in-prod) — intrusive-list invariant, see `unlink`
         let node = self.nodes[idx].take().expect("tail node exists");
         self.map.remove(&node.key);
         self.free.push(idx);
@@ -187,6 +199,7 @@ impl<'a, K: Eq + Hash + Clone, V> Iterator for LruIter<'a, K, V> {
         if self.cursor == NIL {
             return None;
         }
+        // lint: allow(no-unwrap-in-prod) — intrusive-list invariant, see `unlink`
         let node = self.lru.nodes[self.cursor].as_ref().expect("cursor node exists");
         self.cursor = node.next;
         Some((&node.key, &node.value))

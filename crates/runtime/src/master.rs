@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use muppet_core::hash::{FxHashMap, FxHashSet};
-use parking_lot::RwLock;
+use muppet_core::sync::RwLock;
 
 /// One failure report, for the experiment log.
 #[derive(Clone, Debug)]

@@ -88,9 +88,9 @@ impl SlateBackend for RemoteBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use muppet_core::sync::Mutex;
     use muppet_net::transport::{ClusterHandler, InProcessTransport, NetError};
     use muppet_net::WireEvent;
-    use parking_lot::Mutex;
     use std::collections::HashMap;
     use std::sync::Weak;
 

@@ -74,7 +74,7 @@ impl OverflowPolicy {
 /// (§4.3). Keeps the most recent `capacity` descriptions.
 #[derive(Debug)]
 pub struct DropLog {
-    entries: parking_lot::Mutex<std::collections::VecDeque<String>>,
+    entries: muppet_core::sync::Mutex<std::collections::VecDeque<String>>,
     capacity: usize,
     total: std::sync::atomic::AtomicU64,
 }
@@ -83,7 +83,7 @@ impl DropLog {
     /// A log retaining up to `capacity` recent drops.
     pub fn new(capacity: usize) -> Self {
         DropLog {
-            entries: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+            entries: muppet_core::sync::Mutex::new(std::collections::VecDeque::new()),
             capacity,
             total: std::sync::atomic::AtomicU64::new(0),
         }

@@ -425,8 +425,9 @@ fn slate_contention_is_bounded_to_two_workers() {
     // inside update() for the same key. The slot lock serializes actual
     // updates, so we track *distinct worker threads* that ever process one
     // key instead.
-    let seen_threads: Arc<parking_lot::Mutex<std::collections::HashSet<std::thread::ThreadId>>> =
-        Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+    let seen_threads: Arc<
+        muppet_core::sync::Mutex<std::collections::HashSet<std::thread::ThreadId>>,
+    > = Arc::new(muppet_core::sync::Mutex::new(std::collections::HashSet::new()));
     let seen2 = Arc::clone(&seen_threads);
     let mut b = Workflow::builder("contention");
     b.external_stream("S1");
@@ -456,8 +457,9 @@ fn slate_contention_is_bounded_to_two_workers() {
 #[test]
 fn muppet1_single_owner_per_key() {
     // 1.0: exactly one worker processes a given ⟨key, updater⟩.
-    let seen_threads: Arc<parking_lot::Mutex<std::collections::HashSet<std::thread::ThreadId>>> =
-        Arc::new(parking_lot::Mutex::new(std::collections::HashSet::new()));
+    let seen_threads: Arc<
+        muppet_core::sync::Mutex<std::collections::HashSet<std::thread::ThreadId>>,
+    > = Arc::new(muppet_core::sync::Mutex::new(std::collections::HashSet::new()));
     let seen2 = Arc::clone(&seen_threads);
     let mut b = Workflow::builder("owner");
     b.external_stream("S1");

@@ -78,6 +78,7 @@ impl BloomFilter {
         if !(1..=64).contains(&k) {
             return Err(StoreError::Corrupt("bloom: bad k".into()));
         }
+        // lint: allow(no-unwrap-in-prod) — length validated as exactly 16 + n*8 above
         let bits = (0..n).map(|i| get_u64(data, 16 + i * 8).expect("bounds checked")).collect();
         Ok(BloomFilter { bits, k: k as u32 })
     }

@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use parking_lot::Mutex;
+use muppet_core::sync::Mutex;
 
 use crate::compress::{compress, decompress};
 use crate::device::{DeviceProfile, StorageDevice};

@@ -102,6 +102,7 @@ impl WalWriter {
     /// line.
     pub fn sync(&mut self) -> StoreResult<()> {
         self.out.flush()?;
+        muppet_core::sync::audit::blocking_io("wal fsync");
         self.out.get_ref().sync_data()?;
         self.syncs += 1;
         Ok(())

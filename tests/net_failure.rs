@@ -176,11 +176,12 @@ fn killing_a_peer_triggers_report_broadcast_ring_drop_and_loss_logging() {
 /// events — no event dropped from the books, none double-counted.
 #[test]
 fn killed_peer_with_queued_batch_is_one_report_with_exact_loss_accounting() {
+    use muppet::core::sync::Mutex;
     use muppet::net::{
         BatchConfig, ClusterHandler, MachineId, NetError, TcpTransport, Transport, WireEvent,
     };
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::{Arc, Mutex, Weak};
+    use std::sync::{Arc, Weak};
 
     /// Mimics the engine's handler: counts deliveries, routes an async
     /// send failure into report_failure (like `EngineHandler`), and
@@ -200,23 +201,23 @@ fn killed_peer_with_queued_batch_is_one_report_with_exact_loss_accounting() {
             Ok(())
         }
         fn handle_send_failure(&self, dest: MachineId, lost: Vec<WireEvent>) {
-            self.lost.lock().unwrap().extend(lost);
+            self.lost.lock().extend(lost);
             // Take the transport out of the lock before the nested call
             // (report → broadcast re-enters this handler).
-            let transport = self.transport.lock().unwrap().upgrade();
+            let transport = self.transport.lock().upgrade();
             if let Some(t) = transport {
                 t.report_failure(dest, 0);
             }
         }
         fn handle_failure_report(&self, failed: MachineId, epoch: u64) {
-            self.reports.lock().unwrap().push(failed);
-            let transport = self.transport.lock().unwrap().upgrade();
+            self.reports.lock().push(failed);
+            let transport = self.transport.lock().upgrade();
             if let Some(t) = transport {
                 t.broadcast_failure(failed, epoch);
             }
         }
         fn handle_failure_broadcast(&self, failed: MachineId, _epoch: u64) {
-            self.broadcasts.lock().unwrap().push(failed);
+            self.broadcasts.lock().push(failed);
         }
         fn read_local_slate(&self, _d: MachineId, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
             None
@@ -231,7 +232,7 @@ fn killed_peer_with_queued_batch_is_one_report_with_exact_loss_accounting() {
     let t1 = TcpTransport::new(topology, 1).unwrap();
     let h0 = Arc::new(Proto::default());
     let h1 = Arc::new(Proto::default());
-    *h0.transport.lock().unwrap() = Arc::downgrade(&t0);
+    *h0.transport.lock() = Arc::downgrade(&t0);
     t0.register(Arc::downgrade(&h0) as Weak<dyn ClusterHandler>);
     t1.register(Arc::downgrade(&h1) as Weak<dyn ClusterHandler>);
     let listener1 = t1.start_listener().unwrap();
@@ -272,18 +273,18 @@ fn killed_peer_with_queued_batch_is_one_report_with_exact_loss_accounting() {
 
     // The flush hits the dead wire: one detection, everything accounted.
     assert!(
-        wait_until(Duration::from_secs(10), || h0.lost.lock().unwrap().len() == UNDELIVERED),
+        wait_until(Duration::from_secs(10), || h0.lost.lock().len() == UNDELIVERED),
         "lost {} of {UNDELIVERED} undelivered events",
-        h0.lost.lock().unwrap().len()
+        h0.lost.lock().len()
     );
     // The report/broadcast chain runs on the sender thread right after
     // the lost set is recorded; give it a moment to complete.
     assert!(
-        wait_until(Duration::from_secs(5), || !h0.broadcasts.lock().unwrap().is_empty()),
+        wait_until(Duration::from_secs(5), || !h0.broadcasts.lock().is_empty()),
         "broadcast never fired"
     );
-    let reports = h0.reports.lock().unwrap().clone();
-    let broadcasts = h0.broadcasts.lock().unwrap().clone();
+    let reports = h0.reports.lock().clone();
+    let broadcasts = h0.broadcasts.lock().clone();
     assert_eq!(reports, vec![1], "exactly one failure report");
     assert_eq!(broadcasts, vec![1], "exactly one broadcast");
     assert_eq!(t0.outbound_backlog(), 0, "the dead peer's queue is fully drained");

@@ -13,8 +13,8 @@ use muppet::net::{StoreGetItem, StorePutItem, TcpTransport, WireEvent};
 use muppet::prelude::*;
 use muppet::runtime::cache::{SlateBackend, SlateCache};
 use muppet::runtime::netstore::RemoteBackend;
+use muppet_core::sync::Mutex;
 use muppet_core::workflow::OpId;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Cell map: ⟨updater, key⟩ → value.
