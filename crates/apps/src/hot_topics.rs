@@ -77,7 +77,7 @@ impl Mapper for TopicMapper {
     }
 
     fn map(&self, ctx: &mut dyn Emitter, event: &Event) {
-        let Ok(v) = Json::parse_bytes(&event.value) else { return };
+        let Ok(v) = Json::from_payload(&event.value) else { return };
         let Some(topics) = v.get("topics").and_then(Json::as_arr) else { return };
         let m = minute_of_day(event.ts);
         for topic in topics {
@@ -115,7 +115,7 @@ impl Updater for MinuteCounter {
     }
 
     fn update(&self, ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
-        let ts = Json::parse_bytes(&event.value)
+        let ts = Json::from_payload(&event.value)
             .ok()
             .and_then(|v| v.get("ts").and_then(Json::as_u64))
             .unwrap_or(event.ts);
@@ -161,7 +161,7 @@ impl Updater for HotDetector {
     }
 
     fn update(&self, ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
-        let v = match Json::parse_bytes(&event.value) {
+        let v = match Json::from_payload(&event.value) {
             Ok(v) => v,
             Err(_) => return,
         };
@@ -295,7 +295,7 @@ mod tests {
         let hot = exec.recorded(HOT_STREAM);
         assert_eq!(hot.len(), 1, "exactly one hot emission per key per day");
         assert_eq!(hot[0].key, topic_minute_key("sports", 10));
-        let payload = Json::parse_bytes(&hot[0].value).unwrap();
+        let payload = Json::from_payload(&hot[0].value).unwrap();
         assert!(payload.get("count").and_then(Json::as_u64).unwrap() > 6);
     }
 

@@ -69,7 +69,7 @@ impl Updater for SectionCounter {
     }
 
     fn update(&self, _ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
-        let Ok(req) = Json::parse_bytes(&event.value) else { return };
+        let Ok(req) = Json::from_payload(&event.value) else { return };
         let status = req.get("status").and_then(Json::as_u64).unwrap_or(200);
         let bytes = req.get("bytes").and_then(Json::as_u64).unwrap_or(0);
         let class = match status {
@@ -118,7 +118,7 @@ mod tests {
         // Hand-count ground truth.
         let mut expected: std::collections::BTreeMap<String, (u64, u64)> = Default::default();
         for ev in &events {
-            let v = Json::parse_bytes(&ev.value).unwrap();
+            let v = Json::from_payload(&ev.value).unwrap();
             let section = ev.key.as_str().unwrap().to_string();
             let bytes = v.get("bytes").unwrap().as_u64().unwrap();
             let e = expected.entry(section).or_default();

@@ -74,7 +74,7 @@ impl Mapper for ReputationMapper {
     }
 
     fn map(&self, ctx: &mut dyn Emitter, event: &Event) {
-        let Ok(v) = Json::parse_bytes(&event.value) else { return };
+        let Ok(v) = Json::from_payload(&event.value) else { return };
         let Some(author) = v.get("user").and_then(Json::as_str) else { return };
         // The author's activity.
         ctx.publish(DELTA_STREAM, Key::from(author), delta_payload(TWEET_POINTS, "tweet"));
@@ -122,7 +122,7 @@ impl Updater for ReputationScorer {
     }
 
     fn update(&self, _ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
-        let delta = Json::parse_bytes(&event.value)
+        let delta = Json::from_payload(&event.value)
             .ok()
             .and_then(|v| v.get("delta").and_then(Json::as_i64))
             .unwrap_or(0);
@@ -188,7 +188,7 @@ mod tests {
         // Hand-computed expectation.
         let mut expected: std::collections::BTreeMap<String, i64> = Default::default();
         for ev in &events {
-            let v = Json::parse_bytes(&ev.value).unwrap();
+            let v = Json::from_payload(&ev.value).unwrap();
             let author = v.get("user").unwrap().as_str().unwrap();
             *expected.entry(author.to_string()).or_default() += TWEET_POINTS;
             if let Some(t) = v.get("retweet_of").and_then(Json::as_str) {

@@ -97,7 +97,7 @@ impl RetailerMapper {
     /// Extract the venue name from a checkin payload (the `getVenue` of
     /// Figure 3, here a real JSON parse).
     pub fn venue_of(event: &Event) -> Option<String> {
-        let v = Json::parse_bytes(&event.value).ok()?;
+        let v = Json::from_payload(&event.value).ok()?;
         Some(v.get("venue")?.get("name")?.as_str()?.to_string())
     }
 }

@@ -169,7 +169,7 @@ impl Updater for TotalCounter {
     }
 
     fn update(&self, _ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
-        let delta = Json::parse_bytes(&event.value)
+        let delta = Json::from_payload(&event.value)
             .ok()
             .and_then(|v| v.get("delta").and_then(Json::as_u64))
             .unwrap_or(0);

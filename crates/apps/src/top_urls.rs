@@ -61,7 +61,7 @@ impl Mapper for UrlMapper {
     }
 
     fn map(&self, ctx: &mut dyn Emitter, event: &Event) {
-        let Ok(v) = Json::parse_bytes(&event.value) else { return };
+        let Ok(v) = Json::from_payload(&event.value) else { return };
         let Some(urls) = v.get("urls").and_then(Json::as_arr) else { return };
         for url in urls {
             if let Some(url) = url.as_str() {
@@ -140,7 +140,7 @@ impl Updater for TopKUpdater {
     }
 
     fn update(&self, _ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
-        let Ok(v) = Json::parse_bytes(&event.value) else { return };
+        let Ok(v) = Json::from_payload(&event.value) else { return };
         let (Some(url), Some(count)) =
             (v.get("url").and_then(Json::as_str), v.get("count").and_then(Json::as_u64))
         else {

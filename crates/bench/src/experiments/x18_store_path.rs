@@ -31,6 +31,7 @@ use std::time::{Duration, Instant};
 
 use muppet_core::event::Key;
 use muppet_core::json::Json;
+use muppet_core::Codec;
 use muppet_net::topology::Topology;
 use muppet_net::transport::{ClusterHandler, MachineId, NetError, Transport};
 use muppet_net::{StoreGetItem, StorePutItem, TcpTransport, WireEvent};
@@ -120,8 +121,8 @@ impl ClusterHandler for HostedStore {
     fn read_local_slate(&self, _d: MachineId, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
         None
     }
-    fn backend_store(&self, u: &str, k: &[u8], v: &[u8], ttl: Option<u64>, now: u64) {
-        SlateBackend::store(&*self.0, u, &Key::from(k), v, ttl, now);
+    fn backend_store(&self, u: &str, k: &[u8], v: &[u8], codec: Codec, ttl: Option<u64>, now: u64) {
+        SlateBackend::store(&*self.0, u, &Key::from(k), v, codec, ttl, now);
     }
     fn backend_load(&self, u: &str, k: &[u8], now: u64) -> Option<Vec<u8>> {
         SlateBackend::load(&*self.0, u, &Key::from(k), now)
@@ -134,6 +135,7 @@ impl ClusterHandler for HostedStore {
                 key: Key::from(item.key.as_slice()),
                 bytes: item.value.clone(),
                 ttl_secs: item.ttl_secs,
+                codec: item.codec,
             })
             .collect();
         SlateBackend::store_many(&*self.0, &flush, now)
@@ -203,7 +205,7 @@ fn run_group_commit(d: usize) -> ((Duration, u64), (Duration, u64)) {
     let store = StoreCluster::open(&dir, durable.clone()).expect("open store");
     let t0 = Instant::now();
     for (key, value) in &values {
-        SlateBackend::store(&store, "U1", key, value, None, 1);
+        SlateBackend::store(&store, "U1", key, value, Codec::Json, None, 1);
     }
     let per_record = (t0.elapsed(), store.wal_sync_count());
     drop(store);
@@ -211,10 +213,15 @@ fn run_group_commit(d: usize) -> ((Duration, u64), (Duration, u64)) {
     // Group commit.
     let dir = temp_dir("wal-group");
     let store = StoreCluster::open(&dir, durable).expect("open store");
-    let items: Vec<(muppet_slatestore::types::CellKey, &[u8], Option<u64>)> = values
+    let items: Vec<(muppet_slatestore::types::CellKey, &[u8], Codec, Option<u64>)> = values
         .iter()
         .map(|(key, value)| {
-            (muppet_slatestore::types::CellKey::new(key.as_bytes(), "U1"), value.as_slice(), None)
+            (
+                muppet_slatestore::types::CellKey::new(key.as_bytes(), "U1"),
+                value.as_slice(),
+                Codec::Json,
+                None,
+            )
         })
         .collect();
     let t0 = Instant::now();

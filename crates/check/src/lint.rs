@@ -195,6 +195,11 @@ mod tests {
         let core = scopes("crates/core/src/reference.rs").unwrap();
         assert!(core.contains(&"no-wallclock-in-deterministic"));
         assert!(!core.contains(&"no-unwrap-in-prod"));
+        // The binary slate codec is replay-critical: its byte output must
+        // be a pure function of the document, so the wall-clock ban
+        // covers it (at-rest bytes and WAL replay both depend on it).
+        let mbf = scopes("crates/core/src/mbf.rs").unwrap();
+        assert!(mbf.contains(&"no-wallclock-in-deterministic"));
         // Integration tests: raw-lock rule still applies, unwrap rule not.
         let t = scopes("tests/store_pipeline.rs").unwrap();
         assert!(t.contains(&"no-raw-lock"));

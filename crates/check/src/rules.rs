@@ -140,9 +140,11 @@ pub fn no_unwrap_in_prod(file: &str, lines: &[LineInfo]) -> Vec<Finding> {
     out
 }
 
-/// `no-wallclock-in-deterministic`: `core` (the reference executor and
-/// everything replay depends on) and the workload generators must be
-/// wall-clock free — determinism is the repo's exactness invariant.
+/// `no-wallclock-in-deterministic`: `core` (the reference executor,
+/// the MBF codec — whose byte output must be a pure function of the
+/// document — and everything else replay depends on) and the workload
+/// generators must be wall-clock free — determinism is the repo's
+/// exactness invariant.
 pub fn no_wallclock_in_deterministic(file: &str, lines: &[LineInfo]) -> Vec<Finding> {
     let mut out = Vec::new();
     for (idx, line) in lines.iter().enumerate() {

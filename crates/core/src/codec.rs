@@ -67,6 +67,64 @@ pub fn get_len_prefixed(buf: &[u8]) -> Option<(&[u8], usize)> {
     Some((&buf[n..end], end))
 }
 
+/// Append an optional byte string: a presence byte (0/1) then, when
+/// present, the length-prefixed bytes. Shared by the network framing and
+/// store codecs (previously copy-pasted in each).
+#[inline]
+pub fn put_opt_bytes(out: &mut Vec<u8>, value: &Option<Vec<u8>>) {
+    match value {
+        Some(bytes) => {
+            out.push(1);
+            put_len_prefixed(out, bytes);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Read an optional byte string written by [`put_opt_bytes`]. Returns
+/// `(value, bytes_read)`; `None` on truncation or a presence byte other
+/// than 0/1.
+#[inline]
+pub fn get_opt_bytes(buf: &[u8]) -> Option<(Option<Vec<u8>>, usize)> {
+    match *buf.first()? {
+        0 => Some((None, 1)),
+        1 => {
+            let (bytes, n) = get_len_prefixed(&buf[1..])?;
+            Some((Some(bytes.to_vec()), 1 + n))
+        }
+        _ => None,
+    }
+}
+
+/// Append an optional varint: a presence byte (0/1) then, when present,
+/// the varint.
+#[inline]
+pub fn put_opt_varint(out: &mut Vec<u8>, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            out.push(1);
+            put_varint(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Read an optional varint written by [`put_opt_varint`]. Returns
+/// `(value, bytes_read)`; `None` on truncation, a presence byte other
+/// than 0/1, or an overlong varint (same >10-byte rejection as
+/// [`get_varint`]).
+#[inline]
+pub fn get_opt_varint(buf: &[u8]) -> Option<(Option<u64>, usize)> {
+    match *buf.first()? {
+        0 => Some((None, 1)),
+        1 => {
+            let (v, n) = get_varint(&buf[1..])?;
+            Some((Some(v), 1 + n))
+        }
+        _ => None,
+    }
+}
+
 /// Append a fixed little-endian u32.
 #[inline]
 pub fn put_u32(out: &mut Vec<u8>, v: u32) {
@@ -216,6 +274,40 @@ mod tests {
         let mut buf = Vec::new();
         put_varint(&mut buf, u64::MAX);
         assert!(get_len_prefixed(&buf).is_none());
+    }
+
+    #[test]
+    fn opt_bytes_roundtrip_and_reject_bad_presence() {
+        let mut buf = Vec::new();
+        put_opt_bytes(&mut buf, &Some(b"payload".to_vec()));
+        put_opt_bytes(&mut buf, &None);
+        let (a, n) = get_opt_bytes(&buf).unwrap();
+        assert_eq!(a.as_deref(), Some(&b"payload"[..]));
+        let (b, m) = get_opt_bytes(&buf[n..]).unwrap();
+        assert_eq!(b, None);
+        assert_eq!(n + m, buf.len());
+        assert!(get_opt_bytes(&[]).is_none());
+        assert!(get_opt_bytes(&[2]).is_none(), "presence byte must be 0/1");
+        assert!(get_opt_bytes(&[1, 5, b'x']).is_none(), "truncated payload");
+    }
+
+    #[test]
+    fn opt_varint_roundtrip_and_reject_overlong() {
+        let mut buf = Vec::new();
+        put_opt_varint(&mut buf, Some(u64::MAX));
+        put_opt_varint(&mut buf, None);
+        let (a, n) = get_opt_varint(&buf).unwrap();
+        assert_eq!(a, Some(u64::MAX));
+        let (b, m) = get_opt_varint(&buf[n..]).unwrap();
+        assert_eq!(b, None);
+        assert_eq!(n + m, buf.len());
+        assert!(get_opt_varint(&[]).is_none());
+        assert!(get_opt_varint(&[7]).is_none(), "presence byte must be 0/1");
+        // Present flag followed by an 11-byte (overlong) varint.
+        let mut overlong = vec![1u8];
+        overlong.extend_from_slice(&[0x80; 10]);
+        overlong.push(0x01);
+        assert!(get_opt_varint(&overlong).is_none());
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum Error {
     Config(String),
     /// JSON text could not be parsed. Carries offset and message.
     Json { offset: usize, message: String },
+    /// An MBF binary payload could not be encoded or decoded. Carries
+    /// offset and message.
+    Mbf { offset: usize, message: String },
     /// An event referenced a stream that the workflow does not declare.
     UnknownStream(String),
     /// An operator name was not registered with the executor.
@@ -40,6 +43,9 @@ impl fmt::Display for Error {
             Error::Config(msg) => write!(f, "config error: {msg}"),
             Error::Json { offset, message } => {
                 write!(f, "json error at byte {offset}: {message}")
+            }
+            Error::Mbf { offset, message } => {
+                write!(f, "mbf error at byte {offset}: {message}")
             }
             Error::UnknownStream(name) => write!(f, "unknown stream: {name}"),
             Error::UnknownOperator(name) => write!(f, "unknown operator: {name}"),

@@ -32,6 +32,7 @@ pub mod error;
 pub mod event;
 pub mod hash;
 pub mod json;
+pub mod mbf;
 pub mod operator;
 pub mod reference;
 pub mod slate;
@@ -42,6 +43,7 @@ pub mod workflow;
 pub use error::{Error, Result};
 pub use event::{Event, Key, StreamId, Timestamp};
 pub use json::Json;
+pub use mbf::{Codec, CodecChoice};
 pub use operator::{Emitter, Mapper, Updater};
 pub use reference::ReferenceExecutor;
 pub use slate::Slate;

@@ -20,18 +20,24 @@
 //! "Our applications often use JSON to encode slates" (§4.2) — and the
 //! per-event hot path used to pay for that by re-parsing the payload from
 //! bytes and re-serializing it back on *every* event. A slate now holds one
-//! of two representations:
+//! of three representations:
 //!
-//! * **Bytes** — the canonical blob (what the store and the wire see);
-//! * **Json** — a parsed document *resident* in the slate, with the byte
-//!   form materialized lazily (and cached) only at real byte boundaries:
-//!   store flush, slate handoff, HTTP `/slate` reads, wire transfer.
+//! * **Bytes** — a raw blob (JSON text, decimal counter text, opaque);
+//! * **Mbf** — an undecoded [MBF](crate::mbf) binary payload, as loaded
+//!   from an MBF-at-rest store or an MBF-negotiated connection;
+//! * **Json** — a parsed document *resident* in the slate, with byte forms
+//!   materialized lazily (and cached per codec) only at real byte
+//!   boundaries: store flush, slate handoff, HTTP `/slate` reads, wire
+//!   transfer.
 //!
 //! [`Slate::ensure_json`] converts bytes → resident once (keeping the
-//! original bytes cached, so an untouched slate still flushes the exact
-//! bytes it was loaded with); [`Slate::json_mut`] / [`Slate::json_mut_or`]
-//! mutate the resident document in place, bumping `version` without
-//! serializing. [`Slate::bytes`] serializes at most once per mutation.
+//! original payload cached, so an untouched slate still flushes the exact
+//! bytes it was loaded with — in its original codec);
+//! [`Slate::json_mut`] / [`Slate::json_mut_or`] mutate the resident
+//! document in place, bumping `version` without serializing.
+//! [`Slate::materialize`] emits the payload in a caller-chosen codec —
+//! JSON text for human-facing boundaries, MBF for v5 wire peers and the
+//! store — serializing at most once per codec per mutation.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
@@ -39,30 +45,63 @@ use std::sync::OnceLock;
 use bytes::Bytes;
 
 use crate::json::Json;
+use crate::mbf::{self, Codec};
 
 /// Global count of byte-payload → JSON-document parses (all slates).
 static PARSES: AtomicU64 = AtomicU64::new(0);
 /// Global count of JSON-document → byte-payload serializations.
 static SERIALIZATIONS: AtomicU64 = AtomicU64::new(0);
 
-/// Process-wide (parses, serializations) counters for slate payloads — an
-/// allocations-ish proxy the hot-path benchmarks record: the seed path
-/// pays one parse *and* one serialization per update, the resident path
-/// parses once per cache fault and serializes once per flush.
+/// Process-wide (parses, serializations) counters for **JSON-text** slate
+/// payloads — an allocations-ish proxy the hot-path benchmarks record: the
+/// seed path pays one parse *and* one serialization per update, the
+/// resident path parses once per cache fault and serializes once per
+/// flush. MBF decodes/encodes are counted separately; see
+/// [`codec_counters`].
 pub fn repr_counters() -> (u64, u64) {
     (PARSES.load(Ordering::Relaxed), SERIALIZATIONS.load(Ordering::Relaxed))
 }
 
-/// The payload: canonical bytes, or a resident parsed document with its
-/// byte form cached lazily.
+/// Per-codec payload conversion counters (process-wide).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CodecCounters {
+    /// JSON text → document parses.
+    pub json_parses: u64,
+    /// Document → JSON text serializations.
+    pub json_serializations: u64,
+    /// MBF bytes → document decodes.
+    pub mbf_decodes: u64,
+    /// Document → MBF bytes encodes.
+    pub mbf_encodes: u64,
+}
+
+/// Process-wide conversion counters split by codec: JSON parse/serialize
+/// (same values as [`repr_counters`]) plus MBF decode/encode.
+pub fn codec_counters() -> CodecCounters {
+    let (json_parses, json_serializations) = repr_counters();
+    let (mbf_decodes, mbf_encodes) = mbf::mbf_counters();
+    CodecCounters { json_parses, json_serializations, mbf_decodes, mbf_encodes }
+}
+
+/// The payload: raw bytes, an undecoded MBF payload, or a resident parsed
+/// document with its byte forms cached lazily per codec.
 #[derive(Clone, Debug)]
 enum Repr {
     Bytes(Bytes),
+    Mbf {
+        raw: Bytes,
+        /// Cached JSON-text rendering (decode + serialize), filled only if
+        /// a text boundary reads an undecoded MBF slate.
+        json: OnceLock<Bytes>,
+    },
     Json {
         doc: Json,
-        /// The serialized form; filled on first byte access after a
+        /// Serialized JSON text; filled on first JSON byte access after a
         /// mutation (or carried over from the parse when untouched).
-        bytes: OnceLock<Bytes>,
+        json: OnceLock<Bytes>,
+        /// Encoded MBF payload; filled on first MBF byte access after a
+        /// mutation (or carried over from the decode when untouched).
+        mbf: OnceLock<Bytes>,
     },
 }
 
@@ -102,29 +141,57 @@ impl Slate {
         Slate { repr: Repr::Bytes(Bytes::from(data)), version: 0 }
     }
 
+    /// Build a slate from a stored payload tagged with its codec: MBF
+    /// payloads stay undecoded until an accessor needs the document (and
+    /// an untouched slate re-materializes byte-identically in MBF), JSON
+    /// payloads behave exactly like [`Slate::from_bytes`].
+    pub fn from_stored(data: Vec<u8>, codec: Codec) -> Self {
+        let raw = Bytes::from(data);
+        match codec {
+            Codec::Json => Slate { repr: Repr::Bytes(raw), version: 0 },
+            Codec::Mbf if raw.is_empty() => Slate::default(),
+            Codec::Mbf => Slate { repr: Repr::Mbf { raw, json: OnceLock::new() }, version: 0 },
+        }
+    }
+
     /// True if no updater has written anything yet (or the slate expired).
     /// A resident document is never empty (its serialization is at least
-    /// `null`).
+    /// `null`), and an MBF payload always has at least a magic + tag byte.
     pub fn is_empty(&self) -> bool {
         match &self.repr {
             Repr::Bytes(b) => b.is_empty(),
-            Repr::Json { .. } => false,
+            Repr::Mbf { .. } | Repr::Json { .. } => false,
         }
     }
 
-    /// The raw slate payload. For a resident document this materializes
-    /// (and caches) the serialized form — the byte boundary of the store
-    /// flush, slate handoff, HTTP read, and wire paths.
+    /// The slate payload as **JSON text** (or the raw blob for non-JSON
+    /// payloads) — the human-facing byte form served by HTTP `/slate` and
+    /// used by the text accessors. For a resident document this
+    /// materializes (and caches) the serialization; for an undecoded MBF
+    /// payload it renders (and caches) the canonical JSON text. Byte
+    /// boundaries that can carry either codec use [`Slate::materialize`]
+    /// instead.
     pub fn bytes(&self) -> &[u8] {
         match &self.repr {
             Repr::Bytes(b) => b,
-            Repr::Json { doc, bytes } => bytes.get_or_init(|| serialize(doc)),
+            Repr::Mbf { raw, json } => json.get_or_init(|| match Json::from_mbf(raw) {
+                Ok(doc) => serialize(&doc),
+                // Corrupt MBF: fall back to the raw payload rather than
+                // invent bytes; readers treat it as opaque.
+                Err(_) => raw.clone(),
+            }),
+            Repr::Json { doc, json, .. } => json.get_or_init(|| serialize(doc)),
         }
     }
 
-    /// Byte length of the payload (materializes a resident document).
+    /// Byte length of the payload in its current natural form (an
+    /// undecoded MBF payload reports its MBF length without rendering
+    /// JSON text; a resident document materializes its serialization).
     pub fn len(&self) -> usize {
-        self.bytes().len()
+        match &self.repr {
+            Repr::Mbf { raw, .. } => raw.len(),
+            _ => self.bytes().len(),
+        }
     }
 
     /// Payload as UTF-8 text, if valid. (Figure 4 stores a decimal counter
@@ -144,48 +211,69 @@ impl Slate {
                 if b.is_empty() {
                     return None;
                 }
+                if mbf::is_mbf(b) {
+                    return Json::from_mbf(b).ok();
+                }
                 PARSES.fetch_add(1, Ordering::Relaxed);
                 Json::parse(std::str::from_utf8(b).ok()?).ok()
             }
+            Repr::Mbf { raw, .. } => Json::from_mbf(raw).ok(),
             Repr::Json { doc, .. } => Some(doc.clone()),
         }
     }
 
-    /// Make the parsed document resident (parsing at most once) and return
-    /// a shared reference to it. Does **not** count as a mutation: the
-    /// original bytes are kept cached, so an untouched slate still flushes
-    /// byte-identically. `None` when the payload is empty or not JSON (the
-    /// representation is left as bytes).
+    /// Make the parsed document resident (parsing/decoding at most once)
+    /// and return a shared reference to it. Does **not** count as a
+    /// mutation: the original payload is kept cached under its codec, so
+    /// an untouched slate still flushes byte-identically. `None` when the
+    /// payload is empty or neither parseable JSON nor decodable MBF (the
+    /// representation is left as-is).
     pub fn ensure_json(&mut self) -> Option<&Json> {
-        if let Repr::Bytes(b) = &self.repr {
-            if b.is_empty() {
-                return None;
+        match &self.repr {
+            Repr::Bytes(b) if !b.is_empty() && mbf::is_mbf(b) => {
+                // Raw bytes that carry an MBF payload (e.g. replaced
+                // wholesale from an MBF event value): decode, keep the
+                // payload cached as MBF.
+                let doc = Json::from_mbf(b).ok()?;
+                let mbf_cache = OnceLock::new();
+                let _ = mbf_cache.set(b.clone());
+                self.repr = Repr::Json { doc, json: OnceLock::new(), mbf: mbf_cache };
             }
-            PARSES.fetch_add(1, Ordering::Relaxed);
-            let doc = Json::parse(std::str::from_utf8(b).ok()?).ok()?;
-            let bytes = OnceLock::new();
-            let _ = bytes.set(b.clone());
-            self.repr = Repr::Json { doc, bytes };
+            Repr::Bytes(b) if !b.is_empty() => {
+                PARSES.fetch_add(1, Ordering::Relaxed);
+                let doc = Json::parse(std::str::from_utf8(b).ok()?).ok()?;
+                let json = OnceLock::new();
+                let _ = json.set(b.clone());
+                self.repr = Repr::Json { doc, json, mbf: OnceLock::new() };
+            }
+            Repr::Mbf { raw, .. } => {
+                let doc = Json::from_mbf(raw).ok()?;
+                let mbf_cache = OnceLock::new();
+                let _ = mbf_cache.set(raw.clone());
+                self.repr = Repr::Json { doc, json: OnceLock::new(), mbf: mbf_cache };
+            }
+            _ => {}
         }
         match &self.repr {
             Repr::Json { doc, .. } => Some(doc),
-            Repr::Bytes(_) => None,
+            Repr::Bytes(_) | Repr::Mbf { .. } => None,
         }
     }
 
     /// Mutable access to the resident document. Counts as a mutation:
-    /// `version` is bumped and the cached byte form is invalidated —
+    /// `version` is bumped and the cached byte forms are invalidated —
     /// serialization happens only at the next byte boundary. `None` when
-    /// the payload is empty or not JSON (nothing is changed then).
+    /// the payload is empty or not JSON/MBF (nothing is changed then).
     pub fn json_mut(&mut self) -> Option<&mut Json> {
         self.ensure_json()?;
         self.version += 1;
         match &mut self.repr {
-            Repr::Json { doc, bytes } => {
-                bytes.take(); // invalidate: the doc is about to change
+            Repr::Json { doc, json, mbf } => {
+                json.take(); // invalidate: the doc is about to change
+                mbf.take();
                 Some(doc)
             }
-            Repr::Bytes(_) => unreachable!("ensure_json left a resident doc"),
+            _ => unreachable!("ensure_json left a resident doc"),
         }
     }
 
@@ -194,15 +282,16 @@ impl Slate {
     /// start fresh" posture). Always counts as a mutation.
     pub fn json_mut_or(&mut self, init: impl FnOnce() -> Json) -> &mut Json {
         if self.ensure_json().is_none() {
-            self.repr = Repr::Json { doc: init(), bytes: OnceLock::new() };
+            self.repr = Repr::Json { doc: init(), json: OnceLock::new(), mbf: OnceLock::new() };
         }
         self.version += 1;
         match &mut self.repr {
-            Repr::Json { doc, bytes } => {
-                bytes.take();
+            Repr::Json { doc, json, mbf } => {
+                json.take();
+                mbf.take();
                 doc
             }
-            Repr::Bytes(_) => unreachable!("a resident doc was just installed"),
+            _ => unreachable!("a resident doc was just installed"),
         }
     }
 
@@ -214,15 +303,16 @@ impl Slate {
     /// worker. `init` must return an object.
     pub fn obj_mut_or(&mut self, init: impl FnOnce() -> Json) -> &mut Json {
         if !matches!(self.ensure_json(), Some(Json::Obj(_))) {
-            self.repr = Repr::Json { doc: init(), bytes: OnceLock::new() };
+            self.repr = Repr::Json { doc: init(), json: OnceLock::new(), mbf: OnceLock::new() };
         }
         self.version += 1;
         match &mut self.repr {
-            Repr::Json { doc, bytes } => {
-                bytes.take();
+            Repr::Json { doc, json, mbf } => {
+                json.take();
+                mbf.take();
                 doc
             }
-            Repr::Bytes(_) => unreachable!("a resident doc was just installed"),
+            _ => unreachable!("a resident doc was just installed"),
         }
     }
 
@@ -236,7 +326,7 @@ impl Slate {
     /// document becomes resident and is serialized only at the next byte
     /// boundary.
     pub fn set_json(&mut self, value: Json) {
-        self.repr = Repr::Json { doc: value, bytes: OnceLock::new() };
+        self.repr = Repr::Json { doc: value, json: OnceLock::new(), mbf: OnceLock::new() };
         self.version += 1;
     }
 
@@ -260,13 +350,52 @@ impl Slate {
         self.version
     }
 
-    /// The payload as a cheaply-shareable [`Bytes`] (used when handing the
-    /// slate to the store writer thread). No copy: bytes payloads share
-    /// their buffer, resident documents share the materialized cache.
+    /// The payload as a cheaply-shareable [`Bytes`] in **JSON text** form
+    /// (used by boundaries that must stay human-readable). No copy: bytes
+    /// payloads share their buffer, resident documents share the
+    /// materialized cache. Codec-aware boundaries use
+    /// [`Slate::materialize`].
     pub fn to_shared(&self) -> Bytes {
-        match &self.repr {
-            Repr::Bytes(b) => b.clone(),
-            Repr::Json { doc, bytes } => bytes.get_or_init(|| serialize(doc)).clone(),
+        self.materialize(Codec::Json).0
+    }
+
+    /// Materialize the payload in the requested codec, returning the bytes
+    /// and the codec they are actually in:
+    ///
+    /// * raw non-JSON payloads (counter text, opaque blobs) are returned
+    ///   verbatim and tagged by sniffing — they are never transcoded;
+    /// * an untouched slate loaded from bytes returns those exact bytes
+    ///   when asked for its own codec (byte-identical flush);
+    /// * a resident document serializes at most once per codec per
+    ///   mutation (cached in a per-codec `OnceLock`);
+    /// * a document the MBF encoder rejects (over-deep, over-long) falls
+    ///   back to JSON text — the returned codec says so.
+    pub fn materialize(&self, codec: Codec) -> (Bytes, Codec) {
+        match (&self.repr, codec) {
+            (Repr::Bytes(b), _) => (b.clone(), Codec::sniff(b)),
+            (Repr::Mbf { raw, .. }, Codec::Mbf) => (raw.clone(), Codec::Mbf),
+            (Repr::Mbf { raw, json }, Codec::Json) => {
+                let text = json.get_or_init(|| match Json::from_mbf(raw) {
+                    Ok(doc) => serialize(&doc),
+                    Err(_) => raw.clone(),
+                });
+                (text.clone(), Codec::sniff(text))
+            }
+            (Repr::Json { doc, json, .. }, Codec::Json) => {
+                (json.get_or_init(|| serialize(doc)).clone(), Codec::Json)
+            }
+            (Repr::Json { doc, json, mbf }, Codec::Mbf) => {
+                if let Some(b) = mbf.get() {
+                    return (b.clone(), Codec::Mbf);
+                }
+                match doc.to_mbf() {
+                    Ok(encoded) => {
+                        let _ = mbf.set(Bytes::from(encoded));
+                        (mbf.get().expect("just set").clone(), Codec::Mbf)
+                    }
+                    Err(_) => (json.get_or_init(|| serialize(doc)).clone(), Codec::Json),
+                }
+            }
         }
     }
 
@@ -464,5 +593,131 @@ mod tests {
         let mut bytes = Slate::empty();
         bytes.replace(br#"{"n":3}"#.to_vec());
         assert_eq!(resident, bytes, "same version, same payload");
+    }
+
+    // --- MBF representation ---
+
+    fn doc() -> Json {
+        Json::obj([("count", Json::num(3)), ("name", Json::str("muppet"))])
+    }
+
+    #[test]
+    fn from_stored_mbf_stays_undecoded_and_flushes_byte_identically() {
+        let mbf = doc().to_mbf().unwrap();
+        let s = Slate::from_stored(mbf.clone(), Codec::Mbf);
+        assert!(!s.is_empty());
+        assert_eq!(s.len(), mbf.len(), "len reports the MBF payload without rendering JSON");
+        let (bytes, codec) = s.materialize(Codec::Mbf);
+        assert_eq!(codec, Codec::Mbf);
+        assert_eq!(bytes.as_ref(), mbf.as_slice(), "untouched MBF slate re-materializes verbatim");
+    }
+
+    #[test]
+    fn mbf_slate_renders_canonical_json_text_at_text_boundaries() {
+        let mbf = doc().to_mbf().unwrap();
+        let s = Slate::from_stored(mbf, Codec::Mbf);
+        assert_eq!(s.bytes(), doc().to_compact().as_bytes());
+        let (bytes, codec) = s.materialize(Codec::Json);
+        assert_eq!(codec, Codec::Json);
+        assert_eq!(bytes.as_ref(), doc().to_compact().as_bytes());
+    }
+
+    #[test]
+    fn ensure_json_on_mbf_is_not_a_mutation_and_keeps_the_payload() {
+        let mbf = doc().to_mbf().unwrap();
+        let mut s = Slate::from_stored(mbf.clone(), Codec::Mbf);
+        assert_eq!(s.ensure_json().unwrap().get("count").and_then(Json::as_u64), Some(3));
+        assert_eq!(s.version(), 0);
+        let (bytes, codec) = s.materialize(Codec::Mbf);
+        assert_eq!((bytes.as_ref(), codec), (mbf.as_slice(), Codec::Mbf));
+    }
+
+    #[test]
+    fn mutating_an_mbf_slate_reencodes_in_both_codecs() {
+        let mut s = Slate::from_stored(doc().to_mbf().unwrap(), Codec::Mbf);
+        s.json_mut().unwrap().set("count", Json::num(4));
+        assert_eq!(s.version(), 1);
+        let expect = Json::obj([("count", Json::num(4)), ("name", Json::str("muppet"))]);
+        let (mbf_bytes, c1) = s.materialize(Codec::Mbf);
+        assert_eq!(c1, Codec::Mbf);
+        assert_eq!(Json::from_mbf(&mbf_bytes).unwrap(), expect);
+        let (json_bytes, c2) = s.materialize(Codec::Json);
+        assert_eq!(c2, Codec::Json);
+        assert_eq!(json_bytes.as_ref(), expect.to_compact().as_bytes());
+    }
+
+    #[test]
+    fn materialize_mbf_from_resident_doc_roundtrips() {
+        let mut s = Slate::empty();
+        s.set_json(doc());
+        let (bytes, codec) = s.materialize(Codec::Mbf);
+        assert_eq!(codec, Codec::Mbf);
+        assert_eq!(Json::from_mbf(&bytes).unwrap(), doc());
+        // Cached: a second call returns the same buffer.
+        let (again, _) = s.materialize(Codec::Mbf);
+        assert_eq!(bytes.as_ptr(), again.as_ptr());
+    }
+
+    #[test]
+    fn raw_payloads_are_never_transcoded() {
+        // Counter text stays raw under either requested codec.
+        let mut s = Slate::empty();
+        s.incr_counter(7);
+        let (bytes, codec) = s.materialize(Codec::Mbf);
+        assert_eq!((bytes.as_ref(), codec), (&b"7"[..], Codec::Json));
+        let (bytes, codec) = s.materialize(Codec::Json);
+        assert_eq!((bytes.as_ref(), codec), (&b"7"[..], Codec::Json));
+    }
+
+    #[test]
+    fn replaced_mbf_bytes_are_sniffed_and_usable() {
+        // replaceSlate with an MBF payload (e.g. copied from an MBF event
+        // value): materialize tags it correctly and accessors decode it.
+        let mbf = doc().to_mbf().unwrap();
+        let mut s = Slate::empty();
+        s.replace(mbf.clone());
+        let (bytes, codec) = s.materialize(Codec::Mbf);
+        assert_eq!((bytes.as_ref(), codec), (mbf.as_slice(), Codec::Mbf));
+        assert_eq!(s.as_json().unwrap(), doc());
+        assert_eq!(s.ensure_json().unwrap(), &doc());
+    }
+
+    #[test]
+    fn corrupt_mbf_payload_degrades_to_opaque_bytes() {
+        let mut mbf = doc().to_mbf().unwrap();
+        mbf.truncate(mbf.len() - 1);
+        let mut s = Slate::from_stored(mbf.clone(), Codec::Mbf);
+        assert!(s.ensure_json().is_none());
+        assert_eq!(s.version(), 0);
+        // Text boundary falls back to the raw payload; MBF boundary
+        // returns it verbatim.
+        assert_eq!(s.bytes(), mbf.as_slice());
+        let (bytes, codec) = s.materialize(Codec::Mbf);
+        assert_eq!((bytes.as_ref(), codec), (mbf.as_slice(), Codec::Mbf));
+    }
+
+    #[test]
+    fn from_stored_empty_mbf_is_empty() {
+        let s = Slate::from_stored(Vec::new(), Codec::Mbf);
+        assert!(s.is_empty());
+        assert_eq!(s.materialize(Codec::Mbf).0.len(), 0);
+    }
+
+    #[test]
+    fn codec_counters_split_by_codec() {
+        let before = codec_counters();
+        let mut s = Slate::from_stored(doc().to_mbf().unwrap(), Codec::Mbf);
+        s.json_mut().unwrap().set("count", Json::num(9));
+        let _ = s.materialize(Codec::Mbf);
+        let _ = s.materialize(Codec::Json);
+        let after = codec_counters();
+        assert!(after.mbf_decodes > before.mbf_decodes);
+        assert!(after.mbf_encodes > before.mbf_encodes);
+        assert!(after.json_serializations > before.json_serializations);
+        assert_eq!(
+            (after.json_parses, after.json_serializations),
+            repr_counters(),
+            "repr_counters stays the JSON view"
+        );
     }
 }

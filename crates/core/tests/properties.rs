@@ -120,6 +120,81 @@ proptest! {
     }
 }
 
+// ---------- MBF binary codec ----------
+
+proptest! {
+    /// Any document the generator produces survives encode → decode
+    /// exactly — including deep nesting up to the generator's recursion
+    /// budget and unicode strings.
+    #[test]
+    fn mbf_roundtrips_documents_exactly(v in arb_json(6)) {
+        let encoded = v.to_mbf().unwrap();
+        prop_assert_eq!(Json::from_mbf(&encoded).unwrap(), v);
+    }
+
+    /// Cross-codec equivalence: decoding the MBF payload and parsing the
+    /// canonical JSON text yield the same document, and `from_payload`
+    /// picks the right decoder for both byte shapes unaided.
+    #[test]
+    fn mbf_and_json_text_decode_to_the_same_document(v in arb_json(4)) {
+        let via_mbf = Json::from_payload(&v.to_mbf().unwrap()).unwrap();
+        let via_text = Json::from_payload(v.to_compact().as_bytes()).unwrap();
+        prop_assert_eq!(&via_mbf, &via_text);
+        prop_assert_eq!(via_mbf, v);
+    }
+
+    /// Number policy: finite doubles round-trip to an equal value;
+    /// NaN/±∞ encode as null — exactly the JSON text serializer's policy,
+    /// so the two codecs never disagree about a document.
+    #[test]
+    fn mbf_number_policy_matches_json_text(n in any::<f64>()) {
+        let back = Json::from_mbf(&Json::Num(n).to_mbf().unwrap()).unwrap();
+        if n.is_finite() {
+            prop_assert_eq!(back, Json::Num(n));
+        } else {
+            prop_assert_eq!(back, Json::Null);
+        }
+    }
+
+    /// Every strict prefix of a valid payload is rejected — the decoder
+    /// runs out of bytes or trips the trailing-consumption check. Never a
+    /// panic, never a silently short document.
+    #[test]
+    fn mbf_truncation_is_an_error_never_a_panic(v in arb_json(3), cut in any::<u64>()) {
+        let encoded = v.to_mbf().unwrap();
+        let cut = (cut as usize) % encoded.len();
+        prop_assert!(Json::from_mbf(&encoded[..cut]).is_err());
+    }
+
+    /// Corrupting one byte never panics the decoder; whatever it returns
+    /// is reached cleanly. (A flip can be semantically invisible — e.g.
+    /// inside a string — so "always an error" would be too strong.)
+    #[test]
+    fn mbf_corruption_never_panics(v in arb_json(3), at in any::<u64>(), flip in 1u8..=255) {
+        let mut encoded = v.to_mbf().unwrap();
+        let at = (at as usize) % encoded.len();
+        encoded[at] ^= flip;
+        let _ = Json::from_mbf(&encoded);
+    }
+
+    /// Random bytes behind a forged magic byte never panic the decoder
+    /// and never allocate past the buffer's possible content.
+    #[test]
+    fn mbf_random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Json::from_mbf(&bytes);
+        let mut forged = vec![0xB1u8];
+        forged.extend_from_slice(&bytes);
+        let _ = Json::from_mbf(&forged);
+    }
+
+    /// Encoding is deterministic: the byte payload is a pure function of
+    /// the document (the store dedups and the wire batches on this).
+    #[test]
+    fn mbf_encoding_is_deterministic(v in arb_json(4)) {
+        prop_assert_eq!(v.to_mbf().unwrap(), v.to_mbf().unwrap());
+    }
+}
+
 // ---------- events & slates ----------
 
 /// One step of a slate mutation sequence, applied through the resident

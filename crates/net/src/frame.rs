@@ -16,10 +16,12 @@ use std::io::{self, Read, Write};
 
 use bytes::Bytes;
 use muppet_core::codec::{
-    self, get_event, get_len_prefixed, get_varint, put_event, put_len_prefixed, put_varint,
+    self, get_event, get_len_prefixed, get_opt_bytes, get_opt_varint, get_varint, put_event,
+    put_len_prefixed, put_opt_bytes, put_opt_varint, put_varint,
 };
 use muppet_core::event::Event;
 use muppet_core::workflow::OpId;
+use muppet_core::{mbf, Codec, Json};
 
 use crate::topology::NodeSpec;
 use crate::transport::MachineId;
@@ -108,6 +110,10 @@ pub struct StorePutItem {
     pub value: Bytes,
     /// Slate TTL, if the updater configured one.
     pub ttl_secs: Option<u64>,
+    /// Payload format of `value`. All-JSON batches encode as the v3 wire
+    /// (kind 16, byte-identical); any MBF item switches the batch to the
+    /// tagged v5 encoding (kind 22).
+    pub codec: Codec,
 }
 
 /// One slate read inside a [`Frame::StoreGetBatch`].
@@ -122,8 +128,18 @@ pub struct StoreGetItem {
 /// One protocol message.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Frame {
-    /// Connection preamble: protocol version + sender machine.
-    Hello { sender: MachineId },
+    /// Connection preamble: protocol version + sender machine + (v5) the
+    /// codec capabilities the dialer offers ([`CODEC_MBF`] bit). Receivers
+    /// accept versions 3..=5 — pre-v5 hellos carry no codecs byte and
+    /// decode with `codecs == 0`, so a mixed-version cluster degrades to
+    /// JSON on exactly the connections that need it.
+    Hello { sender: MachineId, version: u64, codecs: u8 },
+    /// Reply to a **v5** [`Frame::Hello`] carrying the receiver's codec
+    /// capabilities; the intersection of offered and acked bits is the
+    /// connection's negotiated codec. Never sent in reply to a pre-v5
+    /// hello: legacy dialers do not read acks (their liveness probe
+    /// treats any readable byte on an event connection as a dead peer).
+    HelloAck { codecs: u8 },
     /// Deliver an event (one-way; losses surface as connection errors).
     Event(WireEvent),
     /// Deliver a coalesced run of events (one-way). One frame header, one
@@ -176,8 +192,11 @@ pub enum Frame {
     StoreAckBatch { ok: Vec<bool> },
     /// Load a run of slates from the store-hosting node in one round trip.
     StoreGetBatch { items: Vec<StoreGetItem>, now_us: u64 },
-    /// Response to [`Frame::StoreGetBatch`]: per-item values, in order.
-    StoreValueBatch { values: Vec<Option<Vec<u8>>> },
+    /// Response to [`Frame::StoreGetBatch`]: per-item values with their
+    /// payload codecs, in order. All-JSON responses encode as the v3 wire
+    /// (kind 19, byte-identical); any MBF value switches to the tagged v5
+    /// encoding (kind 23).
+    StoreValueBatch { values: Vec<Option<(Vec<u8>, Codec)>> },
     /// A restarted incarnation of `machine` re-identifying itself (crash
     /// recovery): the receiver clears its §4.3 death-ledger entry, marks
     /// the machine routable again, and — on the master — re-runs the
@@ -188,13 +207,22 @@ pub enum Frame {
     ReintroduceAck { epoch: u64 },
 }
 
-/// Protocol version carried in [`Frame::Hello`]. v4: restart
-/// re-identification (`Reintroduce`/`ReintroduceAck`); v3 added batched
-/// store frames (`StorePutBatch`/`StoreGetBatch` + responses); v2 added
-/// epoch-stamped failure frames + the membership (elastic join) frames.
-/// The unbatched store frames remain in the protocol and are still
-/// accepted.
-pub const PROTOCOL_VERSION: u64 = 4;
+/// Protocol version carried in [`Frame::Hello`]. v5: MBF codec
+/// negotiation (`HelloAck`, the hello codecs byte, tagged store batch
+/// kinds 22/23) — hellos from v3/v4 peers are still accepted and pin
+/// their connections to JSON; v4: restart re-identification
+/// (`Reintroduce`/`ReintroduceAck`); v3 added batched store frames
+/// (`StorePutBatch`/`StoreGetBatch` + responses); v2 added epoch-stamped
+/// failure frames + the membership (elastic join) frames. The unbatched
+/// store frames remain in the protocol and are still accepted.
+pub const PROTOCOL_VERSION: u64 = 5;
+
+/// Oldest hello version still accepted (see [`Frame::Hello`]).
+pub const MIN_PROTOCOL_VERSION: u64 = 3;
+
+/// Codec-capability bit in the hello/ack `codecs` byte: the peer can
+/// decode MBF payloads in event values and store frames.
+pub const CODEC_MBF: u8 = 0b0000_0001;
 
 const KIND_HELLO: u8 = 1;
 const KIND_EVENT: u8 = 2;
@@ -217,52 +245,49 @@ const KIND_STORE_GET_BATCH: u8 = 18;
 const KIND_STORE_VALUE_BATCH: u8 = 19;
 const KIND_REINTRODUCE: u8 = 20;
 const KIND_REINTRODUCE_ACK: u8 = 21;
+const KIND_STORE_PUT_BATCH_TAGGED: u8 = 22;
+const KIND_STORE_VALUE_BATCH_TAGGED: u8 = 23;
+const KIND_HELLO_ACK: u8 = 24;
 
 /// The encoded floor of one event inside a batch (op + injected_us +
 /// flags + hint tag + the event's own fixed fields) — used to bound the
 /// batch-vector pre-allocation against corrupt counts.
 const MIN_WIRE_EVENT_BYTES: usize = 8;
 
-fn put_opt_bytes(out: &mut Vec<u8>, value: &Option<Vec<u8>>) {
-    match value {
-        Some(bytes) => {
-            out.push(1);
-            put_len_prefixed(out, bytes);
-        }
-        None => out.push(0),
+fn codec_byte(codec: Codec) -> u8 {
+    match codec {
+        Codec::Json => 0,
+        Codec::Mbf => 1,
     }
 }
 
-fn get_opt_bytes(buf: &[u8]) -> Option<(Option<Vec<u8>>, usize)> {
-    match *buf.first()? {
-        0 => Some((None, 1)),
-        1 => {
-            let (bytes, n) = get_len_prefixed(&buf[1..])?;
-            Some((Some(bytes.to_vec()), 1 + n))
-        }
+fn codec_from_byte(byte: u8) -> Option<Codec> {
+    match byte {
+        0 => Some(Codec::Json),
+        1 => Some(Codec::Mbf),
         _ => None,
     }
 }
 
-fn put_opt_varint(out: &mut Vec<u8>, value: Option<u64>) {
-    match value {
-        Some(v) => {
-            out.push(1);
-            put_varint(out, v);
-        }
-        None => out.push(0),
+/// Re-encode an MBF payload as canonical JSON text — the downgrade
+/// applied when a value negotiated for an MBF connection must cross a
+/// JSON-only one instead. Returns `None` when no change is needed: the
+/// bytes are not MBF, or they fail to decode (then they travel as-is;
+/// payloads are opaque to the wire).
+fn mbf_to_json_bytes(value: &[u8]) -> Option<Vec<u8>> {
+    if !mbf::is_mbf(value) {
+        return None;
     }
+    Json::from_mbf(value).ok().map(|doc| doc.to_compact().into_bytes())
 }
 
-fn get_opt_varint(buf: &[u8]) -> Option<(Option<u64>, usize)> {
-    match *buf.first()? {
-        0 => Some((None, 1)),
-        1 => {
-            let (v, n) = get_varint(&buf[1..])?;
-            Some((Some(v), 1 + n))
-        }
-        _ => None,
-    }
+/// Clone `ev` with its value transcoded MBF→JSON; `None` when the value
+/// already travels on every protocol version.
+fn downgrade_wire_event(ev: &WireEvent) -> Option<WireEvent> {
+    let value = mbf_to_json_bytes(&ev.event.value)?;
+    let mut out = ev.clone();
+    out.event.value = value.into();
+    Some(out)
 }
 
 /// Encode one batched-path event's fields (shared by the `Event` and
@@ -346,31 +371,148 @@ fn get_node_spec(buf: &[u8]) -> Option<(NodeSpec, usize)> {
 /// `Event` frame for a single event (byte-identical to the unbatched
 /// wire), an `EventBatch` otherwise. Used by senders that hold the events
 /// by reference and must not clone them just to build a `Frame` value.
-pub fn encode_events_payload(events: &[WireEvent]) -> Vec<u8> {
+///
+/// `allow_mbf` is the connection's negotiated codec: when false (a JSON
+/// peer), any MBF event value is transcoded to JSON text on the way out,
+/// so pre-v5 receivers only ever see payloads they can parse.
+pub fn encode_events_payload(events: &[WireEvent], allow_mbf: bool) -> Vec<u8> {
     let mut out = Vec::with_capacity(64 * events.len().max(1));
+    let put_one = |out: &mut Vec<u8>, ev: &WireEvent| {
+        if allow_mbf {
+            put_wire_event(out, ev);
+        } else if let Some(json_ev) = downgrade_wire_event(ev) {
+            put_wire_event(out, &json_ev);
+        } else {
+            put_wire_event(out, ev);
+        }
+    };
     if let [only] = events {
         out.push(KIND_EVENT);
-        put_wire_event(&mut out, only);
+        put_one(&mut out, only);
     } else {
         out.push(KIND_EVENT_BATCH);
         put_varint(&mut out, events.len() as u64);
         for ev in events {
-            put_wire_event(&mut out, ev);
+            put_one(&mut out, ev);
         }
     }
     out
 }
 
 impl Frame {
+    /// A current-version hello, offering MBF iff `offer_mbf`.
+    pub fn hello(sender: MachineId, offer_mbf: bool) -> Frame {
+        Frame::Hello {
+            sender,
+            version: PROTOCOL_VERSION,
+            codecs: if offer_mbf { CODEC_MBF } else { 0 },
+        }
+    }
+
+    /// A v4 hello, byte-identical to what a pre-MBF peer sends. Dialed by
+    /// JSON-pinned transports so they behave exactly like a legacy node
+    /// (and never wait on a `HelloAck`, which v5 receivers only send to
+    /// v5 hellos).
+    pub fn hello_legacy(sender: MachineId) -> Frame {
+        Frame::Hello { sender, version: 4, codecs: 0 }
+    }
+
+    /// A clone of this frame with every MBF payload transcoded to JSON
+    /// text, for sending over a connection whose peer did not negotiate
+    /// MBF. `None` means the frame already travels on every protocol
+    /// version unchanged (the common case — no clone happens).
+    pub fn json_downgraded(&self) -> Option<Frame> {
+        match self {
+            Frame::Event(ev) => downgrade_wire_event(ev).map(Frame::Event),
+            Frame::EventBatch(events) => {
+                if events.iter().all(|ev| !mbf::is_mbf(&ev.event.value)) {
+                    return None;
+                }
+                Some(Frame::EventBatch(
+                    events
+                        .iter()
+                        .map(|ev| downgrade_wire_event(ev).unwrap_or_else(|| ev.clone()))
+                        .collect(),
+                ))
+            }
+            Frame::StorePut { updater, key, value, ttl_secs, now_us } => {
+                let value = mbf_to_json_bytes(value)?;
+                Some(Frame::StorePut {
+                    updater: updater.clone(),
+                    key: key.clone(),
+                    value,
+                    ttl_secs: *ttl_secs,
+                    now_us: *now_us,
+                })
+            }
+            Frame::StorePutBatch { items, now_us } => {
+                if items.iter().all(|i| i.codec == Codec::Json) {
+                    return None;
+                }
+                let items = items
+                    .iter()
+                    .map(|item| {
+                        let mut out = item.clone();
+                        if out.codec == Codec::Mbf {
+                            if let Some(json) = mbf_to_json_bytes(&out.value) {
+                                out.value = json.into();
+                            }
+                            // Undecodable MBF travels raw under the JSON
+                            // tag; readers sniff payloads, so nothing is
+                            // lost — and a JSON connection has no way to
+                            // carry the tag anyway.
+                            out.codec = Codec::Json;
+                        }
+                        out
+                    })
+                    .collect();
+                Some(Frame::StorePutBatch { items, now_us: *now_us })
+            }
+            Frame::StoreValue { value: Some(value) } => {
+                mbf_to_json_bytes(value).map(|v| Frame::StoreValue { value: Some(v) })
+            }
+            Frame::StoreValueBatch { values } => {
+                if values.iter().all(|v| !matches!(v, Some((_, Codec::Mbf)))) {
+                    return None;
+                }
+                let values = values
+                    .iter()
+                    .map(|value| match value {
+                        Some((bytes, Codec::Mbf)) => Some((
+                            mbf_to_json_bytes(bytes).unwrap_or_else(|| bytes.clone()),
+                            Codec::Json,
+                        )),
+                        other => other.clone(),
+                    })
+                    .collect();
+                Some(Frame::StoreValueBatch { values })
+            }
+            Frame::SlateValue { value: Some(value) } => {
+                mbf_to_json_bytes(value).map(|v| Frame::SlateValue { value: Some(v) })
+            }
+            _ => None,
+        }
+    }
+
     /// Encode the payload (kind byte + fields), without the outer
     /// length/CRC header.
     pub fn encode_payload(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64);
         match self {
-            Frame::Hello { sender } => {
+            Frame::Hello { sender, version, codecs } => {
                 out.push(KIND_HELLO);
-                put_varint(&mut out, PROTOCOL_VERSION);
+                put_varint(&mut out, *version);
                 put_varint(&mut out, *sender as u64);
+                // The codecs byte exists only from v5 on; encoding a
+                // legacy hello (the JSON-pinned dial path) stays
+                // byte-identical to what a real v3/v4 peer sends.
+                if *version >= 5 {
+                    out.push(*codecs);
+                }
+            }
+            Frame::HelloAck { codecs } => {
+                out.push(KIND_HELLO_ACK);
+                out.push(*codecs);
             }
             Frame::Event(ev) => {
                 out.push(KIND_EVENT);
@@ -455,13 +597,21 @@ impl Frame {
             }
             Frame::StoreAck => out.push(KIND_STORE_ACK),
             Frame::StorePutBatch { items, now_us } => {
-                out.push(KIND_STORE_PUT_BATCH);
+                // All-JSON batches keep the v3 encoding byte-for-byte;
+                // only a batch that actually carries MBF needs the tagged
+                // kind (which a JSON-pinned connection never sends — the
+                // sender downgrades first).
+                let tagged = items.iter().any(|i| i.codec != Codec::Json);
+                out.push(if tagged { KIND_STORE_PUT_BATCH_TAGGED } else { KIND_STORE_PUT_BATCH });
                 put_varint(&mut out, items.len() as u64);
                 for item in items {
                     put_len_prefixed(&mut out, item.updater.as_bytes());
                     put_len_prefixed(&mut out, &item.key);
                     put_len_prefixed(&mut out, &item.value);
                     put_opt_varint(&mut out, item.ttl_secs);
+                    if tagged {
+                        out.push(codec_byte(item.codec));
+                    }
                 }
                 put_varint(&mut out, *now_us);
             }
@@ -482,10 +632,24 @@ impl Frame {
                 put_varint(&mut out, *now_us);
             }
             Frame::StoreValueBatch { values } => {
-                out.push(KIND_STORE_VALUE_BATCH);
+                let tagged = values.iter().any(|v| matches!(v, Some((_, Codec::Mbf))));
+                out.push(if tagged {
+                    KIND_STORE_VALUE_BATCH_TAGGED
+                } else {
+                    KIND_STORE_VALUE_BATCH
+                });
                 put_varint(&mut out, values.len() as u64);
                 for value in values {
-                    put_opt_bytes(&mut out, value);
+                    match value {
+                        Some((bytes, codec)) => {
+                            out.push(1);
+                            if tagged {
+                                out.push(codec_byte(*codec));
+                            }
+                            put_len_prefixed(&mut out, bytes);
+                        }
+                        None => out.push(0),
+                    }
                 }
             }
             Frame::Reintroduce { machine } => {
@@ -508,12 +672,25 @@ impl Frame {
         let frame = match kind {
             KIND_HELLO => {
                 let (version, n) = get_varint(rest)?;
-                if version != PROTOCOL_VERSION {
+                if !(MIN_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&version) {
                     return None;
                 }
                 let (sender, m) = get_varint(&rest[n..])?;
-                expect_consumed(rest, n + m)?;
-                Frame::Hello { sender: sender as MachineId }
+                let mut at = n + m;
+                let codecs = if version >= 5 {
+                    let c = *rest.get(at)?;
+                    at += 1;
+                    c
+                } else {
+                    0
+                };
+                expect_consumed(rest, at)?;
+                Frame::Hello { sender: sender as MachineId, version, codecs }
+            }
+            KIND_HELLO_ACK => {
+                let codecs = *rest.first()?;
+                expect_consumed(rest, 1)?;
+                Frame::HelloAck { codecs }
             }
             KIND_EVENT => {
                 let (ev, n) = get_wire_event(rest)?;
@@ -658,7 +835,8 @@ impl Frame {
                 expect_consumed(rest, 0)?;
                 Frame::StoreAck
             }
-            KIND_STORE_PUT_BATCH => {
+            KIND_STORE_PUT_BATCH | KIND_STORE_PUT_BATCH_TAGGED => {
+                let tagged = kind == KIND_STORE_PUT_BATCH_TAGGED;
                 let (count, mut at) = get_varint(rest)?;
                 // Cap the pre-allocation by what the buffer could possibly
                 // hold (≥4 bytes per item: three length prefixes + the ttl
@@ -677,7 +855,14 @@ impl Frame {
                     at += n;
                     let (ttl_secs, n) = get_opt_varint(&rest[at..])?;
                     at += n;
-                    items.push(StorePutItem { updater, key, value, ttl_secs });
+                    let codec = if tagged {
+                        let c = codec_from_byte(*rest.get(at)?)?;
+                        at += 1;
+                        c
+                    } else {
+                        Codec::Json
+                    };
+                    items.push(StorePutItem { updater, key, value, ttl_secs, codec });
                 }
                 let (now_us, n) = get_varint(&rest[at..])?;
                 at += n;
@@ -717,14 +902,32 @@ impl Frame {
                 expect_consumed(rest, at)?;
                 Frame::StoreGetBatch { items, now_us }
             }
-            KIND_STORE_VALUE_BATCH => {
+            KIND_STORE_VALUE_BATCH | KIND_STORE_VALUE_BATCH_TAGGED => {
+                let tagged = kind == KIND_STORE_VALUE_BATCH_TAGGED;
                 let (count, mut at) = get_varint(rest)?;
                 let possible = rest.len() + 1;
                 let mut values = Vec::with_capacity((count as usize).min(possible));
                 for _ in 0..count {
-                    let (value, n) = get_opt_bytes(&rest[at..])?;
-                    at += n;
-                    values.push(value);
+                    match *rest.get(at)? {
+                        0 => {
+                            at += 1;
+                            values.push(None);
+                        }
+                        1 => {
+                            at += 1;
+                            let codec = if tagged {
+                                let c = codec_from_byte(*rest.get(at)?)?;
+                                at += 1;
+                                c
+                            } else {
+                                Codec::Json
+                            };
+                            let (bytes, n) = get_len_prefixed(&rest[at..])?;
+                            at += n;
+                            values.push(Some((bytes.to_vec(), codec)));
+                        }
+                        _ => return None,
+                    }
                 }
                 expect_consumed(rest, at)?;
                 Frame::StoreValueBatch { values }
@@ -824,7 +1027,12 @@ mod tests {
 
     fn sample_frames() -> Vec<Frame> {
         vec![
-            Frame::Hello { sender: 2 },
+            Frame::Hello { sender: 2, version: PROTOCOL_VERSION, codecs: CODEC_MBF },
+            Frame::Hello { sender: 2, version: PROTOCOL_VERSION, codecs: 0 },
+            Frame::Hello { sender: 7, version: 4, codecs: 0 },
+            Frame::Hello { sender: 0, version: 3, codecs: 0 },
+            Frame::HelloAck { codecs: CODEC_MBF },
+            Frame::HelloAck { codecs: 0 },
             Frame::Event(sample_wire_event(3)),
             Frame::EventBatch(Vec::new()),
             Frame::EventBatch(vec![
@@ -890,15 +1098,36 @@ mod tests {
                         key: b"walmart".to_vec(),
                         value: Bytes::from_static(b"42"),
                         ttl_secs: Some(60),
+                        codec: Codec::Json,
                     },
                     StorePutItem {
                         updater: "topics".into(),
                         key: Vec::new(),
                         value: Bytes::new(),
                         ttl_secs: None,
+                        codec: Codec::Json,
                     },
                 ],
                 now_us: 9_000,
+            },
+            Frame::StorePutBatch {
+                items: vec![
+                    StorePutItem {
+                        updater: "counter".into(),
+                        key: b"mixed".to_vec(),
+                        value: Bytes::from_static(b"\xb1\x03\x2a"),
+                        ttl_secs: None,
+                        codec: Codec::Mbf,
+                    },
+                    StorePutItem {
+                        updater: "counter".into(),
+                        key: b"text".to_vec(),
+                        value: Bytes::from_static(b"42"),
+                        ttl_secs: Some(9),
+                        codec: Codec::Json,
+                    },
+                ],
+                now_us: 9_001,
             },
             Frame::StoreAckBatch { ok: vec![true, false, true] },
             Frame::StoreAckBatch { ok: Vec::new() },
@@ -909,7 +1138,14 @@ mod tests {
                 ],
                 now_us: 77,
             },
-            Frame::StoreValueBatch { values: vec![Some(vec![1, 2]), None] },
+            Frame::StoreValueBatch { values: vec![Some((vec![1, 2], Codec::Json)), None] },
+            Frame::StoreValueBatch {
+                values: vec![
+                    Some((b"\xb1\x03\x2a".to_vec(), Codec::Mbf)),
+                    None,
+                    Some((b"42".to_vec(), Codec::Json)),
+                ],
+            },
             Frame::Reintroduce { machine: 3 },
             Frame::ReintroduceAck { epoch: 9 },
         ]
@@ -987,12 +1223,164 @@ mod tests {
     fn encode_events_payload_matches_frame_encoding() {
         let one = [sample_wire_event(5)];
         assert_eq!(
-            encode_events_payload(&one),
+            encode_events_payload(&one, true),
             Frame::Event(one[0].clone()).encode_payload(),
             "a single event must be byte-identical to the unbatched wire"
         );
         let many = vec![sample_wire_event(1), sample_wire_event(2)];
-        assert_eq!(encode_events_payload(&many), Frame::EventBatch(many.clone()).encode_payload());
+        assert_eq!(
+            encode_events_payload(&many, true),
+            Frame::EventBatch(many.clone()).encode_payload()
+        );
+        // JSON-only events are unaffected by the downgrade flag.
+        assert_eq!(
+            encode_events_payload(&many, false),
+            Frame::EventBatch(many.clone()).encode_payload()
+        );
+    }
+
+    fn mbf_event(seq: u64) -> WireEvent {
+        let doc = Json::parse(r#"{"loc":"walmart","n":42}"#).unwrap();
+        let mut ev = sample_wire_event(seq);
+        ev.event.value = doc.to_mbf().unwrap().into();
+        ev
+    }
+
+    #[test]
+    fn events_payload_transcodes_mbf_values_for_json_peers() {
+        let events = vec![mbf_event(1), sample_wire_event(2)];
+        let payload = encode_events_payload(&events, false);
+        match Frame::decode_payload(&payload) {
+            Some(Frame::EventBatch(back)) => {
+                assert_eq!(
+                    std::str::from_utf8(&back[0].event.value).unwrap(),
+                    r#"{"loc":"walmart","n":42}"#,
+                    "MBF value must arrive as canonical JSON text"
+                );
+                assert_eq!(back[1], events[1], "JSON values pass through untouched");
+            }
+            other => panic!("expected EventBatch, got {other:?}"),
+        }
+        // With MBF allowed the value travels verbatim.
+        let payload = encode_events_payload(&events, true);
+        match Frame::decode_payload(&payload) {
+            Some(Frame::EventBatch(back)) => assert_eq!(back, events),
+            other => panic!("expected EventBatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_hello_is_byte_identical_to_v4_wire() {
+        // Hand-rolled v4 hello payload: kind, version varint, sender
+        // varint — no codecs byte.
+        let mut expected = vec![KIND_HELLO];
+        put_varint(&mut expected, 4);
+        put_varint(&mut expected, 2);
+        assert_eq!(Frame::hello_legacy(2).encode_payload(), expected);
+        assert_eq!(
+            Frame::decode_payload(&expected),
+            Some(Frame::Hello { sender: 2, version: 4, codecs: 0 })
+        );
+    }
+
+    #[test]
+    fn hello_version_bounds_are_enforced() {
+        for version in [0u64, 1, 2, PROTOCOL_VERSION + 1] {
+            let mut payload = vec![KIND_HELLO];
+            put_varint(&mut payload, version);
+            put_varint(&mut payload, 1);
+            if version >= 5 {
+                payload.push(CODEC_MBF);
+            }
+            assert_eq!(Frame::decode_payload(&payload), None, "version {version}");
+        }
+    }
+
+    #[test]
+    fn all_json_batches_keep_the_legacy_kinds() {
+        let put = Frame::StorePutBatch {
+            items: vec![StorePutItem {
+                updater: "c".into(),
+                key: b"k".to_vec(),
+                value: Bytes::from_static(b"42"),
+                ttl_secs: None,
+                codec: Codec::Json,
+            }],
+            now_us: 1,
+        };
+        assert_eq!(put.encode_payload()[0], KIND_STORE_PUT_BATCH);
+        let mixed = Frame::StorePutBatch {
+            items: vec![StorePutItem {
+                updater: "c".into(),
+                key: b"k".to_vec(),
+                value: Bytes::from_static(b"\xb1\x03\x2a"),
+                ttl_secs: None,
+                codec: Codec::Mbf,
+            }],
+            now_us: 1,
+        };
+        assert_eq!(mixed.encode_payload()[0], KIND_STORE_PUT_BATCH_TAGGED);
+
+        let vals = Frame::StoreValueBatch { values: vec![Some((b"42".to_vec(), Codec::Json))] };
+        assert_eq!(vals.encode_payload()[0], KIND_STORE_VALUE_BATCH);
+        let tagged =
+            Frame::StoreValueBatch { values: vec![Some((b"\xb1\x00".to_vec(), Codec::Mbf))] };
+        assert_eq!(tagged.encode_payload()[0], KIND_STORE_VALUE_BATCH_TAGGED);
+    }
+
+    #[test]
+    fn json_downgrade_covers_store_frames() {
+        let doc = Json::parse(r#"[1,2,3]"#).unwrap();
+        let raw = doc.to_mbf().unwrap();
+        let batch = Frame::StorePutBatch {
+            items: vec![StorePutItem {
+                updater: "c".into(),
+                key: b"k".to_vec(),
+                value: raw.clone().into(),
+                ttl_secs: Some(3),
+                codec: Codec::Mbf,
+            }],
+            now_us: 7,
+        };
+        match batch.json_downgraded() {
+            Some(Frame::StorePutBatch { items, now_us: 7 }) => {
+                assert_eq!(items[0].codec, Codec::Json);
+                assert_eq!(&items[0].value[..], b"[1,2,3]");
+                assert_eq!(items[0].ttl_secs, Some(3));
+            }
+            other => panic!("unexpected downgrade: {other:?}"),
+        }
+        let values =
+            Frame::StoreValueBatch { values: vec![Some((raw.to_vec(), Codec::Mbf)), None] };
+        match values.json_downgraded() {
+            Some(Frame::StoreValueBatch { values }) => {
+                assert_eq!(values[0], Some((b"[1,2,3]".to_vec(), Codec::Json)));
+                assert_eq!(values[1], None);
+            }
+            other => panic!("unexpected downgrade: {other:?}"),
+        }
+        // JSON-only frames need no clone at all.
+        let json_put = Frame::StorePut {
+            updater: "c".into(),
+            key: b"k".to_vec(),
+            value: b"42".to_vec(),
+            ttl_secs: None,
+            now_us: 1,
+        };
+        assert_eq!(json_put.json_downgraded(), None);
+        assert_eq!(Frame::StoreAck.json_downgraded(), None);
+        // Sniffed single-put downgrade (the untagged frame).
+        let mbf_put = Frame::StorePut {
+            updater: "c".into(),
+            key: b"k".to_vec(),
+            value: raw.to_vec(),
+            ttl_secs: None,
+            now_us: 1,
+        };
+        match mbf_put.json_downgraded() {
+            Some(Frame::StorePut { value, .. }) => assert_eq!(value, b"[1,2,3]".to_vec()),
+            other => panic!("unexpected downgrade: {other:?}"),
+        }
     }
 
     #[test]

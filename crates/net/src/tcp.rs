@@ -43,10 +43,11 @@ use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
 use muppet_core::sync::{Condvar, Mutex, RwLock};
+use muppet_core::{Codec, CodecChoice};
 
 use crate::frame::{
     self, Frame, MembershipPhase, MembershipUpdate, StoreGetItem, StorePutItem, WireEvent,
-    MAX_FRAME_BYTES,
+    CODEC_MBF, MAX_FRAME_BYTES,
 };
 use crate::topology::{NodeSpec, Topology};
 use crate::transport::{ClusterHandler, HandlerSlot, MachineId, NetError, Transport};
@@ -111,11 +112,21 @@ pub struct TcpStats {
     /// Gauge: events accepted but not yet written to (or failed off) the
     /// wire, across all peers.
     pub outbound_backlog: AtomicU64,
+    /// Fresh connections whose hello/ack handshake negotiated MBF.
+    pub mbf_connects: AtomicU64,
+}
+
+/// One outbound connection with its negotiated codec: `mbf` is true only
+/// when this side offered MBF (a v5 hello) and the peer's `HelloAck`
+/// confirmed it. Legacy peers and JSON-pinned transports never set it.
+struct Conn {
+    stream: TcpStream,
+    mbf: bool,
 }
 
 struct PeerPool {
     addr: SocketAddr,
-    idle: Mutex<Vec<TcpStream>>,
+    idle: Mutex<Vec<Conn>>,
 }
 
 /// Outbox interior: the queued events plus flush bookkeeping.
@@ -133,6 +144,7 @@ struct PeerOutbox {
     local: MachineId,
     addr: SocketAddr,
     cfg: BatchConfig,
+    codec: CodecChoice,
     queue: Mutex<OutboxQueue>,
     /// Signals both ways: producers on free room, the sender on new work.
     cv: Condvar,
@@ -170,6 +182,10 @@ pub struct TcpTransport {
     /// The master role's machine id (pinned at cluster creation).
     master: MachineId,
     batch: BatchConfig,
+    /// Wire-codec policy: `Auto`/`Mbf` dial with a v5 hello offering MBF
+    /// and read the peer's `HelloAck`; `Json` dials a byte-identical v4
+    /// legacy hello (no ack read) and pins every connection to JSON.
+    codec: CodecChoice,
     handler: Arc<HandlerSlot>,
     /// Indexed by machine id; `None` at `local`. Grows via `add_peer`.
     pools: RwLock<Vec<Option<Arc<PeerPool>>>>,
@@ -195,6 +211,16 @@ impl TcpTransport {
         local: MachineId,
         batch: BatchConfig,
     ) -> Result<Arc<TcpTransport>, String> {
+        TcpTransport::new_with_codec(topology, local, batch, CodecChoice::Auto)
+    }
+
+    /// Build the transport with explicit batching and wire-codec policies.
+    pub fn new_with_codec(
+        topology: Topology,
+        local: MachineId,
+        batch: BatchConfig,
+        codec: CodecChoice,
+    ) -> Result<Arc<TcpTransport>, String> {
         topology.validate()?;
         if local >= topology.len() {
             return Err(format!("local machine {local} is not in the topology"));
@@ -202,6 +228,7 @@ impl TcpTransport {
         let transport = Arc::new(TcpTransport {
             master: topology.master,
             local,
+            codec,
             batch: BatchConfig {
                 batch_max: batch.batch_max.max(1),
                 queue_capacity: batch.queue_capacity.max(1),
@@ -252,6 +279,7 @@ impl TcpTransport {
                 local: self.local,
                 addr,
                 cfg: self.batch,
+                codec: self.codec,
                 queue: Mutex::new(OutboxQueue { events: VecDeque::new(), oldest_at: None }),
                 cv: Condvar::new(),
                 down: AtomicBool::new(false),
@@ -353,8 +381,8 @@ impl TcpTransport {
         }
     }
 
-    fn connect(&self, addr: SocketAddr) -> io::Result<TcpStream> {
-        dial(addr, self.local, &self.stats)
+    fn connect(&self, addr: SocketAddr) -> io::Result<Conn> {
+        dial(addr, self.local, &self.stats, self.codec)
     }
 
     /// Run one frame exchange with `dest`: write `frame`, optionally read
@@ -368,6 +396,8 @@ impl TcpTransport {
         let pool = self.pool(dest)?;
         // Size-check before touching the socket: an oversized frame is a
         // local protocol error, not a dead peer — it must not trip §4.3.
+        // The check uses the as-is encoding; the per-connection JSON
+        // downgrade (below) re-encodes only when the peer needs it.
         let payload = frame.encode_payload();
         if payload.len() > crate::frame::MAX_FRAME_BYTES {
             return Err(NetError::Protocol(format!(
@@ -379,14 +409,19 @@ impl TcpTransport {
         let pooled = pool.idle.lock().pop();
         let had_pooled = pooled.is_some();
 
-        let attempt = |conn: Option<TcpStream>| -> io::Result<(TcpStream, Option<Frame>)> {
-            let mut stream = match conn {
+        let attempt = |conn: Option<Conn>| -> io::Result<(Conn, Option<Frame>)> {
+            let mut conn = match conn {
                 Some(c) => c,
                 None => self.connect(pool.addr)?,
             };
-            crate::frame::write_payload(&mut stream, &payload)?;
-            let reply = if want_reply { Some(Frame::read_from(&mut stream)?) } else { None };
-            Ok((stream, reply))
+            // The payload is encoded for the negotiated codec: MBF
+            // connections take the frame as built; JSON connections get
+            // any MBF payload transcoded to JSON text first.
+            let json_payload =
+                if conn.mbf { None } else { frame.json_downgraded().map(|f| f.encode_payload()) };
+            frame::write_payload(&mut conn.stream, json_payload.as_deref().unwrap_or(&payload))?;
+            let reply = if want_reply { Some(Frame::read_from(&mut conn.stream)?) } else { None };
+            Ok((conn, reply))
         };
 
         let outcome = match attempt(pooled) {
@@ -397,11 +432,11 @@ impl TcpTransport {
             Err(e) => Err(e),
         };
         match outcome {
-            Ok((stream, reply)) => {
+            Ok((conn, reply)) => {
                 self.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
                 let mut idle = pool.idle.lock();
                 if idle.len() < MAX_IDLE_PER_PEER {
-                    idle.push(stream);
+                    idle.push(conn);
                 }
                 Ok(reply)
             }
@@ -510,24 +545,53 @@ fn collect_batch(outbox: &PeerOutbox) -> Option<Vec<WireEvent>> {
     }
 }
 
-/// Dial a peer and send the connection preamble. Both timeouts are set —
-/// the write timeout matters even on the pooled request/response path: a
-/// failure report written from a sender thread must not block forever on
-/// a stalled master, or `TcpTransport::drop`'s join would wedge shutdown.
-fn dial(addr: SocketAddr, local: MachineId, stats: &TcpStats) -> io::Result<TcpStream> {
+/// Dial a peer, send the connection preamble, and negotiate the wire
+/// codec. Both timeouts are set — the write timeout matters even on the
+/// pooled request/response path: a failure report written from a sender
+/// thread must not block forever on a stalled master, or
+/// `TcpTransport::drop`'s join would wedge shutdown.
+///
+/// `Auto`/`Mbf` transports send a v5 hello offering MBF and block on the
+/// peer's [`Frame::HelloAck`]; the connection speaks MBF only if the ack
+/// grants it. `Json` transports send a byte-identical v4 legacy hello —
+/// and read no ack, exactly like a real pre-MBF peer (v5 receivers only
+/// ack v5 hellos).
+fn dial(
+    addr: SocketAddr,
+    local: MachineId,
+    stats: &TcpStats,
+    codec: CodecChoice,
+) -> io::Result<Conn> {
     let stream = TcpStream::connect_timeout(&addr, CONNECT_TIMEOUT)?;
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(REPLY_TIMEOUT))?;
     stream.set_write_timeout(Some(REPLY_TIMEOUT))?;
     stats.connects.fetch_add(1, Ordering::Relaxed);
     let mut w = &stream;
-    Frame::Hello { sender: local }.write_to(&mut w)?;
-    Ok(stream)
+    if !codec.offers_mbf() {
+        Frame::hello_legacy(local).write_to(&mut w)?;
+        return Ok(Conn { stream, mbf: false });
+    }
+    Frame::hello(local, true).write_to(&mut w)?;
+    let mut r = &stream;
+    let mbf = match Frame::read_from(&mut r)? {
+        Frame::HelloAck { codecs } => codecs & CODEC_MBF != 0,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected HelloAck, got {other:?}"),
+            ))
+        }
+    };
+    if mbf {
+        stats.mbf_connects.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(Conn { stream, mbf })
 }
 
 /// Dial `outbox`'s peer.
-fn connect_outbox(outbox: &PeerOutbox) -> io::Result<TcpStream> {
-    dial(outbox.addr, outbox.local, &outbox.stats)
+fn connect_outbox(outbox: &PeerOutbox) -> io::Result<Conn> {
+    dial(outbox.addr, outbox.local, &outbox.stats, outbox.codec)
 }
 
 /// Check a reused event connection for a peer that has already closed:
@@ -552,22 +616,22 @@ fn probe_peer_alive(stream: &TcpStream) -> io::Result<()> {
     verdict
 }
 
-/// Write one encoded batch, reusing `conn` with one reconnect retry (a
-/// stale persistent connection gets one fresh dial; a dead peer fails
-/// that too).
-fn send_payload(
-    outbox: &PeerOutbox,
-    conn: &mut Option<TcpStream>,
-    payload: &[u8],
-) -> io::Result<()> {
+/// Write one batch, reusing `conn` with one reconnect retry (a stale
+/// persistent connection gets one fresh dial; a dead peer fails that
+/// too). The batch is encoded per connection attempt — the negotiated
+/// codec lives on the connection, and a reconnect may negotiate a
+/// different one (e.g. the peer restarted JSON-pinned).
+fn send_batch(outbox: &PeerOutbox, conn: &mut Option<Conn>, batch: &[WireEvent]) -> io::Result<()> {
     let reused = conn.is_some();
     let first = match conn.as_mut() {
-        Some(stream) => {
-            probe_peer_alive(stream).and_then(|()| frame::write_payload(stream, payload))
-        }
-        None => connect_outbox(outbox).and_then(|mut stream| {
-            frame::write_payload(&mut stream, payload)?;
-            *conn = Some(stream);
+        Some(c) => probe_peer_alive(&c.stream).and_then(|()| {
+            let payload = frame::encode_events_payload(batch, c.mbf);
+            frame::write_payload(&mut c.stream, &payload)
+        }),
+        None => connect_outbox(outbox).and_then(|mut c| {
+            let payload = frame::encode_events_payload(batch, c.mbf);
+            frame::write_payload(&mut c.stream, &payload)?;
+            *conn = Some(c);
             Ok(())
         }),
     };
@@ -593,9 +657,10 @@ fn send_payload(
             // fresh dial. Nothing of the failed write can be delivered —
             // the peer's socket is gone — so the resend cannot duplicate.
             *conn = None;
-            let mut stream = connect_outbox(outbox)?;
-            frame::write_payload(&mut stream, payload)?;
-            *conn = Some(stream);
+            let mut c = connect_outbox(outbox)?;
+            let payload = frame::encode_events_payload(batch, c.mbf);
+            frame::write_payload(&mut c.stream, &payload)?;
+            *conn = Some(c);
             Ok(())
         }
     }
@@ -606,10 +671,9 @@ fn send_payload(
 /// reconnect retry) this is the §4.3 detection point — mark the peer
 /// down, drain everything undelivered, and hand it to the engine.
 fn sender_loop(outbox: Arc<PeerOutbox>) {
-    let mut conn: Option<TcpStream> = None;
+    let mut conn: Option<Conn> = None;
     while let Some(batch) = collect_batch(&outbox) {
-        let payload = frame::encode_events_payload(&batch);
-        match send_payload(&outbox, &mut conn, &payload) {
+        match send_batch(&outbox, &mut conn, &batch) {
             Ok(()) => {
                 outbox.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
                 if batch.len() > 1 {
@@ -777,18 +841,22 @@ impl Transport for TcpTransport {
         updater: &str,
         key: &[u8],
         value: &[u8],
+        codec: Codec,
         ttl_secs: Option<u64>,
         now_us: u64,
     ) -> Result<(), NetError> {
         if dest == self.local {
             return match self.handler() {
                 Some(h) => {
-                    h.backend_store(updater, key, value, ttl_secs, now_us);
+                    h.backend_store(updater, key, value, codec, ttl_secs, now_us);
                     Ok(())
                 }
                 None => Err(NetError::NoRoute(dest)),
             };
         }
+        // The unbatched put frame carries no codec tag: the value travels
+        // raw and the serving side re-sniffs it (uncompressed payloads are
+        // sniffable); a JSON-pinned connection transcodes in `exchange`.
         let request = Frame::StorePut {
             updater: updater.to_string(),
             key: key.to_vec(),
@@ -864,7 +932,12 @@ impl Transport for TcpTransport {
         let asked = items.len();
         let request = Frame::StoreGetBatch { items, now_us };
         match self.exchange(dest, &request, true)? {
-            Some(Frame::StoreValueBatch { values }) if values.len() == asked => Ok(values),
+            Some(Frame::StoreValueBatch { values }) if values.len() == asked => {
+                // The trait's get path is untagged — decompressed values
+                // are sniffable, so callers recover the codec from the
+                // bytes themselves.
+                Ok(values.into_iter().map(|v| v.map(|(bytes, _)| bytes)).collect())
+            }
             Some(Frame::StoreValueBatch { values }) => Err(NetError::Protocol(format!(
                 "StoreValueBatch length mismatch: asked {asked}, got {}",
                 values.len()
@@ -960,6 +1033,10 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
         Err(_) => return,
     };
     let mut writer = stream;
+    // Negotiated by the peer's hello: true only for a v5 hello offering
+    // MBF on a transport that also offers it. Replies on a JSON
+    // connection get their MBF payloads transcoded before the write.
+    let mut peer_mbf = false;
     loop {
         if stop.load(Ordering::Acquire) {
             return; // closes both halves → peers see RST on next send
@@ -989,7 +1066,20 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
         let Some(handler) = transport.handler() else { return };
         let local = transport.local;
         let reply = match frame {
-            Frame::Hello { .. } => None,
+            Frame::Hello { version, codecs, .. } => {
+                if version >= 5 {
+                    // v5 dialers block on this ack right after their
+                    // hello; pre-v5 dialers never read one (any byte on
+                    // an event connection reads as a dead peer to them),
+                    // so the ack is gated on the hello version.
+                    let ours = transport.codec.offers_mbf();
+                    peer_mbf = ours && codecs & CODEC_MBF != 0;
+                    Some(Frame::HelloAck { codecs: if ours { CODEC_MBF } else { 0 } })
+                } else {
+                    peer_mbf = false;
+                    None
+                }
+            }
             Frame::Event(ev) => {
                 // Delivery failures here are local queue-policy outcomes;
                 // the sender's §4.3 signal is the connection, not a NACK.
@@ -1033,7 +1123,10 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
                 Some(Frame::SlateValue { value: handler.read_local_slate(local, &updater, &key) })
             }
             Frame::StorePut { updater, key, value, ttl_secs, now_us } => {
-                handler.backend_store(&updater, &key, &value, ttl_secs, now_us);
+                // The unbatched frame is untagged; the payload arrives
+                // uncompressed, so its codec is recovered by sniffing.
+                let codec = Codec::sniff(&value);
+                handler.backend_store(&updater, &key, &value, codec, ttl_secs, now_us);
                 Some(Frame::StoreAck)
             }
             Frame::StoreGet { updater, key, now_us } => {
@@ -1043,7 +1136,17 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
                 Some(Frame::StoreAckBatch { ok: handler.backend_store_many(&items, now_us) })
             }
             Frame::StoreGetBatch { items, now_us } => {
-                Some(Frame::StoreValueBatch { values: handler.backend_load_many(&items, now_us) })
+                let values = handler
+                    .backend_load_many(&items, now_us)
+                    .into_iter()
+                    .map(|v| {
+                        v.map(|bytes| {
+                            let codec = Codec::sniff(&bytes);
+                            (bytes, codec)
+                        })
+                    })
+                    .collect();
+                Some(Frame::StoreValueBatch { values })
             }
             Frame::Reintroduce { machine } => {
                 // A restarted incarnation re-identified itself: forget our
@@ -1054,7 +1157,8 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
                 Some(Frame::ReintroduceAck { epoch: handler.handle_reintroduce(machine) })
             }
             // Reply kinds arriving as requests: protocol violation.
-            Frame::SlateValue { .. }
+            Frame::HelloAck { .. }
+            | Frame::SlateValue { .. }
             | Frame::StoreValue { .. }
             | Frame::StoreAck
             | Frame::StoreAckBatch { .. }
@@ -1064,6 +1168,12 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
             | Frame::ReintroduceAck { .. } => return,
         };
         if let Some(reply) = reply {
+            let reply = if peer_mbf {
+                reply
+            } else {
+                // JSON connection: replies must not carry MBF payloads.
+                reply.json_downgraded().unwrap_or(reply)
+            };
             if reply.write_to(&mut writer).is_err() {
                 return;
             }
@@ -1076,6 +1186,8 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
 
+    type TaggedCells = std::collections::HashMap<Vec<u8>, (Vec<u8>, Codec)>;
+
     struct EchoHandler {
         delivered: AtomicUsize,
         reports: Mutex<Vec<(MachineId, u64)>>,
@@ -1083,7 +1195,7 @@ mod tests {
         joins: Mutex<Vec<MachineId>>,
         memberships: Mutex<Vec<MembershipUpdate>>,
         send_failures: Mutex<Vec<(MachineId, usize)>>,
-        store: Mutex<std::collections::HashMap<Vec<u8>, Vec<u8>>>,
+        store: Mutex<TaggedCells>,
     }
 
     impl EchoHandler {
@@ -1124,11 +1236,19 @@ mod tests {
         fn read_local_slate(&self, _dest: MachineId, updater: &str, key: &[u8]) -> Option<Vec<u8>> {
             (updater == "U1" && key == b"walmart").then(|| b"7".to_vec())
         }
-        fn backend_store(&self, _u: &str, key: &[u8], value: &[u8], _ttl: Option<u64>, _now: u64) {
-            self.store.lock().insert(key.to_vec(), value.to_vec());
+        fn backend_store(
+            &self,
+            _u: &str,
+            key: &[u8],
+            value: &[u8],
+            codec: Codec,
+            _ttl: Option<u64>,
+            _now: u64,
+        ) {
+            self.store.lock().insert(key.to_vec(), (value.to_vec(), codec));
         }
         fn backend_load(&self, _u: &str, key: &[u8], _now: u64) -> Option<Vec<u8>> {
-            self.store.lock().get(key).cloned()
+            self.store.lock().get(key).map(|(v, _)| v.clone())
         }
     }
 
@@ -1272,7 +1392,7 @@ mod tests {
         assert_eq!(t0.read_slate(1, "U1", b"walmart").unwrap(), Some(b"7".to_vec()));
         assert_eq!(t0.read_slate(1, "U1", b"absent").unwrap(), None);
         // Store ops served by node 0's handler, called from node 1.
-        t1.store_put(0, "U1", b"k1", b"v1", None, 0).unwrap();
+        t1.store_put(0, "U1", b"k1", b"v1", Codec::Json, None, 0).unwrap();
         assert_eq!(t1.store_get(0, "U1", b"k1", 0).unwrap(), Some(b"v1".to_vec()));
         assert_eq!(t1.store_get(0, "U1", b"nope", 0).unwrap(), None);
         assert_eq!(h0.store.lock().len(), 1);
@@ -1288,6 +1408,7 @@ mod tests {
                 key: format!("k{i}").into_bytes(),
                 value: format!("v{i}").into_bytes().into(),
                 ttl_secs: None,
+                codec: Codec::Json,
             })
             .collect();
         let ok = t1.store_put_many(0, items, 5).unwrap();
@@ -1408,6 +1529,121 @@ mod tests {
         assert!(saw_unreachable, "dead peer never surfaced as Unreachable");
         assert!(t0.stats().send_failures.load(Ordering::Relaxed) >= 1);
         let _ = h1;
+    }
+
+    fn mbf_value() -> Vec<u8> {
+        muppet_core::Json::parse(r#"{"count":42,"loc":"walmart"}"#).unwrap().to_mbf().unwrap()
+    }
+
+    #[test]
+    fn v5_peers_negotiate_mbf_and_tags_survive_the_wire() {
+        let (_t0, t1, h0, _h1, _l0, _l1) = pair();
+        let raw = mbf_value();
+        let items = vec![
+            StorePutItem {
+                updater: "U1".into(),
+                key: b"bin".to_vec(),
+                value: raw.clone().into(),
+                ttl_secs: None,
+                codec: Codec::Mbf,
+            },
+            StorePutItem {
+                updater: "U1".into(),
+                key: b"txt".to_vec(),
+                value: bytes::Bytes::from_static(b"7"),
+                ttl_secs: None,
+                codec: Codec::Json,
+            },
+        ];
+        let ok = t1.store_put_many(0, items, 1).unwrap();
+        assert_eq!(ok, vec![true, true]);
+        assert!(t1.stats().mbf_connects.load(Ordering::Relaxed) >= 1, "handshake negotiated MBF");
+        let store = h0.store.lock();
+        assert_eq!(store.get(&b"bin"[..].to_vec()).unwrap(), &(raw.clone(), Codec::Mbf));
+        assert_eq!(store.get(&b"txt"[..].to_vec()).unwrap(), &(b"7".to_vec(), Codec::Json));
+        drop(store);
+        // The tagged value batch carries the MBF bytes back verbatim.
+        let gets = vec![
+            StoreGetItem { updater: "U1".into(), key: b"bin".to_vec() },
+            StoreGetItem { updater: "U1".into(), key: b"txt".to_vec() },
+        ];
+        let values = t1.store_get_many(0, gets, 2).unwrap();
+        assert_eq!(values[0].as_deref(), Some(&raw[..]));
+        assert_eq!(values[1].as_deref(), Some(&b"7"[..]));
+    }
+
+    #[test]
+    fn json_pinned_dialer_acts_like_a_v4_peer() {
+        // t1 is pinned to JSON: it dials legacy v4 hellos (no ack read)
+        // and must transcode MBF payloads before they reach the wire —
+        // the unit-level mixed-version scenario.
+        let topo = Topology::loopback_ephemeral(2, false).unwrap();
+        let t0 = TcpTransport::new(topo.clone(), 0).unwrap();
+        let t1 = TcpTransport::new_with_codec(topo, 1, BatchConfig::default(), CodecChoice::Json)
+            .unwrap();
+        let h0 = EchoHandler::new();
+        let h1 = EchoHandler::new();
+        t0.register(Arc::downgrade(&h0) as Weak<dyn ClusterHandler>);
+        t1.register(Arc::downgrade(&h1) as Weak<dyn ClusterHandler>);
+        let _l0 = t0.start_listener().unwrap();
+
+        let raw = mbf_value();
+        let items = vec![StorePutItem {
+            updater: "U1".into(),
+            key: b"bin".to_vec(),
+            value: raw.clone().into(),
+            ttl_secs: None,
+            codec: Codec::Mbf,
+        }];
+        let ok = t1.store_put_many(0, items, 1).unwrap();
+        assert_eq!(ok, vec![true]);
+        assert_eq!(t1.stats().mbf_connects.load(Ordering::Relaxed), 0);
+        let store = h0.store.lock();
+        let (stored, codec) = store.get(&b"bin"[..].to_vec()).unwrap().clone();
+        drop(store);
+        assert_eq!(codec, Codec::Json, "the downgrade strips the MBF tag");
+        assert_eq!(
+            std::str::from_utf8(&stored).unwrap(),
+            r#"{"count":42,"loc":"walmart"}"#,
+            "the payload crossed the wire as canonical JSON text"
+        );
+        // Event values downgrade the same way on the batching path.
+        let mut ev = wire_event();
+        ev.event.value = raw.into();
+        t1.send_event(0, ev).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h0.delivered.load(Ordering::Relaxed) < 1 {
+            assert!(std::time::Instant::now() < deadline, "event not delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn mbf_dialer_against_json_pinned_server_falls_back_to_json() {
+        // The server offers nothing (JSON-pinned), so the v5 dialer's
+        // handshake negotiates JSON and MBF payloads are transcoded.
+        let topo = Topology::loopback_ephemeral(2, false).unwrap();
+        let t0 = TcpTransport::new_with_codec(
+            topo.clone(),
+            0,
+            BatchConfig::default(),
+            CodecChoice::Json,
+        )
+        .unwrap();
+        let t1 = TcpTransport::new(topo, 1).unwrap();
+        let h0 = EchoHandler::new();
+        let h1 = EchoHandler::new();
+        t0.register(Arc::downgrade(&h0) as Weak<dyn ClusterHandler>);
+        t1.register(Arc::downgrade(&h1) as Weak<dyn ClusterHandler>);
+        let _l0 = t0.start_listener().unwrap();
+
+        let raw = mbf_value();
+        t1.store_put(0, "U1", b"bin", &raw, Codec::Mbf, None, 1).unwrap();
+        assert_eq!(t1.stats().mbf_connects.load(Ordering::Relaxed), 0, "ack granted nothing");
+        let store = h0.store.lock();
+        let (stored, codec) = store.get(&b"bin"[..].to_vec()).unwrap().clone();
+        assert_eq!(codec, Codec::Json);
+        assert_eq!(std::str::from_utf8(&stored).unwrap(), r#"{"count":42,"loc":"walmart"}"#);
     }
 
     #[test]

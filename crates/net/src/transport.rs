@@ -22,6 +22,8 @@
 use std::fmt;
 use std::sync::{Arc, OnceLock, Weak};
 
+use muppet_core::Codec;
+
 use crate::frame::{MembershipUpdate, StoreGetItem, StorePutItem, WireEvent};
 
 /// Cluster-wide machine index (ring member id).
@@ -100,12 +102,15 @@ pub trait ClusterHandler: Send + Sync + 'static {
     fn read_local_slate(&self, dest: MachineId, updater: &str, key: &[u8]) -> Option<Vec<u8>>;
 
     /// Persist slate bytes into the locally hosted store, if this node
-    /// hosts one.
+    /// hosts one. `codec` is the payload format tag persisted with the
+    /// cell (stored values may be compressed, so it cannot be re-sniffed
+    /// at rest).
     fn backend_store(
         &self,
         _updater: &str,
         _key: &[u8],
         _value: &[u8],
+        _codec: Codec,
         _ttl_secs: Option<u64>,
         _now_us: u64,
     ) {
@@ -125,7 +130,14 @@ pub trait ClusterHandler: Send + Sync + 'static {
         items
             .iter()
             .map(|item| {
-                self.backend_store(&item.updater, &item.key, &item.value, item.ttl_secs, now_us);
+                self.backend_store(
+                    &item.updater,
+                    &item.key,
+                    &item.value,
+                    item.codec,
+                    item.ttl_secs,
+                    now_us,
+                );
                 true
             })
             .collect()
@@ -208,13 +220,17 @@ pub trait Transport: Send + Sync + 'static {
         key: &[u8],
     ) -> Result<Option<Vec<u8>>, NetError>;
 
-    /// Persist slate bytes on the store-hosting machine `dest`.
+    /// Persist slate bytes on the store-hosting machine `dest`. `codec`
+    /// tags the payload format; transports whose connection did not
+    /// negotiate MBF transcode an MBF value to JSON text on the way out.
+    #[allow(clippy::too_many_arguments)]
     fn store_put(
         &self,
         dest: MachineId,
         updater: &str,
         key: &[u8],
         value: &[u8],
+        codec: Codec,
         ttl_secs: Option<u64>,
         now_us: u64,
     ) -> Result<(), NetError>;
@@ -245,8 +261,16 @@ pub trait Transport: Send + Sync + 'static {
         Ok(items
             .iter()
             .map(|item| {
-                self.store_put(dest, &item.updater, &item.key, &item.value, item.ttl_secs, now_us)
-                    .is_ok()
+                self.store_put(
+                    dest,
+                    &item.updater,
+                    &item.key,
+                    &item.value,
+                    item.codec,
+                    item.ttl_secs,
+                    now_us,
+                )
+                .is_ok()
             })
             .collect())
     }
@@ -400,12 +424,13 @@ impl Transport for InProcessTransport {
         updater: &str,
         key: &[u8],
         value: &[u8],
+        codec: Codec,
         ttl_secs: Option<u64>,
         now_us: u64,
     ) -> Result<(), NetError> {
         match self.handler() {
             Some(h) => {
-                h.backend_store(updater, key, value, ttl_secs, now_us);
+                h.backend_store(updater, key, value, codec, ttl_secs, now_us);
                 Ok(())
             }
             None => Err(NetError::NoRoute(dest)),

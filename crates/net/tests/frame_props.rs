@@ -8,6 +8,7 @@ use std::io::Cursor;
 
 use muppet_core::codec;
 use muppet_core::event::{Event, Key};
+use muppet_core::Codec;
 use muppet_net::frame::{
     Frame, MembershipPhase, MembershipUpdate, StoreGetItem, StorePutItem, WireEvent, MAX_FORWARDS,
     MAX_FRAME_BYTES,
@@ -85,18 +86,24 @@ fn arb_opt_bytes() -> impl Strategy<Value = Option<Vec<u8>>> {
     proptest::option::of(proptest::collection::vec(any::<u8>(), 0..64))
 }
 
+fn arb_codec() -> impl Strategy<Value = Codec> {
+    prop_oneof![Just(Codec::Json), Just(Codec::Mbf)]
+}
+
 fn arb_store_put_item() -> impl Strategy<Value = StorePutItem> {
     (
         "[a-z][a-z0-9_-]{0,15}",
         proptest::collection::vec(any::<u8>(), 0..48),
         proptest::collection::vec(any::<u8>(), 0..128),
         proptest::option::of(any::<u64>()),
+        arb_codec(),
     )
-        .prop_map(|(updater, key, value, ttl_secs)| StorePutItem {
+        .prop_map(|(updater, key, value, ttl_secs, codec)| StorePutItem {
             updater,
             key,
             value: value.into(),
             ttl_secs,
+            codec,
         })
 }
 
@@ -108,7 +115,14 @@ fn arb_store_get_item() -> impl Strategy<Value = StoreGetItem> {
 fn arb_frame() -> BoxedStrategy<Frame> {
     let updater = "[a-z][a-z0-9_-]{0,15}";
     prop_oneof![
-        (0usize..64).prop_map(|sender| Frame::Hello { sender }),
+        // A hello's codecs byte only exists on the wire from v5 up, so
+        // pre-v5 hellos must carry codecs = 0 to round-trip exactly.
+        (0usize..64, 3u64..=5, any::<bool>()).prop_map(|(sender, version, mbf)| Frame::Hello {
+            sender,
+            version,
+            codecs: if version >= 5 && mbf { 1 } else { 0 },
+        }),
+        (any::<bool>()).prop_map(|mbf| Frame::HelloAck { codecs: u8::from(mbf) }),
         arb_wire_event().prop_map(Frame::Event),
         proptest::collection::vec(arb_wire_event(), 0..12).prop_map(Frame::EventBatch),
         (0usize..64, any::<u64>())
@@ -145,8 +159,11 @@ fn arb_frame() -> BoxedStrategy<Frame> {
         proptest::collection::vec(any::<bool>(), 0..32).prop_map(|ok| Frame::StoreAckBatch { ok }),
         (proptest::collection::vec(arb_store_get_item(), 0..8), any::<u64>())
             .prop_map(|(items, now_us)| Frame::StoreGetBatch { items, now_us }),
-        proptest::collection::vec(arb_opt_bytes(), 0..8)
-            .prop_map(|values| Frame::StoreValueBatch { values }),
+        proptest::collection::vec(
+            proptest::option::of((proptest::collection::vec(any::<u8>(), 0..64), arb_codec())),
+            0..8
+        )
+        .prop_map(|values| Frame::StoreValueBatch { values }),
     ]
     .boxed()
 }
@@ -249,7 +266,7 @@ proptest! {
 
     #[test]
     fn absurd_store_batch_counts_are_rejected_without_allocating(
-        kind in prop_oneof![Just(16u8), Just(17), Just(18), Just(19)],
+        kind in prop_oneof![Just(16u8), Just(17), Just(18), Just(19), Just(22), Just(23)],
         count in any::<u64>(),
         body in proptest::collection::vec(any::<u8>(), 0..32),
     ) {

@@ -23,6 +23,7 @@ use muppet_core::hash::fx64_pair;
 use muppet_core::slate::Slate;
 use muppet_core::sync::{Condvar, Mutex};
 use muppet_core::workflow::OpId;
+use muppet_core::Codec;
 use muppet_obs::{HeavyHitter, HistogramSnapshot, Logger, Sampler, SpaceSaving};
 use muppet_slatestore::cluster::StoreCluster;
 use muppet_slatestore::types::CellKey;
@@ -73,6 +74,9 @@ pub struct FlushItem {
     pub key: Key,
     /// The slate bytes at snapshot time.
     pub bytes: Bytes,
+    /// Format of `bytes` (the cache materializes in the store's codec;
+    /// raw/legacy payloads stay [`Codec::Json`]).
+    pub codec: Codec,
     /// TTL configured for this updater's slates.
     pub ttl_secs: Option<u64>,
 }
@@ -80,17 +84,22 @@ pub struct FlushItem {
 /// Where cache misses load from and flushes write to. Implemented by the
 /// slate-store cluster; tests may substitute an in-memory backend.
 pub trait SlateBackend: Send + Sync + 'static {
-    /// Load the persisted slate bytes for ⟨updater, key⟩, if any.
+    /// Load the persisted slate bytes for ⟨updater, key⟩, if any. Bytes
+    /// come back uncompressed in whatever codec they were stored under —
+    /// the MBF magic byte is sniffable, so no tag travels on this path.
     fn load(&self, updater: &str, key: &Key, now_us: u64) -> Option<Vec<u8>>;
-    /// Persist the slate bytes for ⟨updater, key⟩. Returns `false` when
-    /// the write did not reach the store (quorum failure, dead store
-    /// host): the caller must keep the slate dirty so a later flush
-    /// retries — dropping it would silently lose the update.
+    /// Persist the slate bytes for ⟨updater, key⟩, tagged with their
+    /// codec (the store may compress them, after which the payload is no
+    /// longer sniffable — the tag must travel explicitly). Returns
+    /// `false` when the write did not reach the store (quorum failure,
+    /// dead store host): the caller must keep the slate dirty so a later
+    /// flush retries — dropping it would silently lose the update.
     fn store(
         &self,
         updater: &str,
         key: &Key,
         bytes: &[u8],
+        codec: Codec,
         ttl_secs: Option<u64>,
         now_us: u64,
     ) -> bool;
@@ -104,7 +113,9 @@ pub trait SlateBackend: Send + Sync + 'static {
     fn store_many(&self, items: &[FlushItem], now_us: u64) -> Vec<bool> {
         items
             .iter()
-            .map(|item| self.store(&item.updater, &item.key, &item.bytes, item.ttl_secs, now_us))
+            .map(|item| {
+                self.store(&item.updater, &item.key, &item.bytes, item.codec, item.ttl_secs, now_us)
+            })
             .collect()
     }
 
@@ -130,6 +141,7 @@ impl SlateBackend for NullBackend {
         _updater: &str,
         _key: &Key,
         _bytes: &[u8],
+        _codec: Codec,
         _ttl: Option<u64>,
         _now_us: u64,
     ) -> bool {
@@ -152,23 +164,25 @@ impl SlateBackend for StoreCluster {
         updater: &str,
         key: &Key,
         bytes: &[u8],
+        codec: Codec,
         ttl_secs: Option<u64>,
         now_us: u64,
     ) -> bool {
         let cell_key = CellKey::new(key.as_bytes(), updater.as_bytes());
         // A write failure keeps the slate dirty; a later flush retries.
-        self.put(&cell_key, bytes, ttl_secs, now_us).is_ok()
+        self.put_tagged(&cell_key, bytes, codec, ttl_secs, now_us).is_ok()
     }
 
     fn store_many(&self, items: &[FlushItem], now_us: u64) -> Vec<bool> {
         // One `put_many`: cells grouped per storage node, each node's run
         // WAL-group-committed (one fsync per batch under `sync_each`).
-        let cells: Vec<(CellKey, &[u8], Option<u64>)> = items
+        let cells: Vec<(CellKey, &[u8], Codec, Option<u64>)> = items
             .iter()
             .map(|item| {
                 (
                     CellKey::new(item.key.as_bytes(), item.updater.as_bytes()),
                     item.bytes.as_ref(),
+                    item.codec,
                     item.ttl_secs,
                 )
             })
@@ -372,6 +386,10 @@ pub struct SlateCache {
     shard_mask: u64,
     policy: FlushPolicy,
     backend: Arc<dyn SlateBackend>,
+    /// Codec flushes materialize slates in before handing bytes to the
+    /// backend ([`muppet_core::CodecChoice::store_codec`] resolves the
+    /// engine's wire-codec setting to this).
+    store_codec: Codec,
     /// Dirty slates coalesced into one `store_many` call at most.
     flush_batch_max: usize,
     counters: CacheCounters,
@@ -438,6 +456,7 @@ impl SlateCache {
             shard_mask: (n - 1) as u64,
             policy,
             backend,
+            store_codec: Codec::Json,
             flush_batch_max: DEFAULT_FLUSH_BATCH_MAX,
             counters: CacheCounters::default(),
             flush_batch_hist: Histogram::new(),
@@ -471,6 +490,15 @@ impl SlateCache {
         let samplers: Vec<Sampler> = (0..n).map(|_| Sampler::every(sample_n)).collect();
         self.hot = sketches.into_boxed_slice();
         self.hot_samplers = samplers.into_boxed_slice();
+        self
+    }
+
+    /// Set the codec flushes materialize slates in before they reach the
+    /// backend. Under [`Codec::Mbf`] dirty JSON-document slates encode to
+    /// binary once per flush; raw/legacy payloads still go out verbatim
+    /// (tagged JSON).
+    pub fn with_store_codec(mut self, codec: Codec) -> Self {
+        self.store_codec = codec;
         self
     }
 
@@ -592,7 +620,16 @@ impl SlateCache {
         if loaded.is_some() {
             self.counters.store_loads.fetch_add(1, Ordering::Relaxed);
         }
-        let slate = loaded.map(Slate::from_bytes).unwrap_or_default();
+        // The load path is untagged (the store decompresses before
+        // returning), so the payload's codec is sniffed from its first
+        // byte: MBF slates stay undecoded binary until an accessor needs
+        // the document, JSON slates behave exactly as before.
+        let slate = loaded
+            .map(|data| {
+                let codec = Codec::sniff(&data);
+                Slate::from_stored(data, codec)
+            })
+            .unwrap_or_default();
         let flushed_version = slate.version();
         let fresh = Arc::new(SlateSlot {
             op,
@@ -791,13 +828,9 @@ impl SlateCache {
             // flush's CAS sees the newer version and re-registers it.)
             self.counters.store_round_trips.fetch_add(1, Ordering::Relaxed);
             let t0 = Instant::now();
-            let ok = self.backend.store(
-                &slot.updater,
-                &slot.key,
-                state.slate.bytes(),
-                slot.ttl_secs,
-                now_us,
-            );
+            let (bytes, codec) = state.slate.materialize(self.store_codec);
+            let ok =
+                self.backend.store(&slot.updater, &slot.key, &bytes, codec, slot.ttl_secs, now_us);
             self.flush_latency.record(t0.elapsed().as_micros() as u64);
             if ok {
                 state.flushed_version = state.slate.version();
@@ -827,7 +860,7 @@ impl SlateCache {
 
     /// One flush attempt of one slot (see [`SlateCache::flush_slot`]).
     fn try_flush_slot(&self, slot: &Arc<SlateSlot>, now_us: u64) -> FlushOutcome {
-        let (bytes, version) = {
+        let ((bytes, codec), version) = {
             let mut state = slot.state.lock();
             if !state.dirty() {
                 return FlushOutcome::Done;
@@ -843,11 +876,11 @@ impl SlateCache {
             // sweep does not double-write it; any write that lands after
             // this lock drops re-registers via `note_write`.
             state.indexed = false;
-            (state.slate.to_shared(), state.slate.version())
+            (state.slate.materialize(self.store_codec), state.slate.version())
         };
         self.counters.store_round_trips.fetch_add(1, Ordering::Relaxed);
         let t0 = Instant::now();
-        let ok = self.backend.store(&slot.updater, &slot.key, &bytes, slot.ttl_secs, now_us);
+        let ok = self.backend.store(&slot.updater, &slot.key, &bytes, codec, slot.ttl_secs, now_us);
         self.flush_latency.record(t0.elapsed().as_micros() as u64);
         if ok {
             let mut state = slot.state.lock();
@@ -1000,7 +1033,7 @@ impl SlateCache {
             let mut batch_bytes = 0usize;
             while at < candidates.len() && items.len() < self.flush_batch_max {
                 let slot = &candidates[at];
-                let (bytes, version) = {
+                let ((bytes, codec), version) = {
                     let mut state = slot.state.lock();
                     state.indexed = false; // this sweep owns the snapshot
                     if !state.dirty() {
@@ -1017,7 +1050,7 @@ impl SlateCache {
                         continue;
                     }
                     state.flushing = true;
-                    (state.slate.to_shared(), state.slate.version())
+                    (state.slate.materialize(self.store_codec), state.slate.version())
                 };
                 if !items.is_empty() && batch_bytes + bytes.len() > FLUSH_BATCH_SOFT_BYTES {
                     // Close this batch; the slot opens the next one. The
@@ -1035,6 +1068,7 @@ impl SlateCache {
                     updater: Arc::clone(&slot.updater),
                     key: slot.key.clone(),
                     bytes,
+                    codec,
                     ttl_secs: slot.ttl_secs,
                 });
                 meta.push((slot, version));
@@ -1196,6 +1230,7 @@ mod tests {
             updater: &str,
             key: &Key,
             bytes: &[u8],
+            _codec: Codec,
             _ttl: Option<u64>,
             _now: u64,
         ) -> bool {
@@ -1233,13 +1268,14 @@ mod tests {
             updater: &str,
             key: &Key,
             bytes: &[u8],
+            codec: Codec,
             ttl: Option<u64>,
             now: u64,
         ) -> bool {
             loop {
                 let left = self.failures_left.load(Ordering::Acquire);
                 if left == 0 {
-                    return self.inner.store(updater, key, bytes, ttl, now);
+                    return self.inner.store(updater, key, bytes, codec, ttl, now);
                 }
                 if self
                     .failures_left
@@ -1290,12 +1326,13 @@ mod tests {
             updater: &str,
             key: &Key,
             bytes: &[u8],
+            codec: Codec,
             ttl: Option<u64>,
             now: u64,
         ) -> bool {
             let _ = self.entered.send(());
             let _ = self.release.lock().recv(); // park until released
-            self.inner.store(updater, key, bytes, ttl, now)
+            self.inner.store(updater, key, bytes, codec, ttl, now)
         }
     }
 
@@ -1463,7 +1500,7 @@ mod tests {
     fn store_loads_resume_counters() {
         // §4.2: restart warms the cache from the store.
         let backend = Arc::new(MemBackend::default());
-        backend.store("U1", &Key::from("persisted"), b"42", None, 0);
+        backend.store("U1", &Key::from("persisted"), b"42", Codec::Json, None, 0);
         let cache = SlateCache::new(10, FlushPolicy::OnEvict, Arc::clone(&backend) as _);
         let slot = cache.get_or_load(0, &updater_name(), &Key::from("persisted"), None, 0);
         assert_eq!(slot.state.lock().slate.counter(), 42);
@@ -1816,7 +1853,7 @@ mod tests {
         // Single-flight read-through: 8 threads missing on the same
         // ⟨op, key⟩ must issue ONE backend load between them.
         let (backend, _entered, _release) = SlowBackend::gated();
-        backend.inner.store("U1", &Key::from("hot"), b"77", None, 0);
+        backend.inner.store("U1", &Key::from("hot"), b"77", Codec::Json, None, 0);
         let cache = Arc::new(SlateCache::with_shards(
             100,
             FlushPolicy::OnEvict,

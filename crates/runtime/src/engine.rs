@@ -37,6 +37,7 @@ use muppet_core::event::{Event, Key, StreamId};
 use muppet_core::operator::{Mapper, Updater, VecEmitter};
 use muppet_core::sync::{Condvar, Mutex, RwLock};
 use muppet_core::workflow::{OpId, OpKind, Workflow};
+use muppet_core::{Codec, CodecChoice, Json};
 use muppet_net::frame::{MembershipPhase, MembershipUpdate, WireEvent, MAX_FORWARDS};
 use muppet_net::tcp::{BatchConfig, TcpListenerHandle, TcpTransport};
 use muppet_net::topology::{NodeSpec, Topology};
@@ -207,6 +208,15 @@ pub struct EngineConfig {
     /// Dead-letter queue capacity (poison events parked per machine
     /// before the oldest letters are evicted).
     pub dlq_capacity: usize,
+    /// Slate/wire byte representation. `Auto` (default) offers MBF in the
+    /// TCP hello and stores MBF at rest, falling back to JSON per
+    /// connection when the peer predates protocol v5 or is pinned to
+    /// JSON. `Json` pins everything to the pre-v5 text wire (the rolling-
+    /// upgrade escape hatch); `Mbf` additionally transcodes
+    /// container-shaped external event values to MBF at the ingest edge
+    /// (one parse+encode per event buys ~30% fewer bytes WAL-appended and
+    /// framed — see x22). HTTP endpoints always speak JSON.
+    pub wire_codec: CodecChoice,
 }
 
 impl Default for EngineConfig {
@@ -241,6 +251,7 @@ impl Default for EngineConfig {
             ingest_wal: None,
             ingest_sync_each: false,
             dlq_capacity: DEFAULT_DLQ_CAPACITY,
+            wire_codec: CodecChoice::Auto,
         }
     }
 }
@@ -282,6 +293,7 @@ impl EngineConfig {
             ingest_wal: None,
             ingest_sync_each: false,
             dlq_capacity: DEFAULT_DLQ_CAPACITY,
+            wire_codec: CodecChoice::Auto,
         }
     }
 }
@@ -607,6 +619,7 @@ impl Machine {
                     cfg.cache_shards.max(1),
                 )
                 .with_flush_batch(cfg.flush_batch_max)
+                .with_store_codec(cfg.wire_codec.store_codec())
                 .with_hot_keys(obs.hot_key_capacity, obs.hot_sample_n)
                 .with_flush_latency(Arc::clone(&obs.flush_latency))
                 .with_logger(Arc::clone(&obs.logger)),
@@ -640,6 +653,7 @@ impl Machine {
                     Some(Arc::new(
                         SlateCache::new(per_worker_cap, cfg.flush, Arc::clone(backend))
                             .with_flush_batch(cfg.flush_batch_max)
+                            .with_store_codec(cfg.wire_codec.store_codec())
                             .with_hot_keys(obs.hot_key_capacity, obs.hot_sample_n)
                             .with_flush_latency(Arc::clone(&obs.flush_latency))
                             .with_logger(Arc::clone(&obs.logger)),
@@ -917,6 +931,7 @@ impl Shared {
             INGEST_CURSOR_COLUMN,
             &self.ingest_cursor_key(),
             cursor.to_string().as_bytes(),
+            Codec::Json,
             None,
             self.now_us(),
         )
@@ -965,8 +980,9 @@ impl Engine {
                     // backlog participates in the same throttle budget.
                     queue_capacity: cfg.queue_capacity.max(1),
                 };
-                let tcp = TcpTransport::new_with_batching(topology.clone(), *local, batch)
-                    .map_err(Error::Config)?;
+                let tcp =
+                    TcpTransport::new_with_codec(topology.clone(), *local, batch, cfg.wire_codec)
+                        .map_err(Error::Config)?;
                 (Arc::clone(&tcp) as Arc<dyn Transport>, Some(tcp))
             }
         };
@@ -1345,11 +1361,12 @@ impl Engine {
     /// updater has a chance to catch up." Internal events never block
     /// (§5's deadlock argument), so a *downstream* hotspot surfaces here,
     /// at the source, via the global in-flight count.
-    pub fn submit(&self, event: Event) -> Result<()> {
+    pub fn submit(&self, mut event: Event) -> Result<()> {
         let stream = event.stream.clone();
         if !self.shared.wf.is_external(stream.as_str()) {
             return Err(Error::ExternalStreamViolation(stream.as_str().to_string()));
         }
+        self.mbf_ingest(&mut event);
         if self.shared.cfg.overflow == OverflowPolicy::SourceThrottle {
             let budget = self.shared.total_queue_budget() as i64;
             // The in-flight count includes the transport's outbound
@@ -1389,11 +1406,14 @@ impl Engine {
     /// per event. Source throttling is checked once at the head of the
     /// run; like `submit`, events are only accepted from external
     /// streams.
-    pub fn submit_many(&self, events: Vec<Event>) -> Result<()> {
+    pub fn submit_many(&self, mut events: Vec<Event>) -> Result<()> {
         for event in &events {
             if !self.shared.wf.is_external(event.stream.as_str()) {
                 return Err(Error::ExternalStreamViolation(event.stream.as_str().to_string()));
             }
+        }
+        for event in &mut events {
+            self.mbf_ingest(event);
         }
         if self.shared.cfg.overflow == OverflowPolicy::SourceThrottle {
             let budget = self.shared.total_queue_budget() as i64;
@@ -1418,6 +1438,32 @@ impl Engine {
             self.dispatch_accepted(event);
         }
         Ok(())
+    }
+
+    /// Ingest-edge transcoding: under `CodecChoice::Mbf` (explicit
+    /// opt-in), container-shaped external event values (JSON
+    /// objects/arrays) are rewritten to MBF once here — before the
+    /// ingest-WAL append, so a crash replay redispatches the identical
+    /// bytes — and every downstream `Json::from_payload` skips the text
+    /// parser. This trades one parse+encode per event at the ingest edge
+    /// for ~30% fewer bytes WAL-appended and framed downstream (x22), so
+    /// it is not part of `Auto`: the default negotiates binary where it
+    /// is free (slate materialization, store frames) and leaves submitted
+    /// values untouched. Scalar and plain-text values (`"42"`, raw URLs)
+    /// pass through untouched in every mode: applications read those via
+    /// `value_str`, and the reference engine must observe the same text.
+    fn mbf_ingest(&self, event: &mut Event) {
+        if self.shared.cfg.wire_codec != CodecChoice::Mbf {
+            return;
+        }
+        if !matches!(event.value.first(), Some(b'{') | Some(b'[')) {
+            return;
+        }
+        if let Ok(json) = Json::parse_bytes(&event.value) {
+            if let Ok(mbf) = json.to_mbf() {
+                event.value = mbf.into();
+            }
+        }
     }
 
     /// Fan an accepted (validated, WAL-durable) external event out to its
@@ -3277,12 +3323,13 @@ impl ClusterHandler for EngineHandler {
         updater: &str,
         key: &[u8],
         value: &[u8],
+        codec: Codec,
         ttl_secs: Option<u64>,
         now_us: u64,
     ) {
         if let Some(store) = &self.0.host_store {
             let key = Key::from(key);
-            SlateBackend::store(&**store, updater, &key, value, ttl_secs, now_us);
+            SlateBackend::store(&**store, updater, &key, value, codec, ttl_secs, now_us);
         }
     }
 
@@ -3307,6 +3354,7 @@ impl ClusterHandler for EngineHandler {
                 key: Key::from(item.key.as_slice()),
                 bytes: item.value.clone(),
                 ttl_secs: item.ttl_secs,
+                codec: item.codec,
             })
             .collect();
         SlateBackend::store_many(&**store, &flush, now_us)

@@ -13,6 +13,7 @@
 use std::sync::Arc;
 
 use muppet_core::event::Key;
+use muppet_core::Codec;
 use muppet_net::frame::{StoreGetItem, StorePutItem};
 use muppet_net::transport::{MachineId, Transport};
 
@@ -41,11 +42,12 @@ impl SlateBackend for RemoteBackend {
         updater: &str,
         key: &Key,
         bytes: &[u8],
+        codec: Codec,
         ttl_secs: Option<u64>,
         now_us: u64,
     ) -> bool {
         self.transport
-            .store_put(self.host, updater, key.as_bytes(), bytes, ttl_secs, now_us)
+            .store_put(self.host, updater, key.as_bytes(), bytes, codec, ttl_secs, now_us)
             .is_ok()
     }
 
@@ -62,6 +64,7 @@ impl SlateBackend for RemoteBackend {
                 key: item.key.as_bytes().to_vec(),
                 value: item.bytes.clone(), // refcount bump, not a copy
                 ttl_secs: item.ttl_secs,
+                codec: item.codec,
             })
             .collect();
         match self.transport.store_put_many(self.host, wire, now_us) {
@@ -108,7 +111,15 @@ mod tests {
         fn read_local_slate(&self, _d: usize, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
             None
         }
-        fn backend_store(&self, u: &str, k: &[u8], v: &[u8], _ttl: Option<u64>, _now: u64) {
+        fn backend_store(
+            &self,
+            u: &str,
+            k: &[u8],
+            v: &[u8],
+            _codec: Codec,
+            _ttl: Option<u64>,
+            _now: u64,
+        ) {
             self.0.lock().insert((u.to_string(), k.to_vec()), v.to_vec());
         }
         fn backend_load(&self, u: &str, k: &[u8], _now: u64) -> Option<Vec<u8>> {
@@ -125,8 +136,8 @@ mod tests {
 
         let key = Key::from("walmart");
         assert_eq!(backend.load("U1", &key, 0), None);
-        backend.store("U1", &key, b"41", None, 10);
-        backend.store("U1", &key, b"42", None, 20);
+        backend.store("U1", &key, b"41", Codec::Json, None, 10);
+        backend.store("U1", &key, b"42", Codec::Json, None, 20);
         assert_eq!(backend.load("U1", &key, 30), Some(b"42".to_vec()));
         assert_eq!(backend.load("U2", &key, 30), None);
     }

@@ -20,6 +20,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use muppet_core::sync::Mutex;
+use muppet_core::Codec;
 
 use crate::compress::{compress, decompress};
 use crate::device::{DeviceProfile, StorageDevice};
@@ -74,6 +75,10 @@ pub struct StoreConfig {
     /// Batched writes group-commit: one fsync per [`StoreCluster::put_many`]
     /// run per node, instead of one per record.
     pub wal_sync_each: bool,
+    /// Rewrite JSON container cells forward to MBF during compaction (the
+    /// at-rest migration; enabled by the runtime when the store codec is
+    /// MBF).
+    pub compact_rewrite_mbf: bool,
 }
 
 impl Default for StoreConfig {
@@ -87,6 +92,7 @@ impl Default for StoreConfig {
             compress_values: true,
             put_batch_max: 1024,
             wal_sync_each: false,
+            compact_rewrite_mbf: false,
         }
     }
 }
@@ -138,7 +144,8 @@ impl StoreCluster {
             let device = Arc::new(StorageDevice::new(cfg.device));
             let node_cfg = NodeConfig::new(base.join(format!("node-{i}")))
                 .with_flush_bytes(cfg.memtable_flush_bytes)
-                .with_wal_sync(cfg.wal_sync_each);
+                .with_wal_sync(cfg.wal_sync_each)
+                .with_mbf_rewrite(cfg.compact_rewrite_mbf, cfg.compress_values);
             nodes.push(ClusterNode {
                 store: Mutex::new(StoreNode::open(node_cfg, Arc::clone(&device))?),
                 device,
@@ -157,7 +164,7 @@ impl StoreCluster {
         self.ring.owners(muppet_core::hash::fx64(&item), self.cfg.replication)
     }
 
-    /// Write `value` at the default consistency.
+    /// Write a JSON/raw `value` at the default consistency.
     pub fn put(
         &self,
         key: &CellKey,
@@ -168,11 +175,35 @@ impl StoreCluster {
         self.put_with(key, value, ttl_secs, now, self.cfg.consistency)
     }
 
-    /// Write with an explicit consistency level.
+    /// Write a codec-tagged value at the default consistency.
+    pub fn put_tagged(
+        &self,
+        key: &CellKey,
+        value: &[u8],
+        codec: Codec,
+        ttl_secs: Option<u64>,
+        now: u64,
+    ) -> StoreResult<()> {
+        self.put_inner(key, value, codec, ttl_secs, now, self.cfg.consistency)
+    }
+
+    /// Write with an explicit consistency level (JSON/raw payload).
     pub fn put_with(
         &self,
         key: &CellKey,
         value: &[u8],
+        ttl_secs: Option<u64>,
+        now: u64,
+        consistency: Consistency,
+    ) -> StoreResult<()> {
+        self.put_inner(key, value, Codec::Json, ttl_secs, now, consistency)
+    }
+
+    fn put_inner(
+        &self,
+        key: &CellKey,
+        value: &[u8],
+        codec: Codec,
         ttl_secs: Option<u64>,
         now: u64,
         consistency: Consistency,
@@ -190,7 +221,7 @@ impl StoreCluster {
             if !node.up.load(Ordering::Acquire) {
                 continue;
             }
-            node.store.lock().put(key.clone(), stored.clone(), ttl_secs, now)?;
+            node.store.lock().put_tagged(key.clone(), stored.clone(), codec, ttl_secs, now)?;
             acked += 1;
         }
         let mut stats = self.stats.lock();
@@ -213,7 +244,7 @@ impl StoreCluster {
     /// quorum is met, independent of its batch-mates.
     pub fn put_many(
         &self,
-        items: &[(CellKey, &[u8], Option<u64>)],
+        items: &[(CellKey, &[u8], Codec, Option<u64>)],
         now: u64,
     ) -> Vec<StoreResult<()>> {
         let mut out: Vec<StoreResult<()>> = Vec::with_capacity(items.len());
@@ -223,12 +254,16 @@ impl StoreCluster {
         out
     }
 
-    fn put_chunk(&self, items: &[(CellKey, &[u8], Option<u64>)], now: u64) -> Vec<StoreResult<()>> {
+    fn put_chunk(
+        &self,
+        items: &[(CellKey, &[u8], Codec, Option<u64>)],
+        now: u64,
+    ) -> Vec<StoreResult<()>> {
         // Compress once per cell, then fan the prepared bytes out to the
         // replica sets.
         let prepared: Vec<(Bytes, Vec<usize>)> = items
             .iter()
-            .map(|(key, value, _)| {
+            .map(|(key, value, _, _)| {
                 let stored: Bytes = if self.cfg.compress_values {
                     compress(value).into()
                 } else {
@@ -253,9 +288,11 @@ impl StoreCluster {
             if !node.up.load(Ordering::Acquire) {
                 continue;
             }
-            let entries: Vec<(CellKey, Bytes, Option<u64>)> = indices
+            let entries: Vec<(CellKey, Bytes, Codec, Option<u64>)> = indices
                 .iter()
-                .map(|&idx| (items[idx].0.clone(), prepared[idx].0.clone(), items[idx].2))
+                .map(|&idx| {
+                    (items[idx].0.clone(), prepared[idx].0.clone(), items[idx].2, items[idx].3)
+                })
                 .collect();
             // One lock acquisition and one WAL group commit per node.
             match node.store.lock().put_many(&entries, now) {
@@ -293,6 +330,16 @@ impl StoreCluster {
         keys.iter().map(|key| self.get(key, now)).collect()
     }
 
+    /// Batched codec-tagged reads (the runtime's miss path under an MBF
+    /// store: one round trip, values returned with their format tags).
+    pub fn get_many_tagged(
+        &self,
+        keys: &[CellKey],
+        now: u64,
+    ) -> Vec<StoreResult<Option<(Bytes, Codec)>>> {
+        keys.iter().map(|key| self.get_tagged(key, now)).collect()
+    }
+
     /// Delete at the default consistency.
     pub fn delete(&self, key: &CellKey, now: u64) -> StoreResult<()> {
         let replicas = self.replica_set(key);
@@ -318,6 +365,12 @@ impl StoreCluster {
         self.get_with(key, now, self.cfg.consistency)
     }
 
+    /// Read at the default consistency, returning the payload with its
+    /// codec tag.
+    pub fn get_tagged(&self, key: &CellKey, now: u64) -> StoreResult<Option<(Bytes, Codec)>> {
+        self.get_inner(key, now, self.cfg.consistency)
+    }
+
     /// Read with an explicit consistency level. Queries replicas until the
     /// required count respond, resolves by newest value, and repairs any
     /// stale replica it contacted.
@@ -327,10 +380,20 @@ impl StoreCluster {
         now: u64,
         consistency: Consistency,
     ) -> StoreResult<Option<Bytes>> {
+        Ok(self.get_inner(key, now, consistency)?.map(|(value, _)| value))
+    }
+
+    fn get_inner(
+        &self,
+        key: &CellKey,
+        now: u64,
+        consistency: Consistency,
+    ) -> StoreResult<Option<(Bytes, Codec)>> {
         let replicas = self.replica_set(key);
         let required = consistency.required(replicas.len());
-        // Collect (node, value, write_ts) from live replicas.
-        let mut responses: Vec<(usize, Option<(Bytes, u64)>)> = Vec::new();
+        // Collect (node, value, write_ts, codec) from live replicas.
+        type ReplicaRead = (usize, Option<(Bytes, u64, Codec)>);
+        let mut responses: Vec<ReplicaRead> = Vec::new();
         for &id in &replicas {
             let node = &self.nodes[id];
             if !node.up.load(Ordering::Acquire) {
@@ -354,23 +417,30 @@ impl StoreCluster {
         }
         // Newest wins.
         let newest =
-            responses.iter().filter_map(|(_, v)| v.as_ref()).max_by_key(|(_, ts)| *ts).cloned();
+            responses.iter().filter_map(|(_, v)| v.as_ref()).max_by_key(|(_, ts, _)| *ts).cloned();
         let mut stats = self.stats.lock();
         stats.reads_ok += 1;
         drop(stats);
         match newest {
             None => Ok(None),
-            Some((stored, newest_ts)) => {
+            Some((stored, newest_ts, codec)) => {
                 // Read repair: any contacted replica with an older (or no)
-                // version gets the newest value written back.
+                // version gets the newest value written back, codec tag
+                // included.
                 for (id, resp) in &responses {
                     let stale = match resp {
                         None => true,
-                        Some((_, ts)) => *ts < newest_ts,
+                        Some((_, ts, _)) => *ts < newest_ts,
                     };
                     if stale {
                         let node = &self.nodes[*id];
-                        node.store.lock().put(key.clone(), stored.clone(), None, newest_ts)?;
+                        node.store.lock().put_tagged(
+                            key.clone(),
+                            stored.clone(),
+                            codec,
+                            None,
+                            newest_ts,
+                        )?;
                         self.stats.lock().read_repairs += 1;
                     }
                 }
@@ -379,7 +449,7 @@ impl StoreCluster {
                 } else {
                     stored
                 };
-                Ok(Some(value))
+                Ok(Some((value, codec)))
             }
         }
     }
@@ -453,7 +523,7 @@ impl StoreCluster {
                 if key.column.as_ref() != column.as_bytes() {
                     continue;
                 }
-                if let Some((value, ts)) = store.get_with_ts(&key, now)? {
+                if let Some((value, ts, _)) = store.get_with_ts(&key, now)? {
                     match newest.get(&key.row) {
                         Some((best_ts, _)) if *best_ts >= ts => {}
                         _ => {
@@ -485,6 +555,7 @@ impl StoreCluster {
             out.node.flushes += s.flushes;
             out.node.compactions += s.compactions;
             out.node.gc_cells += s.gc_cells;
+            out.node.rewritten_cells += s.rewritten_cells;
         }
         out
     }
@@ -584,8 +655,8 @@ mod tests {
         let (_dir2, percell) = cluster(Consistency::Quorum);
         let cells: Vec<(CellKey, Vec<u8>)> =
             (0..40).map(|i| (key(&format!("k{i}")), format!("value-{i}").into_bytes())).collect();
-        let items: Vec<(CellKey, &[u8], Option<u64>)> =
-            cells.iter().map(|(k, v)| (k.clone(), v.as_slice(), None)).collect();
+        let items: Vec<(CellKey, &[u8], Codec, Option<u64>)> =
+            cells.iter().map(|(k, v)| (k.clone(), v.as_slice(), Codec::Json, None)).collect();
         for r in batched.put_many(&items, 5) {
             r.unwrap();
         }
@@ -609,8 +680,11 @@ mod tests {
         let cfg = StoreConfig { put_batch_max: 8, ..Default::default() };
         let c = StoreCluster::open(dir.path(), cfg).unwrap();
         let values: Vec<Vec<u8>> = (0..20).map(|i| format!("v{i}").into_bytes()).collect();
-        let items: Vec<(CellKey, &[u8], Option<u64>)> =
-            values.iter().enumerate().map(|(i, v)| (key(&format!("c{i}")), &v[..], None)).collect();
+        let items: Vec<(CellKey, &[u8], Codec, Option<u64>)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (key(&format!("c{i}")), &v[..], Codec::Json, None))
+            .collect();
         let results = c.put_many(&items, 1);
         assert_eq!(results.len(), 20);
         assert!(results.iter().all(|r| r.is_ok()));
@@ -622,6 +696,27 @@ mod tests {
         }
         let results = c.put_many(&items[..3], 2);
         assert!(results.iter().all(|r| matches!(r, Err(StoreError::QuorumFailed { .. }))));
+    }
+
+    #[test]
+    fn codec_tag_survives_compressed_cluster_roundtrip_and_repair() {
+        let (_dir, c) = cluster(Consistency::Quorum);
+        let doc = muppet_core::Json::parse(r#"{"count": 3, "tags": ["a","b"]}"#).unwrap();
+        let mbf = doc.to_mbf().unwrap();
+        c.put_tagged(&key("bin"), &mbf, Codec::Mbf, None, 10).unwrap();
+        let (got, codec) = c.get_tagged(&key("bin"), 11).unwrap().unwrap();
+        assert_eq!(codec, Codec::Mbf);
+        assert_eq!(got.as_ref(), mbf.as_slice());
+        // Repair a stale replica and confirm the tag travels with the value.
+        c.node_down(0);
+        c.put_tagged(&key("bin"), &mbf, Codec::Mbf, None, 20).unwrap();
+        c.node_up(0);
+        c.get_with(&key("bin"), 30, Consistency::All).unwrap();
+        c.node_down(1);
+        c.node_down(2);
+        let (healed, codec) = c.get_inner(&key("bin"), 40, Consistency::One).unwrap().unwrap();
+        assert_eq!(codec, Codec::Mbf);
+        assert_eq!(healed.as_ref(), mbf.as_slice());
     }
 
     #[test]

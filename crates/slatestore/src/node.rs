@@ -13,8 +13,10 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use bytes::Bytes;
+use muppet_core::{Codec, Json};
 
 use crate::compaction::{merge_tables, pick_tier, CompactionPolicy};
+use crate::compress::{compress, decompress};
 use crate::device::StorageDevice;
 use crate::memtable::Memtable;
 use crate::sstable::{SSTable, SSTableWriter};
@@ -34,6 +36,13 @@ pub struct NodeConfig {
     pub compaction: CompactionPolicy,
     /// Run compaction automatically after each flush.
     pub auto_compact: bool,
+    /// During compaction, rewrite JSON-tagged container cells forward to
+    /// MBF (the at-rest migration path: old tables drain to the binary
+    /// format as they compact, no stop-the-world rewrite).
+    pub compact_rewrite_mbf: bool,
+    /// Whether stored values are compressed (set by the cluster layer; the
+    /// rewrite must decompress before transcoding).
+    pub compressed_values: bool,
 }
 
 impl NodeConfig {
@@ -45,6 +54,8 @@ impl NodeConfig {
             wal_sync_each: false,
             compaction: CompactionPolicy::default(),
             auto_compact: true,
+            compact_rewrite_mbf: false,
+            compressed_values: false,
         }
     }
 
@@ -63,6 +74,14 @@ impl NodeConfig {
     /// Disable automatic compaction (experiments trigger it manually).
     pub fn with_auto_compact(mut self, auto: bool) -> Self {
         self.auto_compact = auto;
+        self
+    }
+
+    /// Enable the compaction-time JSON→MBF rewrite. `compressed` must
+    /// match how the caller stores values so the rewrite can transcode.
+    pub fn with_mbf_rewrite(mut self, rewrite: bool, compressed: bool) -> Self {
+        self.compact_rewrite_mbf = rewrite;
+        self.compressed_values = compressed;
         self
     }
 }
@@ -86,6 +105,8 @@ pub struct NodeStats {
     pub compactions: u64,
     /// Cells reclaimed by TTL expiry or tombstone GC during compaction.
     pub gc_cells: u64,
+    /// JSON cells transcoded to MBF during compaction (rewrite-forward).
+    pub rewritten_cells: u64,
 }
 
 /// One LSM storage node.
@@ -168,7 +189,7 @@ impl StoreNode {
         })
     }
 
-    /// Write a value. `now` supplies the write timestamp.
+    /// Write a JSON/raw value. `now` supplies the write timestamp.
     pub fn put(
         &mut self,
         key: CellKey,
@@ -176,7 +197,20 @@ impl StoreNode {
         ttl_secs: Option<u64>,
         now: u64,
     ) -> StoreResult<()> {
-        let cell = Cell::live(value, now, ttl_secs);
+        self.put_tagged(key, value, Codec::Json, ttl_secs, now)
+    }
+
+    /// Write a value tagged with its payload codec. `now` supplies the
+    /// write timestamp.
+    pub fn put_tagged(
+        &mut self,
+        key: CellKey,
+        value: impl Into<Bytes>,
+        codec: Codec,
+        ttl_secs: Option<u64>,
+        now: u64,
+    ) -> StoreResult<()> {
+        let cell = Cell::live_in(value, codec, now, ttl_secs);
         self.wal.append(&key, &cell)?;
         self.memtable.put(key, cell);
         self.stats.puts += 1;
@@ -189,7 +223,7 @@ impl StoreNode {
     /// The memtable flush check runs once, after the batch.
     pub fn put_many(
         &mut self,
-        entries: &[(CellKey, Bytes, Option<u64>)],
+        entries: &[(CellKey, Bytes, Codec, Option<u64>)],
         now: u64,
     ) -> StoreResult<()> {
         if entries.is_empty() {
@@ -197,7 +231,9 @@ impl StoreNode {
         }
         let cells: Vec<(CellKey, Cell)> = entries
             .iter()
-            .map(|(key, value, ttl_secs)| (key.clone(), Cell::live(value.clone(), now, *ttl_secs)))
+            .map(|(key, value, codec, ttl_secs)| {
+                (key.clone(), Cell::live_in(value.clone(), *codec, now, *ttl_secs))
+            })
             .collect();
         self.wal.append_many(&cells)?;
         for (key, cell) in cells {
@@ -220,12 +256,23 @@ impl StoreNode {
     /// Returns the raw stored bytes (the store does not understand slate
     /// compression; that is the cache layer's concern).
     pub fn get(&mut self, key: &CellKey, now: u64) -> StoreResult<Option<Bytes>> {
-        Ok(self.get_with_ts(key, now)?.map(|(v, _)| v))
+        Ok(self.get_with_ts(key, now)?.map(|(v, _, _)| v))
     }
 
-    /// Point read returning `(value, write_ts)` — the cluster layer needs
-    /// the timestamp to resolve divergent replicas and run read repair.
-    pub fn get_with_ts(&mut self, key: &CellKey, now: u64) -> StoreResult<Option<(Bytes, u64)>> {
+    /// Point read returning the value with its payload codec tag.
+    pub fn get_tagged(&mut self, key: &CellKey, now: u64) -> StoreResult<Option<(Bytes, Codec)>> {
+        Ok(self.get_with_ts(key, now)?.map(|(v, _, codec)| (v, codec)))
+    }
+
+    /// Point read returning `(value, write_ts, codec)` — the cluster layer
+    /// needs the timestamp to resolve divergent replicas and run read
+    /// repair, and the codec tag to interpret (and faithfully repair) the
+    /// payload.
+    pub fn get_with_ts(
+        &mut self,
+        key: &CellKey,
+        now: u64,
+    ) -> StoreResult<Option<(Bytes, u64, Codec)>> {
         self.stats.gets += 1;
         let mut best: Option<(Cell, bool)> = // (cell, from_memtable)
             self.memtable.get(key).map(|c| (c.clone(), true));
@@ -247,7 +294,7 @@ impl StoreNode {
                 } else {
                     self.stats.sstable_hits += 1;
                 }
-                Ok(Some((cell.value, cell.write_ts)))
+                Ok(Some((cell.value, cell.write_ts, cell.codec)))
             }
             _ => {
                 self.stats.misses += 1;
@@ -309,8 +356,15 @@ impl StoreNode {
         let full = picked.len() == self.tables.len();
         let inputs: Vec<&SSTable> = picked.iter().map(|&i| &self.tables[i]).collect();
         let input_cells: u64 = inputs.iter().map(|t| t.entry_count()).sum();
-        let merged = merge_tables(&inputs, now, full)?;
+        let mut merged = merge_tables(&inputs, now, full)?;
         self.stats.gc_cells += input_cells.saturating_sub(merged.len() as u64);
+        if self.cfg.compact_rewrite_mbf {
+            for (_, cell) in &mut merged {
+                if self.rewrite_cell_to_mbf(cell) {
+                    self.stats.rewritten_cells += 1;
+                }
+            }
+        }
 
         let id = self.next_table_id;
         self.next_table_id += 1;
@@ -328,6 +382,35 @@ impl StoreNode {
         self.tables.push(new_table);
         self.stats.compactions += 1;
         Ok(true)
+    }
+
+    /// Transcode one JSON-tagged container cell to MBF in place (the
+    /// at-rest migration: tables drain forward as they compact). Counter
+    /// text, non-container JSON, tombstones, and anything that fails to
+    /// parse are left untouched. Returns true when the cell was rewritten.
+    fn rewrite_cell_to_mbf(&self, cell: &mut Cell) -> bool {
+        if cell.tombstone || cell.codec == Codec::Mbf || cell.value.is_empty() {
+            return false;
+        }
+        let raw: Vec<u8> = if self.cfg.compressed_values {
+            match decompress(&cell.value) {
+                Ok(v) => v,
+                Err(_) => return false,
+            }
+        } else {
+            cell.value.to_vec()
+        };
+        // Only container-shaped JSON migrates; raw text payloads must stay
+        // byte-identical (they are not JSON documents).
+        if !matches!(raw.first(), Some(b'{') | Some(b'[')) {
+            return false;
+        }
+        let Ok(doc) = Json::parse_bytes(&raw) else { return false };
+        let Ok(mbf) = doc.to_mbf() else { return false };
+        cell.value =
+            if self.cfg.compressed_values { Bytes::from(compress(&mbf)) } else { Bytes::from(mbf) };
+        cell.codec = Codec::Mbf;
+        true
     }
 
     /// All visible cells at `now` (newest version per key), sorted by key.
@@ -452,8 +535,9 @@ mod tests {
             Arc::new(StorageDevice::new(DeviceProfile::NULL)),
         )
         .unwrap();
-        let entries: Vec<(CellKey, Bytes, Option<u64>)> =
-            (0..50).map(|i| (key(&format!("b{i}")), Bytes::from(format!("v{i}")), None)).collect();
+        let entries: Vec<(CellKey, Bytes, Codec, Option<u64>)> = (0..50)
+            .map(|i| (key(&format!("b{i}")), Bytes::from(format!("v{i}")), Codec::Json, None))
+            .collect();
         n.put_many(&entries, 7).unwrap();
         assert_eq!(n.wal_sync_count(), 1, "50 records, one group-commit fsync");
         assert_eq!(n.stats().puts, 50);
@@ -624,6 +708,58 @@ mod tests {
             .filter(|e| e.as_ref().unwrap().file_name().to_string_lossy().starts_with("wal-"))
             .count();
         assert_eq!(wal_files, 1, "only the active segment remains");
+    }
+
+    #[test]
+    fn codec_tag_survives_wal_replay_and_sstable_flush() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = node(&dir);
+        let mbf = Json::obj([("n", Json::num(1))]).to_mbf().unwrap();
+        n.put_tagged(key("bin"), mbf.clone(), Codec::Mbf, None, 1).unwrap();
+        n.put(key("txt"), "12", None, 1).unwrap();
+        // Through WAL replay:
+        let mut n = n.crash_and_recover().unwrap();
+        assert_eq!(
+            n.get_tagged(&key("bin"), 2).unwrap().unwrap(),
+            (Bytes::from(mbf.clone()), Codec::Mbf)
+        );
+        assert_eq!(n.get_tagged(&key("txt"), 2).unwrap().unwrap().1, Codec::Json);
+        // Through an SSTable flush:
+        n.flush(3).unwrap();
+        assert_eq!(n.memtable_len(), 0);
+        assert_eq!(n.get_tagged(&key("bin"), 4).unwrap().unwrap(), (Bytes::from(mbf), Codec::Mbf));
+    }
+
+    #[test]
+    fn compaction_rewrites_json_containers_to_mbf() {
+        let dir = TempDir::new("node").unwrap();
+        let mut n = StoreNode::open(
+            NodeConfig::new(dir.path())
+                .with_flush_bytes(usize::MAX)
+                .with_auto_compact(false)
+                .with_mbf_rewrite(true, false),
+            Arc::new(StorageDevice::new(DeviceProfile::NULL)),
+        )
+        .unwrap();
+        // 4 flushes so a tier is ripe; each has a JSON doc, counter text,
+        // and an already-MBF cell.
+        let doc = Json::obj([("count", Json::num(5))]);
+        for round in 0u64..4 {
+            n.put(key("doc"), doc.to_compact(), None, round * 10 + 1).unwrap();
+            n.put(key("counter"), "17", None, round * 10 + 2).unwrap();
+            n.put_tagged(key("bin"), doc.to_mbf().unwrap(), Codec::Mbf, None, round * 10 + 3)
+                .unwrap();
+            n.flush(round * 10 + 9).unwrap();
+        }
+        assert!(n.maybe_compact(1_000).unwrap());
+        assert!(n.stats().rewritten_cells >= 1, "the JSON doc cell migrates");
+        // The doc is now MBF-tagged and decodes to the same document.
+        let (value, codec) = n.get_tagged(&key("doc"), 2_000).unwrap().unwrap();
+        assert_eq!(codec, Codec::Mbf);
+        assert_eq!(Json::from_mbf(&value).unwrap(), doc);
+        // Counter text is untouched.
+        let (value, codec) = n.get_tagged(&key("counter"), 2_000).unwrap().unwrap();
+        assert_eq!((value.as_ref(), codec), (&b"17"[..], Codec::Json));
     }
 
     #[test]

@@ -9,16 +9,28 @@
 
 use bytes::Bytes;
 use muppet_core::codec::{get_len_prefixed, get_varint, put_len_prefixed, put_varint};
+use muppet_core::Codec;
 
 use crate::types::{Cell, CellKey, StoreError, StoreResult};
 
 const FLAG_TOMBSTONE: u8 = 0b0000_0001;
+/// Cell-level payload-format tag: set when the (uncompressed) value is
+/// MBF. Absent on every record written before the binary codec existed, so
+/// old JSON tables and WALs decode unchanged as `Codec::Json`.
+const FLAG_MBF: u8 = 0b0000_0010;
 
 /// Append the record encoding of `(key, cell)` to `out`.
 pub(crate) fn encode_cell(out: &mut Vec<u8>, key: &CellKey, cell: &Cell) {
     put_len_prefixed(out, &key.row);
     put_len_prefixed(out, &key.column);
-    out.push(if cell.tombstone { FLAG_TOMBSTONE } else { 0 });
+    let mut flags = 0u8;
+    if cell.tombstone {
+        flags |= FLAG_TOMBSTONE;
+    }
+    if cell.codec == Codec::Mbf {
+        flags |= FLAG_MBF;
+    }
+    out.push(flags);
     put_varint(out, cell.write_ts);
     put_varint(out, cell.ttl_secs.map_or(0, |t| t + 1));
     put_len_prefixed(out, &cell.value);
@@ -44,6 +56,7 @@ pub(crate) fn decode_cell(buf: &[u8]) -> StoreResult<((CellKey, Cell), usize)> {
         write_ts,
         ttl_secs: if ttl_raw == 0 { None } else { Some(ttl_raw - 1) },
         tombstone: flags & FLAG_TOMBSTONE != 0,
+        codec: if flags & FLAG_MBF != 0 { Codec::Mbf } else { Codec::Json },
     };
     Ok(((CellKey::new(row, column), cell), consumed))
 }
@@ -60,6 +73,7 @@ mod tests {
             write_ts: 99,
             ttl_secs: Some(5),
             tombstone: false,
+            codec: Codec::Json,
         };
         let mut buf = Vec::new();
         encode_cell(&mut buf, &key, &cell);
@@ -118,5 +132,29 @@ mod tests {
         let ((_, c), _) = decode_cell(&buf).unwrap();
         assert!(c.tombstone);
         assert_eq!(c.write_ts, 42);
+    }
+
+    #[test]
+    fn mbf_codec_tag_roundtrips() {
+        let key = CellKey::new("r", "c");
+        let mut buf = Vec::new();
+        encode_cell(&mut buf, &key, &Cell::live_in("binary", Codec::Mbf, 7, Some(3)));
+        encode_cell(&mut buf, &key, &Cell::live("text", 8, None));
+        let ((_, a), n) = decode_cell(&buf).unwrap();
+        assert_eq!(a.codec, Codec::Mbf);
+        assert!(!a.tombstone);
+        let ((_, b), _) = decode_cell(&buf[n..]).unwrap();
+        assert_eq!(b.codec, Codec::Json);
+    }
+
+    #[test]
+    fn pre_mbf_records_decode_as_json() {
+        // A record whose flags byte predates FLAG_MBF (only the tombstone
+        // bit exists) must read back as a JSON-codec cell.
+        let key = CellKey::new("row", "col");
+        let mut buf = Vec::new();
+        encode_cell(&mut buf, &key, &Cell::live("legacy", 1, None));
+        let ((_, c), _) = decode_cell(&buf).unwrap();
+        assert_eq!(c.codec, Codec::Json);
     }
 }

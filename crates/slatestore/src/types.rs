@@ -4,6 +4,7 @@
 use std::fmt;
 
 use bytes::Bytes;
+use muppet_core::Codec;
 
 /// Addresses one cell: `row` is the slate key, `column` the updater name.
 #[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -52,17 +53,32 @@ pub struct Cell {
     pub ttl_secs: Option<u64>,
     /// True for deletion markers.
     pub tombstone: bool,
+    /// Format of the (uncompressed) payload — the cell-level tag that
+    /// keeps pre-MBF JSON tables readable alongside MBF cells. The tag is
+    /// authoritative: stored values may be compressed, so sniffing the
+    /// payload is not possible here.
+    pub codec: Codec,
 }
 
 impl Cell {
-    /// A live cell.
+    /// A live cell holding a JSON/raw payload (the pre-MBF default).
     pub fn live(value: impl Into<Bytes>, write_ts: u64, ttl_secs: Option<u64>) -> Self {
-        Cell { value: value.into(), write_ts, ttl_secs, tombstone: false }
+        Cell::live_in(value, Codec::Json, write_ts, ttl_secs)
+    }
+
+    /// A live cell with an explicit payload codec.
+    pub fn live_in(
+        value: impl Into<Bytes>,
+        codec: Codec,
+        write_ts: u64,
+        ttl_secs: Option<u64>,
+    ) -> Self {
+        Cell { value: value.into(), write_ts, ttl_secs, tombstone: false, codec }
     }
 
     /// A deletion marker.
     pub fn tombstone(write_ts: u64) -> Self {
-        Cell { value: Bytes::new(), write_ts, ttl_secs: None, tombstone: true }
+        Cell { value: Bytes::new(), write_ts, ttl_secs: None, tombstone: true, codec: Codec::Json }
     }
 
     /// Whether this cell's TTL has lapsed at `now` (microseconds).

@@ -132,7 +132,7 @@ impl CheckinGenerator {
     pub fn expected_retailer_counts(events: &[Event]) -> std::collections::BTreeMap<String, u64> {
         let mut counts = std::collections::BTreeMap::new();
         for ev in events {
-            let v = Json::parse_bytes(&ev.value).expect("generator emits valid JSON");
+            let v = Json::from_payload(&ev.value).expect("generator emits valid JSON");
             let venue = v.get("venue").unwrap().get("name").unwrap().as_str().unwrap();
             if let Some(retailer) = canonical_retailer(venue) {
                 *counts.entry(retailer.to_string()).or_insert(0) += 1;
@@ -150,7 +150,7 @@ mod tests {
     fn checkins_are_valid_json() {
         let mut gen = CheckinGenerator::new(11, 50, 100.0);
         for ev in gen.take("S1", 50) {
-            let v = Json::parse_bytes(&ev.value).unwrap();
+            let v = Json::from_payload(&ev.value).unwrap();
             assert!(v.get("venue").unwrap().get("name").is_some());
             assert!(v.get("user").is_some());
         }
@@ -191,7 +191,7 @@ mod tests {
         let events = hot.take("S1", 5000);
         let mut venue_counts = std::collections::HashMap::new();
         for ev in &events {
-            let v = Json::parse_bytes(&ev.value).unwrap();
+            let v = Json::from_payload(&ev.value).unwrap();
             let name = v.get("venue").unwrap().get("name").unwrap().as_str().unwrap().to_string();
             *venue_counts.entry(name).or_insert(0u32) += 1;
         }

@@ -162,7 +162,7 @@ mod tests {
     fn tweets_are_valid_json_with_required_fields() {
         let mut gen = TweetGenerator::new(42, 100, 1000.0);
         for ev in gen.take("S1", 50) {
-            let v = Json::parse_bytes(&ev.value).unwrap();
+            let v = Json::from_payload(&ev.value).unwrap();
             assert!(v.get("user").is_some());
             assert!(v.get("text").is_some());
             let topics = v.get("topics").unwrap().as_arr().unwrap();
@@ -212,7 +212,7 @@ mod tests {
         let mut in_window = 0;
         let mut hits = 0;
         for ev in gen.take("S1", 5000) {
-            let v = Json::parse_bytes(&ev.value).unwrap();
+            let v = Json::from_payload(&ev.value).unwrap();
             let topic = v.get("topics").unwrap().at(0).unwrap().as_str().unwrap().to_string();
             if ev.ts < 500_000 {
                 in_window += 1;
@@ -234,7 +234,7 @@ mod tests {
     fn retweet_probability_zero_suppresses_references() {
         let mut gen = TweetGenerator::new(9, 20, 100.0).with_retweet_prob(0.0);
         for ev in gen.take("S1", 100) {
-            let v = Json::parse_bytes(&ev.value).unwrap();
+            let v = Json::from_payload(&ev.value).unwrap();
             assert!(v.get("retweet_of").is_none());
             assert!(v.get("reply_to").is_none());
         }

@@ -77,7 +77,7 @@ mod tests {
         for ev in gen.take("S1", 100) {
             let section = ev.key.as_str().unwrap();
             assert!(SECTIONS.iter().any(|(s, _)| *s == section));
-            let v = Json::parse_bytes(&ev.value).unwrap();
+            let v = Json::from_payload(&ev.value).unwrap();
             assert_eq!(v.get("section").unwrap().as_str(), Some(section));
             assert!(v.get("status").unwrap().as_u64().is_some());
         }

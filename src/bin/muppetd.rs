@@ -78,6 +78,7 @@ struct Options {
     ingest_wal: Option<String>,
     ingest_sync_each: bool,
     dlq_capacity: Option<usize>,
+    wire_codec: CodecChoice,
 }
 
 fn usage() -> ! {
@@ -89,6 +90,7 @@ fn usage() -> ! {
            [--flush-batch-max <slates>]
            [--metrics on|off] [--latency-sample-n <n>]
            [--ingest-wal <path>] [--ingest-sync each|group] [--dlq-capacity <n>]
+           [--wire-codec auto|json|mbf]
            [--log-level debug|info|warn|error|off] [--log-json]
        muppetd --join <master-host:http_port> --listen <host:port:http_port>
            [--app ...] [--engine ...] [--workers ...] [--store-host <id>] [...]"
@@ -184,6 +186,7 @@ fn parse_args() -> Options {
     let mut ingest_wal = None;
     let mut ingest_sync_each = false;
     let mut dlq_capacity = None;
+    let mut wire_codec = defaults.wire_codec;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -276,6 +279,12 @@ fn parse_args() -> Options {
                     usage()
                 }))
             }
+            "--wire-codec" => {
+                wire_codec = value().parse().unwrap_or_else(|_| {
+                    eprintln!("muppetd: --wire-codec wants auto|json|mbf");
+                    usage()
+                })
+            }
             "--store-host" => store_host = value().parse().ok(),
             "--data-dir" => data_dir = Some(value().to_string()),
             "--master" => master = value().parse().ok(),
@@ -311,6 +320,7 @@ fn parse_args() -> Options {
             ingest_wal,
             ingest_sync_each,
             dlq_capacity,
+            wire_codec,
         };
     }
 
@@ -341,6 +351,7 @@ fn parse_args() -> Options {
         ingest_wal,
         ingest_sync_each,
         dlq_capacity,
+        wire_codec,
     }
 }
 
@@ -395,8 +406,14 @@ fn main() {
             // With an ingest WAL the store IS the checkpoint: the replay
             // cursor is only as durable as the store's own WAL, so sync
             // its appends too.
-            let store_cfg =
-                StoreConfig { wal_sync_each: opts.ingest_wal.is_some(), ..StoreConfig::default() };
+            // An MBF-storing node also rewrites pre-upgrade JSON cells to
+            // MBF as compaction touches them, so an upgraded cluster
+            // converges to binary at rest without a migration pass.
+            let store_cfg = StoreConfig {
+                wal_sync_each: opts.ingest_wal.is_some(),
+                compact_rewrite_mbf: opts.wire_codec.store_codec() == Codec::Mbf,
+                ..StoreConfig::default()
+            };
             match StoreCluster::open(&dir, store_cfg) {
                 Ok(cluster) => Some(Arc::new(cluster)),
                 Err(e) => {
@@ -437,6 +454,7 @@ fn main() {
         ingest_wal: opts.ingest_wal.as_ref().map(std::path::PathBuf::from),
         ingest_sync_each: opts.ingest_sync_each,
         dlq_capacity: opts.dlq_capacity.unwrap_or(muppet::runtime::engine::DEFAULT_DLQ_CAPACITY),
+        wire_codec: opts.wire_codec,
         ..EngineConfig::default()
     };
     let engine = match Engine::start(workflow, ops, cfg, store) {

@@ -79,6 +79,7 @@ pub mod prelude {
         reference::ReferenceExecutor,
         slate::Slate,
         workflow::{Workflow, WorkflowBuilder},
+        Codec, CodecChoice,
     };
     pub use muppet_net::topology::{NodeSpec, Topology};
     pub use muppet_obs::{Level, Logger, Registry};

@@ -7,10 +7,12 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use muppet::apps::hot_topics::{self, HotDetector, MinuteCounter, TopicMapper};
 use muppet::apps::retailer::{self, Counter, RetailerMapper};
 use muppet::prelude::*;
 use muppet::slatestore::util::TempDir;
 use muppet::workloads::checkins::CheckinGenerator;
+use muppet::workloads::tweets::TweetGenerator;
 
 fn reference_counts(events: &[Event]) -> BTreeMap<String, u64> {
     let wf = retailer::workflow();
@@ -185,6 +187,95 @@ fn midstream_join_without_store_transfers_slates_directly() {
     let expected = reference_counts(&events);
     let got = engine_counts_with_join(&events, EngineKind::Muppet2, 2, None);
     assert_eq!(got, expected);
+}
+
+/// Canonical form of a slate payload: an MBF document decodes, JSON text
+/// parses, and both render the same compact canonical text (sorted keys,
+/// shortest number form). Payloads that are not documents at all (plain
+/// text counters) compare as raw text. This is the comparison mode the
+/// binary-representation tests need — byte equality is too strict once
+/// the same document can be at rest in two codecs.
+fn canonical(bytes: &[u8]) -> String {
+    Json::from_payload(bytes)
+        .map(|doc| doc.to_compact())
+        .unwrap_or_else(|_| String::from_utf8_lossy(bytes).into_owned())
+}
+
+/// Run hot_topics (container-valued slates) over a store-backed engine
+/// pinned to `codec` and return ⟨canonical minute-counter slates, how
+/// many stored values were MBF at rest⟩. The store is scanned directly
+/// after shutdown, so the values compared are the bytes that actually
+/// rested on disk.
+fn hot_topics_at_rest(codec: CodecChoice, events: &[Event]) -> (BTreeMap<String, String>, usize) {
+    let dir = TempDir::new("canon").unwrap();
+    let store = Arc::new(StoreCluster::open(dir.path(), StoreConfig::default()).unwrap());
+    let cfg = EngineConfig {
+        kind: EngineKind::Muppet2,
+        machines: 2,
+        workers_per_machine: 2,
+        overflow: OverflowPolicy::SourceThrottle,
+        flush: FlushPolicy::WriteThrough,
+        wire_codec: codec,
+        ..EngineConfig::default()
+    };
+    let engine = Engine::start(
+        hot_topics::workflow(),
+        OperatorSet::new()
+            .mapper(TopicMapper::new())
+            .updater(MinuteCounter::new())
+            .updater(HotDetector::new(3.0)),
+        cfg,
+        Some(Arc::clone(&store)),
+    )
+    .unwrap();
+    for ev in events {
+        engine.submit(ev.clone()).unwrap();
+    }
+    assert!(engine.drain(Duration::from_secs(60)));
+    let now = engine.now_us();
+    engine.shutdown();
+    let rows = store.scan_column(hot_topics::MINUTE_COUNTER, now + 1).unwrap();
+    let mbf_at_rest = rows.iter().filter(|(_, value)| muppet::core::mbf::is_mbf(value)).count();
+    let slates = rows
+        .into_iter()
+        .map(|(row, value)| (String::from_utf8_lossy(&row).into_owned(), canonical(&value)))
+        .collect();
+    (slates, mbf_at_rest)
+}
+
+#[test]
+fn mbf_at_rest_matches_reference_canonically() {
+    let mut gen = TweetGenerator::new(909, 300, 2000.0);
+    let events = gen.take(hot_topics::TWEET_STREAM, 6000);
+
+    // Reference truth, canonicalized the same way.
+    let wf = hot_topics::workflow();
+    let mut exec = ReferenceExecutor::new(&wf);
+    exec.register_mapper(TopicMapper::new());
+    exec.register_updater(MinuteCounter::new());
+    exec.register_updater(HotDetector::new(3.0));
+    for ev in &events {
+        exec.push_external(hot_topics::TWEET_STREAM, ev.clone());
+    }
+    exec.run_to_completion().unwrap();
+    let expected: BTreeMap<String, String> = exec
+        .slates_of(hot_topics::MINUTE_COUNTER)
+        .into_iter()
+        .map(|(k, s)| (String::from_utf8_lossy(k.as_bytes()).into_owned(), canonical(s.bytes())))
+        .collect();
+    assert!(!expected.is_empty(), "the workload must produce minute-counter slates");
+
+    let (json_slates, json_mbf) = hot_topics_at_rest(CodecChoice::Json, &events);
+    let (mbf_slates, mbf_mbf) = hot_topics_at_rest(CodecChoice::Mbf, &events);
+
+    // Same documents regardless of the at-rest codec — and both exactly
+    // the reference's.
+    assert_eq!(json_slates, expected, "JSON at rest vs reference");
+    assert_eq!(mbf_slates, expected, "MBF at rest vs reference");
+
+    // The codec choice actually changed the resting representation.
+    assert_eq!(json_mbf, 0, "a JSON-pinned engine must not store MBF");
+    assert_eq!(mbf_mbf, mbf_slates.len(), "an MBF engine stores every container slate in MBF");
 }
 
 #[test]

@@ -38,7 +38,15 @@ impl ClusterHandler for HostStore {
     fn read_local_slate(&self, _d: MachineId, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
         None
     }
-    fn backend_store(&self, u: &str, k: &[u8], v: &[u8], _ttl: Option<u64>, _now: u64) {
+    fn backend_store(
+        &self,
+        u: &str,
+        k: &[u8],
+        v: &[u8],
+        _codec: muppet_core::Codec,
+        _ttl: Option<u64>,
+        _now: u64,
+    ) {
         *self.store_calls.lock() += 1;
         self.data.lock().insert((u.to_string(), k.to_vec()), v.to_vec());
     }
