@@ -177,6 +177,120 @@ impl Updater for TotalCounter {
     }
 }
 
+// ---------------------------------------------------------------------
+// Engine-native hotspot relief: the combiner primitive.
+//
+// Example 6 above is the *manual* pattern — the application splits keys,
+// emits partial counts, and re-aggregates with a second updater. With
+// the engine's combiner contract the same relief needs none of that
+// plumbing: the mapper emits unit counts, the counter declares its
+// associative merge, and `EngineConfig::combine` /
+// `EngineConfig::hot_split_threshold` handle pre-aggregation and
+// dynamic key splitting below the application.
+// ---------------------------------------------------------------------
+
+/// Unit-count stream of the combined workflow.
+pub const UNIT_STREAM: &str = "S2";
+/// Unit-emitting mapper name (combined workflow).
+pub const UNIT_MAPPER: &str = "unit-mapper";
+/// Combining counter name (combined workflow).
+pub const COMBINING_COUNTER: &str = "combining-counter";
+
+/// The engine-native replacement for the whole Example 6 pipeline:
+/// `S1 → M1 unit-mapper → S2 → U1 combining-counter`. One updater, no
+/// shard keys, no partial streams — hotspot relief comes from the
+/// engine, not the application.
+pub fn combined_workflow() -> Workflow {
+    let mut b = Workflow::builder("split-counter-combined");
+    b.external_stream(CHECKIN_STREAM);
+    b.mapper_publishing(UNIT_MAPPER, &[CHECKIN_STREAM], &[UNIT_STREAM]);
+    b.updater(COMBINING_COUNTER, &[UNIT_STREAM]);
+    b.build().expect("static workflow is valid")
+}
+
+/// M1 of the combined workflow: matches retailers like the Figure 3
+/// mapper but emits the unit count `"1"` as the value, so downstream
+/// values are combinable by decimal sum.
+pub struct UnitMapper {
+    name: String,
+}
+
+impl UnitMapper {
+    /// Default-named unit mapper.
+    pub fn new() -> Self {
+        UnitMapper { name: UNIT_MAPPER.to_string() }
+    }
+}
+
+impl Default for UnitMapper {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Mapper for UnitMapper {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn map(&self, ctx: &mut dyn Emitter, event: &Event) {
+        let Some(venue) = crate::retailer::RetailerMapper::venue_of(event) else { return };
+        if let Some(retailer) = match_retailer(&venue) {
+            ctx.publish(UNIT_STREAM, Key::from(retailer), b"1".to_vec());
+        }
+    }
+}
+
+/// U1 of the combined workflow: adds the event's decimal unit count to
+/// the slate counter and declares the associative merge — folding
+/// values by decimal sum then updating once is bit-identical to
+/// updating per event, which is exactly the combiner contract. The
+/// merge is total over slate byte images (decimal text), so the engine
+/// may also split this updater's hot keys across subslates.
+pub struct CombiningCounter {
+    name: String,
+}
+
+impl CombiningCounter {
+    /// Default-named combining counter.
+    pub fn new() -> Self {
+        CombiningCounter { name: COMBINING_COUNTER.to_string() }
+    }
+
+    /// A combining counter registered under a custom function name.
+    pub fn named(name: impl Into<String>) -> Self {
+        CombiningCounter { name: name.into() }
+    }
+}
+
+impl Default for CombiningCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Updater for CombiningCounter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn update(&self, _ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
+        let n: u64 = std::str::from_utf8(event.value.as_ref())
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
+        slate.incr_counter(n);
+    }
+
+    fn combine(&self, acc: &[u8], next: &[u8]) -> Option<Vec<u8>> {
+        muppet_core::operator::combine_decimal_sum(acc, next)
+    }
+
+    fn combines(&self) -> bool {
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +372,54 @@ mod tests {
         let max = shards.iter().map(|(_, c)| *c).max().unwrap();
         let min = shards.iter().map(|(_, c)| *c).min().unwrap();
         assert!(max - min <= 1, "round-robin splits evenly: {shards:?}");
+    }
+
+    #[test]
+    fn combined_workflow_counts_match_ground_truth() {
+        let wf = combined_workflow();
+        let mut exec = ReferenceExecutor::new(&wf);
+        exec.register_mapper(UnitMapper::new());
+        exec.register_updater(CombiningCounter::new());
+        let mut gen = CheckinGenerator::new(77, 100, 1000.0).with_venue_skew(2.0);
+        let events = gen.take(CHECKIN_STREAM, 2000);
+        let expected: Counts =
+            CheckinGenerator::expected_retailer_counts(&events).into_iter().collect();
+        for ev in events {
+            exec.push_external(CHECKIN_STREAM, ev);
+        }
+        exec.run_to_completion().unwrap();
+        let totals: Counts = exec
+            .slates_of(COMBINING_COUNTER)
+            .into_iter()
+            .map(|(key, slate)| (key.as_str().unwrap().to_string(), slate.counter()))
+            .collect();
+        assert_eq!(totals, expected, "one combining updater replaces the Example 6 pipeline");
+    }
+
+    #[test]
+    fn combining_counter_fold_is_update_equivalent() {
+        // The contract the engine relies on: combine-then-update-once
+        // leaves the slate bit-identical to updating per event.
+        use muppet_core::event::Event;
+        use muppet_core::operator::VecEmitter;
+        use muppet_core::slate::Slate;
+        let u = CombiningCounter::new();
+        let values: Vec<&[u8]> = vec![b"1", b"41", b"0", b"7"];
+        let mut per_event = Slate::default();
+        let mut emitter = VecEmitter::new();
+        for v in &values {
+            let ev = Event::new(UNIT_STREAM, 1, Key::from("Best Buy"), v.to_vec());
+            u.update(&mut emitter, &ev, &mut per_event);
+        }
+        let mut folded_value = values[0].to_vec();
+        for v in &values[1..] {
+            folded_value = u.combine(&folded_value, v).expect("decimal sum is total");
+        }
+        let mut folded = Slate::default();
+        let ev = Event::new(UNIT_STREAM, 1, Key::from("Best Buy"), folded_value);
+        u.update(&mut emitter, &ev, &mut folded);
+        assert_eq!(per_event.bytes(), folded.bytes());
+        assert_eq!(per_event.counter(), 49);
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod x1_distributed_execution;
 pub mod x20_crash_recovery;
 pub mod x21_lock_shim;
 pub mod x22_binary_codec;
+pub mod x23_hot_keys;
 pub mod x2_retailer_counts;
 pub mod x3_hot_topics;
 pub mod x4_scale_latency;

@@ -1,0 +1,509 @@
+//! X23 — hot keys: map-side combiners and dynamic key splitting.
+//!
+//! §5: "the distribution of event keys can be strongly skewed … updaters
+//! can receive widely varying loads." X12 measured the paper's *manual*
+//! Example-6 remedy (the application splits its own counter). This
+//! experiment measures the *runtime* remedy stack (DESIGN.md §14): the
+//! operator declares an associative `combine`, the engine folds same-key
+//! runs in the drained batch (and in the TCP sender outbox before
+//! framing), and a SpaceSaving-detected hot key fans out across
+//! ring-distributed subslates, merged back on read. Exactness is the
+//! invariant: every arm's per-key totals are compared bit-for-bit against
+//! `core::reference` ground truth.
+//!
+//! Arms (identical in-process 2-machine cluster, identical Zipf(1.2)
+//! stream, identical instrumented updater):
+//!
+//! * `naive`          — `combine` off: one slate mutation per event;
+//! * `combiner`       — `combine` on, splitting off: drained batches fold
+//!   same-key runs, so the head key pays one mutation per batch;
+//! * `combiner+split` — + `hot_split_threshold`: the head key's updates
+//!   fan across subslates and reads merge them through the combiner.
+//!
+//! A uniform-key control (s = 0, wide universe — nothing to fold) bounds
+//! the combiner's bookkeeping overhead, and a raw two-node TCP section
+//! counts framed wire entries for a single-hot-key burst with and without
+//! a declared combiner. Results land in `BENCH_x23.json`; the
+//! deterministic counter contrasts gate CI, wall-clock ratios are
+//! asserted only at full scale (`--quick` timing on shared runners is
+//! noise).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+use muppet_apps::split_counter::CombiningCounter;
+use muppet_core::event::{Event, Key};
+use muppet_core::json::Json;
+use muppet_core::operator::{combine_decimal_sum, Emitter, Updater};
+use muppet_core::reference::ReferenceExecutor;
+use muppet_core::slate::Slate;
+use muppet_core::workflow::{OpId, Workflow};
+use muppet_net::topology::Topology;
+use muppet_net::transport::{ClusterHandler, MachineId, NetError, Transport};
+use muppet_net::{BatchConfig, TcpTransport, WireEvent};
+use muppet_runtime::dispatch::{split_base_of, split_subkey, SPLIT_WAYS};
+use muppet_runtime::engine::{Engine, EngineConfig, EngineStats, OperatorSet};
+use muppet_runtime::overflow::OverflowPolicy;
+use muppet_workloads::{zipf_events, ZIPF_STREAM};
+
+use crate::table::{rate, Table};
+use crate::Scale;
+
+const COUNTER: &str = "zipf-counter";
+const MACHINES: usize = 2;
+const WORKERS: usize = 1;
+const HEAD: &str = "k0";
+/// Sized so the Zipf head (~21% of the stream) crosses it early even at
+/// `--quick` scale, well before the burst drains.
+const SPLIT_THRESHOLD: u64 = 500;
+/// Per-mutation cost standing in for the paper's real update functions
+/// (JSON slate parse + rebuild, top-K upkeep — cf. X12's heavyweight
+/// stand-in). A bare `incr_counter` is the cheapest updater expressible,
+/// which would measure the dispatch path, not the combiner: what folding
+/// buys is *skipped slate mutations*, so the contrast scales with
+/// exactly this per-mutation cost. Identical in every arm.
+const UPDATE_COST: Duration = Duration::from_micros(2);
+
+fn workflow() -> Workflow {
+    let mut b = Workflow::builder("x23-hot-keys");
+    b.external_stream(ZIPF_STREAM);
+    b.updater(COUNTER, &[ZIPF_STREAM]);
+    b.build().unwrap()
+}
+
+/// [`CombiningCounter`] plus a head-key mutation probe: counts `update`
+/// invocations that touch the head key's slate — the base key or any of
+/// its split subslates — which is exactly the serialization bottleneck
+/// the combiner and the splitter attack from opposite ends.
+struct InstrumentedCounter {
+    head_mutations: Arc<AtomicU64>,
+}
+
+impl Updater for InstrumentedCounter {
+    fn name(&self) -> &str {
+        COUNTER
+    }
+
+    fn update(&self, _ctx: &mut dyn Emitter, event: &Event, slate: &mut Slate) {
+        let head = event.key.as_bytes() == HEAD.as_bytes()
+            || split_base_of(&event.key).is_some_and(|base| base.as_bytes() == HEAD.as_bytes());
+        if head {
+            self.head_mutations.fetch_add(1, Ordering::Relaxed);
+        }
+        let deadline = Instant::now() + UPDATE_COST;
+        while Instant::now() < deadline {
+            std::hint::spin_loop();
+        }
+        let n: u64 = std::str::from_utf8(event.value.as_ref())
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
+        slate.incr_counter(n);
+    }
+
+    fn combine(&self, acc: &[u8], next: &[u8]) -> Option<Vec<u8>> {
+        combine_decimal_sum(acc, next)
+    }
+
+    fn combines(&self) -> bool {
+        true
+    }
+}
+
+/// Ground truth per `core::reference`: the workflow executed one event at
+/// a time, no folding, no splitting.
+fn reference_counts(events: &[Event]) -> BTreeMap<String, u64> {
+    let wf = workflow();
+    let mut exec = ReferenceExecutor::new(&wf);
+    exec.register_updater(CombiningCounter::named(COUNTER));
+    exec.push_external_batch(ZIPF_STREAM, events.iter().cloned());
+    exec.run_to_completion().expect("reference run");
+    exec.slates_of(COUNTER)
+        .into_iter()
+        .map(|(k, s)| (String::from_utf8(k.as_bytes().to_vec()).unwrap(), s.counter()))
+        .collect()
+}
+
+struct Outcome {
+    elapsed: Duration,
+    stats: EngineStats,
+    head_mutations: u64,
+    counts: BTreeMap<String, u64>,
+    populated_subslates: usize,
+}
+
+fn run_arm(events: &[Event], expected: &BTreeMap<String, u64>, cfg: EngineConfig) -> Outcome {
+    let head_mutations = Arc::new(AtomicU64::new(0));
+    let ops = OperatorSet::new()
+        .updater(InstrumentedCounter { head_mutations: Arc::clone(&head_mutations) });
+    let engine = Engine::start(workflow(), ops, cfg, None).unwrap();
+    let t0 = Instant::now();
+    engine.submit_many(events.to_vec()).expect("submit");
+    assert!(engine.drain(Duration::from_secs(300)), "arm did not drain");
+    let elapsed = t0.elapsed();
+    // Reads go through the public merge-on-read path, so a split head
+    // key's subslates fold back through the combiner right here.
+    let mut counts = BTreeMap::new();
+    for key in expected.keys() {
+        if let Some(bytes) = engine.read_slate(COUNTER, &Key::from(key.as_str())) {
+            counts.insert(key.clone(), String::from_utf8(bytes).unwrap().parse::<u64>().unwrap());
+        }
+    }
+    let head = Key::from(HEAD);
+    let populated_subslates = (0..SPLIT_WAYS)
+        .filter(|&w| engine.read_slate(COUNTER, &split_subkey(&head, w)).is_some())
+        .count();
+    let stats = engine.stats();
+    engine.shutdown();
+    Outcome {
+        elapsed,
+        stats,
+        head_mutations: head_mutations.load(Ordering::Relaxed),
+        counts,
+        populated_subslates,
+    }
+}
+
+fn config(combine: bool, hot_split_threshold: u64) -> EngineConfig {
+    EngineConfig {
+        machines: MACHINES,
+        workers_per_machine: WORKERS,
+        queue_capacity: 1 << 14,
+        drain_batch_max: 512,
+        // Loss-free: every arm processes the identical event set, so
+        // ratios compare equal work.
+        overflow: OverflowPolicy::SourceThrottle,
+        combine,
+        hot_split_threshold,
+        ..EngineConfig::default()
+    }
+}
+
+/// Fastest of `reps` runs — the standard noise filter for wall-clock
+/// contrasts on a shared box (counter-based outcomes are identical across
+/// repeats by construction).
+fn best_of(reps: usize, mut f: impl FnMut() -> Outcome) -> Outcome {
+    let mut best = f();
+    for _ in 1..reps {
+        let o = f();
+        if o.elapsed < best.elapsed {
+            best = o;
+        }
+    }
+    best
+}
+
+/// Wire sink/source handler: op 1 optionally declares the decimal-sum
+/// combiner (source side folds in the outbox), and the sink tracks the
+/// delivered total so exactness over the wire is checked, not assumed.
+struct WireHandler {
+    combining: bool,
+    delivered_entries: AtomicUsize,
+    absorbed: AtomicUsize,
+    sum: AtomicUsize,
+}
+
+impl WireHandler {
+    fn new(combining: bool) -> Arc<WireHandler> {
+        Arc::new(WireHandler {
+            combining,
+            delivered_entries: AtomicUsize::new(0),
+            absorbed: AtomicUsize::new(0),
+            sum: AtomicUsize::new(0),
+        })
+    }
+}
+
+impl ClusterHandler for WireHandler {
+    fn deliver_event(&self, _dest: MachineId, ev: WireEvent) -> Result<(), NetError> {
+        self.delivered_entries.fetch_add(1, Ordering::Relaxed);
+        let n: usize =
+            std::str::from_utf8(&ev.event.value).unwrap_or("0").trim().parse().unwrap_or(0);
+        self.sum.fetch_add(n, Ordering::Relaxed);
+        Ok(())
+    }
+    fn deliver_combined(
+        &self,
+        dest: MachineId,
+        ev: WireEvent,
+        absorbed: u64,
+    ) -> Result<(), NetError> {
+        self.absorbed.fetch_add(absorbed as usize, Ordering::Relaxed);
+        self.deliver_event(dest, ev)
+    }
+    fn combine_values(&self, op: OpId, acc: &[u8], next: &[u8]) -> Option<Vec<u8>> {
+        if !self.combining || op != 1 {
+            return None;
+        }
+        combine_decimal_sum(acc, next)
+    }
+    fn handle_failure_report(&self, _failed: MachineId, _epoch: u64) {}
+    fn handle_failure_broadcast(&self, _failed: MachineId, _epoch: u64) {}
+    fn read_local_slate(&self, _d: MachineId, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
+        None
+    }
+}
+
+struct WireOutcome {
+    elapsed: Duration,
+    entries_framed: u64,
+    frames: u64,
+}
+
+/// Push an `n`-event single-hot-key unit burst through one batching TCP
+/// sender to one peer and count the wire entries actually framed. The
+/// long age bound keeps flushes size-triggered, so the naive arm frames
+/// exactly `n` entries while the combining arm folds each
+/// `batch_max`-sized drain into one carrier entry.
+fn wire_burst(n: usize, batch_max: usize, combining: bool) -> WireOutcome {
+    let topo = Topology::loopback_ephemeral(2, false).expect("reserve ports");
+    let batch = BatchConfig { batch_max, flush_us: 200_000, ..BatchConfig::default() };
+    let source = TcpTransport::new_with_batching(topo.clone(), 0, batch).unwrap();
+    let sink = TcpTransport::new(topo, 1).unwrap();
+    let src_handler = WireHandler::new(combining);
+    let sink_handler = WireHandler::new(combining);
+    source.register(Arc::downgrade(&src_handler) as Weak<dyn ClusterHandler>);
+    sink.register(Arc::downgrade(&sink_handler) as Weak<dyn ClusterHandler>);
+    let _listener = sink.start_listener().expect("bind sink");
+    let events: Vec<WireEvent> = (0..n)
+        .map(|i| WireEvent {
+            op: 1,
+            event: Event::new(ZIPF_STREAM, i as u64 + 1, Key::from(HEAD), &b"1"[..]),
+            injected_us: 0,
+            redirected: false,
+            external: true,
+            thread_hint: None,
+            forwards: 0,
+        })
+        .collect();
+    let t0 = Instant::now();
+    for ev in events {
+        source.send_event(1, ev).expect("wire send");
+    }
+    let deadline = Instant::now() + Duration::from_secs(120);
+    while sink_handler.sum.load(Ordering::Relaxed) < n {
+        assert!(Instant::now() < deadline, "wire burst never drained");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let elapsed = t0.elapsed();
+    assert_eq!(sink_handler.sum.load(Ordering::Relaxed), n, "wire totals must stay exact");
+    let stats = source.stats();
+    WireOutcome {
+        elapsed,
+        entries_framed: stats.batched_events_sent.load(Ordering::Relaxed),
+        frames: stats.frames_sent.load(Ordering::Relaxed),
+    }
+}
+
+fn arm_json(name: &str, n: usize, o: &Outcome) -> Json {
+    let secs = o.elapsed.as_secs_f64().max(1e-9);
+    Json::obj([
+        ("arm", Json::str(name)),
+        ("events", Json::num(n as f64)),
+        ("wall_ms", Json::num(o.elapsed.as_secs_f64() * 1e3)),
+        ("events_per_sec", Json::num(n as f64 / secs)),
+        ("head_slate_mutations", Json::num(o.head_mutations as f64)),
+        ("combined_events", Json::num(o.stats.combined_events as f64)),
+        ("split_keys_active", Json::num(o.stats.split_keys_active as f64)),
+        ("split_merge_reads", Json::num(o.stats.split_merge_reads as f64)),
+        ("populated_head_subslates", Json::num(o.populated_subslates as f64)),
+        ("p99_e2e_us", Json::num(o.stats.latency.p99_us as f64)),
+    ])
+}
+
+/// Run the experiment.
+pub fn run(scale: Scale) {
+    super::banner(
+        "X23",
+        "map-side combiners and dynamic hot-key splitting (Zipf counters)",
+        "§5 skew; DESIGN.md §14 combiner contract + split lifecycle",
+    );
+    let full = scale == Scale::FULL;
+    let n = scale.events(120_000);
+    let events = zipf_events(500, 1.2, n, 77);
+    let expected = reference_counts(&events);
+    let head_events = expected[HEAD];
+
+    // Counter outcomes are gate-stable per run; best-of-reps only filters
+    // scheduler noise out of the wall-clock contrasts.
+    let reps = if full { 3 } else { 1 };
+    let naive = best_of(reps, || run_arm(&events, &expected, config(false, 0)));
+    let combiner = best_of(reps, || run_arm(&events, &expected, config(true, 0)));
+    let split = best_of(reps, || run_arm(&events, &expected, config(true, SPLIT_THRESHOLD)));
+
+    let mut table = Table::new([
+        "arm",
+        "events",
+        "wall time",
+        "events/s",
+        "head slate writes",
+        "combined",
+        "split active",
+        "head subslates",
+    ]);
+    for (name, o) in [("naive", &naive), ("combiner", &combiner), ("combiner+split", &split)] {
+        table.row([
+            name.to_string(),
+            n.to_string(),
+            format!("{:.2?}", o.elapsed),
+            rate(n, o.elapsed),
+            o.head_mutations.to_string(),
+            o.stats.combined_events.to_string(),
+            o.stats.split_keys_active.to_string(),
+            o.populated_subslates.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Exactness is the contract: all three arms reproduce the reference
+    // totals bit-for-bit, split head key included (merged on read).
+    assert_eq!(naive.counts, expected, "naive arm must match core::reference");
+    assert_eq!(combiner.counts, expected, "folded delivery must match core::reference");
+    assert_eq!(split.counts, expected, "split + merge-on-read must match core::reference");
+
+    // The naive arm pays one slate mutation per head event; the combiner
+    // folds the head's same-key runs down by ≥10×.
+    assert_eq!(naive.head_mutations, head_events, "naive = one mutation per head event");
+    assert_eq!(naive.stats.combined_events, 0);
+    assert_eq!(naive.stats.split_keys_active, 0);
+    assert!(combiner.stats.combined_events > 0, "skewed burst must fold");
+    let head_drop = naive.head_mutations as f64 / combiner.head_mutations.max(1) as f64;
+    assert!(
+        naive.head_mutations >= 10 * combiner.head_mutations,
+        "combining must cut head-key slate mutations ≥10× ({} vs {})",
+        naive.head_mutations,
+        combiner.head_mutations
+    );
+    assert_eq!(combiner.stats.split_keys_active, 0, "threshold 0 never splits");
+
+    // The split arm fans the head key across subslates and merges on read.
+    assert!(
+        split.populated_subslates >= 4,
+        "head key must spread across ≥4 subslates, got {}",
+        split.populated_subslates
+    );
+    assert!(split.stats.split_keys_active >= 1, "the Zipf head must be split");
+    assert!(split.stats.split_merge_reads > 0, "reads of the split key must merge");
+
+    // Uniform control: a wide flat universe offers nothing to fold, so
+    // this bounds the combiner's pure bookkeeping overhead.
+    let n_uniform = scale.events(60_000);
+    let uniform = zipf_events(2_000, 0.0, n_uniform, 101);
+    let uniform_expected = reference_counts(&uniform);
+    let uniform_naive = best_of(reps, || run_arm(&uniform, &uniform_expected, config(false, 0)));
+    let uniform_combine = best_of(reps, || run_arm(&uniform, &uniform_expected, config(true, 0)));
+    assert_eq!(uniform_naive.counts, uniform_expected);
+    assert_eq!(uniform_combine.counts, uniform_expected);
+    let uniform_regression_pct = (uniform_combine.elapsed.as_secs_f64()
+        / uniform_naive.elapsed.as_secs_f64().max(1e-9)
+        - 1.0)
+        * 100.0;
+
+    // Raw wire: a single-hot-key burst through one batching TCP sender —
+    // combining folds each batch_max drain into one framed carrier.
+    let n_wire = scale.events(100_000);
+    let batch_max = 128;
+    let wire_naive = wire_burst(n_wire, batch_max, false);
+    let wire_combined = wire_burst(n_wire, batch_max, true);
+    let wire_bound = (n_wire as u64).div_ceil(batch_max as u64); // × 1 peer
+    assert_eq!(
+        wire_naive.entries_framed, n_wire as u64,
+        "no combiner declared = one wire entry per event"
+    );
+    assert!(
+        wire_combined.entries_framed <= wire_bound,
+        "combining must bound framed entries by ⌈N/batch_max⌉·peers ({} > {wire_bound})",
+        wire_combined.entries_framed
+    );
+    assert!(
+        wire_naive.entries_framed >= 10 * wire_combined.entries_framed.max(1),
+        "combining must cut framed wire events ≥10× ({} vs {})",
+        wire_naive.entries_framed,
+        wire_combined.entries_framed
+    );
+    let wire_drop = wire_naive.entries_framed as f64 / wire_combined.entries_framed.max(1) as f64;
+
+    let mut wire_table = Table::new([
+        "wire (1 sender, hot-key burst)",
+        "events",
+        "wall time",
+        "entries framed",
+        "frames",
+    ]);
+    for (name, o) in [("naive", &wire_naive), ("combining", &wire_combined)] {
+        wire_table.row([
+            name.to_string(),
+            n_wire.to_string(),
+            format!("{:.2?}", o.elapsed),
+            o.entries_framed.to_string(),
+            o.frames.to_string(),
+        ]);
+    }
+    println!();
+    wire_table.print();
+
+    let speedup = naive.elapsed.as_secs_f64() / combiner.elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "\nshape check: combining folds the head key's {head_events} events into \
+         {} slate mutations ({head_drop:.0}× fewer) and delivers {speedup:.2}× the naive \
+         events/s; the split arm spreads the head across {} subslates ({} merge-on-read \
+         folds) with totals still bit-for-bit; the wire frames {} entries instead of \
+         {n_wire} ({wire_drop:.0}× fewer); the uniform control moves {uniform_regression_pct:+.1}%",
+        combiner.head_mutations,
+        split.populated_subslates,
+        split.stats.split_merge_reads,
+        wire_combined.entries_framed,
+    );
+    // Wall-clock gates only at full scale — the committed BENCH_x23.json
+    // is the record; --quick CI runs gate on the counter contrasts above.
+    if full {
+        assert!(
+            speedup >= 1.3,
+            "combiner arm must deliver ≥1.3× naive events/s at full scale (got {speedup:.2}×)"
+        );
+        assert!(
+            uniform_regression_pct < 3.0,
+            "uniform workload must regress <3% under combining (got {uniform_regression_pct:.1}%)"
+        );
+    }
+
+    let doc = Json::obj([
+        ("experiment", Json::str("x23")),
+        ("workload", Json::str("zipf_events(500 keys, s=1.2) unit counters")),
+        ("machines", Json::num(MACHINES as f64)),
+        ("workers_per_machine", Json::num(WORKERS as f64)),
+        ("events", Json::num(n as f64)),
+        ("head_key_events", Json::num(head_events as f64)),
+        ("hot_split_threshold", Json::num(SPLIT_THRESHOLD as f64)),
+        (
+            "arms",
+            Json::arr([
+                arm_json("naive", n, &naive),
+                arm_json("combiner", n, &combiner),
+                arm_json("combiner+split", n, &split),
+                arm_json("uniform-naive", n_uniform, &uniform_naive),
+                arm_json("uniform-combiner", n_uniform, &uniform_combine),
+            ]),
+        ),
+        (
+            "wire",
+            Json::obj([
+                ("events", Json::num(n_wire as f64)),
+                ("batch_max", Json::num(batch_max as f64)),
+                ("entry_bound", Json::num(wire_bound as f64)),
+                ("naive_entries_framed", Json::num(wire_naive.entries_framed as f64)),
+                ("combined_entries_framed", Json::num(wire_combined.entries_framed as f64)),
+                ("entry_drop", Json::num((wire_drop * 10.0).round() / 10.0)),
+            ]),
+        ),
+        ("combiner_speedup_vs_naive", Json::num((speedup * 100.0).round() / 100.0)),
+        ("head_mutation_drop", Json::num((head_drop * 10.0).round() / 10.0)),
+        ("uniform_regression_pct", Json::num((uniform_regression_pct * 100.0).round() / 100.0)),
+    ]);
+    match std::fs::write("BENCH_x23.json", doc.to_pretty() + "\n") {
+        Ok(()) => println!("wrote BENCH_x23.json"),
+        Err(e) => eprintln!("could not write BENCH_x23.json: {e}"),
+    }
+}

@@ -17,7 +17,7 @@ pub mod table;
 /// All experiment ids in run order.
 pub const ALL_EXPERIMENTS: &[&str] = &[
     "f1a", "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9", "x10", "x11", "x12", "x13", "x14",
-    "x15", "x16", "x17", "x18", "x19", "x20", "x21", "x22",
+    "x15", "x16", "x17", "x18", "x19", "x20", "x21", "x22", "x23",
 ];
 
 /// Scale knob: `--quick` divides event counts for CI-speed runs.
@@ -65,6 +65,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> bool {
         "x20" => experiments::x20_crash_recovery::run(scale),
         "x21" => experiments::x21_lock_shim::run(scale),
         "x22" => experiments::x22_binary_codec::run(scale),
+        "x23" => experiments::x23_hot_keys::run(scale),
         _ => return false,
     }
     true

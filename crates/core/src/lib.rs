@@ -44,7 +44,7 @@ pub use error::{Error, Result};
 pub use event::{Event, Key, StreamId, Timestamp};
 pub use json::Json;
 pub use mbf::{Codec, CodecChoice};
-pub use operator::{Emitter, Mapper, Updater};
+pub use operator::{combine_decimal_sum, CombinedUpdate, Emitter, Mapper, Updater};
 pub use reference::ReferenceExecutor;
 pub use slate::Slate;
 pub use workflow::{Workflow, WorkflowBuilder};

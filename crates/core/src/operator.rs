@@ -120,6 +120,45 @@ pub trait Updater: Send + Sync + 'static {
     fn slate_ttl_secs(&self) -> Option<u64> {
         None
     }
+
+    /// Optional associative merge over this updater's *event payloads* (the
+    /// classic MapReduce combiner, declared rather than inferred). `None`
+    /// (the default) means the updater does not combine and every event is
+    /// delivered individually.
+    ///
+    /// The contract for a `Some(merged)` return is fold-equivalence: for any
+    /// run of same-key events `e1..en`, delivering one event whose payload is
+    /// `combine(..combine(e1, e2).., en)` must leave the slate bit-identical
+    /// to delivering `e1..en` one at a time. The runtime exploits this in the
+    /// sender outbox, the local dispatch drain, and hot-key split/merge; an
+    /// updater that also wants dynamic key splitting must additionally make
+    /// `combine` total over *slate byte images* (e.g. decimal counter text),
+    /// because split subslates are merged on read through the same function.
+    ///
+    /// Returning `None` from any particular call vetoes the fold for that
+    /// pair — both payloads are then delivered individually.
+    fn combine(&self, _acc: &[u8], _next: &[u8]) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// True when this updater declares a combiner. Implementations that
+    /// override [`Updater::combine`] must override this too; the runtime
+    /// uses it as a cheap gate before attempting any fold.
+    fn combines(&self) -> bool {
+        false
+    }
+}
+
+/// A pre-aggregated delta: the payload of one wire/dispatch event that
+/// absorbed `count` original events through a declared [`Updater::combine`].
+/// Carried alongside the folded event so receivers can account for the
+/// original event count (loss ledgers, metrics) without unfolding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CombinedUpdate {
+    /// The folded payload, `combine`-equivalent to the absorbed run.
+    pub value: Bytes,
+    /// How many original events this payload absorbed (≥ 1).
+    pub count: u64,
 }
 
 /// Blanket adapters so closures can serve as quick mappers in tests and
@@ -152,10 +191,14 @@ where
     }
 }
 
+/// Boxed combiner closure carried by [`FnUpdater::with_combiner`].
+type CombineFn = Box<dyn Fn(&[u8], &[u8]) -> Option<Vec<u8>> + Send + Sync>;
+
 /// Closure adapter for updaters: `FnUpdater::new("U1", |ctx, ev, slate| ...)`.
 pub struct FnUpdater<F> {
     name: String,
     ttl_secs: Option<u64>,
+    combiner: Option<CombineFn>,
     f: F,
 }
 
@@ -165,12 +208,21 @@ where
 {
     /// Wrap a closure as a named [`Updater`].
     pub fn new(name: impl Into<String>, f: F) -> Self {
-        FnUpdater { name: name.into(), ttl_secs: None, f }
+        FnUpdater { name: name.into(), ttl_secs: None, combiner: None, f }
     }
 
     /// Set the slate TTL (seconds).
     pub fn with_ttl_secs(mut self, secs: u64) -> Self {
         self.ttl_secs = Some(secs);
+        self
+    }
+
+    /// Declare an associative payload combiner (see [`Updater::combine`]).
+    pub fn with_combiner(
+        mut self,
+        c: impl Fn(&[u8], &[u8]) -> Option<Vec<u8>> + Send + Sync + 'static,
+    ) -> Self {
+        self.combiner = Some(Box::new(c));
         self
     }
 }
@@ -190,6 +242,25 @@ where
     fn slate_ttl_secs(&self) -> Option<u64> {
         self.ttl_secs
     }
+
+    fn combine(&self, acc: &[u8], next: &[u8]) -> Option<Vec<u8>> {
+        self.combiner.as_ref().and_then(|c| c(acc, next))
+    }
+
+    fn combines(&self) -> bool {
+        self.combiner.is_some()
+    }
+}
+
+/// The decimal-text sum combiner shared by counter-style updaters: both
+/// inputs parse as decimal u64 text (the [`Slate::incr_counter`] byte
+/// representation and the usual `{delta}`-as-text payload), the output is
+/// their sum as decimal text. Total over slate byte images, so updaters
+/// built on it are eligible for dynamic key splitting.
+pub fn combine_decimal_sum(acc: &[u8], next: &[u8]) -> Option<Vec<u8>> {
+    let a: u64 = std::str::from_utf8(acc).ok()?.trim().parse().ok()?;
+    let b: u64 = std::str::from_utf8(next).ok()?.trim().parse().ok()?;
+    Some(a.checked_add(b)?.to_string().into_bytes())
 }
 
 #[cfg(test)]
@@ -253,6 +324,55 @@ mod tests {
         assert_eq!(m.name(), "M");
         assert_eq!(u.name(), "U");
         assert_eq!(u.slate_ttl_secs(), None);
+    }
+
+    #[test]
+    fn combiner_defaults_off_and_opt_in_folds() {
+        let plain = FnUpdater::new("U", |_: &mut dyn Emitter, _: &Event, s: &mut Slate| {
+            s.incr_counter(1);
+        });
+        assert!(!plain.combines());
+        assert_eq!(plain.combine(b"1", b"2"), None);
+
+        let combining = FnUpdater::new("U", |_: &mut dyn Emitter, ev: &Event, s: &mut Slate| {
+            let d: u64 = std::str::from_utf8(&ev.value).unwrap().trim().parse().unwrap();
+            s.incr_counter(d);
+        })
+        .with_combiner(combine_decimal_sum);
+        assert!(combining.combines());
+        assert_eq!(combining.combine(b"3", b"4"), Some(b"7".to_vec()));
+        // Non-numeric payloads veto the fold rather than corrupting it.
+        assert_eq!(combining.combine(b"3", b"x"), None);
+
+        // Fold-equivalence: one combined delivery ≡ the per-event run.
+        let mut em = VecEmitter::new();
+        let mut folded = Slate::empty();
+        let merged = combining.combine(combining.combine(b"1", b"1").unwrap().as_slice(), b"1");
+        let ev = Event::new("S2", 5, Key::from("k"), merged.unwrap());
+        combining.update(&mut em, &ev, &mut folded);
+        let mut one_by_one = Slate::empty();
+        for _ in 0..3 {
+            let ev = Event::new("S2", 5, Key::from("k"), "1");
+            combining.update(&mut em, &ev, &mut one_by_one);
+        }
+        assert_eq!(folded.bytes(), one_by_one.bytes());
+    }
+
+    #[test]
+    fn combined_update_carries_count() {
+        let cu = CombinedUpdate { value: Bytes::from_static(b"12"), count: 12 };
+        assert_eq!(cu.clone(), cu);
+        assert_eq!(cu.count, 12);
+    }
+
+    #[test]
+    fn combining_updaters_stay_object_safe() {
+        let u: std::sync::Arc<dyn Updater> = std::sync::Arc::new(
+            FnUpdater::new("U", |_: &mut dyn Emitter, _: &Event, _: &mut Slate| {})
+                .with_combiner(combine_decimal_sum),
+        );
+        assert!(u.combines());
+        assert_eq!(u.combine(b"10", b"1"), Some(b"11".to_vec()));
     }
 
     #[test]

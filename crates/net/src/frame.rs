@@ -147,6 +147,15 @@ pub enum Frame {
     /// the wire keep up with the firehose (§4.1). Semantically identical
     /// to the same events sent as individual [`Frame::Event`]s.
     EventBatch(Vec<WireEvent>),
+    /// Deliver a coalesced run of *combined* events (one-way): each entry
+    /// is one wire event whose payload absorbed `count` original
+    /// same-⟨op,key⟩ events through the operator's declared associative
+    /// combiner (map-side pre-aggregation in the sender outbox). The
+    /// count rides along so the receiver can account for original events
+    /// (ledgers, metrics) without unfolding. A batch where every count is
+    /// 1 never uses this kind — it encodes as the plain
+    /// [`Frame::EventBatch`] / [`Frame::Event`] wire, byte-identical.
+    CombinedBatch(Vec<(WireEvent, u64)>),
     /// Worker → master: `failed` was unreachable on send (§4.3), observed
     /// under membership `epoch` (stale-epoch reports about a re-joined id
     /// are rejected by the master).
@@ -207,7 +216,9 @@ pub enum Frame {
     ReintroduceAck { epoch: u64 },
 }
 
-/// Protocol version carried in [`Frame::Hello`]. v5: MBF codec
+/// Protocol version carried in [`Frame::Hello`]. v6: combined-batch
+/// event frames (kind 25) carrying map-side pre-aggregated deltas with
+/// their absorbed-event counts; v5: MBF codec
 /// negotiation (`HelloAck`, the hello codecs byte, tagged store batch
 /// kinds 22/23) — hellos from v3/v4 peers are still accepted and pin
 /// their connections to JSON; v4: restart re-identification
@@ -215,7 +226,7 @@ pub enum Frame {
 /// (`StorePutBatch`/`StoreGetBatch` + responses); v2 added epoch-stamped
 /// failure frames + the membership (elastic join) frames. The unbatched
 /// store frames remain in the protocol and are still accepted.
-pub const PROTOCOL_VERSION: u64 = 5;
+pub const PROTOCOL_VERSION: u64 = 6;
 
 /// Oldest hello version still accepted (see [`Frame::Hello`]).
 pub const MIN_PROTOCOL_VERSION: u64 = 3;
@@ -248,6 +259,7 @@ const KIND_REINTRODUCE_ACK: u8 = 21;
 const KIND_STORE_PUT_BATCH_TAGGED: u8 = 22;
 const KIND_STORE_VALUE_BATCH_TAGGED: u8 = 23;
 const KIND_HELLO_ACK: u8 = 24;
+const KIND_COMBINED_BATCH: u8 = 25;
 
 /// The encoded floor of one event inside a batch (op + injected_us +
 /// flags + hint tag + the event's own fixed fields) — used to bound the
@@ -399,6 +411,53 @@ pub fn encode_events_payload(events: &[WireEvent], allow_mbf: bool) -> Vec<u8> {
     out
 }
 
+/// Encode a run of combined entries as the smallest equivalent payload.
+/// A batch where no entry actually absorbed anything (`count == 1`
+/// everywhere — the overwhelmingly common case when no operator declares
+/// a combiner) encodes byte-identically to [`encode_events_payload`];
+/// only a batch carrying real folds uses [`Frame::CombinedBatch`]
+/// (kind 25). `allow_mbf` downgrades payloads exactly as in the plain
+/// event path.
+pub fn encode_combined_payload(entries: &[(WireEvent, u64)], allow_mbf: bool) -> Vec<u8> {
+    if entries.iter().all(|(_, count)| *count == 1) {
+        let mut out = Vec::with_capacity(64 * entries.len().max(1));
+        let put_one = |out: &mut Vec<u8>, ev: &WireEvent| {
+            if allow_mbf {
+                put_wire_event(out, ev);
+            } else if let Some(json_ev) = downgrade_wire_event(ev) {
+                put_wire_event(out, &json_ev);
+            } else {
+                put_wire_event(out, ev);
+            }
+        };
+        if let [(only, _)] = entries {
+            out.push(KIND_EVENT);
+            put_one(&mut out, only);
+        } else {
+            out.push(KIND_EVENT_BATCH);
+            put_varint(&mut out, entries.len() as u64);
+            for (ev, _) in entries {
+                put_one(&mut out, ev);
+            }
+        }
+        return out;
+    }
+    let mut out = Vec::with_capacity(64 * entries.len());
+    out.push(KIND_COMBINED_BATCH);
+    put_varint(&mut out, entries.len() as u64);
+    for (ev, count) in entries {
+        if allow_mbf {
+            put_wire_event(&mut out, ev);
+        } else if let Some(json_ev) = downgrade_wire_event(ev) {
+            put_wire_event(&mut out, &json_ev);
+        } else {
+            put_wire_event(&mut out, ev);
+        }
+        put_varint(&mut out, *count);
+    }
+    out
+}
+
 impl Frame {
     /// A current-version hello, offering MBF iff `offer_mbf`.
     pub fn hello(sender: MachineId, offer_mbf: bool) -> Frame {
@@ -432,6 +491,19 @@ impl Frame {
                     events
                         .iter()
                         .map(|ev| downgrade_wire_event(ev).unwrap_or_else(|| ev.clone()))
+                        .collect(),
+                ))
+            }
+            Frame::CombinedBatch(entries) => {
+                if entries.iter().all(|(ev, _)| !mbf::is_mbf(&ev.event.value)) {
+                    return None;
+                }
+                Some(Frame::CombinedBatch(
+                    entries
+                        .iter()
+                        .map(|(ev, count)| {
+                            (downgrade_wire_event(ev).unwrap_or_else(|| ev.clone()), *count)
+                        })
                         .collect(),
                 ))
             }
@@ -523,6 +595,14 @@ impl Frame {
                 put_varint(&mut out, events.len() as u64);
                 for ev in events {
                     put_wire_event(&mut out, ev);
+                }
+            }
+            Frame::CombinedBatch(entries) => {
+                out.push(KIND_COMBINED_BATCH);
+                put_varint(&mut out, entries.len() as u64);
+                for (ev, count) in entries {
+                    put_wire_event(&mut out, ev);
+                    put_varint(&mut out, *count);
                 }
             }
             Frame::FailureReport { failed, epoch } => {
@@ -710,6 +790,24 @@ impl Frame {
                 }
                 expect_consumed(rest, at)?;
                 Frame::EventBatch(events)
+            }
+            KIND_COMBINED_BATCH => {
+                let (count, mut at) = get_varint(rest)?;
+                let possible = rest.len() / (MIN_WIRE_EVENT_BYTES + 1) + 1;
+                let mut entries = Vec::with_capacity((count as usize).min(possible));
+                for _ in 0..count {
+                    let (ev, n) = get_wire_event(&rest[at..])?;
+                    at += n;
+                    let (absorbed, n) = get_varint(&rest[at..])?;
+                    at += n;
+                    // A combined entry absorbs at least itself.
+                    if absorbed == 0 {
+                        return None;
+                    }
+                    entries.push((ev, absorbed));
+                }
+                expect_consumed(rest, at)?;
+                Frame::CombinedBatch(entries)
             }
             KIND_FAILURE_REPORT => {
                 let (failed, n) = get_varint(rest)?;
@@ -1048,6 +1146,23 @@ mod tests {
                     forwards: 0,
                 },
             ]),
+            Frame::CombinedBatch(Vec::new()),
+            Frame::CombinedBatch(vec![
+                (sample_wire_event(1), 1),
+                (sample_wire_event(2), 10_000),
+                (
+                    WireEvent {
+                        op: 0,
+                        event: Event::new("S2", 7, Key::from(""), Vec::new()),
+                        injected_us: 0,
+                        redirected: false,
+                        external: true,
+                        thread_hint: None,
+                        forwards: 0,
+                    },
+                    3,
+                ),
+            ]),
             Frame::FailureReport { failed: 1, epoch: 4 },
             Frame::FailureBroadcast { failed: 0, epoch: 0 },
             Frame::Join { machine: 3 },
@@ -1244,6 +1359,62 @@ mod tests {
         let mut ev = sample_wire_event(seq);
         ev.event.value = doc.to_mbf().unwrap().into();
         ev
+    }
+
+    #[test]
+    fn combined_payload_degenerates_to_plain_event_wire() {
+        // All counts 1 → byte-identical to the uncombined encodings, so a
+        // cluster with no declared combiners never emits kind 25.
+        let one = [(sample_wire_event(5), 1)];
+        assert_eq!(
+            encode_combined_payload(&one, true),
+            encode_events_payload(&[one[0].0.clone()], true)
+        );
+        let many = vec![(sample_wire_event(1), 1), (sample_wire_event(2), 1)];
+        let plain: Vec<WireEvent> = many.iter().map(|(ev, _)| ev.clone()).collect();
+        assert_eq!(encode_combined_payload(&many, true), encode_events_payload(&plain, true));
+        assert_eq!(encode_combined_payload(&many, false), encode_events_payload(&plain, false));
+    }
+
+    #[test]
+    fn combined_payload_roundtrips_counts() {
+        let entries = vec![(sample_wire_event(1), 250), (sample_wire_event(2), 1)];
+        let payload = encode_combined_payload(&entries, true);
+        assert_eq!(payload[0], KIND_COMBINED_BATCH);
+        assert_eq!(Frame::decode_payload(&payload), Some(Frame::CombinedBatch(entries.clone())));
+        assert_eq!(payload, Frame::CombinedBatch(entries).encode_payload());
+    }
+
+    #[test]
+    fn combined_payload_transcodes_mbf_values_for_json_peers() {
+        let entries = vec![(mbf_event(1), 7), (sample_wire_event(2), 2)];
+        let payload = encode_combined_payload(&entries, false);
+        match Frame::decode_payload(&payload) {
+            Some(Frame::CombinedBatch(back)) => {
+                assert_eq!(
+                    std::str::from_utf8(&back[0].0.event.value).unwrap(),
+                    r#"{"loc":"walmart","n":42}"#
+                );
+                assert_eq!(back[0].1, 7, "absorbed count survives the downgrade");
+                assert_eq!(back[1], entries[1]);
+            }
+            other => panic!("expected CombinedBatch, got {other:?}"),
+        }
+        // json_downgraded covers the frame too.
+        let frame = Frame::CombinedBatch(entries.clone());
+        let down = frame.json_downgraded().expect("carries MBF");
+        assert_eq!(down.encode_payload(), payload);
+        let all_json = Frame::CombinedBatch(vec![(sample_wire_event(3), 4)]);
+        assert!(all_json.json_downgraded().is_none());
+    }
+
+    #[test]
+    fn combined_zero_count_rejected() {
+        let mut payload = vec![KIND_COMBINED_BATCH];
+        put_varint(&mut payload, 1);
+        put_wire_event(&mut payload, &sample_wire_event(1));
+        put_varint(&mut payload, 0);
+        assert_eq!(Frame::decode_payload(&payload), None);
     }
 
     #[test]

@@ -545,6 +545,69 @@ fn collect_batch(outbox: &PeerOutbox) -> Option<Vec<WireEvent>> {
     }
 }
 
+/// Map-side pre-aggregation: coalesce same-⟨op,key⟩ events in a drained
+/// batch through the operator's declared combiner (surfaced via
+/// [`ClusterHandler::combine_values`]) before framing. Runs of a hot key
+/// collapse into one wire entry carrying the folded payload and the
+/// absorbed count; first-occurrence order is preserved, and runs only
+/// fold when they agree on every routing-relevant field (stream, key,
+/// redirected/external flags, thread hint). Ops with no combiner — the
+/// default — fold nothing and the batch frames byte-identically to the
+/// uncombined wire.
+fn fold_batch(outbox: &PeerOutbox, raw: Vec<WireEvent>) -> Vec<(WireEvent, u64)> {
+    let handler = outbox.handler.get();
+    let mut entries: Vec<(WireEvent, u64)> = Vec::with_capacity(raw.len());
+    if raw.len() < 2 || handler.is_none() {
+        entries.extend(raw.into_iter().map(|ev| (ev, 1)));
+        return entries;
+    }
+    // lint: allow(no-unwrap-in-prod) — is_none() checked above
+    let handler = handler.unwrap();
+    // Open runs keyed by everything that must agree for two events to be
+    // interchangeable under the combiner; values index into `entries`.
+    type RunKey = (
+        muppet_core::workflow::OpId,
+        muppet_core::event::StreamId,
+        muppet_core::event::Key,
+        bool,
+        bool,
+        Option<usize>,
+    );
+    let mut open: std::collections::HashMap<RunKey, usize> = std::collections::HashMap::new();
+    for ev in raw {
+        let run = (
+            ev.op,
+            ev.event.stream.clone(),
+            ev.event.key.clone(),
+            ev.redirected,
+            ev.external,
+            ev.thread_hint,
+        );
+        if let Some(&at) = open.get(&run) {
+            let (acc, count) = &mut entries[at];
+            if let Some(folded) = handler.combine_values(ev.op, &acc.event.value, &ev.event.value) {
+                // Fold into the open run: the carrier keeps the latest
+                // timestamp/seq (output ts = input ts + 1 stays §3-legal
+                // for the whole absorbed run), the earliest injection
+                // stamp (latency is measured pessimistically), and the
+                // largest forwarding debt.
+                acc.event.value = folded.into();
+                acc.event.ts = acc.event.ts.max(ev.event.ts);
+                acc.event.seq = acc.event.seq.max(ev.event.seq);
+                acc.injected_us = acc.injected_us.min(ev.injected_us);
+                acc.forwards = acc.forwards.max(ev.forwards);
+                *count += 1;
+                continue;
+            }
+            // Veto (no combiner, or non-foldable payloads): this event
+            // starts a fresh run so per-key order is preserved.
+        }
+        open.insert(run, entries.len());
+        entries.push((ev, 1));
+    }
+    entries
+}
+
 /// Dial a peer, send the connection preamble, and negotiate the wire
 /// codec. Both timeouts are set — the write timeout matters even on the
 /// pooled request/response path: a failure report written from a sender
@@ -621,15 +684,19 @@ fn probe_peer_alive(stream: &TcpStream) -> io::Result<()> {
 /// too). The batch is encoded per connection attempt — the negotiated
 /// codec lives on the connection, and a reconnect may negotiate a
 /// different one (e.g. the peer restarted JSON-pinned).
-fn send_batch(outbox: &PeerOutbox, conn: &mut Option<Conn>, batch: &[WireEvent]) -> io::Result<()> {
+fn send_batch(
+    outbox: &PeerOutbox,
+    conn: &mut Option<Conn>,
+    batch: &[(WireEvent, u64)],
+) -> io::Result<()> {
     let reused = conn.is_some();
     let first = match conn.as_mut() {
         Some(c) => probe_peer_alive(&c.stream).and_then(|()| {
-            let payload = frame::encode_events_payload(batch, c.mbf);
+            let payload = frame::encode_combined_payload(batch, c.mbf);
             frame::write_payload(&mut c.stream, &payload)
         }),
         None => connect_outbox(outbox).and_then(|mut c| {
-            let payload = frame::encode_events_payload(batch, c.mbf);
+            let payload = frame::encode_combined_payload(batch, c.mbf);
             frame::write_payload(&mut c.stream, &payload)?;
             *conn = Some(c);
             Ok(())
@@ -658,7 +725,7 @@ fn send_batch(outbox: &PeerOutbox, conn: &mut Option<Conn>, batch: &[WireEvent])
             // the peer's socket is gone — so the resend cannot duplicate.
             *conn = None;
             let mut c = connect_outbox(outbox)?;
-            let payload = frame::encode_events_payload(batch, c.mbf);
+            let payload = frame::encode_combined_payload(batch, c.mbf);
             frame::write_payload(&mut c.stream, &payload)?;
             *conn = Some(c);
             Ok(())
@@ -672,21 +739,38 @@ fn send_batch(outbox: &PeerOutbox, conn: &mut Option<Conn>, batch: &[WireEvent])
 /// down, drain everything undelivered, and hand it to the engine.
 fn sender_loop(outbox: Arc<PeerOutbox>) {
     let mut conn: Option<Conn> = None;
-    while let Some(batch) = collect_batch(&outbox) {
+    while let Some(raw) = collect_batch(&outbox) {
+        let batch = fold_batch(&outbox, raw);
+        // Original (pre-fold) event count — what the backlog gauge and
+        // loss ledgers are denominated in.
+        let raw_count: u64 = batch.iter().map(|(_, count)| *count).sum();
         match send_batch(&outbox, &mut conn, &batch) {
             Ok(()) => {
                 outbox.stats.frames_sent.fetch_add(1, Ordering::Relaxed);
                 if batch.len() > 1 {
                     outbox.stats.batches_sent.fetch_add(1, Ordering::Relaxed);
                 }
+                // Wire entries actually framed — under combining this is
+                // what shrinks while the backlog drains at raw scale.
                 outbox.stats.batched_events_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
-                outbox.stats.outbound_backlog.fetch_sub(batch.len() as u64, Ordering::Relaxed);
+                outbox.stats.outbound_backlog.fetch_sub(raw_count, Ordering::Relaxed);
                 outbox.cv.notify_all(); // room freed: wake blocked producers
             }
             Err(_) => {
                 outbox.stats.send_failures.fetch_add(1, Ordering::Relaxed);
                 outbox.down.store(true, Ordering::Release);
-                let mut lost = batch;
+                // The loss ledger counts *original* events: a folded
+                // carrier re-enters once per absorbed event so exactly-N
+                // accounting survives combining (values are the folded
+                // payload — the ledger only counts and logs, never
+                // redelivers).
+                let mut lost: Vec<WireEvent> = Vec::with_capacity(raw_count as usize);
+                for (ev, count) in batch {
+                    for _ in 1..count {
+                        lost.push(ev.clone());
+                    }
+                    lost.push(ev);
+                }
                 {
                     let mut q = outbox.queue.lock();
                     lost.extend(q.events.drain(..));
@@ -1089,6 +1173,12 @@ fn serve_connection(transport: Arc<TcpTransport>, stream: TcpStream, stop: Arc<A
             Frame::EventBatch(events) => {
                 for ev in events {
                     let _ = handler.deliver_event(local, ev);
+                }
+                None
+            }
+            Frame::CombinedBatch(entries) => {
+                for (ev, absorbed) in entries {
+                    let _ = handler.deliver_combined(local, ev, absorbed);
                 }
                 None
             }
@@ -1644,6 +1734,189 @@ mod tests {
         let (stored, codec) = store.get(&b"bin"[..].to_vec()).unwrap().clone();
         assert_eq!(codec, Codec::Json);
         assert_eq!(std::str::from_utf8(&stored).unwrap(), r#"{"count":42,"loc":"walmart"}"#);
+    }
+
+    /// A standalone outbox (no transport, no socket) for driving
+    /// `collect_batch`/`fold_batch` directly.
+    fn bare_outbox(cfg: BatchConfig) -> Arc<PeerOutbox> {
+        Arc::new(PeerOutbox {
+            dest: 1,
+            local: 0,
+            addr: "127.0.0.1:1".parse().unwrap(),
+            cfg: BatchConfig {
+                batch_max: cfg.batch_max.max(1),
+                queue_capacity: cfg.queue_capacity.max(1),
+                ..cfg
+            },
+            codec: CodecChoice::Auto,
+            queue: Mutex::new(OutboxQueue { events: VecDeque::new(), oldest_at: None }),
+            cv: Condvar::new(),
+            down: AtomicBool::new(false),
+            stopping: AtomicBool::new(false),
+            started: AtomicBool::new(false),
+            stats: Arc::new(TcpStats::default()),
+            handler: Arc::new(HandlerSlot::default()),
+        })
+    }
+
+    #[test]
+    fn overgrown_queue_flushes_in_batch_max_sized_frames() {
+        // Regression: a queue that grew past batch_max between flush
+        // ticks (age- or stop-triggered) must drain as several
+        // batch_max-sized frames, never one oversized frame.
+        let ob = bare_outbox(BatchConfig { batch_max: 8, flush_us: 1, queue_capacity: 4096 });
+        {
+            let mut q = ob.queue.lock();
+            for _ in 0..29 {
+                q.events.push_back(wire_event());
+            }
+            q.oldest_at = Some(Instant::now());
+        }
+        ob.stopping.store(true, Ordering::Release);
+        let (mut total, mut batches) = (0usize, 0usize);
+        while let Some(batch) = collect_batch(&ob) {
+            assert!(batch.len() <= 8, "flush emitted an oversized frame of {}", batch.len());
+            total += batch.len();
+            batches += 1;
+        }
+        assert_eq!(total, 29, "every queued event drained exactly once");
+        assert_eq!(batches, 4, "29 events over batch_max=8 is 4 frames");
+    }
+
+    /// Handler whose op 1 declares a decimal-sum combiner; tracks the
+    /// exact delivered total and absorbed counts.
+    struct CombiningHandler {
+        delivered_entries: AtomicUsize,
+        absorbed: AtomicUsize,
+        sum: AtomicUsize,
+    }
+
+    impl CombiningHandler {
+        fn new() -> Arc<CombiningHandler> {
+            Arc::new(CombiningHandler {
+                delivered_entries: AtomicUsize::new(0),
+                absorbed: AtomicUsize::new(0),
+                sum: AtomicUsize::new(0),
+            })
+        }
+    }
+
+    impl ClusterHandler for CombiningHandler {
+        fn deliver_event(&self, _dest: MachineId, ev: WireEvent) -> Result<(), NetError> {
+            self.delivered_entries.fetch_add(1, Ordering::Relaxed);
+            let n: usize =
+                std::str::from_utf8(&ev.event.value).unwrap_or("0").trim().parse().unwrap_or(0);
+            self.sum.fetch_add(n, Ordering::Relaxed);
+            Ok(())
+        }
+        fn deliver_combined(
+            &self,
+            dest: MachineId,
+            ev: WireEvent,
+            absorbed: u64,
+        ) -> Result<(), NetError> {
+            self.absorbed.fetch_add(absorbed as usize, Ordering::Relaxed);
+            self.deliver_event(dest, ev)
+        }
+        fn combine_values(
+            &self,
+            op: muppet_core::workflow::OpId,
+            acc: &[u8],
+            next: &[u8],
+        ) -> Option<Vec<u8>> {
+            if op != 1 {
+                return None;
+            }
+            muppet_core::operator::combine_decimal_sum(acc, next)
+        }
+        fn handle_failure_report(&self, _failed: MachineId, _epoch: u64) {}
+        fn handle_failure_broadcast(&self, _failed: MachineId, _epoch: u64) {}
+        fn read_local_slate(&self, _d: MachineId, _u: &str, _k: &[u8]) -> Option<Vec<u8>> {
+            None
+        }
+    }
+
+    fn keyed_event(op: muppet_core::workflow::OpId, key: &str, value: &str) -> WireEvent {
+        WireEvent {
+            op,
+            event: muppet_core::event::Event::new(
+                "S",
+                1,
+                muppet_core::event::Key::from(key),
+                value.as_bytes().to_vec(),
+            ),
+            injected_us: 7,
+            redirected: false,
+            external: true,
+            thread_hint: None,
+            forwards: 0,
+        }
+    }
+
+    #[test]
+    fn fold_batch_coalesces_same_key_runs_in_first_occurrence_order() {
+        let ob = bare_outbox(BatchConfig::default());
+        let h = CombiningHandler::new();
+        ob.handler.register(Arc::downgrade(&h) as Weak<dyn ClusterHandler>);
+        let raw = vec![
+            keyed_event(1, "a", "1"),
+            keyed_event(1, "b", "5"),
+            keyed_event(1, "a", "2"),
+            keyed_event(2, "a", "9"), // op 2 declares no combiner
+            keyed_event(1, "a", "3"),
+            keyed_event(2, "a", "9"),
+        ];
+        let entries = fold_batch(&ob, raw);
+        assert_eq!(entries.len(), 4);
+        assert_eq!(entries[0].0.event.value.as_ref(), b"6", "1+2+3 folded");
+        assert_eq!(entries[0].1, 3);
+        assert_eq!(entries[1].0.event.value.as_ref(), b"5");
+        assert_eq!(entries[1].1, 1);
+        assert_eq!(entries[2].1, 1, "non-combining op never folds");
+        assert_eq!(entries[3].1, 1);
+    }
+
+    #[test]
+    fn fold_batch_without_handler_passes_through() {
+        let ob = bare_outbox(BatchConfig::default());
+        let raw = vec![keyed_event(1, "a", "1"), keyed_event(1, "a", "2")];
+        let entries = fold_batch(&ob, raw);
+        assert_eq!(entries.len(), 2);
+        assert!(entries.iter().all(|(_, c)| *c == 1));
+    }
+
+    #[test]
+    fn combined_runs_cross_the_wire_with_exact_totals() {
+        let topo = Topology::loopback_ephemeral(2, false).unwrap();
+        // A long age bound so the queue accumulates a foldable run.
+        let batch = BatchConfig { batch_max: 128, flush_us: 50_000, queue_capacity: 4096 };
+        let t0 = TcpTransport::new_with_batching(topo.clone(), 0, batch).unwrap();
+        let t1 = TcpTransport::new(topo, 1).unwrap();
+        let h0 = CombiningHandler::new();
+        let h1 = CombiningHandler::new();
+        t0.register(Arc::downgrade(&h0) as Weak<dyn ClusterHandler>);
+        t1.register(Arc::downgrade(&h1) as Weak<dyn ClusterHandler>);
+        let _l1 = t1.start_listener().unwrap();
+        for _ in 0..50 {
+            t0.send_event(1, keyed_event(1, "hot", "1")).unwrap();
+        }
+        t0.send_event(1, keyed_event(1, "cold", "1")).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while h1.sum.load(Ordering::Relaxed) < 51 {
+            assert!(std::time::Instant::now() < deadline, "combined totals not delivered");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(h1.sum.load(Ordering::Relaxed), 51, "folded payloads preserve the total");
+        let entries_framed = t0.stats().batched_events_sent.load(Ordering::Relaxed);
+        assert!(
+            entries_framed < 51,
+            "same-key runs must fold before framing (framed {entries_framed} entries for 51 events)"
+        );
+        assert!(
+            h1.absorbed.load(Ordering::Relaxed) >= 2,
+            "receiver saw combined entries with their absorbed counts"
+        );
+        assert_eq!(t0.stats().outbound_backlog.load(Ordering::Relaxed), 0, "backlog is raw-count");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 use std::fmt;
 use std::sync::{Arc, OnceLock, Weak};
 
+use muppet_core::workflow::OpId;
 use muppet_core::Codec;
 
 use crate::frame::{MembershipUpdate, StoreGetItem, StorePutItem, WireEvent};
@@ -60,6 +61,31 @@ pub trait ClusterHandler: Send + Sync + 'static {
     /// (enqueue with two-choice dispatch, apply the overflow policy).
     /// `Err(Unreachable)` if `dest` is not a live machine here.
     fn deliver_event(&self, dest: MachineId, ev: WireEvent) -> Result<(), NetError>;
+
+    /// Finish delivery of a *combined* event: one wire event whose payload
+    /// absorbed `absorbed` original same-⟨op,key⟩ events through the
+    /// operator's declared combiner (map-side pre-aggregation in the sender
+    /// outbox). Default: deliver like any other event — handlers that track
+    /// per-original-event ledgers override to account the absorbed count.
+    fn deliver_combined(
+        &self,
+        dest: MachineId,
+        ev: WireEvent,
+        absorbed: u64,
+    ) -> Result<(), NetError> {
+        let _ = absorbed;
+        self.deliver_event(dest, ev)
+    }
+
+    /// Fold two event payloads for `op` through its declared associative
+    /// combiner (see `muppet_core::operator::Updater::combine`). `None`
+    /// (the default) means "no combiner declared — deliver individually";
+    /// the sender outbox calls this while coalescing same-⟨op,key⟩ runs
+    /// before framing.
+    fn combine_values(&self, op: OpId, acc: &[u8], next: &[u8]) -> Option<Vec<u8>> {
+        let _ = (op, acc, next);
+        None
+    }
 
     /// An asynchronous send path (the TCP transport's per-peer batching
     /// senders) gave up on `dest`: the whole in-flight batch plus

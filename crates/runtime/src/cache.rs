@@ -768,6 +768,22 @@ impl SlateCache {
         }
     }
 
+    /// Credit `n` events' worth of load to one ⟨op, key⟩ in one shot —
+    /// unsampled, since the caller already coalesced. The batch-fold path
+    /// uses this for the events a combined carrier absorbed: the carrier
+    /// itself still flows through the sampled [`SlateCache::offer_hot`],
+    /// but without this credit a deeply-folded hot key would look *cold*
+    /// to the splitter (the sketch would see one carrier per batch, not
+    /// the event-scale load the `hot_split_threshold` is denominated in).
+    pub fn offer_hot_n(&self, op: OpId, key: &Key, n: u64) {
+        if self.hot.is_empty() || n == 0 {
+            return;
+        }
+        let h = fx64_pair(key.as_bytes(), &(op as u64).to_le_bytes());
+        let i = (h & self.shard_mask) as usize;
+        self.hot[i].lock().offer_n((op, key.clone()), n);
+    }
+
     /// The top `k` ⟨op, key⟩ pairs by estimated event count, merged
     /// across shards. Shard selection is key-stable, so per-shard entries
     /// are disjoint and a concatenation-then-sort merge is exact over the
@@ -781,6 +797,20 @@ impl SlateCache {
         all.sort_by(|a, b| b.count.cmp(&a.count).then(a.err.cmp(&b.err)));
         all.truncate(k);
         all
+    }
+
+    /// Sketch estimate of the event count seen for one ⟨op, key⟩, `None`
+    /// when the pair is not tracked (or hot-key tracking is off). Shard
+    /// selection matches `offer_hot`, so the lookup touches exactly one
+    /// sketch. Counts are sampler-weighted event-scale estimates; the
+    /// engine's hot-key splitter compares them against its threshold.
+    pub fn hot_estimate(&self, op: OpId, key: &Key) -> Option<u64> {
+        if self.hot.is_empty() {
+            return None;
+        }
+        let h = fx64_pair(key.as_bytes(), &(op as u64).to_le_bytes());
+        let i = (h & self.shard_mask) as usize;
+        self.hot[i].lock().estimate(&(op, key.clone()))
     }
 
     /// Point-in-time reading of the flush-batch-size histogram (the

@@ -101,6 +101,47 @@ pub fn choose_between(
     }
 }
 
+/// How many subslates a split hot key fans out across. Subkeys route
+/// through the ordinary rings, so eight ways saturates small clusters
+/// without flooding large ones with near-empty subslates.
+pub const SPLIT_WAYS: usize = 8;
+
+/// Byte separating a split subkey's base from its shard suffix: ASCII
+/// unit separator, chosen because no app-level key format in this repo
+/// uses control bytes (and a base key that *did* contain it still
+/// round-trips — only keys carrying the exact 3-byte suffix pattern
+/// parse as subkeys).
+pub const SPLIT_SEP: u8 = 0x1f;
+
+/// The subkey a split hot key's updates fan out to for `shard` (in
+/// `0..SPLIT_WAYS`): base bytes + `\x1f` + `s` + shard digit. Subkeys
+/// hash independently, so the ring spreads them across machines and the
+/// two-choice dispatcher across worker queues.
+pub fn split_subkey(base: &muppet_core::event::Key, shard: usize) -> muppet_core::event::Key {
+    debug_assert!(shard < SPLIT_WAYS && SPLIT_WAYS <= 10);
+    let bytes = base.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len() + 3);
+    out.extend_from_slice(bytes);
+    out.push(SPLIT_SEP);
+    out.push(b's');
+    out.push(b'0' + shard as u8);
+    muppet_core::event::Key::from(out)
+}
+
+/// The base key of a split subkey, `None` when `key` is not a subkey.
+pub fn split_base_of(key: &muppet_core::event::Key) -> Option<muppet_core::event::Key> {
+    let bytes = key.as_bytes();
+    let n = bytes.len();
+    if n < 3 || bytes[n - 3] != SPLIT_SEP || bytes[n - 2] != b's' {
+        return None;
+    }
+    let digit = bytes[n - 1];
+    if !(b'0'..b'0' + SPLIT_WAYS as u8).contains(&digit) {
+        return None;
+    }
+    Some(muppet_core::event::Key::from(bytes[..n - 3].to_vec()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +261,22 @@ mod tests {
         let r1 = route("k", "U1");
         let r2 = route("k", "U2");
         assert_ne!(r1, r2);
+    }
+
+    #[test]
+    fn split_subkeys_roundtrip_and_stay_distinct() {
+        let base = Key::from("walmart");
+        let mut routes = std::collections::HashSet::new();
+        for shard in 0..SPLIT_WAYS {
+            let sub = split_subkey(&base, shard);
+            assert_eq!(split_base_of(&sub), Some(base.clone()), "subkey must recover its base");
+            routes.insert(route(std::str::from_utf8(sub.as_bytes()).unwrap_or(""), "U1"));
+        }
+        assert_eq!(routes.len(), SPLIT_WAYS, "subkeys must hash to distinct routes");
+        assert_eq!(split_base_of(&base), None, "a plain key is not a subkey");
+        assert_eq!(split_base_of(&Key::from("")), None);
+        // A key that merely ends in 's<digit>' without the separator is
+        // not a subkey.
+        assert_eq!(split_base_of(&Key::from("logs0")), None);
     }
 }

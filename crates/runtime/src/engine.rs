@@ -25,7 +25,7 @@
 //!
 //! Machines are structs; "the network" is a queue hand-off. See DESIGN.md.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -217,6 +217,23 @@ pub struct EngineConfig {
     /// (one parse+encode per event buys ~30% fewer bytes WAL-appended and
     /// framed — see x22). HTTP endpoints always speak JSON.
     pub wire_codec: CodecChoice,
+    /// Map-side combining: when true, same-⟨op, key⟩ runs for updaters
+    /// that declare an associative `combine` are pre-aggregated in the
+    /// sender outbox (before framing) and in the local dispatch drain
+    /// (before the slate lock), so a hot-key burst costs O(peers) wire
+    /// entries and one slate mutation per drained batch instead of one
+    /// per event. Exactness is preserved by the declared fold-equivalence
+    /// contract (`Updater::combine`); updaters that declare nothing are
+    /// untouched. Off by default.
+    pub combine: bool,
+    /// Dynamic hot-key splitting: when a per-shard SpaceSaving sketch
+    /// estimates a combining key's event count past this threshold, its
+    /// updates transparently fan out across [`SPLIT_WAYS`] ring-
+    /// distributed subslates, merged on read through the same combiner;
+    /// keys that cool back under half the threshold collapse back to
+    /// direct routing. 0 (the default) disables splitting. Requires
+    /// `combine` and `metrics` (the sketch is the detector).
+    pub hot_split_threshold: u64,
 }
 
 impl Default for EngineConfig {
@@ -252,6 +269,8 @@ impl Default for EngineConfig {
             ingest_sync_each: false,
             dlq_capacity: DEFAULT_DLQ_CAPACITY,
             wire_codec: CodecChoice::Auto,
+            combine: false,
+            hot_split_threshold: 0,
         }
     }
 }
@@ -294,6 +313,8 @@ impl EngineConfig {
             ingest_sync_each: false,
             dlq_capacity: DEFAULT_DLQ_CAPACITY,
             wire_codec: CodecChoice::Auto,
+            combine: false,
+            hot_split_threshold: 0,
         }
     }
 }
@@ -443,6 +464,11 @@ struct Counters {
     forwarded: Counter,
     ingest_logged: Counter,
     dead_lettered: Counter,
+    /// Original events absorbed into a pre-aggregated carrier by a
+    /// declared combiner (outbox + local drain folds).
+    combined_events: Counter,
+    /// Reads that merged split subslates back through the combiner.
+    split_merge_reads: Counter,
 }
 
 impl Counters {
@@ -489,6 +515,14 @@ impl Counters {
                 "muppet_dead_letters_total",
                 "Poison events parked in the dead-letter queue",
             ),
+            combined_events: reg.counter(
+                "muppet_combined_events_total",
+                "Original events absorbed into combiner-folded carriers",
+            ),
+            split_merge_reads: reg.counter(
+                "muppet_split_merge_reads_total",
+                "Slate reads that merged hot-key subslates through the combiner",
+            ),
         }
     }
 }
@@ -534,6 +568,13 @@ pub struct EngineStats {
     /// The write-behind store pipeline (flush batching + single-flight
     /// misses), aggregated across this node's slate caches.
     pub store: StoreSummary,
+    /// Original events absorbed into combiner-folded carriers (map-side
+    /// pre-aggregation in the outbox and the local dispatch drain).
+    pub combined_events: u64,
+    /// Hot keys currently split across subslates on this node.
+    pub split_keys_active: u64,
+    /// Slate reads that merged split subslates through the combiner.
+    pub split_merge_reads: u64,
 }
 
 /// Counters of the write-behind store pipeline (DESIGN.md §9).
@@ -812,6 +853,50 @@ impl StageMetrics {
     }
 }
 
+/// Cooling-probe window for split hot keys: a key whose rewrite traffic
+/// over one window falls below half `hot_split_threshold` collapses back
+/// to base-key routing (its subslates persist and keep merging on read).
+const SPLIT_COOL_WINDOW_US: u64 = 250_000;
+
+/// Dynamic hot-key fan-out state. The owner-side detector installs a
+/// combining ⟨op, key⟩ here when the cache's space-saving sketch
+/// estimates its event count past [`EngineConfig::hot_split_threshold`];
+/// while installed, senders and owners rewrite the key round-robin to
+/// one of [`crate::dispatch::SPLIT_WAYS`] ring-distributed subkeys.
+/// Reads merge base + subslates through the declared combiner, so the
+/// split is invisible to exactness. Subkeys are ordinary keys to every
+/// other subsystem (handoff, flush, recovery) — no epoch special-casing.
+struct SplitTracker {
+    /// Actively split ⟨op, key⟩ pairs. Touched on the rewrite path only
+    /// when `active > 0`, so unsplit workloads never take the lock.
+    map: RwLock<HashMap<(OpId, Key), Arc<SplitEntry>>>,
+    /// Fast-path gate: the number of entries in `map`.
+    active: AtomicU64,
+    /// Sampled-probe counter for the hot detector (one sketch estimate
+    /// per `SPLIT_PROBE_EVERY` update events).
+    probe: AtomicU64,
+}
+
+/// Per-split-key routing state.
+struct SplitEntry {
+    /// Round-robin subkey cursor.
+    rr: AtomicU64,
+    /// Rewrites observed in the current cooling window.
+    hits: AtomicU64,
+    /// Engine-relative µs when the current cooling window opened.
+    window_us: AtomicU64,
+}
+
+/// One hot-key sketch probe per this many update events: keeps the
+/// steady detector cost to a relaxed `fetch_add`.
+const SPLIT_PROBE_EVERY: u64 = 64;
+
+/// A batch-fold run that absorbed at least this many events probes the
+/// splitter unconditionally — coalescing that deep is itself the skew
+/// signal, and the carrier-level probe above undersamples keys the fold
+/// has already collapsed.
+const SPLIT_FOLD_PROBE_MIN: u64 = 8;
+
 struct Shared {
     wf: Workflow,
     ops: Vec<OpInstance>,
@@ -881,6 +966,9 @@ struct Shared {
     recovered: AtomicU64,
     /// Poison events parked instead of killing worker threads.
     dlq: Arc<DeadLetterQueue>,
+    /// Dynamic hot-key splitting state (empty unless `cfg.combine` and
+    /// `cfg.hot_split_threshold > 0` ever install a split).
+    splits: SplitTracker,
 }
 
 impl Shared {
@@ -894,6 +982,78 @@ impl Shared {
 
     fn machines_snapshot(&self) -> Vec<Arc<Machine>> {
         self.machines.read().clone()
+    }
+
+    /// Whether dynamic hot-key splitting is configured on.
+    fn split_enabled(&self) -> bool {
+        self.cfg.combine && self.cfg.hot_split_threshold > 0
+    }
+
+    /// Rewrite path: the round-robin subkey for an actively split
+    /// ⟨op, key⟩, `None` when the pair is not split. Each rewrite bumps
+    /// the entry's cooling window; a window whose rewrite traffic fell
+    /// below half the threshold collapses the entry — routing reverts
+    /// to the base key while the subslates persist (reads keep merging
+    /// them, so no update is ever lost to a collapse).
+    fn split_route(&self, op: OpId, key: &Key) -> Option<Key> {
+        if self.splits.active.load(Ordering::Acquire) == 0 {
+            return None;
+        }
+        let entry = self.splits.map.read().get(&(op, key.clone())).cloned()?;
+        let now = self.now_us();
+        let opened = entry.window_us.load(Ordering::Acquire);
+        if now.saturating_sub(opened) >= SPLIT_COOL_WINDOW_US
+            && entry
+                .window_us
+                .compare_exchange(opened, now, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+        {
+            let windowed = entry.hits.swap(0, Ordering::AcqRel);
+            if windowed < self.cfg.hot_split_threshold / 2 {
+                let mut map = self.splits.map.write();
+                if map.remove(&(op, key.clone())).is_some() {
+                    self.splits.active.fetch_sub(1, Ordering::AcqRel);
+                }
+                return None;
+            }
+        }
+        entry.hits.fetch_add(1, Ordering::Relaxed);
+        let shard = entry.rr.fetch_add(1, Ordering::Relaxed) as usize % crate::dispatch::SPLIT_WAYS;
+        Some(crate::dispatch::split_subkey(key, shard))
+    }
+
+    /// Owner-side hot detector: install a split for a combining
+    /// ⟨op, key⟩ whose sketch estimate crossed the threshold. Probes the
+    /// sketch once per [`SPLIT_PROBE_EVERY`] update events; callers
+    /// exclude subkeys (a split never recurses).
+    fn maybe_split(&self, cache: &SlateCache, op: OpId, key: &Key) {
+        if !self.splits.probe.fetch_add(1, Ordering::Relaxed).is_multiple_of(SPLIT_PROBE_EVERY) {
+            return;
+        }
+        self.probe_split(cache, op, key);
+    }
+
+    /// Unconditional sketch check. The batch-fold path calls this
+    /// directly for runs it just coalesced past the fold-probe floor:
+    /// under deep folding a hot key surfaces as a handful of carriers,
+    /// so the sampled per-event probe above would almost never land on
+    /// it — but the absorbed count *is* the heat signal, already paid
+    /// for.
+    fn probe_split(&self, cache: &SlateCache, op: OpId, key: &Key) {
+        let Some(est) = cache.hot_estimate(op, key) else { return };
+        if est < self.cfg.hot_split_threshold {
+            return;
+        }
+        let mut map = self.splits.map.write();
+        if let std::collections::hash_map::Entry::Vacant(v) = map.entry((op, key.clone())) {
+            let now = self.now_us();
+            v.insert(Arc::new(SplitEntry {
+                rr: AtomicU64::new(0),
+                hits: AtomicU64::new(0),
+                window_us: AtomicU64::new(now),
+            }));
+            self.splits.active.fetch_add(1, Ordering::AcqRel);
+        }
     }
 
     fn epoch(&self) -> u64 {
@@ -1233,6 +1393,11 @@ impl Engine {
             ingest_log,
             recovered: AtomicU64::new(0),
             dlq: Arc::new(DeadLetterQueue::new(dlq_capacity)),
+            splits: SplitTracker {
+                map: RwLock::new(HashMap::new()),
+                active: AtomicU64::new(0),
+                probe: AtomicU64::new(0),
+            },
             cfg,
         });
         for failed in initial_failed {
@@ -1543,6 +1708,47 @@ impl Engine {
     /// durable store, so the client sees the last flushed value instead
     /// of an error — the §4.3 survivor-recovery path, applied to reads.
     pub fn read_slate(&self, updater: &str, key: &Key) -> Option<Vec<u8>> {
+        let base = self.read_slate_unsplit(updater, key);
+        let shared = &self.shared;
+        if !shared.split_enabled() || crate::dispatch::split_base_of(key).is_some() {
+            return base;
+        }
+        let Some(op) = shared.wf.op_id(updater) else { return base };
+        let OpInstance::Update { updater: up, .. } = &shared.ops[op] else { return base };
+        if !up.combines() {
+            return base;
+        }
+        // Merge-on-read: a key that is (or ever was) split holds part of
+        // its total in up to SPLIT_WAYS subslates; fold them into the
+        // base value through the combiner. Collapsed keys keep their
+        // subslate residue, so this runs whenever splitting is
+        // configured — reads of never-split keys cost SPLIT_WAYS cache
+        // misses only in that configuration.
+        let mut acc = base;
+        let mut merged = false;
+        for shard in 0..crate::dispatch::SPLIT_WAYS {
+            let sub = crate::dispatch::split_subkey(key, shard);
+            if let Some(part) = self.read_slate_unsplit(updater, &sub) {
+                merged = true;
+                acc = match acc {
+                    None => Some(part),
+                    // Splitting requires a total combiner (the
+                    // `Updater::combine` contract); on a veto keep the
+                    // accumulated prefix rather than corrupt it.
+                    Some(a) => Some(up.combine(&a, &part).unwrap_or(a)),
+                };
+            }
+        }
+        if merged {
+            shared.counters.split_merge_reads.inc();
+        }
+        acc
+    }
+
+    /// [`Engine::read_slate`] without subslate merging: one key, one
+    /// value (the pre-splitting read path, still the whole story for
+    /// non-combining operators).
+    fn read_slate_unsplit(&self, updater: &str, key: &Key) -> Option<Vec<u8>> {
         let op = self.shared.wf.op_id(updater)?;
         if self.shared.wf.op(op).kind != OpKind::Update {
             return None;
@@ -1945,6 +2151,9 @@ impl Engine {
             throttle_waits: c.throttle_waits.get(),
             publish_errors: c.publish_errors.get(),
             forwarded: c.forwarded.get(),
+            combined_events: c.combined_events.get(),
+            split_keys_active: self.shared.splits.active.load(Ordering::Acquire),
+            split_merge_reads: c.split_merge_reads.get(),
             epoch: self.shared.epoch(),
             latency: self.shared.latency.summary(),
             cache,
@@ -2312,10 +2521,24 @@ fn process_batch(
     thread: usize,
     batch: &mut Vec<Packet>,
 ) {
+    if shared.cfg.combine && batch.len() > 1 {
+        fold_local_batch(shared, machine, thread, batch);
+    }
     let mut memo: Option<(OpId, Key, Arc<SlateSlot>)> = None;
     let mut finished: Vec<Finished> = Vec::new();
     let mut guard: Option<muppet_core::sync::RwLockReadGuard<'_, Membership>> = None;
-    for packet in batch.drain(..) {
+    for mut packet in batch.drain(..) {
+        // Owner-side split rewrite: events that were already in flight
+        // (or forwarded) when a split installed still fan out. The
+        // rewritten subkey re-routes below like any other key.
+        if shared.split_enabled()
+            && matches!(&shared.ops[packet.op],
+                OpInstance::Update { updater, .. } if updater.combines())
+        {
+            if let Some(sub) = shared.split_route(packet.op, &packet.event.key) {
+                packet.event.key = sub;
+            }
+        }
         // Muppet 1.0 invariant: a worker is bound to exactly one function.
         debug_assert!(
             machine.thread_ops[thread].is_none() || machine.thread_ops[thread] == Some(packet.op),
@@ -2421,6 +2644,12 @@ fn process_batch(
                         .expect("1.0 updater thread owns a cache"),
                 };
                 cache.offer_hot(packet.op, &packet.event.key);
+                if shared.split_enabled()
+                    && updater.combines()
+                    && crate::dispatch::split_base_of(&packet.event.key).is_none()
+                {
+                    shared.maybe_split(cache, packet.op, &packet.event.key);
+                }
                 let service_sampled = shared.stages.enabled && shared.stages.sampler_service.hit();
                 let now = shared.now_us();
                 let slot = match &memo {
@@ -2485,6 +2714,85 @@ fn process_batch(
     for done in finished.drain(..) {
         finish_packet(shared, done);
     }
+}
+
+/// Map-side pre-aggregation over one drained batch: coalesce runs of
+/// same-⟨op, stream, key⟩ update events through the operator's declared
+/// combiner, so a hot key's burst becomes one slate mutation instead of
+/// one per event. Mirrors the sender-outbox fold in `muppet_net::tcp`
+/// (first-occurrence order, veto opens a fresh run), but here the win is
+/// the slot-lock + updater invocation, not wire bytes. Each absorbed
+/// packet settles its pending-count immediately; the carrier keeps
+/// `ts`/`seq` = max and `injected_us` = min so watermarks and latency
+/// stay conservative. Non-combining operators pass through untouched.
+///
+/// Absorbed events are credited to the hot-key sketch in one weighted
+/// offer per run: the splitter's threshold is denominated in *events*,
+/// and without the credit a deeply-folded hot key would look cold (the
+/// sketch would only see one carrier per drained batch).
+fn fold_local_batch(
+    shared: &Arc<Shared>,
+    machine: &Arc<Machine>,
+    thread: usize,
+    batch: &mut Vec<Packet>,
+) {
+    let mut runs: HashMap<(OpId, StreamId, Key, bool), usize> = HashMap::new();
+    let mut absorbed: HashMap<(OpId, Key), u64> = HashMap::new();
+    let mut out: Vec<Packet> = Vec::with_capacity(batch.len());
+    for packet in batch.drain(..) {
+        let updater = match &shared.ops[packet.op] {
+            OpInstance::Update { updater, .. } if updater.combines() => Arc::clone(updater),
+            _ => {
+                out.push(packet);
+                continue;
+            }
+        };
+        let rk =
+            (packet.op, packet.event.stream.clone(), packet.event.key.clone(), packet.redirected);
+        let open = runs.get(&rk).copied();
+        let folded = open.and_then(|i| {
+            updater.combine(out[i].event.value.as_ref(), packet.event.value.as_ref())
+        });
+        match (open, folded) {
+            (Some(i), Some(value)) => {
+                let carrier = &mut out[i];
+                carrier.event.value = Bytes::from(value);
+                carrier.event.ts = carrier.event.ts.max(packet.event.ts);
+                carrier.event.seq = carrier.event.seq.max(packet.event.seq);
+                carrier.injected_us = carrier.injected_us.min(packet.injected_us);
+                carrier.forwards = carrier.forwards.max(packet.forwards);
+                *absorbed.entry((packet.op, packet.event.key.clone())).or_insert(0) += 1;
+                shared.counters.combined_events.inc();
+                shared.pending.fetch_sub(1, Ordering::AcqRel);
+                shared.throttle_cv.notify_all();
+            }
+            _ => {
+                // No open run, or the combiner vetoed: this packet opens
+                // (or re-points) the run, preserving per-key order.
+                runs.insert(rk, out.len());
+                out.push(packet);
+            }
+        }
+    }
+    if !absorbed.is_empty() {
+        let cache = match shared.cfg.kind {
+            EngineKind::Muppet2 => machine.central_cache.as_ref(),
+            EngineKind::Muppet1 => machine.worker_caches[thread].as_ref(),
+        };
+        if let Some(cache) = cache {
+            let split = shared.split_enabled();
+            for ((op, key), n) in absorbed {
+                cache.offer_hot_n(op, &key, n);
+                if split
+                    && n >= SPLIT_FOLD_PROBE_MIN
+                    && crate::dispatch::split_base_of(&key).is_none()
+                {
+                    shared.probe_split(cache, op, &key);
+                }
+            }
+        }
+    }
+    *batch = out;
 }
 
 /// Extract a human-readable message from a caught panic payload.
@@ -2623,7 +2931,18 @@ fn fan_out(
 /// — triggers the §4.3 protocol: report to the master, which broadcasts,
 /// and every ring drops the machine; the event is lost and logged, never
 /// retried.
-fn try_send(shared: &Arc<Shared>, packet: Packet, external: bool) {
+fn try_send(shared: &Arc<Shared>, mut packet: Packet, external: bool) {
+    // Sender-side split rewrite: route a split hot key's update to one of
+    // its subkeys before the ring lookup, so fan-out happens at the
+    // source and the subslates land on distinct machines/queues.
+    if shared.split_enabled()
+        && matches!(&shared.ops[packet.op],
+            OpInstance::Update { updater, .. } if updater.combines())
+    {
+        if let Some(sub) = shared.split_route(packet.op, &packet.event.key) {
+            packet.event.key = sub;
+        }
+    }
     let updater_name = shared.wf.op(packet.op).name.as_str();
     let route: RouteHash = packet.event.key.route_hash(updater_name);
     // Senders route by the *committed* rings: a staged (prepared) epoch
@@ -3233,6 +3552,45 @@ impl ClusterHandler for EngineHandler {
         deliver_local(&self.0, dest, ev)
     }
 
+    fn deliver_combined(
+        &self,
+        dest: MachineId,
+        ev: WireEvent,
+        absorbed: u64,
+    ) -> std::result::Result<(), NetError> {
+        // The sender already folded `absorbed` original events into this
+        // carrier (and accounted them via `combine_values`); locally it
+        // is one ordinary event. The owner's hot-key sketch is still
+        // credited with the absorbed load, so the splitter sees
+        // event-scale heat for keys folded down on remote senders.
+        let shared = &self.0;
+        if absorbed > 0 {
+            if let Some(machine) = shared.machine(dest) {
+                if let Some(cache) = machine.central_cache.as_ref() {
+                    cache.offer_hot_n(ev.op, &ev.event.key, absorbed);
+                }
+            }
+        }
+        deliver_local(shared, dest, ev)
+    }
+
+    fn combine_values(&self, op: OpId, acc: &[u8], next: &[u8]) -> Option<Vec<u8>> {
+        let shared = &self.0;
+        if !shared.cfg.combine {
+            return None;
+        }
+        match shared.ops.get(op) {
+            Some(OpInstance::Update { updater, .. }) if updater.combines() => {
+                let folded = updater.combine(acc, next);
+                if folded.is_some() {
+                    shared.counters.combined_events.inc();
+                }
+                folded
+            }
+            _ => None,
+        }
+    }
+
     fn handle_send_failure(&self, dest: MachineId, lost: Vec<WireEvent>) {
         // The async half of §4.3: a batching sender gave up on `dest`.
         // One detection (the report; the master dedupes), with every
@@ -3393,6 +3751,11 @@ fn collect_engine_samples(sh: &Arc<Shared>, out: &mut Vec<Sample>) {
     out.push(Sample::gauge("muppet_epoch", &[], sh.epoch() as i64));
     out.push(Sample::gauge("muppet_uptime_seconds", &[], sh.start.elapsed().as_secs() as i64));
     out.push(Sample::gauge("muppet_pending_events", &[], sh.pending.load(Ordering::Acquire)));
+    out.push(Sample::gauge(
+        "muppet_split_keys_active",
+        &[],
+        sh.splits.active.load(Ordering::Acquire) as i64,
+    ));
     out.push(Sample::gauge(
         "muppet_protocol_version",
         &[],

@@ -118,6 +118,9 @@ impl SlateReader for crate::engine::Engine {
             ("lost_machine_failure", Json::num(s.lost_machine_failure as f64)),
             ("lost_in_queues", Json::num(s.lost_in_queues as f64)),
             ("forwarded", Json::num(s.forwarded as f64)),
+            ("combined_events_total", Json::num(s.combined_events as f64)),
+            ("split_keys_active", Json::num(s.split_keys_active as f64)),
+            ("split_merge_reads_total", Json::num(s.split_merge_reads as f64)),
             ("epoch", Json::num(s.epoch as f64)),
             ("machines", Json::num(self.machine_count() as f64)),
             ("max_queue_high_water", Json::num(self.max_queue_high_water() as f64)),

@@ -181,3 +181,105 @@ proptest! {
         }
     }
 }
+
+// ---------- combiner fold-equivalence (DESIGN.md §14) ----------
+//
+// The combiner contract, engine-checked: with `EngineConfig::combine`
+// on (and, in half the cases, dynamic hot-key splitting armed), an
+// arbitrary interleaving of count events — optionally with a machine
+// joining mid-stream, which exercises the subslate handoff path — must
+// leave every slate bit-for-bit identical to per-event delivery.
+mod fold_equivalence {
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    use muppet_core::event::{Event, Key};
+    use muppet_core::operator::{combine_decimal_sum, Emitter, FnUpdater, Updater};
+    use muppet_core::slate::Slate;
+    use muppet_core::workflow::Workflow;
+    use muppet_runtime::engine::{Engine, EngineConfig, EngineKind, OperatorSet};
+    use muppet_runtime::overflow::OverflowPolicy;
+    use proptest::prelude::*;
+
+    fn count_workflow() -> Workflow {
+        let mut b = Workflow::builder("fold-eq");
+        b.external_stream("S1");
+        b.updater("counter", &["S1"]);
+        b.build().unwrap()
+    }
+
+    fn counting_updater() -> impl Updater {
+        FnUpdater::new("counter", |_: &mut dyn Emitter, ev: &Event, slate: &mut Slate| {
+            let n: u64 = std::str::from_utf8(ev.value.as_ref())
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .unwrap_or(0);
+            slate.incr_counter(n);
+        })
+        .with_combiner(combine_decimal_sum)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn folded_delivery_is_bit_for_bit_per_event(
+            ranks in proptest::collection::vec((0usize..10, 1u64..5), 1..200),
+            split_threshold in prop_oneof![Just(0u64), Just(8u64)],
+            join_midstream in any::<bool>(),
+        ) {
+            let events: Vec<Event> = ranks
+                .iter()
+                .enumerate()
+                .map(|(i, (rank, v))| {
+                    Event::new("S1", (i + 1) as u64, Key::from(format!("k{rank}")),
+                               v.to_string().into_bytes())
+                })
+                .collect();
+            // Per-event ground truth: the decimal sum per key, rendered
+            // exactly as the updater renders it.
+            let mut truth: BTreeMap<String, u64> = BTreeMap::new();
+            for (rank, v) in &ranks {
+                *truth.entry(format!("k{rank}")).or_insert(0) += v;
+            }
+            let cfg = EngineConfig {
+                kind: EngineKind::Muppet2,
+                machines: 2,
+                workers_per_machine: 2,
+                workers_per_op: 2,
+                overflow: OverflowPolicy::SourceThrottle,
+                queue_capacity: 512,
+                combine: true,
+                hot_split_threshold: split_threshold,
+                ..EngineConfig::default()
+            };
+            let engine = Engine::start(
+                count_workflow(),
+                OperatorSet::new().updater(counting_updater()),
+                cfg,
+                None,
+            )
+            .unwrap();
+            if join_midstream {
+                let (first, second) = events.split_at(events.len() / 2);
+                engine.submit_many(first.to_vec()).unwrap();
+                engine.join_machine().unwrap();
+                engine.submit_many(second.to_vec()).unwrap();
+            } else {
+                engine.submit_many(events).unwrap();
+            }
+            prop_assert!(engine.drain(Duration::from_secs(60)), "engine must drain");
+            for (key, total) in &truth {
+                let bytes = engine.read_slate("counter", &Key::from(key.as_str()));
+                prop_assert_eq!(
+                    bytes.as_deref(),
+                    Some(total.to_string().as_bytes()),
+                    "key {} must read back bit-for-bit", key
+                );
+            }
+            let stats = engine.shutdown();
+            prop_assert_eq!(stats.dropped_overflow, 0);
+            prop_assert_eq!(stats.lost_machine_failure + stats.lost_in_queues, 0);
+        }
+    }
+}

@@ -25,4 +25,4 @@ pub mod zipf;
 pub use arrivals::ArrivalProcess;
 pub use checkins::CheckinGenerator;
 pub use tweets::TweetGenerator;
-pub use zipf::Zipf;
+pub use zipf::{zipf_events, Zipf, ZIPF_STREAM};

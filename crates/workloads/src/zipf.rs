@@ -9,7 +9,29 @@
 //! per sample, exact distribution — fine for universes up to a few million
 //! keys.
 
-use rand::Rng;
+use muppet_core::event::{Event, Key};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The stream [`zipf_events`] emits on.
+pub const ZIPF_STREAM: &str = "zipf_counts";
+
+/// A deterministic stream of `len` unit-count events over a Zipf(`s`)
+/// key universe of `n_keys` ranks: key `k<rank>` (rank 0 hottest),
+/// value `"1"` (one unit, foldable by decimal sum), timestamps
+/// `1..=len` on [`ZIPF_STREAM`]. `s = 0` degenerates to uniform. The
+/// shared skewed input of the hot-key experiments (X23) and the
+/// combiner exactness suites — same seed, same events, everywhere.
+pub fn zipf_events(n_keys: usize, s: f64, len: usize, seed: u64) -> Vec<Event> {
+    let zipf = Zipf::new(n_keys, s);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|i| {
+            let rank = zipf.sample(&mut rng);
+            Event::new(ZIPF_STREAM, (i + 1) as u64, Key::from(format!("k{rank}")), &b"1"[..])
+        })
+        .collect()
+}
 
 /// A Zipf(s) sampler over ranks `0..n` (rank 0 is the most popular).
 #[derive(Clone, Debug)]
@@ -139,6 +161,25 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn rejects_empty_universe() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn zipf_events_are_deterministic_unit_counts() {
+        let a = zipf_events(50, 1.2, 500, 9);
+        let b = zipf_events(50, 1.2, 500, 9);
+        assert_eq!(a, b, "same seed, same events");
+        assert_eq!(a.len(), 500);
+        let mut head = 0usize;
+        for (i, ev) in a.iter().enumerate() {
+            assert_eq!(ev.stream.as_str(), ZIPF_STREAM);
+            assert_eq!(ev.ts, (i + 1) as u64);
+            assert_eq!(ev.value.as_ref(), b"1");
+            if ev.key.as_bytes() == b"k0" {
+                head += 1;
+            }
+        }
+        assert!(head > 100, "rank 0 dominates at s=1.2: {head}");
+        assert_ne!(a, zipf_events(50, 1.2, 500, 10), "seed changes the stream");
     }
 
     #[test]

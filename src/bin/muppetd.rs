@@ -79,6 +79,8 @@ struct Options {
     ingest_sync_each: bool,
     dlq_capacity: Option<usize>,
     wire_codec: CodecChoice,
+    combine: bool,
+    hot_split_threshold: u64,
 }
 
 fn usage() -> ! {
@@ -91,6 +93,7 @@ fn usage() -> ! {
            [--metrics on|off] [--latency-sample-n <n>]
            [--ingest-wal <path>] [--ingest-sync each|group] [--dlq-capacity <n>]
            [--wire-codec auto|json|mbf]
+           [--combine on|off] [--hot-split-threshold <events>]
            [--log-level debug|info|warn|error|off] [--log-json]
        muppetd --join <master-host:http_port> --listen <host:port:http_port>
            [--app ...] [--engine ...] [--workers ...] [--store-host <id>] [...]"
@@ -187,6 +190,8 @@ fn parse_args() -> Options {
     let mut ingest_sync_each = false;
     let mut dlq_capacity = None;
     let mut wire_codec = defaults.wire_codec;
+    let mut combine = defaults.combine;
+    let mut hot_split_threshold = defaults.hot_split_threshold;
 
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -285,6 +290,22 @@ fn parse_args() -> Options {
                     usage()
                 })
             }
+            "--combine" => {
+                combine = match value() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => {
+                        eprintln!("muppetd: --combine wants on|off, got {other:?}");
+                        usage()
+                    }
+                }
+            }
+            "--hot-split-threshold" => {
+                hot_split_threshold = value().parse().unwrap_or_else(|_| {
+                    eprintln!("muppetd: --hot-split-threshold wants an event count");
+                    usage()
+                })
+            }
             "--store-host" => store_host = value().parse().ok(),
             "--data-dir" => data_dir = Some(value().to_string()),
             "--master" => master = value().parse().ok(),
@@ -321,6 +342,8 @@ fn parse_args() -> Options {
             ingest_sync_each,
             dlq_capacity,
             wire_codec,
+            combine,
+            hot_split_threshold,
         };
     }
 
@@ -352,6 +375,8 @@ fn parse_args() -> Options {
         ingest_sync_each,
         dlq_capacity,
         wire_codec,
+        combine,
+        hot_split_threshold,
     }
 }
 
@@ -455,6 +480,8 @@ fn main() {
         ingest_sync_each: opts.ingest_sync_each,
         dlq_capacity: opts.dlq_capacity.unwrap_or(muppet::runtime::engine::DEFAULT_DLQ_CAPACITY),
         wire_codec: opts.wire_codec,
+        combine: opts.combine,
+        hot_split_threshold: opts.hot_split_threshold,
         ..EngineConfig::default()
     };
     let engine = match Engine::start(workflow, ops, cfg, store) {
